@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared harness for the figure-reproduction benchmarks.
+///
+/// Each fig3 binary sweeps circuit sizes and reports, per size:
+///   - sampler initialization time (Algorithm 1 Initialization vs the
+///     frame baseline's reference pass), and
+///   - time to generate `samples` samples (Algorithm 1 Sampling vs frame
+///     propagation).
+/// Sizes default to a grid that completes in minutes on one core;
+/// `--paper` switches to the paper's full n = 1000 grid, `--fast` (or env
+/// SYMPHASE_BENCH_FAST=1) shrinks it for CI smoke runs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/symphase.hpp"
+#include "sampler/frame_simulator.hpp"
+
+namespace symphase::bench {
+
+struct GridOptions {
+  std::vector<std::size_t> sizes;
+  std::size_t samples = 10000;
+  std::uint64_t seed = 2024;
+};
+
+inline GridOptions parse_grid(int argc, char** argv,
+                              std::vector<std::size_t> standard,
+                              std::vector<std::size_t> paper,
+                              std::vector<std::size_t> fast) {
+  GridOptions opt;
+  opt.sizes = std::move(standard);
+  const char* env_fast = std::getenv("SYMPHASE_BENCH_FAST");
+  if (env_fast != nullptr && std::strcmp(env_fast, "0") != 0) {
+    opt.sizes = fast;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper") == 0) {
+      opt.sizes = paper;
+    } else if (std::strcmp(argv[i], "--fast") == 0) {
+      opt.sizes = fast;
+    } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
+      opt.samples = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--paper|--fast] [--samples N] [--seed S]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+struct FigureRow {
+  std::size_t n = 0;
+  CircuitStats stats;
+  double init_symphase = 0;
+  double init_frame = 0;
+  double sample_symphase = 0;
+  double sample_frame = 0;
+};
+
+inline void print_figure_header(const char* title, std::size_t samples) {
+  std::printf("# %s\n", title);
+  std::printf("# samples per size: %zu\n", samples);
+  std::printf(
+      "%6s %10s %10s %12s %14s %14s %16s %16s %9s\n", "n", "gates", "meas",
+      "faults", "init_sym[s]", "init_frame[s]", "sample_sym[s]",
+      "sample_frame[s]", "speedup");
+}
+
+inline void print_figure_row(const FigureRow& row) {
+  const double speedup =
+      row.sample_symphase > 0 ? row.sample_frame / row.sample_symphase : 0.0;
+  std::printf("%6zu %10zu %10zu %12zu %14.4f %14.4f %16.4f %16.4f %8.2fx\n",
+              row.n, row.stats.num_gates, row.stats.num_measurements,
+              row.stats.num_noise_sites, row.init_symphase, row.init_frame,
+              row.sample_symphase, row.sample_frame, speedup);
+  std::fflush(stdout);
+}
+
+/// Times both samplers on one circuit. The sampled outputs are reduced to
+/// a checksum so the work cannot be optimized away.
+inline FigureRow run_figure_point(const Circuit& circuit, std::size_t n,
+                                  std::size_t samples, std::uint64_t seed) {
+  FigureRow row;
+  row.n = n;
+  row.stats = circuit.stats();
+
+  Timer t;
+  const CompiledSampler sym = CompiledSampler::compile(circuit);
+  row.init_symphase = t.seconds();
+
+  t.restart();
+  const FrameSimulator frame(circuit, seed + 1);
+  row.init_frame = t.seconds();
+
+  t.restart();
+  const BitMatrix sym_out = sym.sample(samples, seed + 2);
+  row.sample_symphase = t.seconds();
+
+  t.restart();
+  const BitMatrix frame_out = frame.sample(samples, seed + 3);
+  row.sample_frame = t.seconds();
+
+  // Defeat dead-code elimination.
+  if (sym_out.count_ones() == 0xDEADBEEF &&
+      frame_out.count_ones() == 0xDEADBEEF) {
+    std::printf("# impossible\n");
+  }
+  return row;
+}
+
+}  // namespace symphase::bench

@@ -1,0 +1,35 @@
+// Reproduces paper Fig. 3a: layered random interaction circuits with 5
+// CNOT pairs per layer (n qubits, n layers, 5% of qubits measured each
+// layer, full final measurement; no noise). Reports sampler
+// initialization time and the time to generate 10,000 samples for
+// SymPhase (Algorithm 1) vs the Pauli-frame baseline (Stim's algorithm).
+
+#include "bench_common.hpp"
+
+#include "circuit/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace symphase;
+  using namespace symphase::bench;
+
+  const GridOptions opt = parse_grid(
+      argc, argv,
+      /*standard=*/{50, 100, 200, 300, 400, 500},
+      /*paper=*/{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000},
+      /*fast=*/{32, 64});
+
+  print_figure_header(
+      "Fig. 3a: layered random circuits, 5 CNOT pairs/layer, no noise",
+      opt.samples);
+  for (const std::size_t n : opt.sizes) {
+    LayeredRandomCircuitOptions circuit_opt;
+    circuit_opt.num_qubits = n;
+    circuit_opt.num_layers = n;
+    circuit_opt.cnot_pairs_per_layer = 5;
+    circuit_opt.measure_fraction = 0.05;
+    Rng rng(opt.seed + n);
+    const Circuit circuit = layered_random_circuit(circuit_opt, rng);
+    print_figure_row(run_figure_point(circuit, n, opt.samples, opt.seed));
+  }
+  return 0;
+}

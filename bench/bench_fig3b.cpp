@@ -1,0 +1,34 @@
+// Reproduces paper Fig. 3b: as Fig. 3a but with floor(n/2) random CNOT
+// pairs per layer — the dense-interaction regime where the gate count
+// grows quadratically in n, stressing the frame baseline's per-sample
+// circuit traversal.
+
+#include "bench_common.hpp"
+
+#include "circuit/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace symphase;
+  using namespace symphase::bench;
+
+  const GridOptions opt = parse_grid(
+      argc, argv,
+      /*standard=*/{50, 100, 200, 300, 400},
+      /*paper=*/{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000},
+      /*fast=*/{32, 64});
+
+  print_figure_header(
+      "Fig. 3b: layered random circuits, n/2 CNOT pairs/layer, no noise",
+      opt.samples);
+  for (const std::size_t n : opt.sizes) {
+    LayeredRandomCircuitOptions circuit_opt;
+    circuit_opt.num_qubits = n;
+    circuit_opt.num_layers = n;
+    circuit_opt.half_n_cnot_pairs = true;
+    circuit_opt.measure_fraction = 0.05;
+    Rng rng(opt.seed + n);
+    const Circuit circuit = layered_random_circuit(circuit_opt, rng);
+    print_figure_row(run_figure_point(circuit, n, opt.samples, opt.seed));
+  }
+  return 0;
+}

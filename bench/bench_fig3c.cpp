@@ -1,0 +1,37 @@
+// Reproduces paper Fig. 3c: as Fig. 3b plus single-qubit depolarizing
+// noise on every qubit in every layer. This is the noisy-sampling
+// workload SymPhase targets: the symbol count grows to 2·n·layers, and
+// the initialization pays for symbolic phase upkeep once while sampling
+// stays a sparse matrix product.
+
+#include "bench_common.hpp"
+
+#include "circuit/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace symphase;
+  using namespace symphase::bench;
+
+  const GridOptions opt = parse_grid(
+      argc, argv,
+      /*standard=*/{50, 100, 150, 200, 250},
+      /*paper=*/{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000},
+      /*fast=*/{32, 64});
+
+  print_figure_header(
+      "Fig. 3c: layered random circuits, n/2 CNOT pairs/layer, "
+      "DEPOLARIZE1 on every qubit each layer",
+      opt.samples);
+  for (const std::size_t n : opt.sizes) {
+    LayeredRandomCircuitOptions circuit_opt;
+    circuit_opt.num_qubits = n;
+    circuit_opt.num_layers = n;
+    circuit_opt.half_n_cnot_pairs = true;
+    circuit_opt.measure_fraction = 0.05;
+    circuit_opt.depolarize_probability = 0.001;
+    Rng rng(opt.seed + n);
+    const Circuit circuit = layered_random_circuit(circuit_opt, rng);
+    print_figure_row(run_figure_point(circuit, n, opt.samples, opt.seed));
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation for paper §3.2.3 / §5: the Sampling step as F2 matrix
+// multiplication. Compares the dense product against the sparse
+// XOR-accumulation SymPhase.jl ships, across expression densities, plus
+// the bit-transpose kernels the layouts rely on.
+
+#include <benchmark/benchmark.h>
+
+#include "bitvec/bit_matrix.hpp"
+#include "bitvec/sparse_bit_matrix.hpp"
+#include "bitvec/transpose.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace symphase;
+
+BitMatrix random_density(std::size_t rows, std::size_t cols,
+                         double density, Rng& rng) {
+  BitMatrix m(rows, cols);
+  const auto target = static_cast<std::size_t>(
+      density * static_cast<double>(rows * cols));
+  for (std::size_t k = 0; k < target; ++k) {
+    m.set(rng.next_below(rows), rng.next_below(cols), true);
+  }
+  return m;
+}
+
+/// Dense M (n_m x n_s) times B (n_s x n_smp); density in per-mille.
+void BM_DenseMultiply(benchmark::State& state) {
+  Rng rng(1);
+  const double density = static_cast<double>(state.range(0)) / 1000.0;
+  const BitMatrix m = random_density(1024, 4096, density, rng);
+  const BitMatrix b = BitMatrix::random(4096, 10000, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.multiply(b).count_ones());
+  }
+}
+
+void BM_SparseMultiply(benchmark::State& state) {
+  Rng rng(1);
+  const double density = static_cast<double>(state.range(0)) / 1000.0;
+  const BitMatrix dense = random_density(1024, 4096, density, rng);
+  const SparseBitMatrix m = SparseBitMatrix::from_dense(dense);
+  const BitMatrix b = BitMatrix::random(4096, 10000, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.multiply(b).count_ones());
+  }
+}
+
+void BM_Transpose64(benchmark::State& state) {
+  Rng rng(2);
+  std::uint64_t block[64];
+  for (auto& w : block) {
+    w = rng.next_word();
+  }
+  for (auto _ : state) {
+    transpose_64x64(block);
+    benchmark::DoNotOptimize(block[0]);
+  }
+}
+
+void BM_FullBitMatrixTranspose(benchmark::State& state) {
+  Rng rng(3);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BitMatrix m = BitMatrix::random(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.transposed().count_ones());
+  }
+}
+
+void BM_InplaceBlockTranspose512(benchmark::State& state) {
+  Rng rng(4);
+  AlignedWordVec tile(512 * 8);
+  for (auto& w : tile) {
+    w = rng.next_word();
+  }
+  for (auto _ : state) {
+    transpose_bit_matrix_inplace(tile.data(), 8);
+    benchmark::DoNotOptimize(tile[0]);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_DenseMultiply)->Arg(5)->Arg(50)->Arg(500);
+BENCHMARK(BM_SparseMultiply)->Arg(5)->Arg(50)->Arg(500);
+BENCHMARK(BM_Transpose64);
+BENCHMARK(BM_FullBitMatrixTranspose)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_InplaceBlockTranspose512);
+
+BENCHMARK_MAIN();

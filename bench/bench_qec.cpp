@@ -1,0 +1,69 @@
+// QEC-workload benchmark: detector sampling on surface-code memory
+// circuits. Compiled expressions stay shallow here (sparse circuits, the
+// paper's §5 remark about LDPC codes), so Algorithm 1's sampling is
+// O(n_smp·n_m) — but syndrome-extraction circuits are measurement-heavy
+// (n_g ≈ 4·n_m), so the frame baseline's O(n_smp·n_g) is only a small
+// constant factor above SymPhase's bound, and which sampler wins comes
+// down to constants (B-matrix generation vs frame propagation). Contrast
+// with bench_fig3*/bench_table1_scaling, where n_g >> n_m and SymPhase
+// wins decisively. Both behaviours are the complexity model of Table 1.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "circuit/surface_code.hpp"
+
+int main(int argc, char** argv) {
+  using namespace symphase;
+  using namespace symphase::bench;
+
+  const GridOptions opt = parse_grid(argc, argv,
+                                     /*standard=*/{3, 5, 7, 9, 11},
+                                     /*paper=*/{3, 5, 7, 9, 11, 13, 15},
+                                     /*fast=*/{3, 5});
+
+  std::printf("# Surface-code memory, rounds = distance, depolarizing data "
+              "noise p=0.003, measurement flips p=0.002\n");
+  std::printf("# samples per point: %zu\n", opt.samples);
+  std::printf("%4s %8s %8s %10s %10s %14s %14s %16s %16s %9s\n", "d",
+              "qubits", "gates", "meas", "dets", "init_sym[s]",
+              "init_frame[s]", "detsmp_sym[s]", "detsmp_frame[s]",
+              "speedup");
+
+  for (const std::size_t d : opt.sizes) {
+    SurfaceCodeOptions sc;
+    sc.distance = d;
+    sc.rounds = d;
+    sc.data_depolarization = 0.003;
+    sc.measurement_flip_probability = 0.002;
+    const Circuit circuit = surface_code_memory(sc);
+    const CircuitStats stats = circuit.stats();
+
+    Timer t;
+    const CompiledSampler sym = CompiledSampler::compile(circuit);
+    const double init_sym = t.seconds();
+
+    t.restart();
+    const FrameSimulator frame(circuit, opt.seed + 1);
+    const double init_frame = t.seconds();
+
+    t.restart();
+    const auto se = sym.sample_detection_events(opt.samples, opt.seed + 2);
+    const double sample_sym = t.seconds();
+
+    t.restart();
+    const auto fe = frame.sample_detection_events(opt.samples, opt.seed + 3);
+    const double sample_frame = t.seconds();
+
+    std::printf("%4zu %8zu %8zu %10zu %10zu %14.4f %14.4f %16.4f %16.4f "
+                "%8.2fx\n",
+                d, stats.num_qubits, stats.num_gates, stats.num_measurements,
+                sym.num_detectors(), init_sym, init_frame, sample_sym,
+                sample_frame, sample_frame / sample_sym);
+    std::fflush(stdout);
+    if (se.detectors.count_ones() + fe.detectors.count_ones() == 0xDEADBEEF) {
+      std::printf("# impossible\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Reproduces the scaling claims of paper Table 1:
+//
+//   (A) Sampling cost vs gate count n_g: the frame baseline re-traverses
+//       the circuit per batch, so its sampling time grows linearly in
+//       n_g; Algorithm 1's sampling is independent of n_g.
+//   (B) Sampling cost vs sample count n_smp: both scale linearly, with
+//       SymPhase's slope set by expression nnz (O(n_smp·n_m) sparse)
+//       rather than circuit size.
+//   (C) Initialization overhead vs measurement count n_m: SymPhase pays
+//       the extra O(n·n_m·(n_m+n_p)) once.
+//
+// Each sweep holds every other parameter fixed and varies one knob.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "circuit/generators.hpp"
+
+namespace {
+
+using namespace symphase;
+using namespace symphase::bench;
+
+/// Builds a circuit with tunable gate count at fixed measurement count:
+/// `layers` layers of random H/S/CNOT padding on `n` qubits, a light
+/// sprinkle of noise, then one final measurement layer.
+Circuit padded_circuit(std::size_t n, std::size_t layers,
+                       std::size_t measurements, std::uint64_t seed) {
+  Circuit c(n);
+  Rng rng(seed);
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    std::vector<std::uint32_t> h_targets;
+    for (std::uint32_t q = 0; q < n; ++q) {
+      if (rng.next_below(2) == 0) {
+        h_targets.push_back(q);
+      }
+    }
+    if (!h_targets.empty()) {
+      c.append(GateType::H, h_targets);
+    }
+    for (std::size_t k = 0; k < n / 4; ++k) {
+      const auto a = static_cast<std::uint32_t>(rng.next_below(n));
+      auto b = static_cast<std::uint32_t>(rng.next_below(n - 1));
+      if (b >= a) {
+        ++b;
+      }
+      c.append2(GateType::CNOT, a, b);
+    }
+  }
+  std::vector<std::uint32_t> noise_targets;
+  for (std::uint32_t q = 0; q < n; ++q) {
+    noise_targets.push_back(q);
+  }
+  c.append(GateType::X_ERROR, noise_targets, 0.01);
+  std::vector<std::uint32_t> measured;
+  for (std::size_t k = 0; k < measurements; ++k) {
+    measured.push_back(static_cast<std::uint32_t>(k % n));
+  }
+  // Measure one qubit at a time so n_m is exactly `measurements`.
+  for (const std::uint32_t q : measured) {
+    c.append1(GateType::M, q);
+  }
+  return c;
+}
+
+void sweep_gate_count(std::size_t samples, std::uint64_t seed) {
+  std::printf("# (A) sampling time vs gate count n_g");
+  std::printf("  [n=128, n_m=128 fixed]\n");
+  std::printf("%10s %10s %16s %16s %12s\n", "layers", "gates",
+              "sample_sym[s]", "sample_frame[s]", "frame/sym");
+  for (const std::size_t layers : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    const Circuit c = padded_circuit(128, layers, 128, seed);
+    const CompiledSampler sym = CompiledSampler::compile(c);
+    const FrameSimulator frame(c, seed);
+    Timer t;
+    const BitMatrix a = sym.sample(samples, seed + 1);
+    const double sym_time = t.seconds();
+    t.restart();
+    const BitMatrix b = frame.sample(samples, seed + 2);
+    const double frame_time = t.seconds();
+    std::printf("%10zu %10zu %16.4f %16.4f %11.2fx\n", layers,
+                c.stats().num_gates, sym_time, frame_time,
+                frame_time / sym_time);
+    std::fflush(stdout);
+    if (a.count_ones() + b.count_ones() == 0xDEADBEEF) {
+      std::printf("# impossible\n");
+    }
+  }
+}
+
+void sweep_sample_count(std::uint64_t seed) {
+  std::printf("\n# (B) sampling time vs sample count n_smp");
+  std::printf("  [n=128, 64 layers, n_m=128 fixed]\n");
+  std::printf("%10s %16s %16s %12s\n", "samples", "sample_sym[s]",
+              "sample_frame[s]", "frame/sym");
+  const Circuit c = padded_circuit(128, 64, 128, seed);
+  const CompiledSampler sym = CompiledSampler::compile(c);
+  const FrameSimulator frame(c, seed);
+  for (const std::size_t samples :
+       {1000u, 4000u, 16000u, 64000u, 256000u}) {
+    Timer t;
+    const BitMatrix a = sym.sample(samples, seed + 1);
+    const double sym_time = t.seconds();
+    t.restart();
+    const BitMatrix b = frame.sample(samples, seed + 2);
+    const double frame_time = t.seconds();
+    std::printf("%10zu %16.4f %16.4f %11.2fx\n", samples, sym_time,
+                frame_time, frame_time / sym_time);
+    std::fflush(stdout);
+    if (a.count_ones() + b.count_ones() == 0xDEADBEEF) {
+      std::printf("# impossible\n");
+    }
+  }
+}
+
+void sweep_measurement_count(std::size_t samples, std::uint64_t seed) {
+  std::printf("\n# (C) initialization overhead vs measurement count n_m");
+  std::printf("  [n=128, 32 layers fixed]\n");
+  std::printf("%10s %14s %14s %16s %16s\n", "n_m", "init_sym[s]",
+              "init_frame[s]", "sample_sym[s]", "sample_frame[s]");
+  for (const std::size_t nm : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const Circuit c = padded_circuit(128, 32, nm, seed);
+    Timer t;
+    const CompiledSampler sym = CompiledSampler::compile(c);
+    const double init_sym = t.seconds();
+    t.restart();
+    const FrameSimulator frame(c, seed);
+    const double init_frame = t.seconds();
+    t.restart();
+    const BitMatrix a = sym.sample(samples, seed + 1);
+    const double sample_sym = t.seconds();
+    t.restart();
+    const BitMatrix b = frame.sample(samples, seed + 2);
+    const double sample_frame = t.seconds();
+    std::printf("%10zu %14.4f %14.4f %16.4f %16.4f\n", nm, init_sym,
+                init_frame, sample_sym, sample_frame);
+    std::fflush(stdout);
+    if (a.count_ones() + b.count_ones() == 0xDEADBEEF) {
+      std::printf("# impossible\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace symphase::bench;
+  const GridOptions opt =
+      parse_grid(argc, argv, /*standard=*/{0}, /*paper=*/{0}, /*fast=*/{0});
+  std::printf("# Table 1 scaling study (complexity shape reproduction)\n");
+  sweep_gate_count(opt.samples, opt.seed);
+  sweep_sample_count(opt.seed);
+  sweep_measurement_count(opt.samples, opt.seed);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fault analysis with symbolic phases: reproduces the paper's Fig. 1.
+//
+// A 4-qubit GHZ-prepare / fault / un-prepare circuit is compiled once;
+// the symbolic measurement expressions show *which* fault would flip
+// *which* measurement before a single sample is drawn:
+//
+//   m1 = s1,  m2 = s2,  m3 = s2 ^ s3,  m4 = s3 ^ s4
+//
+// This is the qualitative payoff of phase symbolization: the
+// fault-to-measurement map is explicit, so a decoder (or a human) can
+// read error propagation straight off the compiled circuit.
+
+#include <cstdio>
+
+#include "core/symphase.hpp"
+
+int main() {
+  using namespace symphase;
+
+  constexpr double kFaultProbability = 0.1;
+  const Circuit circuit = figure1_circuit(kFaultProbability);
+  std::printf("Paper Fig. 1 circuit:\n%s\n", circuit.to_text().c_str());
+
+  const CompiledSampler sampler = CompiledSampler::compile(circuit);
+
+  std::printf("fault symbols:\n");
+  std::printf("  s1 = Z fault on qubit 0 (between the Hadamards)\n");
+  std::printf("  s2, s3, s4 = X faults on qubits 1, 2, 3\n\n");
+
+  std::printf("symbolic measurement outcomes (paper Fig. 1 bottom row):\n");
+  for (std::size_t k = 0; k < sampler.num_measurements(); ++k) {
+    std::printf("  m%zu = %s\n", k + 1,
+                expression_to_string(sampler.expressions()[k]).c_str());
+  }
+
+  // Sanity: every expression is deterministic (no fresh coins) because
+  // the mirror circuit uncomputes all superposition before measuring.
+  for (const MeasurementExpression& e : sampler.expressions()) {
+    if (e.was_random) {
+      std::printf("unexpected random outcome!\n");
+      return 1;
+    }
+  }
+
+  // Use the map: a flip on m2 XOR m3 isolates fault s3 etc. Show the
+  // exact marginals and a quick empirical check.
+  std::printf("\nexact flip probabilities at p = %.2f:\n", kFaultProbability);
+  for (std::size_t k = 0; k < sampler.num_measurements(); ++k) {
+    std::printf("  P(m%zu = 1) = %.4f\n", k + 1,
+                sampler.outcome_probability(k));
+  }
+
+  constexpr std::size_t kShots = 200000;
+  const BitMatrix samples = sampler.sample(kShots, 7);
+  std::printf("\nempirical over %zu shots:\n", kShots);
+  for (std::size_t k = 0; k < sampler.num_measurements(); ++k) {
+    std::size_t ones = 0;
+    for (std::size_t w = 0; w < words_for_bits(kShots); ++w) {
+      ones += static_cast<std::size_t>(popcount(samples.row(k)[w]));
+    }
+    std::printf("  P(m%zu = 1) ~ %.4f\n", k + 1,
+                static_cast<double>(ones) / kShots);
+  }
+  return 0;
+}

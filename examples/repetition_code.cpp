@@ -1,0 +1,76 @@
+// QEC gadget evaluation — the workload the paper's introduction
+// motivates: sample a fault-tolerant gadget millions of times and count
+// logical failures.
+//
+// This example sweeps physical error rates for repetition-code memory at
+// several distances, decodes with majority vote, and prints the logical
+// error rate curve. The circuit is compiled ONCE per (distance, p) and
+// sampling is the cheap repeated step, exactly the regime where
+// SymPhase's one-pass Initialization pays off.
+
+#include <cstdio>
+
+#include "core/symphase.hpp"
+
+namespace {
+
+using namespace symphase;
+
+double logical_error_rate(std::size_t distance, std::size_t rounds,
+                          double physical_p, std::size_t shots,
+                          std::uint64_t seed) {
+  RepetitionCodeOptions opt;
+  opt.distance = distance;
+  opt.rounds = rounds;
+  opt.data_error_probability = physical_p;
+  opt.measurement_error_probability = physical_p;
+  const Circuit circuit = repetition_code_memory(opt);
+
+  const CompiledSampler sampler = CompiledSampler::compile(circuit);
+  const BitMatrix samples = sampler.sample(shots, seed);
+
+  // Majority-vote decode of the final transversal data measurement (the
+  // last `distance` rows). The logical qubit started at |0>, so any
+  // majority-1 readout is a logical error.
+  const std::size_t first_data = sampler.num_measurements() - distance;
+  std::size_t failures = 0;
+  for (std::size_t shot = 0; shot < shots; ++shot) {
+    std::size_t ones = 0;
+    for (std::size_t k = 0; k < distance; ++k) {
+      ones += samples.get(first_data + k, shot);
+    }
+    failures += 2 * ones > distance;
+  }
+  return static_cast<double>(failures) / static_cast<double>(shots);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kShots = 200000;
+  constexpr std::size_t kRounds = 3;
+
+  std::printf("repetition-code memory, %zu rounds, majority-vote decoder, "
+              "%zu shots per point\n\n",
+              kRounds, kShots);
+  std::printf("%10s", "p \\ d");
+  for (const std::size_t d : {3u, 5u, 7u, 9u}) {
+    std::printf("      d=%zu    ", d);
+  }
+  std::printf("\n");
+
+  for (const double p : {0.01, 0.02, 0.05, 0.10, 0.20}) {
+    std::printf("%10.2f", p);
+    for (const std::size_t d : {3u, 5u, 7u, 9u}) {
+      const double rate = logical_error_rate(
+          d, kRounds, p, kShots, 1000 + static_cast<std::uint64_t>(d));
+      std::printf("  %10.6f ", rate);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nBelow threshold the columns shrink left-to-right (larger distance\n"
+      "suppresses logical errors); near p = 0.5 they merge, as expected.\n");
+  return 0;
+}

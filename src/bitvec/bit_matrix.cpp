@@ -1,0 +1,124 @@
+#include "bitvec/bit_matrix.hpp"
+
+#include <sstream>
+
+#include "bitvec/transpose.hpp"
+
+namespace symphase {
+
+BitMatrix BitMatrix::random(std::size_t rows, std::size_t cols, Rng& rng) {
+  BitMatrix m(rows, cols);
+  const std::size_t full_words = words_for_bits(cols);
+  const Word tail = tail_mask(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    Word* d = m.row(r);
+    for (std::size_t i = 0; i < full_words; ++i) {
+      d[i] = rng.next_word();
+    }
+    if (full_words > 0) {
+      d[full_words - 1] &= tail;
+    }
+  }
+  return m;
+}
+
+BitMatrix BitMatrix::transposed() const {
+  BitMatrix out(cols_, rows_);
+  // Tile-wise: gather a 64×64 bit tile, transpose in registers, scatter.
+  const std::size_t row_tiles = ceil_div(rows_, 64);
+  const std::size_t col_tiles = ceil_div(cols_, 64);
+  Word tile[64];
+  for (std::size_t br = 0; br < row_tiles; ++br) {
+    const std::size_t r_count = std::min<std::size_t>(64, rows_ - br * 64);
+    for (std::size_t bc = 0; bc < col_tiles; ++bc) {
+      for (std::size_t r = 0; r < 64; ++r) {
+        tile[r] = r < r_count ? row(br * 64 + r)[bc] : 0;
+      }
+      transpose_64x64(tile);
+      const std::size_t c_count = std::min<std::size_t>(64, cols_ - bc * 64);
+      for (std::size_t c = 0; c < c_count; ++c) {
+        out.row(bc * 64 + c)[br] = tile[c];
+      }
+    }
+  }
+  return out;
+}
+
+BitMatrix BitMatrix::multiply(const BitMatrix& rhs) const {
+  SYMPHASE_CHECK_MSG(cols_ == rhs.rows_,
+                     "bit-matrix shapes " << rows_ << "x" << cols_ << " and "
+                                          << rhs.rows_ << "x" << rhs.cols_
+                                          << " do not compose");
+  BitMatrix out(rows_, rhs.cols_);
+  // Row-by-row accumulation: out.row(r) = XOR of rhs rows selected by the
+  // set bits of this->row(r). Word-at-a-time over the selector keeps the
+  // inner loop branch-light.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const Word* sel = row(r);
+    Word* dst = out.row(r);
+    for (std::size_t wi = 0; wi < words_for_bits(cols_); ++wi) {
+      Word bits = sel[wi];
+      while (bits != 0) {
+        const auto k = static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const Word* src = rhs.row(wi * kWordBits + k);
+        for (std::size_t i = 0; i < out.words_per_row_; ++i) {
+          dst[i] ^= src[i];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void transpose_region(const BitMatrix& src, std::size_t row_limit,
+                      std::size_t col_limit, BitMatrix& dst) {
+  SYMPHASE_CHECK(row_limit <= src.rows() && col_limit <= src.cols());
+  SYMPHASE_CHECK(col_limit <= dst.rows() && row_limit <= dst.cols());
+  const std::size_t row_tiles = ceil_div(row_limit, 64);
+  const std::size_t col_tiles = ceil_div(col_limit, 64);
+  Word tile[64];
+  for (std::size_t br = 0; br < row_tiles; ++br) {
+    const std::size_t r_count = std::min<std::size_t>(64, row_limit - br * 64);
+    for (std::size_t bc = 0; bc < col_tiles; ++bc) {
+      for (std::size_t r = 0; r < 64; ++r) {
+        tile[r] = r < r_count ? src.row(br * 64 + r)[bc] : 0;
+      }
+      transpose_64x64(tile);
+      const std::size_t c_count =
+          std::min<std::size_t>(64, col_limit - bc * 64);
+      for (std::size_t c = 0; c < c_count; ++c) {
+        dst.row(bc * 64 + c)[br] = tile[c];
+      }
+    }
+  }
+}
+
+bool BitMatrix::operator==(const BitMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return false;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const Word* a = row(r);
+    const Word* b = other.row(r);
+    for (std::size_t i = 0; i < words_for_bits(cols_); ++i) {
+      if (a[i] != b[i]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string BitMatrix::to_string() const {
+  std::ostringstream oss;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      oss << (get(r, c) ? '1' : '0');
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace symphase

@@ -1,0 +1,168 @@
+#pragma once
+
+/// \file bit_matrix.hpp
+/// Row-major packed bit-matrix over F2.
+///
+/// Used for the measurement-expression matrix M, the symbol-sample matrix
+/// B, and the sample output matrix of Algorithm 1 (Eq. 4). Rows are padded
+/// to whole 64-bit words and 64-byte alignment so row XOR runs at SIMD
+/// width.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/aligned.hpp"
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace symphase {
+
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+
+  /// All-zero matrix of shape rows × cols.
+  BitMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows),
+        cols_(cols),
+        // Pad the row stride to a multiple of 8 words (one cache line) so
+        // each row starts 64-byte aligned.
+        words_per_row_(round_up_pow2(words_for_bits(cols), 8)),
+        data_(rows * words_per_row_, 0) {}
+
+  static BitMatrix identity(std::size_t n) {
+    BitMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      m.set(i, i, true);
+    }
+    return m;
+  }
+
+  /// Matrix of independent fair coin flips (tail bits kept zero).
+  static BitMatrix random(std::size_t rows, std::size_t cols, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t words_per_row() const { return words_per_row_; }
+
+  Word* row(std::size_t r) {
+    SYMPHASE_ASSERT(r < rows_);
+    return data_.data() + r * words_per_row_;
+  }
+  const Word* row(std::size_t r) const {
+    SYMPHASE_ASSERT(r < rows_);
+    return data_.data() + r * words_per_row_;
+  }
+
+  std::span<Word> row_span(std::size_t r) {
+    return {row(r), words_per_row_};
+  }
+  std::span<const Word> row_span(std::size_t r) const {
+    return {row(r), words_per_row_};
+  }
+
+  bool get(std::size_t r, std::size_t c) const {
+    SYMPHASE_ASSERT(c < cols_);
+    return get_bit(row(r), c);
+  }
+  void set(std::size_t r, std::size_t c, bool v) {
+    SYMPHASE_ASSERT(c < cols_);
+    set_bit(row(r), c, v);
+  }
+  void flip(std::size_t r, std::size_t c) {
+    SYMPHASE_ASSERT(c < cols_);
+    flip_bit(row(r), c);
+  }
+
+  /// row(dst) ^= row(src).
+  void xor_row_into(std::size_t src, std::size_t dst) {
+    const Word* s = row(src);
+    Word* d = row(dst);
+    for (std::size_t i = 0; i < words_per_row_; ++i) {
+      d[i] ^= s[i];
+    }
+  }
+
+  /// row(dst) ^= external word span (must cover words_per_row words).
+  void xor_words_into_row(std::span<const Word> src, std::size_t dst) {
+    SYMPHASE_ASSERT(src.size() >= words_per_row_);
+    Word* d = row(dst);
+    for (std::size_t i = 0; i < words_per_row_; ++i) {
+      d[i] ^= src[i];
+    }
+  }
+
+  void swap_rows(std::size_t a, std::size_t b) {
+    if (a == b) {
+      return;
+    }
+    Word* ra = row(a);
+    Word* rb = row(b);
+    for (std::size_t i = 0; i < words_per_row_; ++i) {
+      std::swap(ra[i], rb[i]);
+    }
+  }
+
+  void clear_row(std::size_t r) {
+    Word* d = row(r);
+    for (std::size_t i = 0; i < words_per_row_; ++i) {
+      d[i] = 0;
+    }
+  }
+
+  void clear_all() {
+    for (auto& w : data_) {
+      w = 0;
+    }
+  }
+
+  bool row_is_zero(std::size_t r) const {
+    const Word* d = row(r);
+    for (std::size_t i = 0; i < words_per_row_; ++i) {
+      if (d[i] != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::size_t count_ones() const {
+    std::size_t total = 0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const Word* d = row(r);
+      for (std::size_t i = 0; i < words_per_row_; ++i) {
+        total += static_cast<std::size_t>(popcount(d[i]));
+      }
+    }
+    return total;
+  }
+
+  /// Exact transpose into a fresh (cols × rows) matrix.
+  BitMatrix transposed() const;
+
+  /// F2 product: (*this) · rhs, shapes (r×k)·(k×c) → r×c.
+  BitMatrix multiply(const BitMatrix& rhs) const;
+
+  bool operator==(const BitMatrix& other) const;
+
+  /// Multi-line "0101…" dump for debugging/tests.
+  std::string to_string() const;
+
+  /// Writes the transpose of the [0,row_limit)x[0,col_limit) region of
+  /// src into the same region (transposed) of dst. dst must be at least
+  /// col_limit x row_limit; untouched dst bits keep their values. Used by
+  /// the Stim-style tableau layout to transpose only the live prefix.
+  friend void transpose_region(const BitMatrix& src, std::size_t row_limit,
+                               std::size_t col_limit, BitMatrix& dst);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  AlignedWordVec data_;
+};
+
+}  // namespace symphase

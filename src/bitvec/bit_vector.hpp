@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file bit_vector.hpp
+/// Dynamically sized packed bit vector over F2.
+///
+/// This is the scalar workhorse behind symbolic phases and measurement
+/// expressions: a phase is a BitVector over (1 + n_s) symbol columns, and
+/// the dominant operation is whole-vector XOR (row multiplication in the
+/// tableau, expression accumulation in measurements).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/aligned.hpp"
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace symphase {
+
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// All-zero vector of `bits` bits.
+  explicit BitVector(std::size_t bits)
+      : bits_(bits), words_(words_for_bits(bits), 0) {}
+
+  std::size_t size() const { return bits_; }
+  std::size_t word_count() const { return words_.size(); }
+  bool empty() const { return bits_ == 0; }
+
+  Word* words() { return words_.data(); }
+  const Word* words() const { return words_.data(); }
+
+  bool get(std::size_t bit) const {
+    SYMPHASE_ASSERT(bit < bits_);
+    return get_bit(words_.data(), bit);
+  }
+
+  void set(std::size_t bit, bool value) {
+    SYMPHASE_ASSERT(bit < bits_);
+    set_bit(words_.data(), bit, value);
+  }
+
+  void flip(std::size_t bit) {
+    SYMPHASE_ASSERT(bit < bits_);
+    flip_bit(words_.data(), bit);
+  }
+
+  bool operator[](std::size_t bit) const { return get(bit); }
+
+  void clear_all() {
+    for (auto& w : words_) {
+      w = 0;
+    }
+  }
+
+  /// Grows (or shrinks) to `bits`; preserved bits keep their values, new
+  /// bits are zero.
+  void resize(std::size_t bits) {
+    words_.resize(words_for_bits(bits), 0);
+    bits_ = bits;
+    trim_tail();
+  }
+
+  /// this ^= other. Sizes must match.
+  BitVector& operator^=(const BitVector& other) {
+    SYMPHASE_ASSERT(bits_ == other.bits_);
+    const Word* src = other.words_.data();
+    Word* dst = words_.data();
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      dst[i] ^= src[i];
+    }
+    return *this;
+  }
+
+  BitVector& operator&=(const BitVector& other) {
+    SYMPHASE_ASSERT(bits_ == other.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= other.words_[i];
+    }
+    return *this;
+  }
+
+  BitVector& operator|=(const BitVector& other) {
+    SYMPHASE_ASSERT(bits_ == other.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+    return *this;
+  }
+
+  friend BitVector operator^(BitVector lhs, const BitVector& rhs) {
+    lhs ^= rhs;
+    return lhs;
+  }
+
+  bool operator==(const BitVector& other) const {
+    return bits_ == other.bits_ && words_ == other.words_;
+  }
+
+  /// Number of set bits.
+  std::size_t count_ones() const {
+    std::size_t total = 0;
+    for (Word w : words_) {
+      total += static_cast<std::size_t>(popcount(w));
+    }
+    return total;
+  }
+
+  bool any() const {
+    for (Word w : words_) {
+      if (w != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Parity of the AND with another vector: <this, other> over F2.
+  bool dot(const BitVector& other) const {
+    SYMPHASE_ASSERT(bits_ == other.bits_);
+    Word acc = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      acc ^= words_[i] & other.words_[i];
+    }
+    return parity(acc);
+  }
+
+  /// Index of the lowest set bit, or size() if none.
+  std::size_t first_set() const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] != 0) {
+        return i * kWordBits +
+               static_cast<std::size_t>(std::countr_zero(words_[i]));
+      }
+    }
+    return bits_;
+  }
+
+  /// "0110..." string, LSB (bit 0) first. Debug/test aid.
+  std::string to_string() const {
+    std::string s;
+    s.reserve(bits_);
+    for (std::size_t i = 0; i < bits_; ++i) {
+      s.push_back(get(i) ? '1' : '0');
+    }
+    return s;
+  }
+
+ private:
+  /// Zeroes bits beyond size() in the last word so equality and popcount
+  /// stay canonical after resize.
+  void trim_tail() {
+    if (!words_.empty()) {
+      words_.back() &= tail_mask(bits_);
+    }
+  }
+
+  std::size_t bits_ = 0;
+  AlignedWordVec words_;
+};
+
+}  // namespace symphase

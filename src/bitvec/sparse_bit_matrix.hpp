@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file sparse_bit_matrix.hpp
+/// Row-sparse bit-matrix over F2.
+///
+/// The measurement-expression matrix of Algorithm 1 is column-sparse for
+/// realistic circuits: each measurement outcome depends on few symbols.
+/// The paper's Sampling step exploits this ("the sparse implementation of
+/// matrix multiplication", §5), reducing per-shot cost from
+/// O(n_m·(n_m+n_p)) to O(n_m). We store each row as a sorted list of set
+/// column indices.
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvec/bit_matrix.hpp"
+#include "common/check.hpp"
+
+namespace symphase {
+
+class SparseBitMatrix {
+ public:
+  SparseBitMatrix() = default;
+
+  SparseBitMatrix(std::size_t rows, std::size_t cols)
+      : cols_(cols), rows_(rows) {}
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return cols_; }
+
+  /// Sorted set-column indices of row r.
+  const std::vector<std::uint32_t>& row(std::size_t r) const {
+    SYMPHASE_ASSERT(r < rows_.size());
+    return rows_[r];
+  }
+
+  /// Replaces row r. `indices` must be sorted and duplicate-free; callers
+  /// produce them that way, and debug builds verify it.
+  void set_row(std::size_t r, std::vector<std::uint32_t> indices) {
+    SYMPHASE_ASSERT(r < rows_.size());
+#ifndef NDEBUG
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      SYMPHASE_ASSERT(indices[i] < cols_);
+      SYMPHASE_ASSERT(i == 0 || indices[i - 1] < indices[i]);
+    }
+#endif
+    rows_[r] = std::move(indices);
+  }
+
+  void append_row(std::vector<std::uint32_t> indices) {
+    rows_.emplace_back();
+    set_row(rows_.size() - 1, std::move(indices));
+  }
+
+  /// Total number of stored non-zeros.
+  std::size_t nnz() const {
+    std::size_t total = 0;
+    for (const auto& r : rows_) {
+      total += r.size();
+    }
+    return total;
+  }
+
+  static SparseBitMatrix from_dense(const BitMatrix& dense);
+  BitMatrix to_dense() const;
+
+  /// F2 product (*this) · rhs. Cost O(nnz · rhs.cols/64): for each row,
+  /// XOR together the rhs rows named by its indices.
+  BitMatrix multiply(const BitMatrix& rhs) const;
+
+  /// Like multiply(), but XORs into a caller-owned output (shape
+  /// rows() × rhs.cols()) without allocating.
+  void multiply_into(const BitMatrix& rhs, BitMatrix& out) const;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<std::vector<std::uint32_t>> rows_;
+};
+
+}  // namespace symphase

@@ -1,0 +1,186 @@
+#include "bitvec/transpose.hpp"
+
+#include <utility>
+
+#if defined(__AVX512F__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "common/check.hpp"
+
+namespace symphase {
+
+namespace {
+
+/// One level of the recursive bitwise block swap: exchanges the
+/// `shift`-offset sub-blocks selected by `mask` between rows k and
+/// k+shift for every applicable k.
+template <int Shift>
+inline void swap_level(std::uint64_t* row_a, std::uint64_t* row_b,
+                       std::uint64_t mask) {
+  // LSB-first convention (bit j = column j): the high-column sub-block of
+  // row_a exchanges with the low-column sub-block of row_b.
+  const std::uint64_t t = ((*row_a >> Shift) ^ *row_b) & mask;
+  *row_a ^= t << Shift;
+  *row_b ^= t;
+}
+
+template <int Shift>
+inline void transpose_pass(std::uint64_t* rows, std::size_t stride,
+                           std::uint64_t mask) {
+  for (int group = 0; group < 64; group += 2 * Shift) {
+    for (int k = group; k < group + Shift; ++k) {
+      swap_level<Shift>(&rows[static_cast<std::size_t>(k) * stride],
+                        &rows[static_cast<std::size_t>(k + Shift) * stride],
+                        mask);
+    }
+  }
+}
+
+}  // namespace
+
+void transpose_64x64_strided(std::uint64_t* base, std::size_t stride) {
+  transpose_pass<32>(base, stride, 0x00000000FFFFFFFFull);
+  transpose_pass<16>(base, stride, 0x0000FFFF0000FFFFull);
+  transpose_pass<8>(base, stride, 0x00FF00FF00FF00FFull);
+  transpose_pass<4>(base, stride, 0x0F0F0F0F0F0F0F0Full);
+  transpose_pass<2>(base, stride, 0x3333333333333333ull);
+  transpose_pass<1>(base, stride, 0x5555555555555555ull);
+}
+
+void transpose_64x64(std::uint64_t block[64]) {
+  transpose_64x64_strided(block, 1);
+}
+
+void transpose_bit_matrix(const std::uint64_t* in, std::size_t wr,
+                          std::size_t wc, std::uint64_t* out) {
+  SYMPHASE_ASSERT(in != out);
+  std::uint64_t tile[64];
+  for (std::size_t br = 0; br < wr; ++br) {
+    for (std::size_t bc = 0; bc < wc; ++bc) {
+      for (std::size_t r = 0; r < 64; ++r) {
+        tile[r] = in[(br * 64 + r) * wc + bc];
+      }
+      transpose_64x64(tile);
+      for (std::size_t r = 0; r < 64; ++r) {
+        out[(bc * 64 + r) * wr + br] = tile[r];
+      }
+    }
+  }
+}
+
+namespace {
+
+/// One butterfly level of the 64×64 transpose applied to a 64-line ×
+/// 8-word block, all 8 words of each line pair at once. AVX-512 handles
+/// a full line per register, AVX2 two halves, and the scalar fallback
+/// relies on unrolling. Unaligned loads cost nothing when the data is in
+/// fact aligned (tiles live in 64-byte-aligned storage).
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC 12's _mm512_loadu_si512 expansion trips -Wuninitialized on a
+// compiler-internal temporary; the loads below are fully initialized.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+template <int Shift>
+inline void transpose_pass_lines(std::uint64_t* block, std::uint64_t mask) {
+#if defined(__AVX512F__)
+  const __m512i vmask = _mm512_set1_epi64(static_cast<long long>(mask));
+  for (int group = 0; group < 64; group += 2 * Shift) {
+    for (int k = group; k < group + Shift; ++k) {
+      auto* a = reinterpret_cast<__m512i*>(block +
+                                           static_cast<std::size_t>(k) * 8);
+      auto* b = reinterpret_cast<__m512i*>(
+          block + static_cast<std::size_t>(k + Shift) * 8);
+      const __m512i va = _mm512_loadu_si512(a);
+      const __m512i vb = _mm512_loadu_si512(b);
+      const __m512i vt = _mm512_and_si512(
+          _mm512_xor_si512(_mm512_srli_epi64(va, Shift), vb), vmask);
+      _mm512_storeu_si512(a,
+                         _mm512_xor_si512(va, _mm512_slli_epi64(vt, Shift)));
+      _mm512_storeu_si512(b, _mm512_xor_si512(vb, vt));
+    }
+  }
+#elif defined(__AVX2__)
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  for (int group = 0; group < 64; group += 2 * Shift) {
+    for (int k = group; k < group + Shift; ++k) {
+      auto* a = reinterpret_cast<__m256i*>(block +
+                                           static_cast<std::size_t>(k) * 8);
+      auto* b = reinterpret_cast<__m256i*>(
+          block + static_cast<std::size_t>(k + Shift) * 8);
+      for (int half = 0; half < 2; ++half) {
+        const __m256i va = _mm256_loadu_si256(a + half);
+        const __m256i vb = _mm256_loadu_si256(b + half);
+        const __m256i vt = _mm256_and_si256(
+            _mm256_xor_si256(_mm256_srli_epi64(va, Shift), vb), vmask);
+        _mm256_storeu_si256(a + half, _mm256_xor_si256(
+                                         va, _mm256_slli_epi64(vt, Shift)));
+        _mm256_storeu_si256(b + half, _mm256_xor_si256(vb, vt));
+      }
+    }
+  }
+#else
+  for (int group = 0; group < 64; group += 2 * Shift) {
+    for (int k = group; k < group + Shift; ++k) {
+      std::uint64_t* __restrict__ a = block + static_cast<std::size_t>(k) * 8;
+      std::uint64_t* __restrict__ b =
+          block + static_cast<std::size_t>(k + Shift) * 8;
+      for (int j = 0; j < 8; ++j) {
+        const std::uint64_t t = ((a[j] >> Shift) ^ b[j]) & mask;
+        a[j] ^= t << Shift;
+        b[j] ^= t;
+      }
+    }
+  }
+#endif
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace
+
+void transpose_tile512_inplace(std::uint64_t* tile) {
+  // Step 1: transpose every 64×64 sub-block in place. Sub-block (i, j)
+  // occupies word j of lines 64i..64i+63; handling all j together keeps
+  // every access a full 64-byte line.
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::uint64_t* block = tile + i * 64 * 8;
+    transpose_pass_lines<32>(block, 0x00000000FFFFFFFFull);
+    transpose_pass_lines<16>(block, 0x0000FFFF0000FFFFull);
+    transpose_pass_lines<8>(block, 0x00FF00FF00FF00FFull);
+    transpose_pass_lines<4>(block, 0x0F0F0F0F0F0F0F0Full);
+    transpose_pass_lines<2>(block, 0x3333333333333333ull);
+    transpose_pass_lines<1>(block, 0x5555555555555555ull);
+  }
+  // Step 2: exchange sub-block (i, j) with (j, i).
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      for (std::size_t r = 0; r < 64; ++r) {
+        std::swap(tile[(64 * i + r) * 8 + j], tile[(64 * j + r) * 8 + i]);
+      }
+    }
+  }
+}
+
+void transpose_bit_matrix_inplace(std::uint64_t* data, std::size_t w) {
+  // Diagonal tiles transpose in place; off-diagonal tile pairs transpose
+  // and swap.
+  for (std::size_t bd = 0; bd < w; ++bd) {
+    transpose_64x64_strided(&data[bd * 64 * w + bd], w);
+  }
+  for (std::size_t br = 0; br < w; ++br) {
+    for (std::size_t bc = br + 1; bc < w; ++bc) {
+      std::uint64_t* upper = &data[br * 64 * w + bc];
+      std::uint64_t* lower = &data[bc * 64 * w + br];
+      transpose_64x64_strided(upper, w);
+      transpose_64x64_strided(lower, w);
+      for (std::size_t r = 0; r < 64; ++r) {
+        std::swap(upper[r * w], lower[r * w]);
+      }
+    }
+  }
+}
+
+}  // namespace symphase

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file transpose.hpp
+/// Bit-matrix transpose kernels.
+///
+/// The data-layout study in the paper (§4) hinges on transposition cost:
+/// Stim transposes the whole tableau between gate phases (column ops) and
+/// measurement phases (row ops); SymPhase only transposes 512×512-bit
+/// tiles locally. Both reduce to the same inner kernel: an in-register
+/// 64×64 bit transpose.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace symphase {
+
+/// In-place transpose of a 64×64 bit block stored as 64 words
+/// (word i = row i, bit j = column j). Hacker's Delight 7-3 style
+/// recursive block swap; O(64 log 64) word operations.
+void transpose_64x64(std::uint64_t block[64]);
+
+/// Transposes a 64×64 bit block held as 64 strided rows: row i is at
+/// rows[i * stride]. Used to transpose tiles inside larger matrices
+/// without copying them out.
+void transpose_64x64_strided(std::uint64_t* base, std::size_t stride);
+
+/// Transposes a bit-matrix of shape (64*wr) × (64*wc) packed row-major
+/// with `wc` words per row, into `out` (shape (64*wc) × (64*wr), `wr`
+/// words per row). in != out.
+void transpose_bit_matrix(const std::uint64_t* in, std::size_t wr,
+                          std::size_t wc, std::uint64_t* out);
+
+/// In-place transpose of a square bit-matrix of shape (64*w) × (64*w)
+/// packed row-major with `w` words per row.
+void transpose_bit_matrix_inplace(std::uint64_t* data, std::size_t w);
+
+/// In-place transpose of one 512×512-bit tile (512 rows of 8 words,
+/// row-major). Semantically identical to
+/// transpose_bit_matrix_inplace(tile, 8) but organized so the inner loops
+/// stream whole 8-word (cache-line / AVX-512 register) lines: the
+/// per-tile hot path of the blocked tableau layout.
+void transpose_tile512_inplace(std::uint64_t* tile);
+
+}  // namespace symphase

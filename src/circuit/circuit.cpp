@@ -1,0 +1,227 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace symphase {
+
+void Circuit::append(GateType type, std::span<const std::uint32_t> targets,
+                     double probability) {
+  const GateInfo& info = gate_info(type);
+
+  if (info.kind == GateKind::kAnnotation) {
+    SYMPHASE_CHECK_MSG(targets.empty(),
+                       gate_name(type) << " takes no targets");
+    instructions_.push_back({type, 0.0, {}});
+    return;
+  }
+
+  SYMPHASE_CHECK_MSG(!targets.empty(),
+                     gate_name(type) << " needs at least one target");
+  if (type == GateType::OBSERVABLE_INCLUDE) {
+    SYMPHASE_CHECK_MSG(probability >= 0.0 &&
+                           probability == std::floor(probability) &&
+                           probability < 1e6,
+                       "OBSERVABLE_INCLUDE index must be a small "
+                       "non-negative integer, got "
+                           << probability);
+  } else if (info.takes_probability) {
+    SYMPHASE_CHECK_MSG(probability >= 0.0 && probability <= 1.0,
+                       gate_name(type) << " probability " << probability
+                                       << " outside [0, 1]");
+  } else {
+    SYMPHASE_CHECK_MSG(probability == 0.0,
+                       gate_name(type) << " does not take a probability");
+  }
+  if (info.kind == GateKind::kDetector) {
+    for (const std::uint32_t t : targets) {
+      SYMPHASE_CHECK_MSG(is_rec_target(t) && rec_lookback(t) >= 1,
+                         gate_name(type)
+                             << " takes only rec[-k] targets with k >= 1");
+    }
+    instructions_.push_back(
+        {type, info.takes_probability ? probability : 0.0,
+         std::vector<std::uint32_t>(targets.begin(), targets.end())});
+    return;
+  }
+  if (info.kind == GateKind::kControlled) {
+    SYMPHASE_CHECK_MSG(targets.size() % 2 == 0,
+                       gate_name(type)
+                           << " needs (record, qubit) target pairs");
+    for (std::size_t i = 0; i < targets.size(); i += 2) {
+      SYMPHASE_CHECK_MSG(is_rec_target(targets[i]),
+                         gate_name(type) << " control must be a rec[-k] "
+                                            "measurement-record target");
+      SYMPHASE_CHECK_MSG(rec_lookback(targets[i]) >= 1,
+                         gate_name(type) << " record lookback must be >= 1");
+      SYMPHASE_CHECK_MSG(!is_rec_target(targets[i + 1]),
+                         gate_name(type) << " target must be a qubit");
+    }
+  } else {
+    for (const std::uint32_t t : targets) {
+      SYMPHASE_CHECK_MSG(!is_rec_target(t),
+                         gate_name(type)
+                             << " does not accept measurement-record targets");
+    }
+    if (gate_arity(type) == 2) {
+      SYMPHASE_CHECK_MSG(targets.size() % 2 == 0,
+                         gate_name(type)
+                             << " needs an even number of targets");
+      for (std::size_t i = 0; i < targets.size(); i += 2) {
+        SYMPHASE_CHECK_MSG(targets[i] != targets[i + 1],
+                           gate_name(type)
+                               << " target pair (" << targets[i] << ", "
+                               << targets[i + 1] << ") must be distinct");
+      }
+    }
+  }
+  std::uint32_t max_target = 0;
+  for (const std::uint32_t t : targets) {
+    if (!is_rec_target(t)) {
+      max_target = std::max(max_target, t);
+    }
+  }
+  ensure_num_qubits(static_cast<std::size_t>(max_target) + 1);
+
+  instructions_.push_back(
+      {type, info.takes_probability ? probability : 0.0,
+       std::vector<std::uint32_t>(targets.begin(), targets.end())});
+}
+
+void Circuit::append_repeated(const Circuit& body, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    append_circuit(body);
+  }
+}
+
+void Circuit::append_circuit(const Circuit& other) {
+  ensure_num_qubits(other.num_qubits_);
+  instructions_.insert(instructions_.end(), other.instructions_.begin(),
+                       other.instructions_.end());
+}
+
+CircuitStats Circuit::stats() const {
+  CircuitStats s;
+  s.num_qubits = num_qubits_;
+  s.num_instructions = instructions_.size();
+  for (const Instruction& inst : instructions_) {
+    const GateInfo& info = gate_info(inst.type);
+    const std::size_t units = inst.targets.size() / gate_arity(inst.type);
+    switch (info.kind) {
+      case GateKind::kUnitary1:
+      case GateKind::kUnitary2:
+        s.num_gates += units;
+        break;
+      case GateKind::kMeasure:
+        s.num_measurements += units;
+        if (inst.type == GateType::MR) {
+          s.num_resets += units;
+        }
+        break;
+      case GateKind::kReset:
+        s.num_resets += units;
+        break;
+      case GateKind::kNoise1:
+        // DEPOLARIZE1 decomposes into X^s Z^s' — still one fault site in
+        // the paper's n_p accounting (single-qubit Pauli fault).
+        s.num_noise_sites += units;
+        break;
+      case GateKind::kNoise2:
+        s.num_noise_sites += 2 * units;  // two single-qubit components
+        break;
+      case GateKind::kControlled:
+        s.num_gates += units;
+        break;
+      case GateKind::kDetector:
+      case GateKind::kAnnotation:
+        break;
+    }
+  }
+  return s;
+}
+
+std::size_t Circuit::num_measurements() const {
+  std::size_t n = 0;
+  for (const Instruction& inst : instructions_) {
+    if (gate_info(inst.type).kind == GateKind::kMeasure) {
+      n += inst.targets.size();
+    }
+  }
+  return n;
+}
+
+std::size_t Circuit::num_detectors() const {
+  std::size_t n = 0;
+  for (const Instruction& inst : instructions_) {
+    n += inst.type == GateType::DETECTOR;
+  }
+  return n;
+}
+
+std::size_t Circuit::num_observables() const {
+  std::size_t max_plus_one = 0;
+  for (const Instruction& inst : instructions_) {
+    if (inst.type == GateType::OBSERVABLE_INCLUDE) {
+      max_plus_one = std::max(
+          max_plus_one, static_cast<std::size_t>(inst.probability) + 1);
+    }
+  }
+  return max_plus_one;
+}
+
+DetectorLayout resolve_detectors(const Circuit& circuit) {
+  DetectorLayout layout;
+  layout.observables.resize(circuit.num_observables());
+  std::size_t measurements = 0;
+  for (const Instruction& inst : circuit.instructions()) {
+    if (gate_info(inst.type).kind == GateKind::kMeasure) {
+      measurements += inst.targets.size();
+      continue;
+    }
+    if (gate_info(inst.type).kind != GateKind::kDetector) {
+      continue;
+    }
+    std::vector<std::size_t> indices;
+    indices.reserve(inst.targets.size());
+    for (const std::uint32_t t : inst.targets) {
+      const std::uint32_t lookback = rec_lookback(t);
+      SYMPHASE_CHECK_MSG(lookback <= measurements,
+                         gate_name(inst.type)
+                             << " lookback " << lookback
+                             << " exceeds the measurement record");
+      indices.push_back(measurements - lookback);
+    }
+    std::sort(indices.begin(), indices.end());
+    if (inst.type == GateType::DETECTOR) {
+      layout.detectors.push_back(std::move(indices));
+    } else {
+      auto& obs =
+          layout.observables[static_cast<std::size_t>(inst.probability)];
+      obs.insert(obs.end(), indices.begin(), indices.end());
+      std::sort(obs.begin(), obs.end());
+    }
+  }
+  return layout;
+}
+
+std::string Circuit::to_text() const {
+  std::ostringstream oss;
+  for (const Instruction& inst : instructions_) {
+    oss << gate_name(inst.type);
+    if (gate_info(inst.type).takes_probability) {
+      oss << '(' << inst.probability << ')';
+    }
+    for (const std::uint32_t t : inst.targets) {
+      if (is_rec_target(t)) {
+        oss << " rec[-" << rec_lookback(t) << "]";
+      } else {
+        oss << ' ' << t;
+      }
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace symphase

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file circuit.hpp
+/// Flat instruction-stream representation of a stabilizer circuit.
+///
+/// Circuits are built through checked append calls (or parsed from the
+/// Stim-style text format, see parser.hpp) and then consumed linearly by
+/// the simulators. REPEAT blocks are expanded at construction time; the
+/// simulators see a flat stream, which keeps every pass a single loop.
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "common/check.hpp"
+
+namespace symphase {
+
+/// One instruction: a gate applied to a flat target list. For two-qubit
+/// gates/noise the targets are consumed in consecutive pairs.
+struct Instruction {
+  GateType type = GateType::TICK;
+  double probability = 0.0;  // meaningful only for noise channels
+  std::vector<std::uint32_t> targets;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// Aggregate size statistics; these are the n, n_g, n_m, n_p of the
+/// paper's Table 1.
+struct CircuitStats {
+  std::size_t num_qubits = 0;
+  std::size_t num_gates = 0;          // n_g: 1q + 2q Clifford applications
+  std::size_t num_measurements = 0;   // n_m
+  std::size_t num_noise_sites = 0;    // n_p: single-qubit Pauli fault sites
+  std::size_t num_resets = 0;
+  std::size_t num_instructions = 0;
+};
+
+class Circuit {
+ public:
+  Circuit() = default;
+
+  /// Creates an empty circuit that admits qubits [0, num_qubits).
+  explicit Circuit(std::size_t num_qubits) : num_qubits_(num_qubits) {}
+
+  std::size_t num_qubits() const { return num_qubits_; }
+
+  const std::vector<Instruction>& instructions() const {
+    return instructions_;
+  }
+
+  /// Appends `type` on explicit targets. Validates target count parity
+  /// for pairwise gates, in-range indices, distinct qubits within a pair,
+  /// and the presence/absence of the probability argument.
+  void append(GateType type, std::span<const std::uint32_t> targets,
+              double probability = 0.0);
+
+  void append(GateType type, std::initializer_list<std::uint32_t> targets,
+              double probability = 0.0) {
+    append(type, std::span<const std::uint32_t>(targets.begin(), targets.size()),
+           probability);
+  }
+
+  /// Convenience single- and two-qubit appends.
+  void append1(GateType type, std::uint32_t q, double probability = 0.0) {
+    const std::uint32_t t[1] = {q};
+    append(type, t, probability);
+  }
+  void append2(GateType type, std::uint32_t a, std::uint32_t b,
+               double probability = 0.0) {
+    const std::uint32_t t[2] = {a, b};
+    append(type, t, probability);
+  }
+
+  /// Appends `body` `count` times (REPEAT expansion).
+  void append_repeated(const Circuit& body, std::size_t count);
+
+  /// Appends all instructions of `other` (qubit count widened if needed).
+  void append_circuit(const Circuit& other);
+
+  /// Grows the qubit count (never shrinks below current usage).
+  void ensure_num_qubits(std::size_t n) {
+    if (n > num_qubits_) {
+      num_qubits_ = n;
+    }
+  }
+
+  CircuitStats stats() const;
+
+  /// Total number of measurement record entries the circuit produces.
+  std::size_t num_measurements() const;
+
+  /// Number of DETECTOR annotations.
+  std::size_t num_detectors() const;
+  /// One past the largest OBSERVABLE_INCLUDE index (0 when none).
+  std::size_t num_observables() const;
+
+  /// Renders the circuit in the text format parse_circuit accepts.
+  std::string to_text() const;
+
+  bool operator==(const Circuit&) const = default;
+
+ private:
+  std::size_t num_qubits_ = 0;
+  std::vector<Instruction> instructions_;
+};
+
+/// Detector/observable definitions resolved to absolute measurement
+/// indices (in record order). Built by resolve_detectors.
+struct DetectorLayout {
+  /// detectors[d] = sorted measurement indices whose XOR is detector d.
+  std::vector<std::vector<std::size_t>> detectors;
+  /// observables[k] = sorted measurement indices XORed into logical k
+  /// (may contain duplicates if a measurement is included twice; XOR
+  /// semantics make duplicates cancel downstream).
+  std::vector<std::vector<std::size_t>> observables;
+};
+
+/// Scans the circuit once and resolves every DETECTOR /
+/// OBSERVABLE_INCLUDE lookback to absolute measurement indices. Throws
+/// if a lookback reaches before the start of the record.
+DetectorLayout resolve_detectors(const Circuit& circuit);
+
+}  // namespace symphase

@@ -1,0 +1,342 @@
+#include "circuit/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace symphase {
+
+namespace {
+
+/// Draws `pairs` disjoint random qubit pairs from [0, n).
+std::vector<std::uint32_t> draw_disjoint_pairs(std::size_t n,
+                                               std::size_t pairs, Rng& rng) {
+  SYMPHASE_CHECK(2 * pairs <= n);
+  // Partial Fisher-Yates: the first 2*pairs entries of a shuffled
+  // identity permutation.
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::size_t i = 0; i < 2 * pairs; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(n - i));
+    std::swap(perm[i], perm[j]);
+  }
+  perm.resize(2 * pairs);
+  return perm;
+}
+
+}  // namespace
+
+Circuit layered_random_circuit(const LayeredRandomCircuitOptions& options,
+                               Rng& rng) {
+  const std::size_t n = options.num_qubits;
+  SYMPHASE_CHECK(n >= 2);
+  Circuit circuit(n);
+
+  const std::size_t pairs =
+      options.half_n_cnot_pairs ? n / 2 : options.cnot_pairs_per_layer;
+  SYMPHASE_CHECK_MSG(2 * pairs <= n,
+                     "layer wants " << pairs << " CNOT pairs on " << n
+                                    << " qubits");
+  const auto measured_per_layer = static_cast<std::size_t>(
+      static_cast<double>(n) * options.measure_fraction);
+
+  for (std::size_t layer = 0; layer < options.num_layers; ++layer) {
+    // Random single-qubit Clifford from {H, S, I} on every qubit. Batch
+    // the targets per gate type so each layer appends at most three
+    // single-qubit instructions.
+    std::vector<std::uint32_t> h_targets;
+    std::vector<std::uint32_t> s_targets;
+    std::vector<std::uint32_t> i_targets;
+    for (std::uint32_t q = 0; q < n; ++q) {
+      switch (rng.next_below(3)) {
+        case 0:
+          h_targets.push_back(q);
+          break;
+        case 1:
+          s_targets.push_back(q);
+          break;
+        default:
+          i_targets.push_back(q);
+          break;
+      }
+    }
+    if (!h_targets.empty()) {
+      circuit.append(GateType::H, h_targets);
+    }
+    if (!s_targets.empty()) {
+      circuit.append(GateType::S, s_targets);
+    }
+    if (!i_targets.empty()) {
+      circuit.append(GateType::I, i_targets);
+    }
+
+    if (pairs > 0) {
+      circuit.append(GateType::CNOT, draw_disjoint_pairs(n, pairs, rng));
+    }
+
+    if (options.depolarize_probability > 0.0) {
+      std::vector<std::uint32_t> all(n);
+      std::iota(all.begin(), all.end(), 0u);
+      circuit.append(GateType::DEPOLARIZE1, all,
+                     options.depolarize_probability);
+    }
+
+    if (measured_per_layer > 0) {
+      std::vector<std::uint32_t> chosen =
+          draw_disjoint_pairs(n, measured_per_layer, rng);
+      // draw_disjoint_pairs returns 2*k entries; keep the first k as the
+      // measured subset (still a uniform k-subset).
+      chosen.resize(measured_per_layer);
+      std::sort(chosen.begin(), chosen.end());
+      circuit.append(GateType::M, chosen);
+    }
+
+    circuit.append(GateType::TICK, {});
+  }
+
+  if (options.final_measure_all) {
+    std::vector<std::uint32_t> all(n);
+    std::iota(all.begin(), all.end(), 0u);
+    circuit.append(GateType::M, all);
+  }
+  return circuit;
+}
+
+Circuit repetition_code_memory(const RepetitionCodeOptions& options) {
+  const std::size_t d = options.distance;
+  SYMPHASE_CHECK(d >= 2);
+  const std::size_t rounds = options.rounds;
+  SYMPHASE_CHECK(rounds >= 1);
+  // Data qubits 0..d-1, ancilla i (measuring Z_i Z_{i+1}) at d+i.
+  const auto data = [](std::size_t i) { return static_cast<std::uint32_t>(i); };
+  const auto anc = [d](std::size_t i) {
+    return static_cast<std::uint32_t>(d + i);
+  };
+
+  Circuit circuit(2 * d - 1);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    if (options.data_error_probability > 0.0) {
+      std::vector<std::uint32_t> all_data(d);
+      std::iota(all_data.begin(), all_data.end(), 0u);
+      circuit.append(GateType::X_ERROR, all_data,
+                     options.data_error_probability);
+    }
+    for (std::size_t i = 0; i + 1 < d; ++i) {
+      circuit.append2(GateType::CNOT, data(i), anc(i));
+      if (options.gate_error_probability > 0.0) {
+        circuit.append(GateType::DEPOLARIZE2, {data(i), anc(i)},
+                       options.gate_error_probability);
+      }
+      circuit.append2(GateType::CNOT, data(i + 1), anc(i));
+      if (options.gate_error_probability > 0.0) {
+        circuit.append(GateType::DEPOLARIZE2, {data(i + 1), anc(i)},
+                       options.gate_error_probability);
+      }
+    }
+    std::vector<std::uint32_t> ancillas;
+    for (std::size_t i = 0; i + 1 < d; ++i) {
+      ancillas.push_back(anc(i));
+    }
+    if (options.measurement_error_probability > 0.0) {
+      circuit.append(GateType::X_ERROR, ancillas,
+                     options.measurement_error_probability);
+    }
+    circuit.append(GateType::MR, ancillas);
+    circuit.append(GateType::TICK, {});
+  }
+  std::vector<std::uint32_t> all_data(d);
+  std::iota(all_data.begin(), all_data.end(), 0u);
+  circuit.append(GateType::M, all_data);
+  return circuit;
+}
+
+Circuit ghz_circuit(std::size_t num_qubits) {
+  SYMPHASE_CHECK(num_qubits >= 1);
+  Circuit circuit(num_qubits);
+  circuit.append1(GateType::H, 0);
+  for (std::uint32_t q = 0; q + 1 < num_qubits; ++q) {
+    circuit.append2(GateType::CNOT, q, q + 1);
+  }
+  std::vector<std::uint32_t> all(num_qubits);
+  std::iota(all.begin(), all.end(), 0u);
+  circuit.append(GateType::M, all);
+  return circuit;
+}
+
+Circuit steane_code_memory(const SteaneCodeOptions& options) {
+  SYMPHASE_CHECK(options.rounds >= 1);
+  // Hamming(7,4) parity checks; both the X- and Z-type stabilizers of
+  // the Steane code use these supports.
+  static const std::vector<std::vector<std::uint32_t>> kChecks = {
+      {0, 2, 4, 6},
+      {1, 2, 5, 6},
+      {3, 4, 5, 6},
+  };
+  constexpr std::uint32_t kNumData = 7;
+  const auto z_anc = [](std::size_t k) {
+    return static_cast<std::uint32_t>(kNumData + k);
+  };
+  const auto x_anc = [](std::size_t k) {
+    return static_cast<std::uint32_t>(kNumData + 3 + k);
+  };
+  constexpr std::size_t kAncillas = 6;
+
+  Circuit circuit(kNumData + kAncillas);
+  std::vector<std::uint32_t> all_data(kNumData);
+  std::iota(all_data.begin(), all_data.end(), 0u);
+  std::vector<std::uint32_t> all_ancillas;
+  for (std::size_t k = 0; k < kAncillas; ++k) {
+    all_ancillas.push_back(static_cast<std::uint32_t>(kNumData + k));
+  }
+
+  const auto rec = [&circuit](std::size_t lookback) {
+    return make_rec_target(static_cast<std::uint32_t>(lookback));
+  };
+
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    if (options.data_error_probability > 0.0) {
+      circuit.append(GateType::X_ERROR, all_data,
+                     options.data_error_probability);
+    }
+    // Z syndromes: CNOT data -> ancilla.
+    for (std::size_t k = 0; k < kChecks.size(); ++k) {
+      for (const std::uint32_t q : kChecks[k]) {
+        circuit.append2(GateType::CNOT, q, z_anc(k));
+      }
+    }
+    // X syndromes: Hadamard ancilla, CNOT ancilla -> data.
+    for (std::size_t k = 0; k < kChecks.size(); ++k) {
+      circuit.append1(GateType::H, x_anc(k));
+      for (const std::uint32_t q : kChecks[k]) {
+        circuit.append2(GateType::CNOT, x_anc(k), q);
+      }
+      circuit.append1(GateType::H, x_anc(k));
+    }
+    if (options.measurement_error_probability > 0.0) {
+      circuit.append(GateType::X_ERROR, all_ancillas,
+                     options.measurement_error_probability);
+    }
+    circuit.append(GateType::MR, all_ancillas);
+    circuit.append(GateType::TICK, {});
+
+    if (round == 0) {
+      for (std::size_t k = 0; k < kChecks.size(); ++k) {
+        // Z ancillas are the first three measured.
+        circuit.append(GateType::DETECTOR, {rec(kAncillas - k)});
+      }
+    } else {
+      for (std::size_t k = 0; k < kAncillas; ++k) {
+        circuit.append(GateType::DETECTOR,
+                       {rec(kAncillas - k), rec(2 * kAncillas - k)});
+      }
+    }
+  }
+
+  circuit.append(GateType::M, all_data);
+  for (std::size_t k = 0; k < kChecks.size(); ++k) {
+    std::vector<std::uint32_t> targets;
+    for (const std::uint32_t q : kChecks[k]) {
+      targets.push_back(rec(kNumData - q));
+    }
+    targets.push_back(rec(kNumData + kAncillas - k));
+    circuit.append(GateType::DETECTOR, targets);
+  }
+  // Weight-3 logical Z: qubits {0, 1, 2} overlap every Hamming check
+  // evenly, so it commutes with all X stabilizers.
+  circuit.append(GateType::OBSERVABLE_INCLUDE,
+                 {rec(kNumData - 0), rec(kNumData - 1), rec(kNumData - 2)},
+                 0.0);
+  return circuit;
+}
+
+Circuit figure1_circuit(double p) {
+  // Fig. 1 of the paper: GHZ preparation, single-qubit fault sites, then
+  // the mirror (uncompute) circuit and a transversal measurement. The
+  // resulting outcome expressions are m1=s1, m2=s2, m3=s2^s3, m4=s3^s4.
+  Circuit circuit(4);
+  circuit.append1(GateType::H, 0);
+  circuit.append2(GateType::CNOT, 0, 1);
+  circuit.append2(GateType::CNOT, 1, 2);
+  circuit.append2(GateType::CNOT, 2, 3);
+  circuit.append(GateType::Z_ERROR, {0}, p);
+  circuit.append(GateType::X_ERROR, {1}, p);
+  circuit.append(GateType::X_ERROR, {2}, p);
+  circuit.append(GateType::X_ERROR, {3}, p);
+  circuit.append2(GateType::CNOT, 2, 3);
+  circuit.append2(GateType::CNOT, 1, 2);
+  circuit.append2(GateType::CNOT, 0, 1);
+  circuit.append1(GateType::H, 0);
+  circuit.append(GateType::M, {0, 1, 2, 3});
+  return circuit;
+}
+
+Circuit random_fuzz_circuit(std::size_t num_qubits, std::size_t depth,
+                            double noise_probability, Rng& rng,
+                            bool include_noise) {
+  SYMPHASE_CHECK(num_qubits >= 2);
+  static constexpr GateType kOneQubit[] = {
+      GateType::I,      GateType::X,          GateType::Y,
+      GateType::Z,      GateType::H,          GateType::S,
+      GateType::S_DAG,  GateType::SQRT_X,     GateType::SQRT_X_DAG,
+      GateType::H_YZ,
+  };
+  static constexpr GateType kTwoQubit[] = {GateType::CNOT, GateType::CZ,
+                                           GateType::SWAP};
+  static constexpr GateType kNoise[] = {
+      GateType::X_ERROR, GateType::Y_ERROR, GateType::Z_ERROR,
+      GateType::DEPOLARIZE1, GateType::DEPOLARIZE2};
+  static constexpr GateType kControlled[] = {GateType::COND_X,
+                                             GateType::COND_Y,
+                                             GateType::COND_Z};
+
+  Circuit circuit(num_qubits);
+  std::size_t measurements_so_far = 0;
+  for (std::size_t step = 0; step < depth; ++step) {
+    const auto q1 = static_cast<std::uint32_t>(rng.next_below(num_qubits));
+    auto q2 = static_cast<std::uint32_t>(rng.next_below(num_qubits - 1));
+    if (q2 >= q1) {
+      ++q2;  // distinct second qubit
+    }
+    const std::uint64_t kind = rng.next_below(include_noise ? 11 : 9);
+    if (kind < 5) {
+      circuit.append1(kOneQubit[rng.next_below(std::size(kOneQubit))], q1);
+    } else if (kind < 7) {
+      circuit.append2(kTwoQubit[rng.next_below(std::size(kTwoQubit))], q1, q2);
+    } else if (kind < 8) {
+      if (rng.next_below(4) == 0) {
+        circuit.append1(rng.next_below(2) == 0 ? GateType::R : GateType::MR,
+                        q1);
+      } else {
+        circuit.append1(GateType::M, q1);
+      }
+      if (circuit.instructions().back().type != GateType::R) {
+        ++measurements_so_far;
+      }
+    } else if (kind < 9) {
+      // Record-controlled Pauli with a valid lookback.
+      if (measurements_so_far == 0) {
+        circuit.append1(GateType::M, q1);
+        ++measurements_so_far;
+      } else {
+        const auto lookback = static_cast<std::uint32_t>(
+            rng.next_below(std::min<std::size_t>(measurements_so_far, 8)) +
+            1);
+        circuit.append2(kControlled[rng.next_below(std::size(kControlled))],
+                        make_rec_target(lookback), q1);
+      }
+    } else {
+      const GateType noise = kNoise[rng.next_below(std::size(kNoise))];
+      if (gate_arity(noise) == 2) {
+        circuit.append2(noise, q1, q2, noise_probability);
+      } else {
+        circuit.append1(noise, q1, noise_probability);
+      }
+    }
+  }
+  // Guarantee at least one measurement so samplers have output.
+  circuit.append1(GateType::M, 0);
+  return circuit;
+}
+
+}  // namespace symphase

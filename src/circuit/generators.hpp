@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file generators.hpp
+/// Parameterized circuit families used by the tests, examples, and the
+/// paper's benchmarks.
+///
+/// The layered random interaction family is the benchmark of §5 / Fig. 3:
+/// an n-qubit, n-layer circuit where each layer applies a random choice
+/// of {H, S, I} to every qubit, then a configurable number of random
+/// CNOT pairs, optionally DEPOLARIZE1 noise on every qubit, then measures
+/// a random 5% subset of qubits; all qubits are measured at the end.
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace symphase {
+
+struct LayeredRandomCircuitOptions {
+  std::size_t num_qubits = 100;
+  std::size_t num_layers = 100;
+  /// CNOT pairs per layer. Fig. 3a uses 5; Fig. 3b/3c use n/2 (set
+  /// `cnot_pairs_per_layer = 0` and `half_n_cnot_pairs = true`).
+  std::size_t cnot_pairs_per_layer = 5;
+  bool half_n_cnot_pairs = false;
+  /// Fraction of qubits measured at each layer (paper: 5%).
+  double measure_fraction = 0.05;
+  /// When > 0, applies DEPOLARIZE1(p) to every qubit in every layer
+  /// (Fig. 3c uses this).
+  double depolarize_probability = 0.0;
+  /// Measure every qubit at the end of the circuit (paper: yes).
+  bool final_measure_all = true;
+};
+
+/// Builds one sample of the layered random interaction family; the
+/// structure is drawn from `rng`, so a fixed seed fixes the circuit.
+Circuit layered_random_circuit(const LayeredRandomCircuitOptions& options,
+                               Rng& rng);
+
+struct RepetitionCodeOptions {
+  /// Number of data qubits (code distance).
+  std::size_t distance = 3;
+  /// Number of syndrome-measurement rounds.
+  std::size_t rounds = 3;
+  /// X error probability applied to every data qubit each round
+  /// (code-capacity style noise before each round's syndrome extraction).
+  double data_error_probability = 0.0;
+  /// Depolarizing probability after each CNOT (circuit-level noise).
+  double gate_error_probability = 0.0;
+  /// Measurement flip probability on ancilla readout.
+  double measurement_error_probability = 0.0;
+};
+
+/// Z-basis repetition-code memory experiment: `distance` data qubits,
+/// distance-1 ancillas, `rounds` rounds of ZZ-parity extraction followed
+/// by a transversal data measurement. Measurement record layout:
+/// rounds×(distance−1) syndrome bits, then `distance` data bits.
+Circuit repetition_code_memory(const RepetitionCodeOptions& options);
+
+/// GHZ-state preparation on n qubits followed by measuring all qubits.
+Circuit ghz_circuit(std::size_t num_qubits);
+
+struct SteaneCodeOptions {
+  /// Syndrome-measurement rounds (>= 1).
+  std::size_t rounds = 3;
+  /// X_ERROR on every data qubit before each round.
+  double data_error_probability = 0.0;
+  /// X_ERROR on each ancilla right before readout.
+  double measurement_error_probability = 0.0;
+};
+
+/// Steane [[7,1,3]] code memory experiment in the Z basis, with DETECTOR
+/// annotations (first-round Z syndromes, round-to-round comparisons of
+/// all six syndromes, final data parities) and OBSERVABLE_INCLUDE(0) on
+/// a weight-3 logical Z representative. Data qubits 0..6, ancillas 7..12
+/// (Z-syndrome ancillas first).
+Circuit steane_code_memory(const SteaneCodeOptions& options);
+
+/// The 4-qubit example of the paper's Fig. 1: H 0; CNOTs 0→1→2→3 building
+/// a GHZ-like state; single-qubit fault sites Z^s1 on qubit 0 (after H)
+/// and X^s2..s4 on qubits 1..3; H on qubit 0; measure all.
+/// Fault sites are expressed as X_ERROR/Z_ERROR with probability `p`.
+Circuit figure1_circuit(double p);
+
+/// Uniformly random Clifford+measurement circuit used by the fuzz tests:
+/// `depth` instructions over `num_qubits` qubits, drawn from the full
+/// gate set with the given noise probability for channels.
+Circuit random_fuzz_circuit(std::size_t num_qubits, std::size_t depth,
+                            double noise_probability, Rng& rng,
+                            bool include_noise = true);
+
+}  // namespace symphase

@@ -1,0 +1,228 @@
+#include "circuit/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace symphase {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& what) {
+  std::ostringstream oss;
+  oss << "circuit parse error at line " << line_no << ": " << what;
+  throw std::invalid_argument(oss.str());
+}
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t line_no;
+
+  bool done() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!done() && (peek() == ' ' || peek() == '\t')) {
+      ++pos;
+    }
+  }
+
+  std::string_view take_name() {
+    const std::size_t start = pos;
+    while (!done() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+      ++pos;
+    }
+    return text.substr(start, pos - start);
+  }
+
+  std::uint64_t take_uint() {
+    std::uint64_t value = 0;
+    const auto* begin = text.data() + pos;
+    const auto* end = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin) {
+      parse_error(line_no, "expected an unsigned integer");
+    }
+    pos += static_cast<std::size_t>(ptr - begin);
+    return value;
+  }
+
+  double take_double() {
+    const auto* begin = text.data() + pos;
+    const auto* end = text.data() + text.size();
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr == begin) {
+      parse_error(line_no, "expected a floating-point number");
+    }
+    pos += static_cast<std::size_t>(ptr - begin);
+    return value;
+  }
+};
+
+// An open REPEAT block being accumulated.
+struct OpenBlock {
+  std::size_t count;
+  std::size_t line_no;
+  Circuit body;
+};
+
+}  // namespace
+
+Circuit parse_circuit(std::string_view text) {
+  Circuit top;
+  std::vector<OpenBlock> stack;
+
+  const auto target_circuit = [&]() -> Circuit& {
+    return stack.empty() ? top : stack.back().body;
+  };
+
+  std::size_t line_no = 0;
+  std::size_t line_start = 0;
+  while (line_start <= text.size()) {
+    ++line_no;
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) {
+      line_end = text.size();
+    }
+    Cursor cur{text.substr(line_start, line_end - line_start), 0, line_no};
+    line_start = line_end + 1;
+
+    cur.skip_ws();
+    if (cur.done() || cur.peek() == '#') {
+      if (line_start > text.size()) {
+        break;
+      }
+      continue;
+    }
+
+    if (cur.peek() == '}') {
+      ++cur.pos;
+      cur.skip_ws();
+      if (!cur.done() && cur.peek() != '#') {
+        parse_error(line_no, "unexpected text after '}'");
+      }
+      if (stack.empty()) {
+        parse_error(line_no, "'}' without a matching REPEAT");
+      }
+      OpenBlock block = std::move(stack.back());
+      stack.pop_back();
+      target_circuit().append_repeated(block.body, block.count);
+      continue;
+    }
+
+    const std::string_view name = cur.take_name();
+    if (name.empty()) {
+      parse_error(line_no, "expected an instruction name");
+    }
+
+    if (name == "REPEAT") {
+      cur.skip_ws();
+      const std::uint64_t count = cur.take_uint();
+      cur.skip_ws();
+      if (cur.done() || cur.peek() != '{') {
+        parse_error(line_no, "REPEAT needs '{' on the same line");
+      }
+      ++cur.pos;
+      cur.skip_ws();
+      if (!cur.done() && cur.peek() != '#') {
+        parse_error(line_no, "unexpected text after 'REPEAT n {'");
+      }
+      stack.push_back({static_cast<std::size_t>(count), line_no, Circuit{}});
+      continue;
+    }
+
+    const auto type = gate_type_from_name(name);
+    if (!type.has_value()) {
+      parse_error(line_no,
+                  "unknown instruction '" + std::string(name) + "'");
+    }
+
+    double probability = 0.0;
+    cur.skip_ws();
+    if (!cur.done() && cur.peek() == '(') {
+      if (!gate_info(*type).takes_probability) {
+        parse_error(line_no, std::string(name) + " takes no argument");
+      }
+      ++cur.pos;
+      cur.skip_ws();
+      probability = cur.take_double();
+      cur.skip_ws();
+      if (cur.done() || cur.peek() != ')') {
+        parse_error(line_no, "expected ')'");
+      }
+      ++cur.pos;
+    } else if (gate_info(*type).takes_probability) {
+      parse_error(line_no,
+                  std::string(name) + " requires a probability argument");
+    }
+
+    std::vector<std::uint32_t> targets;
+    while (true) {
+      cur.skip_ws();
+      if (cur.done() || cur.peek() == '#') {
+        break;
+      }
+      if (cur.peek() == 'r') {
+        // Measurement-record target: rec[-k].
+        const std::string_view word = cur.take_name();
+        if (word != "rec") {
+          parse_error(line_no, "expected a qubit index or rec[-k]");
+        }
+        if (cur.done() || cur.peek() != '[') {
+          parse_error(line_no, "expected '[' after rec");
+        }
+        ++cur.pos;
+        if (cur.done() || cur.peek() != '-') {
+          parse_error(line_no, "record targets look back: rec[-k]");
+        }
+        ++cur.pos;
+        const std::uint64_t lookback = cur.take_uint();
+        if (lookback == 0 || lookback >= kRecTargetFlag) {
+          parse_error(line_no, "record lookback out of range");
+        }
+        if (cur.done() || cur.peek() != ']') {
+          parse_error(line_no, "expected ']'");
+        }
+        ++cur.pos;
+        targets.push_back(
+            make_rec_target(static_cast<std::uint32_t>(lookback)));
+        continue;
+      }
+      const std::uint64_t t = cur.take_uint();
+      if (t >= kRecTargetFlag) {
+        parse_error(line_no, "qubit index too large");
+      }
+      targets.push_back(static_cast<std::uint32_t>(t));
+    }
+
+    try {
+      target_circuit().append(*type, targets, probability);
+    } catch (const std::invalid_argument& e) {
+      parse_error(line_no, e.what());
+    }
+
+    if (line_start > text.size()) {
+      break;
+    }
+  }
+
+  if (!stack.empty()) {
+    parse_error(stack.back().line_no, "REPEAT block never closed");
+  }
+  return top;
+}
+
+Circuit parse_circuit_file(const std::string& path) {
+  std::ifstream in(path);
+  SYMPHASE_CHECK_MSG(in.good(), "cannot open circuit file: " << path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return parse_circuit(oss.str());
+}
+
+}  // namespace symphase

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file parser.hpp
+/// Text format for stabilizer circuits (a practical subset of Stim's).
+///
+/// Grammar, one instruction per line:
+///
+///   line      := ws [instr] ws ['#' comment]
+///   instr     := NAME ['(' float ')'] target*          e.g. X_ERROR(0.1) 0 3
+///              | 'REPEAT' uint '{'                     block opens
+///              | '}'                                   block closes
+///   target    := uint
+///
+/// REPEAT blocks nest; they are expanded into the flat instruction
+/// stream. Errors carry 1-based line numbers.
+
+#include <string>
+#include <string_view>
+
+#include "circuit/circuit.hpp"
+
+namespace symphase {
+
+/// Parses circuit text; throws std::invalid_argument with a line-numbered
+/// message on malformed input.
+Circuit parse_circuit(std::string_view text);
+
+/// Reads and parses a circuit file.
+Circuit parse_circuit_file(const std::string& path);
+
+}  // namespace symphase

@@ -1,0 +1,181 @@
+#include "circuit/surface_code.hpp"
+
+#include <algorithm>
+
+namespace symphase {
+
+namespace {
+
+/// Data qubit id for grid row i, column j (0-based), or -1 outside.
+int data_id(std::size_t d, int i, int j) {
+  if (i < 0 || j < 0 || i >= static_cast<int>(d) || j >= static_cast<int>(d)) {
+    return -1;
+  }
+  return i * static_cast<int>(d) + j;
+}
+
+}  // namespace
+
+SurfaceCodeLayout surface_code_layout(std::size_t distance) {
+  SYMPHASE_CHECK_MSG(distance >= 3 && distance % 2 == 1,
+                     "surface code distance must be odd and >= 3");
+  const auto d = distance;
+  SurfaceCodeLayout layout;
+  layout.distance = d;
+  layout.num_data = d * d;
+
+  // Check centers live on the (d+1) x (d+1) grid of plaquette corners;
+  // center (ci, cj) touches data qubits (ci-1..ci, cj-1..cj).
+  //   Z checks: (ci + cj) odd, interior rows only (0 < ci < d) — the
+  //             weight-2 Z checks sit on the left/right columns;
+  //   X checks: (ci + cj) even, interior columns only (0 < cj < d).
+  // This yields d^2 - 1 checks and a horizontal logical Z.
+  const auto add_checks = [&](bool want_z) {
+    for (std::size_t ci = 0; ci <= d; ++ci) {
+      for (std::size_t cj = 0; cj <= d; ++cj) {
+        const bool is_z = (ci + cj) % 2 == 1;
+        if (is_z != want_z) {
+          continue;
+        }
+        if (is_z && (ci == 0 || ci == d)) {
+          continue;
+        }
+        if (!is_z && (cj == 0 || cj == d)) {
+          continue;
+        }
+        SurfaceCodeLayout::Check check;
+        check.is_z = is_z;
+        for (const int di : {-1, 0}) {
+          for (const int dj : {-1, 0}) {
+            const int q = data_id(d, static_cast<int>(ci) + di,
+                                  static_cast<int>(cj) + dj);
+            if (q >= 0) {
+              check.data.push_back(static_cast<std::uint32_t>(q));
+            }
+          }
+        }
+        SYMPHASE_ASSERT(check.data.size() == 2 || check.data.size() == 4);
+        std::sort(check.data.begin(), check.data.end());
+        layout.checks.push_back(std::move(check));
+      }
+    }
+  };
+  add_checks(true);   // Z checks first
+  add_checks(false);  // then X checks
+  SYMPHASE_ASSERT(layout.checks.size() == d * d - 1);
+
+  for (std::size_t k = 0; k < layout.checks.size(); ++k) {
+    layout.checks[k].ancilla =
+        static_cast<std::uint32_t>(layout.num_data + k);
+  }
+
+  // Logical Z: the top data row (commutes with every X check: each one
+  // overlaps the row in exactly 0 or 2 qubits).
+  for (std::size_t j = 0; j < d; ++j) {
+    layout.logical_z.push_back(static_cast<std::uint32_t>(j));
+  }
+  return layout;
+}
+
+Circuit surface_code_memory(const SurfaceCodeOptions& options) {
+  SYMPHASE_CHECK(options.rounds >= 1);
+  const SurfaceCodeLayout layout = surface_code_layout(options.distance);
+  const std::size_t num_checks = layout.checks.size();
+  const auto num_data32 = static_cast<std::uint32_t>(layout.num_data);
+
+  Circuit circuit(layout.num_data + num_checks);
+
+  std::vector<std::uint32_t> all_data(layout.num_data);
+  for (std::uint32_t q = 0; q < num_data32; ++q) {
+    all_data[q] = q;
+  }
+  std::vector<std::uint32_t> all_ancillas;
+  for (const auto& check : layout.checks) {
+    all_ancillas.push_back(check.ancilla);
+  }
+
+  const auto extract_round = [&] {
+    if (options.data_depolarization > 0.0) {
+      circuit.append(GateType::DEPOLARIZE1, all_data,
+                     options.data_depolarization);
+    }
+    // X checks need the ancilla in the |+> basis.
+    for (const auto& check : layout.checks) {
+      if (!check.is_z) {
+        circuit.append1(GateType::H, check.ancilla);
+      }
+    }
+    for (const auto& check : layout.checks) {
+      for (const std::uint32_t q : check.data) {
+        if (check.is_z) {
+          circuit.append2(GateType::CNOT, q, check.ancilla);
+        } else {
+          circuit.append2(GateType::CNOT, check.ancilla, q);
+        }
+        if (options.gate_depolarization > 0.0) {
+          circuit.append(GateType::DEPOLARIZE2, {q, check.ancilla},
+                         options.gate_depolarization);
+        }
+      }
+    }
+    for (const auto& check : layout.checks) {
+      if (!check.is_z) {
+        circuit.append1(GateType::H, check.ancilla);
+      }
+    }
+    if (options.measurement_flip_probability > 0.0) {
+      circuit.append(GateType::X_ERROR, all_ancillas,
+                     options.measurement_flip_probability);
+    }
+    circuit.append(GateType::MR, all_ancillas);
+    circuit.append(GateType::TICK, {});
+  };
+
+  const auto rec = [](std::size_t lookback) {
+    return make_rec_target(static_cast<std::uint32_t>(lookback));
+  };
+
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    extract_round();
+    if (round == 0) {
+      // |0...0> is a +1 eigenstate of every Z check: first-round Z
+      // outcomes are deterministic detectors on their own.
+      for (std::size_t k = 0; k < num_checks; ++k) {
+        if (layout.checks[k].is_z) {
+          circuit.append(GateType::DETECTOR, {rec(num_checks - k)});
+        }
+      }
+    } else {
+      // Later rounds: every check compares against the previous round.
+      for (std::size_t k = 0; k < num_checks; ++k) {
+        circuit.append(GateType::DETECTOR,
+                       {rec(num_checks - k), rec(2 * num_checks - k)});
+      }
+    }
+  }
+
+  // Transversal Z-basis data measurement.
+  circuit.append(GateType::M, all_data);
+  // Each Z check's parity must agree with its last syndrome outcome.
+  for (std::size_t k = 0; k < num_checks; ++k) {
+    const auto& check = layout.checks[k];
+    if (!check.is_z) {
+      continue;
+    }
+    std::vector<std::uint32_t> targets;
+    for (const std::uint32_t q : check.data) {
+      targets.push_back(rec(layout.num_data - q));
+    }
+    targets.push_back(rec(layout.num_data + num_checks - k));
+    circuit.append(GateType::DETECTOR, targets);
+  }
+  // Logical Z readout.
+  std::vector<std::uint32_t> logical_targets;
+  for (const std::uint32_t q : layout.logical_z) {
+    logical_targets.push_back(rec(layout.num_data - q));
+  }
+  circuit.append(GateType::OBSERVABLE_INCLUDE, logical_targets, 0.0);
+  return circuit;
+}
+
+}  // namespace symphase

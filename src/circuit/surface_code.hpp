@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file surface_code.hpp
+/// Rotated surface-code memory circuits with detector annotations.
+///
+/// This is the fault-tolerant-gadget workload the paper's introduction
+/// motivates: millions of samples of a QEC circuit, counted by detector
+/// and logical-observable statistics. The construction is the standard
+/// rotated layout: d×d data qubits, (d²−1) weight-4/weight-2 stabilizer
+/// checks measured by ancillas, `rounds` rounds of syndrome extraction
+/// with MR ancillas, and a final transversal Z-basis data measurement.
+/// DETECTOR annotations compare consecutive syndrome rounds (plus the
+/// deterministic first Z round and the final data-vs-last-round parity)
+/// and OBSERVABLE_INCLUDE(0) tracks the logical Z operator.
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace symphase {
+
+struct SurfaceCodeOptions {
+  /// Code distance (odd, >= 3).
+  std::size_t distance = 3;
+  /// Syndrome-measurement rounds (>= 1).
+  std::size_t rounds = 3;
+  /// DEPOLARIZE1 on every data qubit before each round.
+  double data_depolarization = 0.0;
+  /// DEPOLARIZE2 after every syndrome-extraction CNOT.
+  double gate_depolarization = 0.0;
+  /// X_ERROR on each ancilla right before its readout.
+  double measurement_flip_probability = 0.0;
+};
+
+/// Geometry of the generated code, exposed for tests and decoders.
+struct SurfaceCodeLayout {
+  std::size_t distance = 0;
+  /// Data qubit ids are row-major: data_qubit(i, j) = i*d + j.
+  std::size_t num_data = 0;
+  /// Ancilla ids start at num_data, in the order checks are listed.
+  struct Check {
+    bool is_z = false;
+    std::uint32_t ancilla = 0;
+    std::vector<std::uint32_t> data;  // supported data qubit ids
+  };
+  std::vector<Check> checks;
+  /// Data qubit ids of the logical Z representative (top row).
+  std::vector<std::uint32_t> logical_z;
+};
+
+/// Builds the layout only (no circuit); checks() come Z-first.
+SurfaceCodeLayout surface_code_layout(std::size_t distance);
+
+/// Builds the full Z-basis memory experiment circuit.
+Circuit surface_code_memory(const SurfaceCodeOptions& options);
+
+}  // namespace symphase

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file aligned.hpp
+/// 64-byte-aligned storage for SIMD-friendly bit containers.
+///
+/// All packed bit data in the library lives in AlignedWordVec so that word
+/// runs start on cache-line / AVX-512 boundaries and the compiler can emit
+/// aligned vector loads in the hot loops.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace symphase {
+
+inline constexpr std::size_t kSimdAlign = 64;
+
+/// Minimal std::allocator drop-in with 64-byte alignment.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kSimdAlign}));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t{kSimdAlign});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAllocator<T>>;
+
+using AlignedWordVec = AlignedVec<std::uint64_t>;
+
+}  // namespace symphase

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file check.hpp
+/// Error-handling primitives used across the library.
+///
+/// Two tiers, following the usual contract/recoverable split:
+///  - SYMPHASE_CHECK: always-on validation of *caller-supplied* data
+///    (circuit text, qubit indices, sizes). Throws std::invalid_argument.
+///  - SYMPHASE_ASSERT: internal invariants. Compiled out in NDEBUG builds
+///    except where a function documents otherwise.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace symphase {
+
+/// Builds the standard "what failed, where" message for check failures.
+inline std::string format_check_message(const char* expr, const char* file,
+                                        int line, const std::string& detail) {
+  std::ostringstream oss;
+  oss << "check failed: " << expr << " (" << file << ":" << line << ")";
+  if (!detail.empty()) {
+    oss << ": " << detail;
+  }
+  return oss.str();
+}
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line,
+                                             const std::string& detail = {}) {
+  throw std::invalid_argument(format_check_message(expr, file, line, detail));
+}
+
+[[noreturn]] inline void throw_assert_failure(const char* expr,
+                                              const char* file, int line,
+                                              const std::string& detail = {}) {
+  throw std::logic_error(format_check_message(expr, file, line, detail));
+}
+
+}  // namespace symphase
+
+/// Always-on precondition check on user-facing input. Throws
+/// std::invalid_argument with location info on failure.
+#define SYMPHASE_CHECK(cond)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::symphase::throw_check_failure(#cond, __FILE__, __LINE__);     \
+    }                                                                 \
+  } while (false)
+
+/// Always-on precondition check with a formatted detail message.
+#define SYMPHASE_CHECK_MSG(cond, msg)                                 \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream symphase_oss_;                               \
+      symphase_oss_ << msg;                                           \
+      ::symphase::throw_check_failure(#cond, __FILE__, __LINE__,      \
+                                      symphase_oss_.str());           \
+    }                                                                 \
+  } while (false)
+
+/// Internal invariant; active in debug builds only.
+#ifdef NDEBUG
+#define SYMPHASE_ASSERT(cond) \
+  do {                        \
+  } while (false)
+#else
+#define SYMPHASE_ASSERT(cond)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::symphase::throw_assert_failure(#cond, __FILE__, __LINE__);    \
+    }                                                                 \
+  } while (false)
+#endif

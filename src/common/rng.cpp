@@ -1,0 +1,84 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bits.hpp"
+
+namespace symphase {
+
+void fill_random_words(Rng& rng, std::uint64_t* out, std::size_t count) {
+  // xoshiro's output has a serial dependency chain; for bulk fills, four
+  // forked streams interleave so the core can overlap the state updates.
+  // Still fully deterministic in the parent generator's state.
+  if (count < 64) {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = rng.next_word();
+    }
+    return;
+  }
+  Rng s0 = rng.fork(0);
+  Rng s1 = rng.fork(1);
+  Rng s2 = rng.fork(2);
+  Rng s3 = rng.fork(3);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    out[i] = s0();
+    out[i + 1] = s1();
+    out[i + 2] = s2();
+    out[i + 3] = s3();
+  }
+  for (; i < count; ++i) {
+    out[i] = s0();
+  }
+}
+
+void fill_biased_words(Rng& rng, std::uint64_t* out, std::size_t count,
+                       double p) {
+  if (count == 0) {
+    return;
+  }
+  if (p <= 0.0) {
+    std::memset(out, 0, count * sizeof(std::uint64_t));
+    return;
+  }
+  if (p >= 1.0) {
+    std::memset(out, 0xFF, count * sizeof(std::uint64_t));
+    return;
+  }
+  if (p == 0.5) {
+    fill_random_words(rng, out, count);
+    return;
+  }
+  // For p > 1/2, sample the complement (which is sparse) and invert.
+  const bool invert = p > 0.5;
+  const double q = invert ? 1.0 - p : p;
+
+  std::memset(out, 0, count * sizeof(std::uint64_t));
+  const std::size_t total_bits = count * kWordBits;
+  // Geometric skipping: successive gaps between set bits are
+  // Geometric(q)-distributed. Expected cost is q * total_bits draws, which
+  // is what makes sparse noise sampling cheap.
+  const double denom = std::log1p(-q);
+  std::size_t bit = 0;
+  while (true) {
+    const double u = 1.0 - rng.next_double();  // u in (0, 1]
+    const double skip = std::floor(std::log(u) / denom);
+    if (skip >= static_cast<double>(total_bits - bit)) {
+      break;
+    }
+    bit += static_cast<std::size_t>(skip);
+    set_bit(out, bit, true);
+    ++bit;
+    if (bit >= total_bits) {
+      break;
+    }
+  }
+  if (invert) {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = ~out[i];
+    }
+  }
+}
+
+}  // namespace symphase

@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// The samplers draw billions of bits per run, so the generator must be
+/// fast and must fill whole 64-bit words of unbiased coin flips in one
+/// step. We use xoshiro256** (Blackman & Vigna, 2018), seeded through
+/// splitmix64 so that any 64-bit seed yields a well-mixed state. Every
+/// randomized component of the library takes an explicit seed; equal seeds
+/// give bit-identical streams on all platforms.
+
+#include <cstdint>
+#include <limits>
+
+namespace symphase {
+
+/// splitmix64 step; used for seed expansion and cheap hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+    // A theoretical all-zero state would lock the generator; splitmix64
+    // cannot produce four zero outputs in a row, but guard anyway.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+      state_[0] = 0x853C49E6748FEA9Bull;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// 64 independent fair coin flips packed into one word.
+  std::uint64_t next_word() { return (*this)(); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p) draw.
+  bool next_bernoulli(double p) { return next_double() < p; }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's nearly-divisionless rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Derives an independent child generator; used to give each subsystem
+  /// (reference sampler, frame sampler, symbol sampler) its own stream.
+  Rng fork(std::uint64_t stream_id) {
+    std::uint64_t mix = (*this)() ^ (0x9E3779B97F4A7C15ull * (stream_id + 1));
+    return Rng(mix);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Fills `out[0..count)` with words of fair coin flips.
+void fill_random_words(Rng& rng, std::uint64_t* out, std::size_t count);
+
+/// Fills `out[0..count)` with words whose bits are independent
+/// Bernoulli(p) draws. Exact (per-bit inversion sampling via geometric
+/// skips for small p, per-word refinement otherwise).
+void fill_biased_words(Rng& rng, std::uint64_t* out, std::size_t count,
+                       double p);
+
+}  // namespace symphase

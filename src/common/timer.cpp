@@ -1,0 +1,4 @@
+#include "common/timer.hpp"
+
+// Header-only today; the translation unit anchors the static library and
+// reserves a home for future platform-specific timing (e.g. perf counters).

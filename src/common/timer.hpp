@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing for the benchmark harness.
+
+#include <chrono>
+#include <cstdint>
+
+namespace symphase {
+
+/// Monotonic stopwatch; started on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed wall time in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly until at least `min_seconds` of wall time or
+/// `max_reps` repetitions have elapsed; returns seconds per repetition.
+/// Used by the figure benches where google-benchmark's per-iteration
+/// model does not fit (we time multi-second sampler builds once).
+template <typename Fn>
+double time_per_rep(Fn&& fn, double min_seconds = 0.05, int max_reps = 1000) {
+  Timer total;
+  int reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while (total.seconds() < min_seconds && reps < max_reps);
+  return total.seconds() / reps;
+}
+
+}  // namespace symphase

@@ -1,0 +1,199 @@
+#include "core/symphase.hpp"
+
+#include <sstream>
+
+#include "tableau/col_major_tableau.hpp"
+#include "tableau/row_major_tableau.hpp"
+
+namespace symphase {
+
+namespace {
+
+template <typename Layout>
+void compile_with_layout(const Circuit& circuit,
+                         std::unique_ptr<SymbolTable>& symbols,
+                         std::unique_ptr<std::vector<MeasurementExpression>>&
+                             expressions) {
+  SymPhaseCompiler<Layout> compiler(circuit);
+  symbols = std::make_unique<SymbolTable>(compiler.symbols());
+  expressions = std::make_unique<std::vector<MeasurementExpression>>(
+      compiler.expressions());
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> xor_symbol_lists(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      out.push_back(a[i++]);
+    } else if (b[j] < a[i]) {
+      out.push_back(b[j++]);
+    } else {
+      ++i;  // equal symbols cancel over F2
+      ++j;
+    }
+  }
+  out.insert(out.end(), a.begin() + static_cast<std::ptrdiff_t>(i), a.end());
+  out.insert(out.end(), b.begin() + static_cast<std::ptrdiff_t>(j), b.end());
+  return out;
+}
+
+namespace {
+
+/// Detector/observable expressions: XOR of the referenced measurements'
+/// symbolic expressions.
+std::vector<MeasurementExpression> combine_expressions(
+    const std::vector<std::vector<std::size_t>>& index_lists,
+    const std::vector<MeasurementExpression>& measurements,
+    const SymbolTable& symbols, const char* what) {
+  std::vector<MeasurementExpression> out;
+  out.reserve(index_lists.size());
+  for (const auto& indices : index_lists) {
+    MeasurementExpression combined;
+    for (const std::size_t m : indices) {
+      SYMPHASE_CHECK(m < measurements.size());
+      combined.symbols =
+          xor_symbol_lists(combined.symbols, measurements[m].symbols);
+    }
+    // A detector/observable must be deterministic in the absence of
+    // faults: a surviving measurement coin means the declared parity is
+    // not actually fixed by the circuit.
+    for (const std::uint32_t sym : combined.symbols) {
+      SYMPHASE_CHECK_MSG(
+          symbols.group_of(sym).kind != SymbolGroupKind::kCoin,
+          what << " " << out.size()
+               << " is not deterministic: its parity depends on the random "
+                  "measurement coin s"
+               << sym);
+    }
+    out.push_back(std::move(combined));
+  }
+  return out;
+}
+
+}  // namespace
+
+CompiledSampler CompiledSampler::compile(const Circuit& circuit,
+                                         const CompileOptions& options) {
+  CompiledSampler result;
+  switch (options.layout) {
+    case CompileOptions::Layout::kBlocked512:
+      compile_with_layout<BlockedTableau>(circuit, result.symbols_,
+                                          result.expressions_);
+      break;
+    case CompileOptions::Layout::kRowMajor:
+      compile_with_layout<RowMajorTableau>(circuit, result.symbols_,
+                                           result.expressions_);
+      break;
+    case CompileOptions::Layout::kColMajor:
+      compile_with_layout<ColMajorTableau>(circuit, result.symbols_,
+                                           result.expressions_);
+      break;
+  }
+  result.sampler_ = std::make_unique<SymPhaseSampler>(
+      *result.symbols_, *result.expressions_, options.multiply);
+
+  const DetectorLayout layout = resolve_detectors(circuit);
+  result.detector_expressions_ =
+      std::make_unique<std::vector<MeasurementExpression>>(
+          combine_expressions(layout.detectors, *result.expressions_,
+                              *result.symbols_, "DETECTOR"));
+  result.observable_expressions_ =
+      std::make_unique<std::vector<MeasurementExpression>>(
+          combine_expressions(layout.observables, *result.expressions_,
+                              *result.symbols_, "OBSERVABLE"));
+  std::vector<MeasurementExpression> joint = *result.detector_expressions_;
+  joint.insert(joint.end(), result.observable_expressions_->begin(),
+               result.observable_expressions_->end());
+  result.detector_sampler_ = std::make_unique<SymPhaseSampler>(
+      *result.symbols_, joint, options.multiply);
+  return result;
+}
+
+CompiledSampler::DetectionEvents CompiledSampler::sample_detection_events(
+    std::size_t num_samples, std::uint64_t seed) const {
+  const BitMatrix joint = detector_sampler_->sample(num_samples, seed);
+  DetectionEvents events{
+      BitMatrix(num_detectors(), num_samples),
+      BitMatrix(num_observables(), num_samples),
+  };
+  for (std::size_t d = 0; d < num_detectors(); ++d) {
+    for (std::size_t w = 0; w < joint.words_per_row(); ++w) {
+      events.detectors.row(d)[w] = joint.row(d)[w];
+    }
+  }
+  for (std::size_t k = 0; k < num_observables(); ++k) {
+    for (std::size_t w = 0; w < joint.words_per_row(); ++w) {
+      events.observables.row(k)[w] = joint.row(num_detectors() + k)[w];
+    }
+  }
+  return events;
+}
+
+double CompiledSampler::detector_probability(std::size_t d) const {
+  SYMPHASE_CHECK(d < num_detectors());
+  return detector_sampler_->outcome_probability(d);
+}
+
+double CompiledSampler::observable_probability(std::size_t k) const {
+  SYMPHASE_CHECK(k < num_observables());
+  return detector_sampler_->outcome_probability(num_detectors() + k);
+}
+
+std::size_t CompiledSampler::num_measurements() const {
+  return expressions_->size();
+}
+
+std::size_t CompiledSampler::num_symbols() const {
+  return symbols_->num_symbols();
+}
+
+std::size_t CompiledSampler::expression_nnz() const {
+  std::size_t total = 0;
+  for (const auto& e : *expressions_) {
+    total += e.symbols.size();
+  }
+  return total;
+}
+
+BitMatrix CompiledSampler::sample(std::size_t num_samples,
+                                  std::uint64_t seed) const {
+  return sampler_->sample(num_samples, seed);
+}
+
+double CompiledSampler::outcome_probability(std::size_t k) const {
+  return sampler_->outcome_probability(k);
+}
+
+BitMatrix sample_circuit(const Circuit& circuit, std::size_t num_samples,
+                         std::uint64_t seed, const CompileOptions& options) {
+  return CompiledSampler::compile(circuit, options)
+      .sample(num_samples, seed);
+}
+
+std::string expression_to_string(const MeasurementExpression& expr) {
+  if (expr.symbols.empty()) {
+    return "0";
+  }
+  std::ostringstream oss;
+  bool first = true;
+  for (const std::uint32_t s : expr.symbols) {
+    if (!first) {
+      oss << " ^ ";
+    }
+    first = false;
+    if (s == 0) {
+      oss << "1";
+    } else {
+      oss << "s" << s;
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace symphase

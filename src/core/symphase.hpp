@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file symphase.hpp
+/// Public API of the SymPhase library.
+///
+/// The typical workflow mirrors the paper's Algorithm 1:
+///
+///   symphase::Circuit circuit = symphase::parse_circuit(text);
+///   symphase::CompiledSampler sampler =
+///       symphase::CompiledSampler::compile(circuit);      // Initialization
+///   symphase::BitMatrix samples = sampler.sample(10000, seed);  // Sampling
+///
+/// `samples` is measurement-major: row k holds measurement k across all
+/// shots, bit j of row k being shot j's outcome.
+///
+/// Everything else (tableau layouts, the frame-simulation baseline, the
+/// state-vector oracle) is available through the per-module headers under
+/// src/; this header pulls in the pieces a downstream sampling user needs.
+
+#include <cstdint>
+#include <memory>
+
+#include "bitvec/bit_matrix.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/parser.hpp"
+#include "sampler/frame_simulator.hpp"
+#include "sampler/symphase_sampler.hpp"
+#include "symbolic/error_model.hpp"
+#include "symbolic/symphase_compiler.hpp"
+
+namespace symphase {
+
+/// Options for CompiledSampler::compile.
+struct CompileOptions {
+  /// Data layout for the symbolic tableau pass (paper §4). The blocked
+  /// layout is the paper's; the others exist for the layout study.
+  enum class Layout { kBlocked512, kRowMajor, kColMajor };
+  Layout layout = Layout::kBlocked512;
+  MultiplyStrategy multiply = MultiplyStrategy::kSparse;
+};
+
+/// A circuit compiled once (Algorithm 1 Initialization) and sampled many
+/// times (Algorithm 1 Sampling). Cheap to sample repeatedly; the circuit
+/// is never traversed again after construction.
+class CompiledSampler {
+ public:
+  static CompiledSampler compile(const Circuit& circuit,
+                                 const CompileOptions& options = {});
+
+  std::size_t num_measurements() const;
+  std::size_t num_symbols() const;
+  /// Total expression non-zeros (drives per-shot sampling cost).
+  std::size_t expression_nnz() const;
+
+  const SymbolTable& symbols() const { return *symbols_; }
+  const std::vector<MeasurementExpression>& expressions() const {
+    return *expressions_;
+  }
+
+  /// num_measurements() x num_samples outcome matrix; deterministic in
+  /// `seed`.
+  BitMatrix sample(std::size_t num_samples, std::uint64_t seed) const;
+
+  /// Exact marginal P(measurement k == 1).
+  double outcome_probability(std::size_t k) const;
+
+  // --- Detector / observable sampling (QEC workflows) -----------------
+  std::size_t num_detectors() const { return detector_expressions_->size(); }
+  std::size_t num_observables() const {
+    return observable_expressions_->size();
+  }
+  const std::vector<MeasurementExpression>& detector_expressions() const {
+    return *detector_expressions_;
+  }
+  const std::vector<MeasurementExpression>& observable_expressions() const {
+    return *observable_expressions_;
+  }
+
+  struct DetectionEvents {
+    BitMatrix detectors;    // num_detectors x num_samples
+    BitMatrix observables;  // num_observables x num_samples
+  };
+  /// Joint samples of all detectors and logical observables (same shot
+  /// j in both matrices comes from one symbol assignment b_j).
+  DetectionEvents sample_detection_events(std::size_t num_samples,
+                                          std::uint64_t seed) const;
+
+  /// Exact marginal P(detector d fires).
+  double detector_probability(std::size_t d) const;
+  /// Exact marginal P(logical observable k flips).
+  double observable_probability(std::size_t k) const;
+
+  /// Extracts the detector error model (decoder input): one independent
+  /// mechanism per fault pattern that flips at least one detector or
+  /// observable. See symbolic/error_model.hpp.
+  DetectorErrorModel error_model() const {
+    return build_error_model(*symbols_, *detector_expressions_,
+                             *observable_expressions_);
+  }
+
+ private:
+  CompiledSampler() = default;
+
+  // Compilation artifacts. The tableau itself is discarded after
+  // compilation; only the symbol table and expressions are kept.
+  std::unique_ptr<SymbolTable> symbols_;
+  std::unique_ptr<std::vector<MeasurementExpression>> expressions_;
+  std::unique_ptr<SymPhaseSampler> sampler_;
+  // Detector/observable expressions (XORs of measurement expressions)
+  // and their joint sampler (detectors first, observables after).
+  std::unique_ptr<std::vector<MeasurementExpression>> detector_expressions_;
+  std::unique_ptr<std::vector<MeasurementExpression>> observable_expressions_;
+  std::unique_ptr<SymPhaseSampler> detector_sampler_;
+};
+
+/// XOR (symmetric difference) of sorted symbol-id expressions.
+std::vector<std::uint32_t> xor_symbol_lists(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+
+/// One-call convenience: compile + sample.
+BitMatrix sample_circuit(const Circuit& circuit, std::size_t num_samples,
+                         std::uint64_t seed,
+                         const CompileOptions& options = {});
+
+/// Renders a measurement expression like "s3 ^ s7 ^ 1" (symbol 0 prints
+/// as the constant 1). Used by the fault-analysis tooling and examples.
+std::string expression_to_string(const MeasurementExpression& expr);
+
+}  // namespace symphase

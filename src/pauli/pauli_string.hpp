@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file pauli_string.hpp
+/// Dense n-qubit Pauli strings with i^k phase tracking.
+///
+/// A PauliString is  i^phase · ⊗_j P_j  with literal P_j in {I,X,Y,Z}
+/// encoded as packed x/z bit-vectors. This is the algebra layer beneath
+/// the stabilizer tableau: tableau rows are PauliStrings with real phase
+/// (phase ∈ {0, 2}), and row multiplication is PauliString multiplication.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bitvec/bit_vector.hpp"
+#include "common/rng.hpp"
+#include "pauli/single_pauli.hpp"
+
+namespace symphase {
+
+class PauliString {
+ public:
+  PauliString() = default;
+
+  /// Identity string on `n` qubits.
+  explicit PauliString(std::size_t n) : x_(n), z_(n) {}
+
+  /// Parses "+XYZ_I", "-ZZ", "iY", "-iXX" (leading sign/i optional; '_'
+  /// and 'I' both mean identity).
+  static PauliString from_string(std::string_view text);
+
+  /// Single-qubit Pauli `p` on `qubit` of an `n`-qubit string.
+  static PauliString single(std::size_t n, std::size_t qubit, SinglePauli p);
+
+  /// Uniformly random Pauli string (phase left +1).
+  static PauliString random(std::size_t n, Rng& rng);
+
+  std::size_t num_qubits() const { return x_.size(); }
+
+  /// Phase exponent k of i^k, in {0,1,2,3}.
+  int phase_exponent() const { return phase_; }
+  void set_phase_exponent(int k) { phase_ = ((k % 4) + 4) % 4; }
+
+  /// True when the phase is ±1 (required of stabilizer generators).
+  bool phase_is_real() const { return (phase_ & 1) == 0; }
+
+  /// Sign bit for real phases: 0 for +1, 1 for -1.
+  bool sign() const {
+    SYMPHASE_ASSERT(phase_is_real());
+    return phase_ == 2;
+  }
+  void set_sign(bool negative) { phase_ = negative ? 2 : 0; }
+
+  bool x_bit(std::size_t q) const { return x_.get(q); }
+  bool z_bit(std::size_t q) const { return z_.get(q); }
+
+  SinglePauli pauli_at(std::size_t q) const {
+    return pauli_from_xz(x_.get(q), z_.get(q));
+  }
+
+  void set_pauli(std::size_t q, SinglePauli p) {
+    x_.set(q, pauli_x_bit(p));
+    z_.set(q, pauli_z_bit(p));
+  }
+
+  const BitVector& x_bits() const { return x_; }
+  const BitVector& z_bits() const { return z_; }
+  BitVector& x_bits() { return x_; }
+  BitVector& z_bits() { return z_; }
+
+  bool is_identity() const { return !x_.any() && !z_.any() && phase_ == 0; }
+
+  /// Number of non-identity tensor factors.
+  std::size_t weight() const;
+
+  /// True when the strings commute (phases ignored).
+  bool commutes_with(const PauliString& other) const;
+
+  /// In-place product: *this = *this · rhs, with exact i^k phase.
+  PauliString& operator*=(const PauliString& rhs);
+
+  friend PauliString operator*(PauliString lhs, const PauliString& rhs) {
+    lhs *= rhs;
+    return lhs;
+  }
+
+  bool operator==(const PauliString& other) const {
+    return phase_ == other.phase_ && x_ == other.x_ && z_ == other.z_;
+  }
+
+  /// "+XYZ_" style rendering; phase prefix is one of "+", "-", "+i", "-i".
+  std::string to_string() const;
+
+ private:
+  int phase_ = 0;  // exponent of i, mod 4
+  BitVector x_;
+  BitVector z_;
+};
+
+/// Exponent of i picked up when multiplying lhs·rhs, considering only the
+/// tensor factors (not the stored phases). Mod 4.
+int pauli_mul_i_exponent(const PauliString& lhs, const PauliString& rhs);
+
+}  // namespace symphase

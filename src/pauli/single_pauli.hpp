@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file single_pauli.hpp
+/// Single-qubit Pauli algebra in the (x, z) bit encoding.
+///
+/// A literal Pauli P in {I, X, Y, Z} maps to bits (x, z):
+///   I=(0,0)  X=(1,0)  Y=(1,1)  Z=(0,1)
+/// Products of literal Paulis pick up powers of i; `pauli_product_i_exp`
+/// is the g-function of Aaronson & Gottesman (2004), the only place in
+/// the whole simulator where imaginary phases enter.
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace symphase {
+
+enum class SinglePauli : std::uint8_t { I = 0, X = 1, Z = 2, Y = 3 };
+
+constexpr bool pauli_x_bit(SinglePauli p) {
+  return (static_cast<std::uint8_t>(p) & 1) != 0;
+}
+constexpr bool pauli_z_bit(SinglePauli p) {
+  return (static_cast<std::uint8_t>(p) & 2) != 0;
+}
+
+constexpr SinglePauli pauli_from_xz(bool x, bool z) {
+  return static_cast<SinglePauli>((x ? 1 : 0) | (z ? 2 : 0));
+}
+
+constexpr char pauli_char(SinglePauli p) {
+  switch (p) {
+    case SinglePauli::I:
+      return 'I';
+    case SinglePauli::X:
+      return 'X';
+    case SinglePauli::Y:
+      return 'Y';
+    case SinglePauli::Z:
+      return 'Z';
+  }
+  return '?';
+}
+
+/// Exponent g in P1·P2 = i^g · P3 (mod 4), for literal Paulis given by
+/// bit-pairs (x1,z1), (x2,z2). Matches A-G Eq. for the rowsum phase
+/// function; always in {0, 1, 3} represented mod 4 here as {0,1,3}.
+constexpr int pauli_product_i_exp(bool x1, bool z1, bool x2, bool z2) {
+  const int ix2 = x2 ? 1 : 0;
+  const int iz2 = z2 ? 1 : 0;
+  int g = 0;
+  if (!x1 && !z1) {
+    g = 0;  // I · P = P
+  } else if (x1 && z1) {
+    g = iz2 - ix2;  // Y·X = -i Z, Y·Z = i X
+  } else if (x1 && !z1) {
+    g = iz2 * (2 * ix2 - 1);  // X·Y = i Z, X·Z = -i Y
+  } else {
+    g = ix2 * (1 - 2 * iz2);  // Z·X = i Y, Z·Y = -i X
+  }
+  return (g % 4 + 4) % 4;
+}
+
+/// True when the two single-qubit Paulis anticommute.
+constexpr bool pauli_anticommutes(bool x1, bool z1, bool x2, bool z2) {
+  return ((x1 && z2) != (z1 && x2));
+}
+
+/// Parses 'I','X','Y','Z' (throws std::invalid_argument otherwise).
+inline SinglePauli pauli_from_char(char c) {
+  switch (c) {
+    case 'I':
+    case '_':
+      return SinglePauli::I;
+    case 'X':
+      return SinglePauli::X;
+    case 'Y':
+      return SinglePauli::Y;
+    case 'Z':
+      return SinglePauli::Z;
+    default:
+      SYMPHASE_CHECK_MSG(false, "invalid Pauli character '" << c << "'");
+  }
+  return SinglePauli::I;  // unreachable
+}
+
+}  // namespace symphase

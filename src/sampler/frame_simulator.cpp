@@ -1,0 +1,306 @@
+#include "sampler/frame_simulator.hpp"
+
+#include "tableau/stabilizer_simulator.hpp"
+
+namespace symphase {
+
+namespace {
+
+inline void xor_into(Word* dst, const Word* src, std::size_t count) {
+  for (std::size_t w = 0; w < count; ++w) {
+    dst[w] ^= src[w];
+  }
+}
+
+}  // namespace
+
+Circuit circuit_without_noise(const Circuit& circuit) {
+  Circuit clean(circuit.num_qubits());
+  for (const Instruction& inst : circuit.instructions()) {
+    if (!is_noise(inst.type)) {
+      clean.append(inst.type, inst.targets, 0.0);
+    }
+  }
+  return clean;
+}
+
+FrameSimulator::FrameSimulator(const Circuit& circuit, std::uint64_t seed)
+    : circuit_(circuit) {
+  StabilizerSimulator<BlockedTableau> reference_sim(
+      std::max<std::size_t>(circuit.num_qubits(), 1), seed);
+  const Circuit clean = circuit_without_noise(circuit);
+  reference_sim.run_circuit(clean);
+  reference_ = reference_sim.record();
+}
+
+BitMatrix FrameSimulator::sample(std::size_t num_samples,
+                                 std::uint64_t seed) const {
+  const std::size_t n = std::max<std::size_t>(circuit_.num_qubits(), 1);
+  const std::size_t shot_words = words_for_bits(num_samples);
+  BitMatrix xf(n, num_samples);
+  BitMatrix zf(n, num_samples);
+  BitMatrix out(num_measurements(), num_samples);
+  Rng rng(seed);
+  std::vector<Word> scratch(shot_words);
+
+  // Z-gauge initialization (as in Stim): each |0>-initialized qubit gets a
+  // random Z frame. Z on |0> is a stabilizer, so this changes nothing
+  // physically, but once coherent dynamics map Z frames onto X frames it
+  // supplies exactly the per-shot randomness that "random" measurements
+  // require.
+  for (std::size_t q = 0; q < n; ++q) {
+    fill_random_words(rng, zf.row(q), shot_words);
+  }
+
+  std::size_t measure_index = 0;
+
+  const auto record_measurement = [&](std::uint32_t q) {
+    SYMPHASE_ASSERT(measure_index < reference_.size());
+    const Word* x = xf.row(q);
+    Word* dst = out.row(measure_index);
+    if (reference_[measure_index]) {
+      for (std::size_t w = 0; w < shot_words; ++w) {
+        dst[w] = ~x[w];
+      }
+      if (num_samples % kWordBits != 0) {
+        dst[shot_words - 1] &= tail_mask(num_samples);
+      }
+    } else {
+      for (std::size_t w = 0; w < shot_words; ++w) {
+        dst[w] = x[w];
+      }
+    }
+    ++measure_index;
+    // Collapse gauge: the measured qubit's Z frame is re-randomized.
+    Word* z = zf.row(q);
+    for (std::size_t w = 0; w < shot_words; ++w) {
+      z[w] ^= rng.next_word();
+    }
+  };
+
+  const auto reset_frames = [&](std::uint32_t q) {
+    // Reset clears the X frame; the Z frame is re-randomized (fresh
+    // |0>-state gauge, same reasoning as at initialization).
+    xf.clear_row(q);
+    fill_random_words(rng, zf.row(q), shot_words);
+  };
+
+  const auto apply_depolarize = [&](double p,
+                                    std::span<const std::uint32_t> qubits) {
+    // Event bits per shot; on event, a uniform non-identity Pauli pattern
+    // over the involved qubits (matches SymbolValueSampler's channels).
+    fill_biased_words(rng, scratch.data(), shot_words, p);
+    const std::uint32_t members = static_cast<std::uint32_t>(
+        2 * qubits.size());
+    const std::uint64_t pattern_count = (std::uint64_t{1} << members) - 1;
+    for (std::size_t w = 0; w < shot_words; ++w) {
+      Word bits = scratch[w];
+      while (bits != 0) {
+        const auto k = static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint64_t pattern = rng.next_below(pattern_count) + 1;
+        for (std::size_t qi = 0; qi < qubits.size(); ++qi) {
+          if (((pattern >> (2 * qi)) & 1) != 0) {
+            xf.row(qubits[qi])[w] ^= Word{1} << k;
+          }
+          if (((pattern >> (2 * qi + 1)) & 1) != 0) {
+            zf.row(qubits[qi])[w] ^= Word{1} << k;
+          }
+        }
+      }
+    }
+  };
+
+  for (const Instruction& inst : circuit_.instructions()) {
+    switch (inst.type) {
+      case GateType::I:
+      case GateType::TICK:
+      case GateType::DETECTOR:
+      case GateType::OBSERVABLE_INCLUDE:
+        break;
+      // Pauli gates commute trivially through the frame (they are part
+      // of the reference dynamics, not a frame change).
+      case GateType::X:
+      case GateType::Y:
+      case GateType::Z:
+        break;
+      case GateType::H:
+        for (const std::uint32_t q : inst.targets) {
+          Word* x = xf.row(q);
+          Word* z = zf.row(q);
+          for (std::size_t w = 0; w < shot_words; ++w) {
+            std::swap(x[w], z[w]);
+          }
+        }
+        break;
+      case GateType::S:
+      case GateType::S_DAG:
+        // Frames ignore signs: X -> ±Y means z ^= x.
+        for (const std::uint32_t q : inst.targets) {
+          Word* x = xf.row(q);
+          Word* z = zf.row(q);
+          for (std::size_t w = 0; w < shot_words; ++w) {
+            z[w] ^= x[w];
+          }
+        }
+        break;
+      case GateType::SQRT_X:
+      case GateType::SQRT_X_DAG:
+      case GateType::H_YZ:
+        for (const std::uint32_t q : inst.targets) {
+          Word* x = xf.row(q);
+          Word* z = zf.row(q);
+          for (std::size_t w = 0; w < shot_words; ++w) {
+            x[w] ^= z[w];
+          }
+        }
+        break;
+      case GateType::CNOT:
+        for (std::size_t i = 0; i < inst.targets.size(); i += 2) {
+          Word* xc = xf.row(inst.targets[i]);
+          Word* zc = zf.row(inst.targets[i]);
+          Word* xt = xf.row(inst.targets[i + 1]);
+          Word* zt = zf.row(inst.targets[i + 1]);
+          for (std::size_t w = 0; w < shot_words; ++w) {
+            xt[w] ^= xc[w];
+            zc[w] ^= zt[w];
+          }
+        }
+        break;
+      case GateType::CZ:
+        for (std::size_t i = 0; i < inst.targets.size(); i += 2) {
+          Word* xa = xf.row(inst.targets[i]);
+          Word* za = zf.row(inst.targets[i]);
+          Word* xb = xf.row(inst.targets[i + 1]);
+          Word* zb = zf.row(inst.targets[i + 1]);
+          for (std::size_t w = 0; w < shot_words; ++w) {
+            za[w] ^= xb[w];
+            zb[w] ^= xa[w];
+          }
+        }
+        break;
+      case GateType::SWAP:
+        for (std::size_t i = 0; i < inst.targets.size(); i += 2) {
+          xf.swap_rows(inst.targets[i], inst.targets[i + 1]);
+          zf.swap_rows(inst.targets[i], inst.targets[i + 1]);
+        }
+        break;
+      case GateType::M:
+        for (const std::uint32_t q : inst.targets) {
+          record_measurement(q);
+        }
+        break;
+      case GateType::COND_X:
+      case GateType::COND_Y:
+      case GateType::COND_Z:
+        // The reference run already applied the Pauli conditioned on the
+        // reference outcome; per shot, the applied power differs by the
+        // recorded *frame* bit f = out_row ^ reference, so the frame of
+        // the target qubit absorbs P^f.
+        for (std::size_t i = 0; i < inst.targets.size(); i += 2) {
+          const std::uint32_t lookback = rec_lookback(inst.targets[i]);
+          SYMPHASE_CHECK_MSG(lookback >= 1 && lookback <= measure_index,
+                             gate_name(inst.type)
+                                 << " record lookback " << lookback
+                                 << " exceeds the measurement record");
+          const std::size_t idx = measure_index - lookback;
+          const std::uint32_t q = inst.targets[i + 1];
+          const Word* recorded = out.row(idx);
+          const Word ref_mask = reference_[idx] ? ~Word{0} : Word{0};
+          const bool flip_x = inst.type != GateType::COND_Z;
+          const bool flip_z = inst.type != GateType::COND_X;
+          Word* x = xf.row(q);
+          Word* z = zf.row(q);
+          for (std::size_t w = 0; w < shot_words; ++w) {
+            const Word f = recorded[w] ^ ref_mask;
+            if (flip_x) {
+              x[w] ^= f;
+            }
+            if (flip_z) {
+              z[w] ^= f;
+            }
+          }
+        }
+        break;
+      case GateType::MR:
+        for (const std::uint32_t q : inst.targets) {
+          record_measurement(q);
+          reset_frames(q);
+        }
+        break;
+      case GateType::R:
+        for (const std::uint32_t q : inst.targets) {
+          reset_frames(q);
+        }
+        break;
+      case GateType::X_ERROR:
+        for (const std::uint32_t q : inst.targets) {
+          fill_biased_words(rng, scratch.data(), shot_words,
+                            inst.probability);
+          xor_into(xf.row(q), scratch.data(), shot_words);
+        }
+        break;
+      case GateType::Z_ERROR:
+        for (const std::uint32_t q : inst.targets) {
+          fill_biased_words(rng, scratch.data(), shot_words,
+                            inst.probability);
+          xor_into(zf.row(q), scratch.data(), shot_words);
+        }
+        break;
+      case GateType::Y_ERROR:
+        for (const std::uint32_t q : inst.targets) {
+          fill_biased_words(rng, scratch.data(), shot_words,
+                            inst.probability);
+          xor_into(xf.row(q), scratch.data(), shot_words);
+          xor_into(zf.row(q), scratch.data(), shot_words);
+        }
+        break;
+      case GateType::DEPOLARIZE1:
+        for (const std::uint32_t q : inst.targets) {
+          const std::uint32_t qs[1] = {q};
+          apply_depolarize(inst.probability, qs);
+        }
+        break;
+      case GateType::DEPOLARIZE2:
+        for (std::size_t i = 0; i < inst.targets.size(); i += 2) {
+          const std::uint32_t qs[2] = {inst.targets[i], inst.targets[i + 1]};
+          apply_depolarize(inst.probability, qs);
+        }
+        break;
+    }
+  }
+  SYMPHASE_ASSERT(measure_index == reference_.size());
+
+  // Mask tail columns so popcount-based consumers see exact counts.
+  if (num_samples % kWordBits != 0 && shot_words > 0) {
+    const Word mask = tail_mask(num_samples);
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      out.row(r)[shot_words - 1] &= mask;
+    }
+  }
+  return out;
+}
+
+FrameSimulator::DetectionEvents FrameSimulator::sample_detection_events(
+    std::size_t num_samples, std::uint64_t seed) const {
+  const BitMatrix measurements = sample(num_samples, seed);
+  const DetectorLayout layout = resolve_detectors(circuit_);
+  DetectionEvents events{
+      BitMatrix(layout.detectors.size(), num_samples),
+      BitMatrix(layout.observables.size(), num_samples),
+  };
+  const auto fold = [&](const std::vector<std::vector<std::size_t>>& defs,
+                        BitMatrix& out) {
+    for (std::size_t d = 0; d < defs.size(); ++d) {
+      for (const std::size_t m : defs[d]) {
+        out.xor_words_into_row(
+            {measurements.row(m), measurements.words_per_row()}, d);
+      }
+    }
+  };
+  fold(layout.detectors, events.detectors);
+  fold(layout.observables, events.observables);
+  return events;
+}
+
+}  // namespace symphase

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file frame_simulator.hpp
+/// Batched Pauli-frame propagation — the baseline algorithm (Rall et al.
+/// 2019) used by Stim, reproduced here for the paper's comparisons.
+///
+/// One noiseless A-G pass produces a reference measurement record; each
+/// sample then propagates only the Pauli *difference* (frame) between the
+/// noisy run and the reference through the circuit. Frames for 64 shots
+/// are packed per word, so the per-gate cost is O(n_smp/64) words and the
+/// total sampling cost is O(n_smp · (n_g + n_m + n_p)) — the "Stim's"
+/// row of the paper's Table 1. Unlike SymPhase, every batch of samples
+/// re-traverses the whole circuit.
+///
+/// Frame semantics: X-frame bits flip Z-measurement outcomes; after a
+/// measurement or reset the Z-frame of the touched qubit is randomized
+/// (measurement collapse makes the relative phase a fresh gauge), which
+/// matters if the qubit later re-enters coherent dynamics.
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvec/bit_matrix.hpp"
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace symphase {
+
+/// Returns `circuit` with every noise channel removed (the reference
+/// circuit of the frame method).
+Circuit circuit_without_noise(const Circuit& circuit);
+
+class FrameSimulator {
+ public:
+  /// Builds the sampler: runs the noiseless reference simulation once
+  /// (this is the frame method's "initialize a sampler" cost in Fig. 3).
+  explicit FrameSimulator(const Circuit& circuit, std::uint64_t seed = 0);
+
+  std::size_t num_measurements() const { return reference_.size(); }
+  const std::vector<bool>& reference_record() const { return reference_; }
+
+  /// Generates `num_samples` joint samples of all measurements by
+  /// propagating that many frames through the circuit (one traversal per
+  /// call). Output: num_measurements x num_samples, same convention as
+  /// SymPhaseSampler::sample. Deterministic in `seed`.
+  BitMatrix sample(std::size_t num_samples, std::uint64_t seed) const;
+
+  struct DetectionEvents {
+    BitMatrix detectors;
+    BitMatrix observables;
+  };
+  /// Samples measurements, then folds them through the circuit's
+  /// DETECTOR / OBSERVABLE_INCLUDE annotations (XOR of record rows).
+  DetectionEvents sample_detection_events(std::size_t num_samples,
+                                          std::uint64_t seed) const;
+
+ private:
+  Circuit circuit_;  // owned copy: the sampler re-traverses it per batch
+  std::vector<bool> reference_;
+};
+
+}  // namespace symphase

@@ -1,0 +1,28 @@
+#include "sampler/resample.hpp"
+
+#include "tableau/row_major_tableau.hpp"
+#include "tableau/stabilizer_simulator.hpp"
+
+namespace symphase {
+
+BitMatrix sample_by_resimulation(const Circuit& circuit,
+                                 std::size_t num_samples,
+                                 std::uint64_t seed) {
+  const std::size_t nm = circuit.num_measurements();
+  BitMatrix out(nm, num_samples);
+  Rng seeder(seed);
+  for (std::size_t shot = 0; shot < num_samples; ++shot) {
+    StabilizerSimulator<RowMajorTableau> sim(
+        std::max<std::size_t>(circuit.num_qubits(), 1), seeder.next_word());
+    sim.run_circuit(circuit);
+    SYMPHASE_ASSERT(sim.record().size() == nm);
+    for (std::size_t k = 0; k < nm; ++k) {
+      if (sim.record()[k]) {
+        out.set(k, shot, true);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace symphase

@@ -1,0 +1,198 @@
+#include "sampler/sample_writer.hpp"
+
+#include <istream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace symphase {
+
+SampleFormat sample_format_from_name(std::string_view name) {
+  if (name == "01") {
+    return SampleFormat::k01;
+  }
+  if (name == "hex") {
+    return SampleFormat::kHex;
+  }
+  if (name == "b8") {
+    return SampleFormat::kB8;
+  }
+  if (name == "dets") {
+    return SampleFormat::kDets;
+  }
+  SYMPHASE_CHECK_MSG(false, "unknown sample format '" << name
+                                                      << "' (01|hex|b8|dets)");
+  return SampleFormat::k01;
+}
+
+void write_samples(const BitMatrix& samples, SampleFormat format,
+                   std::ostream& out, std::size_t num_detectors) {
+  const std::size_t bits = samples.rows();
+  const std::size_t shots = samples.cols();
+  if (num_detectors == SIZE_MAX) {
+    num_detectors = bits;
+  }
+  SYMPHASE_CHECK(num_detectors <= bits);
+
+  switch (format) {
+    case SampleFormat::k01: {
+      std::string line(bits, '0');
+      for (std::size_t shot = 0; shot < shots; ++shot) {
+        for (std::size_t k = 0; k < bits; ++k) {
+          line[k] = samples.get(k, shot) ? '1' : '0';
+        }
+        out << line << '\n';
+      }
+      return;
+    }
+    case SampleFormat::kHex: {
+      static const char kDigits[] = "0123456789abcdef";
+      std::string line(ceil_div(bits, 4), '0');
+      for (std::size_t shot = 0; shot < shots; ++shot) {
+        // LSB-first nibbles: bit k lands in nibble k/4 at value bit k%4.
+        for (std::size_t nib = 0; nib < line.size(); ++nib) {
+          int value = 0;
+          for (std::size_t b = 0; b < 4; ++b) {
+            const std::size_t k = nib * 4 + b;
+            if (k < bits && samples.get(k, shot)) {
+              value |= 1 << b;
+            }
+          }
+          line[nib] = kDigits[value];
+        }
+        out << line << '\n';
+      }
+      return;
+    }
+    case SampleFormat::kB8: {
+      const std::size_t bytes = ceil_div(bits, 8);
+      std::vector<char> record(bytes);
+      for (std::size_t shot = 0; shot < shots; ++shot) {
+        std::fill(record.begin(), record.end(), 0);
+        for (std::size_t k = 0; k < bits; ++k) {
+          if (samples.get(k, shot)) {
+            record[k / 8] = static_cast<char>(
+                static_cast<unsigned char>(record[k / 8]) | (1u << (k % 8)));
+          }
+        }
+        out.write(record.data(),
+                  static_cast<std::streamsize>(record.size()));
+      }
+      return;
+    }
+    case SampleFormat::kDets: {
+      for (std::size_t shot = 0; shot < shots; ++shot) {
+        out << "shot";
+        for (std::size_t k = 0; k < bits; ++k) {
+          if (samples.get(k, shot)) {
+            if (k < num_detectors) {
+              out << " D" << k;
+            } else {
+              out << " L" << k - num_detectors;
+            }
+          }
+        }
+        out << '\n';
+      }
+      return;
+    }
+  }
+}
+
+std::string samples_to_string(const BitMatrix& samples, SampleFormat format,
+                              std::size_t num_detectors) {
+  std::ostringstream oss;
+  write_samples(samples, format, oss, num_detectors);
+  return oss.str();
+}
+
+namespace {
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  SYMPHASE_CHECK_MSG(false, "invalid hex digit '" << c << "'");
+  return 0;
+}
+
+}  // namespace
+
+BitMatrix read_samples(std::istream& in, SampleFormat format,
+                       std::size_t bits_per_shot) {
+  std::vector<std::vector<bool>> shots;
+  switch (format) {
+    case SampleFormat::k01: {
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty()) {
+          continue;
+        }
+        SYMPHASE_CHECK_MSG(line.size() == bits_per_shot,
+                           "01 record length " << line.size() << " != "
+                                               << bits_per_shot);
+        std::vector<bool> shot(bits_per_shot);
+        for (std::size_t k = 0; k < bits_per_shot; ++k) {
+          SYMPHASE_CHECK_MSG(line[k] == '0' || line[k] == '1',
+                             "invalid 01 character");
+          shot[k] = line[k] == '1';
+        }
+        shots.push_back(std::move(shot));
+      }
+      break;
+    }
+    case SampleFormat::kHex: {
+      const std::size_t nibbles = ceil_div(bits_per_shot, 4);
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty()) {
+          continue;
+        }
+        SYMPHASE_CHECK_MSG(line.size() == nibbles,
+                           "hex record length mismatch");
+        std::vector<bool> shot(bits_per_shot);
+        for (std::size_t k = 0; k < bits_per_shot; ++k) {
+          shot[k] = (hex_value(line[k / 4]) >> (k % 4)) & 1;
+        }
+        shots.push_back(std::move(shot));
+      }
+      break;
+    }
+    case SampleFormat::kB8: {
+      const std::size_t bytes = ceil_div(bits_per_shot, 8);
+      std::vector<char> record(bytes);
+      while (in.read(record.data(),
+                     static_cast<std::streamsize>(record.size()))) {
+        std::vector<bool> shot(bits_per_shot);
+        for (std::size_t k = 0; k < bits_per_shot; ++k) {
+          shot[k] = (static_cast<unsigned char>(record[k / 8]) >> (k % 8)) & 1;
+        }
+        shots.push_back(std::move(shot));
+      }
+      SYMPHASE_CHECK_MSG(in.gcount() == 0, "trailing partial b8 record");
+      break;
+    }
+    case SampleFormat::kDets:
+      SYMPHASE_CHECK_MSG(false, "dets format is write-only");
+      break;
+  }
+
+  BitMatrix out(bits_per_shot, shots.size());
+  for (std::size_t shot = 0; shot < shots.size(); ++shot) {
+    for (std::size_t k = 0; k < bits_per_shot; ++k) {
+      if (shots[shot][k]) {
+        out.set(k, shot, true);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace symphase

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file sample_writer.hpp
+/// Serialization of sample matrices to the common interchange formats.
+///
+/// Sample matrices everywhere in this library are measurement-major
+/// (row = one measurement/detector across shots). Files are shot-major
+/// (one record per shot), matching what decoders and analysis scripts
+/// consume; the writer performs the transposition.
+///
+/// Formats:
+///   k01  — ASCII '0'/'1' per bit, one line per shot.
+///   kHex — lowercase hex per shot (4 bits/char, LSB-first nibbles),
+///          one line per shot.
+///   kB8  — raw binary: ceil(bits/8) bytes per shot, bit i of the record
+///          at byte i/8, bit position i%8 (Stim's b8 layout).
+///   kDets— sparse ASCII: "shot D1 D5 L0" event lists, one line per
+///          shot (detector sampling only; pass num_detectors so indices
+///          beyond it print as logical observables).
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "bitvec/bit_matrix.hpp"
+
+namespace symphase {
+
+enum class SampleFormat { k01, kHex, kB8, kDets };
+
+/// Parses "01", "hex", "b8", "dets"; throws on anything else.
+SampleFormat sample_format_from_name(std::string_view name);
+
+/// Writes `samples` (measurement-major) to `out` shot-major in `format`.
+/// For kDets, rows with index >= num_detectors are rendered as
+/// "L<index - num_detectors>"; pass num_detectors == rows for pure
+/// detector output.
+void write_samples(const BitMatrix& samples, SampleFormat format,
+                   std::ostream& out,
+                   std::size_t num_detectors = SIZE_MAX);
+
+/// Convenience: serialize to a string.
+std::string samples_to_string(const BitMatrix& samples, SampleFormat format,
+                              std::size_t num_detectors = SIZE_MAX);
+
+/// Reads back a shot-major k01/kHex/kB8 stream into a measurement-major
+/// matrix with `bits_per_shot` columns-per-record. Round-trips
+/// write_samples exactly. Throws on malformed input.
+BitMatrix read_samples(std::istream& in, SampleFormat format,
+                       std::size_t bits_per_shot);
+
+}  // namespace symphase

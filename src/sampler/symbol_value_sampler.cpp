@@ -1,0 +1,115 @@
+#include "sampler/symbol_value_sampler.hpp"
+
+#include <algorithm>
+
+namespace symphase {
+
+SymbolValueSampler::SymbolValueSampler(const SymbolTable& table,
+                                       std::vector<std::uint32_t> used_symbols)
+    : table_(table), used_symbols_(std::move(used_symbols)) {
+  SYMPHASE_CHECK(std::is_sorted(used_symbols_.begin(), used_symbols_.end()));
+  SYMPHASE_CHECK(std::adjacent_find(used_symbols_.begin(),
+                                    used_symbols_.end()) ==
+                 used_symbols_.end());
+  if (!used_symbols_.empty()) {
+    SYMPHASE_CHECK(used_symbols_.back() < table_.num_symbols());
+    row_lookup_.assign(used_symbols_.back() + 1, 0);
+  }
+  for (std::size_t r = 0; r < used_symbols_.size(); ++r) {
+    row_lookup_[used_symbols_[r]] = static_cast<std::uint32_t>(r) + 1;
+  }
+  std::uint32_t last_group = UINT32_MAX;
+  for (const std::uint32_t s : used_symbols_) {
+    const std::uint32_t g = table_.group_index_of(s);
+    if (g != last_group) {
+      active_groups_.push_back(g);
+      last_group = g;
+    }
+  }
+}
+
+std::uint32_t SymbolValueSampler::row_of(std::uint32_t symbol) const {
+  SYMPHASE_CHECK(symbol < row_lookup_.size() && row_lookup_[symbol] != 0);
+  return row_lookup_[symbol] - 1;
+}
+
+BitMatrix SymbolValueSampler::generate(std::size_t num_samples,
+                                       std::uint64_t seed) const {
+  BitMatrix b(num_rows(), num_samples);
+  Rng rng(seed);
+  const std::size_t shot_words = words_for_bits(num_samples);
+
+  // Row pointer for a group member, or nullptr if that member is unused.
+  const auto member_row = [&](std::uint32_t symbol) -> Word* {
+    if (symbol >= row_lookup_.size() || row_lookup_[symbol] == 0) {
+      return nullptr;
+    }
+    return b.row(row_lookup_[symbol] - 1);
+  };
+
+  for (const std::uint32_t gi : active_groups_) {
+    const SymbolGroup& group = table_.groups()[gi];
+    switch (group.kind) {
+      case SymbolGroupKind::kConstant: {
+        Word* row = member_row(group.first_symbol);
+        SYMPHASE_ASSERT(row != nullptr);
+        for (std::size_t w = 0; w < shot_words; ++w) {
+          row[w] = ~Word{0};
+        }
+        break;
+      }
+      case SymbolGroupKind::kCoin: {
+        Word* row = member_row(group.first_symbol);
+        SYMPHASE_ASSERT(row != nullptr);
+        fill_random_words(rng, row, shot_words);
+        break;
+      }
+      case SymbolGroupKind::kBernoulli: {
+        Word* row = member_row(group.first_symbol);
+        SYMPHASE_ASSERT(row != nullptr);
+        fill_biased_words(rng, row, shot_words, group.probability);
+        break;
+      }
+      case SymbolGroupKind::kDepolarize1:
+      case SymbolGroupKind::kDepolarize2: {
+        // Joint sampling: an "event" Bernoulli(p) per shot; on event, a
+        // uniform non-identity pattern over the member bits. Event bits
+        // are typically sparse, so we walk only set bits.
+        const std::uint32_t member_count = group.num_symbols;
+        const std::uint64_t pattern_count =
+            (std::uint64_t{1} << member_count) - 1;  // non-identity patterns
+        Word* rows[4] = {nullptr, nullptr, nullptr, nullptr};
+        for (std::uint32_t k = 0; k < member_count; ++k) {
+          rows[k] = member_row(group.first_symbol + k);
+        }
+        std::vector<Word> events(shot_words);
+        fill_biased_words(rng, events.data(), shot_words, group.probability);
+        for (std::size_t w = 0; w < shot_words; ++w) {
+          Word bits = events[w];
+          while (bits != 0) {
+            const auto k = static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const std::uint64_t pattern = rng.next_below(pattern_count) + 1;
+            for (std::uint32_t m = 0; m < member_count; ++m) {
+              if (((pattern >> m) & 1) != 0 && rows[m] != nullptr) {
+                rows[m][w] |= Word{1} << k;
+              }
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Mask tail bits beyond num_samples so downstream popcounts are exact.
+  if (num_samples % kWordBits != 0 && shot_words > 0) {
+    const Word mask = tail_mask(num_samples);
+    for (std::size_t r = 0; r < b.rows(); ++r) {
+      b.row(r)[shot_words - 1] &= mask;
+    }
+  }
+  return b;
+}
+
+}  // namespace symphase

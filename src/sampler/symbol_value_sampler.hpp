@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file symbol_value_sampler.hpp
+/// Batched generation of the symbol-sample matrix B of Algorithm 1.
+///
+/// Column j of the paper's B is one joint sample b_j of all symbols;
+/// we store B row-per-symbol with shots packed 64 per word, so XORing
+/// expression rows (the sparse M·B product) runs word-parallel across
+/// shots.
+///
+/// Only symbols that actually appear in some measurement expression get
+/// a row: symbols that no expression reads cannot affect any outcome, so
+/// skipping them leaves the product M·B unchanged while keeping B's
+/// footprint proportional to the useful work. Correlated groups
+/// (depolarize) are sampled jointly; unused members of a used group are
+/// simply not materialized.
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvec/bit_matrix.hpp"
+#include "common/rng.hpp"
+#include "symbolic/symbol_table.hpp"
+
+namespace symphase {
+
+class SymbolValueSampler {
+ public:
+  /// `used_symbols` must be sorted and duplicate-free (symbol ids,
+  /// including 0 if any expression has a constant term).
+  SymbolValueSampler(const SymbolTable& table,
+                     std::vector<std::uint32_t> used_symbols);
+
+  /// Number of materialized B rows.
+  std::size_t num_rows() const { return used_symbols_.size(); }
+
+  /// Row index of `symbol` in the generated matrix;
+  /// fails if the symbol is not in the used set.
+  std::uint32_t row_of(std::uint32_t symbol) const;
+
+  /// Generates B: one row per used symbol, `num_samples` columns.
+  /// Deterministic in `seed`.
+  BitMatrix generate(std::size_t num_samples, std::uint64_t seed) const;
+
+  const std::vector<std::uint32_t>& used_symbols() const {
+    return used_symbols_;
+  }
+
+ private:
+  const SymbolTable& table_;
+  std::vector<std::uint32_t> used_symbols_;
+  // symbol id -> row index + 1 (0 = unused). Sized to max used + 1.
+  std::vector<std::uint32_t> row_lookup_;
+  // Group indices that contain at least one used symbol, ascending.
+  std::vector<std::uint32_t> active_groups_;
+};
+
+}  // namespace symphase

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file symphase_sampler.hpp
+/// Algorithm 1's Sampling step: measurement samples as an F2 matrix
+/// product M_samples = M · B (paper Eq. (4)).
+///
+/// Built from a compiled circuit's measurement expressions. Two multiply
+/// strategies are provided:
+///   - kSparse (default, what SymPhase.jl ships): XOR-accumulate the B
+///     rows named by each expression — O(nnz · n_smp / 64);
+///   - kDense: materialize M densely and use the dense F2 product — the
+///     §3.2.3 ablation point.
+/// Results come back measurement-major: row k of the output is
+/// measurement k across all shots, matching Eq. (4)'s column-per-sample
+/// convention (transposed storage).
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvec/bit_matrix.hpp"
+#include "bitvec/sparse_bit_matrix.hpp"
+#include "sampler/symbol_value_sampler.hpp"
+#include "symbolic/symphase_compiler.hpp"
+
+namespace symphase {
+
+enum class MultiplyStrategy { kSparse, kDense };
+
+class SymPhaseSampler {
+ public:
+  /// Consumes a compiled circuit's expressions and symbol table. The
+  /// SymbolTable reference must outlive the sampler (the facade in
+  /// core/symphase.hpp owns both).
+  SymPhaseSampler(const SymbolTable& symbols,
+                  const std::vector<MeasurementExpression>& expressions,
+                  MultiplyStrategy strategy = MultiplyStrategy::kSparse);
+
+  std::size_t num_measurements() const { return expr_matrix_.rows(); }
+  std::size_t num_used_symbols() const { return values_.num_rows(); }
+  MultiplyStrategy strategy() const { return strategy_; }
+
+  /// Generates `num_samples` joint samples of all measurements.
+  /// Output: num_measurements x num_samples bit-matrix (row = one
+  /// measurement across shots). Deterministic in `seed`.
+  BitMatrix sample(std::size_t num_samples, std::uint64_t seed) const;
+
+  /// Exact probability that measurement k reads 1, computed from the
+  /// symbolic expression (independent groups combined exactly).
+  /// O(expression length); used by tests and the examples.
+  double outcome_probability(std::size_t k) const;
+
+ private:
+  static std::vector<std::uint32_t> collect_used_symbols(
+      const std::vector<MeasurementExpression>& expressions);
+
+  MultiplyStrategy strategy_;
+  SymbolValueSampler values_;
+  /// Expressions with symbol ids remapped to B-row indices.
+  SparseBitMatrix expr_matrix_;
+  const SymbolTable& symbols_;
+  /// Original symbol ids per expression (for probability queries).
+  std::vector<std::vector<std::uint32_t>> raw_expressions_;
+};
+
+}  // namespace symphase

@@ -1,0 +1,316 @@
+#include "statevector/state_vector.hpp"
+
+#include <cmath>
+
+namespace symphase {
+
+namespace {
+using C = StateVector::Amplitude;
+const C kI{0.0, 1.0};
+}  // namespace
+
+StateVector::StateVector(std::size_t num_qubits)
+    : num_qubits_(num_qubits), amps_(std::size_t{1} << num_qubits, C{0.0}) {
+  SYMPHASE_CHECK_MSG(num_qubits <= 24, "state-vector oracle capped at 24 qubits");
+  amps_[0] = C{1.0};
+}
+
+void StateVector::apply_single(std::uint32_t q, const C m00, const C m01,
+                               const C m10, const C m11) {
+  SYMPHASE_CHECK(q < num_qubits_);
+  const std::size_t stride = std::size_t{1} << q;
+  for (std::size_t base = 0; base < amps_.size(); base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      const C a0 = amps_[i];
+      const C a1 = amps_[i + stride];
+      amps_[i] = m00 * a0 + m01 * a1;
+      amps_[i + stride] = m10 * a0 + m11 * a1;
+    }
+  }
+}
+
+void StateVector::apply_gate(GateType type, std::uint32_t a, std::uint32_t b) {
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  switch (type) {
+    case GateType::I:
+      return;
+    case GateType::X:
+      apply_single(a, 0, 1, 1, 0);
+      return;
+    case GateType::Y:
+      apply_single(a, 0, -kI, kI, 0);
+      return;
+    case GateType::Z:
+      apply_single(a, 1, 0, 0, -1);
+      return;
+    case GateType::H:
+      apply_single(a, inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2);
+      return;
+    case GateType::S:
+      apply_single(a, 1, 0, 0, kI);
+      return;
+    case GateType::S_DAG:
+      apply_single(a, 1, 0, 0, -kI);
+      return;
+    case GateType::SQRT_X:
+      apply_single(a, C{0.5, 0.5}, C{0.5, -0.5}, C{0.5, -0.5}, C{0.5, 0.5});
+      return;
+    case GateType::SQRT_X_DAG:
+      apply_single(a, C{0.5, -0.5}, C{0.5, 0.5}, C{0.5, 0.5}, C{0.5, -0.5});
+      return;
+    case GateType::H_YZ: {
+      // Maps Y <-> Z under conjugation: (S H S) up to phase. Matrix:
+      // [[1, -i], [i, -1]] / sqrt(2).
+      apply_single(a, inv_sqrt2 * C{1, 0}, inv_sqrt2 * (-kI),
+                   inv_sqrt2 * kI, inv_sqrt2 * C{-1, 0});
+      return;
+    }
+    case GateType::CNOT: {
+      SYMPHASE_CHECK(a < num_qubits_ && b < num_qubits_ && a != b);
+      const std::size_t ca = std::size_t{1} << a;
+      const std::size_t cb = std::size_t{1} << b;
+      for (std::size_t i = 0; i < amps_.size(); ++i) {
+        if ((i & ca) != 0 && (i & cb) == 0) {
+          std::swap(amps_[i], amps_[i | cb]);
+        }
+      }
+      return;
+    }
+    case GateType::CZ: {
+      SYMPHASE_CHECK(a < num_qubits_ && b < num_qubits_ && a != b);
+      const std::size_t ca = std::size_t{1} << a;
+      const std::size_t cb = std::size_t{1} << b;
+      for (std::size_t i = 0; i < amps_.size(); ++i) {
+        if ((i & ca) != 0 && (i & cb) != 0) {
+          amps_[i] = -amps_[i];
+        }
+      }
+      return;
+    }
+    case GateType::SWAP: {
+      SYMPHASE_CHECK(a < num_qubits_ && b < num_qubits_ && a != b);
+      const std::size_t ca = std::size_t{1} << a;
+      const std::size_t cb = std::size_t{1} << b;
+      for (std::size_t i = 0; i < amps_.size(); ++i) {
+        if ((i & ca) != 0 && (i & cb) == 0) {
+          std::swap(amps_[i], amps_[(i & ~ca) | cb]);
+        }
+      }
+      return;
+    }
+    default:
+      SYMPHASE_CHECK_MSG(false, "apply_gate: " << gate_name(type)
+                                               << " is not a unitary gate");
+  }
+}
+
+void StateVector::apply_pauli(const PauliString& pauli) {
+  SYMPHASE_CHECK(pauli.num_qubits() == num_qubits_);
+  for (std::uint32_t q = 0; q < num_qubits_; ++q) {
+    switch (pauli.pauli_at(q)) {
+      case SinglePauli::I:
+        break;
+      case SinglePauli::X:
+        apply_gate(GateType::X, q);
+        break;
+      case SinglePauli::Y:
+        apply_gate(GateType::Y, q);
+        break;
+      case SinglePauli::Z:
+        apply_gate(GateType::Z, q);
+        break;
+    }
+  }
+  C phase{1.0};
+  for (int k = 0; k < pauli.phase_exponent(); ++k) {
+    phase *= kI;
+  }
+  if (phase != C{1.0}) {
+    for (auto& amp : amps_) {
+      amp *= phase;
+    }
+  }
+}
+
+double StateVector::prob_zero(std::uint32_t q) const {
+  SYMPHASE_CHECK(q < num_qubits_);
+  const std::size_t mask = std::size_t{1} << q;
+  double p = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if ((i & mask) == 0) {
+      p += std::norm(amps_[i]);
+    }
+  }
+  return p;
+}
+
+bool StateVector::measure(std::uint32_t q, Rng& rng) {
+  const double p0 = prob_zero(q);
+  const bool outcome = rng.next_double() >= p0;
+  postselect(q, outcome);
+  return outcome;
+}
+
+double StateVector::postselect(std::uint32_t q, bool outcome) {
+  SYMPHASE_CHECK(q < num_qubits_);
+  const std::size_t mask = std::size_t{1} << q;
+  double p = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    const bool bit = (i & mask) != 0;
+    if (bit == outcome) {
+      p += std::norm(amps_[i]);
+    } else {
+      amps_[i] = C{0.0};
+    }
+  }
+  SYMPHASE_CHECK_MSG(p > 1e-12, "postselected on a zero-probability outcome");
+  const double scale = 1.0 / std::sqrt(p);
+  for (auto& amp : amps_) {
+    amp *= scale;
+  }
+  return p;
+}
+
+void StateVector::reset(std::uint32_t q, Rng& rng) {
+  if (measure(q, rng)) {
+    apply_gate(GateType::X, q);
+  }
+}
+
+void StateVector::run_circuit(const Circuit& circuit, Rng& rng,
+                              std::vector<bool>& record) {
+  SYMPHASE_CHECK(circuit.num_qubits() <= num_qubits_);
+  for (const Instruction& inst : circuit.instructions()) {
+    const GateInfo& info = gate_info(inst.type);
+    switch (info.kind) {
+      case GateKind::kUnitary1:
+        for (const std::uint32_t q : inst.targets) {
+          apply_gate(inst.type, q);
+        }
+        break;
+      case GateKind::kUnitary2:
+        for (std::size_t i = 0; i < inst.targets.size(); i += 2) {
+          apply_gate(inst.type, inst.targets[i], inst.targets[i + 1]);
+        }
+        break;
+      case GateKind::kMeasure:
+        for (const std::uint32_t q : inst.targets) {
+          const bool outcome = measure(q, rng);
+          record.push_back(outcome);
+          if (inst.type == GateType::MR && outcome) {
+            apply_gate(GateType::X, q);
+          }
+        }
+        break;
+      case GateKind::kReset:
+        for (const std::uint32_t q : inst.targets) {
+          reset(q, rng);
+        }
+        break;
+      case GateKind::kNoise1:
+        for (const std::uint32_t q : inst.targets) {
+          if (inst.type == GateType::DEPOLARIZE1) {
+            if (rng.next_double() < inst.probability) {
+              switch (rng.next_below(3)) {
+                case 0:
+                  apply_gate(GateType::X, q);
+                  break;
+                case 1:
+                  apply_gate(GateType::Y, q);
+                  break;
+                default:
+                  apply_gate(GateType::Z, q);
+                  break;
+              }
+            }
+          } else if (rng.next_double() < inst.probability) {
+            switch (inst.type) {
+              case GateType::X_ERROR:
+                apply_gate(GateType::X, q);
+                break;
+              case GateType::Y_ERROR:
+                apply_gate(GateType::Y, q);
+                break;
+              default:
+                apply_gate(GateType::Z, q);
+                break;
+            }
+          }
+        }
+        break;
+      case GateKind::kNoise2:
+        for (std::size_t i = 0; i < inst.targets.size(); i += 2) {
+          if (rng.next_double() < inst.probability) {
+            // Uniform non-identity two-qubit Pauli (15 options).
+            const std::uint64_t pick = rng.next_below(15) + 1;
+            const auto apply_single_pauli = [&](std::uint32_t q,
+                                                std::uint64_t code) {
+              switch (code) {
+                case 1:
+                  apply_gate(GateType::X, q);
+                  break;
+                case 2:
+                  apply_gate(GateType::Z, q);
+                  break;
+                case 3:
+                  apply_gate(GateType::Y, q);
+                  break;
+                default:
+                  break;
+              }
+            };
+            apply_single_pauli(inst.targets[i], pick & 3);
+            apply_single_pauli(inst.targets[i + 1], (pick >> 2) & 3);
+          }
+        }
+        break;
+      case GateKind::kControlled:
+        for (std::size_t i = 0; i < inst.targets.size(); i += 2) {
+          const std::uint32_t lookback = rec_lookback(inst.targets[i]);
+          SYMPHASE_CHECK_MSG(lookback >= 1 && lookback <= record.size(),
+                             "record lookback exceeds the record");
+          if (!record[record.size() - lookback]) {
+            continue;
+          }
+          const std::uint32_t q = inst.targets[i + 1];
+          switch (inst.type) {
+            case GateType::COND_X:
+              apply_gate(GateType::X, q);
+              break;
+            case GateType::COND_Y:
+              apply_gate(GateType::Y, q);
+              break;
+            default:
+              apply_gate(GateType::Z, q);
+              break;
+          }
+        }
+        break;
+      case GateKind::kDetector:
+      case GateKind::kAnnotation:
+        break;
+    }
+  }
+}
+
+double StateVector::fidelity_with(const StateVector& other) const {
+  SYMPHASE_CHECK(num_qubits_ == other.num_qubits_);
+  C inner{0.0};
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    inner += std::conj(amps_[i]) * other.amps_[i];
+  }
+  return std::norm(inner);
+}
+
+bool StateVector::is_stabilized_by(const PauliString& pauli,
+                                   double tol) const {
+  StateVector copy = *this;
+  copy.apply_pauli(pauli);
+  C inner{0.0};
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    inner += std::conj(amps_[i]) * copy.amps_[i];
+  }
+  return std::abs(inner - C{1.0}) < tol;
+}
+
+}  // namespace symphase

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file state_vector.hpp
+/// Dense state-vector simulator used as the ground-truth oracle in tests.
+///
+/// Exponential in qubit count (intended for n <= ~14); the stabilizer
+/// machinery is validated against it on small random circuits. Not part
+/// of the performance path.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "pauli/pauli_string.hpp"
+
+namespace symphase {
+
+class StateVector {
+ public:
+  using Amplitude = std::complex<double>;
+
+  /// |0...0> on `num_qubits` qubits.
+  explicit StateVector(std::size_t num_qubits);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  const std::vector<Amplitude>& amplitudes() const { return amps_; }
+
+  /// Applies a unitary gate (kUnitary1/kUnitary2 only) to the targets.
+  void apply_gate(GateType type, std::uint32_t a, std::uint32_t b = 0);
+
+  /// Applies a literal Pauli string (including its i^k phase).
+  void apply_pauli(const PauliString& pauli);
+
+  /// Probability of measuring qubit q as 0.
+  double prob_zero(std::uint32_t q) const;
+
+  /// Measures qubit q in the computational basis, collapsing the state.
+  bool measure(std::uint32_t q, Rng& rng);
+
+  /// Forces qubit q to `outcome`, renormalizing. Returns the probability
+  /// the outcome had; caller must ensure it is non-zero.
+  double postselect(std::uint32_t q, bool outcome);
+
+  /// Resets qubit q to |0> (measure, then flip if needed).
+  void reset(std::uint32_t q, Rng& rng);
+
+  /// Runs a full circuit. Noise channels are sampled using `rng`;
+  /// measurement outcomes are appended to `record`.
+  void run_circuit(const Circuit& circuit, Rng& rng,
+                   std::vector<bool>& record);
+
+  /// |<this|other>|^2 — 1 when equal up to global phase.
+  double fidelity_with(const StateVector& other) const;
+
+  /// True when `pauli` stabilizes the state: P|psi> == |psi> within tol.
+  bool is_stabilized_by(const PauliString& pauli, double tol = 1e-9) const;
+
+ private:
+  void apply_single(std::uint32_t q, const Amplitude m00, const Amplitude m01,
+                    const Amplitude m10, const Amplitude m11);
+
+  std::size_t num_qubits_;
+  std::vector<Amplitude> amps_;
+};
+
+}  // namespace symphase

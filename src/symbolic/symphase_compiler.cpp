@@ -1,0 +1,341 @@
+#include "symbolic/symphase_compiler.hpp"
+
+#include "tableau/col_major_tableau.hpp"
+#include "tableau/row_major_tableau.hpp"
+
+namespace symphase {
+
+template <typename Layout>
+std::size_t SymPhaseCompiler<Layout>::phase_capacity_for(
+    const Circuit& circuit) {
+  std::size_t capacity = 1;  // constant column s_0
+  for (const Instruction& inst : circuit.instructions()) {
+    switch (inst.type) {
+      case GateType::M:
+      case GateType::MR:
+      case GateType::R:
+        capacity += inst.targets.size();
+        break;
+      case GateType::X_ERROR:
+      case GateType::Y_ERROR:
+      case GateType::Z_ERROR:
+        capacity += inst.targets.size();
+        break;
+      case GateType::DEPOLARIZE1:
+        capacity += 2 * inst.targets.size();
+        break;
+      case GateType::DEPOLARIZE2:
+        capacity += 2 * inst.targets.size();  // 4 per pair = 2 per target
+        break;
+      default:
+        break;
+    }
+  }
+  return capacity;
+}
+
+template <typename Layout>
+SymPhaseCompiler<Layout>::SymPhaseCompiler(const Circuit& circuit)
+    : tableau_(std::max<std::size_t>(circuit.num_qubits(), 1),
+               phase_capacity_for(circuit)) {
+  expressions_.reserve(circuit.num_measurements());
+  for (const Instruction& inst : circuit.instructions()) {
+    apply_instruction(inst);
+  }
+}
+
+template <typename Layout>
+void SymPhaseCompiler<Layout>::mint_symbol_columns(std::uint32_t first,
+                                                   std::uint32_t count) {
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const std::size_t col = tableau_.allocate_phase_column();
+    SYMPHASE_ASSERT(col == first + k);
+    (void)col;
+    (void)first;
+  }
+}
+
+template <typename Layout>
+void SymPhaseCompiler<Layout>::apply_instruction(const Instruction& inst) {
+  const GateInfo& info = gate_info(inst.type);
+  switch (info.kind) {
+    case GateKind::kUnitary1:
+      for (const std::uint32_t q : inst.targets) {
+        apply_unitary(inst.type, q, 0);
+      }
+      break;
+    case GateKind::kUnitary2:
+      for (std::size_t i = 0; i < inst.targets.size(); i += 2) {
+        apply_unitary(inst.type, inst.targets[i], inst.targets[i + 1]);
+      }
+      break;
+    case GateKind::kMeasure:
+      for (const std::uint32_t q : inst.targets) {
+        MeasurementExpression expr = measure(q);
+        if (inst.type == GateType::MR) {
+          conditional_x_in_row_mode(q, expr.symbols);
+        }
+        expressions_.push_back(std::move(expr));
+      }
+      break;
+    case GateKind::kReset:
+      for (const std::uint32_t q : inst.targets) {
+        const MeasurementExpression expr = measure(q);
+        conditional_x_in_row_mode(q, expr.symbols);
+      }
+      break;
+    case GateKind::kNoise1:
+      for (const std::uint32_t q : inst.targets) {
+        apply_noise1(inst.type, q, inst.probability);
+      }
+      break;
+    case GateKind::kNoise2:
+      for (std::size_t i = 0; i < inst.targets.size(); i += 2) {
+        apply_noise2(inst.probability, inst.targets[i], inst.targets[i + 1]);
+      }
+      break;
+    case GateKind::kControlled:
+      for (std::size_t i = 0; i < inst.targets.size(); i += 2) {
+        apply_controlled(inst.type, inst.targets[i], inst.targets[i + 1]);
+      }
+      break;
+    case GateKind::kDetector:
+    case GateKind::kAnnotation:
+      break;  // detectors are aggregated separately via resolve_detectors
+  }
+}
+
+template <typename Layout>
+void SymPhaseCompiler<Layout>::apply_controlled(GateType type,
+                                                std::uint32_t rec_target,
+                                                std::uint32_t qubit) {
+  const std::uint32_t lookback = rec_lookback(rec_target);
+  SYMPHASE_CHECK_MSG(lookback >= 1 && lookback <= expressions_.size(),
+                     gate_name(type) << " record lookback " << lookback
+                                     << " exceeds the measurement record");
+  // The controlling bit is itself a symbolic expression; conditioning a
+  // Pauli on it is exactly the X^e / Z^e phase update of Init-P, with e
+  // the recorded expression instead of a single symbol.
+  const std::vector<std::uint32_t>& expr =
+      expressions_[expressions_.size() - lookback].symbols;
+  tableau_.prepare_row_mode();
+  if (type == GateType::COND_X || type == GateType::COND_Y) {
+    conditional_x_in_row_mode(qubit, expr);
+  }
+  if (type == GateType::COND_Z || type == GateType::COND_Y) {
+    conditional_z_in_row_mode(qubit, expr);
+  }
+}
+
+template <typename Layout>
+void SymPhaseCompiler<Layout>::apply_unitary(GateType type, std::uint32_t a,
+                                             std::uint32_t b) {
+  tableau_.prepare_column_mode();
+  switch (type) {
+    case GateType::I:
+      break;
+    case GateType::X:
+      tableau_.gate_x(a);
+      break;
+    case GateType::Y:
+      tableau_.gate_y(a);
+      break;
+    case GateType::Z:
+      tableau_.gate_z(a);
+      break;
+    case GateType::H:
+      tableau_.gate_h(a);
+      break;
+    case GateType::S:
+      tableau_.gate_s(a);
+      break;
+    case GateType::S_DAG:
+      tableau_.gate_s_dag(a);
+      break;
+    case GateType::SQRT_X:
+      tableau_.gate_sqrt_x(a);
+      break;
+    case GateType::SQRT_X_DAG:
+      tableau_.gate_sqrt_x_dag(a);
+      break;
+    case GateType::H_YZ:
+      tableau_.gate_h_yz(a);
+      break;
+    case GateType::CNOT:
+      tableau_.gate_cnot(a, b);
+      break;
+    case GateType::CZ:
+      tableau_.gate_cz(a, b);
+      break;
+    case GateType::SWAP:
+      tableau_.gate_swap(a, b);
+      break;
+    default:
+      SYMPHASE_CHECK_MSG(false, "not a unitary gate: " << gate_name(type));
+  }
+}
+
+template <typename Layout>
+void SymPhaseCompiler<Layout>::apply_noise1(GateType type, std::uint32_t q,
+                                            double p) {
+  tableau_.prepare_column_mode();
+  switch (type) {
+    case GateType::X_ERROR: {
+      const std::uint32_t s = symbols_.add_bernoulli(p);
+      mint_symbol_columns(s, 1);
+      const std::uint32_t cols[1] = {s};
+      tableau_.phase_xor_cols_where_z(q, cols);
+      break;
+    }
+    case GateType::Z_ERROR: {
+      const std::uint32_t s = symbols_.add_bernoulli(p);
+      mint_symbol_columns(s, 1);
+      const std::uint32_t cols[1] = {s};
+      tableau_.phase_xor_cols_where_x(q, cols);
+      break;
+    }
+    case GateType::Y_ERROR: {
+      // Y^s = (up to global phase) X^s Z^s with a single shared symbol.
+      const std::uint32_t s = symbols_.add_bernoulli(p);
+      mint_symbol_columns(s, 1);
+      const std::uint32_t cols[1] = {s};
+      tableau_.phase_xor_cols_where_z(q, cols);
+      tableau_.phase_xor_cols_where_x(q, cols);
+      break;
+    }
+    case GateType::DEPOLARIZE1: {
+      // X^{s} Z^{s+1} with (s, s+1) jointly categorical (paper §3.1).
+      const std::uint32_t s = symbols_.add_depolarize1(p);
+      mint_symbol_columns(s, 2);
+      const std::uint32_t xcols[1] = {s};
+      const std::uint32_t zcols[1] = {s + 1};
+      tableau_.phase_xor_cols_where_z(q, xcols);
+      tableau_.phase_xor_cols_where_x(q, zcols);
+      break;
+    }
+    default:
+      SYMPHASE_CHECK_MSG(false, "not 1q noise: " << gate_name(type));
+  }
+}
+
+template <typename Layout>
+void SymPhaseCompiler<Layout>::apply_noise2(double p, std::uint32_t a,
+                                            std::uint32_t b) {
+  tableau_.prepare_column_mode();
+  const std::uint32_t s = symbols_.add_depolarize2(p);
+  mint_symbol_columns(s, 4);
+  const std::uint32_t xa[1] = {s};
+  const std::uint32_t za[1] = {s + 1};
+  const std::uint32_t xb[1] = {s + 2};
+  const std::uint32_t zb[1] = {s + 3};
+  tableau_.phase_xor_cols_where_z(a, xa);
+  tableau_.phase_xor_cols_where_x(a, za);
+  tableau_.phase_xor_cols_where_z(b, xb);
+  tableau_.phase_xor_cols_where_x(b, zb);
+}
+
+template <typename Layout>
+MeasurementExpression SymPhaseCompiler<Layout>::measure(std::uint32_t a) {
+  tableau_.prepare_row_mode();
+  const std::size_t n = tableau_.num_qubits();
+  const TableauShape& shape = tableau_.shape();
+
+  // Pivot: first stabilizer anticommuting with Z_a.
+  std::size_t pivot = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tableau_.x_bit(shape.stab_row(i), a)) {
+      pivot = shape.stab_row(i);
+      break;
+    }
+  }
+
+  if (pivot != static_cast<std::size_t>(-1)) {
+    // Random outcome: A-G collapse, then a fresh coin symbol becomes both
+    // the new row's phase and the recorded expression.
+    const std::size_t paired_destab = pivot - n;
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      if (i == pivot || i == paired_destab) {
+        continue;
+      }
+      if (tableau_.x_bit(i, a)) {
+        tableau_.row_mult(i, pivot);
+      }
+    }
+    tableau_.row_copy(paired_destab, pivot);
+    tableau_.row_set_plus_z(pivot, a);
+    const std::uint32_t s = symbols_.add_coin();
+    mint_symbol_columns(s, 1);
+    tableau_.row_phase_xor_bit(pivot, s);
+    return {{s}, true};
+  }
+
+  // Deterministic outcome: accumulate the stabilizer product selected by
+  // destabilizer X hits into the scratch row; its phase vector is the
+  // outcome expression.
+  const std::size_t scratch = shape.scratch_row();
+  tableau_.row_clear(scratch);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tableau_.x_bit(shape.destab_row(i), a)) {
+      tableau_.row_mult(scratch, shape.stab_row(i));
+    }
+  }
+  return {read_scratch_expression(), false};
+}
+
+template <typename Layout>
+std::vector<std::uint32_t> SymPhaseCompiler<Layout>::read_scratch_expression() {
+  const std::size_t pwords = tableau_.phase_words_used();
+  if (phase_buffer_.size() < pwords) {
+    phase_buffer_.resize(pwords);
+  }
+  tableau_.row_phase_read(tableau_.shape().scratch_row(),
+                          phase_buffer_.data());
+  std::vector<std::uint32_t> support;
+  for (std::size_t w = 0; w < pwords; ++w) {
+    Word bits = phase_buffer_[w];
+    while (bits != 0) {
+      const auto k = static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      support.push_back(static_cast<std::uint32_t>(w * kWordBits + k));
+    }
+  }
+  return support;
+}
+
+template <typename Layout>
+void SymPhaseCompiler<Layout>::conditional_x_in_row_mode(
+    std::uint32_t a, const std::vector<std::uint32_t>& expr) {
+  if (expr.empty()) {
+    return;
+  }
+  const std::size_t rows = 2 * tableau_.num_qubits();
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (tableau_.z_bit(i, a)) {
+      for (const std::uint32_t col : expr) {
+        tableau_.row_phase_xor_bit(i, col);
+      }
+    }
+  }
+}
+
+template <typename Layout>
+void SymPhaseCompiler<Layout>::conditional_z_in_row_mode(
+    std::uint32_t a, const std::vector<std::uint32_t>& expr) {
+  if (expr.empty()) {
+    return;
+  }
+  const std::size_t rows = 2 * tableau_.num_qubits();
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (tableau_.x_bit(i, a)) {
+      for (const std::uint32_t col : expr) {
+        tableau_.row_phase_xor_bit(i, col);
+      }
+    }
+  }
+}
+
+template class SymPhaseCompiler<RowMajorTableau>;
+template class SymPhaseCompiler<ColMajorTableau>;
+template class SymPhaseCompiler<BlockedTableau>;
+
+}  // namespace symphase

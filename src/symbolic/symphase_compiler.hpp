@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file symphase_compiler.hpp
+/// Algorithm 1's Initialization: one forward pass that turns a noisy
+/// stabilizer circuit into symbolic measurement-outcome expressions.
+///
+/// The compiler runs the A-G tableau algorithm with phase columns
+/// widened to bit-vectors over symbols (paper Eq. (3)), applying
+///   Init-C  — Clifford gates update X/Z bands and the constant column,
+///   Init-P  — Pauli faults flip one symbol column on the rows whose
+///             generators anticommute with the fault Pauli,
+///   Init-M  — measurements either mint a fresh coin symbol (random) or
+///             accumulate a symbolic expression in the scratch row
+///             (deterministic).
+/// The output is one F2 expression (sorted symbol-id list; id 0 is the
+/// constant 1) per measurement, consumed by sampler::SymPhaseSampler as
+/// the sparse matrix M of Eq. (4).
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/aligned.hpp"
+#include "symbolic/symbol_table.hpp"
+#include "tableau/blocked_tableau.hpp"
+#include "tableau/col_major_tableau.hpp"
+#include "tableau/row_major_tableau.hpp"
+
+namespace symphase {
+
+/// One measurement's compiled outcome.
+struct MeasurementExpression {
+  /// Sorted, duplicate-free symbol ids whose XOR (under a sampled
+  /// assignment, with symbol 0 fixed to 1) gives the outcome bit.
+  std::vector<std::uint32_t> symbols;
+  bool was_random = false;
+
+  bool operator==(const MeasurementExpression&) const = default;
+};
+
+template <typename Layout>
+class SymPhaseCompiler {
+ public:
+  /// Runs the full Initialization pass over `circuit`.
+  explicit SymPhaseCompiler(const Circuit& circuit);
+
+  std::size_t num_qubits() const { return tableau_.num_qubits(); }
+  const SymbolTable& symbols() const { return symbols_; }
+  const std::vector<MeasurementExpression>& expressions() const {
+    return expressions_;
+  }
+  std::size_t num_measurements() const { return expressions_.size(); }
+
+  /// Total non-zeros across all expressions (sampling cost driver).
+  std::size_t expression_nnz() const {
+    std::size_t total = 0;
+    for (const auto& e : expressions_) {
+      total += e.symbols.size();
+    }
+    return total;
+  }
+
+  const Layout& tableau() const { return tableau_; }
+
+ private:
+  /// Upper bound on phase columns: 1 + every measurement/reset (each may
+  /// mint a coin) + every fault bit.
+  static std::size_t phase_capacity_for(const Circuit& circuit);
+
+  void apply_instruction(const Instruction& inst);
+  void apply_unitary(GateType type, std::uint32_t a, std::uint32_t b);
+  void apply_noise1(GateType type, std::uint32_t q, double p);
+  void apply_noise2(double p, std::uint32_t a, std::uint32_t b);
+
+  /// Init-M for one qubit; returns the outcome expression.
+  MeasurementExpression measure(std::uint32_t a);
+  /// Applies X^expr (resp. Z^expr) at qubit a without leaving row mode.
+  /// Used for conditional reset flips and for the record-controlled
+  /// Pauli gates COND_X/COND_Y/COND_Z (the paper's §6 conditional-Pauli
+  /// extension for dynamic circuits).
+  void conditional_x_in_row_mode(std::uint32_t a,
+                                 const std::vector<std::uint32_t>& expr);
+  void conditional_z_in_row_mode(std::uint32_t a,
+                                 const std::vector<std::uint32_t>& expr);
+  void apply_controlled(GateType type, std::uint32_t rec_target,
+                        std::uint32_t qubit);
+
+  /// Allocates tableau phase columns for symbols [first, first+count),
+  /// asserting SymbolTable ids stay aligned with phase-column indices.
+  void mint_symbol_columns(std::uint32_t first, std::uint32_t count);
+
+  std::vector<std::uint32_t> read_scratch_expression();
+
+  SymbolTable symbols_;
+  Layout tableau_;
+  std::vector<MeasurementExpression> expressions_;
+  AlignedWordVec phase_buffer_;
+};
+
+// Explicitly instantiated for the three layouts (see symphase_compiler.cpp).
+extern template class SymPhaseCompiler<RowMajorTableau>;
+extern template class SymPhaseCompiler<ColMajorTableau>;
+extern template class SymPhaseCompiler<BlockedTableau>;
+
+/// The default (paper) configuration.
+using DefaultSymPhaseCompiler = SymPhaseCompiler<BlockedTableau>;
+
+}  // namespace symphase

@@ -1,0 +1,411 @@
+#include "tableau/blocked_tableau.hpp"
+
+#include "bitvec/transpose.hpp"
+#include "tableau/row_kernels.hpp"
+
+namespace symphase {
+
+namespace {
+constexpr std::size_t kLine = BlockedTableau::kTileWordsPerLine;
+}
+
+BlockedTableau::BlockedTableau(std::size_t n, std::size_t phase_capacity)
+    : shape_(n, /*col_align=*/kTileBits, phase_capacity),
+      tile_rows_(ceil_div(shape_.num_rows(), kTileBits)),
+      tile_cols_(shape_.num_cols() / kTileBits),
+      col_oriented_(tile_cols_, 0),
+      tiles_(tile_rows_ * tile_cols_ * kTileWords, 0) {
+  // Fresh tiles are all-zero, hence orientation-invariant; start
+  // row-oriented and write the identity generators through row lines:
+  // row-oriented bit (r, c) is bit (c % 512) of the row line.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t dr = shape_.destab_row(i);
+    Word* dline = row_line(dr, x_col(i) / kTileBits);
+    set_bit(dline, x_col(i) % kTileBits, true);
+    const std::size_t sr = shape_.stab_row(i);
+    Word* sline = row_line(sr, z_col(i) / kTileBits);
+    set_bit(sline, z_col(i) % kTileBits, true);
+  }
+}
+
+std::size_t BlockedTableau::allocate_phase_column() {
+  SYMPHASE_CHECK_MSG(phase_used_ < shape_.phase_capacity,
+                     "phase capacity " << shape_.phase_capacity
+                                       << " exhausted");
+  return phase_used_++;
+}
+
+void BlockedTableau::set_orientation(std::size_t tc, bool column_oriented) {
+  SYMPHASE_ASSERT(col_oriented_[tc] != (column_oriented ? 1 : 0));
+  for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
+    transpose_tile512_inplace(tile(tr, tc));
+    ++tile_transpose_count_;
+  }
+  col_oriented_[tc] = column_oriented ? 1 : 0;
+  col_oriented_count_ += column_oriented ? 1 : std::size_t(-1);
+}
+
+void BlockedTableau::prepare_row_mode() {
+  if (all_rows_ready()) {
+    return;
+  }
+  const std::size_t live = live_tile_cols();
+  for (std::size_t tc = 0; tc < live && !all_rows_ready(); ++tc) {
+    if (col_oriented_[tc]) {
+      set_orientation(tc, false);
+    }
+  }
+  SYMPHASE_ASSERT(all_rows_ready());
+}
+
+// Gate kernels: each logical column is kLine contiguous words per
+// tile-row once its tile-column is column-oriented. Padding rows (beyond
+// 2n+1) hold zeros and transform to zeros.
+
+void BlockedTableau::gate_h(std::size_t a) {
+  SYMPHASE_CHECK(a < shape_.n);
+  ensure_col_oriented(x_col(a));
+  ensure_col_oriented(z_col(a));
+  ensure_col_oriented(phase_col(0));
+  for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
+    Word* x = col_line(tr, x_col(a));
+    Word* z = col_line(tr, z_col(a));
+    Word* r = col_line(tr, phase_col(0));
+    for (std::size_t w = 0; w < kLine; ++w) {
+      r[w] ^= x[w] & z[w];
+      std::swap(x[w], z[w]);
+    }
+  }
+}
+
+void BlockedTableau::gate_s(std::size_t a) {
+  SYMPHASE_CHECK(a < shape_.n);
+  ensure_col_oriented(x_col(a));
+  ensure_col_oriented(z_col(a));
+  ensure_col_oriented(phase_col(0));
+  for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
+    Word* x = col_line(tr, x_col(a));
+    Word* z = col_line(tr, z_col(a));
+    Word* r = col_line(tr, phase_col(0));
+    for (std::size_t w = 0; w < kLine; ++w) {
+      r[w] ^= x[w] & z[w];
+      z[w] ^= x[w];
+    }
+  }
+}
+
+void BlockedTableau::gate_s_dag(std::size_t a) {
+  SYMPHASE_CHECK(a < shape_.n);
+  ensure_col_oriented(x_col(a));
+  ensure_col_oriented(z_col(a));
+  ensure_col_oriented(phase_col(0));
+  for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
+    Word* x = col_line(tr, x_col(a));
+    Word* z = col_line(tr, z_col(a));
+    Word* r = col_line(tr, phase_col(0));
+    for (std::size_t w = 0; w < kLine; ++w) {
+      r[w] ^= x[w] & ~z[w];
+      z[w] ^= x[w];
+    }
+  }
+}
+
+void BlockedTableau::gate_sqrt_x(std::size_t a) {
+  SYMPHASE_CHECK(a < shape_.n);
+  ensure_col_oriented(x_col(a));
+  ensure_col_oriented(z_col(a));
+  ensure_col_oriented(phase_col(0));
+  for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
+    Word* x = col_line(tr, x_col(a));
+    Word* z = col_line(tr, z_col(a));
+    Word* r = col_line(tr, phase_col(0));
+    for (std::size_t w = 0; w < kLine; ++w) {
+      r[w] ^= ~x[w] & z[w];
+      x[w] ^= z[w];
+    }
+  }
+}
+
+void BlockedTableau::gate_sqrt_x_dag(std::size_t a) {
+  SYMPHASE_CHECK(a < shape_.n);
+  ensure_col_oriented(x_col(a));
+  ensure_col_oriented(z_col(a));
+  ensure_col_oriented(phase_col(0));
+  for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
+    Word* x = col_line(tr, x_col(a));
+    Word* z = col_line(tr, z_col(a));
+    Word* r = col_line(tr, phase_col(0));
+    for (std::size_t w = 0; w < kLine; ++w) {
+      r[w] ^= x[w] & z[w];
+      x[w] ^= z[w];
+    }
+  }
+}
+
+void BlockedTableau::gate_h_yz(std::size_t a) {
+  SYMPHASE_CHECK(a < shape_.n);
+  ensure_col_oriented(x_col(a));
+  ensure_col_oriented(z_col(a));
+  ensure_col_oriented(phase_col(0));
+  for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
+    Word* x = col_line(tr, x_col(a));
+    Word* z = col_line(tr, z_col(a));
+    Word* r = col_line(tr, phase_col(0));
+    for (std::size_t w = 0; w < kLine; ++w) {
+      r[w] ^= x[w] & ~z[w];
+      x[w] ^= z[w];
+    }
+  }
+}
+
+void BlockedTableau::gate_x(std::size_t a) {
+  const std::uint32_t cols[1] = {0};
+  phase_xor_cols_where_z(a, cols);
+}
+
+void BlockedTableau::gate_z(std::size_t a) {
+  const std::uint32_t cols[1] = {0};
+  phase_xor_cols_where_x(a, cols);
+}
+
+void BlockedTableau::gate_y(std::size_t a) {
+  SYMPHASE_CHECK(a < shape_.n);
+  ensure_col_oriented(x_col(a));
+  ensure_col_oriented(z_col(a));
+  ensure_col_oriented(phase_col(0));
+  for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
+    const Word* x = col_line(tr, x_col(a));
+    const Word* z = col_line(tr, z_col(a));
+    Word* r = col_line(tr, phase_col(0));
+    for (std::size_t w = 0; w < kLine; ++w) {
+      r[w] ^= x[w] ^ z[w];
+    }
+  }
+}
+
+void BlockedTableau::gate_cnot(std::size_t c, std::size_t t) {
+  SYMPHASE_CHECK(c < shape_.n && t < shape_.n && c != t);
+  ensure_col_oriented(x_col(c));
+  ensure_col_oriented(z_col(c));
+  ensure_col_oriented(x_col(t));
+  ensure_col_oriented(z_col(t));
+  ensure_col_oriented(phase_col(0));
+  for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
+    Word* xc = col_line(tr, x_col(c));
+    Word* zc = col_line(tr, z_col(c));
+    Word* xt = col_line(tr, x_col(t));
+    Word* zt = col_line(tr, z_col(t));
+    Word* r = col_line(tr, phase_col(0));
+    for (std::size_t w = 0; w < kLine; ++w) {
+      r[w] ^= xc[w] & zt[w] & ~(xt[w] ^ zc[w]);
+      xt[w] ^= xc[w];
+      zc[w] ^= zt[w];
+    }
+  }
+}
+
+void BlockedTableau::gate_cz(std::size_t a, std::size_t b) {
+  SYMPHASE_CHECK(a < shape_.n && b < shape_.n && a != b);
+  ensure_col_oriented(x_col(a));
+  ensure_col_oriented(z_col(a));
+  ensure_col_oriented(x_col(b));
+  ensure_col_oriented(z_col(b));
+  ensure_col_oriented(phase_col(0));
+  for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
+    Word* xa = col_line(tr, x_col(a));
+    Word* za = col_line(tr, z_col(a));
+    Word* xb = col_line(tr, x_col(b));
+    Word* zb = col_line(tr, z_col(b));
+    Word* r = col_line(tr, phase_col(0));
+    for (std::size_t w = 0; w < kLine; ++w) {
+      r[w] ^= xa[w] & xb[w] & (za[w] ^ zb[w]);
+      za[w] ^= xb[w];
+      zb[w] ^= xa[w];
+    }
+  }
+}
+
+void BlockedTableau::gate_swap(std::size_t a, std::size_t b) {
+  SYMPHASE_CHECK(a < shape_.n && b < shape_.n && a != b);
+  ensure_col_oriented(x_col(a));
+  ensure_col_oriented(z_col(a));
+  ensure_col_oriented(x_col(b));
+  ensure_col_oriented(z_col(b));
+  for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
+    Word* xa = col_line(tr, x_col(a));
+    Word* xb = col_line(tr, x_col(b));
+    Word* za = col_line(tr, z_col(a));
+    Word* zb = col_line(tr, z_col(b));
+    for (std::size_t w = 0; w < kLine; ++w) {
+      std::swap(xa[w], xb[w]);
+      std::swap(za[w], zb[w]);
+    }
+  }
+}
+
+void BlockedTableau::phase_xor_cols_where_z(
+    std::size_t a, std::span<const std::uint32_t> phase_cols) {
+  SYMPHASE_CHECK(a < shape_.n);
+  ensure_col_oriented(z_col(a));
+  for (const std::uint32_t pc : phase_cols) {
+    SYMPHASE_ASSERT(pc < phase_used_);
+    ensure_col_oriented(phase_col(pc));
+  }
+  for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
+    const Word* z = col_line(tr, z_col(a));
+    for (const std::uint32_t pc : phase_cols) {
+      Word* p = col_line(tr, phase_col(pc));
+      for (std::size_t w = 0; w < kLine; ++w) {
+        p[w] ^= z[w];
+      }
+    }
+  }
+}
+
+void BlockedTableau::phase_xor_cols_where_x(
+    std::size_t a, std::span<const std::uint32_t> phase_cols) {
+  SYMPHASE_CHECK(a < shape_.n);
+  ensure_col_oriented(x_col(a));
+  for (const std::uint32_t pc : phase_cols) {
+    SYMPHASE_ASSERT(pc < phase_used_);
+    ensure_col_oriented(phase_col(pc));
+  }
+  for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
+    const Word* x = col_line(tr, x_col(a));
+    for (const std::uint32_t pc : phase_cols) {
+      Word* p = col_line(tr, phase_col(pc));
+      for (std::size_t w = 0; w < kLine; ++w) {
+        p[w] ^= x[w];
+      }
+    }
+  }
+}
+
+bool BlockedTableau::bit_at(std::size_t row, std::size_t col) const {
+  const std::size_t tc = col / kTileBits;
+  if (col_oriented_[tc]) {
+    const Word* line =
+        tile(row / kTileBits, tc) + (col % kTileBits) * kTileWordsPerLine;
+    return get_bit(line, row % kTileBits);
+  }
+  const Word* line =
+      tile(row / kTileBits, tc) + (row % kTileBits) * kTileWordsPerLine;
+  return get_bit(line, col % kTileBits);
+}
+
+bool BlockedTableau::x_bit(std::size_t row, std::size_t q) const {
+  return bit_at(row, x_col(q));
+}
+
+bool BlockedTableau::z_bit(std::size_t row, std::size_t q) const {
+  return bit_at(row, z_col(q));
+}
+
+void BlockedTableau::row_mult(std::size_t dst, std::size_t src) {
+  SYMPHASE_ASSERT(all_rows_ready());
+  SYMPHASE_ASSERT(dst != src);
+  const std::size_t xz_tiles = shape_.x_stride() / kTileBits;
+
+  PhaseTally tally;
+  for (std::size_t tc = 0; tc < xz_tiles; ++tc) {
+    Word* dx = row_line(dst, tc);
+    Word* dz = row_line(dst, tc + xz_tiles);
+    const Word* sx = row_line(src, tc);
+    const Word* sz = row_line(src, tc + xz_tiles);
+    for (std::size_t w = 0; w < kLine; ++w) {
+      tally.accumulate(dx[w], dz[w], sx[w], sz[w]);
+      dx[w] ^= sx[w];
+      dz[w] ^= sz[w];
+    }
+  }
+  const int exponent = tally.i_exponent_mod4();
+  SYMPHASE_ASSERT(exponent % 2 == 0);
+
+  const std::size_t phase_tile_base = shape_.phase_col_base() / kTileBits;
+  const std::size_t live = live_tile_cols();
+  for (std::size_t tc = phase_tile_base; tc < live; ++tc) {
+    Word* dp = row_line(dst, tc);
+    const Word* sp = row_line(src, tc);
+    xor_words(dp, sp, kLine);
+  }
+  if (exponent == 2) {
+    row_line(dst, phase_tile_base)[0] ^= Word{1};
+  }
+}
+
+void BlockedTableau::row_copy(std::size_t dst, std::size_t src) {
+  SYMPHASE_ASSERT(all_rows_ready());
+  if (dst == src) {
+    return;
+  }
+  const std::size_t live = live_tile_cols();
+  for (std::size_t tc = 0; tc < live; ++tc) {
+    Word* d = row_line(dst, tc);
+    const Word* s = row_line(src, tc);
+    for (std::size_t w = 0; w < kLine; ++w) {
+      d[w] = s[w];
+    }
+  }
+}
+
+void BlockedTableau::row_clear(std::size_t row) {
+  SYMPHASE_ASSERT(all_rows_ready());
+  const std::size_t live = live_tile_cols();
+  for (std::size_t tc = 0; tc < live; ++tc) {
+    Word* d = row_line(row, tc);
+    for (std::size_t w = 0; w < kLine; ++w) {
+      d[w] = 0;
+    }
+  }
+}
+
+void BlockedTableau::row_set_plus_z(std::size_t row, std::size_t q) {
+  row_clear(row);
+  Word* line = row_line(row, z_col(q) / kTileBits);
+  set_bit(line, z_col(q) % kTileBits, true);
+}
+
+void BlockedTableau::row_phase_read(std::size_t row, Word* out) const {
+  SYMPHASE_ASSERT(all_rows_ready());
+  const std::size_t phase_tile_base = shape_.phase_col_base() / kTileBits;
+  const std::size_t pwords = phase_words_used();
+  std::size_t written = 0;
+  for (std::size_t tc = phase_tile_base; written < pwords; ++tc) {
+    const Word* line = row_line(row, tc);
+    for (std::size_t w = 0; w < kLine && written < pwords; ++w) {
+      out[written++] = line[w];
+    }
+  }
+  if (phase_used_ % kWordBits != 0) {
+    out[pwords - 1] &= tail_mask(phase_used_);
+  }
+}
+
+void BlockedTableau::row_phase_clear(std::size_t row) {
+  SYMPHASE_ASSERT(all_rows_ready());
+  const std::size_t phase_tile_base = shape_.phase_col_base() / kTileBits;
+  const std::size_t live = live_tile_cols();
+  for (std::size_t tc = phase_tile_base; tc < live; ++tc) {
+    Word* line = row_line(row, tc);
+    for (std::size_t w = 0; w < kLine; ++w) {
+      line[w] = 0;
+    }
+  }
+}
+
+void BlockedTableau::row_phase_xor_bit(std::size_t row,
+                                       std::size_t phase_col_index) {
+  SYMPHASE_ASSERT(phase_col_index < phase_used_);
+  const std::size_t c = phase_col(phase_col_index);
+  SYMPHASE_ASSERT(!col_oriented_[c / kTileBits]);
+  Word* line = row_line(row, c / kTileBits);
+  flip_bit(line, c % kTileBits);
+}
+
+bool BlockedTableau::row_phase_bit(std::size_t row,
+                                   std::size_t phase_col_index) const {
+  SYMPHASE_ASSERT(phase_col_index < phase_used_);
+  return bit_at(row, phase_col(phase_col_index));
+}
+
+}  // namespace symphase

@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file blocked_tableau.hpp
+/// Blocked tableau layout (paper Fig. 2d): the SymPhase data layout.
+///
+/// The tableau is tiled into 512×512-bit blocks (4 KiB each). Each
+/// *tile-column* (all blocks covering the same 512 logical columns)
+/// carries its own orientation:
+///   - column-oriented: the tile stores its transpose row-major, so a
+///     logical column is 8 contiguous 64-bit words per tile-row — gates
+///     stream aligned cache lines;
+///   - row-oriented: a logical row is 8 contiguous words per tile-column
+///     — measurements stream rows.
+/// Orientation flips are *local* 512×512 in-place bit transposes
+/// (Fig. 2c) and lazy: a gate touches at most three tile-columns (X_a,
+/// Z_a, constant phase) and flips only those; a measurement burst flips
+/// back whatever the preceding gate burst touched. Phase tile-columns
+/// outside the active frontier are never transposed at all — this is
+/// what makes the layout cheaper than the Stim-style whole-matrix
+/// transposition when the symbolic phase region grows large.
+///
+/// All-zero tiles are orientation-invariant, so lazy phase-column growth
+/// composes safely with the orientation machinery.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "tableau/shape.hpp"
+
+namespace symphase {
+
+class BlockedTableau {
+ public:
+  BlockedTableau(std::size_t n, std::size_t phase_capacity = 1);
+
+  static constexpr const char* layout_name() { return "blocked512"; }
+  static constexpr std::size_t kTileBits = 512;
+  static constexpr std::size_t kTileWordsPerLine = kTileBits / kWordBits;  // 8
+  static constexpr std::size_t kTileWords = kTileBits * kTileWordsPerLine;
+
+  const TableauShape& shape() const { return shape_; }
+  std::size_t num_qubits() const { return shape_.n; }
+
+  std::size_t phase_used() const { return phase_used_; }
+  std::size_t phase_words_used() const { return words_for_bits(phase_used_); }
+  std::size_t allocate_phase_column();
+
+  /// Lazy: gates flip the tile-columns they touch on demand.
+  void prepare_column_mode() {}
+  /// Ensures every live tile-column is row-oriented (measurement mode).
+  void prepare_row_mode();
+
+  // --- Column operations (gates / faults) ------------------------------
+  void gate_h(std::size_t a);
+  void gate_s(std::size_t a);
+  void gate_s_dag(std::size_t a);
+  void gate_sqrt_x(std::size_t a);
+  void gate_sqrt_x_dag(std::size_t a);
+  void gate_h_yz(std::size_t a);
+  void gate_x(std::size_t a);
+  void gate_y(std::size_t a);
+  void gate_z(std::size_t a);
+  void gate_cnot(std::size_t c, std::size_t t);
+  void gate_cz(std::size_t a, std::size_t b);
+  void gate_swap(std::size_t a, std::size_t b);
+  void phase_xor_cols_where_z(std::size_t a,
+                              std::span<const std::uint32_t> phase_cols);
+  void phase_xor_cols_where_x(std::size_t a,
+                              std::span<const std::uint32_t> phase_cols);
+
+  // --- Row operations (measurements; require prepare_row_mode) ---------
+  bool x_bit(std::size_t row, std::size_t q) const;
+  bool z_bit(std::size_t row, std::size_t q) const;
+  void row_mult(std::size_t dst, std::size_t src);
+  void row_copy(std::size_t dst, std::size_t src);
+  void row_set_plus_z(std::size_t row, std::size_t q);
+  void row_clear(std::size_t row);
+  void row_phase_read(std::size_t row, Word* out) const;
+  void row_phase_clear(std::size_t row);
+  void row_phase_xor_bit(std::size_t row, std::size_t phase_col);
+  bool row_phase_bit(std::size_t row, std::size_t phase_col) const;
+
+  /// Total number of 512x512 tile transposes performed (diagnostics for
+  /// the layout benchmarks).
+  std::size_t tile_transpose_count() const { return tile_transpose_count_; }
+
+ private:
+  std::size_t x_col(std::size_t q) const { return q; }
+  std::size_t z_col(std::size_t q) const { return shape_.z_col_base() + q; }
+  std::size_t phase_col(std::size_t b) const {
+    return shape_.phase_col_base() + b;
+  }
+
+  Word* tile(std::size_t tr, std::size_t tc) {
+    return tiles_.data() + (tr * tile_cols_ + tc) * kTileWords;
+  }
+  const Word* tile(std::size_t tr, std::size_t tc) const {
+    return tiles_.data() + (tr * tile_cols_ + tc) * kTileWords;
+  }
+
+  /// Column-oriented access: 8-word line of logical column c in tile-row
+  /// tr. Tile-column of c must be column-oriented.
+  Word* col_line(std::size_t tr, std::size_t c) {
+    SYMPHASE_ASSERT(col_oriented_[c / kTileBits]);
+    return tile(tr, c / kTileBits) + (c % kTileBits) * kTileWordsPerLine;
+  }
+  const Word* col_line(std::size_t tr, std::size_t c) const {
+    SYMPHASE_ASSERT(col_oriented_[c / kTileBits]);
+    return tile(tr, c / kTileBits) + (c % kTileBits) * kTileWordsPerLine;
+  }
+
+  /// Row-oriented access: 8-word line of logical row r in tile-column tc.
+  Word* row_line(std::size_t r, std::size_t tc) {
+    SYMPHASE_ASSERT(!col_oriented_[tc]);
+    return tile(r / kTileBits, tc) + (r % kTileBits) * kTileWordsPerLine;
+  }
+  const Word* row_line(std::size_t r, std::size_t tc) const {
+    SYMPHASE_ASSERT(!col_oriented_[tc]);
+    return tile(r / kTileBits, tc) + (r % kTileBits) * kTileWordsPerLine;
+  }
+
+  /// Tile-columns carrying live data (XZ bands + used phase prefix).
+  std::size_t live_tile_cols() const {
+    return (shape_.phase_col_base() + round_up_pow2(phase_used_, kTileBits)) /
+           kTileBits;
+  }
+
+  void set_orientation(std::size_t tc, bool column_oriented);
+  void ensure_col_oriented(std::size_t logical_col) {
+    const std::size_t tc = logical_col / kTileBits;
+    if (!col_oriented_[tc]) {
+      set_orientation(tc, true);
+    }
+  }
+  /// True when every live tile-column is row-oriented.
+  bool all_rows_ready() const { return col_oriented_count_ == 0; }
+
+  bool bit_at(std::size_t row, std::size_t col) const;
+
+  TableauShape shape_;
+  std::size_t phase_used_ = 1;
+  std::size_t tile_rows_ = 0;
+  std::size_t tile_cols_ = 0;
+  std::size_t tile_transpose_count_ = 0;
+  std::size_t col_oriented_count_ = 0;
+  std::vector<std::uint8_t> col_oriented_;  // per tile-column
+  AlignedWordVec tiles_;
+};
+
+}  // namespace symphase

@@ -1,0 +1,372 @@
+#include "tableau/clifford_tableau.hpp"
+
+#include <algorithm>
+
+namespace symphase {
+
+namespace {
+
+/// Single-qubit conjugation table entry: (x, z) bit pair -> new pair +
+/// sign flip. Mirrors the tableau-layout gate kernels (the same rules,
+/// one row at a time).
+struct BitUpdate {
+  bool x;
+  bool z;
+  bool flip;
+};
+
+BitUpdate conjugate_bits(GateType type, bool x, bool z) {
+  switch (type) {
+    case GateType::I:
+      return {x, z, false};
+    case GateType::X:
+      return {x, z, z};
+    case GateType::Y:
+      return {x, z, x != z};
+    case GateType::Z:
+      return {x, z, x};
+    case GateType::H:
+      return {z, x, x && z};
+    case GateType::S:
+      return {x, z != x, x && z};
+    case GateType::S_DAG:
+      return {x, z != x, x && !z};
+    case GateType::SQRT_X:
+      return {x != z, z, !x && z};
+    case GateType::SQRT_X_DAG:
+      return {x != z, z, x && z};
+    case GateType::H_YZ:
+      return {x != z, z, x && !z};
+    default:
+      SYMPHASE_CHECK_MSG(false, "not a single-qubit Clifford: "
+                                    << gate_name(type));
+  }
+  return {};
+}
+
+}  // namespace
+
+void conjugate_by_gate(PauliString& pauli, GateType type, std::uint32_t a,
+                       std::uint32_t b) {
+  const GateKind kind = gate_info(type).kind;
+  if (kind == GateKind::kUnitary1) {
+    const BitUpdate u =
+        conjugate_bits(type, pauli.x_bit(a), pauli.z_bit(a));
+    pauli.x_bits().set(a, u.x);
+    pauli.z_bits().set(a, u.z);
+    if (u.flip) {
+      pauli.set_phase_exponent(pauli.phase_exponent() + 2);
+    }
+    return;
+  }
+  SYMPHASE_CHECK(kind == GateKind::kUnitary2);
+  const bool xa = pauli.x_bit(a);
+  const bool za = pauli.z_bit(a);
+  const bool xb = pauli.x_bit(b);
+  const bool zb = pauli.z_bit(b);
+  switch (type) {
+    case GateType::CNOT: {
+      // a = control, b = target.
+      if (xa && zb && (xb == za)) {
+        pauli.set_phase_exponent(pauli.phase_exponent() + 2);
+      }
+      pauli.x_bits().set(b, xb != xa);
+      pauli.z_bits().set(a, za != zb);
+      return;
+    }
+    case GateType::CZ: {
+      if (xa && xb && (za != zb)) {
+        pauli.set_phase_exponent(pauli.phase_exponent() + 2);
+      }
+      pauli.z_bits().set(a, za != xb);
+      pauli.z_bits().set(b, zb != xa);
+      return;
+    }
+    case GateType::SWAP: {
+      pauli.x_bits().set(a, xb);
+      pauli.x_bits().set(b, xa);
+      pauli.z_bits().set(a, zb);
+      pauli.z_bits().set(b, za);
+      return;
+    }
+    default:
+      SYMPHASE_CHECK_MSG(false, "not a two-qubit Clifford: "
+                                    << gate_name(type));
+  }
+}
+
+CliffordTableau::CliffordTableau(std::size_t num_qubits) : n_(num_qubits) {
+  SYMPHASE_CHECK(num_qubits >= 1);
+  x_images_.reserve(n_);
+  z_images_.reserve(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    x_images_.push_back(PauliString::single(n_, j, SinglePauli::X));
+    z_images_.push_back(PauliString::single(n_, j, SinglePauli::Z));
+  }
+}
+
+CliffordTableau CliffordTableau::from_circuit(const Circuit& circuit) {
+  CliffordTableau t(std::max<std::size_t>(circuit.num_qubits(), 1));
+  for (const Instruction& inst : circuit.instructions()) {
+    if (gate_info(inst.type).kind == GateKind::kAnnotation) {
+      continue;
+    }
+    SYMPHASE_CHECK_MSG(is_unitary(inst.type),
+                       "from_circuit requires a unitary circuit; found "
+                           << gate_name(inst.type));
+    for (std::size_t i = 0; i < inst.targets.size();
+         i += gate_arity(inst.type)) {
+      t.then_gate(inst.type, inst.targets[i],
+                  gate_arity(inst.type) == 2 ? inst.targets[i + 1] : 0);
+    }
+  }
+  return t;
+}
+
+CliffordTableau CliffordTableau::random(std::size_t num_qubits, Rng& rng) {
+  CliffordTableau t(num_qubits);
+  static constexpr GateType kOneQubit[] = {
+      GateType::H,      GateType::S,          GateType::S_DAG,
+      GateType::SQRT_X, GateType::SQRT_X_DAG, GateType::H_YZ,
+      GateType::X,      GateType::Z};
+  // Deep scramble: ~10 n two-qubit layers interleaved with single-qubit
+  // gates mixes far beyond any observable test statistic.
+  const std::size_t steps = 10 * num_qubits + 20;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(num_qubits));
+    t.then_gate(kOneQubit[rng.next_below(std::size(kOneQubit))], a);
+    if (num_qubits >= 2) {
+      auto b = static_cast<std::uint32_t>(rng.next_below(num_qubits - 1));
+      if (b >= a) {
+        ++b;
+      }
+      t.then_gate(rng.next_below(2) == 0 ? GateType::CNOT : GateType::CZ, a,
+                  b);
+    }
+  }
+  return t;
+}
+
+void CliffordTableau::then_gate(GateType type, std::uint32_t a,
+                                std::uint32_t b) {
+  for (std::size_t j = 0; j < n_; ++j) {
+    conjugate_by_gate(x_images_[j], type, a, b);
+    conjugate_by_gate(z_images_[j], type, a, b);
+  }
+}
+
+CliffordTableau CliffordTableau::then(const CliffordTableau& other) const {
+  SYMPHASE_CHECK(n_ == other.n_);
+  CliffordTableau out(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    out.x_images_[j] = other.conjugate(x_images_[j]);
+    out.z_images_[j] = other.conjugate(z_images_[j]);
+  }
+  return out;
+}
+
+PauliString CliffordTableau::conjugate(const PauliString& pauli) const {
+  SYMPHASE_CHECK(pauli.num_qubits() == n_);
+  // Write P = i^(e + #Y) · Πj X_j^{x_j} · Πj Z_j^{z_j} and push U through
+  // the homomorphism: U P U† has the same scalar with each factor
+  // replaced by its image.
+  PauliString result(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (pauli.x_bit(j)) {
+      result *= x_images_[j];
+    }
+  }
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (pauli.z_bit(j)) {
+      result *= z_images_[j];
+    }
+  }
+  int num_y = 0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    num_y += pauli.x_bit(j) && pauli.z_bit(j);
+  }
+  result.set_phase_exponent(result.phase_exponent() +
+                            pauli.phase_exponent() + num_y);
+  return result;
+}
+
+CliffordTableau CliffordTableau::inverse() const {
+  // Binary-symplectic inverse: with M the 2n x 2n bit matrix of image
+  // supports (rows: x-images then z-images, columns: x-bits then
+  // z-bits), M⁻¹ = Ω Mᵀ Ω with Ω the x/z block swap. Writing that out
+  // element-wise: the inverse's x_image(j) has x-bit k = z-bit j of
+  // z_image(k), z-bit k = z-bit j of x_image(k); its z_image(j) has
+  // x-bit k = x-bit j of z_image(k), z-bit k = x-bit j of x_image(k).
+  CliffordTableau out(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    PauliString xj(n_);
+    PauliString zj(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      xj.x_bits().set(k, z_images_[k].z_bit(j));
+      xj.z_bits().set(k, x_images_[k].z_bit(j));
+      zj.x_bits().set(k, z_images_[k].x_bit(j));
+      zj.z_bits().set(k, x_images_[k].x_bit(j));
+    }
+    out.x_images_[j] = std::move(xj);
+    out.z_images_[j] = std::move(zj);
+  }
+  // Fix signs: U (U† P U) U† must equal P exactly.
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (conjugate(out.x_images_[j]).sign()) {
+      out.x_images_[j].set_sign(!out.x_images_[j].sign());
+    }
+    if (conjugate(out.z_images_[j]).sign()) {
+      out.z_images_[j].set_sign(!out.z_images_[j].sign());
+    }
+  }
+  return out;
+}
+
+bool CliffordTableau::is_identity() const {
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (x_images_[j] != PauliString::single(n_, j, SinglePauli::X) ||
+        z_images_[j] != PauliString::single(n_, j, SinglePauli::Z)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CliffordTableau::is_valid() const {
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (!x_images_[j].phase_is_real() || !z_images_[j].phase_is_real()) {
+      return false;
+    }
+    for (std::size_t k = 0; k < n_; ++k) {
+      const bool xx = x_images_[j].commutes_with(x_images_[k]);
+      const bool zz = z_images_[j].commutes_with(z_images_[k]);
+      const bool xz = x_images_[j].commutes_with(z_images_[k]);
+      if (!xx || !zz || xz != (j != k)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Circuit CliffordTableau::to_circuit() const {
+  // Sweep a working copy down to the identity with elementary gates;
+  // the realizing circuit is the inverses in reverse order.
+  CliffordTableau work = *this;
+  std::vector<Instruction> applied;
+  const auto emit = [&](GateType type, std::uint32_t a,
+                        std::uint32_t b = 0) {
+    work.then_gate(type, a, b);
+    Instruction inst;
+    inst.type = type;
+    inst.targets = {a};
+    if (gate_arity(type) == 2) {
+      inst.targets.push_back(b);
+    }
+    applied.push_back(std::move(inst));
+  };
+
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    // --- Stage 1: make x_image(k) = +X_k. ---------------------------
+    PauliString* p = &work.x_images_[k];
+    // Find support (guaranteed nonempty on qubits >= k: previous sweeps
+    // confine earlier images to earlier qubits, and the image must
+    // anticommute with z_image(k)).
+    std::uint32_t pivot = static_cast<std::uint32_t>(n_);
+    for (std::uint32_t j = k; j < n_; ++j) {
+      if (p->pauli_at(j) != SinglePauli::I) {
+        pivot = j;
+        break;
+      }
+    }
+    SYMPHASE_ASSERT(pivot < n_);
+    if (pivot != k) {
+      emit(GateType::SWAP, k, pivot);
+    }
+    // Rotate the k entry to X.
+    if (p->pauli_at(k) == SinglePauli::Z) {
+      emit(GateType::H, k);
+    } else if (p->pauli_at(k) == SinglePauli::Y) {
+      emit(GateType::S_DAG, k);  // S† Y S = X? S†YS: Y -> X under S_DAG
+    }
+    SYMPHASE_ASSERT(p->pauli_at(k) == SinglePauli::X);
+    // Clear the tail.
+    for (std::uint32_t j = k + 1; j < n_; ++j) {
+      switch (p->pauli_at(j)) {
+        case SinglePauli::I:
+          break;
+        case SinglePauli::Z:
+          emit(GateType::H, j);
+          emit(GateType::CNOT, k, j);
+          break;
+        case SinglePauli::Y:
+          emit(GateType::S_DAG, j);
+          emit(GateType::CNOT, k, j);
+          break;
+        case SinglePauli::X:
+          emit(GateType::CNOT, k, j);
+          break;
+      }
+      SYMPHASE_ASSERT(p->pauli_at(j) == SinglePauli::I);
+    }
+    if (p->sign()) {
+      emit(GateType::Z, k);  // Z X Z = -X
+    }
+    SYMPHASE_ASSERT(*p == PauliString::single(n_, k, SinglePauli::X));
+
+    // --- Stage 2: make z_image(k) = +Z_k without disturbing X_k. ----
+    PauliString* q = &work.z_images_[k];
+    // q anticommutes with X_k, so its k entry is Z or Y.
+    SYMPHASE_ASSERT(q->pauli_at(k) == SinglePauli::Z ||
+                    q->pauli_at(k) == SinglePauli::Y);
+    if (q->pauli_at(k) == SinglePauli::Y) {
+      emit(GateType::SQRT_X, k);  // X fixed, Y -> Z
+    }
+    for (std::uint32_t j = k + 1; j < n_; ++j) {
+      switch (q->pauli_at(j)) {
+        case SinglePauli::I:
+          break;
+        case SinglePauli::X:
+          emit(GateType::H, j);
+          emit(GateType::CNOT, j, k);
+          break;
+        case SinglePauli::Y:
+          emit(GateType::H_YZ, j);  // Y -> Z, X_k image has I at j
+          emit(GateType::CNOT, j, k);
+          break;
+        case SinglePauli::Z:
+          emit(GateType::CNOT, j, k);
+          break;
+      }
+      SYMPHASE_ASSERT(q->pauli_at(j) == SinglePauli::I);
+    }
+    if (q->sign()) {
+      emit(GateType::X, k);  // X Z X = -Z
+    }
+    SYMPHASE_ASSERT(*q == PauliString::single(n_, k, SinglePauli::Z));
+  }
+  SYMPHASE_ASSERT(work.is_identity());
+
+  // Invert the applied sequence.
+  const auto inverse_of = [](GateType type) {
+    switch (type) {
+      case GateType::S:
+        return GateType::S_DAG;
+      case GateType::S_DAG:
+        return GateType::S;
+      case GateType::SQRT_X:
+        return GateType::SQRT_X_DAG;
+      case GateType::SQRT_X_DAG:
+        return GateType::SQRT_X;
+      default:
+        return type;  // H, CNOT, SWAP, X, Z, H_YZ are involutions
+    }
+  };
+  Circuit circuit(n_);
+  for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+    circuit.append(inverse_of(it->type), it->targets);
+  }
+  return circuit;
+}
+
+}  // namespace symphase

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file clifford_tableau.hpp
+/// Clifford unitaries as stabilizer tableaux (maps, not states).
+///
+/// Where StabilizerSimulator tracks a *state*'s generators, a
+/// CliffordTableau represents a Clifford *unitary* U by the images of the
+/// single-qubit Pauli generators:
+///
+///     x_image(j) = U X_j U†,    z_image(j) = U Z_j U†
+///
+/// with exact ±1 signs. This is the algebraic object behind everything
+/// in the paper's §2.2, packaged as a reusable value type: compose maps,
+/// invert them (symplectic transpose + sign fix), conjugate arbitrary
+/// Pauli strings, build from circuits, and synthesize an H/S/CNOT-family
+/// circuit realizing the map (Aaronson–Gottesman-style sweeping).
+///
+/// Intended for construction, analysis, and testing (dense PauliString
+/// rows, O(n) per gate, O(n²)–O(n³) for inverse/synthesis) rather than
+/// the bit-packed hot paths of the simulators.
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "pauli/pauli_string.hpp"
+
+namespace symphase {
+
+class CliffordTableau {
+ public:
+  /// Identity map on n qubits.
+  explicit CliffordTableau(std::size_t num_qubits);
+
+  /// Accumulates all (unitary) gates of a circuit. Throws if the circuit
+  /// contains non-unitary instructions.
+  static CliffordTableau from_circuit(const Circuit& circuit);
+
+  /// Pseudo-random Clifford: the map of a deep random H/S/CNOT/...
+  /// circuit. Well-scrambled for testing purposes; not exactly uniform
+  /// over the Clifford group.
+  static CliffordTableau random(std::size_t num_qubits, Rng& rng);
+
+  std::size_t num_qubits() const { return n_; }
+
+  const PauliString& x_image(std::size_t j) const { return x_images_[j]; }
+  const PauliString& z_image(std::size_t j) const { return z_images_[j]; }
+
+  /// Post-composes a gate: *this becomes gate ∘ *this.
+  void then_gate(GateType type, std::uint32_t a, std::uint32_t b = 0);
+
+  /// Returns other ∘ *this (apply *this first).
+  CliffordTableau then(const CliffordTableau& other) const;
+
+  /// U P U† for an arbitrary Pauli string (phase tracked exactly).
+  PauliString conjugate(const PauliString& pauli) const;
+
+  /// U† as a tableau.
+  CliffordTableau inverse() const;
+
+  /// Synthesizes a circuit of {H, S, S_DAG, SQRT_X, SQRT_X_DAG, H_YZ,
+  /// CNOT, SWAP, X, Z} gates realizing exactly this map (signs
+  /// included). Length O(n²).
+  Circuit to_circuit() const;
+
+  bool is_identity() const;
+
+  bool operator==(const CliffordTableau& other) const {
+    return x_images_ == other.x_images_ && z_images_ == other.z_images_;
+  }
+
+  /// Validity invariant: images preserve the Pauli commutation relations
+  /// (x_image(j) anticommutes with z_image(j), everything else
+  /// commutes) and carry real phases. O(n²); used by tests/debugging.
+  bool is_valid() const;
+
+ private:
+  std::size_t n_;
+  std::vector<PauliString> x_images_;
+  std::vector<PauliString> z_images_;
+};
+
+/// Conjugates a Pauli string in place by a single named gate:
+/// p := G p G†. The primitive CliffordTableau::then_gate builds on.
+void conjugate_by_gate(PauliString& pauli, GateType type, std::uint32_t a,
+                       std::uint32_t b = 0);
+
+}  // namespace symphase

@@ -1,0 +1,259 @@
+#include "tableau/col_major_tableau.hpp"
+
+#include "tableau/dense_row_ops.hpp"
+
+namespace symphase {
+
+ColMajorTableau::ColMajorTableau(std::size_t n, std::size_t phase_capacity)
+    : shape_(n, /*col_align=*/64, phase_capacity),
+      col_words_(words_for_bits(shape_.num_rows())),
+      cols_(shape_.num_cols(), shape_.num_rows()) {
+  for (std::size_t i = 0; i < n; ++i) {
+    cols_.set(x_col(i), shape_.destab_row(i), true);
+    cols_.set(z_col(i), shape_.stab_row(i), true);
+  }
+}
+
+std::size_t ColMajorTableau::allocate_phase_column() {
+  SYMPHASE_CHECK_MSG(phase_used_ < shape_.phase_capacity,
+                     "phase capacity " << shape_.phase_capacity
+                                       << " exhausted");
+  return phase_used_++;
+}
+
+void ColMajorTableau::prepare_column_mode() {
+  if (column_mode_) {
+    return;
+  }
+  transpose_region(rows_, shape_.num_rows(), live_cols(), cols_);
+  ++transpose_count_;
+  column_mode_ = true;
+}
+
+void ColMajorTableau::prepare_row_mode() {
+  if (!column_mode_) {
+    return;
+  }
+  if (rows_.rows() == 0) {
+    rows_ = BitMatrix(shape_.num_rows(), shape_.num_cols());
+  }
+  transpose_region(cols_, live_cols(), shape_.num_rows(), rows_);
+  ++transpose_count_;
+  column_mode_ = false;
+}
+
+// Gate updates stream whole 2n-bit column arrays: the strength of this
+// layout. The scratch row's bit rides along harmlessly (it is cleared
+// before every use).
+
+void ColMajorTableau::gate_h(std::size_t a) {
+  SYMPHASE_ASSERT(column_mode_);
+  SYMPHASE_CHECK(a < shape_.n);
+  Word* x = col(x_col(a));
+  Word* z = col(z_col(a));
+  Word* r = col(phase_col(0));
+  for (std::size_t w = 0; w < col_words_; ++w) {
+    r[w] ^= x[w] & z[w];
+    std::swap(x[w], z[w]);
+  }
+}
+
+void ColMajorTableau::gate_s(std::size_t a) {
+  SYMPHASE_ASSERT(column_mode_);
+  SYMPHASE_CHECK(a < shape_.n);
+  Word* x = col(x_col(a));
+  Word* z = col(z_col(a));
+  Word* r = col(phase_col(0));
+  for (std::size_t w = 0; w < col_words_; ++w) {
+    r[w] ^= x[w] & z[w];
+    z[w] ^= x[w];
+  }
+}
+
+void ColMajorTableau::gate_s_dag(std::size_t a) {
+  SYMPHASE_ASSERT(column_mode_);
+  SYMPHASE_CHECK(a < shape_.n);
+  Word* x = col(x_col(a));
+  Word* z = col(z_col(a));
+  Word* r = col(phase_col(0));
+  for (std::size_t w = 0; w < col_words_; ++w) {
+    r[w] ^= x[w] & ~z[w];
+    z[w] ^= x[w];
+  }
+}
+
+void ColMajorTableau::gate_sqrt_x(std::size_t a) {
+  SYMPHASE_ASSERT(column_mode_);
+  SYMPHASE_CHECK(a < shape_.n);
+  Word* x = col(x_col(a));
+  Word* z = col(z_col(a));
+  Word* r = col(phase_col(0));
+  for (std::size_t w = 0; w < col_words_; ++w) {
+    r[w] ^= ~x[w] & z[w];
+    x[w] ^= z[w];
+  }
+}
+
+void ColMajorTableau::gate_sqrt_x_dag(std::size_t a) {
+  SYMPHASE_ASSERT(column_mode_);
+  SYMPHASE_CHECK(a < shape_.n);
+  Word* x = col(x_col(a));
+  Word* z = col(z_col(a));
+  Word* r = col(phase_col(0));
+  for (std::size_t w = 0; w < col_words_; ++w) {
+    r[w] ^= x[w] & z[w];
+    x[w] ^= z[w];
+  }
+}
+
+void ColMajorTableau::gate_h_yz(std::size_t a) {
+  SYMPHASE_ASSERT(column_mode_);
+  SYMPHASE_CHECK(a < shape_.n);
+  Word* x = col(x_col(a));
+  Word* z = col(z_col(a));
+  Word* r = col(phase_col(0));
+  for (std::size_t w = 0; w < col_words_; ++w) {
+    r[w] ^= x[w] & ~z[w];
+    x[w] ^= z[w];
+  }
+}
+
+void ColMajorTableau::gate_x(std::size_t a) {
+  const std::uint32_t cols[1] = {0};
+  phase_xor_cols_where_z(a, cols);
+}
+
+void ColMajorTableau::gate_z(std::size_t a) {
+  const std::uint32_t cols[1] = {0};
+  phase_xor_cols_where_x(a, cols);
+}
+
+void ColMajorTableau::gate_y(std::size_t a) {
+  SYMPHASE_ASSERT(column_mode_);
+  SYMPHASE_CHECK(a < shape_.n);
+  const Word* x = col(x_col(a));
+  const Word* z = col(z_col(a));
+  Word* r = col(phase_col(0));
+  for (std::size_t w = 0; w < col_words_; ++w) {
+    r[w] ^= x[w] ^ z[w];
+  }
+}
+
+void ColMajorTableau::gate_cnot(std::size_t c, std::size_t t) {
+  SYMPHASE_ASSERT(column_mode_);
+  SYMPHASE_CHECK(c < shape_.n && t < shape_.n && c != t);
+  Word* xc = col(x_col(c));
+  Word* zc = col(z_col(c));
+  Word* xt = col(x_col(t));
+  Word* zt = col(z_col(t));
+  Word* r = col(phase_col(0));
+  for (std::size_t w = 0; w < col_words_; ++w) {
+    r[w] ^= xc[w] & zt[w] & ~(xt[w] ^ zc[w]);
+    xt[w] ^= xc[w];
+    zc[w] ^= zt[w];
+  }
+}
+
+void ColMajorTableau::gate_cz(std::size_t a, std::size_t b) {
+  SYMPHASE_ASSERT(column_mode_);
+  SYMPHASE_CHECK(a < shape_.n && b < shape_.n && a != b);
+  Word* xa = col(x_col(a));
+  Word* za = col(z_col(a));
+  Word* xb = col(x_col(b));
+  Word* zb = col(z_col(b));
+  Word* r = col(phase_col(0));
+  for (std::size_t w = 0; w < col_words_; ++w) {
+    r[w] ^= xa[w] & xb[w] & (za[w] ^ zb[w]);
+    za[w] ^= xb[w];
+    zb[w] ^= xa[w];
+  }
+}
+
+void ColMajorTableau::gate_swap(std::size_t a, std::size_t b) {
+  SYMPHASE_ASSERT(column_mode_);
+  SYMPHASE_CHECK(a < shape_.n && b < shape_.n && a != b);
+  cols_.swap_rows(x_col(a), x_col(b));
+  cols_.swap_rows(z_col(a), z_col(b));
+}
+
+void ColMajorTableau::phase_xor_cols_where_z(
+    std::size_t a, std::span<const std::uint32_t> phase_cols) {
+  SYMPHASE_ASSERT(column_mode_);
+  SYMPHASE_CHECK(a < shape_.n);
+  const Word* z = col(z_col(a));
+  for (const std::uint32_t pc : phase_cols) {
+    SYMPHASE_ASSERT(pc < phase_used_);
+    Word* p = col(phase_col(pc));
+    for (std::size_t w = 0; w < col_words_; ++w) {
+      p[w] ^= z[w];
+    }
+  }
+}
+
+void ColMajorTableau::phase_xor_cols_where_x(
+    std::size_t a, std::span<const std::uint32_t> phase_cols) {
+  SYMPHASE_ASSERT(column_mode_);
+  SYMPHASE_CHECK(a < shape_.n);
+  const Word* x = col(x_col(a));
+  for (const std::uint32_t pc : phase_cols) {
+    SYMPHASE_ASSERT(pc < phase_used_);
+    Word* p = col(phase_col(pc));
+    for (std::size_t w = 0; w < col_words_; ++w) {
+      p[w] ^= x[w];
+    }
+  }
+}
+
+bool ColMajorTableau::x_bit(std::size_t row, std::size_t q) const {
+  return column_mode_ ? cols_.get(x_col(q), row) : rows_.get(row, x_col(q));
+}
+
+bool ColMajorTableau::z_bit(std::size_t row, std::size_t q) const {
+  return column_mode_ ? cols_.get(z_col(q), row) : rows_.get(row, z_col(q));
+}
+
+void ColMajorTableau::row_mult(std::size_t dst, std::size_t src) {
+  SYMPHASE_ASSERT(!column_mode_);
+  dense_rows::row_mult(rows_, shape_, phase_words_used(), dst, src);
+}
+
+void ColMajorTableau::row_copy(std::size_t dst, std::size_t src) {
+  SYMPHASE_ASSERT(!column_mode_);
+  dense_rows::row_copy(rows_, dst, src);
+}
+
+void ColMajorTableau::row_set_plus_z(std::size_t row, std::size_t q) {
+  SYMPHASE_ASSERT(!column_mode_);
+  dense_rows::row_set_plus_z(rows_, shape_, row, q);
+}
+
+void ColMajorTableau::row_clear(std::size_t row) {
+  SYMPHASE_ASSERT(!column_mode_);
+  rows_.clear_row(row);
+}
+
+void ColMajorTableau::row_phase_read(std::size_t row, Word* out) const {
+  SYMPHASE_ASSERT(!column_mode_);
+  dense_rows::row_phase_read(rows_, shape_, phase_used_, row, out);
+}
+
+void ColMajorTableau::row_phase_clear(std::size_t row) {
+  SYMPHASE_ASSERT(!column_mode_);
+  dense_rows::row_phase_clear(rows_, shape_, row);
+}
+
+void ColMajorTableau::row_phase_xor_bit(std::size_t row,
+                                        std::size_t phase_col_index) {
+  SYMPHASE_ASSERT(!column_mode_);
+  SYMPHASE_ASSERT(phase_col_index < phase_used_);
+  rows_.flip(row, phase_col(phase_col_index));
+}
+
+bool ColMajorTableau::row_phase_bit(std::size_t row,
+                                    std::size_t phase_col_index) const {
+  SYMPHASE_ASSERT(phase_col_index < phase_used_);
+  return column_mode_ ? cols_.get(phase_col(phase_col_index), row)
+                      : rows_.get(row, phase_col(phase_col_index));
+}
+
+}  // namespace symphase

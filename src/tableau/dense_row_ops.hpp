@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file dense_row_ops.hpp
+/// Row operations over a dense row-major tableau image.
+///
+/// RowMajorTableau stores its tableau this way permanently; ColMajorTableau
+/// materializes the same image in row mode. Both delegate their row-mode
+/// operations here so the A-G semantics live in exactly one place.
+
+#include "bitvec/bit_matrix.hpp"
+#include "tableau/row_kernels.hpp"
+#include "tableau/shape.hpp"
+
+namespace symphase::dense_rows {
+
+/// row(dst) := row(dst) · row(src): XOR of X/Z bands, XOR of the used
+/// phase prefix, and the constant-column adjustment from the mod-4
+/// i-exponent of the Pauli product (which must come out even).
+inline void row_mult(BitMatrix& bits, const TableauShape& shape,
+                     std::size_t phase_words_used, std::size_t dst,
+                     std::size_t src) {
+  SYMPHASE_ASSERT(dst != src);
+  Word* d = bits.row(dst);
+  const Word* s = bits.row(src);
+  const std::size_t wx = shape.xz_words();
+  PhaseTally tally;
+  for (std::size_t w = 0; w < wx; ++w) {
+    tally.accumulate(d[w], d[wx + w], s[w], s[wx + w]);
+    d[w] ^= s[w];
+    d[wx + w] ^= s[wx + w];
+  }
+  const int exponent = tally.i_exponent_mod4();
+  SYMPHASE_ASSERT(exponent % 2 == 0);
+
+  const std::size_t pw = shape.phase_col_base() / kWordBits;
+  xor_words(d + pw, s + pw, phase_words_used);
+  if (exponent == 2) {
+    d[pw] ^= Word{1};
+  }
+}
+
+inline void row_copy(BitMatrix& bits, std::size_t dst, std::size_t src) {
+  if (dst == src) {
+    return;
+  }
+  Word* d = bits.row(dst);
+  const Word* s = bits.row(src);
+  for (std::size_t w = 0; w < bits.words_per_row(); ++w) {
+    d[w] = s[w];
+  }
+}
+
+inline void row_set_plus_z(BitMatrix& bits, const TableauShape& shape,
+                           std::size_t row, std::size_t q) {
+  bits.clear_row(row);
+  bits.set(row, shape.z_col_base() + q, true);
+}
+
+inline void row_phase_read(const BitMatrix& bits, const TableauShape& shape,
+                           std::size_t phase_used, std::size_t row,
+                           Word* out) {
+  const Word* r = bits.row(row) + shape.phase_col_base() / kWordBits;
+  const std::size_t pwords = words_for_bits(phase_used);
+  for (std::size_t w = 0; w < pwords; ++w) {
+    out[w] = r[w];
+  }
+  if (phase_used % kWordBits != 0) {
+    out[pwords - 1] &= tail_mask(phase_used);
+  }
+}
+
+inline void row_phase_clear(BitMatrix& bits, const TableauShape& shape,
+                            std::size_t row) {
+  Word* r = bits.row(row) + shape.phase_col_base() / kWordBits;
+  const std::size_t total =
+      (bits.words_per_row() * kWordBits - shape.phase_col_base()) / kWordBits;
+  for (std::size_t w = 0; w < total; ++w) {
+    r[w] = 0;
+  }
+}
+
+}  // namespace symphase::dense_rows

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file row_kernels.hpp
+/// Word-parallel kernels shared by the tableau layouts' row operations.
+///
+/// Row multiplication (A-G "rowsum") needs the power of i picked up by
+/// the Pauli product. Each qubit contributes i^g with g in {0,+1,-1}; the
+/// kernel counts +1s and -1s via bit masks, exactly like
+/// pauli_mul_i_exponent but on raw word spans so every layout can call
+/// it on its own storage.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bits.hpp"
+
+namespace symphase {
+
+/// Running (#+1, #-1) tally of per-qubit i exponents.
+struct PhaseTally {
+  long long plus = 0;
+  long long minus = 0;
+
+  /// Accumulates one word of (x1, z1) × (x2, z2) Pauli pairings, where
+  /// (x1, z1) is the row being multiplied into (dst) and (x2, z2) the
+  /// source row.
+  inline void accumulate(Word x1, Word z1, Word x2, Word z2) {
+    // dst qubit × src qubit products contributing +i: (Y,Z),(X,Y),(Z,X);
+    // contributing -i: (Y,X),(X,Z),(Z,Y). Note operand order: result is
+    // dst·src, so "1" = dst bits, "2" = src bits.
+    const Word plus_mask =
+        (x1 & z1 & ~x2 & z2) | (x1 & ~z1 & x2 & z2) | (~x1 & z1 & x2 & ~z2);
+    const Word minus_mask =
+        (x1 & z1 & x2 & ~z2) | (x1 & ~z1 & ~x2 & z2) | (~x1 & z1 & x2 & z2);
+    plus += popcount(plus_mask);
+    minus += popcount(minus_mask);
+  }
+
+  /// Total i exponent mod 4. Must be even for products of commuting
+  /// (real-phased) rows; the caller asserts that.
+  int i_exponent_mod4() const {
+    return static_cast<int>((((plus - minus) % 4) + 4) % 4);
+  }
+};
+
+/// XORs `count` words of src into dst.
+inline void xor_words(Word* dst, const Word* src, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+}  // namespace symphase

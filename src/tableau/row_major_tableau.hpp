@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file row_major_tableau.hpp
+/// Row-major tableau layout (paper Fig. 2a, the chp.c layout).
+///
+/// Each tableau row (destabilizer/stabilizer/scratch) is one contiguous
+/// packed bit-row: [X band | Z band | phase band]. Row operations
+/// (measurements) stream whole cache lines; column operations (gates)
+/// touch one bit per row across strided rows, which is exactly the
+/// weakness the paper's §4 attributes to this layout.
+///
+/// All layouts expose the same duck-typed interface consumed by
+/// StabilizerSimulator<Layout> and SymPhaseCompiler<Layout>; see
+/// shape.hpp for the logical geometry.
+
+#include <cstdint>
+#include <span>
+
+#include "bitvec/bit_matrix.hpp"
+#include "tableau/shape.hpp"
+
+namespace symphase {
+
+class RowMajorTableau {
+ public:
+  /// Identity tableau on n qubits: destabilizer i = +X_i, stabilizer
+  /// i = +Z_i, all phases zero. `phase_capacity` counts phase columns
+  /// including the constant column 0.
+  RowMajorTableau(std::size_t n, std::size_t phase_capacity = 1);
+
+  static constexpr const char* layout_name() { return "row_major"; }
+
+  const TableauShape& shape() const { return shape_; }
+  std::size_t num_qubits() const { return shape_.n; }
+
+  // --- Phase-column allocation -------------------------------------
+  std::size_t phase_used() const { return phase_used_; }
+  std::size_t phase_words_used() const { return words_for_bits(phase_used_); }
+  std::size_t allocate_phase_column();
+
+  // --- Mode switching (no-ops for this layout) ----------------------
+  void prepare_column_mode() {}
+  void prepare_row_mode() {}
+
+  // --- Column-mode operations (gates / faults) ----------------------
+  void gate_h(std::size_t a);
+  void gate_s(std::size_t a);
+  void gate_s_dag(std::size_t a);
+  void gate_sqrt_x(std::size_t a);
+  void gate_sqrt_x_dag(std::size_t a);
+  void gate_h_yz(std::size_t a);
+  void gate_x(std::size_t a);
+  void gate_y(std::size_t a);
+  void gate_z(std::size_t a);
+  void gate_cnot(std::size_t c, std::size_t t);
+  void gate_cz(std::size_t a, std::size_t b);
+  void gate_swap(std::size_t a, std::size_t b);
+
+  /// X^e fault at qubit a: rows with a Z component on `a` get the phase
+  /// columns in `phase_cols` flipped (paper Init-P).
+  void phase_xor_cols_where_z(std::size_t a,
+                              std::span<const std::uint32_t> phase_cols);
+  /// Z^e fault at qubit a: same, for rows with an X component.
+  void phase_xor_cols_where_x(std::size_t a,
+                              std::span<const std::uint32_t> phase_cols);
+
+  // --- Row-mode operations (measurements) ---------------------------
+  bool x_bit(std::size_t row, std::size_t q) const;
+  bool z_bit(std::size_t row, std::size_t q) const;
+
+  /// row(dst) := row(dst) · row(src) with exact phase tracking. The
+  /// accumulated i exponent must be even (commuting-product invariant).
+  void row_mult(std::size_t dst, std::size_t src);
+  void row_copy(std::size_t dst, std::size_t src);
+  /// row := +Z_q (X/Z bands and all phase columns cleared).
+  void row_set_plus_z(std::size_t row, std::size_t q);
+  /// row := identity with zero phase.
+  void row_clear(std::size_t row);
+
+  void row_phase_read(std::size_t row, Word* out) const;
+  void row_phase_clear(std::size_t row);
+  void row_phase_xor_bit(std::size_t row, std::size_t phase_col);
+  bool row_phase_bit(std::size_t row, std::size_t phase_col) const;
+
+ private:
+  std::size_t x_col(std::size_t q) const { return q; }
+  std::size_t z_col(std::size_t q) const { return shape_.z_col_base() + q; }
+  std::size_t phase_col(std::size_t b) const {
+    return shape_.phase_col_base() + b;
+  }
+
+  TableauShape shape_;
+  std::size_t phase_used_ = 1;
+  BitMatrix bits_;  // shape_.num_rows() x shape_.num_cols()
+};
+
+}  // namespace symphase

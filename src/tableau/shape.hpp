@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file shape.hpp
+/// Logical geometry shared by all tableau data layouts.
+///
+/// Every layout stores the same logical bit-matrix (the extended tableau
+/// of paper Eq. (3) plus one scratch row):
+///
+///   rows:    [0, n)        destabilizer generators
+///            [n, 2n)       stabilizer generators
+///            2n            scratch row for deterministic measurements
+///   columns: [0, n)        X bits        (padded to x_stride)
+///            [P, P+n)      Z bits        (P = x_stride = padded n)
+///            [2P, 2P+W)    phase columns (column 0 is the constant s_0;
+///                          further columns are allocated per symbol)
+///
+/// X and Z columns are padded to the same stride so that word k of a
+/// row's X part lines up with word k of its Z part; the row-product
+/// phase kernel relies on that pairing.
+
+#include <cstddef>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace symphase {
+
+struct TableauShape {
+  std::size_t n = 0;                  // qubit count
+  std::size_t col_align = 64;         // column padding unit (64 or 512)
+  std::size_t phase_capacity = 1;     // max phase columns (incl. constant)
+
+  TableauShape() = default;
+  TableauShape(std::size_t n_in, std::size_t col_align_in,
+               std::size_t phase_capacity_in)
+      : n(n_in), col_align(col_align_in), phase_capacity(phase_capacity_in) {
+    SYMPHASE_CHECK(n >= 1);
+    SYMPHASE_CHECK(phase_capacity >= 1);
+    SYMPHASE_CHECK(col_align % 64 == 0);
+  }
+
+  /// Padded width of the X (equally, Z) column band.
+  std::size_t x_stride() const { return round_up_pow2(n, col_align); }
+
+  std::size_t z_col_base() const { return x_stride(); }
+  std::size_t phase_col_base() const { return 2 * x_stride(); }
+
+  /// Total logical columns.
+  std::size_t num_cols() const {
+    return 2 * x_stride() + round_up_pow2(phase_capacity, col_align);
+  }
+
+  /// Total logical rows (2n generators + 1 scratch).
+  std::size_t num_rows() const { return 2 * n + 1; }
+
+  std::size_t destab_row(std::size_t i) const { return i; }
+  std::size_t stab_row(std::size_t i) const { return n + i; }
+  std::size_t scratch_row() const { return 2 * n; }
+
+  /// Words per row in the X band (== Z band).
+  std::size_t xz_words() const { return x_stride() / kWordBits; }
+};
+
+}  // namespace symphase

@@ -1,0 +1,192 @@
+#include "bitvec/bit_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace symphase {
+namespace {
+
+TEST(BitMatrix, ZeroInitialized) {
+  BitMatrix m(5, 70);
+  EXPECT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m.cols(), 70u);
+  EXPECT_EQ(m.count_ones(), 0u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_TRUE(m.row_is_zero(r));
+  }
+}
+
+TEST(BitMatrix, RowsAreCacheLineAligned) {
+  BitMatrix m(3, 1);
+  EXPECT_EQ(m.words_per_row() % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.row(0)) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.row(1)) % 64, 0u);
+}
+
+TEST(BitMatrix, SetGetFlip) {
+  BitMatrix m(4, 100);
+  m.set(0, 0, true);
+  m.set(3, 99, true);
+  m.set(2, 64, true);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(3, 99));
+  EXPECT_TRUE(m.get(2, 64));
+  EXPECT_FALSE(m.get(1, 50));
+  m.flip(0, 0);
+  EXPECT_FALSE(m.get(0, 0));
+  EXPECT_EQ(m.count_ones(), 2u);
+}
+
+TEST(BitMatrix, Identity) {
+  const BitMatrix id = BitMatrix::identity(65);
+  EXPECT_EQ(id.count_ones(), 65u);
+  for (std::size_t i = 0; i < 65; ++i) {
+    EXPECT_TRUE(id.get(i, i));
+  }
+}
+
+TEST(BitMatrix, XorRow) {
+  BitMatrix m(2, 128);
+  m.set(0, 5, true);
+  m.set(0, 100, true);
+  m.set(1, 100, true);
+  m.xor_row_into(0, 1);
+  EXPECT_TRUE(m.get(1, 5));
+  EXPECT_FALSE(m.get(1, 100));
+  // Row 0 untouched.
+  EXPECT_TRUE(m.get(0, 5));
+  EXPECT_TRUE(m.get(0, 100));
+}
+
+TEST(BitMatrix, SwapAndClearRows) {
+  BitMatrix m(3, 10);
+  m.set(0, 1, true);
+  m.set(2, 9, true);
+  m.swap_rows(0, 2);
+  EXPECT_TRUE(m.get(2, 1));
+  EXPECT_TRUE(m.get(0, 9));
+  EXPECT_FALSE(m.get(0, 1));
+  m.clear_row(0);
+  EXPECT_TRUE(m.row_is_zero(0));
+  EXPECT_FALSE(m.row_is_zero(2));
+}
+
+TEST(BitMatrix, TransposeSmall) {
+  BitMatrix m(2, 3);
+  m.set(0, 1, true);
+  m.set(1, 2, true);
+  const BitMatrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_TRUE(t.get(1, 0));
+  EXPECT_TRUE(t.get(2, 1));
+  EXPECT_EQ(t.count_ones(), 2u);
+}
+
+TEST(BitMatrix, MultiplyByIdentity) {
+  Rng rng(3);
+  const BitMatrix m = BitMatrix::random(20, 77, rng);
+  const BitMatrix id = BitMatrix::identity(77);
+  EXPECT_EQ(m.multiply(id), m);
+  const BitMatrix id20 = BitMatrix::identity(20);
+  EXPECT_EQ(id20.multiply(m), m);
+}
+
+TEST(BitMatrix, MultiplyMatchesNaive) {
+  Rng rng(11);
+  const BitMatrix a = BitMatrix::random(17, 33, rng);
+  const BitMatrix b = BitMatrix::random(33, 29, rng);
+  const BitMatrix c = a.multiply(b);
+  for (std::size_t r = 0; r < 17; ++r) {
+    for (std::size_t col = 0; col < 29; ++col) {
+      bool expected = false;
+      for (std::size_t k = 0; k < 33; ++k) {
+        expected ^= a.get(r, k) && b.get(k, col);
+      }
+      ASSERT_EQ(c.get(r, col), expected) << r << "," << col;
+    }
+  }
+}
+
+TEST(BitMatrix, MultiplyShapeMismatchThrows) {
+  BitMatrix a(3, 4);
+  BitMatrix b(5, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(BitMatrix, RandomIsSeedDeterministic) {
+  Rng rng1(42);
+  Rng rng2(42);
+  EXPECT_EQ(BitMatrix::random(10, 100, rng1), BitMatrix::random(10, 100, rng2));
+}
+
+TEST(BitMatrix, RandomKeepsTailZero) {
+  Rng rng(5);
+  const BitMatrix m = BitMatrix::random(4, 67, rng);
+  // Bits beyond column 66 in the last used word must be zero: count via
+  // the raw words.
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(m.row(r)[1] & ~tail_mask(67), 0u);
+  }
+}
+
+class BitMatrixTransposeParam
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(BitMatrixTransposeParam, DoubleTransposeIsIdentity) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(rows * 1000 + cols);
+  const BitMatrix m = BitMatrix::random(rows, cols, rng);
+  EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST_P(BitMatrixTransposeParam, TransposeMatchesNaive) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(rows * 7 + cols);
+  const BitMatrix m = BitMatrix::random(rows, cols, rng);
+  const BitMatrix t = m.transposed();
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      ASSERT_EQ(m.get(r, c), t.get(c, r));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BitMatrixTransposeParam,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{1, 64},
+                      std::pair<std::size_t, std::size_t>{64, 1},
+                      std::pair<std::size_t, std::size_t>{64, 64},
+                      std::pair<std::size_t, std::size_t>{65, 63},
+                      std::pair<std::size_t, std::size_t>{128, 256},
+                      std::pair<std::size_t, std::size_t>{100, 300},
+                      std::pair<std::size_t, std::size_t>{513, 129}));
+
+TEST(BitMatrixRegion, TransposeRegionMatchesFull) {
+  Rng rng(99);
+  const BitMatrix src = BitMatrix::random(130, 200, rng);
+  BitMatrix dst(200, 130);
+  transpose_region(src, 130, 200, dst);
+  EXPECT_EQ(dst, src.transposed());
+}
+
+TEST(BitMatrixRegion, PartialRegion) {
+  Rng rng(100);
+  BitMatrix src = BitMatrix::random(128, 128, rng);
+  // Zero outside the region so the partial transpose is comparable.
+  for (std::size_t r = 64; r < 128; ++r) {
+    src.clear_row(r);
+  }
+  BitMatrix dst(128, 128);
+  transpose_region(src, 64, 128, dst);
+  for (std::size_t r = 0; r < 64; ++r) {
+    for (std::size_t c = 0; c < 128; ++c) {
+      ASSERT_EQ(dst.get(c, r), src.get(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace symphase

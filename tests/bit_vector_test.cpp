@@ -1,0 +1,189 @@
+#include "bitvec/bit_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace symphase {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.any());
+}
+
+TEST(BitVector, ConstructedZeroed) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.word_count(), 3u);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_FALSE(v.get(i));
+  }
+  EXPECT_EQ(v.count_ones(), 0u);
+}
+
+TEST(BitVector, SetGetFlip) {
+  BitVector v(100);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.count_ones(), 4u);
+  v.flip(0);
+  EXPECT_FALSE(v.get(0));
+  v.flip(1);
+  EXPECT_TRUE(v.get(1));
+  EXPECT_EQ(v.count_ones(), 4u);
+}
+
+TEST(BitVector, XorIsSymmetricDifference) {
+  BitVector a(70);
+  BitVector b(70);
+  a.set(3, true);
+  a.set(65, true);
+  b.set(3, true);
+  b.set(17, true);
+  const BitVector c = a ^ b;
+  EXPECT_FALSE(c.get(3));
+  EXPECT_TRUE(c.get(17));
+  EXPECT_TRUE(c.get(65));
+  EXPECT_EQ(c.count_ones(), 2u);
+}
+
+TEST(BitVector, XorSelfIsZero) {
+  Rng rng(7);
+  BitVector a(200);
+  for (int i = 0; i < 50; ++i) {
+    a.set(rng.next_below(200), true);
+  }
+  BitVector b = a;
+  b ^= a;
+  EXPECT_FALSE(b.any());
+}
+
+TEST(BitVector, AndOr) {
+  BitVector a(10);
+  BitVector b(10);
+  a.set(1, true);
+  a.set(2, true);
+  b.set(2, true);
+  b.set(3, true);
+  BitVector both = a;
+  both &= b;
+  EXPECT_EQ(both.count_ones(), 1u);
+  EXPECT_TRUE(both.get(2));
+  BitVector either = a;
+  either |= b;
+  EXPECT_EQ(either.count_ones(), 3u);
+}
+
+TEST(BitVector, DotIsParityOfAnd) {
+  BitVector a(128);
+  BitVector b(128);
+  a.set(5, true);
+  a.set(70, true);
+  b.set(5, true);
+  b.set(70, true);
+  EXPECT_FALSE(a.dot(b));  // two overlaps -> even
+  b.set(71, true);
+  a.set(71, true);
+  EXPECT_TRUE(a.dot(b));  // three overlaps -> odd
+}
+
+TEST(BitVector, FirstSet) {
+  BitVector v(200);
+  EXPECT_EQ(v.first_set(), 200u);
+  v.set(130, true);
+  EXPECT_EQ(v.first_set(), 130u);
+  v.set(7, true);
+  EXPECT_EQ(v.first_set(), 7u);
+}
+
+TEST(BitVector, ResizePreservesAndZeroExtends) {
+  BitVector v(65);
+  v.set(64, true);
+  v.set(10, true);
+  v.resize(200);
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(10));
+  EXPECT_EQ(v.count_ones(), 2u);
+  for (std::size_t i = 65; i < 200; ++i) {
+    EXPECT_FALSE(v.get(i));
+  }
+}
+
+TEST(BitVector, ResizeShrinkTrimsTail) {
+  BitVector v(128);
+  v.set(100, true);
+  v.set(5, true);
+  v.resize(64);
+  EXPECT_EQ(v.count_ones(), 1u);
+  EXPECT_TRUE(v.get(5));
+  // Growing again must not resurrect the trimmed bit.
+  v.resize(128);
+  EXPECT_FALSE(v.get(100));
+}
+
+TEST(BitVector, EqualityIncludesSize) {
+  BitVector a(10);
+  BitVector b(11);
+  EXPECT_FALSE(a == b);
+  BitVector c(10);
+  EXPECT_TRUE(a == c);
+  c.set(3, true);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitVector, ToStringLsbFirst) {
+  BitVector v(5);
+  v.set(0, true);
+  v.set(3, true);
+  EXPECT_EQ(v.to_string(), "10010");
+}
+
+class BitVectorParamTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorParamTest, CountMatchesNaive) {
+  const std::size_t size = GetParam();
+  Rng rng(size);
+  BitVector v(size);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    if (rng.next_bernoulli(0.3)) {
+      v.set(i, true);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(v.count_ones(), expected);
+}
+
+TEST_P(BitVectorParamTest, XorAssociativity) {
+  const std::size_t size = GetParam();
+  if (size == 0) {
+    GTEST_SKIP();
+  }
+  Rng rng(size + 1);
+  BitVector a(size);
+  BitVector b(size);
+  BitVector c(size);
+  for (std::size_t i = 0; i < size / 2 + 1; ++i) {
+    a.set(rng.next_below(size), true);
+    b.set(rng.next_below(size), true);
+    c.set(rng.next_below(size), true);
+  }
+  EXPECT_EQ((a ^ b) ^ c, a ^ (b ^ c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorParamTest,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 129,
+                                           511, 512, 1000));
+
+}  // namespace
+}  // namespace symphase

@@ -1,0 +1,110 @@
+#include "circuit/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace symphase {
+namespace {
+
+TEST(Circuit, EmptyCircuit) {
+  Circuit c;
+  EXPECT_EQ(c.num_qubits(), 0u);
+  EXPECT_TRUE(c.instructions().empty());
+  EXPECT_EQ(c.num_measurements(), 0u);
+}
+
+TEST(Circuit, AppendGrowsQubitCount) {
+  Circuit c;
+  c.append1(GateType::H, 4);
+  EXPECT_EQ(c.num_qubits(), 5u);
+  c.append2(GateType::CNOT, 9, 2);
+  EXPECT_EQ(c.num_qubits(), 10u);
+  c.append1(GateType::X, 0);
+  EXPECT_EQ(c.num_qubits(), 10u);
+}
+
+TEST(Circuit, PairwiseTargetValidation) {
+  Circuit c(4);
+  EXPECT_THROW(c.append(GateType::CNOT, {0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(c.append(GateType::CNOT, {1, 1}), std::invalid_argument);
+  c.append(GateType::CNOT, {0, 1, 2, 3});
+  EXPECT_EQ(c.instructions().back().targets.size(), 4u);
+}
+
+TEST(Circuit, ProbabilityValidation) {
+  Circuit c(2);
+  EXPECT_THROW(c.append(GateType::X_ERROR, {0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(c.append(GateType::X_ERROR, {0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(c.append(GateType::H, {0}, 0.5), std::invalid_argument);
+  c.append(GateType::X_ERROR, {0}, 0.25);
+  EXPECT_DOUBLE_EQ(c.instructions().back().probability, 0.25);
+}
+
+TEST(Circuit, EmptyTargetsRejectedExceptTick) {
+  Circuit c(2);
+  EXPECT_THROW(c.append(GateType::H, {}), std::invalid_argument);
+  c.append(GateType::TICK, {});
+  EXPECT_THROW(c.append(GateType::TICK, {0}), std::invalid_argument);
+}
+
+TEST(Circuit, StatsCountsEverything) {
+  Circuit c(4);
+  c.append(GateType::H, {0, 1, 2});        // 3 gates
+  c.append(GateType::CNOT, {0, 1, 2, 3});  // 2 gates
+  c.append(GateType::M, {0, 1});           // 2 measurements
+  c.append(GateType::MR, {2});             // 1 measurement + 1 reset
+  c.append(GateType::R, {3});              // 1 reset
+  c.append(GateType::X_ERROR, {0, 1}, 0.1);       // 2 noise sites
+  c.append(GateType::DEPOLARIZE1, {2}, 0.1);      // 1 noise site
+  c.append(GateType::DEPOLARIZE2, {0, 1}, 0.1);   // 2 noise sites
+  c.append(GateType::TICK, {});
+  const CircuitStats s = c.stats();
+  EXPECT_EQ(s.num_qubits, 4u);
+  EXPECT_EQ(s.num_gates, 5u);
+  EXPECT_EQ(s.num_measurements, 3u);
+  EXPECT_EQ(s.num_resets, 2u);
+  EXPECT_EQ(s.num_noise_sites, 5u);
+  EXPECT_EQ(s.num_instructions, 9u);
+  EXPECT_EQ(c.num_measurements(), 3u);
+}
+
+TEST(Circuit, AppendCircuitConcatenates) {
+  Circuit a(2);
+  a.append1(GateType::H, 0);
+  Circuit b(3);
+  b.append1(GateType::X, 2);
+  a.append_circuit(b);
+  EXPECT_EQ(a.num_qubits(), 3u);
+  EXPECT_EQ(a.instructions().size(), 2u);
+}
+
+TEST(Circuit, AppendRepeated) {
+  Circuit body(1);
+  body.append1(GateType::H, 0);
+  Circuit c(1);
+  c.append_repeated(body, 5);
+  EXPECT_EQ(c.instructions().size(), 5u);
+  c.append_repeated(body, 0);
+  EXPECT_EQ(c.instructions().size(), 5u);
+}
+
+TEST(Circuit, ToTextFormat) {
+  Circuit c(3);
+  c.append(GateType::H, {0, 2});
+  c.append(GateType::X_ERROR, {1}, 0.125);
+  c.append(GateType::M, {0});
+  const std::string text = c.to_text();
+  EXPECT_EQ(text, "H 0 2\nX_ERROR(0.125) 1\nM 0\n");
+}
+
+TEST(Circuit, EqualityIsStructural) {
+  Circuit a(2);
+  a.append1(GateType::H, 0);
+  Circuit b(2);
+  b.append1(GateType::H, 0);
+  EXPECT_EQ(a, b);
+  b.append1(GateType::X, 1);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace symphase

@@ -1,0 +1,143 @@
+// Subprocess tests for the symphase CLI binary. The binary path is
+// injected by CMake (SYMPHASE_CLI_PATH).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace symphase {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_cli(const std::string& args) {
+  const std::string command =
+      std::string(SYMPHASE_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  CommandResult result;
+  std::array<char, 4096> buffer;
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string write_temp_circuit(const std::string& text) {
+  const std::string path =
+      ::testing::TempDir() + "/cli_test_circuit.stim";
+  FILE* f = fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  fwrite(text.data(), 1, text.size(), f);
+  fclose(f);
+  return path;
+}
+
+TEST(Cli, UsageOnNoArguments) {
+  const CommandResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommand) {
+  const CommandResult r = run_cli("frobnicate x");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(Cli, UnknownOptionRejected) {
+  const std::string path = write_temp_circuit("M 0\n");
+  const CommandResult r = run_cli("sample " + path + " --bogus 1");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(Cli, SampleDeterministicCircuit) {
+  const std::string path = write_temp_circuit("X 0\nM 0 1\n");
+  const CommandResult r = run_cli("sample " + path + " --shots 3");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "10\n10\n10\n");
+}
+
+TEST(Cli, SampleHexFormat) {
+  const std::string path = write_temp_circuit("X 0\nM 0 1 2 3 4\n");
+  const CommandResult r =
+      run_cli("sample " + path + " --shots 2 --format hex");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "10\n10\n");  // bits 10000 -> nibbles 1, 0
+}
+
+TEST(Cli, SampleSeedReproducible) {
+  const std::string path = write_temp_circuit("H 0\nM 0\n");
+  const CommandResult a = run_cli("sample " + path + " --shots 20 --seed 5");
+  const CommandResult b = run_cli("sample " + path + " --shots 20 --seed 5");
+  const CommandResult c = run_cli("sample " + path + " --shots 20 --seed 6");
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_NE(a.output, c.output);
+}
+
+TEST(Cli, AnalyzePrintsExpressions) {
+  const std::string path =
+      write_temp_circuit("X_ERROR(0.1) 0\nM 0\n");
+  const CommandResult r = run_cli("analyze " + path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("m0 = s1"), std::string::npos);
+  EXPECT_NE(r.output.find("fault sites:   1"), std::string::npos);
+}
+
+TEST(Cli, DemOutput) {
+  const std::string path = write_temp_circuit(
+      "X_ERROR(0.25) 0\nM 0\nDETECTOR rec[-1]\nOBSERVABLE_INCLUDE(0) "
+      "rec[-1]\n");
+  const CommandResult r = run_cli("dem " + path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "error(0.25) D0 L0\n");
+}
+
+TEST(Cli, DetectRequiresAnnotations) {
+  const std::string path = write_temp_circuit("M 0\n");
+  const CommandResult r = run_cli("detect " + path);
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(Cli, GenFamiliesParseBack) {
+  for (const char* family :
+       {"surface --distance 3 --rounds 2", "repetition --distance 3",
+        "steane --rounds 2", "layered --qubits 10 --layers 3"}) {
+    const CommandResult r = run_cli(std::string("gen ") + family);
+    ASSERT_EQ(r.exit_code, 0) << family;
+    ASSERT_FALSE(r.output.empty()) << family;
+  }
+}
+
+TEST(Cli, GenPipesIntoDetect) {
+  const std::string path =
+      ::testing::TempDir() + "/cli_surface.stim";
+  const CommandResult gen = run_cli(
+      "gen surface --distance 3 --rounds 2 --p-data 0.01 > " + path +
+      " && " + std::string(SYMPHASE_CLI_PATH) + " detect " + path +
+      " --shots 4 --format 01");
+  EXPECT_EQ(gen.exit_code, 0);
+  // 4 lines of 24 detector bits + space + 1 observable bit.
+  int lines = 0;
+  for (const char c : gen.output) {
+    lines += c == '\n';
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(Cli, ParseErrorReported) {
+  const std::string path = write_temp_circuit("NOT_A_GATE 0\n");
+  const CommandResult r = run_cli("sample " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("parse error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace symphase

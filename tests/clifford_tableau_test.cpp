@@ -1,0 +1,253 @@
+// Tests for CliffordTableau: conjugation rules vs the state-vector
+// oracle, group algebra (composition, inverse), and circuit synthesis.
+
+#include "tableau/clifford_tableau.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "statevector/state_vector.hpp"
+
+namespace symphase {
+namespace {
+
+constexpr GateType kOneQubitGates[] = {
+    GateType::I,      GateType::X,          GateType::Y,
+    GateType::Z,      GateType::H,          GateType::S,
+    GateType::S_DAG,  GateType::SQRT_X,     GateType::SQRT_X_DAG,
+    GateType::H_YZ,
+};
+constexpr GateType kTwoQubitGates[] = {GateType::CNOT, GateType::CZ,
+                                       GateType::SWAP};
+
+/// Checks U P U† == expected by verifying that if |psi> is stabilized by
+/// P then U|psi> is stabilized by expected — for every stabilizer state
+/// in a small basis of P-eigenstates... simpler and fully general: apply
+/// both sides to the oracle state and compare: U P |psi> vs expected U
+/// |psi> for random stabilizer |psi>.
+void expect_conjugation_matches_oracle(GateType type, std::uint32_t a,
+                                       std::uint32_t b,
+                                       const PauliString& pauli,
+                                       std::uint64_t seed) {
+  const std::size_t n = pauli.num_qubits();
+  CliffordTableau t(n);
+  t.then_gate(type, a, b);
+  const PauliString image = t.conjugate(pauli);
+
+  // Prepare a pseudo-random state via a unitary circuit.
+  Rng rng(seed);
+  const Circuit prep = [&] {
+    Circuit c = random_fuzz_circuit(n, 12, 0.0, rng, false);
+    Circuit unitary(n);
+    for (const Instruction& inst : c.instructions()) {
+      if (is_unitary(inst.type)) {
+        unitary.append(inst.type, inst.targets);
+      }
+    }
+    return unitary;
+  }();
+  StateVector base(n);
+  Rng sv_rng(seed + 1);
+  std::vector<bool> record;
+  base.run_circuit(prep, sv_rng, record);
+
+  // lhs = U P |psi>.
+  StateVector lhs = base;
+  lhs.apply_pauli(pauli);
+  lhs.apply_gate(type, a, b);
+  // rhs = image U |psi>.
+  StateVector rhs = base;
+  rhs.apply_gate(type, a, b);
+  rhs.apply_pauli(image);
+  ASSERT_NEAR(lhs.fidelity_with(rhs), 1.0, 1e-9)
+      << gate_name(type) << " on " << pauli.to_string() << " gave "
+      << image.to_string();
+  // Fidelity is phase-blind; check the global phase by comparing one
+  // non-trivial amplitude directly.
+  for (std::size_t i = 0; i < lhs.amplitudes().size(); ++i) {
+    ASSERT_NEAR(std::abs(lhs.amplitudes()[i] - rhs.amplitudes()[i]), 0.0,
+                1e-9)
+        << gate_name(type) << " phase mismatch on " << pauli.to_string();
+  }
+}
+
+TEST(CliffordTableau, SingleQubitConjugationsExhaustive) {
+  // Every gate x every literal Pauli with every starting sign on 2
+  // qubits (so identity action on bystanders is also covered).
+  const SinglePauli paulis[] = {SinglePauli::I, SinglePauli::X,
+                                SinglePauli::Y, SinglePauli::Z};
+  std::uint64_t seed = 1;
+  for (const GateType g : kOneQubitGates) {
+    for (const SinglePauli p : paulis) {
+      for (const bool sign : {false, true}) {
+        PauliString pauli = PauliString::single(2, 0, p);
+        pauli.set_sign(sign);
+        expect_conjugation_matches_oracle(g, 0, 0, pauli, seed++);
+      }
+    }
+  }
+}
+
+TEST(CliffordTableau, TwoQubitConjugationsExhaustive) {
+  const SinglePauli paulis[] = {SinglePauli::I, SinglePauli::X,
+                                SinglePauli::Y, SinglePauli::Z};
+  std::uint64_t seed = 1000;
+  for (const GateType g : kTwoQubitGates) {
+    for (const SinglePauli pa : paulis) {
+      for (const SinglePauli pb : paulis) {
+        PauliString pauli(2);
+        pauli.set_pauli(0, pa);
+        pauli.set_pauli(1, pb);
+        expect_conjugation_matches_oracle(g, 0, 1, pauli, seed++);
+      }
+    }
+  }
+}
+
+TEST(CliffordTableau, IdentityProperties) {
+  CliffordTableau t(4);
+  EXPECT_TRUE(t.is_identity());
+  EXPECT_TRUE(t.is_valid());
+  const PauliString p = PauliString::from_string("-XY_Z");
+  EXPECT_EQ(t.conjugate(p), p);
+}
+
+TEST(CliffordTableau, ValidityPreservedUnderGates) {
+  Rng rng(7);
+  CliffordTableau t = CliffordTableau::random(6, rng);
+  EXPECT_TRUE(t.is_valid());
+  EXPECT_FALSE(t.is_identity());
+}
+
+TEST(CliffordTableau, ComposeMatchesSequentialConjugation) {
+  Rng rng(8);
+  const CliffordTableau u = CliffordTableau::random(5, rng);
+  const CliffordTableau v = CliffordTableau::random(5, rng);
+  const CliffordTableau w = u.then(v);  // v ∘ u
+  EXPECT_TRUE(w.is_valid());
+  for (int trial = 0; trial < 20; ++trial) {
+    const PauliString p = PauliString::random(5, rng);
+    EXPECT_EQ(w.conjugate(p), v.conjugate(u.conjugate(p)));
+  }
+}
+
+TEST(CliffordTableau, ComposeWithIdentity) {
+  Rng rng(9);
+  const CliffordTableau u = CliffordTableau::random(4, rng);
+  const CliffordTableau id(4);
+  EXPECT_EQ(u.then(id), u);
+  EXPECT_EQ(id.then(u), u);
+}
+
+TEST(CliffordTableau, InverseComposesToIdentity) {
+  Rng rng(10);
+  for (int trial = 0; trial < 10; ++trial) {
+    const CliffordTableau u =
+        CliffordTableau::random(1 + trial % 7 + 1, rng);
+    const CliffordTableau inv = u.inverse();
+    EXPECT_TRUE(inv.is_valid());
+    EXPECT_TRUE(u.then(inv).is_identity()) << "trial " << trial;
+    EXPECT_TRUE(inv.then(u).is_identity()) << "trial " << trial;
+  }
+}
+
+TEST(CliffordTableau, InverseRoundTripsPaulis) {
+  Rng rng(11);
+  const CliffordTableau u = CliffordTableau::random(6, rng);
+  const CliffordTableau inv = u.inverse();
+  for (int trial = 0; trial < 30; ++trial) {
+    PauliString p = PauliString::random(6, rng);
+    p.set_phase_exponent(p.phase_exponent() & ~1);  // real phase
+    EXPECT_EQ(inv.conjugate(u.conjugate(p)), p);
+  }
+}
+
+TEST(CliffordTableau, FromCircuitMatchesGateSequence) {
+  Circuit c(3);
+  c.append1(GateType::H, 0);
+  c.append2(GateType::CNOT, 0, 1);
+  c.append1(GateType::S, 2);
+  const CliffordTableau t = CliffordTableau::from_circuit(c);
+  CliffordTableau manual(3);
+  manual.then_gate(GateType::H, 0);
+  manual.then_gate(GateType::CNOT, 0, 1);
+  manual.then_gate(GateType::S, 2);
+  EXPECT_EQ(t, manual);
+  // GHZ-prep tableau maps Z_0 -> X_0 X_1 ... check one image.
+  EXPECT_EQ(t.z_image(0).to_string(), "+XX_");
+}
+
+TEST(CliffordTableau, FromCircuitRejectsNonUnitary) {
+  Circuit c(2);
+  c.append1(GateType::M, 0);
+  EXPECT_THROW(CliffordTableau::from_circuit(c), std::invalid_argument);
+}
+
+class SynthesisTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SynthesisTest, ToCircuitRoundTripsExactly) {
+  Rng rng(GetParam() * 97 + 5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const CliffordTableau u = CliffordTableau::random(GetParam(), rng);
+    const Circuit synthesized = u.to_circuit();
+    const CliffordTableau back = CliffordTableau::from_circuit(synthesized);
+    ASSERT_EQ(back, u) << "n=" << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SynthesisTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(CliffordTableau, SynthesisOfIdentityIsEmpty) {
+  const CliffordTableau id(5);
+  EXPECT_TRUE(id.to_circuit().instructions().empty());
+}
+
+TEST(CliffordTableau, SynthesizedCircuitActsOnStates) {
+  // The synthesized circuit must reproduce the exact state the original
+  // gate sequence prepares (up to nothing — signs included).
+  Rng rng(42);
+  Circuit original(4);
+  original.append1(GateType::H, 0);
+  original.append2(GateType::CNOT, 0, 1);
+  original.append1(GateType::S_DAG, 1);
+  original.append2(GateType::CZ, 1, 2);
+  original.append1(GateType::SQRT_X, 3);
+  original.append2(GateType::SWAP, 2, 3);
+  original.append1(GateType::Y, 0);
+  const Circuit synthesized =
+      CliffordTableau::from_circuit(original).to_circuit();
+
+  StateVector a(4);
+  StateVector b(4);
+  Rng r1(1);
+  Rng r2(1);
+  std::vector<bool> rec;
+  a.run_circuit(original, r1, rec);
+  b.run_circuit(synthesized, r2, rec);
+  EXPECT_NEAR(a.fidelity_with(b), 1.0, 1e-9);
+}
+
+TEST(CliffordTableau, ConjugatePreservesCommutationStructure) {
+  Rng rng(13);
+  const CliffordTableau u = CliffordTableau::random(7, rng);
+  for (int trial = 0; trial < 25; ++trial) {
+    const PauliString p = PauliString::random(7, rng);
+    const PauliString q = PauliString::random(7, rng);
+    EXPECT_EQ(u.conjugate(p).commutes_with(u.conjugate(q)),
+              p.commutes_with(q));
+  }
+}
+
+TEST(CliffordTableau, ConjugateIsHomomorphism) {
+  Rng rng(14);
+  const CliffordTableau u = CliffordTableau::random(5, rng);
+  for (int trial = 0; trial < 25; ++trial) {
+    const PauliString p = PauliString::random(5, rng);
+    const PauliString q = PauliString::random(5, rng);
+    EXPECT_EQ(u.conjugate(p * q), u.conjugate(p) * u.conjugate(q));
+  }
+}
+
+}  // namespace
+}  // namespace symphase

@@ -1,0 +1,196 @@
+// Unit tests for the SymPhase compiler (Algorithm 1 Initialization):
+// symbolic expressions on hand-checkable circuits, including the paper's
+// own worked examples.
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/parser.hpp"
+#include "symbolic/symphase_compiler.hpp"
+
+namespace symphase {
+namespace {
+
+using Expr = std::vector<std::uint32_t>;
+
+template <typename Layout>
+class CompilerTest : public ::testing::Test {};
+
+using Layouts =
+    ::testing::Types<RowMajorTableau, ColMajorTableau, BlockedTableau>;
+TYPED_TEST_SUITE(CompilerTest, Layouts);
+
+TYPED_TEST(CompilerTest, FreshQubitMeasuresConstantZero) {
+  const Circuit c = parse_circuit("M 0 1");
+  SymPhaseCompiler<TypeParam> compiler(c);
+  ASSERT_EQ(compiler.num_measurements(), 2u);
+  EXPECT_EQ(compiler.expressions()[0].symbols, Expr{});
+  EXPECT_FALSE(compiler.expressions()[0].was_random);
+  EXPECT_EQ(compiler.symbols().num_symbols(), 1u);  // just the constant
+}
+
+TYPED_TEST(CompilerTest, XGateGivesConstantOne) {
+  const Circuit c = parse_circuit("X 0\nM 0");
+  SymPhaseCompiler<TypeParam> compiler(c);
+  EXPECT_EQ(compiler.expressions()[0].symbols, Expr{0});
+  EXPECT_FALSE(compiler.expressions()[0].was_random);
+}
+
+TYPED_TEST(CompilerTest, XErrorGivesSymbol) {
+  const Circuit c = parse_circuit("X_ERROR(0.1) 0\nM 0");
+  SymPhaseCompiler<TypeParam> compiler(c);
+  EXPECT_EQ(compiler.expressions()[0].symbols, Expr{1});
+  EXPECT_EQ(compiler.symbols().group_of(1).kind, SymbolGroupKind::kBernoulli);
+  EXPECT_DOUBLE_EQ(compiler.symbols().group_of(1).probability, 0.1);
+}
+
+TYPED_TEST(CompilerTest, ZErrorInvisibleInZBasis) {
+  const Circuit c = parse_circuit("Z_ERROR(0.3) 0\nM 0");
+  SymPhaseCompiler<TypeParam> compiler(c);
+  EXPECT_EQ(compiler.expressions()[0].symbols, Expr{});
+}
+
+TYPED_TEST(CompilerTest, ZErrorVisibleThroughHadamard) {
+  const Circuit c = parse_circuit("H 0\nZ_ERROR(0.3) 0\nH 0\nM 0");
+  SymPhaseCompiler<TypeParam> compiler(c);
+  EXPECT_EQ(compiler.expressions()[0].symbols, Expr{1});
+}
+
+TYPED_TEST(CompilerTest, RandomMeasurementMintsCoin) {
+  const Circuit c = parse_circuit("H 0\nM 0\nM 0");
+  SymPhaseCompiler<TypeParam> compiler(c);
+  ASSERT_EQ(compiler.num_measurements(), 2u);
+  EXPECT_TRUE(compiler.expressions()[0].was_random);
+  EXPECT_EQ(compiler.expressions()[0].symbols, Expr{1});
+  EXPECT_EQ(compiler.symbols().group_of(1).kind, SymbolGroupKind::kCoin);
+  // Re-measurement is deterministic and repeats the same coin.
+  EXPECT_FALSE(compiler.expressions()[1].was_random);
+  EXPECT_EQ(compiler.expressions()[1].symbols, Expr{1});
+}
+
+TYPED_TEST(CompilerTest, BellPairCorrelatedExpressions) {
+  const Circuit c = parse_circuit("H 0\nCNOT 0 1\nM 0\nM 1");
+  SymPhaseCompiler<TypeParam> compiler(c);
+  EXPECT_TRUE(compiler.expressions()[0].was_random);
+  EXPECT_FALSE(compiler.expressions()[1].was_random);
+  // Perfectly correlated: both outcomes are the same coin.
+  EXPECT_EQ(compiler.expressions()[0].symbols,
+            compiler.expressions()[1].symbols);
+}
+
+// The worked example of paper §3.1: H 0; CNOT 0 1; X^{s1} 0; X^{s2} 1;
+// M 0; M 1 gives m1 = s3 (fresh coin), m2 = s1 ^ s2 ^ s3.
+TYPED_TEST(CompilerTest, PaperSection31WorkedExample) {
+  const Circuit c = parse_circuit(
+      "H 0\n"
+      "CNOT 0 1\n"
+      "X_ERROR(0.5) 0\n"
+      "X_ERROR(0.5) 1\n"
+      "M 0\n"
+      "M 1");
+  SymPhaseCompiler<TypeParam> compiler(c);
+  ASSERT_EQ(compiler.num_measurements(), 2u);
+  // Symbols: 1 = s1 (X fault on q0), 2 = s2 (X fault on q1), 3 = coin.
+  EXPECT_EQ(compiler.expressions()[0].symbols, Expr{3});
+  EXPECT_TRUE(compiler.expressions()[0].was_random);
+  EXPECT_EQ(compiler.expressions()[1].symbols, (Expr{1, 2, 3}));
+  EXPECT_FALSE(compiler.expressions()[1].was_random);
+}
+
+// Fig. 1 of the paper: m1 = s1, m2 = s2, m3 = s2^s3, m4 = s3^s4.
+TYPED_TEST(CompilerTest, PaperFigure1Expressions) {
+  const Circuit c = figure1_circuit(0.01);
+  SymPhaseCompiler<TypeParam> compiler(c);
+  ASSERT_EQ(compiler.num_measurements(), 4u);
+  EXPECT_EQ(compiler.expressions()[0].symbols, Expr{1});
+  EXPECT_EQ(compiler.expressions()[1].symbols, Expr{2});
+  EXPECT_EQ(compiler.expressions()[2].symbols, (Expr{2, 3}));
+  EXPECT_EQ(compiler.expressions()[3].symbols, (Expr{3, 4}));
+  for (const auto& e : compiler.expressions()) {
+    EXPECT_FALSE(e.was_random);
+  }
+}
+
+TYPED_TEST(CompilerTest, Depolarize1MakesTwoSymbols) {
+  const Circuit c = parse_circuit("DEPOLARIZE1(0.2) 0\nM 0");
+  SymPhaseCompiler<TypeParam> compiler(c);
+  // Only the X component (symbol 1) flips a Z-basis measurement.
+  EXPECT_EQ(compiler.expressions()[0].symbols, Expr{1});
+  EXPECT_EQ(compiler.symbols().num_symbols(), 3u);
+  EXPECT_EQ(compiler.symbols().group_of(1).kind,
+            SymbolGroupKind::kDepolarize1);
+  EXPECT_EQ(compiler.symbols().group_of(2).first_symbol, 1u);
+}
+
+TYPED_TEST(CompilerTest, Depolarize2MakesFourSymbols) {
+  const Circuit c = parse_circuit("DEPOLARIZE2(0.2) 0 1\nM 0 1");
+  SymPhaseCompiler<TypeParam> compiler(c);
+  EXPECT_EQ(compiler.expressions()[0].symbols, Expr{1});  // X_a component
+  EXPECT_EQ(compiler.expressions()[1].symbols, Expr{3});  // X_b component
+  EXPECT_EQ(compiler.symbols().num_symbols(), 5u);
+}
+
+TYPED_TEST(CompilerTest, YErrorSharesOneSymbol) {
+  // Y = XZ: in the Z basis only the X part matters; sandwiched between
+  // Hadamards only the Z part does. Same symbol either way.
+  const Circuit c =
+      parse_circuit("Y_ERROR(0.2) 0\nH 1\nY_ERROR(0.2) 1\nH 1\nM 0 1");
+  SymPhaseCompiler<TypeParam> compiler(c);
+  EXPECT_EQ(compiler.expressions()[0].symbols, Expr{1});
+  EXPECT_EQ(compiler.expressions()[1].symbols, Expr{2});
+  EXPECT_EQ(compiler.symbols().num_symbols(), 3u);
+}
+
+TYPED_TEST(CompilerTest, MrResetsTheQubit) {
+  const Circuit c = parse_circuit("X 0\nMR 0\nM 0");
+  SymPhaseCompiler<TypeParam> compiler(c);
+  EXPECT_EQ(compiler.expressions()[0].symbols, Expr{0});  // reads 1
+  EXPECT_EQ(compiler.expressions()[1].symbols, Expr{});   // reset to 0
+}
+
+TYPED_TEST(CompilerTest, MrAfterRandomCollapseResets) {
+  const Circuit c = parse_circuit("H 0\nMR 0\nM 0");
+  SymPhaseCompiler<TypeParam> compiler(c);
+  EXPECT_EQ(compiler.expressions()[0].symbols, Expr{1});  // fresh coin
+  EXPECT_EQ(compiler.expressions()[1].symbols, Expr{});   // reset to |0>
+}
+
+TYPED_TEST(CompilerTest, ResetClearsEntanglement) {
+  const Circuit c = parse_circuit("H 0\nCNOT 0 1\nR 0\nM 0\nM 1");
+  SymPhaseCompiler<TypeParam> compiler(c);
+  // Qubit 0 was reset: reads 0 deterministically. Qubit 1 keeps the coin
+  // minted by the reset's internal measurement.
+  EXPECT_EQ(compiler.expressions()[0].symbols, Expr{});
+  EXPECT_EQ(compiler.expressions()[1].symbols, Expr{1});
+}
+
+TYPED_TEST(CompilerTest, ExpressionNnzAccounting) {
+  const Circuit c = figure1_circuit(0.1);
+  SymPhaseCompiler<TypeParam> compiler(c);
+  EXPECT_EQ(compiler.expression_nnz(), 1u + 1 + 2 + 2);
+}
+
+TYPED_TEST(CompilerTest, RepetitionCodeSyndromesAreSparse) {
+  RepetitionCodeOptions opt;
+  opt.distance = 5;
+  opt.rounds = 4;
+  opt.data_error_probability = 0.1;
+  const Circuit c = repetition_code_memory(opt);
+  SymPhaseCompiler<TypeParam> compiler(c);
+  // All measurements deterministic (stabilizer circuit w/o superposition
+  // reaching measured ancillas); expressions stay shallow because each
+  // syndrome bit depends on at most (rounds x 2) data faults.
+  for (const auto& e : compiler.expressions()) {
+    EXPECT_FALSE(e.was_random);
+    EXPECT_LE(e.symbols.size(), 2u * opt.rounds);
+  }
+}
+
+TYPED_TEST(CompilerTest, EmptyCircuitCompiles) {
+  const Circuit c(3);
+  SymPhaseCompiler<TypeParam> compiler(c);
+  EXPECT_EQ(compiler.num_measurements(), 0u);
+}
+
+}  // namespace
+}  // namespace symphase

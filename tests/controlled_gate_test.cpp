@@ -1,0 +1,211 @@
+// Tests for record-controlled Pauli gates (COND_X/COND_Y/COND_Z) — the
+// paper's §6 conditional-Pauli extension for dynamic circuits — across
+// all four backends.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/generators.hpp"
+#include "core/symphase.hpp"
+#include "sampler/resample.hpp"
+#include "statevector/state_vector.hpp"
+#include "tableau/stabilizer_simulator.hpp"
+
+namespace symphase {
+namespace {
+
+using Expr = std::vector<std::uint32_t>;
+
+double row_mean(const BitMatrix& m, std::size_t row) {
+  std::size_t ones = 0;
+  for (std::size_t w = 0; w < words_for_bits(m.cols()); ++w) {
+    ones += static_cast<std::size_t>(popcount(m.row(row)[w]));
+  }
+  return static_cast<double>(ones) / static_cast<double>(m.cols());
+}
+
+/// The canonical dynamic circuit: quantum teleportation of |1> with
+/// measurement-controlled corrections. Qubit 0 carries the message,
+/// 1 and 2 a Bell pair; after the Bell measurement and the COND_X /
+/// COND_Z corrections, qubit 2 must read 1 deterministically.
+const char* kTeleport = R"(
+  X 0
+  H 1
+  CNOT 1 2
+  CNOT 0 1
+  H 0
+  M 0 1
+  COND_X rec[-1] 2
+  COND_Z rec[-2] 2
+  M 2
+)";
+
+TEST(ControlledGates, ParserRoundTrip) {
+  const Circuit c = parse_circuit("M 0\nCOND_X rec[-1] 1\nM 1");
+  ASSERT_EQ(c.instructions().size(), 3u);
+  const Instruction& cond = c.instructions()[1];
+  EXPECT_EQ(cond.type, GateType::COND_X);
+  ASSERT_EQ(cond.targets.size(), 2u);
+  EXPECT_TRUE(is_rec_target(cond.targets[0]));
+  EXPECT_EQ(rec_lookback(cond.targets[0]), 1u);
+  EXPECT_EQ(cond.targets[1], 1u);
+  EXPECT_EQ(parse_circuit(c.to_text()), c);
+  EXPECT_NE(c.to_text().find("rec[-1]"), std::string::npos);
+}
+
+TEST(ControlledGates, ParserRejectsMalformed) {
+  EXPECT_THROW(parse_circuit("COND_X 0 1"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit("M 0\nCOND_X rec[1] 0"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit("M 0\nCOND_X rec[-0] 0"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit("M 0\nCOND_X rec[-1 0"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit("M 0\nCOND_X rec[-1]"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit("H rec[-1]"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit("M 0\nCOND_X rec[-1] rec[-1]"),
+               std::invalid_argument);
+}
+
+TEST(ControlledGates, LookbackBeyondRecordThrowsAtRun) {
+  const Circuit c = parse_circuit("M 0\nCOND_X rec[-2] 1\nM 1");
+  EXPECT_THROW(CompiledSampler::compile(c), std::invalid_argument);
+  StabilizerSimulator<BlockedTableau> sim(2, 1);
+  EXPECT_THROW(sim.run_circuit(c), std::invalid_argument);
+}
+
+TEST(ControlledGates, TeleportationIsDeterministicSymbolically) {
+  const Circuit c = parse_circuit(kTeleport);
+  const CompiledSampler sampler = CompiledSampler::compile(c);
+  ASSERT_EQ(sampler.num_measurements(), 3u);
+  // The Bell measurements are random coins; the corrected output is the
+  // constant 1 — every coin cancels symbolically.
+  EXPECT_TRUE(sampler.expressions()[0].was_random);
+  EXPECT_TRUE(sampler.expressions()[1].was_random);
+  EXPECT_EQ(sampler.expressions()[2].symbols, Expr{0});
+  EXPECT_FALSE(sampler.expressions()[2].was_random);
+  EXPECT_DOUBLE_EQ(sampler.outcome_probability(2), 1.0);
+}
+
+TEST(ControlledGates, TeleportationAllBackendsAgree) {
+  const Circuit c = parse_circuit(kTeleport);
+  // Symbolic sampler.
+  const BitMatrix sym = sample_circuit(c, 2000, 3);
+  EXPECT_DOUBLE_EQ(row_mean(sym, 2), 1.0);
+  // Frame sampler.
+  FrameSimulator frame(c, 4);
+  const BitMatrix fr = frame.sample(2000, 5);
+  EXPECT_DOUBLE_EQ(row_mean(fr, 2), 1.0);
+  // Concrete tableau re-simulation.
+  const BitMatrix re = sample_by_resimulation(c, 64, 6);
+  EXPECT_DOUBLE_EQ(row_mean(re, 2), 1.0);
+  // State-vector oracle.
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    StateVector sv(3);
+    Rng rng(seed);
+    std::vector<bool> record;
+    sv.run_circuit(c, rng, record);
+    EXPECT_TRUE(record[2]);
+  }
+}
+
+TEST(ControlledGates, TeleportSuperpositionState) {
+  // Teleport |+i> = S H |0>: verify via the oracle that the output qubit
+  // is exactly S H |0> for all four Bell outcomes.
+  const Circuit c = parse_circuit(R"(
+    H 0
+    S 0
+    H 1
+    CNOT 1 2
+    CNOT 0 1
+    H 0
+    M 0 1
+    COND_X rec[-1] 2
+    COND_Z rec[-2] 2
+  )");
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    StateVector sv(3);
+    Rng rng(seed);
+    std::vector<bool> record;
+    sv.run_circuit(c, rng, record);
+    // Output qubit must be stabilized by Y_2 (the +i eigenstate).
+    EXPECT_TRUE(
+        sv.is_stabilized_by(PauliString::single(3, 2, SinglePauli::Y)));
+  }
+}
+
+TEST(ControlledGates, CondZInvisibleInZBasis) {
+  const Circuit c = parse_circuit("H 0\nM 0\nCOND_Z rec[-1] 1\nM 1");
+  const CompiledSampler sampler = CompiledSampler::compile(c);
+  EXPECT_EQ(sampler.expressions()[1].symbols, Expr{});
+}
+
+TEST(ControlledGates, CondXCopiesRecordBit) {
+  // m2 = m1 exactly: the conditional X turns qubit 1 into a copy.
+  const Circuit c = parse_circuit("H 0\nM 0\nCOND_X rec[-1] 1\nM 1");
+  const CompiledSampler sampler = CompiledSampler::compile(c);
+  EXPECT_EQ(sampler.expressions()[0].symbols,
+            sampler.expressions()[1].symbols);
+  const BitMatrix samples = sampler.sample(4096, 9);
+  for (std::size_t w = 0; w < samples.words_per_row(); ++w) {
+    EXPECT_EQ(samples.row(0)[w], samples.row(1)[w]);
+  }
+}
+
+TEST(ControlledGates, CondYActsAsXAndZ) {
+  // COND_Y == COND_X then COND_Z on the same control, as expressions.
+  const Circuit via_y =
+      parse_circuit("H 0\nM 0\nH 1\nCOND_Y rec[-1] 1\nH 1\nM 1\nM 1");
+  const Circuit via_xz = parse_circuit(
+      "H 0\nM 0\nH 1\nCOND_X rec[-1] 1\nCOND_Z rec[-1] 1\nH 1\nM 1\nM 1");
+  const CompiledSampler a = CompiledSampler::compile(via_y);
+  const CompiledSampler b = CompiledSampler::compile(via_xz);
+  EXPECT_EQ(a.expressions(), b.expressions());
+}
+
+TEST(ControlledGates, EntangledControlPropagation) {
+  // Measure half a Bell pair, feed the outcome forward as a correction
+  // on a third qubit that was X-correlated with the same coin.
+  const Circuit c = parse_circuit(R"(
+    H 0
+    CNOT 0 1
+    CNOT 0 2
+    M 0
+    COND_X rec[-1] 1
+    COND_X rec[-1] 2
+    M 1 2
+  )");
+  const CompiledSampler sampler = CompiledSampler::compile(c);
+  // GHZ: m1 = coin; corrections cancel the correlation -> always 0.
+  EXPECT_EQ(sampler.expressions()[1].symbols, Expr{});
+  EXPECT_EQ(sampler.expressions()[2].symbols, Expr{});
+}
+
+TEST(ControlledGates, FuzzSymPhaseVsFrameDistributions) {
+  Rng rng(555);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Circuit c = random_fuzz_circuit(5, 80, 0.1, rng);
+    const CompiledSampler sym = CompiledSampler::compile(c);
+    constexpr std::size_t kShots = 40000;
+    const BitMatrix a = sym.sample(kShots, 10 + static_cast<std::uint64_t>(trial));
+    FrameSimulator frame(c, 20 + static_cast<std::uint64_t>(trial));
+    const BitMatrix b = frame.sample(kShots, 30 + static_cast<std::uint64_t>(trial));
+    ASSERT_EQ(a.rows(), b.rows());
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+      const double pa = row_mean(a, k);
+      const double pb = row_mean(b, k);
+      const double sigma =
+          std::sqrt(std::max(pa * (1 - pa), 1e-6) / kShots);
+      ASSERT_NEAR(pa, pb, 10 * sigma + 3e-3)
+          << "trial " << trial << " measurement " << k;
+      ASSERT_NEAR(pa, sym.outcome_probability(k), 5 * sigma + 2e-3);
+    }
+  }
+}
+
+TEST(ControlledGates, StatsCountThemAsGates) {
+  const Circuit c = parse_circuit("M 0\nCOND_X rec[-1] 1 rec[-1] 2");
+  EXPECT_EQ(c.stats().num_gates, 2u);
+  EXPECT_EQ(c.num_qubits(), 3u);
+}
+
+}  // namespace
+}  // namespace symphase

@@ -1,0 +1,196 @@
+// Tests for DETECTOR / OBSERVABLE_INCLUDE annotations: parsing,
+// resolution, symbolic compilation, and sampling agreement with the
+// frame baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/generators.hpp"
+#include "core/symphase.hpp"
+
+namespace symphase {
+namespace {
+
+using Expr = std::vector<std::uint32_t>;
+
+double row_mean(const BitMatrix& m, std::size_t row) {
+  if (m.cols() == 0) {
+    return 0.0;
+  }
+  std::size_t ones = 0;
+  for (std::size_t w = 0; w < words_for_bits(m.cols()); ++w) {
+    ones += static_cast<std::size_t>(popcount(m.row(row)[w]));
+  }
+  return static_cast<double>(ones) / static_cast<double>(m.cols());
+}
+
+TEST(Detectors, ParseAndResolve) {
+  const Circuit c = parse_circuit(
+      "M 0 1\n"
+      "DETECTOR rec[-1] rec[-2]\n"
+      "M 0\n"
+      "DETECTOR rec[-1]\n"
+      "OBSERVABLE_INCLUDE(0) rec[-1] rec[-3]\n"
+      "OBSERVABLE_INCLUDE(2) rec[-2]\n");
+  EXPECT_EQ(c.num_detectors(), 2u);
+  EXPECT_EQ(c.num_observables(), 3u);
+  const DetectorLayout layout = resolve_detectors(c);
+  ASSERT_EQ(layout.detectors.size(), 2u);
+  EXPECT_EQ(layout.detectors[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(layout.detectors[1], (std::vector<std::size_t>{2}));
+  ASSERT_EQ(layout.observables.size(), 3u);
+  EXPECT_EQ(layout.observables[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_TRUE(layout.observables[1].empty());
+  EXPECT_EQ(layout.observables[2], (std::vector<std::size_t>{1}));
+}
+
+TEST(Detectors, TextRoundTrip) {
+  const char* text =
+      "M 0 1\n"
+      "DETECTOR rec[-1] rec[-2]\n"
+      "OBSERVABLE_INCLUDE(1) rec[-1]\n";
+  const Circuit c = parse_circuit(text);
+  EXPECT_EQ(c.to_text(), text);
+  EXPECT_EQ(parse_circuit(c.to_text()), c);
+}
+
+TEST(Detectors, ValidationErrors) {
+  EXPECT_THROW(parse_circuit("M 0\nDETECTOR 0"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit("M 0\nOBSERVABLE_INCLUDE(-1) rec[-1]"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_circuit("M 0\nOBSERVABLE_INCLUDE(0.5) rec[-1]"),
+               std::invalid_argument);
+  // Lookback past the record fails at resolution time.
+  const Circuit c = parse_circuit("M 0\nDETECTOR rec[-2]");
+  EXPECT_THROW(resolve_detectors(c), std::invalid_argument);
+}
+
+TEST(Detectors, XorOfMeasurementExpressions) {
+  // Repeated noisy measurement: detector = m1 ^ m2 picks up exactly the
+  // fault between them.
+  const Circuit c = parse_circuit(
+      "X_ERROR(0.1) 0\n"
+      "M 0\n"
+      "X_ERROR(0.2) 0\n"
+      "M 0\n"
+      "DETECTOR rec[-1] rec[-2]\n"
+      "OBSERVABLE_INCLUDE(0) rec[-1]\n");
+  const CompiledSampler sampler = CompiledSampler::compile(c);
+  ASSERT_EQ(sampler.num_detectors(), 1u);
+  // m1 = s1, m2 = s1 ^ s2 -> detector = s2.
+  EXPECT_EQ(sampler.detector_expressions()[0].symbols, Expr{2});
+  EXPECT_NEAR(sampler.detector_probability(0), 0.2, 1e-12);
+  // Observable = m2 = s1 ^ s2.
+  EXPECT_EQ(sampler.observable_expressions()[0].symbols, (Expr{1, 2}));
+  EXPECT_NEAR(sampler.observable_probability(0),
+              0.1 * 0.8 + 0.9 * 0.2, 1e-12);
+}
+
+TEST(Detectors, CoinsCancelAcrossRounds) {
+  // A random measurement repeated without disturbance: the detector
+  // comparing the two outcomes is deterministic even though each
+  // outcome alone is a coin.
+  const Circuit c = parse_circuit(
+      "H 0\n"
+      "M 0\n"
+      "M 0\n"
+      "DETECTOR rec[-1] rec[-2]\n");
+  const CompiledSampler sampler = CompiledSampler::compile(c);
+  EXPECT_EQ(sampler.detector_expressions()[0].symbols, Expr{});
+  EXPECT_DOUBLE_EQ(sampler.detector_probability(0), 0.0);
+}
+
+TEST(Detectors, NonDeterministicDetectorRejected) {
+  const Circuit c = parse_circuit("H 0\nM 0\nDETECTOR rec[-1]\n");
+  EXPECT_THROW(CompiledSampler::compile(c), std::invalid_argument);
+}
+
+TEST(Detectors, JointDetectorObservableSampling) {
+  const Circuit c = parse_circuit(
+      "X_ERROR(0.25) 0\n"
+      "M 0\n"
+      "DETECTOR rec[-1]\n"
+      "OBSERVABLE_INCLUDE(0) rec[-1]\n");
+  const CompiledSampler sampler = CompiledSampler::compile(c);
+  constexpr std::size_t kShots = 50000;
+  const auto events = sampler.sample_detection_events(kShots, 3);
+  ASSERT_EQ(events.detectors.rows(), 1u);
+  ASSERT_EQ(events.observables.rows(), 1u);
+  // Same fault feeds both: rows must be bit-identical (joint sampling).
+  for (std::size_t w = 0; w < events.detectors.words_per_row(); ++w) {
+    ASSERT_EQ(events.detectors.row(0)[w], events.observables.row(0)[w]);
+  }
+  EXPECT_NEAR(row_mean(events.detectors, 0), 0.25,
+              5 * std::sqrt(0.25 * 0.75 / kShots));
+}
+
+TEST(Detectors, FrameAndSymphaseDetectorDistributionsAgree) {
+  RepetitionCodeOptions opt;
+  opt.distance = 5;
+  opt.rounds = 4;
+  opt.data_error_probability = 0.05;
+  opt.measurement_error_probability = 0.02;
+  Circuit c = repetition_code_memory(opt);
+  // Annotate detectors: ancilla outcomes between consecutive rounds,
+  // first round alone (|0..0> is a Z-check eigenstate).
+  const std::size_t a = opt.distance - 1;  // ancillas per round
+  Circuit annotated = c;
+  // Rebuild with annotations appended at the end (lookbacks reach back
+  // over the whole record).
+  const std::size_t total = c.num_measurements();  // rounds*a + distance
+  const auto rec = [&](std::size_t absolute) {
+    return make_rec_target(static_cast<std::uint32_t>(total - absolute));
+  };
+  for (std::size_t k = 0; k < a; ++k) {
+    annotated.append(GateType::DETECTOR, {rec(k)});
+  }
+  for (std::size_t round = 1; round < opt.rounds; ++round) {
+    for (std::size_t k = 0; k < a; ++k) {
+      annotated.append(GateType::DETECTOR,
+                       {rec(round * a + k), rec((round - 1) * a + k)});
+    }
+  }
+  std::vector<std::uint32_t> logical;
+  logical.push_back(rec(opt.rounds * a));  // first data qubit
+  annotated.append(GateType::OBSERVABLE_INCLUDE, logical, 0.0);
+
+  const CompiledSampler sym = CompiledSampler::compile(annotated);
+  FrameSimulator frame(annotated, 7);
+  constexpr std::size_t kShots = 60000;
+  const auto se = sym.sample_detection_events(kShots, 8);
+  const auto fe = frame.sample_detection_events(kShots, 9);
+  ASSERT_EQ(se.detectors.rows(), fe.detectors.rows());
+  for (std::size_t d = 0; d < se.detectors.rows(); ++d) {
+    const double pa = row_mean(se.detectors, d);
+    const double pb = row_mean(fe.detectors, d);
+    const double exact = sym.detector_probability(d);
+    const double sigma = std::sqrt(std::max(exact * (1 - exact), 1e-6) /
+                                   kShots);
+    ASSERT_NEAR(pa, exact, 5 * sigma + 2e-3) << "detector " << d;
+    ASSERT_NEAR(pa, pb, 10 * sigma + 3e-3) << "detector " << d;
+  }
+  EXPECT_NEAR(row_mean(se.observables, 0), row_mean(fe.observables, 0),
+              0.01);
+}
+
+TEST(Detectors, NoiselessRepetitionDetectorsSilent) {
+  RepetitionCodeOptions opt;
+  opt.distance = 3;
+  opt.rounds = 2;
+  Circuit c = repetition_code_memory(opt);
+  const std::size_t total = c.num_measurements();
+  const auto rec = [&](std::size_t absolute) {
+    return make_rec_target(static_cast<std::uint32_t>(total - absolute));
+  };
+  for (std::size_t k = 0; k < 2 * 2; ++k) {  // every syndrome outcome
+    c.append(GateType::DETECTOR, {rec(k)});
+  }
+  const CompiledSampler sampler = CompiledSampler::compile(c);
+  for (std::size_t d = 0; d < sampler.num_detectors(); ++d) {
+    EXPECT_TRUE(sampler.detector_expressions()[d].symbols.empty()) << d;
+  }
+}
+
+}  // namespace
+}  // namespace symphase

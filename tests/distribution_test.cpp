@@ -1,0 +1,161 @@
+// Statistical agreement between the three samplers (SymPhase, Pauli
+// frame, naive re-simulation) on randomized noisy circuits: marginals and
+// pairwise XOR correlations must match within Monte-Carlo error.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/generators.hpp"
+#include "core/symphase.hpp"
+#include "sampler/frame_simulator.hpp"
+#include "sampler/resample.hpp"
+
+namespace symphase {
+namespace {
+
+double row_mean(const BitMatrix& m, std::size_t row) {
+  std::size_t ones = 0;
+  for (std::size_t w = 0; w < words_for_bits(m.cols()); ++w) {
+    ones += static_cast<std::size_t>(popcount(m.row(row)[w]));
+  }
+  return static_cast<double>(ones) / static_cast<double>(m.cols());
+}
+
+double xor_mean(const BitMatrix& m, std::size_t r1, std::size_t r2) {
+  std::size_t ones = 0;
+  for (std::size_t w = 0; w < words_for_bits(m.cols()); ++w) {
+    ones += static_cast<std::size_t>(popcount(m.row(r1)[w] ^ m.row(r2)[w]));
+  }
+  return static_cast<double>(ones) / static_cast<double>(m.cols());
+}
+
+/// 5-sigma binomial tolerance plus a small absolute floor.
+double tol(double p, std::size_t shots) {
+  const double sigma = std::sqrt(std::max(p * (1 - p), 1e-6) /
+                                 static_cast<double>(shots));
+  return 5 * sigma + 2e-3;
+}
+
+void expect_distributions_agree(const Circuit& circuit, std::uint64_t seed,
+                                std::size_t shots,
+                                bool check_resimulation = false) {
+  const CompiledSampler sym = CompiledSampler::compile(circuit);
+  const BitMatrix a = sym.sample(shots, seed + 1);
+  FrameSimulator frame(circuit, seed + 2);
+  const BitMatrix b = frame.sample(shots, seed + 3);
+  ASSERT_EQ(a.rows(), b.rows());
+  const std::size_t nm = a.rows();
+
+  for (std::size_t k = 0; k < nm; ++k) {
+    const double pa = row_mean(a, k);
+    const double pb = row_mean(b, k);
+    const double exact = sym.outcome_probability(k);
+    // Marginals: symbolic sampler vs exact closed form, frame vs exact
+    // would require frame marginal theory; instead compare both empirics
+    // to each other and symphase to exact.
+    ASSERT_NEAR(pa, exact, tol(exact, shots)) << "measurement " << k;
+    ASSERT_NEAR(pa, pb, tol(pa, shots) + tol(pb, shots))
+        << "symphase vs frame, measurement " << k;
+  }
+  // Pairwise XOR correlations on a spread of pairs.
+  for (std::size_t k = 0; k + 1 < nm; k += std::max<std::size_t>(1, nm / 7)) {
+    const std::size_t k2 = nm - 1 - k;
+    if (k == k2) {
+      continue;
+    }
+    const double xa = xor_mean(a, k, k2);
+    const double xb = xor_mean(b, k, k2);
+    ASSERT_NEAR(xa, xb, tol(xa, shots) + tol(xb, shots))
+        << "xor pair " << k << "," << k2;
+  }
+  if (check_resimulation) {
+    const BitMatrix c = sample_by_resimulation(circuit, shots, seed + 4);
+    for (std::size_t k = 0; k < nm; ++k) {
+      ASSERT_NEAR(row_mean(c, k), sym.outcome_probability(k),
+                  tol(row_mean(c, k), shots))
+          << "resimulation, measurement " << k;
+    }
+    for (std::size_t k = 0; k + 1 < nm;
+         k += std::max<std::size_t>(1, nm / 5)) {
+      const std::size_t k2 = nm - 1 - k;
+      if (k == k2) {
+        continue;
+      }
+      ASSERT_NEAR(xor_mean(c, k, k2), xor_mean(a, k, k2),
+                  tol(xor_mean(c, k, k2), shots) + tol(xor_mean(a, k, k2),
+                                                       shots))
+          << "resim xor pair " << k << "," << k2;
+    }
+  }
+}
+
+TEST(Distribution, BellWithXError) {
+  const Circuit c =
+      parse_circuit("H 0\nCNOT 0 1\nX_ERROR(0.2) 0\nM 0 1");
+  expect_distributions_agree(c, 100, 60000, true);
+}
+
+TEST(Distribution, SequentialMeasurementChain) {
+  // Random measurement then re-use of the qubit: stresses collapse
+  // semantics (coin symbols vs frame Z randomization).
+  const Circuit c = parse_circuit(
+      "H 0\nM 0\nH 0\nM 0\nCNOT 0 1\nM 1\nX_ERROR(0.3) 1\nM 1");
+  expect_distributions_agree(c, 200, 60000, true);
+}
+
+TEST(Distribution, MrAndResetChains) {
+  const Circuit c = parse_circuit(
+      "H 0\nCNOT 0 1\nMR 0\nX_ERROR(0.25) 0\nM 0\nR 1\nM 1\nH 1\nM 1");
+  expect_distributions_agree(c, 300, 60000, true);
+}
+
+TEST(Distribution, DepolarizingGhz) {
+  Circuit c(4);
+  c.append1(GateType::H, 0);
+  for (std::uint32_t q = 0; q + 1 < 4; ++q) {
+    c.append2(GateType::CNOT, q, q + 1);
+  }
+  c.append(GateType::DEPOLARIZE1, {0, 1, 2, 3}, 0.1);
+  c.append(GateType::M, {0, 1, 2, 3});
+  expect_distributions_agree(c, 400, 60000, true);
+}
+
+TEST(Distribution, Depolarize2Correlations) {
+  const Circuit c = parse_circuit(
+      "H 0\nCNOT 0 1\nDEPOLARIZE2(0.3) 0 1\nM 0 1");
+  expect_distributions_agree(c, 500, 60000, true);
+}
+
+TEST(Distribution, RepetitionCodeCircuitNoise) {
+  RepetitionCodeOptions opt;
+  opt.distance = 3;
+  opt.rounds = 3;
+  opt.data_error_probability = 0.05;
+  opt.gate_error_probability = 0.02;
+  opt.measurement_error_probability = 0.03;
+  expect_distributions_agree(repetition_code_memory(opt), 600, 50000);
+}
+
+TEST(Distribution, FuzzedNoisyCircuits) {
+  Rng rng(777);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Circuit c = random_fuzz_circuit(6, 60, 0.1, rng);
+    expect_distributions_agree(c, 1000 + static_cast<std::uint64_t>(trial),
+                               40000, trial < 3);
+  }
+}
+
+TEST(Distribution, LayeredRandomBenchmarkFamily) {
+  LayeredRandomCircuitOptions opt;
+  opt.num_qubits = 16;
+  opt.num_layers = 8;
+  opt.cnot_pairs_per_layer = 3;
+  opt.depolarize_probability = 0.02;
+  Rng rng(31);
+  const Circuit c = layered_random_circuit(opt, rng);
+  expect_distributions_agree(c, 2000, 30000);
+}
+
+}  // namespace
+}  // namespace symphase

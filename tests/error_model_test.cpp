@@ -1,0 +1,207 @@
+// Tests for detector-error-model extraction from symbolic expressions.
+
+#include "symbolic/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/surface_code.hpp"
+#include "core/symphase.hpp"
+
+namespace symphase {
+namespace {
+
+using U32 = std::vector<std::uint32_t>;
+
+TEST(ErrorModel, SingleBernoulliMechanism) {
+  const Circuit c = parse_circuit(
+      "X_ERROR(0.125) 0\n"
+      "M 0\n"
+      "DETECTOR rec[-1]\n"
+      "OBSERVABLE_INCLUDE(0) rec[-1]\n");
+  const DetectorErrorModel dem = CompiledSampler::compile(c).error_model();
+  ASSERT_EQ(dem.mechanisms.size(), 1u);
+  EXPECT_DOUBLE_EQ(dem.mechanisms[0].probability, 0.125);
+  EXPECT_EQ(dem.mechanisms[0].detectors, U32{0});
+  EXPECT_EQ(dem.mechanisms[0].observables, U32{0});
+  EXPECT_EQ(dem.num_detectors, 1u);
+  EXPECT_EQ(dem.num_observables, 1u);
+}
+
+TEST(ErrorModel, InvisibleFaultsDropped) {
+  const Circuit c = parse_circuit(
+      "Z_ERROR(0.5) 0\n"  // invisible in the Z basis
+      "M 0\n"
+      "DETECTOR rec[-1]\n");
+  const DetectorErrorModel dem = CompiledSampler::compile(c).error_model();
+  EXPECT_TRUE(dem.mechanisms.empty());
+}
+
+TEST(ErrorModel, SharedFaultAcrossDetectors) {
+  // One fault seen by two detectors -> one mechanism "error(p) D0 D1".
+  const Circuit c = parse_circuit(
+      "X_ERROR(0.1) 0\n"
+      "CNOT 0 1\n"
+      "M 0 1\n"
+      "DETECTOR rec[-2]\n"
+      "DETECTOR rec[-1]\n");
+  const DetectorErrorModel dem = CompiledSampler::compile(c).error_model();
+  ASSERT_EQ(dem.mechanisms.size(), 1u);
+  EXPECT_EQ(dem.mechanisms[0].detectors, (U32{0, 1}));
+  EXPECT_NEAR(dem.detector_probability(0), 0.1, 1e-12);
+}
+
+TEST(ErrorModel, Depolarize1SplitsByVisibility) {
+  // DEPOLARIZE1 before a Z measurement: X and Y components flip the
+  // detector (each p/3), Z is invisible; the two visible patterns merge
+  // into one mechanism of probability 2p/3.
+  const Circuit c = parse_circuit(
+      "DEPOLARIZE1(0.3) 0\n"
+      "M 0\n"
+      "DETECTOR rec[-1]\n");
+  const DetectorErrorModel dem = CompiledSampler::compile(c).error_model();
+  ASSERT_EQ(dem.mechanisms.size(), 1u);
+  EXPECT_NEAR(dem.mechanisms[0].probability, 0.2, 1e-12);
+  EXPECT_EQ(dem.mechanisms[0].detectors, U32{0});
+}
+
+TEST(ErrorModel, Depolarize1BothBasesSplitsThreeWays) {
+  // Bell sandwich: preparing a Bell pair and un-preparing it after the
+  // channel turns the Bell-basis measurement into a full Pauli
+  // tomograph — qubit 1 reads the X component, qubit 0 the Z component,
+  // both deterministically.
+  const Circuit c = parse_circuit(
+      "H 0\n"
+      "CNOT 0 1\n"
+      "DEPOLARIZE1(0.3) 0\n"
+      "CNOT 0 1\n"
+      "H 0\n"
+      "M 1\n"            // fires on X and Y
+      "M 0\n"            // fires on Z and Y
+      "DETECTOR rec[-2]\n"
+      "DETECTOR rec[-1]\n");
+  const DetectorErrorModel dem = CompiledSampler::compile(c).error_model();
+  // Patterns: X -> D0 (p/3), Z -> D1 (p/3), Y -> D0 D1 (p/3).
+  ASSERT_EQ(dem.mechanisms.size(), 3u);
+  double total = 0.0;
+  for (const auto& mech : dem.mechanisms) {
+    EXPECT_NEAR(mech.probability, 0.1, 1e-12);
+    total += mech.probability;
+  }
+  EXPECT_NEAR(total, 0.3, 1e-12);
+  // Symptom sets are distinct.
+  EXPECT_NE(dem.mechanisms[0].detectors, dem.mechanisms[1].detectors);
+}
+
+TEST(ErrorModel, TextRendering) {
+  const Circuit c = parse_circuit(
+      "X_ERROR(0.25) 0\n"
+      "M 0\n"
+      "DETECTOR rec[-1]\n"
+      "OBSERVABLE_INCLUDE(0) rec[-1]\n");
+  const DetectorErrorModel dem = CompiledSampler::compile(c).error_model();
+  EXPECT_EQ(dem.to_text(), "error(0.25) D0 L0\n");
+}
+
+TEST(ErrorModel, SurfaceCodeMechanismsMatchMatchingGraphShape) {
+  SurfaceCodeOptions opt;
+  opt.distance = 3;
+  opt.rounds = 2;
+  opt.data_depolarization = 0.001;
+  const Circuit c = surface_code_memory(opt);
+  const CompiledSampler sampler = CompiledSampler::compile(c);
+  const DetectorErrorModel dem = sampler.error_model();
+  EXPECT_EQ(dem.num_detectors, sampler.num_detectors());
+  EXPECT_GT(dem.mechanisms.size(), 0u);
+  for (const auto& mech : dem.mechanisms) {
+    // Phenomenological data noise on a surface code produces mechanisms
+    // touching at most 2 detectors per basis per round window — with
+    // X and Z visibility combined, at most 4 symptoms here.
+    EXPECT_LE(mech.detectors.size(), 4u);
+    EXPECT_GT(mech.probability, 0.0);
+    // Sorted, duplicate-free symptom lists.
+    EXPECT_TRUE(std::is_sorted(mech.detectors.begin(),
+                               mech.detectors.end()));
+    EXPECT_TRUE(std::adjacent_find(mech.detectors.begin(),
+                                   mech.detectors.end()) ==
+                mech.detectors.end());
+  }
+  // DEM marginals agree with the sampler's exact marginals to O(p^2).
+  for (std::size_t d = 0; d < dem.num_detectors; ++d) {
+    EXPECT_NEAR(dem.detector_probability(d),
+                sampler.detector_probability(d), 1e-4);
+  }
+}
+
+TEST(ErrorModel, MeasurementFlipMechanismsSpanRounds) {
+  RepetitionCodeOptions opt;
+  opt.distance = 3;
+  opt.rounds = 3;
+  opt.measurement_error_probability = 0.01;
+  Circuit c = repetition_code_memory(opt);
+  const std::size_t total = c.num_measurements();
+  const auto rec = [&](std::size_t absolute) {
+    return make_rec_target(static_cast<std::uint32_t>(total - absolute));
+  };
+  const std::size_t a = opt.distance - 1;
+  for (std::size_t k = 0; k < a; ++k) {
+    c.append(GateType::DETECTOR, {rec(k)});
+  }
+  for (std::size_t round = 1; round < opt.rounds; ++round) {
+    for (std::size_t k = 0; k < a; ++k) {
+      c.append(GateType::DETECTOR,
+               {rec(round * a + k), rec((round - 1) * a + k)});
+    }
+  }
+  const DetectorErrorModel dem = CompiledSampler::compile(c).error_model();
+  // A measurement flip in round t fires the round-t and round-(t+1)
+  // detectors of that ancilla (or just round-t for the last round):
+  // every mechanism has 1 or 2 symptoms.
+  ASSERT_EQ(dem.mechanisms.size(), opt.rounds * a);
+  std::size_t two_symptom = 0;
+  for (const auto& mech : dem.mechanisms) {
+    EXPECT_NEAR(mech.probability, 0.01, 1e-12);
+    EXPECT_TRUE(mech.detectors.size() == 1 || mech.detectors.size() == 2);
+    two_symptom += mech.detectors.size() == 2;
+  }
+  EXPECT_EQ(two_symptom, (opt.rounds - 1) * a);
+}
+
+}  // namespace
+}  // namespace symphase
+
+namespace symphase {
+namespace {
+
+TEST(ErrorModel, CanonicalizeMergesAcrossGroups) {
+  // Two independent X error sites feeding the same detector.
+  const Circuit c = parse_circuit(
+      "X_ERROR(0.1) 0\n"
+      "X_ERROR(0.2) 0\n"
+      "M 0\n"
+      "DETECTOR rec[-1]\n");
+  const DetectorErrorModel dem = CompiledSampler::compile(c).error_model();
+  ASSERT_EQ(dem.mechanisms.size(), 2u);
+  const DetectorErrorModel canon = dem.canonicalized();
+  ASSERT_EQ(canon.mechanisms.size(), 1u);
+  // XOR of Bernoulli(0.1) and Bernoulli(0.2).
+  EXPECT_NEAR(canon.mechanisms[0].probability, 0.1 * 0.8 + 0.9 * 0.2,
+              1e-12);
+  EXPECT_NEAR(canon.detector_probability(0), dem.detector_probability(0),
+              1e-12);
+}
+
+TEST(ErrorModel, CanonicalizePreservesDistinctSymptoms) {
+  const Circuit c = parse_circuit(
+      "X_ERROR(0.1) 0\n"
+      "X_ERROR(0.2) 1\n"
+      "M 0 1\n"
+      "DETECTOR rec[-2]\n"
+      "DETECTOR rec[-1]\n");
+  const DetectorErrorModel canon =
+      CompiledSampler::compile(c).error_model().canonicalized();
+  ASSERT_EQ(canon.mechanisms.size(), 2u);
+  EXPECT_NE(canon.mechanisms[0].detectors, canon.mechanisms[1].detectors);
+}
+
+}  // namespace
+}  // namespace symphase

@@ -1,0 +1,131 @@
+#include "sampler/frame_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/generators.hpp"
+#include "circuit/parser.hpp"
+
+namespace symphase {
+namespace {
+
+double row_mean(const BitMatrix& m, std::size_t row, std::size_t cols) {
+  std::size_t ones = 0;
+  for (std::size_t w = 0; w < words_for_bits(cols); ++w) {
+    ones += static_cast<std::size_t>(popcount(m.row(row)[w]));
+  }
+  return static_cast<double>(ones) / static_cast<double>(cols);
+}
+
+TEST(CircuitWithoutNoise, StripsOnlyNoise) {
+  const Circuit c = parse_circuit(
+      "H 0\nX_ERROR(0.1) 0\nCNOT 0 1\nDEPOLARIZE2(0.1) 0 1\nM 0 1");
+  const Circuit clean = circuit_without_noise(c);
+  EXPECT_EQ(clean.instructions().size(), 3u);
+  EXPECT_EQ(clean.stats().num_noise_sites, 0u);
+  EXPECT_EQ(clean.num_measurements(), 2u);
+  EXPECT_EQ(clean.num_qubits(), c.num_qubits());
+}
+
+TEST(FrameSimulator, DeterministicCircuitExactBits) {
+  const Circuit c = parse_circuit("X 0\nM 0 1\nX 1\nM 1");
+  FrameSimulator sim(c, 1);
+  ASSERT_EQ(sim.num_measurements(), 3u);
+  const BitMatrix samples = sim.sample(200, 2);
+  EXPECT_DOUBLE_EQ(row_mean(samples, 0, 200), 1.0);  // X 0 -> 1
+  EXPECT_DOUBLE_EQ(row_mean(samples, 1, 200), 0.0);
+  EXPECT_DOUBLE_EQ(row_mean(samples, 2, 200), 1.0);
+}
+
+TEST(FrameSimulator, XErrorFlipsAtRate) {
+  const Circuit c = parse_circuit("X_ERROR(0.25) 0\nM 0");
+  FrameSimulator sim(c, 3);
+  constexpr std::size_t kShots = 100000;
+  const BitMatrix samples = sim.sample(kShots, 4);
+  EXPECT_NEAR(row_mean(samples, 0, kShots), 0.25,
+              5 * std::sqrt(0.25 * 0.75 / kShots));
+}
+
+TEST(FrameSimulator, BellPairPerfectCorrelation) {
+  const Circuit c = parse_circuit("H 0\nCNOT 0 1\nM 0 1");
+  FrameSimulator sim(c, 5);
+  const BitMatrix samples = sim.sample(512, 6);
+  // Within one frame batch the reference outcome is shared, so the rows
+  // must be identical (both = reference ^ same frame evolution).
+  for (std::size_t w = 0; w < samples.words_per_row(); ++w) {
+    EXPECT_EQ(samples.row(0)[w], samples.row(1)[w]);
+  }
+}
+
+TEST(FrameSimulator, ErrorBetweenBellHalvesDecorrelates) {
+  const Circuit c =
+      parse_circuit("H 0\nCNOT 0 1\nX_ERROR(0.5) 1\nM 0 1");
+  FrameSimulator sim(c, 7);
+  constexpr std::size_t kShots = 50000;
+  const BitMatrix samples = sim.sample(kShots, 8);
+  std::size_t disagree = 0;
+  for (std::size_t j = 0; j < kShots; ++j) {
+    disagree += samples.get(0, j) != samples.get(1, j);
+  }
+  EXPECT_NEAR(disagree, kShots * 0.5, 5 * std::sqrt(kShots * 0.25));
+}
+
+TEST(FrameSimulator, ResetKillsPriorErrors) {
+  const Circuit c = parse_circuit("X_ERROR(0.9) 0\nR 0\nM 0");
+  FrameSimulator sim(c, 9);
+  const BitMatrix samples = sim.sample(1000, 10);
+  EXPECT_DOUBLE_EQ(row_mean(samples, 0, 1000), 0.0);
+}
+
+TEST(FrameSimulator, MrRecordsThenResets) {
+  const Circuit c = parse_circuit("X_ERROR(0.5) 0\nMR 0\nM 0");
+  FrameSimulator sim(c, 11);
+  constexpr std::size_t kShots = 20000;
+  const BitMatrix samples = sim.sample(kShots, 12);
+  EXPECT_NEAR(row_mean(samples, 0, kShots), 0.5, 0.02);
+  EXPECT_DOUBLE_EQ(row_mean(samples, 1, kShots), 0.0);
+}
+
+TEST(FrameSimulator, ZFrameRandomizationPreventsGhostCorrelations) {
+  // After M, a Z error before the measurement must not affect a later
+  // X-basis measurement's statistics: H 0; Z_ERROR(1.0); M (Z basis
+  // randomizes); H; M. The second measurement must be 50/50.
+  const Circuit c = parse_circuit("H 0\nM 0\nH 0\nM 0");
+  FrameSimulator sim(c, 13);
+  constexpr std::size_t kShots = 60000;
+  const BitMatrix samples = sim.sample(kShots, 14);
+  EXPECT_NEAR(row_mean(samples, 1, kShots), 0.5,
+              5 * std::sqrt(0.25 / kShots));
+}
+
+TEST(FrameSimulator, DeterministicInSeed) {
+  Rng rng(15);
+  const Circuit c = random_fuzz_circuit(8, 100, 0.1, rng);
+  FrameSimulator sim(c, 16);
+  EXPECT_EQ(sim.sample(777, 17), sim.sample(777, 17));
+}
+
+TEST(FrameSimulator, DepolarizeRates) {
+  // DEPOLARIZE1(p) flips a Z measurement when the pattern has an X
+  // component: probability 2p/3.
+  const Circuit c = parse_circuit("DEPOLARIZE1(0.3) 0\nM 0");
+  FrameSimulator sim(c, 18);
+  constexpr std::size_t kShots = 100000;
+  const BitMatrix samples = sim.sample(kShots, 19);
+  EXPECT_NEAR(row_mean(samples, 0, kShots), 0.2,
+              5 * std::sqrt(0.2 * 0.8 / kShots));
+}
+
+TEST(FrameSimulator, TailColumnsMasked) {
+  const Circuit c = parse_circuit("X 0\nM 0");
+  FrameSimulator sim(c, 20);
+  const BitMatrix samples = sim.sample(70, 21);
+  // Bits beyond column 69 in the last word must be zero even though the
+  // reference outcome is 1 (complement path).
+  EXPECT_EQ(samples.row(0)[1] & ~tail_mask(70), 0u);
+  EXPECT_DOUBLE_EQ(row_mean(samples, 0, 70), 1.0);
+}
+
+}  // namespace
+}  // namespace symphase

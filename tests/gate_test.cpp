@@ -1,0 +1,70 @@
+#include "circuit/gate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace symphase {
+namespace {
+
+TEST(GateInfo, TableIsSelfConsistent) {
+  for (const GateType t :
+       {GateType::I, GateType::X, GateType::Y, GateType::Z, GateType::H,
+        GateType::S, GateType::S_DAG, GateType::SQRT_X, GateType::SQRT_X_DAG,
+        GateType::H_YZ, GateType::CNOT, GateType::CZ, GateType::SWAP,
+        GateType::M, GateType::MR, GateType::R, GateType::X_ERROR,
+        GateType::Y_ERROR, GateType::Z_ERROR, GateType::DEPOLARIZE1,
+        GateType::DEPOLARIZE2, GateType::TICK}) {
+    const GateInfo& info = gate_info(t);
+    EXPECT_EQ(info.type, t);
+    EXPECT_FALSE(info.name.empty());
+    // Name lookup round-trips.
+    const auto back = gate_type_from_name(info.name);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, t);
+  }
+}
+
+TEST(GateInfo, Kinds) {
+  EXPECT_EQ(gate_info(GateType::H).kind, GateKind::kUnitary1);
+  EXPECT_EQ(gate_info(GateType::CNOT).kind, GateKind::kUnitary2);
+  EXPECT_EQ(gate_info(GateType::M).kind, GateKind::kMeasure);
+  EXPECT_EQ(gate_info(GateType::R).kind, GateKind::kReset);
+  EXPECT_EQ(gate_info(GateType::X_ERROR).kind, GateKind::kNoise1);
+  EXPECT_EQ(gate_info(GateType::DEPOLARIZE2).kind, GateKind::kNoise2);
+  EXPECT_EQ(gate_info(GateType::TICK).kind, GateKind::kAnnotation);
+}
+
+TEST(GateInfo, ProbabilityFlag) {
+  EXPECT_TRUE(gate_info(GateType::X_ERROR).takes_probability);
+  EXPECT_TRUE(gate_info(GateType::DEPOLARIZE1).takes_probability);
+  EXPECT_FALSE(gate_info(GateType::H).takes_probability);
+  EXPECT_FALSE(gate_info(GateType::M).takes_probability);
+}
+
+TEST(GateInfo, Aliases) {
+  EXPECT_EQ(gate_type_from_name("CX"), GateType::CNOT);
+  EXPECT_EQ(gate_type_from_name("MZ"), GateType::M);
+  EXPECT_EQ(gate_type_from_name("SQRT_Z"), GateType::S);
+  EXPECT_EQ(gate_type_from_name("SQRT_Z_DAG"), GateType::S_DAG);
+}
+
+TEST(GateInfo, UnknownNameIsEmpty) {
+  EXPECT_FALSE(gate_type_from_name("T").has_value());
+  EXPECT_FALSE(gate_type_from_name("cnot").has_value());  // case sensitive
+  EXPECT_FALSE(gate_type_from_name("").has_value());
+}
+
+TEST(GateInfo, ArityHelpers) {
+  EXPECT_EQ(gate_arity(GateType::H), 1u);
+  EXPECT_EQ(gate_arity(GateType::CNOT), 2u);
+  EXPECT_EQ(gate_arity(GateType::DEPOLARIZE2), 2u);
+  EXPECT_EQ(gate_arity(GateType::DEPOLARIZE1), 1u);
+  EXPECT_TRUE(is_unitary(GateType::SWAP));
+  EXPECT_FALSE(is_unitary(GateType::M));
+  EXPECT_TRUE(is_noise(GateType::Y_ERROR));
+  EXPECT_FALSE(is_noise(GateType::Y));
+  EXPECT_TRUE(is_two_qubit(GateType::CZ));
+  EXPECT_FALSE(is_two_qubit(GateType::S));
+}
+
+}  // namespace
+}  // namespace symphase

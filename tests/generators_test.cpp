@@ -1,0 +1,141 @@
+#include "circuit/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace symphase {
+namespace {
+
+TEST(LayeredRandom, RespectsShapeParameters) {
+  LayeredRandomCircuitOptions opt;
+  opt.num_qubits = 40;
+  opt.num_layers = 10;
+  opt.cnot_pairs_per_layer = 5;
+  opt.measure_fraction = 0.05;
+  Rng rng(1);
+  const Circuit c = layered_random_circuit(opt, rng);
+  EXPECT_EQ(c.num_qubits(), 40u);
+  const CircuitStats s = c.stats();
+  // Each layer: 40 single-qubit gates + 5 CNOTs; 2 measured (5% of 40).
+  EXPECT_EQ(s.num_gates, 10u * (40 + 5));
+  EXPECT_EQ(s.num_measurements, 10u * 2 + 40u);
+  EXPECT_EQ(s.num_noise_sites, 0u);
+}
+
+TEST(LayeredRandom, HalfNPairs) {
+  LayeredRandomCircuitOptions opt;
+  opt.num_qubits = 20;
+  opt.num_layers = 4;
+  opt.half_n_cnot_pairs = true;
+  Rng rng(2);
+  const Circuit c = layered_random_circuit(opt, rng);
+  EXPECT_EQ(c.stats().num_gates, 4u * (20 + 10));
+}
+
+TEST(LayeredRandom, DepolarizeNoiseCounts) {
+  LayeredRandomCircuitOptions opt;
+  opt.num_qubits = 10;
+  opt.num_layers = 3;
+  opt.cnot_pairs_per_layer = 2;
+  opt.depolarize_probability = 0.01;
+  Rng rng(3);
+  const Circuit c = layered_random_circuit(opt, rng);
+  EXPECT_EQ(c.stats().num_noise_sites, 3u * 10u);
+}
+
+TEST(LayeredRandom, CnotPairsAreDisjointWithinLayer) {
+  LayeredRandomCircuitOptions opt;
+  opt.num_qubits = 30;
+  opt.num_layers = 20;
+  opt.half_n_cnot_pairs = true;
+  Rng rng(4);
+  const Circuit c = layered_random_circuit(opt, rng);
+  for (const Instruction& inst : c.instructions()) {
+    if (inst.type != GateType::CNOT) {
+      continue;
+    }
+    std::set<std::uint32_t> seen(inst.targets.begin(), inst.targets.end());
+    EXPECT_EQ(seen.size(), inst.targets.size());
+  }
+}
+
+TEST(LayeredRandom, DeterministicInSeed) {
+  LayeredRandomCircuitOptions opt;
+  opt.num_qubits = 12;
+  opt.num_layers = 6;
+  Rng rng1(77);
+  Rng rng2(77);
+  EXPECT_EQ(layered_random_circuit(opt, rng1),
+            layered_random_circuit(opt, rng2));
+}
+
+TEST(RepetitionCode, StructureAndRecordLayout) {
+  RepetitionCodeOptions opt;
+  opt.distance = 5;
+  opt.rounds = 3;
+  const Circuit c = repetition_code_memory(opt);
+  EXPECT_EQ(c.num_qubits(), 9u);  // 5 data + 4 ancilla
+  // 3 rounds x 4 syndrome measurements + 5 final data measurements.
+  EXPECT_EQ(c.num_measurements(), 3u * 4 + 5u);
+  EXPECT_EQ(c.stats().num_noise_sites, 0u);
+}
+
+TEST(RepetitionCode, NoiseKnobs) {
+  RepetitionCodeOptions opt;
+  opt.distance = 3;
+  opt.rounds = 2;
+  opt.data_error_probability = 0.1;
+  opt.measurement_error_probability = 0.05;
+  const Circuit c = repetition_code_memory(opt);
+  // Per round: 3 data X errors + 2 ancilla X errors.
+  EXPECT_EQ(c.stats().num_noise_sites, 2u * (3 + 2));
+  opt.gate_error_probability = 0.01;
+  const Circuit c2 = repetition_code_memory(opt);
+  // Adds DEPOLARIZE2 per CNOT: 4 CNOTs/round -> 8 two-qubit sites/round
+  // counted as 2 single-qubit fault sites each.
+  EXPECT_EQ(c2.stats().num_noise_sites, 2u * (3 + 2) + 2u * 4 * 2);
+}
+
+TEST(RepetitionCode, ValidatesParameters) {
+  RepetitionCodeOptions opt;
+  opt.distance = 1;
+  EXPECT_THROW(repetition_code_memory(opt), std::invalid_argument);
+  opt.distance = 3;
+  opt.rounds = 0;
+  EXPECT_THROW(repetition_code_memory(opt), std::invalid_argument);
+}
+
+TEST(Ghz, Structure) {
+  const Circuit c = ghz_circuit(5);
+  EXPECT_EQ(c.num_qubits(), 5u);
+  EXPECT_EQ(c.stats().num_gates, 5u);  // 1 H + 4 CNOT
+  EXPECT_EQ(c.num_measurements(), 5u);
+}
+
+TEST(Figure1, MatchesPaperShape) {
+  const Circuit c = figure1_circuit(0.01);
+  EXPECT_EQ(c.num_qubits(), 4u);
+  EXPECT_EQ(c.num_measurements(), 4u);
+  const CircuitStats s = c.stats();
+  EXPECT_EQ(s.num_noise_sites, 4u);  // Z^s1, X^s2, X^s3, X^s4
+  EXPECT_EQ(s.num_gates, 8u);        // 2 H + 6 CNOT
+}
+
+TEST(FuzzCircuit, AlwaysEndsWithMeasurement) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Circuit c = random_fuzz_circuit(6, 30, 0.1, rng);
+    EXPECT_GE(c.num_measurements(), 1u);
+    EXPECT_LE(c.num_qubits(), 6u);
+  }
+}
+
+TEST(FuzzCircuit, NoNoiseWhenDisabled) {
+  Rng rng(6);
+  const Circuit c = random_fuzz_circuit(5, 200, 0.1, rng, false);
+  EXPECT_EQ(c.stats().num_noise_sites, 0u);
+}
+
+}  // namespace
+}  // namespace symphase

@@ -1,0 +1,116 @@
+#include "circuit/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace symphase {
+namespace {
+
+TEST(Parser, EmptyAndCommentsOnly) {
+  EXPECT_TRUE(parse_circuit("").instructions().empty());
+  EXPECT_TRUE(parse_circuit("\n\n  \n").instructions().empty());
+  EXPECT_TRUE(parse_circuit("# hi\n  # there").instructions().empty());
+}
+
+TEST(Parser, SimpleInstructions) {
+  const Circuit c = parse_circuit("H 0 1\nCNOT 0 1\nM 0 1\n");
+  ASSERT_EQ(c.instructions().size(), 3u);
+  EXPECT_EQ(c.instructions()[0].type, GateType::H);
+  EXPECT_EQ(c.instructions()[0].targets, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(c.instructions()[1].type, GateType::CNOT);
+  EXPECT_EQ(c.instructions()[2].type, GateType::M);
+  EXPECT_EQ(c.num_qubits(), 2u);
+}
+
+TEST(Parser, NoTrailingNewline) {
+  const Circuit c = parse_circuit("H 0");
+  ASSERT_EQ(c.instructions().size(), 1u);
+}
+
+TEST(Parser, ProbabilityArguments) {
+  const Circuit c = parse_circuit(
+      "X_ERROR(0.25) 0\nDEPOLARIZE1( 0.01 ) 1 2\nDEPOLARIZE2(1e-3) 0 1");
+  EXPECT_DOUBLE_EQ(c.instructions()[0].probability, 0.25);
+  EXPECT_DOUBLE_EQ(c.instructions()[1].probability, 0.01);
+  EXPECT_DOUBLE_EQ(c.instructions()[2].probability, 1e-3);
+}
+
+TEST(Parser, InlineComments) {
+  const Circuit c = parse_circuit("H 0 # apply hadamard\nM 0  # read");
+  ASSERT_EQ(c.instructions().size(), 2u);
+  EXPECT_EQ(c.instructions()[0].targets.size(), 1u);
+}
+
+TEST(Parser, Aliases) {
+  const Circuit c = parse_circuit("CX 0 1\nMZ 1\nRZ 0");
+  EXPECT_EQ(c.instructions()[0].type, GateType::CNOT);
+  EXPECT_EQ(c.instructions()[1].type, GateType::M);
+  EXPECT_EQ(c.instructions()[2].type, GateType::R);
+}
+
+TEST(Parser, RepeatBlocks) {
+  const Circuit c = parse_circuit("REPEAT 3 {\nH 0\nM 0\n}");
+  EXPECT_EQ(c.instructions().size(), 6u);
+  EXPECT_EQ(c.num_measurements(), 3u);
+}
+
+TEST(Parser, NestedRepeat) {
+  const Circuit c = parse_circuit(
+      "REPEAT 2 {\n"
+      "  X 0\n"
+      "  REPEAT 3 {\n"
+      "    H 1\n"
+      "  }\n"
+      "}");
+  // Each outer iteration: 1 X + 3 H = 4; total 8.
+  EXPECT_EQ(c.instructions().size(), 8u);
+}
+
+TEST(Parser, RepeatZeroTimes) {
+  const Circuit c = parse_circuit("REPEAT 0 {\nH 0\n}\nM 0");
+  EXPECT_EQ(c.instructions().size(), 1u);
+  EXPECT_EQ(c.instructions()[0].type, GateType::M);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_circuit("H 0\nBOGUS 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("BOGUS"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_circuit("H"), std::invalid_argument);          // no targets
+  EXPECT_THROW(parse_circuit("X_ERROR 0"), std::invalid_argument);  // missing p
+  EXPECT_THROW(parse_circuit("H(0.5) 0"), std::invalid_argument);   // extra arg
+  EXPECT_THROW(parse_circuit("X_ERROR(0.5 0"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit("CNOT 0"), std::invalid_argument);     // odd pair
+  EXPECT_THROW(parse_circuit("REPEAT 2 {\nH 0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit("}"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit("REPEAT 2\nH 0\n}"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit("M 0 extra"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit("X_ERROR(2.0) 0"), std::invalid_argument);
+}
+
+TEST(Parser, RoundTripThroughText) {
+  const char* text =
+      "H 0 1 2\n"
+      "CNOT 0 1\n"
+      "X_ERROR(0.125) 2\n"
+      "DEPOLARIZE2(0.0625) 0 1\n"
+      "MR 1\n"
+      "M 0 2\n";
+  const Circuit c = parse_circuit(text);
+  EXPECT_EQ(parse_circuit(c.to_text()), c);
+  EXPECT_EQ(c.to_text(), text);
+}
+
+TEST(Parser, WhitespaceTolerant) {
+  const Circuit c = parse_circuit("   H\t0   1 \n\tM  1");
+  EXPECT_EQ(c.instructions().size(), 2u);
+}
+
+}  // namespace
+}  // namespace symphase

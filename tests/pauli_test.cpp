@@ -1,0 +1,193 @@
+#include "pauli/pauli_string.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/rng.hpp"
+
+namespace symphase {
+namespace {
+
+using Mat = std::array<std::complex<double>, 4>;  // row-major 2x2
+
+Mat matrix_of(SinglePauli p) {
+  const std::complex<double> i{0, 1};
+  switch (p) {
+    case SinglePauli::I:
+      return {1, 0, 0, 1};
+    case SinglePauli::X:
+      return {0, 1, 1, 0};
+    case SinglePauli::Y:
+      return {0, -i, i, 0};
+    case SinglePauli::Z:
+      return {1, 0, 0, -1};
+  }
+  return {};
+}
+
+Mat mat_mul(const Mat& a, const Mat& b) {
+  return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+          a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+bool mat_near(const Mat& a, const Mat& b) {
+  for (int i = 0; i < 4; ++i) {
+    if (std::abs(a[i] - b[i]) > 1e-12) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Mat scale(const Mat& m, std::complex<double> s) {
+  return {m[0] * s, m[1] * s, m[2] * s, m[3] * s};
+}
+
+// The g-function must match explicit 2x2 matrix algebra for all 16 pairs.
+TEST(SinglePauli, ProductExponentMatchesMatrices) {
+  const SinglePauli all[4] = {SinglePauli::I, SinglePauli::X, SinglePauli::Y,
+                              SinglePauli::Z};
+  const std::complex<double> i{0, 1};
+  for (const SinglePauli p1 : all) {
+    for (const SinglePauli p2 : all) {
+      const int g = pauli_product_i_exp(pauli_x_bit(p1), pauli_z_bit(p1),
+                                        pauli_x_bit(p2), pauli_z_bit(p2));
+      // Result Pauli from XOR of bits.
+      const SinglePauli p3 = pauli_from_xz(pauli_x_bit(p1) != pauli_x_bit(p2),
+                                           pauli_z_bit(p1) != pauli_z_bit(p2));
+      const Mat lhs = mat_mul(matrix_of(p1), matrix_of(p2));
+      const Mat rhs = scale(matrix_of(p3), std::pow(i, g));
+      EXPECT_TRUE(mat_near(lhs, rhs))
+          << pauli_char(p1) << "*" << pauli_char(p2) << " g=" << g;
+    }
+  }
+}
+
+TEST(SinglePauli, AnticommutationTable) {
+  // X,Y,Z pairwise anticommute; everything commutes with I and itself.
+  const SinglePauli all[4] = {SinglePauli::I, SinglePauli::X, SinglePauli::Y,
+                              SinglePauli::Z};
+  for (const SinglePauli p1 : all) {
+    for (const SinglePauli p2 : all) {
+      const bool anti =
+          pauli_anticommutes(pauli_x_bit(p1), pauli_z_bit(p1),
+                             pauli_x_bit(p2), pauli_z_bit(p2));
+      const bool expected =
+          p1 != SinglePauli::I && p2 != SinglePauli::I && p1 != p2;
+      EXPECT_EQ(anti, expected);
+    }
+  }
+}
+
+TEST(PauliString, ParseAndPrintRoundTrip) {
+  for (const char* text : {"+XYZ_", "-ZZ", "+i_Y", "-iXX", "+____"}) {
+    EXPECT_EQ(PauliString::from_string(text).to_string(), text);
+  }
+}
+
+TEST(PauliString, ParseDefaults) {
+  const PauliString p = PauliString::from_string("XZ");
+  EXPECT_EQ(p.phase_exponent(), 0);
+  EXPECT_EQ(p.num_qubits(), 2u);
+  EXPECT_EQ(p.pauli_at(0), SinglePauli::X);
+  EXPECT_EQ(p.pauli_at(1), SinglePauli::Z);
+}
+
+TEST(PauliString, ParseIdentityAliases) {
+  const PauliString a = PauliString::from_string("I_I");
+  EXPECT_TRUE(a.x_bits().count_ones() == 0 && a.z_bits().count_ones() == 0);
+}
+
+TEST(PauliString, InvalidCharacterThrows) {
+  EXPECT_THROW(PauliString::from_string("XQ"), std::invalid_argument);
+}
+
+TEST(PauliString, SingleFactory) {
+  const PauliString p = PauliString::single(5, 2, SinglePauli::Y);
+  EXPECT_EQ(p.to_string(), "+__Y__");
+  EXPECT_EQ(p.weight(), 1u);
+}
+
+TEST(PauliString, MultiplySmallCases) {
+  const auto X = PauliString::from_string("X");
+  const auto Y = PauliString::from_string("Y");
+  const auto Z = PauliString::from_string("Z");
+  EXPECT_EQ((X * Y).to_string(), "+iZ");
+  EXPECT_EQ((Y * X).to_string(), "-iZ");
+  EXPECT_EQ((Y * Z).to_string(), "+iX");
+  EXPECT_EQ((Z * Y).to_string(), "-iX");
+  EXPECT_EQ((Z * X).to_string(), "+iY");
+  EXPECT_EQ((X * Z).to_string(), "-iY");
+  EXPECT_EQ((X * X).to_string(), "+_");
+}
+
+TEST(PauliString, MultiplyCarriesPhases) {
+  const auto a = PauliString::from_string("-X");
+  const auto b = PauliString::from_string("-X");
+  EXPECT_EQ((a * b).to_string(), "+_");
+  const auto c = PauliString::from_string("+iX");
+  EXPECT_EQ((c * c).to_string(), "-_");
+}
+
+TEST(PauliString, MultiQubitProduct) {
+  const auto a = PauliString::from_string("XXYZ");
+  const auto b = PauliString::from_string("YXZZ");
+  // Per qubit: X*Y=iZ, X*X=I, Y*Z=iX, Z*Z=I -> i^2 ZIXI = -Z_X_.
+  EXPECT_EQ((a * b).to_string(), "-Z_X_");
+}
+
+TEST(PauliString, CommutesMatchesSymplectic) {
+  Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    const PauliString a = PauliString::random(30, rng);
+    const PauliString b = PauliString::random(30, rng);
+    // commute iff product phases in either order agree
+    const int gab = pauli_mul_i_exponent(a, b);
+    const int gba = pauli_mul_i_exponent(b, a);
+    EXPECT_EQ(a.commutes_with(b), gab == gba);
+  }
+}
+
+TEST(PauliString, MulExponentMatchesPerQubitSum) {
+  Rng rng(22);
+  for (int trial = 0; trial < 100; ++trial) {
+    const PauliString a = PauliString::random(100, rng);
+    const PauliString b = PauliString::random(100, rng);
+    int expected = 0;
+    for (std::size_t q = 0; q < 100; ++q) {
+      expected += pauli_product_i_exp(a.x_bit(q), a.z_bit(q), b.x_bit(q),
+                                      b.z_bit(q));
+    }
+    EXPECT_EQ(pauli_mul_i_exponent(a, b), expected % 4);
+  }
+}
+
+TEST(PauliString, WeightCountsNonIdentity) {
+  EXPECT_EQ(PauliString::from_string("X_Y_Z").weight(), 3u);
+  EXPECT_EQ(PauliString(10).weight(), 0u);
+}
+
+TEST(PauliString, SignHelpers) {
+  PauliString p(3);
+  EXPECT_TRUE(p.phase_is_real());
+  EXPECT_FALSE(p.sign());
+  p.set_sign(true);
+  EXPECT_TRUE(p.sign());
+  EXPECT_EQ(p.phase_exponent(), 2);
+}
+
+TEST(PauliString, SelfInverseUpToPhase) {
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    PauliString a = PauliString::random(64, rng);
+    const PauliString sq = a * a;
+    // P^2 = i^{2*numY}; tensor part must be identity.
+    EXPECT_EQ(sq.x_bits().count_ones(), 0u);
+    EXPECT_EQ(sq.z_bits().count_ones(), 0u);
+    EXPECT_TRUE(sq.phase_is_real());
+  }
+}
+
+}  // namespace
+}  // namespace symphase

@@ -1,0 +1,145 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace symphase {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a() == b();
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(10);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    // 5 sigma for a binomial bucket.
+    EXPECT_NEAR(counts[bucket], expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(Rng, ForkStreamsAreIndependentAndDeterministic) {
+  Rng parent1(5);
+  Rng parent2(5);
+  Rng child1 = parent1.fork(1);
+  Rng child2 = parent2.fork(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child1(), child2());
+  }
+  Rng other = parent1.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += child1() == other();
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(FillRandomWords, BalancedBits) {
+  Rng rng(12);
+  std::vector<std::uint64_t> words(2000);
+  fill_random_words(rng, words.data(), words.size());
+  std::size_t ones = 0;
+  for (const auto w : words) {
+    ones += static_cast<std::size_t>(popcount(w));
+  }
+  const double total = static_cast<double>(words.size() * 64);
+  EXPECT_NEAR(static_cast<double>(ones), total / 2, 5 * std::sqrt(total / 4));
+}
+
+class BiasedFillParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(BiasedFillParam, HitsTargetRate) {
+  const double p = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p * 1e6) + 1);
+  std::vector<std::uint64_t> words(4000);
+  fill_biased_words(rng, words.data(), words.size(), p);
+  std::size_t ones = 0;
+  for (const auto w : words) {
+    ones += static_cast<std::size_t>(popcount(w));
+  }
+  const double total = static_cast<double>(words.size() * 64);
+  const double sigma = std::sqrt(total * p * (1 - p));
+  EXPECT_NEAR(static_cast<double>(ones), total * p,
+              5 * sigma + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, BiasedFillParam,
+                         ::testing::Values(0.001, 0.01, 0.1, 0.3, 0.5, 0.7,
+                                           0.95));
+
+TEST(BiasedFill, ExtremesAreExact) {
+  Rng rng(1);
+  std::vector<std::uint64_t> words(10, 0xDEADBEEFull);
+  fill_biased_words(rng, words.data(), words.size(), 0.0);
+  for (const auto w : words) {
+    EXPECT_EQ(w, 0u);
+  }
+  fill_biased_words(rng, words.data(), words.size(), 1.0);
+  for (const auto w : words) {
+    EXPECT_EQ(w, ~std::uint64_t{0});
+  }
+}
+
+TEST(BiasedFill, Deterministic) {
+  Rng a(77);
+  Rng b(77);
+  std::vector<std::uint64_t> wa(100);
+  std::vector<std::uint64_t> wb(100);
+  fill_biased_words(a, wa.data(), wa.size(), 0.05);
+  fill_biased_words(b, wb.data(), wb.size(), 0.05);
+  EXPECT_EQ(wa, wb);
+}
+
+TEST(Splitmix, KnownNonZeroAndMixing) {
+  std::uint64_t s = 0;
+  const std::uint64_t v1 = splitmix64(s);
+  const std::uint64_t v2 = splitmix64(s);
+  EXPECT_NE(v1, 0u);
+  EXPECT_NE(v1, v2);
+}
+
+}  // namespace
+}  // namespace symphase

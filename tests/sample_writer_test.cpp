@@ -1,0 +1,104 @@
+#include "sampler/sample_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "core/symphase.hpp"
+
+namespace symphase {
+namespace {
+
+BitMatrix tiny_samples() {
+  // 3 measurements x 2 shots: shot0 = 101, shot1 = 011.
+  BitMatrix m(3, 2);
+  m.set(0, 0, true);
+  m.set(2, 0, true);
+  m.set(1, 1, true);
+  m.set(2, 1, true);
+  return m;
+}
+
+TEST(SampleWriter, FormatNames) {
+  EXPECT_EQ(sample_format_from_name("01"), SampleFormat::k01);
+  EXPECT_EQ(sample_format_from_name("hex"), SampleFormat::kHex);
+  EXPECT_EQ(sample_format_from_name("b8"), SampleFormat::kB8);
+  EXPECT_EQ(sample_format_from_name("dets"), SampleFormat::kDets);
+  EXPECT_THROW(sample_format_from_name("csv"), std::invalid_argument);
+}
+
+TEST(SampleWriter, Format01) {
+  EXPECT_EQ(samples_to_string(tiny_samples(), SampleFormat::k01),
+            "101\n011\n");
+}
+
+TEST(SampleWriter, FormatHex) {
+  // shot0 bits 101 -> nibble value 0b101 = 5; shot1 011 -> 0b110 = 6.
+  EXPECT_EQ(samples_to_string(tiny_samples(), SampleFormat::kHex),
+            "5\n6\n");
+}
+
+TEST(SampleWriter, FormatB8) {
+  const std::string out =
+      samples_to_string(tiny_samples(), SampleFormat::kB8);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0b101u);
+  EXPECT_EQ(static_cast<unsigned char>(out[1]), 0b110u);
+}
+
+TEST(SampleWriter, FormatDets) {
+  EXPECT_EQ(samples_to_string(tiny_samples(), SampleFormat::kDets),
+            "shot D0 D2\nshot D1 D2\n");
+  // With 2 detectors, index 2 renders as logical observable 0.
+  EXPECT_EQ(samples_to_string(tiny_samples(), SampleFormat::kDets, 2),
+            "shot D0 L0\nshot D1 L0\n");
+}
+
+class WriterRoundTrip : public ::testing::TestWithParam<SampleFormat> {};
+
+TEST_P(WriterRoundTrip, RandomMatricesRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 17);
+  for (const std::size_t bits : {1u, 3u, 8u, 9u, 64u, 65u, 200u}) {
+    for (const std::size_t shots : {0u, 1u, 7u, 100u}) {
+      const BitMatrix original = BitMatrix::random(bits, shots, rng);
+      std::stringstream stream;
+      write_samples(original, GetParam(), stream);
+      const BitMatrix back = read_samples(stream, GetParam(), bits);
+      ASSERT_EQ(back, original) << "bits=" << bits << " shots=" << shots;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, WriterRoundTrip,
+                         ::testing::Values(SampleFormat::k01,
+                                           SampleFormat::kHex,
+                                           SampleFormat::kB8));
+
+TEST(SampleWriter, ReadRejectsMalformed) {
+  std::stringstream bad01("10\n");
+  EXPECT_THROW(read_samples(bad01, SampleFormat::k01, 3),
+               std::invalid_argument);
+  std::stringstream bad_char("10x\n");
+  EXPECT_THROW(read_samples(bad_char, SampleFormat::k01, 3),
+               std::invalid_argument);
+  std::stringstream bad_hex("zz\n");
+  EXPECT_THROW(read_samples(bad_hex, SampleFormat::kHex, 8),
+               std::invalid_argument);
+  std::stringstream partial_b8(std::string("\x01", 1));
+  EXPECT_THROW(read_samples(partial_b8, SampleFormat::kB8, 9),
+               std::invalid_argument);
+  std::stringstream dets("shot D0\n");
+  EXPECT_THROW(read_samples(dets, SampleFormat::kDets, 1),
+               std::invalid_argument);
+}
+
+TEST(SampleWriter, EndToEndWithSampler) {
+  const Circuit c = parse_circuit("X 0\nM 0 1\n");
+  const BitMatrix samples = sample_circuit(c, 4, 1);
+  EXPECT_EQ(samples_to_string(samples, SampleFormat::k01),
+            "10\n10\n10\n10\n");
+}
+
+}  // namespace
+}  // namespace symphase

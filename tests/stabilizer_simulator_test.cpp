@@ -1,0 +1,215 @@
+#include "tableau/stabilizer_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/generators.hpp"
+#include "circuit/parser.hpp"
+#include "tableau/col_major_tableau.hpp"
+#include "tableau/row_major_tableau.hpp"
+
+namespace symphase {
+namespace {
+
+template <typename Layout>
+class StabilizerSimulatorTest : public ::testing::Test {};
+
+using Layouts =
+    ::testing::Types<RowMajorTableau, ColMajorTableau, BlockedTableau>;
+TYPED_TEST_SUITE(StabilizerSimulatorTest, Layouts);
+
+TYPED_TEST(StabilizerSimulatorTest, FreshQubitsMeasureZero) {
+  StabilizerSimulator<TypeParam> sim(4, 1);
+  for (std::uint32_t q = 0; q < 4; ++q) {
+    const MeasureResult r = sim.measure(q);
+    EXPECT_FALSE(r.outcome);
+    EXPECT_FALSE(r.was_random);
+  }
+}
+
+TYPED_TEST(StabilizerSimulatorTest, XThenMeasureIsOne) {
+  StabilizerSimulator<TypeParam> sim(2, 1);
+  sim.apply_unitary(GateType::X, 0);
+  EXPECT_TRUE(sim.measure(0).outcome);
+  EXPECT_FALSE(sim.measure(1).outcome);
+}
+
+TYPED_TEST(StabilizerSimulatorTest, HadamardMeasureIsRandom) {
+  StabilizerSimulator<TypeParam> sim(1, 7);
+  sim.apply_unitary(GateType::H, 0);
+  EXPECT_FALSE(sim.measurement_is_deterministic(0));
+  const MeasureResult r = sim.measure(0);
+  EXPECT_TRUE(r.was_random);
+  // Post-measurement the outcome repeats deterministically.
+  const MeasureResult r2 = sim.measure(0);
+  EXPECT_FALSE(r2.was_random);
+  EXPECT_EQ(r2.outcome, r.outcome);
+}
+
+TYPED_TEST(StabilizerSimulatorTest, BellPairCorrelations) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    StabilizerSimulator<TypeParam> sim(2, seed);
+    sim.apply_unitary(GateType::H, 0);
+    sim.apply_unitary(GateType::CNOT, 0, 1);
+    const MeasureResult m1 = sim.measure(0);
+    const MeasureResult m2 = sim.measure(1);
+    EXPECT_TRUE(m1.was_random);
+    EXPECT_FALSE(m2.was_random);
+    EXPECT_EQ(m1.outcome, m2.outcome);
+  }
+}
+
+TYPED_TEST(StabilizerSimulatorTest, GhzStabilizers) {
+  StabilizerSimulator<TypeParam> sim(3, 1);
+  sim.apply_unitary(GateType::H, 0);
+  sim.apply_unitary(GateType::CNOT, 0, 1);
+  sim.apply_unitary(GateType::CNOT, 1, 2);
+  EXPECT_EQ(sim.stabilizer(0).to_string(), "+XXX");
+  EXPECT_EQ(sim.stabilizer(1).to_string(), "+ZZ_");
+  EXPECT_EQ(sim.stabilizer(2).to_string(), "+_ZZ");
+}
+
+TYPED_TEST(StabilizerSimulatorTest, StabilizerGroupInvariants) {
+  Rng rng(3);
+  const Circuit c = random_fuzz_circuit(8, 120, 0.0, rng, false);
+  StabilizerSimulator<TypeParam> sim(8, 5);
+  sim.run_circuit(c);
+  // All stabilizers commute pairwise; destabilizer i anticommutes with
+  // stabilizer i only.
+  for (std::size_t i = 0; i < 8; ++i) {
+    const PauliString si = sim.stabilizer(i);
+    EXPECT_TRUE(si.phase_is_real());
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_TRUE(si.commutes_with(sim.stabilizer(j)));
+      EXPECT_EQ(sim.destabilizer(i).commutes_with(sim.stabilizer(j)), i != j)
+          << i << "," << j;
+    }
+  }
+}
+
+TYPED_TEST(StabilizerSimulatorTest, ResetForcesZero) {
+  StabilizerSimulator<TypeParam> sim(2, 11);
+  sim.apply_unitary(GateType::X, 0);
+  sim.apply_unitary(GateType::H, 1);
+  sim.reset_qubit(0);
+  sim.reset_qubit(1);
+  EXPECT_FALSE(sim.measure(0).outcome);
+  EXPECT_FALSE(sim.measure(1).outcome);
+}
+
+TYPED_TEST(StabilizerSimulatorTest, MrMeasuresThenResets) {
+  StabilizerSimulator<TypeParam> sim(1, 13);
+  Circuit c(1);
+  c.append1(GateType::X, 0);
+  c.append1(GateType::MR, 0);
+  c.append1(GateType::M, 0);
+  sim.run_circuit(c);
+  ASSERT_EQ(sim.record().size(), 2u);
+  EXPECT_TRUE(sim.record()[0]);
+  EXPECT_FALSE(sim.record()[1]);
+}
+
+TYPED_TEST(StabilizerSimulatorTest, SGateCycle) {
+  // S^4 = I observable: prepare |+>, apply S 4 times, H, measure -> 0.
+  StabilizerSimulator<TypeParam> sim(1, 17);
+  sim.apply_unitary(GateType::H, 0);
+  for (int i = 0; i < 4; ++i) {
+    sim.apply_unitary(GateType::S, 0);
+  }
+  sim.apply_unitary(GateType::H, 0);
+  const MeasureResult r = sim.measure(0);
+  EXPECT_FALSE(r.was_random);
+  EXPECT_FALSE(r.outcome);
+}
+
+TYPED_TEST(StabilizerSimulatorTest, SSdagIsIdentity) {
+  StabilizerSimulator<TypeParam> sim(1, 19);
+  sim.apply_unitary(GateType::H, 0);
+  sim.apply_unitary(GateType::S, 0);
+  sim.apply_unitary(GateType::S_DAG, 0);
+  sim.apply_unitary(GateType::H, 0);
+  const MeasureResult r = sim.measure(0);
+  EXPECT_FALSE(r.was_random);
+  EXPECT_FALSE(r.outcome);
+}
+
+TYPED_TEST(StabilizerSimulatorTest, RandomOutcomesAreFair) {
+  int ones = 0;
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    StabilizerSimulator<TypeParam> sim(1, static_cast<std::uint64_t>(t));
+    sim.apply_unitary(GateType::H, 0);
+    ones += sim.measure(0).outcome;
+  }
+  EXPECT_NEAR(ones, kTrials / 2, 5 * std::sqrt(kTrials / 4.0));
+}
+
+TYPED_TEST(StabilizerSimulatorTest, NoiseChannelsFlipAtRate) {
+  // X_ERROR(p) then M: outcome 1 with probability p.
+  constexpr double kP = 0.3;
+  constexpr int kTrials = 3000;
+  int ones = 0;
+  Circuit c(1);
+  c.append(GateType::X_ERROR, {0}, kP);
+  c.append1(GateType::M, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    StabilizerSimulator<TypeParam> sim(1, static_cast<std::uint64_t>(t) + 1);
+    sim.run_circuit(c);
+    ones += sim.record()[0];
+  }
+  EXPECT_NEAR(ones, kTrials * kP, 5 * std::sqrt(kTrials * kP * (1 - kP)));
+}
+
+TYPED_TEST(StabilizerSimulatorTest, ZErrorInvisibleInZBasis) {
+  Circuit c(1);
+  c.append(GateType::Z_ERROR, {0}, 1.0);
+  c.append1(GateType::M, 0);
+  StabilizerSimulator<TypeParam> sim(1, 23);
+  sim.run_circuit(c);
+  EXPECT_FALSE(sim.record()[0]);
+}
+
+TYPED_TEST(StabilizerSimulatorTest, CzViaHadamardCnot) {
+  // CZ = (I x H) CNOT (I x H): compare stabilizers after both versions.
+  StabilizerSimulator<TypeParam> a(2, 29);
+  a.apply_unitary(GateType::H, 0);
+  a.apply_unitary(GateType::S, 1);
+  a.apply_unitary(GateType::CZ, 0, 1);
+  StabilizerSimulator<TypeParam> b(2, 29);
+  b.apply_unitary(GateType::H, 0);
+  b.apply_unitary(GateType::S, 1);
+  b.apply_unitary(GateType::H, 1);
+  b.apply_unitary(GateType::CNOT, 0, 1);
+  b.apply_unitary(GateType::H, 1);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(a.stabilizer(i).to_string(), b.stabilizer(i).to_string());
+    EXPECT_EQ(a.destabilizer(i).to_string(), b.destabilizer(i).to_string());
+  }
+}
+
+TYPED_TEST(StabilizerSimulatorTest, SwapMovesState) {
+  StabilizerSimulator<TypeParam> sim(2, 31);
+  sim.apply_unitary(GateType::X, 0);
+  sim.apply_unitary(GateType::SWAP, 0, 1);
+  EXPECT_FALSE(sim.measure(0).outcome);
+  EXPECT_TRUE(sim.measure(1).outcome);
+}
+
+TYPED_TEST(StabilizerSimulatorTest, LargeCircuitAcrossWordBoundaries) {
+  // 130 qubits exercises multi-word columns and (for blocked) multi-tile
+  // row groups... chain CNOTs then measure all: GHZ correlations.
+  constexpr std::size_t kN = 130;
+  StabilizerSimulator<TypeParam> sim(kN, 37);
+  sim.apply_unitary(GateType::H, 0);
+  for (std::uint32_t q = 0; q + 1 < kN; ++q) {
+    sim.apply_unitary(GateType::CNOT, q, q + 1);
+  }
+  const bool first = sim.measure(0).outcome;
+  for (std::uint32_t q = 1; q < kN; ++q) {
+    ASSERT_EQ(sim.measure(q).outcome, first) << q;
+  }
+}
+
+}  // namespace
+}  // namespace symphase

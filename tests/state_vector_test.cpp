@@ -1,0 +1,206 @@
+#include "statevector/state_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace symphase {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(StateVector, InitialState) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.amplitudes().size(), 8u);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0] - 1.0), 0.0, kTol);
+  EXPECT_NEAR(sv.prob_zero(0), 1.0, kTol);
+}
+
+TEST(StateVector, XFlipsBit) {
+  StateVector sv(2);
+  sv.apply_gate(GateType::X, 0);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[1] - 1.0), 0.0, kTol);
+  EXPECT_NEAR(sv.prob_zero(0), 0.0, kTol);
+  EXPECT_NEAR(sv.prob_zero(1), 1.0, kTol);
+}
+
+TEST(StateVector, HadamardSuperposition) {
+  StateVector sv(1);
+  sv.apply_gate(GateType::H, 0);
+  EXPECT_NEAR(sv.prob_zero(0), 0.5, kTol);
+  sv.apply_gate(GateType::H, 0);
+  EXPECT_NEAR(sv.prob_zero(0), 1.0, kTol);
+}
+
+TEST(StateVector, BellState) {
+  StateVector sv(2);
+  sv.apply_gate(GateType::H, 0);
+  sv.apply_gate(GateType::CNOT, 0, 1);
+  const auto& a = sv.amplitudes();
+  EXPECT_NEAR(std::abs(a[0]), 1 / std::sqrt(2.0), kTol);
+  EXPECT_NEAR(std::abs(a[3]), 1 / std::sqrt(2.0), kTol);
+  EXPECT_NEAR(std::abs(a[1]), 0.0, kTol);
+  EXPECT_NEAR(std::abs(a[2]), 0.0, kTol);
+  EXPECT_TRUE(sv.is_stabilized_by(PauliString::from_string("XX")));
+  EXPECT_TRUE(sv.is_stabilized_by(PauliString::from_string("ZZ")));
+  EXPECT_FALSE(sv.is_stabilized_by(PauliString::from_string("-XX")));
+}
+
+TEST(StateVector, GateAlgebraIdentities) {
+  // S^2 = Z, SQRT_X^2 = X, H^2 = I, S S_DAG = I, on random-ish states.
+  Rng rng(3);
+  StateVector base(3);
+  std::vector<bool> rec;
+  base.run_circuit(
+      [] {
+        Circuit c(3);
+        c.append1(GateType::H, 0);
+        c.append2(GateType::CNOT, 0, 1);
+        c.append1(GateType::S, 1);
+        c.append1(GateType::H, 2);
+        return c;
+      }(),
+      rng, rec);
+
+  StateVector a = base;
+  a.apply_gate(GateType::S, 0);
+  a.apply_gate(GateType::S, 0);
+  StateVector b = base;
+  b.apply_gate(GateType::Z, 0);
+  EXPECT_NEAR(a.fidelity_with(b), 1.0, 1e-9);
+
+  a = base;
+  a.apply_gate(GateType::SQRT_X, 1);
+  a.apply_gate(GateType::SQRT_X, 1);
+  b = base;
+  b.apply_gate(GateType::X, 1);
+  EXPECT_NEAR(a.fidelity_with(b), 1.0, 1e-9);
+
+  a = base;
+  a.apply_gate(GateType::S, 2);
+  a.apply_gate(GateType::S_DAG, 2);
+  EXPECT_NEAR(a.fidelity_with(base), 1.0, 1e-9);
+
+  a = base;
+  a.apply_gate(GateType::SQRT_X, 0);
+  a.apply_gate(GateType::SQRT_X_DAG, 0);
+  EXPECT_NEAR(a.fidelity_with(base), 1.0, 1e-9);
+
+  a = base;
+  a.apply_gate(GateType::H_YZ, 1);
+  a.apply_gate(GateType::H_YZ, 1);
+  EXPECT_NEAR(a.fidelity_with(base), 1.0, 1e-9);
+}
+
+TEST(StateVector, ConjugationRules) {
+  // Verify U P U† action on stabilizers of simple states: H|0> stabilized
+  // by X; S H|0> stabilized by Y.
+  StateVector sv(1);
+  sv.apply_gate(GateType::H, 0);
+  EXPECT_TRUE(sv.is_stabilized_by(PauliString::from_string("X")));
+  sv.apply_gate(GateType::S, 0);
+  EXPECT_TRUE(sv.is_stabilized_by(PauliString::from_string("Y")));
+  sv.apply_gate(GateType::S, 0);
+  EXPECT_TRUE(sv.is_stabilized_by(PauliString::from_string("-X")));
+}
+
+TEST(StateVector, CzSymmetric) {
+  StateVector a(2);
+  a.apply_gate(GateType::H, 0);
+  a.apply_gate(GateType::H, 1);
+  StateVector b = a;
+  a.apply_gate(GateType::CZ, 0, 1);
+  b.apply_gate(GateType::CZ, 1, 0);
+  EXPECT_NEAR(a.fidelity_with(b), 1.0, 1e-9);
+}
+
+TEST(StateVector, SwapViaCnots) {
+  StateVector a(2);
+  a.apply_gate(GateType::H, 0);
+  a.apply_gate(GateType::S, 0);
+  StateVector b = a;
+  a.apply_gate(GateType::SWAP, 0, 1);
+  b.apply_gate(GateType::CNOT, 0, 1);
+  b.apply_gate(GateType::CNOT, 1, 0);
+  b.apply_gate(GateType::CNOT, 0, 1);
+  EXPECT_NEAR(a.fidelity_with(b), 1.0, 1e-9);
+}
+
+TEST(StateVector, MeasureCollapses) {
+  Rng rng(5);
+  StateVector sv(2);
+  sv.apply_gate(GateType::H, 0);
+  sv.apply_gate(GateType::CNOT, 0, 1);
+  const bool m1 = sv.measure(0, rng);
+  // After measuring one half of a Bell pair, the other is determined.
+  EXPECT_NEAR(sv.prob_zero(1), m1 ? 0.0 : 1.0, kTol);
+  const bool m2 = sv.measure(1, rng);
+  EXPECT_EQ(m1, m2);
+}
+
+TEST(StateVector, PostselectRenormalizes) {
+  StateVector sv(1);
+  sv.apply_gate(GateType::H, 0);
+  const double p = sv.postselect(0, true);
+  EXPECT_NEAR(p, 0.5, kTol);
+  EXPECT_NEAR(sv.prob_zero(0), 0.0, kTol);
+  double norm = 0;
+  for (const auto& amp : sv.amplitudes()) {
+    norm += std::norm(amp);
+  }
+  EXPECT_NEAR(norm, 1.0, kTol);
+}
+
+TEST(StateVector, PostselectImpossibleThrows) {
+  StateVector sv(1);
+  EXPECT_THROW(sv.postselect(0, true), std::invalid_argument);
+}
+
+TEST(StateVector, ResetForcesZero) {
+  Rng rng(6);
+  StateVector sv(1);
+  sv.apply_gate(GateType::X, 0);
+  sv.reset(0, rng);
+  EXPECT_NEAR(sv.prob_zero(0), 1.0, kTol);
+}
+
+TEST(StateVector, ApplyPauliPhase) {
+  StateVector sv(1);
+  StateVector expected(1);
+  // Y|0> = i|1>.
+  sv.apply_pauli(PauliString::from_string("Y"));
+  expected.apply_gate(GateType::X, 0);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[1] - std::complex<double>(0, 1)), 0.0,
+              kTol);
+  EXPECT_NEAR(sv.fidelity_with(expected), 1.0, kTol);
+}
+
+TEST(StateVector, RunCircuitRecordsMeasurements) {
+  Rng rng(7);
+  Circuit c(2);
+  c.append1(GateType::X, 0);
+  c.append(GateType::M, {0, 1});
+  StateVector sv(2);
+  std::vector<bool> record;
+  sv.run_circuit(c, rng, record);
+  ASSERT_EQ(record.size(), 2u);
+  EXPECT_TRUE(record[0]);
+  EXPECT_FALSE(record[1]);
+}
+
+TEST(StateVector, MrResets) {
+  Rng rng(8);
+  Circuit c(1);
+  c.append1(GateType::X, 0);
+  c.append1(GateType::MR, 0);
+  c.append1(GateType::M, 0);
+  StateVector sv(1);
+  std::vector<bool> record;
+  sv.run_circuit(c, rng, record);
+  ASSERT_EQ(record.size(), 2u);
+  EXPECT_TRUE(record[0]);
+  EXPECT_FALSE(record[1]);
+}
+
+}  // namespace
+}  // namespace symphase

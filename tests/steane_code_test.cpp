@@ -1,0 +1,120 @@
+// Tests for the Steane [[7,1,3]] memory circuit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/generators.hpp"
+#include "core/symphase.hpp"
+
+namespace symphase {
+namespace {
+
+double row_mean(const BitMatrix& m, std::size_t row) {
+  std::size_t ones = 0;
+  for (std::size_t w = 0; w < words_for_bits(m.cols()); ++w) {
+    ones += static_cast<std::size_t>(popcount(m.row(row)[w]));
+  }
+  return static_cast<double>(ones) / static_cast<double>(m.cols());
+}
+
+TEST(SteaneCode, NoiselessDetectorsSilent) {
+  SteaneCodeOptions opt;
+  opt.rounds = 3;
+  const Circuit c = steane_code_memory(opt);
+  EXPECT_EQ(c.num_qubits(), 13u);
+  const CompiledSampler sampler = CompiledSampler::compile(c);
+  // 3 first-round + 6*(rounds-1) comparisons + 3 final parities.
+  EXPECT_EQ(sampler.num_detectors(), 3u + 6 * (opt.rounds - 1) + 3);
+  for (std::size_t d = 0; d < sampler.num_detectors(); ++d) {
+    ASSERT_TRUE(sampler.detector_expressions()[d].symbols.empty()) << d;
+  }
+  EXPECT_TRUE(sampler.observable_expressions()[0].symbols.empty());
+}
+
+TEST(SteaneCode, SingleDataErrorFiresMatchingSyndrome) {
+  // X on data qubit 6 sits in all three Hamming checks.
+  SteaneCodeOptions opt;
+  opt.rounds = 1;
+  Circuit c(13);
+  c.append1(GateType::X, 6);
+  c.append_circuit(steane_code_memory(opt));
+  const CompiledSampler sampler = CompiledSampler::compile(c);
+  const auto events = sampler.sample_detection_events(32, 1);
+  // First-round Z detectors: all three fire; final parities stay silent
+  // (the flip is consistent between data readout and last syndrome).
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_DOUBLE_EQ(row_mean(events.detectors, d), 1.0) << d;
+  }
+  for (std::size_t d = 3; d < sampler.num_detectors(); ++d) {
+    EXPECT_DOUBLE_EQ(row_mean(events.detectors, d), 0.0) << d;
+  }
+  // Qubit 6 is outside the {0,1,2} logical representative, and X_6 =
+  // logical ^ stabilizers? Its readout contribution: observable tracks
+  // qubits 0..2 only -> unaffected.
+  EXPECT_DOUBLE_EQ(row_mean(events.observables, 0), 0.0);
+}
+
+TEST(SteaneCode, DistinctSyndromesForDistinctErrors) {
+  // Every single-qubit X error produces a distinct, nonzero first-round
+  // syndrome (that is what makes the code distance 3).
+  std::set<std::vector<double>> syndromes;
+  for (std::uint32_t q = 0; q < 7; ++q) {
+    SteaneCodeOptions opt;
+    opt.rounds = 1;
+    Circuit c(13);
+    c.append1(GateType::X, q);
+    c.append_circuit(steane_code_memory(opt));
+    const CompiledSampler sampler = CompiledSampler::compile(c);
+    const auto events = sampler.sample_detection_events(8, q + 1);
+    std::vector<double> syndrome;
+    for (std::size_t d = 0; d < 3; ++d) {
+      syndrome.push_back(row_mean(events.detectors, d));
+    }
+    EXPECT_NE(syndrome, (std::vector<double>{0, 0, 0})) << "qubit " << q;
+    syndromes.insert(syndrome);
+  }
+  EXPECT_EQ(syndromes.size(), 7u);
+}
+
+TEST(SteaneCode, NoisyDistributionsMatchFrame) {
+  SteaneCodeOptions opt;
+  opt.rounds = 2;
+  opt.data_error_probability = 0.03;
+  opt.measurement_error_probability = 0.01;
+  const Circuit c = steane_code_memory(opt);
+  const CompiledSampler sym = CompiledSampler::compile(c);
+  FrameSimulator frame(c, 3);
+  constexpr std::size_t kShots = 50000;
+  const auto se = sym.sample_detection_events(kShots, 4);
+  const auto fe = frame.sample_detection_events(kShots, 5);
+  for (std::size_t d = 0; d < sym.num_detectors(); ++d) {
+    const double exact = sym.detector_probability(d);
+    const double sigma =
+        std::sqrt(std::max(exact * (1 - exact), 1e-6) / kShots);
+    ASSERT_NEAR(row_mean(se.detectors, d), exact, 5 * sigma + 2e-3) << d;
+    ASSERT_NEAR(row_mean(se.detectors, d), row_mean(fe.detectors, d),
+                10 * sigma + 3e-3)
+        << d;
+  }
+}
+
+TEST(SteaneCode, ErrorModelHasHammingStructure) {
+  SteaneCodeOptions opt;
+  opt.rounds = 1;
+  opt.data_error_probability = 0.01;
+  const Circuit c = steane_code_memory(opt);
+  const DetectorErrorModel dem =
+      CompiledSampler::compile(c).error_model().canonicalized();
+  // 7 data-error mechanisms with distinct syndromes (some also flip L0).
+  ASSERT_EQ(dem.mechanisms.size(), 7u);
+  std::set<std::vector<std::uint32_t>> symptom_sets;
+  for (const auto& mech : dem.mechanisms) {
+    EXPECT_NEAR(mech.probability, 0.01, 1e-12);
+    symptom_sets.insert(mech.detectors);
+  }
+  EXPECT_EQ(symptom_sets.size(), 7u);
+}
+
+}  // namespace
+}  // namespace symphase

@@ -1,0 +1,242 @@
+// Tests for the rotated surface-code generator: layout invariants
+// (stabilizer algebra), noiseless determinism of every detector, error
+// propagation, and below-threshold logical error suppression.
+
+#include "circuit/surface_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/symphase.hpp"
+#include "pauli/pauli_string.hpp"
+
+namespace symphase {
+namespace {
+
+double row_mean(const BitMatrix& m, std::size_t row) {
+  std::size_t ones = 0;
+  for (std::size_t w = 0; w < words_for_bits(m.cols()); ++w) {
+    ones += static_cast<std::size_t>(popcount(m.row(row)[w]));
+  }
+  return static_cast<double>(ones) / static_cast<double>(m.cols());
+}
+
+PauliString check_to_pauli(const SurfaceCodeLayout& layout,
+                           const SurfaceCodeLayout::Check& check) {
+  PauliString p(layout.num_data);
+  for (const std::uint32_t q : check.data) {
+    p.set_pauli(q, check.is_z ? SinglePauli::Z : SinglePauli::X);
+  }
+  return p;
+}
+
+class SurfaceCodeLayoutTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SurfaceCodeLayoutTest, CheckCountAndWeights) {
+  const std::size_t d = GetParam();
+  const SurfaceCodeLayout layout = surface_code_layout(d);
+  EXPECT_EQ(layout.num_data, d * d);
+  EXPECT_EQ(layout.checks.size(), d * d - 1);
+  std::size_t z_checks = 0;
+  for (const auto& check : layout.checks) {
+    EXPECT_TRUE(check.data.size() == 2 || check.data.size() == 4);
+    z_checks += check.is_z;
+  }
+  // Z and X checks split evenly.
+  EXPECT_EQ(z_checks, (d * d - 1) / 2);
+}
+
+TEST_P(SurfaceCodeLayoutTest, ChecksCommutePairwise) {
+  const SurfaceCodeLayout layout = surface_code_layout(GetParam());
+  std::vector<PauliString> paulis;
+  for (const auto& check : layout.checks) {
+    paulis.push_back(check_to_pauli(layout, check));
+  }
+  for (std::size_t a = 0; a < paulis.size(); ++a) {
+    for (std::size_t b = a + 1; b < paulis.size(); ++b) {
+      ASSERT_TRUE(paulis[a].commutes_with(paulis[b]))
+          << "checks " << a << " and " << b << " anticommute";
+    }
+  }
+}
+
+TEST_P(SurfaceCodeLayoutTest, LogicalZCommutesAndIsNontrivial) {
+  const SurfaceCodeLayout layout = surface_code_layout(GetParam());
+  PauliString logical(layout.num_data);
+  for (const std::uint32_t q : layout.logical_z) {
+    logical.set_pauli(q, SinglePauli::Z);
+  }
+  for (const auto& check : layout.checks) {
+    ASSERT_TRUE(logical.commutes_with(check_to_pauli(layout, check)));
+  }
+  EXPECT_EQ(logical.weight(), layout.distance);
+  // A vertical X string (left column) anticommutes with logical Z
+  // exactly once: they form a conjugate logical pair.
+  PauliString logical_x(layout.num_data);
+  for (std::size_t i = 0; i < layout.distance; ++i) {
+    logical_x.set_pauli(static_cast<std::uint32_t>(i * layout.distance),
+                        SinglePauli::X);
+  }
+  EXPECT_FALSE(logical.commutes_with(logical_x));
+  for (const auto& check : layout.checks) {
+    ASSERT_TRUE(logical_x.commutes_with(check_to_pauli(layout, check)))
+        << "logical X not a logical operator";
+  }
+}
+
+TEST_P(SurfaceCodeLayoutTest, AncillaIdsAreDistinct) {
+  const SurfaceCodeLayout layout = surface_code_layout(GetParam());
+  std::set<std::uint32_t> ids;
+  for (const auto& check : layout.checks) {
+    EXPECT_GE(check.ancilla, layout.num_data);
+    ids.insert(check.ancilla);
+  }
+  EXPECT_EQ(ids.size(), layout.checks.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, SurfaceCodeLayoutTest,
+                         ::testing::Values(3, 5, 7));
+
+TEST(SurfaceCodeLayout, RejectsBadDistance) {
+  EXPECT_THROW(surface_code_layout(2), std::invalid_argument);
+  EXPECT_THROW(surface_code_layout(4), std::invalid_argument);
+  EXPECT_THROW(surface_code_layout(1), std::invalid_argument);
+}
+
+TEST(SurfaceCodeMemory, NoiselessDetectorsAllSilent) {
+  for (const std::size_t d : {3u, 5u}) {
+    SurfaceCodeOptions opt;
+    opt.distance = d;
+    opt.rounds = 3;
+    const Circuit c = surface_code_memory(opt);
+    const CompiledSampler sampler = CompiledSampler::compile(c);
+    // Expected detector count: first round d^2-1 over 2 (Z only), then
+    // (rounds-1)*(d^2-1), then final (d^2-1)/2 Z parity checks.
+    const std::size_t checks = d * d - 1;
+    EXPECT_EQ(sampler.num_detectors(),
+              checks / 2 + (opt.rounds - 1) * checks + checks / 2);
+    EXPECT_EQ(sampler.num_observables(), 1u);
+    for (std::size_t k = 0; k < sampler.num_detectors(); ++k) {
+      ASSERT_TRUE(sampler.detector_expressions()[k].symbols.empty())
+          << "detector " << k << " not deterministic-zero at d=" << d;
+    }
+    EXPECT_TRUE(sampler.observable_expressions()[0].symbols.empty());
+  }
+}
+
+TEST(SurfaceCodeMemory, InjectedXErrorFiresAdjacentDetectors) {
+  SurfaceCodeOptions opt;
+  opt.distance = 3;
+  opt.rounds = 2;
+  // A deterministic X on the central data qubit (id 4) before any round.
+  Circuit c(17);
+  c.append1(GateType::X, 4);
+  c.append_circuit(surface_code_memory(opt));
+  const CompiledSampler sampler = CompiledSampler::compile(c);
+  const auto events = sampler.sample_detection_events(64, 1);
+  // The central qubit participates in exactly two Z checks; the X error
+  // fires those two first-round detectors (and the inter-round
+  // comparisons stay silent because the flip persists).
+  std::size_t firing = 0;
+  for (std::size_t k = 0; k < sampler.num_detectors(); ++k) {
+    const double rate = row_mean(events.detectors, k);
+    EXPECT_TRUE(rate == 0.0 || rate == 1.0);
+    firing += rate == 1.0;
+  }
+  EXPECT_EQ(firing, 2u);
+  // A single X on the top row also flips the logical readout parity iff
+  // it lies on the logical support; qubit 4 is row 1 -> no flip.
+  EXPECT_DOUBLE_EQ(row_mean(events.observables, 0), 0.0);
+}
+
+TEST(SurfaceCodeMemory, LogicalSupportErrorFlipsObservable) {
+  SurfaceCodeOptions opt;
+  opt.distance = 3;
+  opt.rounds = 1;
+  Circuit c(17);
+  // X on all three top-row data qubits = logical X: crosses logical Z
+  // once (odd overlap) -> observable flips... a full logical X chain
+  // flips the observable without firing any detector.
+  c.append(GateType::X, {0, 3, 6});  // left column: vertical X string
+  c.append_circuit(surface_code_memory(opt));
+  const CompiledSampler sampler = CompiledSampler::compile(c);
+  const auto events = sampler.sample_detection_events(32, 2);
+  for (std::size_t k = 0; k < sampler.num_detectors(); ++k) {
+    ASSERT_DOUBLE_EQ(row_mean(events.detectors, k), 0.0) << k;
+  }
+  EXPECT_DOUBLE_EQ(row_mean(events.observables, 0), 1.0);
+}
+
+TEST(SurfaceCodeMemory, DataNoiseDetectorsMatchFrameSimulator) {
+  SurfaceCodeOptions opt;
+  opt.distance = 3;
+  opt.rounds = 2;
+  opt.data_depolarization = 0.02;
+  opt.measurement_flip_probability = 0.01;
+  const Circuit c = surface_code_memory(opt);
+  const CompiledSampler sym = CompiledSampler::compile(c);
+  FrameSimulator frame(c, 5);
+  constexpr std::size_t kShots = 50000;
+  const auto se = sym.sample_detection_events(kShots, 6);
+  const auto fe = frame.sample_detection_events(kShots, 7);
+  for (std::size_t k = 0; k < sym.num_detectors(); ++k) {
+    const double pa = row_mean(se.detectors, k);
+    const double pb = row_mean(fe.detectors, k);
+    const double exact = sym.detector_probability(k);
+    const double sigma =
+        std::sqrt(std::max(exact * (1 - exact), 1e-6) / kShots);
+    ASSERT_NEAR(pa, exact, 5 * sigma + 2e-3) << "detector " << k;
+    ASSERT_NEAR(pa, pb, 10 * sigma + 3e-3) << "detector " << k;
+  }
+}
+
+TEST(SurfaceCodeMemory, CircuitNoiseCompilesAndSamples) {
+  SurfaceCodeOptions opt;
+  opt.distance = 5;
+  opt.rounds = 5;
+  opt.data_depolarization = 0.003;
+  opt.gate_depolarization = 0.002;
+  opt.measurement_flip_probability = 0.004;
+  const Circuit c = surface_code_memory(opt);
+  const CompiledSampler sampler = CompiledSampler::compile(c);
+  const auto events = sampler.sample_detection_events(4096, 8);
+  // Smoke invariants: detectors fire at low but nonzero rates.
+  double total = 0;
+  for (std::size_t k = 0; k < sampler.num_detectors(); ++k) {
+    total += row_mean(events.detectors, k);
+  }
+  EXPECT_GT(total, 0.0);
+  EXPECT_LT(total / static_cast<double>(sampler.num_detectors()), 0.2);
+}
+
+TEST(SurfaceCodeMemory, RawObservableFlipMatchesParityFormula) {
+  // One round of DEPOLARIZE1(p) on the data; the *undecoded* observable
+  // (parity of the top data row) flips when an odd number of its d
+  // qubits took an X-component fault. Each qubit does so with
+  // q = 2p/3, independently, so P(flip) = (1 - (1-2q)^d) / 2 exactly.
+  constexpr double kP = 0.01;
+  constexpr std::size_t kShots = 200000;
+  for (const std::size_t d : {3u, 5u}) {
+    SurfaceCodeOptions opt;
+    opt.distance = d;
+    opt.rounds = 1;
+    opt.data_depolarization = kP;
+    const Circuit c = surface_code_memory(opt);
+    const CompiledSampler sampler = CompiledSampler::compile(c);
+    const double q = 2.0 * kP / 3.0;
+    const double expected =
+        (1.0 - std::pow(1.0 - 2.0 * q, static_cast<double>(d))) / 2.0;
+    EXPECT_NEAR(sampler.observable_probability(0), expected, 1e-12)
+        << "d=" << d;
+    const auto events = sampler.sample_detection_events(kShots, d);
+    EXPECT_NEAR(row_mean(events.observables, 0), expected,
+                5 * std::sqrt(std::max(expected * (1 - expected), 1e-7) /
+                              kShots) +
+                    1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace symphase

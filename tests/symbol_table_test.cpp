@@ -1,0 +1,56 @@
+#include "symbolic/symbol_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace symphase {
+namespace {
+
+TEST(SymbolTable, StartsWithConstant) {
+  SymbolTable t;
+  EXPECT_EQ(t.num_symbols(), 1u);
+  EXPECT_EQ(t.group_of(0).kind, SymbolGroupKind::kConstant);
+  EXPECT_EQ(t.groups().size(), 1u);
+}
+
+TEST(SymbolTable, SequentialIds) {
+  SymbolTable t;
+  EXPECT_EQ(t.add_coin(), 1u);
+  EXPECT_EQ(t.add_bernoulli(0.1), 2u);
+  EXPECT_EQ(t.add_depolarize1(0.2), 3u);  // occupies 3,4
+  EXPECT_EQ(t.add_depolarize2(0.3), 5u);  // occupies 5..8
+  EXPECT_EQ(t.add_coin(), 9u);
+  EXPECT_EQ(t.num_symbols(), 10u);
+}
+
+TEST(SymbolTable, GroupLookup) {
+  SymbolTable t;
+  t.add_coin();                       // 1
+  const auto d1 = t.add_depolarize1(0.25);  // 2,3
+  const auto d2 = t.add_depolarize2(0.5);   // 4..7
+  EXPECT_EQ(t.group_of(1).kind, SymbolGroupKind::kCoin);
+  EXPECT_DOUBLE_EQ(t.group_of(1).probability, 0.5);
+  for (std::uint32_t s = d1; s < d1 + 2; ++s) {
+    EXPECT_EQ(t.group_of(s).kind, SymbolGroupKind::kDepolarize1);
+    EXPECT_EQ(t.group_of(s).first_symbol, d1);
+    EXPECT_EQ(t.group_of(s).num_symbols, 2u);
+    EXPECT_DOUBLE_EQ(t.group_of(s).probability, 0.25);
+  }
+  for (std::uint32_t s = d2; s < d2 + 4; ++s) {
+    EXPECT_EQ(t.group_of(s).kind, SymbolGroupKind::kDepolarize2);
+    EXPECT_EQ(t.group_of(s).first_symbol, d2);
+    EXPECT_EQ(t.group_of(s).num_symbols, 4u);
+  }
+  EXPECT_NE(t.group_index_of(d1), t.group_index_of(d2));
+  EXPECT_EQ(t.group_index_of(d1), t.group_index_of(d1 + 1));
+}
+
+TEST(SymbolTable, BernoulliKeepsProbability) {
+  SymbolTable t;
+  const auto s = t.add_bernoulli(0.125);
+  EXPECT_EQ(t.group_of(s).kind, SymbolGroupKind::kBernoulli);
+  EXPECT_DOUBLE_EQ(t.group_of(s).probability, 0.125);
+  EXPECT_EQ(t.group_of(s).num_symbols, 1u);
+}
+
+}  // namespace
+}  // namespace symphase

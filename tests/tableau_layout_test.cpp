@@ -1,0 +1,449 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "symbolic/symphase_compiler.hpp"
+#include "tableau/blocked_tableau.hpp"
+#include "tableau/col_major_tableau.hpp"
+#include "tableau/row_major_tableau.hpp"
+#include "tableau/stabilizer_simulator.hpp"
+
+namespace symphase {
+namespace {
+
+/// Full logical snapshot of a tableau, layout-independent.
+struct Snapshot {
+  std::vector<bool> bits;  // rows x (2n xz + phase_used), row-major
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+template <typename Layout>
+Snapshot snapshot(Layout& t) {
+  // Reads work in either mode via the bit accessors.
+  Snapshot s;
+  const std::size_t n = t.num_qubits();
+  const std::size_t rows = 2 * n + 1;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t q = 0; q < n; ++q) {
+      s.bits.push_back(t.x_bit(r, q));
+    }
+    for (std::size_t q = 0; q < n; ++q) {
+      s.bits.push_back(t.z_bit(r, q));
+    }
+    for (std::size_t c = 0; c < t.phase_used(); ++c) {
+      s.bits.push_back(t.row_phase_bit(r, c));
+    }
+  }
+  return s;
+}
+
+template <typename Layout>
+class TableauLayoutTest : public ::testing::Test {};
+
+using Layouts =
+    ::testing::Types<RowMajorTableau, ColMajorTableau, BlockedTableau>;
+TYPED_TEST_SUITE(TableauLayoutTest, Layouts);
+
+TYPED_TEST(TableauLayoutTest, IdentityInitialization) {
+  TypeParam t(5, 3);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t q = 0; q < 5; ++q) {
+      EXPECT_EQ(t.x_bit(t.shape().destab_row(i), q), i == q);
+      EXPECT_FALSE(t.z_bit(t.shape().destab_row(i), q));
+      EXPECT_EQ(t.z_bit(t.shape().stab_row(i), q), i == q);
+      EXPECT_FALSE(t.x_bit(t.shape().stab_row(i), q));
+    }
+    EXPECT_FALSE(t.row_phase_bit(t.shape().destab_row(i), 0));
+    EXPECT_FALSE(t.row_phase_bit(t.shape().stab_row(i), 0));
+  }
+}
+
+TYPED_TEST(TableauLayoutTest, ModeSwitchPreservesContent) {
+  TypeParam t(67, 5);  // crosses one 64-bit word boundary
+  t.prepare_column_mode();
+  t.gate_h(0);
+  t.gate_cnot(0, 66);
+  t.gate_s(33);
+  const Snapshot before = snapshot(t);
+  t.prepare_row_mode();
+  EXPECT_EQ(snapshot(t), before);
+  t.prepare_column_mode();
+  EXPECT_EQ(snapshot(t), before);
+  // Idempotent switches.
+  t.prepare_column_mode();
+  EXPECT_EQ(snapshot(t), before);
+}
+
+TYPED_TEST(TableauLayoutTest, HGateSwapsXAndZ) {
+  TypeParam t(3, 1);
+  t.prepare_column_mode();
+  t.gate_h(1);
+  // Destabilizer 1 was X_1 -> becomes Z_1; stabilizer 1 was Z_1 -> X_1.
+  EXPECT_TRUE(t.z_bit(t.shape().destab_row(1), 1));
+  EXPECT_FALSE(t.x_bit(t.shape().destab_row(1), 1));
+  EXPECT_TRUE(t.x_bit(t.shape().stab_row(1), 1));
+  EXPECT_FALSE(t.z_bit(t.shape().stab_row(1), 1));
+  // Other qubits untouched.
+  EXPECT_TRUE(t.x_bit(t.shape().destab_row(0), 0));
+  EXPECT_TRUE(t.z_bit(t.shape().stab_row(2), 2));
+}
+
+TYPED_TEST(TableauLayoutTest, SOnYGivesPhaseFlip) {
+  // S: Y -> -X. Build Y on stabilizer row via H then S (Z -> X -> Y).
+  TypeParam t(1, 1);
+  t.prepare_column_mode();
+  t.gate_h(0);  // stab: X
+  t.gate_s(0);  // stab: Y
+  t.gate_s(0);  // stab: S Y S† = -X
+  EXPECT_TRUE(t.x_bit(t.shape().stab_row(0), 0));
+  EXPECT_FALSE(t.z_bit(t.shape().stab_row(0), 0));
+  EXPECT_TRUE(t.row_phase_bit(t.shape().stab_row(0), 0));
+  // Two more S return to +X... S(-X) = -Y, S(-Y) = X.
+  t.gate_s(0);
+  t.gate_s(0);
+  EXPECT_FALSE(t.row_phase_bit(t.shape().stab_row(0), 0));
+}
+
+TYPED_TEST(TableauLayoutTest, PauliGatesFlipPhases) {
+  TypeParam t(2, 1);
+  t.prepare_column_mode();
+  // Stabilizer 0 is Z_0: X on qubit 0 anticommutes -> phase flip.
+  t.gate_x(0);
+  EXPECT_TRUE(t.row_phase_bit(t.shape().stab_row(0), 0));
+  EXPECT_FALSE(t.row_phase_bit(t.shape().stab_row(1), 0));
+  // Destabilizer 0 is X_0: Z on qubit 0 flips it.
+  t.gate_z(0);
+  EXPECT_TRUE(t.row_phase_bit(t.shape().destab_row(0), 0));
+  // Y on qubit 1 flips both X_1 destab and Z_1 stab.
+  t.gate_y(1);
+  EXPECT_TRUE(t.row_phase_bit(t.shape().destab_row(1), 0));
+  EXPECT_TRUE(t.row_phase_bit(t.shape().stab_row(1), 0));
+}
+
+TYPED_TEST(TableauLayoutTest, CnotPropagatesSupports) {
+  TypeParam t(2, 1);
+  t.prepare_column_mode();
+  t.gate_cnot(0, 1);
+  // X_0 -> X_0 X_1 (destab 0), Z_1 -> Z_0 Z_1 (stab 1).
+  EXPECT_TRUE(t.x_bit(t.shape().destab_row(0), 0));
+  EXPECT_TRUE(t.x_bit(t.shape().destab_row(0), 1));
+  EXPECT_TRUE(t.z_bit(t.shape().stab_row(1), 0));
+  EXPECT_TRUE(t.z_bit(t.shape().stab_row(1), 1));
+  // X_1 and Z_0 unchanged.
+  EXPECT_FALSE(t.x_bit(t.shape().destab_row(1), 0));
+  EXPECT_FALSE(t.z_bit(t.shape().stab_row(0), 1));
+}
+
+TYPED_TEST(TableauLayoutTest, PhaseColumnAllocationAndFaults) {
+  TypeParam t(4, 8);
+  EXPECT_EQ(t.phase_used(), 1u);
+  const std::size_t s1 = t.allocate_phase_column();
+  const std::size_t s2 = t.allocate_phase_column();
+  EXPECT_EQ(s1, 1u);
+  EXPECT_EQ(s2, 2u);
+  t.prepare_column_mode();
+  // X^{s1} on qubit 2: stabilizer Z_2 gets column s1 flipped.
+  const std::uint32_t cols1[1] = {static_cast<std::uint32_t>(s1)};
+  t.phase_xor_cols_where_z(2, cols1);
+  EXPECT_TRUE(t.row_phase_bit(t.shape().stab_row(2), s1));
+  EXPECT_FALSE(t.row_phase_bit(t.shape().stab_row(2), s2));
+  EXPECT_FALSE(t.row_phase_bit(t.shape().stab_row(1), s1));
+  // Z^{s2} on qubit 0: destabilizer X_0 gets column s2 flipped.
+  const std::uint32_t cols2[1] = {static_cast<std::uint32_t>(s2)};
+  t.phase_xor_cols_where_x(0, cols2);
+  EXPECT_TRUE(t.row_phase_bit(t.shape().destab_row(0), s2));
+  // Applying the same fault twice cancels.
+  t.phase_xor_cols_where_z(2, cols1);
+  EXPECT_FALSE(t.row_phase_bit(t.shape().stab_row(2), s1));
+}
+
+TYPED_TEST(TableauLayoutTest, PhaseCapacityExhaustionThrows) {
+  TypeParam t(2, 2);
+  t.allocate_phase_column();
+  EXPECT_THROW(t.allocate_phase_column(), std::invalid_argument);
+}
+
+TYPED_TEST(TableauLayoutTest, RowMultPhaseVectorXors) {
+  TypeParam t(3, 6);
+  const auto s1 = static_cast<std::uint32_t>(t.allocate_phase_column());
+  const auto s2 = static_cast<std::uint32_t>(t.allocate_phase_column());
+  t.prepare_row_mode();
+  const std::size_t r0 = t.shape().stab_row(0);  // Z_0
+  const std::size_t r1 = t.shape().stab_row(1);  // Z_1
+  t.row_phase_xor_bit(r0, s1);
+  t.row_phase_xor_bit(r1, s1);
+  t.row_phase_xor_bit(r1, s2);
+  t.row_mult(r0, r1);  // Z_0 * Z_1 -> Z_0 Z_1, phases XOR
+  EXPECT_TRUE(t.z_bit(r0, 0));
+  EXPECT_TRUE(t.z_bit(r0, 1));
+  EXPECT_FALSE(t.row_phase_bit(r0, s1));  // s1 ^ s1 = 0
+  EXPECT_TRUE(t.row_phase_bit(r0, s2));
+  // Source row unchanged.
+  EXPECT_TRUE(t.row_phase_bit(r1, s1));
+  EXPECT_TRUE(t.row_phase_bit(r1, s2));
+}
+
+TYPED_TEST(TableauLayoutTest, RowMultTracksImaginaryUnits) {
+  // Build stabilizer rows X (via H) and Y (via H;S) on two qubits, then
+  // multiply: Y_1 appears in row via gates; verify X*Y-type product sign.
+  TypeParam t(2, 1);
+  t.prepare_column_mode();
+  t.gate_h(0);  // stab0: X_0
+  t.gate_h(1);
+  t.gate_s(1);  // stab1: Y_1
+  t.prepare_row_mode();
+  const std::size_t r0 = t.shape().stab_row(0);
+  const std::size_t r1 = t.shape().stab_row(1);
+  // X_0 * Y_1 commuting, no phase change expected (disjoint supports).
+  t.row_mult(r0, r1);
+  EXPECT_TRUE(t.x_bit(r0, 0));
+  EXPECT_TRUE(t.x_bit(r0, 1));
+  EXPECT_TRUE(t.z_bit(r0, 1));
+  EXPECT_FALSE(t.row_phase_bit(r0, 0));
+}
+
+TYPED_TEST(TableauLayoutTest, RowCopyAndSetPlusZ) {
+  TypeParam t(4, 4);
+  const auto s1 = static_cast<std::uint32_t>(t.allocate_phase_column());
+  t.prepare_row_mode();
+  const std::size_t src = t.shape().stab_row(2);
+  const std::size_t dst = t.shape().destab_row(0);
+  t.row_phase_xor_bit(src, s1);
+  t.row_copy(dst, src);
+  EXPECT_TRUE(t.z_bit(dst, 2));
+  EXPECT_FALSE(t.x_bit(dst, 0));
+  EXPECT_TRUE(t.row_phase_bit(dst, s1));
+  t.row_set_plus_z(dst, 3);
+  EXPECT_TRUE(t.z_bit(dst, 3));
+  EXPECT_FALSE(t.z_bit(dst, 2));
+  EXPECT_FALSE(t.row_phase_bit(dst, s1));
+}
+
+TYPED_TEST(TableauLayoutTest, RowPhaseReadMatchesBits) {
+  TypeParam t(2, 200);
+  std::vector<std::uint32_t> set_cols = {1, 63, 64, 65, 130, 199};
+  for (std::uint32_t c = 1; c < 200; ++c) {
+    t.allocate_phase_column();
+  }
+  t.prepare_row_mode();
+  const std::size_t row = t.shape().stab_row(1);
+  for (const std::uint32_t c : set_cols) {
+    t.row_phase_xor_bit(row, c);
+  }
+  std::vector<Word> buffer(t.phase_words_used());
+  t.row_phase_read(row, buffer.data());
+  for (std::uint32_t c = 0; c < 200; ++c) {
+    const bool expected =
+        std::find(set_cols.begin(), set_cols.end(), c) != set_cols.end();
+    EXPECT_EQ(get_bit(buffer.data(), c), expected) << c;
+  }
+}
+
+TYPED_TEST(TableauLayoutTest, LazyPhaseGrowthAcrossModeSwitches) {
+  TypeParam t(3, 2000);
+  t.prepare_column_mode();
+  t.gate_h(0);
+  // Allocate a first batch, fault, then switch modes and grow further.
+  const auto s1 = static_cast<std::uint32_t>(t.allocate_phase_column());
+  const std::uint32_t cols1[1] = {s1};
+  t.phase_xor_cols_where_z(1, cols1);
+  t.prepare_row_mode();
+  for (int k = 0; k < 1500; ++k) {
+    t.allocate_phase_column();
+  }
+  const std::size_t row = t.shape().stab_row(1);
+  EXPECT_TRUE(t.row_phase_bit(row, s1));
+  t.row_phase_xor_bit(row, 1400);
+  t.prepare_column_mode();
+  t.prepare_row_mode();
+  EXPECT_TRUE(t.row_phase_bit(row, 1400));
+  EXPECT_TRUE(t.row_phase_bit(row, s1));
+  EXPECT_FALSE(t.row_phase_bit(row, 1399));
+}
+
+// Cross-layout equivalence under a long random operation sequence.
+TEST(TableauLayoutEquivalence, RandomOperationFuzz) {
+  constexpr std::size_t kQubits = 37;
+  constexpr int kSteps = 400;
+  RowMajorTableau a(kQubits, 64);
+  ColMajorTableau b(kQubits, 64);
+  BlockedTableau c(kQubits, 64);
+  Rng rng(2024);
+  std::size_t allocated = 1;
+
+  const auto apply_all = [&](auto&& fn) {
+    fn(a);
+    fn(b);
+    fn(c);
+  };
+
+  for (int step = 0; step < kSteps; ++step) {
+    const std::uint64_t op = rng.next_below(12);
+    const auto q1 = static_cast<std::size_t>(rng.next_below(kQubits));
+    auto q2 = static_cast<std::size_t>(rng.next_below(kQubits - 1));
+    if (q2 >= q1) {
+      ++q2;
+    }
+    switch (op) {
+      case 0:
+        apply_all([&](auto& t) {
+          t.prepare_column_mode();
+          t.gate_h(q1);
+        });
+        break;
+      case 1:
+        apply_all([&](auto& t) {
+          t.prepare_column_mode();
+          t.gate_s(q1);
+        });
+        break;
+      case 2:
+        apply_all([&](auto& t) {
+          t.prepare_column_mode();
+          t.gate_cnot(q1, q2);
+        });
+        break;
+      case 3:
+        apply_all([&](auto& t) {
+          t.prepare_column_mode();
+          t.gate_cz(q1, q2);
+        });
+        break;
+      case 4:
+        apply_all([&](auto& t) {
+          t.prepare_column_mode();
+          t.gate_swap(q1, q2);
+        });
+        break;
+      case 5:
+        apply_all([&](auto& t) {
+          t.prepare_column_mode();
+          t.gate_sqrt_x(q1);
+        });
+        break;
+      case 6:
+        apply_all([&](auto& t) {
+          t.prepare_column_mode();
+          t.gate_x(q1);
+        });
+        break;
+      case 7: {
+        if (allocated < 63) {
+          apply_all([&](auto& t) { t.allocate_phase_column(); });
+          ++allocated;
+        }
+        const auto col = static_cast<std::uint32_t>(
+            rng.next_below(allocated));
+        const std::uint32_t cols[1] = {col};
+        if (rng.next_below(2) == 0) {
+          apply_all([&](auto& t) {
+            t.prepare_column_mode();
+            t.phase_xor_cols_where_z(q1, cols);
+          });
+        } else {
+          apply_all([&](auto& t) {
+            t.prepare_column_mode();
+            t.phase_xor_cols_where_x(q1, cols);
+          });
+        }
+        break;
+      }
+      case 8: {
+        // Row multiplication of two commuting stabilizer rows.
+        const std::size_t r1 = kQubits + q1;
+        const std::size_t r2 = kQubits + q2;
+        apply_all([&](auto& t) {
+          t.prepare_row_mode();
+          t.row_mult(r1, r2);
+        });
+        break;
+      }
+      case 9: {
+        apply_all([&](auto& t) {
+          t.prepare_row_mode();
+          t.row_copy(q1, kQubits + q2);
+        });
+        break;
+      }
+      case 10:
+        apply_all([&](auto& t) { t.prepare_row_mode(); });
+        break;
+      default:
+        apply_all([&](auto& t) { t.prepare_column_mode(); });
+        break;
+    }
+    if (step % 50 == 0 || step == kSteps - 1) {
+      const Snapshot sa = snapshot(a);
+      ASSERT_EQ(sa, snapshot(b)) << "col_major diverged at step " << step;
+      ASSERT_EQ(sa, snapshot(c)) << "blocked diverged at step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace symphase
+
+namespace symphase {
+namespace {
+
+// Tile-boundary sizes: identical measurement records across layouts when
+// driven by the same seed (same branch structure -> same RNG draws).
+class LayoutBoundaryTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LayoutBoundaryTest, RecordsAgreeAcrossLayouts) {
+  const std::size_t n = GetParam();
+  Circuit c(n);
+  // GHZ chain + scattered single-qubit gates + measurements around the
+  // word/tile boundaries.
+  c.append1(GateType::H, 0);
+  for (std::uint32_t q = 0; q + 1 < n; ++q) {
+    c.append2(GateType::CNOT, q, q + 1);
+  }
+  c.append1(GateType::S, static_cast<std::uint32_t>(n - 1));
+  c.append1(GateType::H, static_cast<std::uint32_t>(n / 2));
+  std::vector<std::uint32_t> measured = {
+      0, static_cast<std::uint32_t>(n / 2),
+      static_cast<std::uint32_t>(n - 1)};
+  c.append(GateType::M, measured);
+  c.append1(GateType::H, 1);
+  c.append1(GateType::M, 1);
+
+  StabilizerSimulator<RowMajorTableau> a(n, 99);
+  StabilizerSimulator<ColMajorTableau> b(n, 99);
+  StabilizerSimulator<BlockedTableau> d(n, 99);
+  a.run_circuit(c);
+  b.run_circuit(c);
+  d.run_circuit(c);
+  EXPECT_EQ(a.record(), b.record());
+  EXPECT_EQ(a.record(), d.record());
+  for (std::size_t i = 0; i < n; i += n / 7 + 1) {
+    EXPECT_EQ(a.stabilizer(i).to_string(), d.stabilizer(i).to_string());
+    EXPECT_EQ(b.stabilizer(i).to_string(), d.stabilizer(i).to_string());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BoundarySizes, LayoutBoundaryTest,
+                         ::testing::Values(63, 64, 65, 255, 256, 257, 511,
+                                           512, 513));
+
+TEST(LayoutBoundary, SymbolicExpressionsAgreeAtTileBoundary) {
+  // 513 qubits: rows span two 512-tile rows; the compiler must produce
+  // identical expressions in every layout.
+  Circuit c(513);
+  c.append1(GateType::H, 0);
+  for (std::uint32_t q = 0; q + 1 < 513; ++q) {
+    c.append2(GateType::CNOT, q, q + 1);
+  }
+  c.append(GateType::X_ERROR, {512}, 0.01);
+  c.append(GateType::M, {0, 256, 511, 512});
+  SymPhaseCompiler<RowMajorTableau> row(c);
+  SymPhaseCompiler<ColMajorTableau> col(c);
+  SymPhaseCompiler<BlockedTableau> blocked(c);
+  EXPECT_EQ(row.expressions(), col.expressions());
+  EXPECT_EQ(row.expressions(), blocked.expressions());
+}
+
+}  // namespace
+}  // namespace symphase

@@ -1,0 +1,157 @@
+#include "bitvec/transpose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace symphase {
+namespace {
+
+TEST(Transpose64, IdentityFixedPoint) {
+  std::uint64_t block[64];
+  for (int i = 0; i < 64; ++i) {
+    block[i] = std::uint64_t{1} << i;  // identity matrix
+  }
+  transpose_64x64(block);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(block[i], std::uint64_t{1} << i);
+  }
+}
+
+TEST(Transpose64, SingleBitMoves) {
+  std::uint64_t block[64] = {};
+  block[3] = std::uint64_t{1} << 17;  // bit (3, 17)
+  transpose_64x64(block);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(block[i], i == 17 ? (std::uint64_t{1} << 3) : 0u);
+  }
+}
+
+TEST(Transpose64, InvolutionOnRandom) {
+  Rng rng(1);
+  std::uint64_t block[64];
+  std::uint64_t original[64];
+  for (int i = 0; i < 64; ++i) {
+    original[i] = block[i] = rng.next_word();
+  }
+  transpose_64x64(block);
+  transpose_64x64(block);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(block[i], original[i]);
+  }
+}
+
+TEST(Transpose64, MatchesNaive) {
+  Rng rng(2);
+  std::uint64_t block[64];
+  std::uint64_t original[64];
+  for (int i = 0; i < 64; ++i) {
+    original[i] = block[i] = rng.next_word();
+  }
+  transpose_64x64(block);
+  for (int r = 0; r < 64; ++r) {
+    for (int c = 0; c < 64; ++c) {
+      const bool orig = (original[r] >> c) & 1;
+      const bool trans = (block[c] >> r) & 1;
+      ASSERT_EQ(orig, trans) << r << "," << c;
+    }
+  }
+}
+
+TEST(TransposeStrided, EquivalentToContiguous) {
+  Rng rng(3);
+  constexpr std::size_t kStride = 5;
+  std::vector<std::uint64_t> strided(64 * kStride, 0);
+  std::uint64_t contiguous[64];
+  for (int i = 0; i < 64; ++i) {
+    contiguous[i] = strided[static_cast<std::size_t>(i) * kStride] =
+        rng.next_word();
+  }
+  transpose_64x64(contiguous);
+  transpose_64x64_strided(strided.data(), kStride);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(strided[static_cast<std::size_t>(i) * kStride], contiguous[i]);
+  }
+}
+
+TEST(TransposeBitMatrix, RectangularMatchesNaive) {
+  Rng rng(4);
+  constexpr std::size_t wr = 2;  // 128 rows
+  constexpr std::size_t wc = 3;  // 192 cols
+  std::vector<std::uint64_t> in(128 * wc);
+  std::vector<std::uint64_t> out(192 * wr);
+  for (auto& w : in) {
+    w = rng.next_word();
+  }
+  transpose_bit_matrix(in.data(), wr, wc, out.data());
+  for (std::size_t r = 0; r < 128; ++r) {
+    for (std::size_t c = 0; c < 192; ++c) {
+      const bool a = get_bit(&in[r * wc], c);
+      const bool b = get_bit(&out[c * wr], r);
+      ASSERT_EQ(a, b) << r << "," << c;
+    }
+  }
+}
+
+class InplaceTransposeParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InplaceTransposeParam, MatchesNaiveAndInvolutes) {
+  const std::size_t w = GetParam();
+  const std::size_t dim = 64 * w;
+  Rng rng(w);
+  std::vector<std::uint64_t> data(dim * w);
+  for (auto& word : data) {
+    word = rng.next_word();
+  }
+  std::vector<std::uint64_t> original = data;
+  transpose_bit_matrix_inplace(data.data(), w);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      const bool a = get_bit(&original[r * w], c);
+      const bool b = get_bit(&data[c * w], r);
+      ASSERT_EQ(a, b) << r << "," << c;
+    }
+  }
+  transpose_bit_matrix_inplace(data.data(), w);
+  EXPECT_EQ(data, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, InplaceTransposeParam,
+                         ::testing::Values(1, 2, 3, 8));
+
+}  // namespace
+}  // namespace symphase
+
+namespace symphase {
+namespace {
+
+TEST(TransposeTile512, MatchesGenericInplace) {
+  Rng rng(99);
+  std::vector<std::uint64_t> a(512 * 8);
+  for (auto& w : a) {
+    w = rng.next_word();
+  }
+  std::vector<std::uint64_t> b = a;
+  transpose_tile512_inplace(a.data());
+  transpose_bit_matrix_inplace(b.data(), 8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TransposeTile512, Involution) {
+  Rng rng(100);
+  std::vector<std::uint64_t> a(512 * 8);
+  for (auto& w : a) {
+    w = rng.next_word();
+  }
+  const std::vector<std::uint64_t> original = a;
+  transpose_tile512_inplace(a.data());
+  EXPECT_NE(a, original);
+  transpose_tile512_inplace(a.data());
+  EXPECT_EQ(a, original);
+}
+
+}  // namespace
+}  // namespace symphase

@@ -1,0 +1,260 @@
+// symphase — command-line front end to the library.
+//
+//   symphase sample  CIRCUIT [--shots N] [--seed S]    sample measurements
+//   symphase detect  CIRCUIT [--shots N] [--seed S]    sample detectors (+ observables)
+//   symphase analyze CIRCUIT [--max-expr K]            stats + symbolic expressions
+//   symphase dem     CIRCUIT                           detector error model
+//   symphase gen     FAMILY [options]                  emit a circuit (text format)
+//
+// CIRCUIT is a file in the Stim-style text format, or "-" for stdin.
+// Samples print shot-major: one line of 0/1 per shot. `gen` families:
+//   surface    --distance D --rounds R --p-data P --p-gate P --p-meas P
+//   steane     --rounds R --p-data P --p-meas P
+//   repetition --distance D --rounds R --p-data P --p-gate P --p-meas P
+//   layered    --qubits N --layers L --cnot-pairs C --p-depolarize P
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage error.
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "circuit/surface_code.hpp"
+#include "core/symphase.hpp"
+#include "sampler/sample_writer.hpp"
+
+namespace {
+
+using namespace symphase;
+
+[[noreturn]] void usage(const std::string& detail = {}) {
+  if (!detail.empty()) {
+    std::cerr << "error: " << detail << "\n\n";
+  }
+  std::cerr <<
+      "usage:\n"
+      "  symphase sample  CIRCUIT [--shots N] [--seed S] [--format 01|hex|b8]\n"
+      "  symphase detect  CIRCUIT [--shots N] [--seed S] [--format 01|hex|b8|dets]\n"
+      "  symphase analyze CIRCUIT [--max-expr K]\n"
+      "  symphase dem     CIRCUIT\n"
+      "  symphase gen     surface|repetition|steane|layered [options]\n";
+  std::exit(2);
+}
+
+/// Trivial --key value option parser.
+class Options {
+ public:
+  Options(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        usage("unexpected argument '" + key + "'");
+      }
+      if (i + 1 >= argc) {
+        usage("missing value for " + key);
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  /// Called after the command consumed its options; rejects leftovers.
+  void finish() const {
+    for (const auto& [key, value] : values_) {
+      if (!consumed_.contains(key)) {
+        usage("unknown option --" + key);
+      }
+    }
+  }
+
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) {
+    consumed_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+
+  std::string get_string(const std::string& key, std::string fallback) {
+    consumed_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::move(fallback) : it->second;
+  }
+
+  double get_double(const std::string& key, double fallback) {
+    consumed_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> consumed_;
+};
+
+Circuit load_circuit(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream oss;
+    oss << std::cin.rdbuf();
+    return parse_circuit(oss.str());
+  }
+  return parse_circuit_file(path);
+}
+
+int cmd_sample(const std::string& path, Options& opt) {
+  const auto shots = opt.get_u64("shots", 1024);
+  const auto seed = opt.get_u64("seed", 0);
+  const SampleFormat format =
+      sample_format_from_name(opt.get_string("format", "01"));
+  if (format == SampleFormat::kDets) {
+    usage("dets format is for `symphase detect`");
+  }
+  const Circuit circuit = load_circuit(path);
+  const CompiledSampler sampler = CompiledSampler::compile(circuit);
+  write_samples(sampler.sample(shots, seed), format, std::cout);
+  return 0;
+}
+
+int cmd_detect(const std::string& path, Options& opt) {
+  const auto shots = opt.get_u64("shots", 1024);
+  const auto seed = opt.get_u64("seed", 0);
+  const Circuit circuit = load_circuit(path);
+  const CompiledSampler sampler = CompiledSampler::compile(circuit);
+  if (sampler.num_detectors() == 0 && sampler.num_observables() == 0) {
+    std::cerr << "error: circuit declares no detectors or observables; "
+                 "use `symphase sample`\n";
+    return 1;
+  }
+
+  const SampleFormat format =
+      sample_format_from_name(opt.get_string("format", "dets"));
+  const auto events = sampler.sample_detection_events(shots, seed);
+  // Concatenate detectors and observables per shot (detector-major rows
+  // first), then serialize shot-major.
+  BitMatrix joint(events.detectors.rows() + events.observables.rows(),
+                  shots);
+  for (std::size_t d = 0; d < events.detectors.rows(); ++d) {
+    joint.xor_words_into_row(
+        {events.detectors.row(d), events.detectors.words_per_row()}, d);
+  }
+  for (std::size_t k = 0; k < events.observables.rows(); ++k) {
+    joint.xor_words_into_row(
+        {events.observables.row(k), events.observables.words_per_row()},
+        events.detectors.rows() + k);
+  }
+  write_samples(joint, format, std::cout, events.detectors.rows());
+  return 0;
+}
+
+int cmd_analyze(const std::string& path, Options& opt) {
+  const auto max_expr = opt.get_u64("max-expr", 32);
+  const Circuit circuit = load_circuit(path);
+  const CircuitStats stats = circuit.stats();
+  const CompiledSampler sampler = CompiledSampler::compile(circuit);
+  std::cout << "qubits:        " << stats.num_qubits << '\n'
+            << "gates:         " << stats.num_gates << '\n'
+            << "measurements:  " << stats.num_measurements << '\n'
+            << "fault sites:   " << stats.num_noise_sites << '\n'
+            << "detectors:     " << sampler.num_detectors() << '\n'
+            << "observables:   " << sampler.num_observables() << '\n'
+            << "symbols:       " << sampler.num_symbols() << '\n'
+            << "expression nnz:" << ' ' << sampler.expression_nnz() << '\n';
+  const std::size_t shown =
+      std::min<std::size_t>(max_expr, sampler.num_measurements());
+  for (std::size_t k = 0; k < shown; ++k) {
+    std::cout << "m" << k << " = "
+              << expression_to_string(sampler.expressions()[k])
+              << (sampler.expressions()[k].was_random ? "   (coin)" : "")
+              << '\n';
+  }
+  if (shown < sampler.num_measurements()) {
+    std::cout << "... (" << sampler.num_measurements() - shown
+              << " more; raise --max-expr)\n";
+  }
+  return 0;
+}
+
+int cmd_dem(const std::string& path, Options& opt) {
+  (void)opt;
+  const Circuit circuit = load_circuit(path);
+  const CompiledSampler sampler = CompiledSampler::compile(circuit);
+  std::cout << sampler.error_model().to_text();
+  return 0;
+}
+
+int cmd_gen(const std::string& family, Options& opt) {
+  if (family == "surface") {
+    SurfaceCodeOptions sc;
+    sc.distance = opt.get_u64("distance", 3);
+    sc.rounds = opt.get_u64("rounds", 3);
+    sc.data_depolarization = opt.get_double("p-data", 0.0);
+    sc.gate_depolarization = opt.get_double("p-gate", 0.0);
+    sc.measurement_flip_probability = opt.get_double("p-meas", 0.0);
+    std::cout << surface_code_memory(sc).to_text();
+    return 0;
+  }
+  if (family == "repetition") {
+    RepetitionCodeOptions rc;
+    rc.distance = opt.get_u64("distance", 3);
+    rc.rounds = opt.get_u64("rounds", 3);
+    rc.data_error_probability = opt.get_double("p-data", 0.0);
+    rc.gate_error_probability = opt.get_double("p-gate", 0.0);
+    rc.measurement_error_probability = opt.get_double("p-meas", 0.0);
+    std::cout << repetition_code_memory(rc).to_text();
+    return 0;
+  }
+  if (family == "steane") {
+    SteaneCodeOptions st;
+    st.rounds = opt.get_u64("rounds", 3);
+    st.data_error_probability = opt.get_double("p-data", 0.0);
+    st.measurement_error_probability = opt.get_double("p-meas", 0.0);
+    std::cout << steane_code_memory(st).to_text();
+    return 0;
+  }
+  if (family == "layered") {
+    LayeredRandomCircuitOptions lc;
+    lc.num_qubits = opt.get_u64("qubits", 100);
+    lc.num_layers = opt.get_u64("layers", lc.num_qubits);
+    lc.cnot_pairs_per_layer = opt.get_u64("cnot-pairs", 5);
+    lc.depolarize_probability = opt.get_double("p-depolarize", 0.0);
+    Rng rng(opt.get_u64("seed", 2024));
+    std::cout << layered_random_circuit(lc, rng).to_text();
+    return 0;
+  }
+  usage("unknown family '" + family + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+  }
+  const std::string command = argv[1];
+  const std::string target = argv[2];
+  try {
+    Options opt(argc, argv, 3);
+    int code = 2;
+    if (command == "sample") {
+      code = cmd_sample(target, opt);
+    } else if (command == "detect") {
+      code = cmd_detect(target, opt);
+    } else if (command == "analyze") {
+      code = cmd_analyze(target, opt);
+    } else if (command == "dem") {
+      code = cmd_dem(target, opt);
+    } else if (command == "gen") {
+      code = cmd_gen(target, opt);
+    } else {
+      usage("unknown command '" + command + "'");
+    }
+    opt.finish();
+    return code;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
