@@ -62,9 +62,7 @@ BitMatrix BitMatrix::multiply(const BitMatrix& rhs) const {
         const auto k = static_cast<std::size_t>(std::countr_zero(bits));
         bits &= bits - 1;
         const Word* src = rhs.row(wi * kWordBits + k);
-        for (std::size_t i = 0; i < out.words_per_row_; ++i) {
-          dst[i] ^= src[i];
-        }
+        wide::xor_words(dst, src, out.words_per_row_);
       }
     }
   }
@@ -99,12 +97,8 @@ bool BitMatrix::operator==(const BitMatrix& other) const {
     return false;
   }
   for (std::size_t r = 0; r < rows_; ++r) {
-    const Word* a = row(r);
-    const Word* b = other.row(r);
-    for (std::size_t i = 0; i < words_for_bits(cols_); ++i) {
-      if (a[i] != b[i]) {
-        return false;
-      }
+    if (!wide::spans_equal(row(r), other.row(r), words_for_bits(cols_))) {
+      return false;
     }
   }
   return true;

@@ -17,6 +17,7 @@
 #include "common/bits.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/simd_word.hpp"
 
 namespace symphase {
 
@@ -79,65 +80,34 @@ class BitMatrix {
 
   /// row(dst) ^= row(src).
   void xor_row_into(std::size_t src, std::size_t dst) {
-    const Word* s = row(src);
-    Word* d = row(dst);
-    for (std::size_t i = 0; i < words_per_row_; ++i) {
-      d[i] ^= s[i];
-    }
+    wide::xor_words(row(dst), row(src), words_per_row_);
   }
 
   /// row(dst) ^= external word span (must cover words_per_row words).
   void xor_words_into_row(std::span<const Word> src, std::size_t dst) {
     SYMPHASE_ASSERT(src.size() >= words_per_row_);
-    Word* d = row(dst);
-    for (std::size_t i = 0; i < words_per_row_; ++i) {
-      d[i] ^= src[i];
-    }
+    wide::xor_words(row(dst), src.data(), words_per_row_);
   }
 
   void swap_rows(std::size_t a, std::size_t b) {
     if (a == b) {
       return;
     }
-    Word* ra = row(a);
-    Word* rb = row(b);
-    for (std::size_t i = 0; i < words_per_row_; ++i) {
-      std::swap(ra[i], rb[i]);
-    }
+    wide::swap_words(row(a), row(b), words_per_row_);
   }
 
   void clear_row(std::size_t r) {
-    Word* d = row(r);
-    for (std::size_t i = 0; i < words_per_row_; ++i) {
-      d[i] = 0;
-    }
+    wide::clear_words(row(r), words_per_row_);
   }
 
-  void clear_all() {
-    for (auto& w : data_) {
-      w = 0;
-    }
-  }
+  void clear_all() { wide::clear_words(data_.data(), data_.size()); }
 
   bool row_is_zero(std::size_t r) const {
-    const Word* d = row(r);
-    for (std::size_t i = 0; i < words_per_row_; ++i) {
-      if (d[i] != 0) {
-        return false;
-      }
-    }
-    return true;
+    return !wide::any_nonzero(row(r), words_per_row_);
   }
 
   std::size_t count_ones() const {
-    std::size_t total = 0;
-    for (std::size_t r = 0; r < rows_; ++r) {
-      const Word* d = row(r);
-      for (std::size_t i = 0; i < words_per_row_; ++i) {
-        total += static_cast<std::size_t>(popcount(d[i]));
-      }
-    }
-    return total;
+    return wide::count_ones(data_.data(), data_.size());
   }
 
   /// Exact transpose into a fresh (cols × rows) matrix.

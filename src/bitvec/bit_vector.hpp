@@ -15,6 +15,7 @@
 #include "common/aligned.hpp"
 #include "common/bits.hpp"
 #include "common/check.hpp"
+#include "common/simd_word.hpp"
 
 namespace symphase {
 
@@ -50,11 +51,7 @@ class BitVector {
 
   bool operator[](std::size_t bit) const { return get(bit); }
 
-  void clear_all() {
-    for (auto& w : words_) {
-      w = 0;
-    }
-  }
+  void clear_all() { wide::clear_words(words_.data(), words_.size()); }
 
   /// Grows (or shrinks) to `bits`; preserved bits keep their values, new
   /// bits are zero.
@@ -67,27 +64,19 @@ class BitVector {
   /// this ^= other. Sizes must match.
   BitVector& operator^=(const BitVector& other) {
     SYMPHASE_ASSERT(bits_ == other.bits_);
-    const Word* src = other.words_.data();
-    Word* dst = words_.data();
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      dst[i] ^= src[i];
-    }
+    wide::xor_words(words_.data(), other.words_.data(), words_.size());
     return *this;
   }
 
   BitVector& operator&=(const BitVector& other) {
     SYMPHASE_ASSERT(bits_ == other.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      words_[i] &= other.words_[i];
-    }
+    wide::and_words(words_.data(), other.words_.data(), words_.size());
     return *this;
   }
 
   BitVector& operator|=(const BitVector& other) {
     SYMPHASE_ASSERT(bits_ == other.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      words_[i] |= other.words_[i];
-    }
+    wide::or_words(words_.data(), other.words_.data(), words_.size());
     return *this;
   }
 
@@ -102,30 +91,16 @@ class BitVector {
 
   /// Number of set bits.
   std::size_t count_ones() const {
-    std::size_t total = 0;
-    for (Word w : words_) {
-      total += static_cast<std::size_t>(popcount(w));
-    }
-    return total;
+    return wide::count_ones(words_.data(), words_.size());
   }
 
-  bool any() const {
-    for (Word w : words_) {
-      if (w != 0) {
-        return true;
-      }
-    }
-    return false;
-  }
+  bool any() const { return wide::any_nonzero(words_.data(), words_.size()); }
 
   /// Parity of the AND with another vector: <this, other> over F2.
   bool dot(const BitVector& other) const {
     SYMPHASE_ASSERT(bits_ == other.bits_);
-    Word acc = 0;
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      acc ^= words_[i] & other.words_[i];
-    }
-    return parity(acc);
+    return parity(
+        wide::xor_and_fold(words_.data(), other.words_.data(), words_.size()));
   }
 
   /// Index of the lowest set bit, or size() if none.

@@ -35,30 +35,33 @@ BitMatrix SparseBitMatrix::multiply(const BitMatrix& rhs) const {
                      "sparse shape ?x" << cols_ << " does not compose with "
                                        << rhs.rows() << "x" << rhs.cols());
   BitMatrix out(rows(), rhs.cols());
+  multiply_word_range(rhs, out, 0, out.words_per_row());
+  return out;
+}
+
+void SparseBitMatrix::multiply_word_range(const BitMatrix& rhs, BitMatrix& out,
+                                          std::size_t word0,
+                                          std::size_t words) const {
+  SYMPHASE_CHECK_MSG(cols_ == rhs.rows(),
+                     "sparse shape ?x" << cols_ << " does not compose with "
+                                       << rhs.rows() << "x" << rhs.cols());
+  SYMPHASE_CHECK(out.rows() == rows() && out.cols() == rhs.cols());
+  SYMPHASE_CHECK(word0 + words <= out.words_per_row());
   // Copy-first accumulation: the first selected rhs row is written with
-  // plain stores (the fresh matrix is already zero, so rows with no
-  // entries need no work), further rows XOR on top. Halves the write
-  // traffic versus XOR-into-zero on the 1-entry rows that dominate
-  // compiled measurement expressions.
-  const std::size_t words = out.words_per_row();
+  // plain stores (rows with no entries need no work), further rows XOR
+  // on top. Halves the write traffic versus XOR-into-zero on the 1-entry
+  // rows that dominate compiled measurement expressions.
   for (std::size_t r = 0; r < rows(); ++r) {
     const auto& cols = rows_[r];
     if (cols.empty()) {
       continue;
     }
-    Word* dst = out.row(r);
-    const Word* first = rhs.row(cols[0]);
-    for (std::size_t i = 0; i < words; ++i) {
-      dst[i] = first[i];
-    }
+    Word* dst = out.row(r) + word0;
+    wide::copy_words(dst, rhs.row(cols[0]) + word0, words);
     for (std::size_t k = 1; k < cols.size(); ++k) {
-      const Word* src = rhs.row(cols[k]);
-      for (std::size_t i = 0; i < words; ++i) {
-        dst[i] ^= src[i];
-      }
+      wide::xor_words(dst, rhs.row(cols[k]) + word0, words);
     }
   }
-  return out;
 }
 
 void SparseBitMatrix::multiply_into(const BitMatrix& rhs,
@@ -71,10 +74,7 @@ void SparseBitMatrix::multiply_into(const BitMatrix& rhs,
   for (std::size_t r = 0; r < rows(); ++r) {
     Word* dst = out.row(r);
     for (std::uint32_t c : rows_[r]) {
-      const Word* src = rhs.row(c);
-      for (std::size_t i = 0; i < words; ++i) {
-        dst[i] ^= src[i];
-      }
+      wide::xor_words(dst, rhs.row(c), words);
     }
   }
 }

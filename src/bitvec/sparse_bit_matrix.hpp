@@ -72,6 +72,15 @@ class SparseBitMatrix {
   /// rows() × rhs.cols()) without allocating.
   void multiply_into(const BitMatrix& rhs, BitMatrix& out) const;
 
+  /// The product kernel restricted to words [word0, word0 + words) of
+  /// every row: overwrites that range of out with the XOR of the
+  /// corresponding rhs row ranges (rows with no entries are left
+  /// untouched — callers start from a zero matrix). Disjoint ranges
+  /// write disjoint memory, so the shot-sharded samplers run this
+  /// concurrently from several threads.
+  void multiply_word_range(const BitMatrix& rhs, BitMatrix& out,
+                           std::size_t word0, std::size_t words) const;
+
  private:
   std::size_t cols_ = 0;
   std::vector<std::vector<std::uint32_t>> rows_;

@@ -1,0 +1,79 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace symphase {
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  const std::size_t workers = std::min(threads, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        // Drain remaining items so sibling workers stop promptly.
+        next.store(count, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) {
+    try {
+      pool.emplace_back(worker);
+    } catch (const std::system_error&) {
+      // Thread creation can fail under resource limits; whatever was
+      // spawned keeps draining items and the calling thread picks up the
+      // rest below, so this degrades to fewer workers instead of
+      // terminating on a joinable-thread unwind.
+      break;
+    }
+  }
+  worker();
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace symphase

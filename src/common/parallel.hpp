@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Minimal work-sharing primitive for the shot-sharded samplers.
+///
+/// The samplers split the shot axis into fixed-size, word-aligned shards
+/// and process each shard independently (own RNG stream, disjoint output
+/// words). parallel_for runs those shards across a caller-bounded number
+/// of worker threads. Because the shard decomposition and each shard's
+/// RNG stream depend only on the problem size and seed — never on the
+/// thread count or the dynamic item→thread mapping — the combined result
+/// is bit-identical for any number of threads.
+
+#include <cstddef>
+#include <functional>
+
+namespace symphase {
+
+/// Shot-shard width shared by every sampler: 128 words = 8192 shots.
+/// One 100-qubit frame shard stays L2-resident (~1 KiB per qubit row per
+/// frame matrix); small enough that modest batches still fan out across
+/// cores, large enough that per-shard fixed costs (circuit re-traversal,
+/// RNG setup) stay negligible. Part of a seed's output format: changing
+/// it re-partitions the per-shard RNG streams.
+inline constexpr std::size_t kSampleShardWords = 128;
+
+/// Resolves a requested thread count: `requested` if nonzero, otherwise
+/// the hardware concurrency (at least 1).
+std::size_t resolve_thread_count(std::size_t requested);
+
+/// Runs body(i) for every i in [0, count) using at most `threads` worker
+/// threads (capped at `count`). Items are claimed dynamically from a
+/// shared counter, so callers must make each item's result independent of
+/// which thread runs it. Runs inline (no threads spawned) when the cap or
+/// the item count is <= 1. The first exception thrown by any item is
+/// rethrown on the calling thread after all workers join.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace symphase

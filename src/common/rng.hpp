@@ -90,9 +90,22 @@ class Rng {
 
   /// Derives an independent child generator; used to give each subsystem
   /// (reference sampler, frame sampler, symbol sampler) its own stream.
+  /// Advances this generator's state.
   Rng fork(std::uint64_t stream_id) {
     std::uint64_t mix = (*this)() ^ (0x9E3779B97F4A7C15ull * (stream_id + 1));
     return Rng(mix);
+  }
+
+  /// Counter-based fork: derives the generator for logical stream
+  /// `stream_id` WITHOUT advancing this generator. Equal (state, id)
+  /// pairs always yield the same child, so work split into numbered
+  /// shards draws bit-identical randomness no matter how many threads
+  /// process the shards or in what order.
+  Rng stream(std::uint64_t stream_id) const {
+    std::uint64_t sm = state_[0] ^ rotl(state_[1], 16) ^ rotl(state_[2], 32) ^
+                       rotl(state_[3], 48);
+    sm ^= 0xD1B54A32D192ED03ull * (stream_id + 1);
+    return Rng(splitmix64(sm));
   }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/simd_word.hpp"
 #include "tableau/col_major_tableau.hpp"
 #include "tableau/row_major_tableau.hpp"
 
@@ -116,21 +117,21 @@ CompiledSampler CompiledSampler::compile(const Circuit& circuit,
 }
 
 CompiledSampler::DetectionEvents CompiledSampler::sample_detection_events(
-    std::size_t num_samples, std::uint64_t seed) const {
-  const BitMatrix joint = detector_sampler_->sample(num_samples, seed);
+    std::size_t num_samples, std::uint64_t seed,
+    std::size_t num_threads) const {
+  const BitMatrix joint =
+      detector_sampler_->sample(num_samples, seed, num_threads);
   DetectionEvents events{
       BitMatrix(num_detectors(), num_samples),
       BitMatrix(num_observables(), num_samples),
   };
   for (std::size_t d = 0; d < num_detectors(); ++d) {
-    for (std::size_t w = 0; w < joint.words_per_row(); ++w) {
-      events.detectors.row(d)[w] = joint.row(d)[w];
-    }
+    wide::copy_words(events.detectors.row(d), joint.row(d),
+                     joint.words_per_row());
   }
   for (std::size_t k = 0; k < num_observables(); ++k) {
-    for (std::size_t w = 0; w < joint.words_per_row(); ++w) {
-      events.observables.row(k)[w] = joint.row(num_detectors() + k)[w];
-    }
+    wide::copy_words(events.observables.row(k), joint.row(num_detectors() + k),
+                     joint.words_per_row());
   }
   return events;
 }
@@ -161,9 +162,9 @@ std::size_t CompiledSampler::expression_nnz() const {
   return total;
 }
 
-BitMatrix CompiledSampler::sample(std::size_t num_samples,
-                                  std::uint64_t seed) const {
-  return sampler_->sample(num_samples, seed);
+BitMatrix CompiledSampler::sample(std::size_t num_samples, std::uint64_t seed,
+                                  std::size_t num_threads) const {
+  return sampler_->sample(num_samples, seed, num_threads);
 }
 
 double CompiledSampler::outcome_probability(std::size_t k) const {

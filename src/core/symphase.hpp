@@ -59,8 +59,9 @@ class CompiledSampler {
   }
 
   /// num_measurements() x num_samples outcome matrix; deterministic in
-  /// `seed`.
-  BitMatrix sample(std::size_t num_samples, std::uint64_t seed) const;
+  /// `seed` and independent of `num_threads` (0 = hardware concurrency).
+  BitMatrix sample(std::size_t num_samples, std::uint64_t seed,
+                   std::size_t num_threads = 0) const;
 
   /// Exact marginal P(measurement k == 1).
   double outcome_probability(std::size_t k) const;
@@ -84,7 +85,8 @@ class CompiledSampler {
   /// Joint samples of all detectors and logical observables (same shot
   /// j in both matrices comes from one symbol assignment b_j).
   DetectionEvents sample_detection_events(std::size_t num_samples,
-                                          std::uint64_t seed) const;
+                                          std::uint64_t seed,
+                                          std::size_t num_threads = 0) const;
 
   /// Exact marginal P(detector d fires).
   double detector_probability(std::size_t d) const;

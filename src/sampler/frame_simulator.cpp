@@ -1,18 +1,12 @@
 #include "sampler/frame_simulator.hpp"
 
+#include <algorithm>
+
+#include "common/parallel.hpp"
+#include "common/simd_word.hpp"
 #include "tableau/stabilizer_simulator.hpp"
 
 namespace symphase {
-
-namespace {
-
-inline void xor_into(Word* dst, const Word* src, std::size_t count) {
-  for (std::size_t w = 0; w < count; ++w) {
-    dst[w] ^= src[w];
-  }
-}
-
-}  // namespace
 
 Circuit circuit_without_noise(const Circuit& circuit) {
   Circuit clean(circuit.num_qubits());
@@ -33,15 +27,12 @@ FrameSimulator::FrameSimulator(const Circuit& circuit, std::uint64_t seed)
   reference_ = reference_sim.record();
 }
 
-BitMatrix FrameSimulator::sample(std::size_t num_samples,
-                                 std::uint64_t seed) const {
+void FrameSimulator::sample_shard(BitMatrix& out, std::size_t word0,
+                                  std::size_t words, Rng rng) const {
   const std::size_t n = std::max<std::size_t>(circuit_.num_qubits(), 1);
-  const std::size_t shot_words = words_for_bits(num_samples);
-  BitMatrix xf(n, num_samples);
-  BitMatrix zf(n, num_samples);
-  BitMatrix out(num_measurements(), num_samples);
-  Rng rng(seed);
-  std::vector<Word> scratch(shot_words);
+  BitMatrix xf(n, words * kWordBits);
+  BitMatrix zf(n, words * kWordBits);
+  std::vector<Word> scratch(words);
 
   // Z-gauge initialization (as in Stim): each |0>-initialized qubit gets a
   // random Z frame. Z on |0> is a stabilizer, so this changes nothing
@@ -49,7 +40,7 @@ BitMatrix FrameSimulator::sample(std::size_t num_samples,
   // supplies exactly the per-shot randomness that "random" measurements
   // require.
   for (std::size_t q = 0; q < n; ++q) {
-    fill_random_words(rng, zf.row(q), shot_words);
+    fill_random_words(rng, zf.row(q), words);
   }
 
   std::size_t measure_index = 0;
@@ -57,43 +48,36 @@ BitMatrix FrameSimulator::sample(std::size_t num_samples,
   const auto record_measurement = [&](std::uint32_t q) {
     SYMPHASE_ASSERT(measure_index < reference_.size());
     const Word* x = xf.row(q);
-    Word* dst = out.row(measure_index);
+    Word* dst = out.row(measure_index) + word0;
+    // Tail columns beyond num_samples may pick up garbage here; the
+    // single masking pass at the end of sample() clears them.
     if (reference_[measure_index]) {
-      for (std::size_t w = 0; w < shot_words; ++w) {
-        dst[w] = ~x[w];
-      }
-      if (num_samples % kWordBits != 0) {
-        dst[shot_words - 1] &= tail_mask(num_samples);
-      }
+      wide::not_copy_words(dst, x, words);
     } else {
-      for (std::size_t w = 0; w < shot_words; ++w) {
-        dst[w] = x[w];
-      }
+      wide::copy_words(dst, x, words);
     }
     ++measure_index;
     // Collapse gauge: the measured qubit's Z frame is re-randomized.
-    Word* z = zf.row(q);
-    for (std::size_t w = 0; w < shot_words; ++w) {
-      z[w] ^= rng.next_word();
-    }
+    fill_random_words(rng, scratch.data(), words);
+    wide::xor_words(zf.row(q), scratch.data(), words);
   };
 
   const auto reset_frames = [&](std::uint32_t q) {
     // Reset clears the X frame; the Z frame is re-randomized (fresh
     // |0>-state gauge, same reasoning as at initialization).
     xf.clear_row(q);
-    fill_random_words(rng, zf.row(q), shot_words);
+    fill_random_words(rng, zf.row(q), words);
   };
 
   const auto apply_depolarize = [&](double p,
                                     std::span<const std::uint32_t> qubits) {
     // Event bits per shot; on event, a uniform non-identity Pauli pattern
     // over the involved qubits (matches SymbolValueSampler's channels).
-    fill_biased_words(rng, scratch.data(), shot_words, p);
+    fill_biased_words(rng, scratch.data(), words, p);
     const std::uint32_t members = static_cast<std::uint32_t>(
         2 * qubits.size());
     const std::uint64_t pattern_count = (std::uint64_t{1} << members) - 1;
-    for (std::size_t w = 0; w < shot_words; ++w) {
+    for (std::size_t w = 0; w < words; ++w) {
       Word bits = scratch[w];
       while (bits != 0) {
         const auto k = static_cast<std::size_t>(std::countr_zero(bits));
@@ -126,57 +110,39 @@ BitMatrix FrameSimulator::sample(std::size_t num_samples,
         break;
       case GateType::H:
         for (const std::uint32_t q : inst.targets) {
-          Word* x = xf.row(q);
-          Word* z = zf.row(q);
-          for (std::size_t w = 0; w < shot_words; ++w) {
-            std::swap(x[w], z[w]);
-          }
+          wide::swap_words(xf.row(q), zf.row(q), words);
         }
         break;
       case GateType::S:
       case GateType::S_DAG:
         // Frames ignore signs: X -> ±Y means z ^= x.
         for (const std::uint32_t q : inst.targets) {
-          Word* x = xf.row(q);
-          Word* z = zf.row(q);
-          for (std::size_t w = 0; w < shot_words; ++w) {
-            z[w] ^= x[w];
-          }
+          wide::xor_words(zf.row(q), xf.row(q), words);
         }
         break;
       case GateType::SQRT_X:
       case GateType::SQRT_X_DAG:
       case GateType::H_YZ:
         for (const std::uint32_t q : inst.targets) {
-          Word* x = xf.row(q);
-          Word* z = zf.row(q);
-          for (std::size_t w = 0; w < shot_words; ++w) {
-            x[w] ^= z[w];
-          }
+          wide::xor_words(xf.row(q), zf.row(q), words);
         }
         break;
       case GateType::CNOT:
         for (std::size_t i = 0; i < inst.targets.size(); i += 2) {
-          Word* xc = xf.row(inst.targets[i]);
-          Word* zc = zf.row(inst.targets[i]);
-          Word* xt = xf.row(inst.targets[i + 1]);
-          Word* zt = zf.row(inst.targets[i + 1]);
-          for (std::size_t w = 0; w < shot_words; ++w) {
-            xt[w] ^= xc[w];
-            zc[w] ^= zt[w];
-          }
+          wide::xor_words(xf.row(inst.targets[i + 1]),
+                          xf.row(inst.targets[i]), words);
+          wide::xor_words(zf.row(inst.targets[i]),
+                          zf.row(inst.targets[i + 1]), words);
         }
         break;
       case GateType::CZ:
         for (std::size_t i = 0; i < inst.targets.size(); i += 2) {
-          Word* xa = xf.row(inst.targets[i]);
           Word* za = zf.row(inst.targets[i]);
-          Word* xb = xf.row(inst.targets[i + 1]);
           Word* zb = zf.row(inst.targets[i + 1]);
-          for (std::size_t w = 0; w < shot_words; ++w) {
-            za[w] ^= xb[w];
-            zb[w] ^= xa[w];
-          }
+          const Word* xa = xf.row(inst.targets[i]);
+          const Word* xb = xf.row(inst.targets[i + 1]);
+          wide::xor_words(za, xb, words);
+          wide::xor_words(zb, xa, words);
         }
         break;
       case GateType::SWAP:
@@ -205,20 +171,17 @@ BitMatrix FrameSimulator::sample(std::size_t num_samples,
                                  << " exceeds the measurement record");
           const std::size_t idx = measure_index - lookback;
           const std::uint32_t q = inst.targets[i + 1];
-          const Word* recorded = out.row(idx);
-          const Word ref_mask = reference_[idx] ? ~Word{0} : Word{0};
+          const Word* recorded = out.row(idx) + word0;
+          const bool ref = reference_[idx];
           const bool flip_x = inst.type != GateType::COND_Z;
           const bool flip_z = inst.type != GateType::COND_X;
-          Word* x = xf.row(q);
-          Word* z = zf.row(q);
-          for (std::size_t w = 0; w < shot_words; ++w) {
-            const Word f = recorded[w] ^ ref_mask;
-            if (flip_x) {
-              x[w] ^= f;
-            }
-            if (flip_z) {
-              z[w] ^= f;
-            }
+          if (flip_x) {
+            (ref ? wide::xor_not_words : wide::xor_words)(xf.row(q), recorded,
+                                                          words);
+          }
+          if (flip_z) {
+            (ref ? wide::xor_not_words : wide::xor_words)(zf.row(q), recorded,
+                                                          words);
           }
         }
         break;
@@ -235,24 +198,21 @@ BitMatrix FrameSimulator::sample(std::size_t num_samples,
         break;
       case GateType::X_ERROR:
         for (const std::uint32_t q : inst.targets) {
-          fill_biased_words(rng, scratch.data(), shot_words,
-                            inst.probability);
-          xor_into(xf.row(q), scratch.data(), shot_words);
+          fill_biased_words(rng, scratch.data(), words, inst.probability);
+          wide::xor_words(xf.row(q), scratch.data(), words);
         }
         break;
       case GateType::Z_ERROR:
         for (const std::uint32_t q : inst.targets) {
-          fill_biased_words(rng, scratch.data(), shot_words,
-                            inst.probability);
-          xor_into(zf.row(q), scratch.data(), shot_words);
+          fill_biased_words(rng, scratch.data(), words, inst.probability);
+          wide::xor_words(zf.row(q), scratch.data(), words);
         }
         break;
       case GateType::Y_ERROR:
         for (const std::uint32_t q : inst.targets) {
-          fill_biased_words(rng, scratch.data(), shot_words,
-                            inst.probability);
-          xor_into(xf.row(q), scratch.data(), shot_words);
-          xor_into(zf.row(q), scratch.data(), shot_words);
+          fill_biased_words(rng, scratch.data(), words, inst.probability);
+          wide::xor_words(xf.row(q), scratch.data(), words);
+          wide::xor_words(zf.row(q), scratch.data(), words);
         }
         break;
       case GateType::DEPOLARIZE1:
@@ -270,9 +230,30 @@ BitMatrix FrameSimulator::sample(std::size_t num_samples,
     }
   }
   SYMPHASE_ASSERT(measure_index == reference_.size());
+}
 
-  // Mask tail columns so popcount-based consumers see exact counts.
-  if (num_samples % kWordBits != 0 && shot_words > 0) {
+BitMatrix FrameSimulator::sample(std::size_t num_samples, std::uint64_t seed,
+                                 std::size_t num_threads) const {
+  BitMatrix out(num_measurements(), num_samples);
+  if (num_samples == 0) {
+    return out;
+  }
+  const std::size_t shot_words = words_for_bits(num_samples);
+  const std::size_t num_shards = ceil_div(shot_words, kShardWords);
+  const Rng root(seed);
+
+  parallel_for(num_shards, resolve_thread_count(num_threads),
+               [&](std::size_t shard) {
+                 const std::size_t word0 = shard * kShardWords;
+                 const std::size_t words =
+                     std::min(kShardWords, shot_words - word0);
+                 sample_shard(out, word0, words, root.stream(shard));
+               });
+
+  // Single masking pass: clears both the tail columns beyond num_samples
+  // and whatever record_measurement left in them, so popcount-based
+  // consumers see exact counts.
+  if (num_samples % kWordBits != 0) {
     const Word mask = tail_mask(num_samples);
     for (std::size_t r = 0; r < out.rows(); ++r) {
       out.row(r)[shot_words - 1] &= mask;
@@ -282,8 +263,9 @@ BitMatrix FrameSimulator::sample(std::size_t num_samples,
 }
 
 FrameSimulator::DetectionEvents FrameSimulator::sample_detection_events(
-    std::size_t num_samples, std::uint64_t seed) const {
-  const BitMatrix measurements = sample(num_samples, seed);
+    std::size_t num_samples, std::uint64_t seed,
+    std::size_t num_threads) const {
+  const BitMatrix measurements = sample(num_samples, seed, num_threads);
   const DetectorLayout layout = resolve_detectors(circuit_);
   DetectionEvents events{
       BitMatrix(layout.detectors.size(), num_samples),

@@ -16,12 +16,21 @@
 /// measurement or reset the Z-frame of the touched qubit is randomized
 /// (measurement collapse makes the relative phase a fresh gauge), which
 /// matters if the qubit later re-enters coherent dynamics.
+///
+/// Sampling is shot-sharded: the shot axis is cut into fixed-size,
+/// word-aligned shards (kShardWords words = kShardWords*64 shots each),
+/// every shard propagates its own frames with an independent
+/// counter-based RNG stream (Rng::stream(shard)), and shards write
+/// disjoint word ranges of the output. The shard decomposition depends
+/// only on num_samples, so results are bit-identical for any thread
+/// count.
 
 #include <cstdint>
 #include <vector>
 
 #include "bitvec/bit_matrix.hpp"
 #include "circuit/circuit.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace symphase {
@@ -39,11 +48,16 @@ class FrameSimulator {
   std::size_t num_measurements() const { return reference_.size(); }
   const std::vector<bool>& reference_record() const { return reference_; }
 
+  /// Shots per shard (library-wide constant; see common/parallel.hpp).
+  static constexpr std::size_t kShardWords = kSampleShardWords;
+
   /// Generates `num_samples` joint samples of all measurements by
   /// propagating that many frames through the circuit (one traversal per
-  /// call). Output: num_measurements x num_samples, same convention as
-  /// SymPhaseSampler::sample. Deterministic in `seed`.
-  BitMatrix sample(std::size_t num_samples, std::uint64_t seed) const;
+  /// shard per call). Output: num_measurements x num_samples, same
+  /// convention as SymPhaseSampler::sample. Deterministic in `seed` and
+  /// independent of `num_threads` (0 = hardware concurrency).
+  BitMatrix sample(std::size_t num_samples, std::uint64_t seed,
+                   std::size_t num_threads = 0) const;
 
   struct DetectionEvents {
     BitMatrix detectors;
@@ -52,9 +66,16 @@ class FrameSimulator {
   /// Samples measurements, then folds them through the circuit's
   /// DETECTOR / OBSERVABLE_INCLUDE annotations (XOR of record rows).
   DetectionEvents sample_detection_events(std::size_t num_samples,
-                                          std::uint64_t seed) const;
+                                          std::uint64_t seed,
+                                          std::size_t num_threads = 0) const;
 
  private:
+  /// Propagates frames for the shard covering output words
+  /// [word0, word0 + words) of every measurement row. `rng` is the
+  /// shard's private stream.
+  void sample_shard(BitMatrix& out, std::size_t word0, std::size_t words,
+                    Rng rng) const;
+
   Circuit circuit_;  // owned copy: the sampler re-traverses it per batch
   std::vector<bool> reference_;
 };

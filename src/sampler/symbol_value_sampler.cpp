@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/parallel.hpp"
+#include "common/simd_word.hpp"
+
 namespace symphase {
 
 SymbolValueSampler::SymbolValueSampler(const SymbolTable& table,
@@ -33,18 +36,15 @@ std::uint32_t SymbolValueSampler::row_of(std::uint32_t symbol) const {
   return row_lookup_[symbol] - 1;
 }
 
-BitMatrix SymbolValueSampler::generate(std::size_t num_samples,
-                                       std::uint64_t seed) const {
-  BitMatrix b(num_rows(), num_samples);
-  Rng rng(seed);
-  const std::size_t shot_words = words_for_bits(num_samples);
-
-  // Row pointer for a group member, or nullptr if that member is unused.
+void SymbolValueSampler::generate_shard(BitMatrix& b, std::size_t word0,
+                                        std::size_t words, Rng rng) const {
+  // Row pointer for a group member (offset to this shard's word range),
+  // or nullptr if that member is unused.
   const auto member_row = [&](std::uint32_t symbol) -> Word* {
     if (symbol >= row_lookup_.size() || row_lookup_[symbol] == 0) {
       return nullptr;
     }
-    return b.row(row_lookup_[symbol] - 1);
+    return b.row(row_lookup_[symbol] - 1) + word0;
   };
 
   for (const std::uint32_t gi : active_groups_) {
@@ -53,21 +53,19 @@ BitMatrix SymbolValueSampler::generate(std::size_t num_samples,
       case SymbolGroupKind::kConstant: {
         Word* row = member_row(group.first_symbol);
         SYMPHASE_ASSERT(row != nullptr);
-        for (std::size_t w = 0; w < shot_words; ++w) {
-          row[w] = ~Word{0};
-        }
+        wide::fill_words(row, ~Word{0}, words);
         break;
       }
       case SymbolGroupKind::kCoin: {
         Word* row = member_row(group.first_symbol);
         SYMPHASE_ASSERT(row != nullptr);
-        fill_random_words(rng, row, shot_words);
+        fill_random_words(rng, row, words);
         break;
       }
       case SymbolGroupKind::kBernoulli: {
         Word* row = member_row(group.first_symbol);
         SYMPHASE_ASSERT(row != nullptr);
-        fill_biased_words(rng, row, shot_words, group.probability);
+        fill_biased_words(rng, row, words, group.probability);
         break;
       }
       case SymbolGroupKind::kDepolarize1:
@@ -82,9 +80,9 @@ BitMatrix SymbolValueSampler::generate(std::size_t num_samples,
         for (std::uint32_t k = 0; k < member_count; ++k) {
           rows[k] = member_row(group.first_symbol + k);
         }
-        std::vector<Word> events(shot_words);
-        fill_biased_words(rng, events.data(), shot_words, group.probability);
-        for (std::size_t w = 0; w < shot_words; ++w) {
+        std::vector<Word> events(words);
+        fill_biased_words(rng, events.data(), words, group.probability);
+        for (std::size_t w = 0; w < words; ++w) {
           Word bits = events[w];
           while (bits != 0) {
             const auto k = static_cast<std::size_t>(std::countr_zero(bits));
@@ -101,9 +99,29 @@ BitMatrix SymbolValueSampler::generate(std::size_t num_samples,
       }
     }
   }
+}
+
+BitMatrix SymbolValueSampler::generate(std::size_t num_samples,
+                                       std::uint64_t seed,
+                                       std::size_t num_threads) const {
+  BitMatrix b(num_rows(), num_samples);
+  if (num_samples == 0 || num_rows() == 0) {
+    return b;
+  }
+  const std::size_t shot_words = words_for_bits(num_samples);
+  const std::size_t num_shards = ceil_div(shot_words, kShardWords);
+  const Rng root(seed);
+
+  parallel_for(num_shards, resolve_thread_count(num_threads),
+               [&](std::size_t shard) {
+                 const std::size_t word0 = shard * kShardWords;
+                 const std::size_t words =
+                     std::min(kShardWords, shot_words - word0);
+                 generate_shard(b, word0, words, root.stream(shard));
+               });
 
   // Mask tail bits beyond num_samples so downstream popcounts are exact.
-  if (num_samples % kWordBits != 0 && shot_words > 0) {
+  if (num_samples % kWordBits != 0) {
     const Word mask = tail_mask(num_samples);
     for (std::size_t r = 0; r < b.rows(); ++r) {
       b.row(r)[shot_words - 1] &= mask;

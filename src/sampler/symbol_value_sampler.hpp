@@ -14,11 +14,16 @@
 /// footprint proportional to the useful work. Correlated groups
 /// (depolarize) are sampled jointly; unused members of a used group are
 /// simply not materialized.
+///
+/// Generation is shot-sharded like FrameSimulator::sample: fixed
+/// word-aligned shards of the shot axis, one counter-based RNG stream per
+/// shard, so the matrix is bit-identical for any thread count.
 
 #include <cstdint>
 #include <vector>
 
 #include "bitvec/bit_matrix.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "symbolic/symbol_table.hpp"
 
@@ -38,15 +43,25 @@ class SymbolValueSampler {
   /// fails if the symbol is not in the used set.
   std::uint32_t row_of(std::uint32_t symbol) const;
 
+  /// Shots per shard (library-wide constant; see common/parallel.hpp).
+  static constexpr std::size_t kShardWords = kSampleShardWords;
+
   /// Generates B: one row per used symbol, `num_samples` columns.
-  /// Deterministic in `seed`.
-  BitMatrix generate(std::size_t num_samples, std::uint64_t seed) const;
+  /// Deterministic in `seed` and independent of `num_threads`
+  /// (0 = hardware concurrency).
+  BitMatrix generate(std::size_t num_samples, std::uint64_t seed,
+                     std::size_t num_threads = 0) const;
 
   const std::vector<std::uint32_t>& used_symbols() const {
     return used_symbols_;
   }
 
  private:
+  /// Fills columns [word0*64, word0*64 + words*64) of every used row from
+  /// the shard's private stream.
+  void generate_shard(BitMatrix& b, std::size_t word0, std::size_t words,
+                      Rng rng) const;
+
   const SymbolTable& table_;
   std::vector<std::uint32_t> used_symbols_;
   // symbol id -> row index + 1 (0 = unused). Sized to max used + 1.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.hpp"
+
 namespace symphase {
 
 std::vector<std::uint32_t> SymPhaseSampler::collect_used_symbols(
@@ -36,13 +38,25 @@ SymPhaseSampler::SymPhaseSampler(
   }
 }
 
-BitMatrix SymPhaseSampler::sample(std::size_t num_samples,
-                                  std::uint64_t seed) const {
-  const BitMatrix b = values_.generate(num_samples, seed);
-  if (strategy_ == MultiplyStrategy::kSparse) {
-    return expr_matrix_.multiply(b);
+BitMatrix SymPhaseSampler::sample(std::size_t num_samples, std::uint64_t seed,
+                                  std::size_t num_threads) const {
+  const std::size_t threads = resolve_thread_count(num_threads);
+  const BitMatrix b = values_.generate(num_samples, seed, threads);
+  if (strategy_ == MultiplyStrategy::kDense) {
+    return expr_matrix_.to_dense().multiply(b);
   }
-  return expr_matrix_.to_dense().multiply(b);
+  // Sparse M·B, shot-sharded: shards own disjoint word ranges of every
+  // output row, so the product parallelizes without contention (and is
+  // trivially independent of the thread count — no RNG involved).
+  BitMatrix out(expr_matrix_.rows(), num_samples);
+  const std::size_t shot_words = words_for_bits(num_samples);
+  const std::size_t num_shards = ceil_div(shot_words, kSampleShardWords);
+  parallel_for(num_shards, threads, [&](std::size_t shard) {
+    const std::size_t word0 = shard * kSampleShardWords;
+    const std::size_t words = std::min(kSampleShardWords, shot_words - word0);
+    expr_matrix_.multiply_word_range(b, out, word0, words);
+  });
+  return out;
 }
 
 double SymPhaseSampler::outcome_probability(std::size_t k) const {

@@ -41,8 +41,12 @@ class SymPhaseSampler {
 
   /// Generates `num_samples` joint samples of all measurements.
   /// Output: num_measurements x num_samples bit-matrix (row = one
-  /// measurement across shots). Deterministic in `seed`.
-  BitMatrix sample(std::size_t num_samples, std::uint64_t seed) const;
+  /// measurement across shots). Both the B generation and the sparse
+  /// M·B product are shot-sharded across worker threads; the result is
+  /// deterministic in `seed` and independent of `num_threads`
+  /// (0 = hardware concurrency).
+  BitMatrix sample(std::size_t num_samples, std::uint64_t seed,
+                   std::size_t num_threads = 0) const;
 
   /// Exact probability that measurement k reads 1, computed from the
   /// symbolic expression (independent groups combined exactly).

@@ -1,13 +1,20 @@
 #include "tableau/blocked_tableau.hpp"
 
 #include "bitvec/transpose.hpp"
+#include "common/simd_word.hpp"
 #include "tableau/row_kernels.hpp"
 
 namespace symphase {
 
 namespace {
+
 constexpr std::size_t kLine = BlockedTableau::kTileWordsPerLine;
-}
+
+// Every tile line is exactly one SIMD lane: the gate kernels below load a
+// full logical column (or row) segment as one WideWord per tile-row.
+static_assert(kLine == WideWord::kWords);
+
+}  // namespace
 
 BlockedTableau::BlockedTableau(std::size_t n, std::size_t phase_capacity)
     : shape_(n, /*col_align=*/kTileBits, phase_capacity),
@@ -68,13 +75,14 @@ void BlockedTableau::gate_h(std::size_t a) {
   ensure_col_oriented(z_col(a));
   ensure_col_oriented(phase_col(0));
   for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
-    Word* x = col_line(tr, x_col(a));
-    Word* z = col_line(tr, z_col(a));
-    Word* r = col_line(tr, phase_col(0));
-    for (std::size_t w = 0; w < kLine; ++w) {
-      r[w] ^= x[w] & z[w];
-      std::swap(x[w], z[w]);
-    }
+    Word* xp = col_line(tr, x_col(a));
+    Word* zp = col_line(tr, z_col(a));
+    Word* rp = col_line(tr, phase_col(0));
+    const WideWord x = WideWord::load(xp);
+    const WideWord z = WideWord::load(zp);
+    (WideWord::load(rp) ^ (x & z)).store(rp);
+    z.store(xp);
+    x.store(zp);
   }
 }
 
@@ -84,13 +92,13 @@ void BlockedTableau::gate_s(std::size_t a) {
   ensure_col_oriented(z_col(a));
   ensure_col_oriented(phase_col(0));
   for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
-    Word* x = col_line(tr, x_col(a));
-    Word* z = col_line(tr, z_col(a));
-    Word* r = col_line(tr, phase_col(0));
-    for (std::size_t w = 0; w < kLine; ++w) {
-      r[w] ^= x[w] & z[w];
-      z[w] ^= x[w];
-    }
+    Word* xp = col_line(tr, x_col(a));
+    Word* zp = col_line(tr, z_col(a));
+    Word* rp = col_line(tr, phase_col(0));
+    const WideWord x = WideWord::load(xp);
+    const WideWord z = WideWord::load(zp);
+    (WideWord::load(rp) ^ (x & z)).store(rp);
+    (z ^ x).store(zp);
   }
 }
 
@@ -100,13 +108,13 @@ void BlockedTableau::gate_s_dag(std::size_t a) {
   ensure_col_oriented(z_col(a));
   ensure_col_oriented(phase_col(0));
   for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
-    Word* x = col_line(tr, x_col(a));
-    Word* z = col_line(tr, z_col(a));
-    Word* r = col_line(tr, phase_col(0));
-    for (std::size_t w = 0; w < kLine; ++w) {
-      r[w] ^= x[w] & ~z[w];
-      z[w] ^= x[w];
-    }
+    Word* xp = col_line(tr, x_col(a));
+    Word* zp = col_line(tr, z_col(a));
+    Word* rp = col_line(tr, phase_col(0));
+    const WideWord x = WideWord::load(xp);
+    const WideWord z = WideWord::load(zp);
+    (WideWord::load(rp) ^ andnot(z, x)).store(rp);
+    (z ^ x).store(zp);
   }
 }
 
@@ -116,13 +124,13 @@ void BlockedTableau::gate_sqrt_x(std::size_t a) {
   ensure_col_oriented(z_col(a));
   ensure_col_oriented(phase_col(0));
   for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
-    Word* x = col_line(tr, x_col(a));
-    Word* z = col_line(tr, z_col(a));
-    Word* r = col_line(tr, phase_col(0));
-    for (std::size_t w = 0; w < kLine; ++w) {
-      r[w] ^= ~x[w] & z[w];
-      x[w] ^= z[w];
-    }
+    Word* xp = col_line(tr, x_col(a));
+    Word* zp = col_line(tr, z_col(a));
+    Word* rp = col_line(tr, phase_col(0));
+    const WideWord x = WideWord::load(xp);
+    const WideWord z = WideWord::load(zp);
+    (WideWord::load(rp) ^ andnot(x, z)).store(rp);
+    (x ^ z).store(xp);
   }
 }
 
@@ -132,13 +140,13 @@ void BlockedTableau::gate_sqrt_x_dag(std::size_t a) {
   ensure_col_oriented(z_col(a));
   ensure_col_oriented(phase_col(0));
   for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
-    Word* x = col_line(tr, x_col(a));
-    Word* z = col_line(tr, z_col(a));
-    Word* r = col_line(tr, phase_col(0));
-    for (std::size_t w = 0; w < kLine; ++w) {
-      r[w] ^= x[w] & z[w];
-      x[w] ^= z[w];
-    }
+    Word* xp = col_line(tr, x_col(a));
+    Word* zp = col_line(tr, z_col(a));
+    Word* rp = col_line(tr, phase_col(0));
+    const WideWord x = WideWord::load(xp);
+    const WideWord z = WideWord::load(zp);
+    (WideWord::load(rp) ^ (x & z)).store(rp);
+    (x ^ z).store(xp);
   }
 }
 
@@ -148,13 +156,13 @@ void BlockedTableau::gate_h_yz(std::size_t a) {
   ensure_col_oriented(z_col(a));
   ensure_col_oriented(phase_col(0));
   for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
-    Word* x = col_line(tr, x_col(a));
-    Word* z = col_line(tr, z_col(a));
-    Word* r = col_line(tr, phase_col(0));
-    for (std::size_t w = 0; w < kLine; ++w) {
-      r[w] ^= x[w] & ~z[w];
-      x[w] ^= z[w];
-    }
+    Word* xp = col_line(tr, x_col(a));
+    Word* zp = col_line(tr, z_col(a));
+    Word* rp = col_line(tr, phase_col(0));
+    const WideWord x = WideWord::load(xp);
+    const WideWord z = WideWord::load(zp);
+    (WideWord::load(rp) ^ andnot(z, x)).store(rp);
+    (x ^ z).store(xp);
   }
 }
 
@@ -174,12 +182,10 @@ void BlockedTableau::gate_y(std::size_t a) {
   ensure_col_oriented(z_col(a));
   ensure_col_oriented(phase_col(0));
   for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
-    const Word* x = col_line(tr, x_col(a));
-    const Word* z = col_line(tr, z_col(a));
-    Word* r = col_line(tr, phase_col(0));
-    for (std::size_t w = 0; w < kLine; ++w) {
-      r[w] ^= x[w] ^ z[w];
-    }
+    const WideWord x = WideWord::load(col_line(tr, x_col(a)));
+    const WideWord z = WideWord::load(col_line(tr, z_col(a)));
+    Word* rp = col_line(tr, phase_col(0));
+    (WideWord::load(rp) ^ x ^ z).store(rp);
   }
 }
 
@@ -191,16 +197,18 @@ void BlockedTableau::gate_cnot(std::size_t c, std::size_t t) {
   ensure_col_oriented(z_col(t));
   ensure_col_oriented(phase_col(0));
   for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
-    Word* xc = col_line(tr, x_col(c));
-    Word* zc = col_line(tr, z_col(c));
-    Word* xt = col_line(tr, x_col(t));
-    Word* zt = col_line(tr, z_col(t));
-    Word* r = col_line(tr, phase_col(0));
-    for (std::size_t w = 0; w < kLine; ++w) {
-      r[w] ^= xc[w] & zt[w] & ~(xt[w] ^ zc[w]);
-      xt[w] ^= xc[w];
-      zc[w] ^= zt[w];
-    }
+    Word* xcp = col_line(tr, x_col(c));
+    Word* zcp = col_line(tr, z_col(c));
+    Word* xtp = col_line(tr, x_col(t));
+    Word* ztp = col_line(tr, z_col(t));
+    Word* rp = col_line(tr, phase_col(0));
+    const WideWord xc = WideWord::load(xcp);
+    const WideWord zc = WideWord::load(zcp);
+    const WideWord xt = WideWord::load(xtp);
+    const WideWord zt = WideWord::load(ztp);
+    (WideWord::load(rp) ^ andnot(xt ^ zc, xc & zt)).store(rp);
+    (xt ^ xc).store(xtp);
+    (zc ^ zt).store(zcp);
   }
 }
 
@@ -212,16 +220,18 @@ void BlockedTableau::gate_cz(std::size_t a, std::size_t b) {
   ensure_col_oriented(z_col(b));
   ensure_col_oriented(phase_col(0));
   for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
-    Word* xa = col_line(tr, x_col(a));
-    Word* za = col_line(tr, z_col(a));
-    Word* xb = col_line(tr, x_col(b));
-    Word* zb = col_line(tr, z_col(b));
-    Word* r = col_line(tr, phase_col(0));
-    for (std::size_t w = 0; w < kLine; ++w) {
-      r[w] ^= xa[w] & xb[w] & (za[w] ^ zb[w]);
-      za[w] ^= xb[w];
-      zb[w] ^= xa[w];
-    }
+    Word* xap = col_line(tr, x_col(a));
+    Word* zap = col_line(tr, z_col(a));
+    Word* xbp = col_line(tr, x_col(b));
+    Word* zbp = col_line(tr, z_col(b));
+    Word* rp = col_line(tr, phase_col(0));
+    const WideWord xa = WideWord::load(xap);
+    const WideWord za = WideWord::load(zap);
+    const WideWord xb = WideWord::load(xbp);
+    const WideWord zb = WideWord::load(zbp);
+    (WideWord::load(rp) ^ (xa & xb & (za ^ zb))).store(rp);
+    (za ^ xb).store(zap);
+    (zb ^ xa).store(zbp);
   }
 }
 
@@ -232,14 +242,8 @@ void BlockedTableau::gate_swap(std::size_t a, std::size_t b) {
   ensure_col_oriented(x_col(b));
   ensure_col_oriented(z_col(b));
   for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
-    Word* xa = col_line(tr, x_col(a));
-    Word* xb = col_line(tr, x_col(b));
-    Word* za = col_line(tr, z_col(a));
-    Word* zb = col_line(tr, z_col(b));
-    for (std::size_t w = 0; w < kLine; ++w) {
-      std::swap(xa[w], xb[w]);
-      std::swap(za[w], zb[w]);
-    }
+    wide::swap_words(col_line(tr, x_col(a)), col_line(tr, x_col(b)), kLine);
+    wide::swap_words(col_line(tr, z_col(a)), col_line(tr, z_col(b)), kLine);
   }
 }
 
@@ -252,12 +256,10 @@ void BlockedTableau::phase_xor_cols_where_z(
     ensure_col_oriented(phase_col(pc));
   }
   for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
-    const Word* z = col_line(tr, z_col(a));
+    const WideWord z = WideWord::load(col_line(tr, z_col(a)));
     for (const std::uint32_t pc : phase_cols) {
       Word* p = col_line(tr, phase_col(pc));
-      for (std::size_t w = 0; w < kLine; ++w) {
-        p[w] ^= z[w];
-      }
+      (WideWord::load(p) ^ z).store(p);
     }
   }
 }
@@ -271,12 +273,10 @@ void BlockedTableau::phase_xor_cols_where_x(
     ensure_col_oriented(phase_col(pc));
   }
   for (std::size_t tr = 0; tr < tile_rows_; ++tr) {
-    const Word* x = col_line(tr, x_col(a));
+    const WideWord x = WideWord::load(col_line(tr, x_col(a)));
     for (const std::uint32_t pc : phase_cols) {
       Word* p = col_line(tr, phase_col(pc));
-      for (std::size_t w = 0; w < kLine; ++w) {
-        p[w] ^= x[w];
-      }
+      (WideWord::load(p) ^ x).store(p);
     }
   }
 }
@@ -308,15 +308,9 @@ void BlockedTableau::row_mult(std::size_t dst, std::size_t src) {
 
   PhaseTally tally;
   for (std::size_t tc = 0; tc < xz_tiles; ++tc) {
-    Word* dx = row_line(dst, tc);
-    Word* dz = row_line(dst, tc + xz_tiles);
-    const Word* sx = row_line(src, tc);
-    const Word* sz = row_line(src, tc + xz_tiles);
-    for (std::size_t w = 0; w < kLine; ++w) {
-      tally.accumulate(dx[w], dz[w], sx[w], sz[w]);
-      dx[w] ^= sx[w];
-      dz[w] ^= sz[w];
-    }
+    rowsum_xor_accumulate(row_line(dst, tc), row_line(dst, tc + xz_tiles),
+                          row_line(src, tc), row_line(src, tc + xz_tiles),
+                          kLine, tally);
   }
   const int exponent = tally.i_exponent_mod4();
   SYMPHASE_ASSERT(exponent % 2 == 0);
@@ -324,9 +318,7 @@ void BlockedTableau::row_mult(std::size_t dst, std::size_t src) {
   const std::size_t phase_tile_base = shape_.phase_col_base() / kTileBits;
   const std::size_t live = live_tile_cols();
   for (std::size_t tc = phase_tile_base; tc < live; ++tc) {
-    Word* dp = row_line(dst, tc);
-    const Word* sp = row_line(src, tc);
-    xor_words(dp, sp, kLine);
+    wide::xor_words(row_line(dst, tc), row_line(src, tc), kLine);
   }
   if (exponent == 2) {
     row_line(dst, phase_tile_base)[0] ^= Word{1};
@@ -340,11 +332,7 @@ void BlockedTableau::row_copy(std::size_t dst, std::size_t src) {
   }
   const std::size_t live = live_tile_cols();
   for (std::size_t tc = 0; tc < live; ++tc) {
-    Word* d = row_line(dst, tc);
-    const Word* s = row_line(src, tc);
-    for (std::size_t w = 0; w < kLine; ++w) {
-      d[w] = s[w];
-    }
+    wide::copy_words(row_line(dst, tc), row_line(src, tc), kLine);
   }
 }
 
@@ -352,10 +340,7 @@ void BlockedTableau::row_clear(std::size_t row) {
   SYMPHASE_ASSERT(all_rows_ready());
   const std::size_t live = live_tile_cols();
   for (std::size_t tc = 0; tc < live; ++tc) {
-    Word* d = row_line(row, tc);
-    for (std::size_t w = 0; w < kLine; ++w) {
-      d[w] = 0;
-    }
+    wide::clear_words(row_line(row, tc), kLine);
   }
 }
 
@@ -386,10 +371,7 @@ void BlockedTableau::row_phase_clear(std::size_t row) {
   const std::size_t phase_tile_base = shape_.phase_col_base() / kTileBits;
   const std::size_t live = live_tile_cols();
   for (std::size_t tc = phase_tile_base; tc < live; ++tc) {
-    Word* line = row_line(row, tc);
-    for (std::size_t w = 0; w < kLine; ++w) {
-      line[w] = 0;
-    }
+    wide::clear_words(row_line(row, tc), kLine);
   }
 }
 

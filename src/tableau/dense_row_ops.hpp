@@ -24,16 +24,12 @@ inline void row_mult(BitMatrix& bits, const TableauShape& shape,
   const Word* s = bits.row(src);
   const std::size_t wx = shape.xz_words();
   PhaseTally tally;
-  for (std::size_t w = 0; w < wx; ++w) {
-    tally.accumulate(d[w], d[wx + w], s[w], s[wx + w]);
-    d[w] ^= s[w];
-    d[wx + w] ^= s[wx + w];
-  }
+  rowsum_xor_accumulate(d, d + wx, s, s + wx, wx, tally);
   const int exponent = tally.i_exponent_mod4();
   SYMPHASE_ASSERT(exponent % 2 == 0);
 
   const std::size_t pw = shape.phase_col_base() / kWordBits;
-  xor_words(d + pw, s + pw, phase_words_used);
+  wide::xor_words(d + pw, s + pw, phase_words_used);
   if (exponent == 2) {
     d[pw] ^= Word{1};
   }
@@ -43,11 +39,7 @@ inline void row_copy(BitMatrix& bits, std::size_t dst, std::size_t src) {
   if (dst == src) {
     return;
   }
-  Word* d = bits.row(dst);
-  const Word* s = bits.row(src);
-  for (std::size_t w = 0; w < bits.words_per_row(); ++w) {
-    d[w] = s[w];
-  }
+  wide::copy_words(bits.row(dst), bits.row(src), bits.words_per_row());
 }
 
 inline void row_set_plus_z(BitMatrix& bits, const TableauShape& shape,
@@ -61,9 +53,7 @@ inline void row_phase_read(const BitMatrix& bits, const TableauShape& shape,
                            Word* out) {
   const Word* r = bits.row(row) + shape.phase_col_base() / kWordBits;
   const std::size_t pwords = words_for_bits(phase_used);
-  for (std::size_t w = 0; w < pwords; ++w) {
-    out[w] = r[w];
-  }
+  wide::copy_words(out, r, pwords);
   if (phase_used % kWordBits != 0) {
     out[pwords - 1] &= tail_mask(phase_used);
   }
@@ -74,9 +64,7 @@ inline void row_phase_clear(BitMatrix& bits, const TableauShape& shape,
   Word* r = bits.row(row) + shape.phase_col_base() / kWordBits;
   const std::size_t total =
       (bits.words_per_row() * kWordBits - shape.phase_col_base()) / kWordBits;
-  for (std::size_t w = 0; w < total; ++w) {
-    r[w] = 0;
-  }
+  wide::clear_words(r, total);
 }
 
 }  // namespace symphase::dense_rows

@@ -7,12 +7,14 @@
 /// the Pauli product. Each qubit contributes i^g with g in {0,+1,-1}; the
 /// kernel counts +1s and -1s via bit masks, exactly like
 /// pauli_mul_i_exponent but on raw word spans so every layout can call
-/// it on its own storage.
+/// it on its own storage. All kernels run at WideWord (512-bit lane)
+/// width with scalar tails.
 
 #include <cstddef>
 #include <cstdint>
 
 #include "common/bits.hpp"
+#include "common/simd_word.hpp"
 
 namespace symphase {
 
@@ -36,6 +38,18 @@ struct PhaseTally {
     minus += popcount(minus_mask);
   }
 
+  /// Full-lane variant of accumulate: same masks over a 512-bit lane.
+  inline void accumulate(WideWord x1, WideWord z1, WideWord x2, WideWord z2) {
+    const WideWord plus_mask = (x1 & z1 & andnot(x2, z2)) |
+                               (andnot(z1, x1) & x2 & z2) |
+                               (andnot(x1, z1) & andnot(z2, x2));
+    const WideWord minus_mask = (x1 & z1 & andnot(z2, x2)) |
+                                (andnot(z1, x1) & andnot(x2, z2)) |
+                                (andnot(x1, z1) & x2 & z2);
+    plus += static_cast<long long>(plus_mask.popcount());
+    minus += static_cast<long long>(minus_mask.popcount());
+  }
+
   /// Total i exponent mod 4. Must be even for products of commuting
   /// (real-phased) rows; the caller asserts that.
   int i_exponent_mod4() const {
@@ -43,10 +57,27 @@ struct PhaseTally {
   }
 };
 
-/// XORs `count` words of src into dst.
-inline void xor_words(Word* dst, const Word* src, std::size_t count) {
-  for (std::size_t i = 0; i < count; ++i) {
-    dst[i] ^= src[i];
+/// Fused A-G rowsum inner loop over paired X/Z word spans: tallies the
+/// i-exponent masks of row(dst) · row(src) while XORing the src bands
+/// into the dst bands. Shared by the dense row-major image and the
+/// blocked layout so the rowsum semantics live in exactly one place.
+inline void rowsum_xor_accumulate(Word* dst_x, Word* dst_z, const Word* src_x,
+                                  const Word* src_z, std::size_t count,
+                                  PhaseTally& tally) {
+  std::size_t i = 0;
+  for (; i + WideWord::kWords <= count; i += WideWord::kWords) {
+    const WideWord dx = WideWord::load(dst_x + i);
+    const WideWord dz = WideWord::load(dst_z + i);
+    const WideWord sx = WideWord::load(src_x + i);
+    const WideWord sz = WideWord::load(src_z + i);
+    tally.accumulate(dx, dz, sx, sz);
+    (dx ^ sx).store(dst_x + i);
+    (dz ^ sz).store(dst_z + i);
+  }
+  for (; i < count; ++i) {
+    tally.accumulate(dst_x[i], dst_z[i], src_x[i], src_z[i]);
+    dst_x[i] ^= src_x[i];
+    dst_z[i] ^= src_z[i];
   }
 }
 

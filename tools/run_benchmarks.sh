@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Builds the Release+native benchmark targets and records the perf
+# trajectory: runs bench_layouts / bench_matmul / bench_qec and merges
+# their outputs into bench/results/BENCH_<date>.json.
+#
+# Usage: tools/run_benchmarks.sh [build-dir]
+#
+# bench_layouts and bench_matmul are google-benchmark binaries (JSON
+# native); bench_qec prints a throughput table, captured verbatim under
+# the "bench_qec" key. Pass SYMPHASE_BENCH_FAST=1 for the quick sizes.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-bench}"
+out_dir="$repo_root/bench/results"
+stamp="$(date +%Y-%m-%d)"
+out_file="$out_dir/BENCH_${stamp}.json"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Release -DSYMPHASE_NATIVE=ON >/dev/null
+cmake --build "$build_dir" -j \
+  --target bench_layouts bench_matmul bench_qec >/dev/null
+
+mkdir -p "$out_dir"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+"$build_dir/bench_layouts" \
+  --benchmark_out="$tmp_dir/layouts.json" --benchmark_out_format=json \
+  >/dev/null
+"$build_dir/bench_matmul" \
+  --benchmark_out="$tmp_dir/matmul.json" --benchmark_out_format=json \
+  >/dev/null
+
+qec_args=()
+if [[ "${SYMPHASE_BENCH_FAST:-0}" == "1" ]]; then
+  qec_args+=(--fast)
+fi
+"$build_dir/bench_qec" "${qec_args[@]}" >"$tmp_dir/qec.txt"
+
+python3 - "$tmp_dir" "$out_file" "$stamp" <<'EOF'
+import json
+import sys
+
+tmp_dir, out_file, stamp = sys.argv[1:4]
+merged = {
+    "date": stamp,
+    "bench_layouts": json.load(open(f"{tmp_dir}/layouts.json")),
+    "bench_matmul": json.load(open(f"{tmp_dir}/matmul.json")),
+    "bench_qec": open(f"{tmp_dir}/qec.txt").read().splitlines(),
+}
+with open(out_file, "w") as f:
+    json.dump(merged, f, indent=1)
+print(out_file)
+EOF
