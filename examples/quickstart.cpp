@@ -1,14 +1,19 @@
-// Quickstart: build a noisy stabilizer circuit, compile it once, sample
-// many shots, and inspect the results.
+// Quickstart: build a noisy stabilizer circuit, open a simulator
+// session, sample many shots through a task, and inspect the results.
 //
 //   $ ./examples/quickstart
 //
 // This walks the exact workflow of the paper's Algorithm 1: a single
 // forward pass turns the circuit into symbolic measurement expressions
 // (Initialization), then sampling is a bit-matrix product (Sampling).
+// The SimulatorSession makes the split concrete: the session owns the
+// compiled artifacts, each SampleTask is one cheap request against
+// them. See docs/api.md, and examples/streaming_sample.cpp for the
+// bounded-memory streaming side of the same API.
 
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "core/symphase.hpp"
 
 int main() {
@@ -27,7 +32,10 @@ int main() {
               circuit.to_text().c_str());
 
   // --- Algorithm 1, Initialization: one traversal of the circuit. ----
-  const CompiledSampler sampler = CompiledSampler::compile(circuit);
+  // The session compiles lazily on first use and caches the artifacts
+  // for every later task.
+  const SimulatorSession session(circuit);
+  const CompiledSampler& sampler = session.compiled();
   std::printf("symbols introduced: %zu (incl. the constant s0)\n",
               sampler.num_symbols());
   for (std::size_t k = 0; k < sampler.num_measurements(); ++k) {
@@ -36,9 +44,10 @@ int main() {
                 sampler.expressions()[k].was_random ? "   (random)" : "");
   }
 
-  // --- Algorithm 1, Sampling: substitute symbol values in bulk. ------
+  // --- Algorithm 1, Sampling: one task per request. ------------------
   constexpr std::size_t kShots = 100000;
-  const BitMatrix samples = sampler.sample(kShots, /*seed=*/42);
+  const BitMatrix samples = session.run_to_matrix(
+      SampleTask::measurements(kShots).with_seed(42));
 
   // Row k = measurement k across shots; count disagreements between the
   // two halves of the Bell pair (only noise can decorrelate them).

@@ -1,0 +1,30 @@
+#include "api/sample_sink.hpp"
+
+#include "common/check.hpp"
+#include "common/simd_word.hpp"
+
+namespace symphase {
+
+void BitMatrixSink::begin(const SampleStreamInfo& info) {
+  matrix_ = BitMatrix(info.bits_per_shot, info.num_shots);
+}
+
+void BitMatrixSink::consume(const SampleChunk& chunk) {
+  SYMPHASE_CHECK(chunk.bits != nullptr);
+  SYMPHASE_CHECK(chunk.bits->rows() == matrix_.rows());
+  SYMPHASE_CHECK(chunk.shot_offset % kWordBits == 0);
+  SYMPHASE_CHECK(chunk.shot_offset + chunk.num_shots <= matrix_.cols());
+  const std::size_t word0 = chunk.shot_offset / kWordBits;
+  const std::size_t words = words_for_bits(chunk.num_shots);
+  for (std::size_t r = 0; r < matrix_.rows(); ++r) {
+    wide::copy_words(matrix_.row(r) + word0, chunk.bits->row(r), words);
+  }
+}
+
+void WriterSink::consume(const SampleChunk& chunk) {
+  SYMPHASE_CHECK(chunk.bits != nullptr);
+  write_samples(*chunk.bits, format_, out_, info_.num_detectors,
+                chunk.num_shots);
+}
+
+}  // namespace symphase

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file sample_stream.hpp
+/// The streaming engine under the task/session API.
+///
+/// stream_sample_blocks() drives any shard-block producer (the
+/// `sample_shard_block` methods of SymPhaseSampler / FrameSimulator, or
+/// the session's detection-event fold) through a SampleSink:
+///
+///   1. the shot axis is cut into the library-wide 128-word shards
+///      (common/parallel.hpp) — the same decomposition the materialized
+///      samplers use, so shard i draws from Rng::stream(i) either way;
+///   2. shards are filled into preallocated blocks in windows of
+///      `num_threads` (parallel, dynamic claiming within a window);
+///   3. completed blocks are handed to the sink strictly in shot order.
+///
+/// Peak memory is O(window · rows · kSampleShardWords) — bounded by the
+/// thread budget, independent of the total shot count — and the
+/// concatenated chunks are bit-identical to the materialized matrix for
+/// any thread count and any window schedule.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "api/sample_sink.hpp"
+#include "bitvec/bit_matrix.hpp"
+
+namespace symphase {
+
+/// Geometry and scheduling of one streamed run.
+struct StreamSpec {
+  /// Rows each shard block carries (before bit selection).
+  std::size_t bits_per_shot = 0;
+  /// Rows rendered as detectors (SIZE_MAX = all of them; measurement
+  /// runs). Counted against the *unselected* row space; the engine
+  /// translates it through any bit selection.
+  std::size_t num_detectors = SIZE_MAX;
+  std::size_t num_shots = 0;
+  /// Worker cap, resolved like every sampler (0 = hardware concurrency).
+  std::size_t num_threads = 0;
+  /// Optional sorted, duplicate-free row subset to deliver (empty = all).
+  std::span<const std::size_t> bit_selection = {};
+};
+
+/// Fills `block` with the contents of global shard `shard`. Blocks are
+/// bits_per_shot x kSampleShardBits and may hold stale data from a
+/// previous shard; producers overwrite at least the shard's valid words.
+/// Called concurrently from worker threads — one distinct block each.
+using ShardBlockFn = std::function<void(std::size_t shard, BitMatrix& block)>;
+
+/// Runs the stream: begin(), ordered consume() per shard, end().
+void stream_sample_blocks(const StreamSpec& spec, const ShardBlockFn& fill,
+                          SampleSink& sink);
+
+}  // namespace symphase

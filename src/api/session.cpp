@@ -1,0 +1,145 @@
+#include "api/session.hpp"
+
+#include <utility>
+
+#include "api/sample_stream.hpp"
+#include "common/parallel.hpp"
+#include "common/simd_word.hpp"
+
+namespace symphase {
+
+namespace {
+
+/// Reference-run seed for the lazily built FrameSimulator. Any fixed
+/// value yields the correct distribution (the reference record only
+/// anchors the frames); pinning it keeps session output a function of
+/// the task alone.
+constexpr std::uint64_t kFrameReferenceSeed = 0;
+
+}  // namespace
+
+SimulatorSession::SimulatorSession(Circuit circuit, CompileOptions options)
+    : circuit_(std::move(circuit)), options_(options) {}
+
+const CompiledSampler& SimulatorSession::compiled() const {
+  const std::lock_guard<std::mutex> lock(build_mutex_);
+  if (!compiled_) {
+    compiled_ = std::make_unique<CompiledSampler>(
+        CompiledSampler::compile(circuit_, options_));
+  }
+  return *compiled_;
+}
+
+const FrameSimulator& SimulatorSession::frames() const {
+  const std::lock_guard<std::mutex> lock(build_mutex_);
+  if (!frames_) {
+    frames_ = std::make_unique<FrameSimulator>(circuit_, kFrameReferenceSeed);
+  }
+  return *frames_;
+}
+
+const DetectorLayout& SimulatorSession::detector_layout() const {
+  const std::lock_guard<std::mutex> lock(build_mutex_);
+  if (!layout_) {
+    layout_ = std::make_unique<DetectorLayout>(resolve_detectors(circuit_));
+  }
+  return *layout_;
+}
+
+std::size_t SimulatorSession::num_detectors() const {
+  return detector_layout().detectors.size();
+}
+
+std::size_t SimulatorSession::num_observables() const {
+  return detector_layout().observables.size();
+}
+
+std::size_t SimulatorSession::record_bits(const SampleTask& task) const {
+  if (task.target == SampleTarget::kMeasurements) {
+    return circuit_.num_measurements();
+  }
+  return num_detectors() + num_observables();
+}
+
+void SimulatorSession::run(const SampleTask& task, SampleSink& sink) const {
+  StreamSpec spec;
+  spec.num_shots = task.shots;
+  spec.num_threads = task.num_threads;
+  spec.bit_selection = task.bit_selection;
+
+  if (task.target == SampleTarget::kMeasurements) {
+    if (task.backend == SampleBackend::kSymPhase) {
+      const CompiledSampler& cs = compiled();
+      spec.bits_per_shot = cs.num_measurements();
+      stream_sample_blocks(
+          spec,
+          [&](std::size_t shard, BitMatrix& block) {
+            cs.sample_shard_block(shard, task.shots, task.seed, block);
+          },
+          sink);
+    } else {
+      const FrameSimulator& fs = frames();
+      spec.bits_per_shot = fs.num_measurements();
+      stream_sample_blocks(
+          spec,
+          [&](std::size_t shard, BitMatrix& block) {
+            fs.sample_shard_block(shard, task.shots, task.seed, block);
+          },
+          sink);
+    }
+    return;
+  }
+
+  // Detection events: detectors first, observables after — the joint
+  // record layout shared with CompiledSampler::sample_detection_events
+  // and the dets writer format.
+  const DetectorLayout& layout = detector_layout();
+  spec.bits_per_shot = layout.detectors.size() + layout.observables.size();
+  spec.num_detectors = layout.detectors.size();
+
+  if (task.backend == SampleBackend::kSymPhase) {
+    const CompiledSampler& cs = compiled();
+    stream_sample_blocks(
+        spec,
+        [&](std::size_t shard, BitMatrix& block) {
+          cs.sample_detection_shard_block(shard, task.shots, task.seed, block);
+        },
+        sink);
+    return;
+  }
+
+  // Frame backend: sample the shard's measurements, then fold them
+  // through the resolved detector/observable definitions. The fold is
+  // word-wise per row, so folding one shard block reproduces exactly
+  // that word range of FrameSimulator::sample_detection_events.
+  const FrameSimulator& fs = frames();
+  stream_sample_blocks(
+      spec,
+      [&](std::size_t shard, BitMatrix& block) {
+        const ShardExtent e = sample_shard_extent(shard, task.shots);
+        BitMatrix measurements(fs.num_measurements(), kSampleShardBits);
+        fs.sample_shard_block(shard, task.shots, task.seed, measurements);
+        block.clear_all();
+        const auto fold =
+            [&](const std::vector<std::vector<std::size_t>>& defs,
+                std::size_t row0) {
+              for (std::size_t d = 0; d < defs.size(); ++d) {
+                for (const std::size_t m : defs[d]) {
+                  wide::xor_words(block.row(row0 + d), measurements.row(m),
+                                  e.words);
+                }
+              }
+            };
+        fold(layout.detectors, 0);
+        fold(layout.observables, layout.detectors.size());
+      },
+      sink);
+}
+
+BitMatrix SimulatorSession::run_to_matrix(const SampleTask& task) const {
+  BitMatrixSink sink;
+  run(task, sink);
+  return sink.take();
+}
+
+}  // namespace symphase

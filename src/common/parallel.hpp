@@ -14,6 +14,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "common/bits.hpp"
+
 namespace symphase {
 
 /// Shot-shard width shared by every sampler: 128 words = 8192 shots.
@@ -23,6 +25,40 @@ namespace symphase {
 /// RNG setup) stay negligible. Part of a seed's output format: changing
 /// it re-partitions the per-shard RNG streams.
 inline constexpr std::size_t kSampleShardWords = 128;
+
+/// Shots covered by one shard (8192).
+inline constexpr std::size_t kSampleShardBits = kSampleShardWords * kWordBits;
+
+/// Number of shards a `num_shots`-shot run decomposes into. The
+/// decomposition depends only on num_shots — never on thread count or
+/// delivery order — which is what makes shard-indexed RNG streams
+/// reproducible (see the determinism contract in docs/performance.md).
+constexpr std::size_t num_sample_shards(std::size_t num_shots) {
+  return ceil_div(words_for_bits(num_shots), kSampleShardWords);
+}
+
+/// The slice of the shot axis owned by one shard of a `num_shots` run.
+struct ShardExtent {
+  std::size_t word0 = 0;  ///< First shot-axis word of the shard.
+  std::size_t words = 0;  ///< Words in the shard (kSampleShardWords except
+                          ///< possibly the final shard).
+  std::size_t shot0 = 0;  ///< First shot covered.
+  std::size_t shots = 0;  ///< Valid shots (< words * 64 only when the run's
+                          ///< tail word is ragged).
+};
+
+constexpr ShardExtent sample_shard_extent(std::size_t shard,
+                                          std::size_t num_shots) {
+  ShardExtent e;
+  e.word0 = shard * kSampleShardWords;
+  const std::size_t shot_words = words_for_bits(num_shots);
+  e.words = shot_words - e.word0 < kSampleShardWords ? shot_words - e.word0
+                                                     : kSampleShardWords;
+  e.shot0 = e.word0 * kWordBits;
+  e.shots = num_shots - e.shot0 < kSampleShardBits ? num_shots - e.shot0
+                                                   : kSampleShardBits;
+  return e;
+}
 
 /// Resolves a requested thread count: `requested` if nonzero, otherwise
 /// the hardware concurrency (at least 1).

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "api/sample_sink.hpp"
+#include "api/sample_stream.hpp"
 #include "common/simd_word.hpp"
 #include "tableau/col_major_tableau.hpp"
 #include "tableau/row_major_tableau.hpp"
@@ -116,11 +118,38 @@ CompiledSampler CompiledSampler::compile(const Circuit& circuit,
   return result;
 }
 
+void CompiledSampler::sample_shard_block(std::size_t shard,
+                                         std::size_t num_samples,
+                                         std::uint64_t seed,
+                                         BitMatrix& block) const {
+  sampler_->sample_shard_block(shard, num_samples, seed, block);
+}
+
+void CompiledSampler::sample_detection_shard_block(std::size_t shard,
+                                                   std::size_t num_samples,
+                                                   std::uint64_t seed,
+                                                   BitMatrix& block) const {
+  detector_sampler_->sample_shard_block(shard, num_samples, seed, block);
+}
+
 CompiledSampler::DetectionEvents CompiledSampler::sample_detection_events(
     std::size_t num_samples, std::uint64_t seed,
     std::size_t num_threads) const {
-  const BitMatrix joint =
-      detector_sampler_->sample(num_samples, seed, num_threads);
+  // Thin wrapper over the streaming engine: materialize the joint task
+  // into a BitMatrixSink, then split the detector/observable bands.
+  StreamSpec spec;
+  spec.bits_per_shot = num_detectors() + num_observables();
+  spec.num_detectors = num_detectors();
+  spec.num_shots = num_samples;
+  spec.num_threads = num_threads;
+  BitMatrixSink sink;
+  stream_sample_blocks(
+      spec,
+      [&](std::size_t shard, BitMatrix& block) {
+        sample_detection_shard_block(shard, num_samples, seed, block);
+      },
+      sink);
+  const BitMatrix joint = sink.take();
   DetectionEvents events{
       BitMatrix(num_detectors(), num_samples),
       BitMatrix(num_observables(), num_samples),
@@ -164,7 +193,21 @@ std::size_t CompiledSampler::expression_nnz() const {
 
 BitMatrix CompiledSampler::sample(std::size_t num_samples, std::uint64_t seed,
                                   std::size_t num_threads) const {
-  return sampler_->sample(num_samples, seed, num_threads);
+  // Thin wrapper over the streaming engine with a materializing sink;
+  // the shard/RNG contract makes this bit-identical to the historical
+  // full-matrix path (tests/streaming_session_test.cpp pins it).
+  StreamSpec spec;
+  spec.bits_per_shot = num_measurements();
+  spec.num_shots = num_samples;
+  spec.num_threads = num_threads;
+  BitMatrixSink sink;
+  stream_sample_blocks(
+      spec,
+      [&](std::size_t shard, BitMatrix& block) {
+        sample_shard_block(shard, num_samples, seed, block);
+      },
+      sink);
+  return sink.take();
 }
 
 double CompiledSampler::outcome_probability(std::size_t k) const {

@@ -13,6 +13,13 @@
 /// `samples` is measurement-major: row k holds measurement k across all
 /// shots, bit j of row k being shot j's outcome.
 ///
+/// For request-shaped workloads — many tasks against one circuit, huge
+/// shot counts, streaming output — prefer the session layer in
+/// src/api/ (SimulatorSession + SampleTask + SampleSink; see
+/// docs/api.md). The matrix-returning methods below are thin wrappers
+/// over the same shard-streaming engine, kept for the small-batch
+/// workflow above and for backward compatibility.
+///
 /// Everything else (tableau layouts, the frame-simulation baseline, the
 /// state-vector oracle) is available through the per-module headers under
 /// src/; this header pulls in the pieces a downstream sampling user needs.
@@ -60,8 +67,17 @@ class CompiledSampler {
 
   /// num_measurements() x num_samples outcome matrix; deterministic in
   /// `seed` and independent of `num_threads` (0 = hardware concurrency).
+  /// Materializing wrapper over the shard-streaming engine (src/api/).
   BitMatrix sample(std::size_t num_samples, std::uint64_t seed,
                    std::size_t num_threads = 0) const;
+
+  /// Streaming building block: computes global shard `shard` of the
+  /// sample(num_samples, seed, ·) matrix into `block`
+  /// (num_measurements() x kSampleShardBits scratch, leading words
+  /// overwritten). Drives SimulatorSession's kSymPhase measurement
+  /// streams; thread-safe for distinct blocks.
+  void sample_shard_block(std::size_t shard, std::size_t num_samples,
+                          std::uint64_t seed, BitMatrix& block) const;
 
   /// Exact marginal P(measurement k == 1).
   double outcome_probability(std::size_t k) const;
@@ -84,9 +100,18 @@ class CompiledSampler {
   };
   /// Joint samples of all detectors and logical observables (same shot
   /// j in both matrices comes from one symbol assignment b_j).
+  /// Materializing wrapper over the shard-streaming engine (src/api/).
   DetectionEvents sample_detection_events(std::size_t num_samples,
                                           std::uint64_t seed,
                                           std::size_t num_threads = 0) const;
+
+  /// Streaming building block for the joint detection record: shard
+  /// `shard` of a (num_detectors + num_observables)-row stream, detector
+  /// rows first. Same contract as sample_shard_block.
+  void sample_detection_shard_block(std::size_t shard,
+                                    std::size_t num_samples,
+                                    std::uint64_t seed,
+                                    BitMatrix& block) const;
 
   /// Exact marginal P(detector d fires).
   double detector_probability(std::size_t d) const;

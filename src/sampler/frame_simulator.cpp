@@ -232,6 +232,25 @@ void FrameSimulator::sample_shard(BitMatrix& out, std::size_t word0,
   SYMPHASE_ASSERT(measure_index == reference_.size());
 }
 
+void FrameSimulator::sample_shard_block(std::size_t shard,
+                                        std::size_t num_samples,
+                                        std::uint64_t seed,
+                                        BitMatrix& block) const {
+  const ShardExtent e = sample_shard_extent(shard, num_samples);
+  SYMPHASE_CHECK(shard < num_sample_shards(num_samples));
+  SYMPHASE_CHECK(block.rows() == num_measurements());
+  SYMPHASE_CHECK(block.words_per_row() >= e.words);
+  sample_shard(block, 0, e.words, Rng(seed).stream(shard));
+  // Same tail semantics as sample(): columns beyond the run's last shot
+  // pick up frame garbage during record_measurement and are masked here.
+  if (e.shots % kWordBits != 0) {
+    const Word mask = tail_mask(e.shots);
+    for (std::size_t r = 0; r < block.rows(); ++r) {
+      block.row(r)[e.words - 1] &= mask;
+    }
+  }
+}
+
 BitMatrix FrameSimulator::sample(std::size_t num_samples, std::uint64_t seed,
                                  std::size_t num_threads) const {
   BitMatrix out(num_measurements(), num_samples);

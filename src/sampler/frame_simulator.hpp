@@ -59,6 +59,15 @@ class FrameSimulator {
   BitMatrix sample(std::size_t num_samples, std::uint64_t seed,
                    std::size_t num_threads = 0) const;
 
+  /// Streaming building block: propagates only the frames of global shard
+  /// `shard` of a `num_samples`-shot run, writing the leading words of
+  /// `block` (num_measurements() x kSampleShardBits scratch). Word w of
+  /// each block row is bit-identical to word shard*kSampleShardWords + w
+  /// of sample(num_samples, seed), including the masked final-shard tail.
+  /// Thread-safe for distinct `block`s.
+  void sample_shard_block(std::size_t shard, std::size_t num_samples,
+                          std::uint64_t seed, BitMatrix& block) const;
+
   struct DetectionEvents {
     BitMatrix detectors;
     BitMatrix observables;

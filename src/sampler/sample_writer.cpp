@@ -1,5 +1,6 @@
 #include "sampler/sample_writer.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <sstream>
 #include <vector>
@@ -27,9 +28,10 @@ SampleFormat sample_format_from_name(std::string_view name) {
 }
 
 void write_samples(const BitMatrix& samples, SampleFormat format,
-                   std::ostream& out, std::size_t num_detectors) {
+                   std::ostream& out, std::size_t num_detectors,
+                   std::size_t num_shots) {
   const std::size_t bits = samples.rows();
-  const std::size_t shots = samples.cols();
+  const std::size_t shots = std::min(num_shots, samples.cols());
   if (num_detectors == SIZE_MAX) {
     num_detectors = bits;
   }
@@ -101,9 +103,10 @@ void write_samples(const BitMatrix& samples, SampleFormat format,
 }
 
 std::string samples_to_string(const BitMatrix& samples, SampleFormat format,
-                              std::size_t num_detectors) {
+                              std::size_t num_detectors,
+                              std::size_t num_shots) {
   std::ostringstream oss;
-  write_samples(samples, format, oss, num_detectors);
+  write_samples(samples, format, oss, num_detectors, num_shots);
   return oss.str();
 }
 

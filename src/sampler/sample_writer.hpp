@@ -34,14 +34,18 @@ SampleFormat sample_format_from_name(std::string_view name);
 /// Writes `samples` (measurement-major) to `out` shot-major in `format`.
 /// For kDets, rows with index >= num_detectors are rendered as
 /// "L<index - num_detectors>"; pass num_detectors == rows for pure
-/// detector output.
+/// detector output. `num_shots` caps how many leading columns are
+/// written (default: all) — the streaming WriterSink uses this to emit
+/// only the valid shots of a fixed-width shard block.
 void write_samples(const BitMatrix& samples, SampleFormat format,
                    std::ostream& out,
-                   std::size_t num_detectors = SIZE_MAX);
+                   std::size_t num_detectors = SIZE_MAX,
+                   std::size_t num_shots = SIZE_MAX);
 
 /// Convenience: serialize to a string.
 std::string samples_to_string(const BitMatrix& samples, SampleFormat format,
-                              std::size_t num_detectors = SIZE_MAX);
+                              std::size_t num_detectors = SIZE_MAX,
+                              std::size_t num_shots = SIZE_MAX);
 
 /// Reads back a shot-major k01/kHex/kB8 stream into a measurement-major
 /// matrix with `bits_per_shot` columns-per-record. Round-trips

@@ -101,6 +101,26 @@ void SymbolValueSampler::generate_shard(BitMatrix& b, std::size_t word0,
   }
 }
 
+void SymbolValueSampler::generate_shard_block(std::size_t shard,
+                                              std::size_t num_samples,
+                                              std::uint64_t seed,
+                                              BitMatrix& block) const {
+  const ShardExtent e = sample_shard_extent(shard, num_samples);
+  SYMPHASE_CHECK(shard < num_sample_shards(num_samples));
+  SYMPHASE_CHECK(block.rows() == num_rows());
+  SYMPHASE_CHECK(block.words_per_row() >= e.words);
+  // generate() starts from a zero matrix and the depolarize path only ORs
+  // event bits in; a reused scratch block must be cleared to match.
+  block.clear_all();
+  generate_shard(block, 0, e.words, Rng(seed).stream(shard));
+  if (e.shots % kWordBits != 0) {
+    const Word mask = tail_mask(e.shots);
+    for (std::size_t r = 0; r < block.rows(); ++r) {
+      block.row(r)[e.words - 1] &= mask;
+    }
+  }
+}
+
 BitMatrix SymbolValueSampler::generate(std::size_t num_samples,
                                        std::uint64_t seed,
                                        std::size_t num_threads) const {

@@ -52,6 +52,15 @@ class SymbolValueSampler {
   BitMatrix generate(std::size_t num_samples, std::uint64_t seed,
                      std::size_t num_threads = 0) const;
 
+  /// Streaming building block: regenerates global shard `shard` of a
+  /// `num_samples`-shot run into the leading words of `block` (a
+  /// num_rows() x kSampleShardBits scratch matrix, fully overwritten).
+  /// Word w of each block row is bit-identical to word
+  /// shard*kSampleShardWords + w of generate(num_samples, seed), including
+  /// the masked tail of the final shard.
+  void generate_shard_block(std::size_t shard, std::size_t num_samples,
+                            std::uint64_t seed, BitMatrix& block) const;
+
   const std::vector<std::uint32_t>& used_symbols() const {
     return used_symbols_;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.hpp"
+#include "common/simd_word.hpp"
 
 namespace symphase {
 
@@ -36,6 +37,9 @@ SymPhaseSampler::SymPhaseSampler(
     expr_matrix_.set_row(k, std::move(remapped));
     raw_expressions_.push_back(expressions[k].symbols);
   }
+  if (strategy_ == MultiplyStrategy::kDense) {
+    dense_matrix_ = expr_matrix_.to_dense();
+  }
 }
 
 BitMatrix SymPhaseSampler::sample(std::size_t num_samples, std::uint64_t seed,
@@ -43,7 +47,7 @@ BitMatrix SymPhaseSampler::sample(std::size_t num_samples, std::uint64_t seed,
   const std::size_t threads = resolve_thread_count(num_threads);
   const BitMatrix b = values_.generate(num_samples, seed, threads);
   if (strategy_ == MultiplyStrategy::kDense) {
-    return expr_matrix_.to_dense().multiply(b);
+    return dense_matrix_.multiply(b);
   }
   // Sparse M·B, shot-sharded: shards own disjoint word ranges of every
   // output row, so the product parallelizes without contention (and is
@@ -57,6 +61,30 @@ BitMatrix SymPhaseSampler::sample(std::size_t num_samples, std::uint64_t seed,
     expr_matrix_.multiply_word_range(b, out, word0, words);
   });
   return out;
+}
+
+void SymPhaseSampler::sample_shard_block(std::size_t shard,
+                                         std::size_t num_samples,
+                                         std::uint64_t seed,
+                                         BitMatrix& block) const {
+  const ShardExtent e = sample_shard_extent(shard, num_samples);
+  SYMPHASE_CHECK(block.rows() == num_measurements());
+  SYMPHASE_CHECK(block.words_per_row() >= e.words);
+  BitMatrix b(values_.num_rows(), kSampleShardBits);
+  values_.generate_shard_block(shard, num_samples, seed, b);
+  if (strategy_ == MultiplyStrategy::kDense) {
+    // The dense product is column-separable, so multiplying the shard's
+    // B-block alone yields exactly this word range of the full product.
+    const BitMatrix prod = dense_matrix_.multiply(b);
+    for (std::size_t r = 0; r < block.rows(); ++r) {
+      wide::copy_words(block.row(r), prod.row(r), e.words);
+    }
+    return;
+  }
+  // multiply_word_range leaves rows with no expression entries untouched;
+  // a reused scratch block must be cleared so those rows read zero.
+  block.clear_all();
+  expr_matrix_.multiply_word_range(b, block, 0, e.words);
 }
 
 double SymPhaseSampler::outcome_probability(std::size_t k) const {

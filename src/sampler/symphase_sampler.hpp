@@ -48,6 +48,15 @@ class SymPhaseSampler {
   BitMatrix sample(std::size_t num_samples, std::uint64_t seed,
                    std::size_t num_threads = 0) const;
 
+  /// Streaming building block: computes global shard `shard` of the
+  /// sample(num_samples, seed, ·) matrix into the leading words of
+  /// `block` (num_measurements() x kSampleShardBits scratch, fully
+  /// overwritten). Concatenating the blocks for shards 0..num_sample_shards
+  /// reproduces sample() bit-for-bit; see docs/api.md. Thread-safe for
+  /// distinct `block`s.
+  void sample_shard_block(std::size_t shard, std::size_t num_samples,
+                          std::uint64_t seed, BitMatrix& block) const;
+
   /// Exact probability that measurement k reads 1, computed from the
   /// symbolic expression (independent groups combined exactly).
   /// O(expression length); used by tests and the examples.
@@ -61,6 +70,9 @@ class SymPhaseSampler {
   SymbolValueSampler values_;
   /// Expressions with symbol ids remapped to B-row indices.
   SparseBitMatrix expr_matrix_;
+  /// Dense M (kDense strategy only): materialized once instead of per
+  /// sample() call so the shard-streamed path can reuse it.
+  BitMatrix dense_matrix_;
   const SymbolTable& symbols_;
   /// Original symbol ids per expression (for probability queries).
   std::vector<std::vector<std::uint32_t>> raw_expressions_;

@@ -132,6 +132,59 @@ TEST(Cli, GenPipesIntoDetect) {
   EXPECT_EQ(lines, 4);
 }
 
+TEST(Cli, BadNumericOptionIsUsageError) {
+  // Malformed numbers must exit with the usage code (2), not abort with
+  // an uncaught std::invalid_argument or be misreported as a runtime
+  // error (1).
+  const std::string path = write_temp_circuit("M 0\n");
+  for (const char* args :
+       {" --shots abc", " --shots 12x", " --seed -", " --threads 9e9",
+        " --shots -1", " --seed -7", " --shots +5",
+        " --shots 99999999999999999999999"}) {
+    const CommandResult r = run_cli("sample " + path + args);
+    EXPECT_EQ(r.exit_code, 2) << args;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos) << args;
+  }
+  const CommandResult gen = run_cli("gen surface --p-data nope");
+  EXPECT_EQ(gen.exit_code, 2);
+}
+
+TEST(Cli, ThreadsFlagKeepsOutputIdentical) {
+  const std::string path = write_temp_circuit(
+      "H 0\nCNOT 0 1\nX_ERROR(0.1) 0 1\nM 0 1\n");
+  const CommandResult one =
+      run_cli("sample " + path + " --shots 9000 --seed 3 --threads 1");
+  const CommandResult four =
+      run_cli("sample " + path + " --shots 9000 --seed 3 --threads 4");
+  EXPECT_EQ(one.exit_code, 0);
+  EXPECT_EQ(four.exit_code, 0);
+  EXPECT_EQ(one.output, four.output);
+}
+
+TEST(Cli, BackendFlagSelectsFrameSimulator) {
+  const std::string path = write_temp_circuit("X 0\nM 0 1\n");
+  const CommandResult r =
+      run_cli("sample " + path + " --shots 3 --backend frames");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "10\n10\n10\n");  // deterministic circuit
+  const CommandResult bad = run_cli("sample " + path + " --backend quantum");
+  EXPECT_EQ(bad.exit_code, 2);
+}
+
+TEST(Cli, DetectThreadsDeterministic) {
+  const std::string gen_cmd = "gen surface --distance 3 --rounds 2 --p-data "
+                              "0.01 --p-meas 0.01";
+  const std::string path = ::testing::TempDir() + "/cli_surface_threads.stim";
+  const CommandResult gen = run_cli(gen_cmd + " > " + path);
+  ASSERT_EQ(gen.exit_code, 0);
+  const CommandResult one = run_cli("detect " + path +
+                                    " --shots 9000 --seed 5 --threads 1");
+  const CommandResult four = run_cli("detect " + path +
+                                     " --shots 9000 --seed 5 --threads 4");
+  EXPECT_EQ(one.exit_code, 0);
+  EXPECT_EQ(one.output, four.output);
+}
+
 TEST(Cli, ParseErrorReported) {
   const std::string path = write_temp_circuit("NOT_A_GATE 0\n");
   const CommandResult r = run_cli("sample " + path);

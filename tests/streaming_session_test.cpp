@@ -1,0 +1,321 @@
+// Streaming determinism contract of the task/session API
+// (src/api/): for a fixed seed, SimulatorSession output through any
+// sink, at any thread count, is bit-identical to the materialized
+// samplers — per-format byte-identical for WriterSink, matrix-equal for
+// BitMatrixSink, chunk-reassembly-equal for CallbackSink. Companion to
+// tests/parallel_sample_test.cpp, which pins the same contract for the
+// materialized entry points.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "api/sample_stream.hpp"
+#include "api/session.hpp"
+#include "circuit/surface_code.hpp"
+#include "core/symphase.hpp"
+#include "sampler/sample_writer.hpp"
+#include "sampler/symphase_sampler.hpp"
+
+namespace symphase {
+namespace {
+
+// Spans multiple shards plus a ragged tail word, so ordered delivery,
+// shard-local RNG streams, and tail masking are all exercised.
+constexpr std::size_t kShots = 2 * kSampleShardBits + 777;
+
+// Matches the session's internal frame-reference seed, so the
+// materialized FrameSimulator baselines below sample the same process.
+constexpr std::uint64_t kFrameSeed = 0;
+
+Circuit noisy_surface_circuit() {
+  SurfaceCodeOptions sc;
+  sc.distance = 3;
+  sc.rounds = 3;
+  sc.data_depolarization = 0.01;
+  sc.gate_depolarization = 0.002;
+  sc.measurement_flip_probability = 0.01;
+  return surface_code_memory(sc);
+}
+
+/// Joint detectors+observables matrix via the materialized per-backend
+/// entry points (detector rows first) — the pre-streaming reference.
+template <typename Sampler>
+BitMatrix materialized_joint(const Sampler& sampler, std::size_t shots,
+                             std::uint64_t seed) {
+  const auto events = sampler.sample_detection_events(shots, seed);
+  BitMatrix joint(events.detectors.rows() + events.observables.rows(), shots);
+  for (std::size_t d = 0; d < events.detectors.rows(); ++d) {
+    joint.xor_words_into_row(
+        {events.detectors.row(d), events.detectors.words_per_row()}, d);
+  }
+  for (std::size_t k = 0; k < events.observables.rows(); ++k) {
+    joint.xor_words_into_row(
+        {events.observables.row(k), events.observables.words_per_row()},
+        events.detectors.rows() + k);
+  }
+  return joint;
+}
+
+/// Stream-independent joint reference for the SymPhase backend:
+/// CompiledSampler::sample_detection_events is itself a wrapper over the
+/// streaming engine now, so rebuild its joint sampler from the public
+/// expression lists and materialize through the classic full-B path.
+BitMatrix direct_symphase_joint(const CompiledSampler& sampler,
+                                std::size_t shots, std::uint64_t seed) {
+  std::vector<MeasurementExpression> joint = sampler.detector_expressions();
+  joint.insert(joint.end(), sampler.observable_expressions().begin(),
+               sampler.observable_expressions().end());
+  return SymPhaseSampler(sampler.symbols(), joint).sample(shots, seed);
+}
+
+std::string streamed_string(const SimulatorSession& session,
+                            const SampleTask& task, SampleFormat format) {
+  std::ostringstream oss;
+  WriterSink sink(oss, format);
+  session.run(task, sink);
+  return oss.str();
+}
+
+TEST(StreamingSession, WriterSinkByteIdenticalEveryFormatSymPhase) {
+  const Circuit circuit = noisy_surface_circuit();
+  const SimulatorSession session(circuit);
+  // Independent materialized reference: SymPhaseSampler::sample still
+  // builds the full B matrix in one piece (no streaming engine).
+  const SymPhaseSampler direct(session.compiled().symbols(),
+                               session.compiled().expressions());
+  const BitMatrix reference = direct.sample(kShots, 7);
+
+  for (const SampleFormat format :
+       {SampleFormat::k01, SampleFormat::kHex, SampleFormat::kB8}) {
+    const std::string expected = samples_to_string(reference, format);
+    for (const std::size_t threads : {1ul, 4ul}) {
+      const SampleTask task =
+          SampleTask::measurements(kShots).with_seed(7).with_threads(threads);
+      EXPECT_EQ(streamed_string(session, task, format), expected)
+          << "format " << static_cast<int>(format) << " threads " << threads;
+    }
+  }
+}
+
+TEST(StreamingSession, WriterSinkByteIdenticalEveryFormatFrames) {
+  const Circuit circuit = noisy_surface_circuit();
+  const SimulatorSession session(circuit);
+  const FrameSimulator direct(circuit, kFrameSeed);
+  const BitMatrix reference = direct.sample(kShots, 11);
+
+  for (const SampleFormat format :
+       {SampleFormat::k01, SampleFormat::kHex, SampleFormat::kB8}) {
+    const std::string expected = samples_to_string(reference, format);
+    for (const std::size_t threads : {1ul, 4ul}) {
+      const SampleTask task = SampleTask::measurements(kShots)
+                                  .with_seed(11)
+                                  .with_threads(threads)
+                                  .with_backend(SampleBackend::kFrameSimulator);
+      EXPECT_EQ(streamed_string(session, task, format), expected)
+          << "format " << static_cast<int>(format) << " threads " << threads;
+    }
+  }
+}
+
+TEST(StreamingSession, DetectionEventsByteIdenticalBothBackends) {
+  const Circuit circuit = noisy_surface_circuit();
+  const SimulatorSession session(circuit);
+  const std::size_t dets = session.num_detectors();
+  ASSERT_GT(dets, 0u);
+  ASSERT_GT(session.num_observables(), 0u);
+
+  const BitMatrix sym_joint = direct_symphase_joint(session.compiled(),
+                                                    kShots, 13);
+  const BitMatrix frame_joint =
+      materialized_joint(FrameSimulator(circuit, kFrameSeed), kShots, 13);
+
+  for (const SampleFormat format : {SampleFormat::kDets, SampleFormat::k01,
+                                    SampleFormat::kB8}) {
+    for (const std::size_t threads : {1ul, 4ul}) {
+      SampleTask task =
+          SampleTask::detection_events(kShots).with_seed(13).with_threads(
+              threads);
+      EXPECT_EQ(streamed_string(session, task, format),
+                samples_to_string(sym_joint, format, dets))
+          << "symphase, format " << static_cast<int>(format);
+      task.with_backend(SampleBackend::kFrameSimulator);
+      EXPECT_EQ(streamed_string(session, task, format),
+                samples_to_string(frame_joint, format, dets))
+          << "frames, format " << static_cast<int>(format);
+    }
+  }
+}
+
+TEST(StreamingSession, BitMatrixSinkMatchesDirectSampler) {
+  const Circuit circuit = noisy_surface_circuit();
+  const SimulatorSession session(circuit);
+  // Stream-independent reference (full-B materialized path), so this
+  // also pins that the engine-backed CompiledSampler::sample stayed
+  // bit-compatible with the pre-streaming output.
+  const SymPhaseSampler direct(session.compiled().symbols(),
+                               session.compiled().expressions());
+  const BitMatrix expected = direct.sample(kShots, 17);
+  for (const std::size_t threads : {1ul, 8ul}) {
+    const BitMatrix streamed = session.run_to_matrix(
+        SampleTask::measurements(kShots).with_seed(17).with_threads(threads));
+    EXPECT_EQ(streamed, expected) << "threads " << threads;
+    EXPECT_EQ(session.compiled().sample(kShots, 17, threads), expected);
+  }
+}
+
+TEST(StreamingSession, DenseStrategyStreamsIdenticalBits) {
+  // kDense and kSparse compute the same product M·B, and both must hold
+  // under shard streaming.
+  const Circuit circuit = noisy_surface_circuit();
+  CompileOptions dense;
+  dense.multiply = MultiplyStrategy::kDense;
+  const SimulatorSession sparse_session(circuit);
+  const SimulatorSession dense_session(circuit, dense);
+  const SampleTask task =
+      SampleTask::measurements(kShots).with_seed(19).with_threads(4);
+  EXPECT_EQ(dense_session.run_to_matrix(task),
+            sparse_session.run_to_matrix(task));
+}
+
+TEST(StreamingSession, CallbackSinkDeliversOrderedDisjointChunks) {
+  const Circuit circuit = noisy_surface_circuit();
+  const SimulatorSession session(circuit);
+
+  SampleStreamInfo seen_info;
+  BitMatrix reassembled;
+  std::size_t next_shot = 0;
+  std::size_t chunks = 0;
+  CallbackSink sink(
+      [&](const SampleChunk& chunk) {
+        EXPECT_EQ(chunk.shot_offset, next_shot);
+        EXPECT_GT(chunk.num_shots, 0u);
+        for (std::size_t r = 0; r < reassembled.rows(); ++r) {
+          for (std::size_t j = 0; j < chunk.num_shots; ++j) {
+            reassembled.set(r, chunk.shot_offset + j, chunk.bits->get(r, j));
+          }
+        }
+        next_shot += chunk.num_shots;
+        ++chunks;
+      },
+      [&](const SampleStreamInfo& info) {
+        seen_info = info;
+        reassembled = BitMatrix(info.bits_per_shot, info.num_shots);
+      });
+
+  session.run(SampleTask::measurements(kShots).with_seed(23).with_threads(4),
+              sink);
+  EXPECT_EQ(seen_info.num_shots, kShots);
+  EXPECT_EQ(seen_info.bits_per_shot, circuit.num_measurements());
+  EXPECT_EQ(next_shot, kShots);
+  EXPECT_EQ(chunks, num_sample_shards(kShots));
+  EXPECT_EQ(reassembled, session.compiled().sample(kShots, 23));
+}
+
+TEST(StreamingSession, BitSelectionExtractsMatchingRows) {
+  const Circuit circuit = noisy_surface_circuit();
+  const SimulatorSession session(circuit);
+  const BitMatrix full = session.compiled().sample(kShots, 29);
+  const std::vector<std::size_t> rows = {0, 3, 7, full.rows() - 1};
+
+  const BitMatrix subset = session.run_to_matrix(
+      SampleTask::measurements(kShots).with_seed(29).with_bit_selection(rows));
+  ASSERT_EQ(subset.rows(), rows.size());
+  ASSERT_EQ(subset.cols(), kShots);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t w = 0; w < words_for_bits(kShots); ++w) {
+      ASSERT_EQ(subset.row(i)[w], full.row(rows[i])[w])
+          << "selected row " << rows[i] << " word " << w;
+    }
+  }
+}
+
+TEST(StreamingSession, BitSelectionSplitsDetectorPrefix) {
+  // Selecting 2 detectors + the observable: the dets rendering must
+  // relabel the observable as L0 after the two D rows.
+  const Circuit circuit = noisy_surface_circuit();
+  const SimulatorSession session(circuit);
+  const std::size_t dets = session.num_detectors();
+  const std::vector<std::size_t> rows = {1, dets - 1, dets};
+
+  std::ostringstream oss;
+  WriterSink sink(oss, SampleFormat::kDets);
+  session.run(SampleTask::detection_events(kShots)
+                  .with_seed(31)
+                  .with_bit_selection(rows),
+              sink);
+  const BitMatrix joint = direct_symphase_joint(session.compiled(), kShots,
+                                                31);
+  BitMatrix expected_rows(rows.size(), kShots);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    expected_rows.xor_words_into_row(
+        {joint.row(rows[i]), joint.words_per_row()}, i);
+  }
+  EXPECT_EQ(oss.str(),
+            samples_to_string(expected_rows, SampleFormat::kDets, 2));
+}
+
+TEST(StreamingSession, RejectsOutOfRangeSelection) {
+  const Circuit circuit = noisy_surface_circuit();
+  const SimulatorSession session(circuit);
+  BitMatrixSink sink;
+  EXPECT_THROW(
+      session.run(SampleTask::measurements(64).with_bit_selection(
+                      {circuit.num_measurements()}),
+                  sink),
+      std::invalid_argument);
+  EXPECT_THROW(
+      session.run(SampleTask::measurements(64).with_bit_selection({3, 3}),
+                  sink),
+      std::invalid_argument);
+}
+
+TEST(StreamingSession, EdgeShotCounts) {
+  const Circuit circuit = noisy_surface_circuit();
+  const SimulatorSession session(circuit);
+
+  // Zero shots: begin/end still fire, matrix is rows x 0.
+  const BitMatrix empty =
+      session.run_to_matrix(SampleTask::measurements(0).with_seed(1));
+  EXPECT_EQ(empty.rows(), circuit.num_measurements());
+  EXPECT_EQ(empty.cols(), 0u);
+
+  // Sub-shard run: one chunk, identical to the materialized sampler.
+  const BitMatrix small =
+      session.run_to_matrix(SampleTask::measurements(100).with_seed(1));
+  EXPECT_EQ(small, session.compiled().sample(100, 1));
+
+  // Exact shard multiple: no ragged tail.
+  const BitMatrix exact = session.run_to_matrix(
+      SampleTask::measurements(kSampleShardBits).with_seed(1));
+  EXPECT_EQ(exact, session.compiled().sample(kSampleShardBits, 1));
+}
+
+TEST(StreamingSession, FrameDetectionMatchesMaterializedEvents) {
+  // The per-shard detector fold must reproduce the materialized
+  // FrameSimulator::sample_detection_events split exactly.
+  const Circuit circuit = noisy_surface_circuit();
+  const SimulatorSession session(circuit);
+  const FrameSimulator direct(circuit, kFrameSeed);
+  const auto events = direct.sample_detection_events(kShots, 37);
+
+  const BitMatrix joint = session.run_to_matrix(
+      SampleTask::detection_events(kShots).with_seed(37).with_backend(
+          SampleBackend::kFrameSimulator));
+  ASSERT_EQ(joint.rows(), events.detectors.rows() + events.observables.rows());
+  for (std::size_t d = 0; d < events.detectors.rows(); ++d) {
+    for (std::size_t w = 0; w < words_for_bits(kShots); ++w) {
+      ASSERT_EQ(joint.row(d)[w], events.detectors.row(d)[w]);
+    }
+  }
+  for (std::size_t k = 0; k < events.observables.rows(); ++k) {
+    for (std::size_t w = 0; w < words_for_bits(kShots); ++w) {
+      ASSERT_EQ(joint.row(events.detectors.rows() + k)[w],
+                events.observables.row(k)[w]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace symphase

@@ -7,7 +7,10 @@
 //   symphase gen     FAMILY [options]                  emit a circuit (text format)
 //
 // CIRCUIT is a file in the Stim-style text format, or "-" for stdin.
-// Samples print shot-major: one line of 0/1 per shot. `gen` families:
+// Samples print shot-major: one line of 0/1 per shot. `sample`/`detect`
+// run through the SimulatorSession streaming API (src/api/), so output
+// is produced shard-by-shard: peak memory is bounded by the shard size
+// and thread count, not by --shots. `gen` families:
 //   surface    --distance D --rounds R --p-data P --p-gate P --p-meas P
 //   steane     --rounds R --p-data P --p-meas P
 //   repetition --distance D --rounds R --p-data P --p-gate P --p-meas P
@@ -22,6 +25,7 @@
 #include <sstream>
 #include <string>
 
+#include "api/session.hpp"
 #include "circuit/surface_code.hpp"
 #include "core/symphase.hpp"
 #include "sampler/sample_writer.hpp"
@@ -36,8 +40,10 @@ using namespace symphase;
   }
   std::cerr <<
       "usage:\n"
-      "  symphase sample  CIRCUIT [--shots N] [--seed S] [--format 01|hex|b8]\n"
-      "  symphase detect  CIRCUIT [--shots N] [--seed S] [--format 01|hex|b8|dets]\n"
+      "  symphase sample  CIRCUIT [--shots N] [--seed S] [--threads N]\n"
+      "                   [--format 01|hex|b8] [--backend symphase|frames]\n"
+      "  symphase detect  CIRCUIT [--shots N] [--seed S] [--threads N]\n"
+      "                   [--format 01|hex|b8|dets] [--backend symphase|frames]\n"
       "  symphase analyze CIRCUIT [--max-expr K]\n"
       "  symphase dem     CIRCUIT\n"
       "  symphase gen     surface|repetition|steane|layered [options]\n";
@@ -72,7 +78,28 @@ class Options {
   std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) {
     consumed_.insert(key);
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stoull(it->second);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    // Malformed numbers are usage errors (exit 2), not runtime errors:
+    // std::stoull throws std::invalid_argument/std::out_of_range, and a
+    // partial parse like "12x" is rejected explicitly. A leading minus
+    // must be rejected too — stoull would silently wrap "-1" to 2^64-1.
+    try {
+      if (it->second.find_first_not_of("0123456789") != std::string::npos) {
+        usage("invalid integer for --" + key + ": '" + it->second + "'");
+      }
+      std::size_t pos = 0;
+      const std::uint64_t value = std::stoull(it->second, &pos);
+      if (pos != it->second.size()) {
+        usage("invalid integer for --" + key + ": '" + it->second + "'");
+      }
+      return value;
+    } catch (const std::invalid_argument&) {
+      usage("invalid integer for --" + key + ": '" + it->second + "'");
+    } catch (const std::out_of_range&) {
+      usage("integer out of range for --" + key + ": '" + it->second + "'");
+    }
   }
 
   std::string get_string(const std::string& key, std::string fallback) {
@@ -84,7 +111,21 @@ class Options {
   double get_double(const std::string& key, double fallback) {
     consumed_.insert(key);
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    try {
+      std::size_t pos = 0;
+      const double value = std::stod(it->second, &pos);
+      if (pos != it->second.size()) {
+        usage("invalid number for --" + key + ": '" + it->second + "'");
+      }
+      return value;
+    } catch (const std::invalid_argument&) {
+      usage("invalid number for --" + key + ": '" + it->second + "'");
+    } catch (const std::out_of_range&) {
+      usage("number out of range for --" + key + ": '" + it->second + "'");
+    }
   }
 
  private:
@@ -101,48 +142,57 @@ Circuit load_circuit(const std::string& path) {
   return parse_circuit_file(path);
 }
 
+SampleBackend backend_from_name(const std::string& name) {
+  if (name == "symphase") {
+    return SampleBackend::kSymPhase;
+  }
+  if (name == "frames") {
+    return SampleBackend::kFrameSimulator;
+  }
+  usage("unknown backend '" + name + "' (symphase|frames)");
+}
+
+/// Shared option handling for the sampling subcommands: every knob of a
+/// SampleTask is surfaced as a flag.
+SampleTask task_from_options(SampleTarget target, Options& opt) {
+  SampleTask task;
+  task.target = target;
+  task.shots = opt.get_u64("shots", 1024);
+  task.seed = opt.get_u64("seed", 0);
+  task.num_threads = opt.get_u64("threads", 0);
+  task.backend = backend_from_name(opt.get_string("backend", "symphase"));
+  return task;
+}
+
 int cmd_sample(const std::string& path, Options& opt) {
-  const auto shots = opt.get_u64("shots", 1024);
-  const auto seed = opt.get_u64("seed", 0);
+  const SampleTask task =
+      task_from_options(SampleTarget::kMeasurements, opt);
   const SampleFormat format =
       sample_format_from_name(opt.get_string("format", "01"));
   if (format == SampleFormat::kDets) {
     usage("dets format is for `symphase detect`");
   }
-  const Circuit circuit = load_circuit(path);
-  const CompiledSampler sampler = CompiledSampler::compile(circuit);
-  write_samples(sampler.sample(shots, seed), format, std::cout);
+  const SimulatorSession session(load_circuit(path));
+  WriterSink sink(std::cout, format);
+  session.run(task, sink);
   return 0;
 }
 
 int cmd_detect(const std::string& path, Options& opt) {
-  const auto shots = opt.get_u64("shots", 1024);
-  const auto seed = opt.get_u64("seed", 0);
-  const Circuit circuit = load_circuit(path);
-  const CompiledSampler sampler = CompiledSampler::compile(circuit);
-  if (sampler.num_detectors() == 0 && sampler.num_observables() == 0) {
+  const SampleTask task =
+      task_from_options(SampleTarget::kDetectionEvents, opt);
+  const SampleFormat format =
+      sample_format_from_name(opt.get_string("format", "dets"));
+  const SimulatorSession session(load_circuit(path));
+  if (session.num_detectors() == 0 && session.num_observables() == 0) {
     std::cerr << "error: circuit declares no detectors or observables; "
                  "use `symphase sample`\n";
     return 1;
   }
-
-  const SampleFormat format =
-      sample_format_from_name(opt.get_string("format", "dets"));
-  const auto events = sampler.sample_detection_events(shots, seed);
-  // Concatenate detectors and observables per shot (detector-major rows
-  // first), then serialize shot-major.
-  BitMatrix joint(events.detectors.rows() + events.observables.rows(),
-                  shots);
-  for (std::size_t d = 0; d < events.detectors.rows(); ++d) {
-    joint.xor_words_into_row(
-        {events.detectors.row(d), events.detectors.words_per_row()}, d);
-  }
-  for (std::size_t k = 0; k < events.observables.rows(); ++k) {
-    joint.xor_words_into_row(
-        {events.observables.row(k), events.observables.words_per_row()},
-        events.detectors.rows() + k);
-  }
-  write_samples(joint, format, std::cout, events.detectors.rows());
+  // The detection record streams detectors first, observables after;
+  // WriterSink picks the D/L split up from the stream metadata.
+  WriterSink sink(std::cout, format);
+  session.run(task, sink);
   return 0;
 }
 
