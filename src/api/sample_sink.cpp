@@ -23,8 +23,17 @@ void BitMatrixSink::consume(const SampleChunk& chunk) {
 
 void WriterSink::consume(const SampleChunk& chunk) {
   SYMPHASE_CHECK(chunk.bits != nullptr);
+  shots_seen_ += chunk.num_shots;
+  // Packed ptb64 records cover 64 shots each: a ragged chunk is only
+  // serializable as the very last one (its final group is zero-padded,
+  // exactly like the materialized writer's tail).
+  SYMPHASE_CHECK_MSG(format_ != SampleFormat::kPtb64 ||
+                         chunk.num_shots % kWordBits == 0 ||
+                         shots_seen_ == info_.num_shots,
+                     "ptb64 stream flushed on a non-64-shot boundary mid-run");
   write_samples(*chunk.bits, format_, out_, info_.num_detectors,
                 chunk.num_shots);
+  out_.flush();
 }
 
 }  // namespace symphase

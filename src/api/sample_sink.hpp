@@ -81,12 +81,25 @@ class BitMatrixSink final : public SampleSink {
 /// Streams chunks through the SampleFormat serializers into an ostream.
 /// The concatenated output is byte-identical to write_samples() on the
 /// materialized matrix, but peak memory is one shard, not the run.
+///
+/// Flushing is chunk-aligned: the stream is flushed after every chunk,
+/// so an incremental consumer (the service's wire frames, a pipe) sees
+/// whole serialized chunks, never a partial record. For the packed
+/// kPtb64 format — whose records span 64 shots — a non-final chunk must
+/// cover a multiple of 64 shots or the per-chunk serialization would
+/// zero-pad mid-stream and diverge from the materialized output; the
+/// sink rejects such chunks outright (the engine's word-aligned shard
+/// chunks always satisfy this, see tests/streaming_session_test.cpp's
+/// ragged-shot regressions).
 class WriterSink final : public SampleSink {
  public:
   WriterSink(std::ostream& out, SampleFormat format)
       : out_(out), format_(format) {}
 
-  void begin(const SampleStreamInfo& info) override { info_ = info; }
+  void begin(const SampleStreamInfo& info) override {
+    info_ = info;
+    shots_seen_ = 0;
+  }
   void consume(const SampleChunk& chunk) override;
   void end() override { out_.flush(); }
 
@@ -94,6 +107,7 @@ class WriterSink final : public SampleSink {
   std::ostream& out_;
   SampleFormat format_;
   SampleStreamInfo info_;
+  std::size_t shots_seen_ = 0;
 };
 
 /// Hands each chunk to a user callback — the extension point for custom

@@ -26,6 +26,7 @@ const CompiledSampler& SimulatorSession::compiled() const {
   if (!compiled_) {
     compiled_ = std::make_unique<CompiledSampler>(
         CompiledSampler::compile(circuit_, options_));
+    compiled_built_.store(true, std::memory_order_release);
   }
   return *compiled_;
 }
@@ -34,6 +35,7 @@ const FrameSimulator& SimulatorSession::frames() const {
   const std::lock_guard<std::mutex> lock(build_mutex_);
   if (!frames_) {
     frames_ = std::make_unique<FrameSimulator>(circuit_, kFrameReferenceSeed);
+    frames_built_.store(true, std::memory_order_release);
   }
   return *frames_;
 }
@@ -42,6 +44,7 @@ const DetectorLayout& SimulatorSession::detector_layout() const {
   const std::lock_guard<std::mutex> lock(build_mutex_);
   if (!layout_) {
     layout_ = std::make_unique<DetectorLayout>(resolve_detectors(circuit_));
+    layout_built_.store(true, std::memory_order_release);
   }
   return *layout_;
 }
@@ -140,6 +143,24 @@ BitMatrix SimulatorSession::run_to_matrix(const SampleTask& task) const {
   BitMatrixSink sink;
   run(task, sink);
   return sink.take();
+}
+
+SessionArtifacts SimulatorSession::artifacts() const {
+  SessionArtifacts a;
+  a.compiled = compiled_built_.load(std::memory_order_acquire);
+  a.frames = frames_built_.load(std::memory_order_acquire);
+  a.layout = layout_built_.load(std::memory_order_acquire);
+  return a;
+}
+
+void SimulatorSession::reset() {
+  const std::lock_guard<std::mutex> lock(build_mutex_);
+  compiled_.reset();
+  frames_.reset();
+  layout_.reset();
+  compiled_built_.store(false, std::memory_order_release);
+  frames_built_.store(false, std::memory_order_release);
+  layout_built_.store(false, std::memory_order_release);
 }
 
 }  // namespace symphase

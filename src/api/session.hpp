@@ -20,6 +20,7 @@
 /// only on (task.seed, task.shots, backend) — never on thread count,
 /// sink choice, or how previous tasks exercised the session.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -29,6 +30,16 @@
 #include "core/symphase.hpp"
 
 namespace symphase {
+
+/// Which of a session's lazily built artifacts currently exist. The
+/// service's cache stats are summed from these snapshots: `compiled`
+/// flips to true exactly once per SymPhase compilation, so "how many
+/// compiles did N requests cost" is directly observable.
+struct SessionArtifacts {
+  bool compiled = false;  ///< CompiledSampler (symbolic compilation) built.
+  bool frames = false;    ///< FrameSimulator baseline built.
+  bool layout = false;    ///< Detector/observable layout resolved.
+};
 
 class SimulatorSession {
  public:
@@ -63,6 +74,17 @@ class SimulatorSession {
   /// (measurement-major, like CompiledSampler::sample).
   BitMatrix run_to_matrix(const SampleTask& task) const;
 
+  /// Snapshot of which artifacts have been built so far. Never blocks —
+  /// safe to call (for stats) while another thread is mid-compile.
+  SessionArtifacts artifacts() const;
+
+  /// Drops every built artifact; the next task rebuilds on demand.
+  /// Frees a cached-but-idle session's memory without invalidating
+  /// handles to it. Must not race a concurrently running task (the
+  /// artifacts it borrowed would be destroyed under it) — the service
+  /// only resets sessions it has quiesced.
+  void reset();
+
  private:
   const DetectorLayout& detector_layout() const;
 
@@ -74,6 +96,12 @@ class SimulatorSession {
   mutable std::unique_ptr<CompiledSampler> compiled_;
   mutable std::unique_ptr<FrameSimulator> frames_;
   mutable std::unique_ptr<DetectorLayout> layout_;
+  /// Lock-free mirrors of the pointers above for artifacts(): stats and
+  /// cache-eviction accounting must never block behind an in-progress
+  /// compile holding build_mutex_.
+  mutable std::atomic<bool> compiled_built_{false};
+  mutable std::atomic<bool> frames_built_{false};
+  mutable std::atomic<bool> layout_built_{false};
 };
 
 }  // namespace symphase

@@ -19,11 +19,14 @@ SampleFormat sample_format_from_name(std::string_view name) {
   if (name == "b8") {
     return SampleFormat::kB8;
   }
+  if (name == "ptb64") {
+    return SampleFormat::kPtb64;
+  }
   if (name == "dets") {
     return SampleFormat::kDets;
   }
-  SYMPHASE_CHECK_MSG(false, "unknown sample format '" << name
-                                                      << "' (01|hex|b8|dets)");
+  SYMPHASE_CHECK_MSG(false, "unknown sample format '"
+                                << name << "' (01|hex|b8|ptb64|dets)");
   return SampleFormat::k01;
 }
 
@@ -80,6 +83,28 @@ void write_samples(const BitMatrix& samples, SampleFormat format,
         }
         out.write(record.data(),
                   static_cast<std::streamsize>(record.size()));
+      }
+      return;
+    }
+    case SampleFormat::kPtb64: {
+      // One u64 per record bit per 64-shot group — exactly the matrix's
+      // own word layout, so each word copies straight out of the row.
+      // The matrix may carry stale bits beyond `shots` (streaming shard
+      // scratch is reused), so the final partial group is masked.
+      const std::size_t groups = ceil_div(shots, kWordBits);
+      char word_bytes[8];
+      for (std::size_t g = 0; g < groups; ++g) {
+        const std::size_t valid = std::min<std::size_t>(shots - g * kWordBits,
+                                                        kWordBits);
+        const std::uint64_t mask =
+            valid == kWordBits ? ~0ull : (1ull << valid) - 1;
+        for (std::size_t k = 0; k < bits; ++k) {
+          const std::uint64_t word = samples.row(k)[g] & mask;
+          for (std::size_t b = 0; b < 8; ++b) {
+            word_bytes[b] = static_cast<char>((word >> (8 * b)) & 0xff);
+          }
+          out.write(word_bytes, 8);
+        }
       }
       return;
     }
@@ -180,6 +205,30 @@ BitMatrix read_samples(std::istream& in, SampleFormat format,
         shots.push_back(std::move(shot));
       }
       SYMPHASE_CHECK_MSG(in.gcount() == 0, "trailing partial b8 record");
+      break;
+    }
+    case SampleFormat::kPtb64: {
+      SYMPHASE_CHECK_MSG(bits_per_shot > 0,
+                         "ptb64 needs at least one bit per shot");
+      std::vector<char> group(bits_per_shot * 8);
+      while (in.read(group.data(),
+                     static_cast<std::streamsize>(group.size()))) {
+        const std::size_t shot0 = shots.size();
+        shots.resize(shot0 + kWordBits,
+                     std::vector<bool>(bits_per_shot, false));
+        for (std::size_t k = 0; k < bits_per_shot; ++k) {
+          std::uint64_t word = 0;
+          for (std::size_t b = 0; b < 8; ++b) {
+            word |= static_cast<std::uint64_t>(
+                        static_cast<unsigned char>(group[k * 8 + b]))
+                    << (8 * b);
+          }
+          for (std::size_t j = 0; j < kWordBits; ++j) {
+            shots[shot0 + j][k] = (word >> j) & 1;
+          }
+        }
+      }
+      SYMPHASE_CHECK_MSG(in.gcount() == 0, "trailing partial ptb64 group");
       break;
     }
     case SampleFormat::kDets:

@@ -14,9 +14,20 @@
 ///          one line per shot.
 ///   kB8  — raw binary: ceil(bits/8) bytes per shot, bit i of the record
 ///          at byte i/8, bit position i%8 (Stim's b8 layout).
+///   kPtb64— raw binary, transposed in 64-shot groups (Stim's ptb64):
+///          for each group of 64 shots, one little-endian u64 per record
+///          bit, bit j of the word = that record bit in shot 64g+j. The
+///          final group is zero-padded when shots % 64 != 0, so readers
+///          need the true shot count out of band.
 ///   kDets— sparse ASCII: "shot D1 D5 L0" event lists, one line per
 ///          shot (detector sampling only; pass num_detectors so indices
 ///          beyond it print as logical observables).
+///
+/// Record boundaries vs. streaming: k01/kHex/kB8/kDets records are
+/// per-shot, so any shot-aligned chunking concatenates cleanly. kPtb64
+/// records span 64 shots, so a streamed writer may only flush on
+/// 64-shot-aligned boundaries (WriterSink enforces this; the engine's
+/// word-aligned shard chunks always satisfy it).
 
 #include <cstdint>
 #include <ostream>
@@ -26,9 +37,9 @@
 
 namespace symphase {
 
-enum class SampleFormat { k01, kHex, kB8, kDets };
+enum class SampleFormat { k01, kHex, kB8, kPtb64, kDets };
 
-/// Parses "01", "hex", "b8", "dets"; throws on anything else.
+/// Parses "01", "hex", "b8", "ptb64", "dets"; throws on anything else.
 SampleFormat sample_format_from_name(std::string_view name);
 
 /// Writes `samples` (measurement-major) to `out` shot-major in `format`.
@@ -47,9 +58,11 @@ std::string samples_to_string(const BitMatrix& samples, SampleFormat format,
                               std::size_t num_detectors = SIZE_MAX,
                               std::size_t num_shots = SIZE_MAX);
 
-/// Reads back a shot-major k01/kHex/kB8 stream into a measurement-major
+/// Reads back a k01/kHex/kB8/kPtb64 stream into a measurement-major
 /// matrix with `bits_per_shot` columns-per-record. Round-trips
-/// write_samples exactly. Throws on malformed input.
+/// write_samples exactly, except that kPtb64's zero-padded final group
+/// makes the returned shot count a multiple of 64. Throws on malformed
+/// input.
 BitMatrix read_samples(std::istream& in, SampleFormat format,
                        std::size_t bits_per_shot);
 

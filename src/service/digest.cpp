@@ -1,0 +1,48 @@
+#include "service/digest.hpp"
+
+#include "circuit/parser.hpp"
+
+namespace symphase {
+
+std::string fnv128_hex(std::string_view bytes) {
+  // FNV-1a with the standard 128-bit offset basis and prime
+  // (0x6c62272e07bb014262b821756295c58d / 2^88 + 2^8 + 0x3b).
+  using u128 = unsigned __int128;
+  constexpr u128 kOffset =
+      (static_cast<u128>(0x6c62272e07bb0142ULL) << 64) | 0x62b821756295c58dULL;
+  constexpr u128 kPrime = (static_cast<u128>(1) << 88) | (1u << 8) | 0x3b;
+  u128 h = kOffset;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kPrime;
+  }
+  static const char kDigits[] = "0123456789abcdef";
+  std::string hex(32, '0');
+  for (int i = 31; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = kDigits[static_cast<unsigned>(h & 0xf)];
+    h >>= 4;
+  }
+  return hex;
+}
+
+std::string circuit_digest(const Circuit& circuit) {
+  return fnv128_hex(circuit.to_text());
+}
+
+std::string circuit_text_digest(std::string_view text) {
+  return circuit_digest(parse_circuit(text));
+}
+
+bool is_digest_string(std::string_view s) {
+  if (s.size() != 32) {
+    return false;
+  }
+  for (const char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace symphase

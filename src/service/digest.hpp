@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file digest.hpp
+/// Canonical circuit digests — the cache/batching key of the service.
+///
+/// Two requests should share one compiled SimulatorSession exactly when
+/// they describe the same circuit, regardless of how the text was
+/// formatted. The digest therefore hashes the *parsed* circuit rendered
+/// back through Circuit::to_text(): comments, blank lines, indentation,
+/// and target spacing all vanish in the parse, so "the same circuit,
+/// reformatted" maps to the same digest, while any semantic difference
+/// (an extra gate, a changed probability) changes it.
+///
+/// The hash is 128-bit FNV-1a, rendered as 32 lowercase hex characters.
+/// It is a cache key, not a cryptographic commitment: collisions are
+/// astronomically unlikely for honest inputs but the service never
+/// treats digest equality as proof against an adversary.
+
+#include <string>
+#include <string_view>
+
+#include "circuit/circuit.hpp"
+
+namespace symphase {
+
+/// 128-bit FNV-1a over raw bytes, as 32 lowercase hex chars.
+std::string fnv128_hex(std::string_view bytes);
+
+/// Digest of an already parsed circuit (hashes its canonical text).
+std::string circuit_digest(const Circuit& circuit);
+
+/// Parses `text` and digests the result. Throws std::invalid_argument on
+/// parse errors, like parse_circuit. Whitespace/comment-only differences
+/// in `text` do not change the digest.
+std::string circuit_text_digest(std::string_view text);
+
+/// True if `s` has the shape of a digest (32 lowercase hex chars).
+bool is_digest_string(std::string_view s);
+
+}  // namespace symphase

@@ -1,0 +1,287 @@
+#include "service/service.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "circuit/parser.hpp"
+#include "common/check.hpp"
+#include "service/digest.hpp"
+
+namespace symphase {
+
+namespace {
+
+/// SampleSink that serializes chunks through WriterSink (so format
+/// bytes, flushing discipline, and ptb64 alignment checks are exactly
+/// the streaming CLI's) and ships the bytes as wire data frames, split
+/// at the payload cap. end() appends the final status frame.
+class FrameSink final : public SampleSink {
+ public:
+  FrameSink(std::uint64_t request_id, SampleFormat format,
+            std::size_t max_payload, const FrameFn& emit)
+      : request_id_(request_id),
+        max_payload_(max_payload),
+        emit_(emit),
+        writer_(buffer_, format) {}
+
+  void begin(const SampleStreamInfo& info) override { writer_.begin(info); }
+
+  void consume(const SampleChunk& chunk) override {
+    writer_.consume(chunk);
+    ship_buffer();
+  }
+
+  void end() override {
+    writer_.end();
+    ship_buffer();
+    FrameHeader header;
+    header.request_id = request_id_;
+    header.chunk_index = next_chunk_++;
+    header.flags = kFrameLast;
+    emit_(header, {});
+  }
+
+  /// The chunk index an error frame should carry to stay contiguous.
+  std::uint32_t next_chunk_index() const { return next_chunk_; }
+
+ private:
+  void ship_buffer() {
+    const std::string bytes = buffer_.str();
+    buffer_.str({});
+    for (std::size_t offset = 0; offset < bytes.size();
+         offset += max_payload_) {
+      FrameHeader header;
+      header.request_id = request_id_;
+      header.chunk_index = next_chunk_++;
+      const std::string_view slice =
+          std::string_view(bytes).substr(offset, max_payload_);
+      header.payload_bytes = static_cast<std::uint32_t>(slice.size());
+      emit_(header, slice);
+    }
+  }
+
+  std::uint64_t request_id_;
+  std::size_t max_payload_;
+  const FrameFn& emit_;
+  std::ostringstream buffer_;
+  WriterSink writer_;
+  std::uint32_t next_chunk_ = 0;
+};
+
+}  // namespace
+
+std::string ServiceStats::to_line() const {
+  std::ostringstream oss;
+  oss << "hits=" << hits << " misses=" << misses << " evictions=" << evictions
+      << " compiles=" << compiles << " frame_builds=" << frame_builds
+      << " completed=" << completed << " failed=" << failed << '\n';
+  return oss.str();
+}
+
+SamplingService::SamplingService(ServiceOptions options)
+    : options_(options) {
+  SYMPHASE_CHECK(options_.num_workers >= 1);
+  SYMPHASE_CHECK(options_.queue_capacity >= 1);
+  SYMPHASE_CHECK(options_.session_cache_capacity >= 1);
+  SYMPHASE_CHECK(options_.max_frame_payload >= 1);
+  // The header's length field is u32; a larger per-frame cap would let
+  // ship_buffer() cut slices encode_frame() cannot represent.
+  SYMPHASE_CHECK(options_.max_frame_payload <= 0xffffffffu);
+  SYMPHASE_CHECK(options_.registry_capacity >= 1);
+  workers_.reserve(options_.num_workers);
+  for (std::size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SamplingService::~SamplingService() { stop(); }
+
+std::string SamplingService::register_circuit(std::string_view circuit_text) {
+  Circuit circuit = parse_circuit(circuit_text);
+  std::string digest = circuit_digest(circuit);
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  register_locked(digest, std::move(circuit));
+  return digest;
+}
+
+void SamplingService::register_locked(const std::string& digest,
+                                      Circuit circuit) {
+  const auto existing = registry_.find(digest);
+  if (existing != registry_.end()) {
+    registry_lru_.splice(registry_lru_.begin(), registry_lru_,
+                         existing->second.lru_position);
+    return;
+  }
+  registry_lru_.push_front(digest);
+  registry_.emplace(digest,
+                    RegistryEntry{std::move(circuit), registry_lru_.begin()});
+  while (registry_.size() > options_.registry_capacity) {
+    registry_.erase(registry_lru_.back());
+    registry_lru_.pop_back();
+  }
+}
+
+void SamplingService::submit(std::uint64_t request_id, SampleRequest request,
+                             FrameFn emit) {
+  SYMPHASE_CHECK_MSG(request.verb == RequestVerb::kSample ||
+                         request.verb == RequestVerb::kDetect,
+                     "submit() only takes sample/detect requests");
+  SYMPHASE_CHECK(emit != nullptr);
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_space_.wait(lock, [this] {
+    return stopping_ || queue_.size() < options_.queue_capacity;
+  });
+  SYMPHASE_CHECK_MSG(!stopping_, "service is stopped");
+  queue_.push_back(Job{request_id, std::move(request), std::move(emit)});
+  queue_work_.notify_one();
+}
+
+void SamplingService::drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_idle_.wait(lock,
+                   [this] { return queue_.empty() && active_jobs_ == 0; });
+}
+
+void SamplingService::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_ && workers_.empty()) {
+      return;
+    }
+    stopping_ = true;
+    queue_work_.notify_all();
+    queue_space_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+}
+
+void SamplingService::clear_sessions() {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (const auto& [digest, entry] : cache_) {
+    retire_artifacts(*entry.session);
+    ++evictions_;
+  }
+  cache_.clear();
+  lru_.clear();
+}
+
+ServiceStats SamplingService::stats() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  ServiceStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.compiles = retired_compiles_;
+  s.frame_builds = retired_frame_builds_;
+  for (const auto& [digest, entry] : cache_) {
+    const SessionArtifacts artifacts = entry.session->artifacts();
+    s.compiles += artifacts.compiled;
+    s.frame_builds += artifacts.frames;
+  }
+  s.completed = completed_;
+  s.failed = failed_;
+  return s;
+}
+
+void SamplingService::retire_artifacts(const SimulatorSession& session) {
+  // Snapshot at retirement: a request still holding the evicted session
+  // and compiling concurrently is counted a frame late (or not at all if
+  // the service is destroyed first) — an accounting race accepted for
+  // not keeping evicted sessions alive.
+  const SessionArtifacts artifacts = session.artifacts();
+  retired_compiles_ += artifacts.compiled;
+  retired_frame_builds_ += artifacts.frames;
+}
+
+std::shared_ptr<SimulatorSession> SamplingService::session_for(
+    const std::string& digest) {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto hit = cache_.find(digest);
+  if (hit != cache_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, hit->second.lru_position);
+    return hit->second.session;
+  }
+  const auto registered = registry_.find(digest);
+  SYMPHASE_CHECK_MSG(registered != registry_.end(),
+                     "unknown circuit digest " << digest);
+  registry_lru_.splice(registry_lru_.begin(), registry_lru_,
+                       registered->second.lru_position);
+  ++misses_;
+  // Construction is cheap — compilation stays deferred until the worker
+  // actually samples, outside the cache lock, guarded by the session's
+  // own build mutex (so same-digest racers still compile once).
+  auto session =
+      std::make_shared<SimulatorSession>(registered->second.circuit);
+  lru_.push_front(digest);
+  cache_.emplace(digest, CacheEntry{session, lru_.begin()});
+  while (cache_.size() > options_.session_cache_capacity) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    const auto it = cache_.find(victim);
+    retire_artifacts(*it->second.session);
+    cache_.erase(it);
+    ++evictions_;
+  }
+  return session;
+}
+
+void SamplingService::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and drained
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_jobs_;
+      queue_space_.notify_one();
+    }
+    process(job);
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      --active_jobs_;
+      if (queue_.empty() && active_jobs_ == 0) {
+        queue_idle_.notify_all();
+      }
+    }
+  }
+}
+
+void SamplingService::process(Job& job) {
+  FrameSink sink(job.request_id, job.request.format,
+                 options_.max_frame_payload, job.emit);
+  try {
+    std::string digest = job.request.digest;
+    if (digest.empty()) {
+      digest = register_circuit(job.request.circuit_text);
+    }
+    const std::shared_ptr<SimulatorSession> session = session_for(digest);
+    session->run(job.request.task, sink);
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    ++completed_;
+  } catch (const std::exception& e) {
+    try {
+      FrameHeader header;
+      header.request_id = job.request_id;
+      header.chunk_index = sink.next_chunk_index();
+      header.flags = kFrameLast | kFrameError;
+      const std::string_view what = e.what();
+      header.payload_bytes = static_cast<std::uint32_t>(what.size());
+      job.emit(header, what);
+    } catch (...) {
+      // The emitter itself failed (e.g. a closed client stream); the
+      // request is still accounted below, there is nobody left to tell.
+    }
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    ++failed_;
+  }
+}
+
+}  // namespace symphase

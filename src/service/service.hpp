@@ -1,0 +1,196 @@
+#pragma once
+
+/// \file service.hpp
+/// SamplingService — the serving front-end over the task/session API.
+///
+/// The paper's compile-once/sample-many split only pays off under load
+/// if concurrent requests for the same circuit actually share one
+/// compiled artifact. The service makes that sharing structural:
+///
+///   submit() --> bounded queue --> worker pool --> LRU session cache
+///                                        |              keyed by the
+///                                        v              canonical
+///                               SimulatorSession        circuit digest
+///                                        |
+///                                        v
+///                    FrameSink: chunked wire frames (wire.hpp)
+///
+/// Requests carrying the same circuit — whether as inline text (any
+/// formatting) or as a registered digest handle — map to the same
+/// digest (digest.hpp) and are batched onto one cached
+/// SimulatorSession, so N concurrent requests cost one symbolic
+/// compilation, observable via stats().  Each request's shots stream
+/// through the existing SampleSink machinery and leave as
+/// length-prefixed frames: data frames whose concatenation is
+/// bit-identical to the direct SimulatorSession output in the chosen
+/// writer format, then one final status frame (kFrameLast, plus
+/// kFrameError with error text when the request failed).
+///
+/// The in-process API is below; `symphase serve --stdio` wraps it in a
+/// framed stdin/stdout loop (see docs/service.md).
+///
+///   SamplingService service;
+///   const std::string digest = service.register_circuit(circuit_text);
+///   SampleRequest request = SampleRequest::sample("", 100000);
+///   request.digest = digest;
+///   service.submit(7, request, emit_frame);
+///   service.drain();
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/session.hpp"
+#include "service/request.hpp"
+#include "service/wire.hpp"
+
+namespace symphase {
+
+struct ServiceOptions {
+  /// Worker threads executing requests (>= 1). Distinct requests run
+  /// concurrently; each request additionally parallelizes its own shots
+  /// via SampleTask::num_threads.
+  std::size_t num_workers = 2;
+  /// Bounded queue depth; submit() blocks once this many requests wait.
+  std::size_t queue_capacity = 64;
+  /// Compiled-session LRU capacity (>= 1). Evicting a session in use is
+  /// safe — running requests hold shared ownership — but a re-request of
+  /// its digest recompiles.
+  std::size_t session_cache_capacity = 8;
+  /// Response frames carry at most this many payload bytes; larger
+  /// serialized chunks are split across frames.
+  std::size_t max_frame_payload = 1u << 20;
+  /// Registered-circuit capacity (>= 1, LRU). Like every other bound
+  /// here this keeps a hostile or long-running stream of distinct
+  /// circuits from growing server memory without limit; an evicted
+  /// registration makes its digest handle unknown again (re-register,
+  /// or send the circuit inline — inline requests re-register
+  /// automatically).
+  std::size_t registry_capacity = 256;
+};
+
+/// Monotonic service counters. Cache counters pin the batching contract
+/// (tests/service_test.cpp): `compiles` counts actual symbolic
+/// compilations across all sessions ever cached, so same-digest requests
+/// leave it at 1 while `hits` grows.
+struct ServiceStats {
+  std::uint64_t hits = 0;        ///< Requests served by a cached session.
+  std::uint64_t misses = 0;      ///< Requests that created a session.
+  std::uint64_t evictions = 0;   ///< Sessions dropped by LRU pressure.
+  std::uint64_t compiles = 0;    ///< CompiledSampler builds (kSymPhase).
+  std::uint64_t frame_builds = 0;  ///< FrameSimulator builds (kFrameSimulator).
+  std::uint64_t completed = 0;   ///< Requests finished successfully.
+  std::uint64_t failed = 0;      ///< Requests that ended in an error frame.
+
+  /// One-line "hits=... misses=..." rendering (the stats verb's reply).
+  std::string to_line() const;
+};
+
+/// Emits one response frame. `header.payload_bytes` is already set to
+/// `payload.size()`. Called from worker threads — possibly several
+/// concurrently for *different* requests — so sharing one output stream
+/// requires external serialization (the stdio loop holds a write mutex).
+/// Frames of a single request arrive in order from one worker.
+using FrameFn =
+    std::function<void(const FrameHeader& header, std::string_view payload)>;
+
+class SamplingService {
+ public:
+  explicit SamplingService(ServiceOptions options = {});
+  /// Stops accepting work, finishes queued requests, joins workers.
+  ~SamplingService();
+
+  SamplingService(const SamplingService&) = delete;
+  SamplingService& operator=(const SamplingService&) = delete;
+
+  /// Parses and registers `circuit_text`, returning its canonical
+  /// digest for use as a SampleRequest::digest handle. Registration is
+  /// idempotent and survives session eviction. Throws on parse errors.
+  std::string register_circuit(std::string_view circuit_text);
+
+  /// Enqueues a sample/detect request. Blocks while the queue is full
+  /// (backpressure); throws std::invalid_argument for non-sampling
+  /// verbs or a stopped service. All outcomes after acceptance —
+  /// including unknown digests and circuit parse errors — are reported
+  /// through `emit` as wire frames, never thrown.
+  void submit(std::uint64_t request_id, SampleRequest request, FrameFn emit);
+
+  /// Blocks until every submitted request has finished (its final
+  /// status frame emitted).
+  void drain();
+
+  /// drain() + reject future submissions + join workers. Idempotent.
+  void stop();
+
+  /// Drops every cached session (stats keep counting their compiles;
+  /// each drop counts as an eviction). Registered circuits remain.
+  void clear_sessions();
+
+  ServiceStats stats() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    std::uint64_t request_id = 0;
+    SampleRequest request;
+    FrameFn emit;
+  };
+
+  struct CacheEntry {
+    std::shared_ptr<SimulatorSession> session;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  struct RegistryEntry {
+    Circuit circuit;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  /// Inserts/refreshes a registration (cache_mutex_ must be held).
+  void register_locked(const std::string& digest, Circuit circuit);
+
+  void worker_loop();
+  void process(Job& job);
+  /// Cache lookup/insert; `digest` must already be registered.
+  std::shared_ptr<SimulatorSession> session_for(const std::string& digest);
+  /// Folds a leaving session's built artifacts into the retired tally
+  /// (cache_mutex_ must be held).
+  void retire_artifacts(const SimulatorSession& session);
+
+  ServiceOptions options_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_space_;  // submit() waits for room
+  std::condition_variable queue_work_;   // workers wait for jobs
+  std::condition_variable queue_idle_;   // drain() waits for quiescence
+  std::deque<Job> queue_;
+  std::size_t active_jobs_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<std::string, RegistryEntry> registry_;
+  std::list<std::string> registry_lru_;  // front = most recently used
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::list<std::string> lru_;  // front = most recently used digest
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  /// Compiles/builds of sessions no longer in the cache.
+  std::uint64_t retired_compiles_ = 0;
+  std::uint64_t retired_frame_builds_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace symphase

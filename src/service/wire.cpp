@@ -1,0 +1,195 @@
+#include "service/wire.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace symphase {
+
+namespace {
+
+void put_le(char* out, std::uint64_t value, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i) {
+    out[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint64_t get_le(const char* in, std::size_t bytes) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    value |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+constexpr std::uint8_t kKnownFlags = kFrameLast | kFrameError;
+
+}  // namespace
+
+void encode_frame_header(const FrameHeader& header,
+                         char out[kFrameHeaderBytes]) {
+  put_le(out, header.request_id, 8);
+  put_le(out + 8, header.chunk_index, 4);
+  put_le(out + 12, header.payload_bytes, 4);
+  out[16] = static_cast<char>(header.flags);
+}
+
+std::string encode_frame(FrameHeader header, std::string_view payload) {
+  SYMPHASE_CHECK_MSG(payload.size() <= 0xffffffffu,
+                     "frame payload exceeds the u32 length field");
+  header.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  std::string frame(kFrameHeaderBytes + payload.size(), '\0');
+  encode_frame_header(header, frame.data());
+  std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(),
+              payload.size());
+  return frame;
+}
+
+void write_frame(std::ostream& out, FrameHeader header,
+                 std::string_view payload) {
+  const std::string frame = encode_frame(header, payload);
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+}
+
+void FrameDecoder::fail(std::string message) {
+  failed_ = true;
+  error_ = std::move(message);
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (failed_) {
+    return;
+  }
+  // Drop the already-decoded prefix before growing, so the buffer stays
+  // bounded by one frame plus the unread tail of the feed.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+bool FrameDecoder::next(Frame& out) {
+  if (failed_) {
+    return false;
+  }
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) {
+    return false;
+  }
+  const char* head = buffer_.data() + consumed_;
+  FrameHeader header;
+  header.request_id = get_le(head, 8);
+  header.chunk_index = static_cast<std::uint32_t>(get_le(head + 8, 4));
+  header.payload_bytes = static_cast<std::uint32_t>(get_le(head + 12, 4));
+  header.flags = static_cast<std::uint8_t>(head[16]);
+
+  // Validate the header before waiting for (or allocating) the payload:
+  // a hostile length field must not make us buffer gigabytes.
+  if (header.payload_bytes > max_payload_) {
+    std::ostringstream oss;
+    oss << "frame payload_bytes " << header.payload_bytes
+        << " exceeds limit " << max_payload_;
+    fail(oss.str());
+    return false;
+  }
+  if ((header.flags & ~kKnownFlags) != 0) {
+    std::ostringstream oss;
+    oss << "unknown frame flag bits 0x" << std::hex
+        << static_cast<unsigned>(header.flags & ~kKnownFlags);
+    fail(oss.str());
+    return false;
+  }
+  if ((header.flags & kFrameError) != 0 && (header.flags & kFrameLast) == 0) {
+    fail("error frame without last flag");
+    return false;
+  }
+  if (available < kFrameHeaderBytes + header.payload_bytes) {
+    return false;
+  }
+  out.header = header;
+  out.payload.assign(head + kFrameHeaderBytes, header.payload_bytes);
+  consumed_ += kFrameHeaderBytes + header.payload_bytes;
+  return true;
+}
+
+bool FrameDecoder::finish() {
+  if (failed_) {
+    return false;
+  }
+  if (buffer_.size() != consumed_) {
+    std::ostringstream oss;
+    oss << "stream truncated inside a frame (" << buffer_.size() - consumed_
+        << " trailing bytes)";
+    fail(oss.str());
+    return false;
+  }
+  return true;
+}
+
+void MessageAssembler::fail(std::string message) {
+  failed_ = true;
+  error_ = std::move(message);
+  partial_.clear();
+}
+
+std::optional<MessageAssembler::Message> MessageAssembler::accept(
+    const Frame& frame) {
+  if (failed_) {
+    return std::nullopt;
+  }
+  // Cap the number of concurrently open messages before inserting: a
+  // hostile peer spraying fresh request_ids with flags=0 frames must
+  // not grow this map (and the server's memory) without bound.
+  if (partial_.find(frame.header.request_id) == partial_.end() &&
+      partial_.size() >= max_open_messages_) {
+    std::ostringstream oss;
+    oss << "more than " << max_open_messages_
+        << " interleaved messages in flight";
+    fail(oss.str());
+    return std::nullopt;
+  }
+  Partial& partial = partial_[frame.header.request_id];
+  if (frame.header.chunk_index != partial.next_chunk) {
+    std::ostringstream oss;
+    oss << "request " << frame.header.request_id
+        << ": out-of-order chunk_index " << frame.header.chunk_index
+        << " (expected " << partial.next_chunk << ")";
+    fail(oss.str());
+    return std::nullopt;
+  }
+  partial.next_chunk++;
+
+  const bool is_error = (frame.header.flags & kFrameError) != 0;
+  if (!is_error) {
+    if (partial.payload.size() + frame.payload.size() > max_message_bytes_) {
+      std::ostringstream oss;
+      oss << "request " << frame.header.request_id << ": message exceeds "
+          << max_message_bytes_ << " bytes";
+      fail(oss.str());
+      return std::nullopt;
+    }
+    partial.payload += frame.payload;
+  }
+
+  if ((frame.header.flags & kFrameLast) == 0) {
+    return std::nullopt;
+  }
+  Message message;
+  message.request_id = frame.header.request_id;
+  message.error = is_error;
+  if (is_error) {
+    message.error_text = frame.payload;
+  } else {
+    message.payload = std::move(partial.payload);
+  }
+  partial_.erase(frame.header.request_id);
+  return message;
+}
+
+}  // namespace symphase

@@ -24,6 +24,7 @@ TEST(SampleWriter, FormatNames) {
   EXPECT_EQ(sample_format_from_name("01"), SampleFormat::k01);
   EXPECT_EQ(sample_format_from_name("hex"), SampleFormat::kHex);
   EXPECT_EQ(sample_format_from_name("b8"), SampleFormat::kB8);
+  EXPECT_EQ(sample_format_from_name("ptb64"), SampleFormat::kPtb64);
   EXPECT_EQ(sample_format_from_name("dets"), SampleFormat::kDets);
   EXPECT_THROW(sample_format_from_name("csv"), std::invalid_argument);
 }
@@ -53,6 +54,83 @@ TEST(SampleWriter, FormatDets) {
   // With 2 detectors, index 2 renders as logical observable 0.
   EXPECT_EQ(samples_to_string(tiny_samples(), SampleFormat::kDets, 2),
             "shot D0 L0\nshot D1 L0\n");
+}
+
+TEST(SampleWriter, FormatPtb64Layout) {
+  // 2 shots of 3 bits: one 64-shot group of 3 little-endian words,
+  // word k bit j = record bit k of shot j; shots beyond 1 zero-padded.
+  const std::string out =
+      samples_to_string(tiny_samples(), SampleFormat::kPtb64);
+  ASSERT_EQ(out.size(), 3u * 8u);
+  const auto word = [&](std::size_t k) {
+    std::uint64_t w = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      w |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(out[k * 8 + b]))
+           << (8 * b);
+    }
+    return w;
+  };
+  EXPECT_EQ(word(0), 0b01u);  // bit 0: shot0=1, shot1=0
+  EXPECT_EQ(word(1), 0b10u);  // bit 1: shot0=0, shot1=1
+  EXPECT_EQ(word(2), 0b11u);  // bit 2: both set
+}
+
+TEST(SampleWriter, FormatPtb64RoundTripsModuloGroupPadding) {
+  // ptb64 zero-pads the final partial 64-shot group, so the reader
+  // returns shots rounded up to a multiple of 64 with zero columns
+  // appended; everything else is exact, including shots % 64 != 0 and
+  // shots % 8 != 0.
+  Rng rng(123);
+  for (const std::size_t bits : {1u, 3u, 64u, 65u, 200u}) {
+    for (const std::size_t shots : {0u, 1u, 7u, 63u, 64u, 65u, 100u, 128u,
+                                    777u}) {
+      const BitMatrix original = BitMatrix::random(bits, shots, rng);
+      std::stringstream stream;
+      write_samples(original, SampleFormat::kPtb64, stream);
+      const BitMatrix back = read_samples(stream, SampleFormat::kPtb64, bits);
+      const std::size_t padded = ceil_div(shots, 64) * 64;
+      ASSERT_EQ(back.rows(), bits);
+      ASSERT_EQ(back.cols(), padded) << "bits=" << bits << " shots=" << shots;
+      for (std::size_t k = 0; k < bits; ++k) {
+        for (std::size_t j = 0; j < padded; ++j) {
+          ASSERT_EQ(back.get(k, j), j < shots ? original.get(k, j) : false)
+              << "bits=" << bits << " shots=" << shots << " k=" << k
+              << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(SampleWriter, Ptb64MasksStaleBitsBeyondShotCap) {
+  // The streaming path serializes fixed-width scratch blocks whose
+  // columns beyond num_shots may hold stale data; the writer's shot cap
+  // must mask them out of the final group.
+  BitMatrix block(2, 128);
+  for (std::size_t j = 0; j < 128; ++j) {
+    block.set(0, j, true);  // stale junk everywhere
+  }
+  block.set(1, 9, true);
+  const std::string out =
+      samples_to_string(block, SampleFormat::kPtb64, SIZE_MAX, /*shots=*/10);
+  ASSERT_EQ(out.size(), 2u * 8u);  // one group, not two
+  std::uint64_t w0 = 0;
+  std::uint64_t w1 = 0;
+  for (std::size_t b = 0; b < 8; ++b) {
+    w0 |= static_cast<std::uint64_t>(static_cast<unsigned char>(out[b]))
+          << (8 * b);
+    w1 |= static_cast<std::uint64_t>(static_cast<unsigned char>(out[8 + b]))
+          << (8 * b);
+  }
+  EXPECT_EQ(w0, (1ull << 10) - 1);  // only the 10 valid shots survive
+  EXPECT_EQ(w1, 1ull << 9);
+}
+
+TEST(SampleWriter, Ptb64ReadRejectsPartialGroup) {
+  std::stringstream partial(std::string(8 * 2 - 1, '\x00'));
+  EXPECT_THROW(read_samples(partial, SampleFormat::kPtb64, 2),
+               std::invalid_argument);
 }
 
 class WriterRoundTrip : public ::testing::TestWithParam<SampleFormat> {};

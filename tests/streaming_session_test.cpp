@@ -148,6 +148,62 @@ TEST(StreamingSession, DetectionEventsByteIdenticalBothBackends) {
   }
 }
 
+TEST(StreamingSession, PackedFormatsByteIdenticalOnRaggedShotCounts) {
+  // Regression for the packed-format flush path: shot counts that are
+  // not a multiple of 8 (b8 records) nor 64 (ptb64 groups), below and
+  // above one shard, must stream byte-identically to the materialized
+  // writer — the tail padding may only ever be applied once, at the
+  // true end of the run, not at shard flush boundaries.
+  const Circuit circuit = noisy_surface_circuit();
+  const SimulatorSession session(circuit);
+  const SymPhaseSampler direct(session.compiled().symbols(),
+                               session.compiled().expressions());
+  for (const std::size_t shots :
+       {1ul, 7ul, 63ul, 101ul, kSampleShardBits - 1, kSampleShardBits + 9,
+        2 * kSampleShardBits + 777}) {
+    const BitMatrix reference = direct.sample(shots, 41);
+    for (const SampleFormat format :
+         {SampleFormat::k01, SampleFormat::kHex, SampleFormat::kB8,
+          SampleFormat::kPtb64}) {
+      const std::string expected = samples_to_string(reference, format);
+      for (const std::size_t threads : {1ul, 4ul}) {
+        const SampleTask task = SampleTask::measurements(shots)
+                                    .with_seed(41)
+                                    .with_threads(threads);
+        EXPECT_EQ(streamed_string(session, task, format), expected)
+            << "shots " << shots << " format " << static_cast<int>(format)
+            << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(StreamingSession, Ptb64RejectsMisalignedMidStreamFlush) {
+  // The WriterSink contract behind the regression above: a non-final
+  // chunk covering a non-multiple of 64 shots cannot be serialized as
+  // ptb64 without corrupting the stream, so the sink must refuse it.
+  std::ostringstream oss;
+  WriterSink sink(oss, SampleFormat::kPtb64);
+  SampleStreamInfo info;
+  info.bits_per_shot = 2;
+  info.num_shots = 100;
+  sink.begin(info);
+  const BitMatrix block(2, kSampleShardBits);
+  SampleChunk chunk;
+  chunk.bits = &block;
+  chunk.shot_offset = 0;
+  chunk.num_shots = 30;  // mid-stream, not 64-aligned, not the tail
+  EXPECT_THROW(sink.consume(chunk), std::invalid_argument);
+
+  // The same ragged count as the *final* chunk is fine (tail padding).
+  WriterSink tail_sink(oss, SampleFormat::kPtb64);
+  SampleStreamInfo tail_info;
+  tail_info.bits_per_shot = 2;
+  tail_info.num_shots = 30;
+  tail_sink.begin(tail_info);
+  EXPECT_NO_THROW(tail_sink.consume(chunk));
+}
+
 TEST(StreamingSession, BitMatrixSinkMatchesDirectSampler) {
   const Circuit circuit = noisy_surface_circuit();
   const SimulatorSession session(circuit);

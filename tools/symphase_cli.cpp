@@ -5,6 +5,7 @@
 //   symphase analyze CIRCUIT [--max-expr K]            stats + symbolic expressions
 //   symphase dem     CIRCUIT                           detector error model
 //   symphase gen     FAMILY [options]                  emit a circuit (text format)
+//   symphase serve   --stdio [--workers N]             framed sampling service loop
 //
 // CIRCUIT is a file in the Stim-style text format, or "-" for stdin.
 // Samples print shot-major: one line of 0/1 per shot. `sample`/`detect`
@@ -18,17 +19,26 @@
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error.
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "api/session.hpp"
 #include "circuit/surface_code.hpp"
 #include "core/symphase.hpp"
 #include "sampler/sample_writer.hpp"
+#include "service/request.hpp"
+#include "service/service.hpp"
+#include "service/wire.hpp"
 
 namespace {
 
@@ -41,12 +51,15 @@ using namespace symphase;
   std::cerr <<
       "usage:\n"
       "  symphase sample  CIRCUIT [--shots N] [--seed S] [--threads N]\n"
-      "                   [--format 01|hex|b8] [--backend symphase|frames]\n"
+      "                   [--format 01|hex|b8|ptb64] [--backend symphase|frames]\n"
       "  symphase detect  CIRCUIT [--shots N] [--seed S] [--threads N]\n"
-      "                   [--format 01|hex|b8|dets] [--backend symphase|frames]\n"
+      "                   [--format 01|hex|b8|ptb64|dets] [--backend symphase|frames]\n"
       "  symphase analyze CIRCUIT [--max-expr K]\n"
       "  symphase dem     CIRCUIT\n"
-      "  symphase gen     surface|repetition|steane|layered [options]\n";
+      "  symphase gen     surface|repetition|steane|layered [options]\n"
+      "  symphase serve   --stdio [--workers N] [--queue N] [--cache N]\n"
+      "                   [--max-frame BYTES]   (framed requests on stdin,\n"
+      "                   framed responses on stdout; see docs/service.md)\n";
   std::exit(2);
 }
 
@@ -232,6 +245,164 @@ int cmd_dem(const std::string& path, Options& opt) {
   return 0;
 }
 
+/// The framed stdio service loop. Frames arrive on stdin (possibly
+/// split across reads), complete request messages are parsed and fed to
+/// the SamplingService, and response frames go to stdout — interleaved
+/// across in-flight requests, serialized per frame by a write mutex.
+/// Protocol errors on stdin (bad framing) end the session with exit 1
+/// after an error frame for request 0; per-request errors (bad
+/// directive, parse failure, unknown digest) only fail that request.
+int cmd_serve(Options& opt) {
+  ServiceOptions service_options;
+  service_options.num_workers =
+      std::max<std::uint64_t>(1, opt.get_u64("workers", 2));
+  service_options.queue_capacity =
+      std::max<std::uint64_t>(1, opt.get_u64("queue", 64));
+  service_options.session_cache_capacity =
+      std::max<std::uint64_t>(1, opt.get_u64("cache", 8));
+  service_options.max_frame_payload = std::clamp<std::uint64_t>(
+      opt.get_u64("max-frame", 1u << 20), 1, 0xffffffffu);
+  opt.finish();
+
+  SamplingService service(service_options);
+  std::mutex out_mutex;
+  // request_ids with a response stream still open. A request may reuse
+  // an id its previous message completed with, but concurrent reuse
+  // would interleave two chunk sequences under one id and poison the
+  // client's assembler — it is rejected as a protocol error below.
+  std::mutex inflight_mutex;
+  std::set<std::uint64_t> inflight;
+  const FrameFn emit = [&](const FrameHeader& header,
+                           std::string_view payload) {
+    {
+      const std::lock_guard<std::mutex> lock(out_mutex);
+      write_frame(std::cout, header, payload);
+      std::cout.flush();
+    }
+    if ((header.flags & kFrameLast) != 0) {
+      const std::lock_guard<std::mutex> lock(inflight_mutex);
+      inflight.erase(header.request_id);
+    }
+  };
+  const auto emit_error = [&emit](std::uint64_t request_id,
+                                  std::string_view text) {
+    FrameHeader header;
+    header.request_id = request_id;
+    header.flags = kFrameLast | kFrameError;
+    emit(header, text);
+  };
+  // Claims `id` for a response stream; false = already streaming.
+  const auto claim = [&](std::uint64_t id) {
+    const std::lock_guard<std::mutex> lock(inflight_mutex);
+    return inflight.insert(id).second;
+  };
+
+  // Raising --max-frame also raises the inbound allowance (it never
+  // shrinks below the decoder default, so big inline circuits keep
+  // working with the small response-chunk default).
+  FrameDecoder decoder(
+      std::max<std::size_t>(service_options.max_frame_payload,
+                            kDefaultMaxFramePayload));
+  MessageAssembler assembler;
+  std::vector<char> buffer(1 << 16);
+  std::string protocol_error;
+  while (protocol_error.empty()) {
+    // POSIX read: returns as soon as *any* bytes are available, so an
+    // interactive client gets its response without having to fill a
+    // buffer or close stdin first (istream::read would block for the
+    // full buffer).
+    const ssize_t got = ::read(STDIN_FILENO, buffer.data(), buffer.size());
+    if (got < 0 && errno == EINTR) {
+      continue;
+    }
+    if (got <= 0) {
+      break;
+    }
+    decoder.feed({buffer.data(), static_cast<std::size_t>(got)});
+    Frame frame;
+    while (protocol_error.empty() && decoder.next(frame)) {
+      const auto message = assembler.accept(frame);
+      if (!message) {
+        continue;
+      }
+      if (message->request_id == 0) {
+        // 0 is reserved for session-level error frames, so a response
+        // under it could collide with one; refuse it per-request.
+        emit_error(0, "request_id 0 is reserved for session-level errors");
+        continue;
+      }
+      if (!claim(message->request_id)) {
+        std::ostringstream oss;
+        oss << "request id " << message->request_id
+            << " reused while still in flight";
+        protocol_error = oss.str();
+        break;
+      }
+      if (message->error) {
+        emit_error(message->request_id, "client sent an error frame");
+        continue;
+      }
+      try {
+        SampleRequest request = parse_request_payload(message->payload);
+        switch (request.verb) {
+          case RequestVerb::kRegister: {
+            const std::string digest =
+                service.register_circuit(request.circuit_text);
+            FrameHeader header;
+            header.request_id = message->request_id;
+            header.flags = kFrameLast;
+            emit(header, "digest=" + digest + "\n");
+            break;
+          }
+          case RequestVerb::kStats: {
+            // Quiesce first so the reply reflects every request that was
+            // submitted before this one on the stream.
+            service.drain();
+            FrameHeader header;
+            header.request_id = message->request_id;
+            header.flags = kFrameLast;
+            emit(header, service.stats().to_line());
+            break;
+          }
+          case RequestVerb::kSample:
+          case RequestVerb::kDetect:
+            service.submit(message->request_id, std::move(request), emit);
+            break;
+        }
+      } catch (const std::exception& e) {
+        emit_error(message->request_id, e.what());
+      }
+    }
+    if (decoder.failed() || assembler.failed()) {
+      break;
+    }
+  }
+  service.drain();
+  if (!protocol_error.empty()) {
+    emit_error(0, "protocol error: " + protocol_error);
+    std::cerr << "error: protocol error: " << protocol_error << '\n';
+    return 1;
+  }
+  if (decoder.failed() || assembler.failed() || !decoder.finish()) {
+    const std::string reason = decoder.failed()
+                                   ? decoder.error()
+                                   : assembler.failed() ? assembler.error()
+                                                        : decoder.error();
+    emit_error(0, "protocol error: " + reason);
+    std::cerr << "error: protocol error: " << reason << '\n';
+    return 1;
+  }
+  if (assembler.open_messages() > 0) {
+    std::ostringstream oss;
+    oss << "protocol error: stream ended with " << assembler.open_messages()
+        << " incomplete request(s)";
+    emit_error(0, oss.str());
+    std::cerr << "error: " << oss.str() << '\n';
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_gen(const std::string& family, Options& opt) {
   if (family == "surface") {
     SurfaceCodeOptions sc;
@@ -295,6 +466,11 @@ int main(int argc, char** argv) {
       code = cmd_dem(target, opt);
     } else if (command == "gen") {
       code = cmd_gen(target, opt);
+    } else if (command == "serve") {
+      if (target != "--stdio") {
+        usage("serve requires --stdio (the only transport so far)");
+      }
+      code = cmd_serve(opt);
     } else {
       usage("unknown command '" + command + "'");
     }
