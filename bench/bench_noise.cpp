@@ -1,0 +1,174 @@
+// Noise-generation microbenchmarks: biased-bit fills across the
+// probability range (sparse geometric-skip regime through dense
+// mid-range), uniform fills as the throughput ceiling, and end-to-end
+// frame sampling of DEPOLARIZE1/2-heavy circuits plus the noisy
+// surface-code memory workload. These pin the cost of the noise engine
+// behind every noisy sampler path; run via tools/run_benchmarks.sh and
+// compare against the checked-in bench/results JSON.
+//
+// `--print-backend` prints the compiled WideWord backend and exits; the
+// benchmark script uses it to fail loudly when a native build silently
+// fell back to the scalar backend.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/surface_code.hpp"
+#include "common/rng.hpp"
+#include "common/simd_word.hpp"
+#include "sampler/frame_simulator.hpp"
+
+namespace {
+
+using namespace symphase;
+
+// Indexed by benchmark arg 0; spans both geometric-skip and refinement
+// regimes plus the inverted (p > 1/2) band.
+constexpr double kProbs[] = {1e-4, 1e-3, 0.01, 0.1, 0.3, 0.5, 0.7, 0.999};
+
+void BM_FillBiased(benchmark::State& state) {
+  const double p = kProbs[state.range(0)];
+  const auto words = static_cast<std::size_t>(state.range(1));
+  std::vector<std::uint64_t> buf(words);
+  Rng rng(42);
+  for (auto _ : state) {
+    fill_biased_words(rng, buf.data(), words, p);
+    benchmark::DoNotOptimize(buf.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words * sizeof(Word)));
+  state.SetLabel("p=" + std::to_string(p));
+}
+
+void BM_FillRandom(benchmark::State& state) {
+  const auto words = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> buf(words);
+  Rng rng(43);
+  for (auto _ : state) {
+    fill_random_words(rng, buf.data(), words);
+    benchmark::DoNotOptimize(buf.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words * sizeof(Word)));
+}
+
+/// n-qubit circuit dominated by single-qubit depolarizing noise: layers
+/// of H + DEPOLARIZE1 on every qubit, all qubits measured at the end.
+Circuit depolarize1_heavy_circuit(std::size_t n, std::size_t layers,
+                                  double p) {
+  Circuit c(n);
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t q = 0; q < n; ++q) {
+    all.push_back(q);
+  }
+  for (std::size_t l = 0; l < layers; ++l) {
+    c.append(GateType::H, all, 0.0);
+    c.append(GateType::DEPOLARIZE1, all, p);
+  }
+  c.append(GateType::M, all, 0.0);
+  return c;
+}
+
+/// n-qubit circuit dominated by two-qubit depolarizing noise: layers of
+/// a CNOT chain with DEPOLARIZE2 after every pair.
+Circuit depolarize2_heavy_circuit(std::size_t n, std::size_t layers,
+                                  double p) {
+  Circuit c(n);
+  std::vector<std::uint32_t> pairs;
+  for (std::uint32_t q = 0; q + 1 < n; q += 2) {
+    pairs.push_back(q);
+    pairs.push_back(q + 1);
+  }
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t q = 0; q < n; ++q) {
+    all.push_back(q);
+  }
+  for (std::size_t l = 0; l < layers; ++l) {
+    c.append(GateType::CNOT, pairs, 0.0);
+    c.append(GateType::DEPOLARIZE2, pairs, p);
+  }
+  c.append(GateType::M, all, 0.0);
+  return c;
+}
+
+void run_frame_sampling(benchmark::State& state, const Circuit& circuit,
+                        std::size_t shots) {
+  const FrameSimulator sim(circuit, 7);
+  for (auto _ : state) {
+    const BitMatrix out = sim.sample(shots, 11, 1);
+    benchmark::DoNotOptimize(out.count_ones());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shots));
+}
+
+void BM_FrameDepolarize1(benchmark::State& state) {
+  const double p = kProbs[state.range(0)];
+  run_frame_sampling(state, depolarize1_heavy_circuit(64, 16, p), 1 << 15);
+  state.SetLabel("p=" + std::to_string(p));
+}
+
+void BM_FrameDepolarize2(benchmark::State& state) {
+  const double p = kProbs[state.range(0)];
+  run_frame_sampling(state, depolarize2_heavy_circuit(64, 16, p), 1 << 15);
+  state.SetLabel("p=" + std::to_string(p));
+}
+
+void BM_FrameXError(benchmark::State& state) {
+  const double p = kProbs[state.range(0)];
+  Circuit c(64);
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t q = 0; q < 64; ++q) {
+    all.push_back(q);
+  }
+  for (std::size_t l = 0; l < 16; ++l) {
+    c.append(GateType::H, all, 0.0);
+    c.append(GateType::X_ERROR, all, p);
+  }
+  c.append(GateType::M, all, 0.0);
+  run_frame_sampling(state, c, 1 << 15);
+  state.SetLabel("p=" + std::to_string(p));
+}
+
+void BM_SurfaceCodeNoisy(benchmark::State& state) {
+  SurfaceCodeOptions opt;
+  opt.distance = static_cast<std::size_t>(state.range(0));
+  opt.rounds = opt.distance;
+  opt.data_depolarization = 0.001;
+  opt.gate_depolarization = 0.001;
+  opt.measurement_flip_probability = 0.001;
+  run_frame_sampling(state, surface_code_memory(opt), 1 << 14);
+}
+
+}  // namespace
+
+BENCHMARK(BM_FillBiased)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6, 7}, {128, 4096}});
+BENCHMARK(BM_FillRandom)->Arg(128)->Arg(4096);
+BENCHMARK(BM_FrameXError)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_FrameDepolarize1)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_FrameDepolarize2)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_SurfaceCodeNoisy)->Arg(3)->Arg(5);
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--print-backend") == 0) {
+      std::printf("%s\n", SYMPHASE_WIDEWORD_BACKEND);
+      return 0;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,329 @@
+#include "common/noise.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/simd_word.hpp"
+
+namespace symphase {
+
+namespace {
+
+/// Word-block granularity of the engine: big enough that the per-block
+/// setup (undecided mask init, early-exit checks) amortizes, small
+/// enough that out + undecided + coin buffers stay L1-resident.
+constexpr std::size_t kNoiseBlockWords = 128;
+
+/// Batch size for buffered gap / pattern-index draws.
+constexpr std::size_t kDrawBatch = 256;
+
+constexpr unsigned kMaxPatternMembers = 6;
+
+/// Refinement pass for a set digit of p: undecided bits where the coin
+/// is 0 (u_j < p_j) resolve to 1; bits where the coin is 1 stay
+/// undecided. Returns whether any bit is still undecided.
+bool refine_digit_one(Word* out, Word* undecided, const Word* r,
+                      std::size_t n) {
+  WideWord acc = WideWord::zero();
+  std::size_t i = 0;
+  for (; i + WideWord::kWords <= n; i += WideWord::kWords) {
+    const WideWord u = WideWord::load(undecided + i);
+    const WideWord rv = WideWord::load(r + i);
+    (WideWord::load(out + i) | andnot(rv, u)).store(out + i);
+    const WideWord nu = u & rv;
+    nu.store(undecided + i);
+    acc |= nu;
+  }
+  Word tail = 0;
+  for (; i < n; ++i) {
+    out[i] |= undecided[i] & ~r[i];
+    undecided[i] &= r[i];
+    tail |= undecided[i];
+  }
+  return acc.nonzero() || tail != 0;
+}
+
+/// Refinement pass for a zero digit of p: undecided bits where the coin
+/// is 1 (u_j > p_j) resolve to 0; the rest stay undecided.
+bool refine_digit_zero(Word* undecided, const Word* r, std::size_t n) {
+  WideWord acc = WideWord::zero();
+  std::size_t i = 0;
+  for (; i + WideWord::kWords <= n; i += WideWord::kWords) {
+    const WideWord nu = andnot(WideWord::load(r + i),
+                               WideWord::load(undecided + i));
+    nu.store(undecided + i);
+    acc |= nu;
+  }
+  Word tail = 0;
+  for (; i < n; ++i) {
+    undecided[i] &= ~r[i];
+    tail |= undecided[i];
+  }
+  return acc.nonzero() || tail != 0;
+}
+
+/// Converts raw uniform words to (unfloored) exponential gaps
+/// log(u) / log1p(-q) >= 0 with u = ((raw >> 11) + 1) * 2^-53 in
+/// (0, 1]; the consumer truncates, which equals floor for non-negative
+/// values. The log is an atanh-series polynomial over explicit
+/// std::fma, so the loop is branch-free and vectorizes (std::floor here
+/// would defeat GCC's vectorizer, which is why flooring is left to the
+/// consumer), and — unlike libm's std::log — gives bit-identical gaps
+/// on every platform. |relative error| < 1e-11, i.e. the Geometric(q)
+/// law is met to ~1e-11.
+void batch_exponential_gaps(const std::uint64_t* raw, double* gaps,
+                            std::size_t n, double inv_log1m) {
+  constexpr double kLn2 = 0.6931471805599453;
+  constexpr double kSqrt2 = 1.4142135623730951;
+  constexpr std::uint64_t kMantissaMask = (std::uint64_t{1} << 52) - 1;
+  constexpr std::uint64_t kOneBits = 0x3FF0000000000000ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t y = (raw[i] >> 11) + 1;         // (0, 2^53]
+    const double yd = static_cast<double>(y);           // exact
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(yd);
+    const auto eu =
+        static_cast<double>(static_cast<std::int64_t>(bits >> 52));
+    double m =
+        std::bit_cast<double>((bits & kMantissaMask) | kOneBits);  // [1, 2)
+    const double fold = m > kSqrt2 ? 1.0 : 0.0;  // -> [sqrt2/2, sqrt2)
+    m = m > kSqrt2 ? 0.5 * m : m;
+    // yd = m * 2^e with e = (eu - 1023) + fold; u = yd * 2^-53.
+    const double e = eu - (1023.0 + 53.0) + fold;
+    // log(m) = 2 atanh(z) with z = (m-1)/(m+1), |z| <= sqrt2 - 1.
+    const double z = (m - 1.0) / (m + 1.0);
+    const double w = z * z;
+    double s = 1.0 / 13.0;
+    s = std::fma(w, s, 1.0 / 11.0);
+    s = std::fma(w, s, 1.0 / 9.0);
+    s = std::fma(w, s, 1.0 / 7.0);
+    s = std::fma(w, s, 1.0 / 5.0);
+    s = std::fma(w, s, 1.0 / 3.0);
+    s = std::fma(w, s, 1.0);
+    const double log_m = (2.0 * z) * s;
+    const double log_u = std::fma(e, kLn2, log_m);  // <= 0
+    gaps[i] = log_u * inv_log1m;
+  }
+}
+
+/// Per-event pattern draws for sparse event blocks: indices are drawn
+/// lazily from small buffered batches of raw words (Lemire
+/// multiply-shift; the rejection branch fires with probability < 2^-60
+/// and falls back to serial redraws), then deposited with single-bit
+/// XORs — cheap because set bits are few, and no counting pre-scan is
+/// needed (the word walk skips empty words at one test each).
+void sparse_patterns(Rng& rng, const Word* events, std::size_t n,
+                     unsigned members, Word* const* masks,
+                     std::size_t mask_offset) {
+  constexpr std::size_t kIndexBatch = 16;
+  const std::uint64_t pattern_count = (std::uint64_t{1} << members) - 1;
+  const std::uint64_t threshold = (0 - pattern_count) % pattern_count;
+  std::uint64_t raw[kIndexBatch];
+  std::size_t pos = kIndexBatch;
+  const auto next_pattern = [&]() -> std::uint64_t {
+    if (pos == kIndexBatch) {
+      fill_random_words(rng, raw, kIndexBatch);
+      pos = 0;
+    }
+    std::uint64_t x = raw[pos++];
+    __uint128_t prod = static_cast<__uint128_t>(x) * pattern_count;
+    auto low = static_cast<std::uint64_t>(prod);
+    while (low < threshold) {
+      x = rng();
+      prod = static_cast<__uint128_t>(x) * pattern_count;
+      low = static_cast<std::uint64_t>(prod);
+    }
+    return static_cast<std::uint64_t>(prod >> 64) + 1;
+  };
+  for (std::size_t w = 0; w < n; ++w) {
+    Word bits = events[w];
+    while (bits != 0) {
+      const auto k = static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const std::uint64_t pattern = next_pattern();
+      for (unsigned j = 0; j < members; ++j) {
+        if (((pattern >> j) & 1) != 0 && masks[j] != nullptr) {
+          masks[j][mask_offset + w] ^= Word{1} << k;
+        }
+      }
+    }
+  }
+}
+
+/// One dense word-block of fill_pauli_patterns: word-parallel rejection
+/// rounds (draw `members` coin words per event word; an event accepts
+/// once any coin is set, conditioning the joint coins to uniform over
+/// non-identity patterns); once the still-rejected population is thin,
+/// the sparse per-event path finishes the stragglers.
+void dense_patterns(Rng& rng, const Word* events, std::size_t n,
+                    unsigned members, Word* const* masks,
+                    std::size_t mask_offset) {
+  alignas(64) Word remaining[kNoiseBlockWords];
+  alignas(64) Word accept[kNoiseBlockWords];
+  alignas(64) Word coin[kMaxPatternMembers][kNoiseBlockWords];
+  wide::copy_words(remaining, events, n);
+  for (;;) {
+    for (unsigned j = 0; j < members; ++j) {
+      fill_random_words(rng, coin[j], n);
+    }
+    // accept = remaining & (coin_0 | ... | coin_{m-1})
+    wide::copy_words(accept, coin[0], n);
+    for (unsigned j = 1; j < members; ++j) {
+      wide::or_words(accept, coin[j], n);
+    }
+    wide::and_words(accept, remaining, n);
+    for (unsigned j = 0; j < members; ++j) {
+      if (masks[j] != nullptr) {
+        wide::xor_masked_words(masks[j] + mask_offset, accept, coin[j], n);
+      }
+    }
+    // accept is a subset of remaining, so XOR removes exactly it.
+    wide::xor_words(remaining, accept, n);
+    const std::size_t rem_total = wide::count_ones(remaining, n);
+    if (rem_total == 0) {
+      return;
+    }
+    if (rem_total * 8 < n) {
+      sparse_patterns(rng, remaining, n, members, masks, mask_offset);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+BiasedBitPlan::BiasedBitPlan(double p) : p_(p) {
+  if (!(p > 0.0)) {
+    strategy_ = BiasStrategy::kZero;
+  } else if (p >= 1.0) {
+    strategy_ = BiasStrategy::kOne;
+  } else if (p == 0.5) {
+    strategy_ = BiasStrategy::kCoin;
+  } else if (p < kSparseCrossover || p > 1.0 - kSparseCrossover) {
+    strategy_ = p < 0.5 ? BiasStrategy::kGeometric
+                        : BiasStrategy::kGeometricInverted;
+    event_rate_ = p < 0.5 ? p : 1.0 - p;
+    inv_log1m_ = 1.0 / std::log1p(-event_rate_);
+  } else {
+    strategy_ = BiasStrategy::kRefine;
+    // digits_ = p * 2^64, exact: p in [2^-5, 1) puts all 53 significand
+    // bits of p inside the top 58 digit positions.
+    int exp = 0;
+    const double m = std::frexp(p, &exp);  // p = m * 2^exp, m in [0.5, 1)
+    const auto mantissa = static_cast<std::uint64_t>(std::ldexp(m, 53));
+    digits_ = mantissa << (11 + exp);
+    num_digits_ = 64 - std::countr_zero(digits_);
+  }
+}
+
+void BiasedBitPlan::fill_refine(Rng& rng, Word* out, std::size_t count) const {
+  alignas(64) Word undecided[kNoiseBlockWords];
+  alignas(64) Word r[kNoiseBlockWords];
+  for (std::size_t off = 0; off < count; off += kNoiseBlockWords) {
+    const std::size_t n =
+        count - off < kNoiseBlockWords ? count - off : kNoiseBlockWords;
+    Word* o = out + off;
+    wide::clear_words(o, n);
+    wide::fill_words(undecided, ~Word{0}, n);
+    // Digit j of p decides undecided bits whose coin differs from it;
+    // the loop ends when every bit is decided (expected after
+    // ~log2(block bits) + 2 digits) or p's expansion is exhausted
+    // (remaining undecided bits correctly resolve to 0: u > p).
+    for (int j = 0; j < num_digits_; ++j) {
+      fill_random_words(rng, r, n);
+      const bool digit = ((digits_ >> (63 - j)) & 1) != 0;
+      const bool alive = digit ? refine_digit_one(o, undecided, r, n)
+                               : refine_digit_zero(undecided, r, n);
+      if (!alive) {
+        break;
+      }
+    }
+  }
+}
+
+void BiasedBitPlan::fill_geometric(Rng& rng, Word* out,
+                                   std::size_t count) const {
+  const bool inverted = strategy_ == BiasStrategy::kGeometricInverted;
+  wide::fill_words(out, inverted ? ~Word{0} : Word{0}, count);
+  const std::size_t total_bits = count * kWordBits;
+  std::uint64_t raw[kDrawBatch];
+  double gaps[kDrawBatch];
+  // First batch sized to the expected event count (+ slack), so
+  // ultra-sparse fills don't pay a full batch of conversions; later
+  // batches ramp up to amortize the draw/convert call overhead.
+  std::size_t batch = static_cast<std::size_t>(
+                          event_rate_ * static_cast<double>(total_bits)) +
+                      2;
+  if (batch > kDrawBatch) {
+    batch = kDrawBatch;
+  }
+  std::size_t bit = 0;
+  for (;;) {
+    fill_random_words(rng, raw, batch);
+    batch_exponential_gaps(raw, gaps, batch, inv_log1m_);
+    for (std::size_t i = 0; i < batch; ++i) {
+      // Truncation == floor: gaps are non-negative, and for the integer
+      // bound floor(g) >= remaining iff g >= remaining.
+      if (gaps[i] >= static_cast<double>(total_bits - bit)) {
+        return;
+      }
+      bit += static_cast<std::size_t>(gaps[i]);
+      if (inverted) {
+        out[word_index(bit)] &= ~bit_mask(bit);
+      } else {
+        out[word_index(bit)] |= bit_mask(bit);
+      }
+      ++bit;
+      if (bit >= total_bits) {
+        return;
+      }
+    }
+    batch = batch < kDrawBatch ? (batch * 4 < kDrawBatch ? batch * 4
+                                                         : kDrawBatch)
+                               : kDrawBatch;
+  }
+}
+
+void BiasedBitPlan::fill(Rng& rng, Word* out, std::size_t count) const {
+  if (count == 0) {
+    return;
+  }
+  switch (strategy_) {
+    case BiasStrategy::kZero:
+      wide::clear_words(out, count);
+      return;
+    case BiasStrategy::kOne:
+      wide::fill_words(out, ~Word{0}, count);
+      return;
+    case BiasStrategy::kCoin:
+      fill_random_words(rng, out, count);
+      return;
+    case BiasStrategy::kGeometric:
+    case BiasStrategy::kGeometricInverted:
+      fill_geometric(rng, out, count);
+      return;
+    case BiasStrategy::kRefine:
+      fill_refine(rng, out, count);
+      return;
+  }
+}
+
+void fill_pauli_patterns(Rng& rng, const Word* events, std::size_t words,
+                         unsigned members, Word* const* masks,
+                         double event_probability) {
+  SYMPHASE_ASSERT(members >= 1 && members <= kMaxPatternMembers);
+  // Path choice by expected density, not by counting: sparse blocks then
+  // skip every scan except the deposit walk itself.
+  const bool dense = event_probability * static_cast<double>(kWordBits) >= 1.0;
+  for (std::size_t off = 0; off < words; off += kNoiseBlockWords) {
+    const std::size_t n =
+        words - off < kNoiseBlockWords ? words - off : kNoiseBlockWords;
+    if (dense) {
+      dense_patterns(rng, events + off, n, members, masks, off);
+    } else {
+      sparse_patterns(rng, events + off, n, members, masks, off);
+    }
+  }
+}
+
+}  // namespace symphase

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file noise.hpp
+/// Vectorized noise-generation engine.
+///
+/// Every noisy workload (X/Y/Z_ERROR, DEPOLARIZE1/2, the symbol-value
+/// sampler's error groups) reduces to two primitives: filling packed words
+/// with independent Bernoulli(p) bits, and drawing a uniform non-identity
+/// Pauli pattern for every set event bit. Both used to be scalar per-event
+/// loops; this engine batches them so the cost is a handful of full-width
+/// SIMD passes per word block.
+///
+/// `BiasedBitPlan` picks a strategy per probability once — at circuit
+/// compile time for the samplers, which cache one plan per instruction /
+/// symbol group — and caches the derived constants (`1/log1p(-q)`, the
+/// binary expansion of p), so the per-call FP setup of the old
+/// `fill_biased_words` is gone:
+///
+///   - kRefine (mid-range p): binary-expansion refinement. Interpret a
+///     fresh fair-coin word r_j as digit j of a uniform U per bit; the
+///     first digit where U differs from p decides the output
+///     (u_j < p_j -> 1). Each digit is one AND/OR pass of `wide::` word
+///     ops over the block plus one `fill_random_words`, and the
+///     still-undecided mask empties after ~log2(block bits)+2 digits, so
+///     the cost is O(min(digits of p, ~15)) full-width passes — and the
+///     result is *exact* for the double p (a double is a dyadic rational,
+///     so its expansion is finite).
+///   - kGeometric / kGeometricInverted (sparse p, or 1-p): batched
+///     geometric skips. Gaps between set bits are Geometric(q); uniform
+///     raw words are drawn in blocks and converted to skips with a
+///     branch-free polynomial log (deterministic across platforms, unlike
+///     libm's `std::log`; relative error < 1e-11), so the FP work
+///     pipelines/vectorizes instead of serializing per event. The
+///     inverted flavor fills with ones and *clears* event bits, replacing
+///     the old memset+invert double pass.
+///   - kZero / kOne / kCoin: exact degenerate fills.
+///
+/// `fill_pauli_patterns` handles the channel part: for every set event
+/// bit it draws a uniform non-identity pattern over `members` bits and
+/// XORs pattern bit j into masks[j]. Dense blocks use word-parallel
+/// rejection (draw `members` coin words; a bit is accepted if any coin is
+/// set, which conditions the joint coin distribution to uniform-over-
+/// nonzero), falling back to batched per-event index draws for the sparse
+/// tail — no per-bit row pokes on dense noise.
+///
+/// Stream compatibility: the algorithms consume the generator differently
+/// than the pre-engine scalar code, so sampled streams differ from
+/// previous releases for the same seed (document: seeds reproduce within
+/// a release, not across the engine change). The shard/`Rng::stream(i)`
+/// determinism contract is untouched: a plan's output is a pure function
+/// of (rng state, count), so sample matrices stay bit-identical across
+/// thread counts and streamed vs. materialized paths.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace symphase {
+
+/// How a BiasedBitPlan generates its bits.
+enum class BiasStrategy : std::uint8_t {
+  kZero,               ///< p <= 0: all zeros.
+  kOne,                ///< p >= 1: all ones.
+  kCoin,               ///< p == 0.5: raw fair coin words.
+  kGeometric,          ///< sparse p: batched geometric skips, set bits.
+  kGeometricInverted,  ///< p near 1: ones fill, clear Geometric(1-p) bits.
+  kRefine,             ///< mid-range p: binary-expansion refinement.
+};
+
+/// Compiled generation strategy for one Bernoulli(p) bit stream.
+/// Cheap to copy; samplers cache one per noise instruction / symbol
+/// group so the strategy choice and FP setup happen once per circuit.
+class BiasedBitPlan {
+ public:
+  /// Probabilities below this (or above 1 - this) use geometric skips;
+  /// the band in between uses refinement. At the crossover the expected
+  /// per-word event work of the skip loop (~p*64 events) matches the
+  /// ~15 SIMD digit passes of refinement. See docs/performance.md.
+  static constexpr double kSparseCrossover = 1.0 / 32.0;
+
+  BiasedBitPlan() = default;  ///< p = 0 (all zeros).
+  explicit BiasedBitPlan(double p);
+
+  BiasStrategy strategy() const { return strategy_; }
+  double probability() const { return p_; }
+
+  /// Fills out[0..count) with words whose bits are independent
+  /// Bernoulli(p) draws. Deterministic in the generator state.
+  void fill(Rng& rng, Word* out, std::size_t count) const;
+
+ private:
+  void fill_geometric(Rng& rng, Word* out, std::size_t count) const;
+  void fill_refine(Rng& rng, Word* out, std::size_t count) const;
+
+  double p_ = 0.0;
+  /// Geometric: the sparse event rate q (= p or 1-p) and cached
+  /// 1 / log1p(-q), so no per-call log or per-event divide.
+  double event_rate_ = 0.0;
+  double inv_log1m_ = 0.0;
+  /// Refine: binary expansion of p, MSB-aligned (bit 63 = the 1/2 digit).
+  /// Exact for the refinement band (p >= 2^-5 has all 53 significand
+  /// bits within the top 58 digits).
+  std::uint64_t digits_ = 0;
+  int num_digits_ = 0;
+  BiasStrategy strategy_ = BiasStrategy::kZero;
+};
+
+/// For every set bit of events[0..words), draws a uniformly random
+/// NON-identity pattern over `members` bits (members in [1, 6]) and XORs
+/// pattern bit j into masks[j] at the event's bit position. Entries of
+/// `masks` may be nullptr (pattern bits for unused members are drawn —
+/// the joint distribution requires it — but not deposited). Bits of
+/// masks[j] outside the event positions are never touched, so callers
+/// may pass live frame/sample rows and get the whole-word XOR
+/// application for free.
+///
+/// `event_probability` (the channel's p, known from the caller's plan)
+/// picks the path without scanning: dense blocks (expected >= 1
+/// event/word) use word-parallel rejection rounds; sparse blocks draw
+/// buffered pattern indices and poke only the set bits. Both are
+/// deterministic in the generator state.
+void fill_pauli_patterns(Rng& rng, const Word* events, std::size_t words,
+                         unsigned members, Word* const* masks,
+                         double event_probability);
+
+}  // namespace symphase

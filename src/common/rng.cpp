@@ -1,84 +1,73 @@
 #include "common/rng.hpp"
 
-#include <cmath>
-#include <cstring>
-
-#include "common/bits.hpp"
+#include "common/noise.hpp"
+#include "common/simd_word.hpp"
 
 namespace symphase {
 
 void fill_random_words(Rng& rng, std::uint64_t* out, std::size_t count) {
-  // xoshiro's output has a serial dependency chain; for bulk fills, four
-  // forked streams interleave so the core can overlap the state updates.
-  // Still fully deterministic in the parent generator's state.
+  // xoshiro's output has a serial dependency chain; bulk fills run eight
+  // forked lanes in lockstep so the whole generator vectorizes (the lane
+  // loop is elementwise: shift/add/xor/rotate, so it compiles to two
+  // AVX2 or one AVX-512 vector op per step — the multiplies by 5 and 9
+  // are written as shift+add because 64-bit vector multiply is not
+  // universally available). The lane count is fixed, so the stream is
+  // bit-identical on every backend. Still fully deterministic in the
+  // parent generator's state.
   if (count < 64) {
     for (std::size_t i = 0; i < count; ++i) {
       out[i] = rng.next_word();
     }
     return;
   }
-  Rng s0 = rng.fork(0);
-  Rng s1 = rng.fork(1);
-  Rng s2 = rng.fork(2);
-  Rng s3 = rng.fork(3);
-  std::size_t i = 0;
-  for (; i + 4 <= count; i += 4) {
-    out[i] = s0();
-    out[i + 1] = s1();
-    out[i + 2] = s2();
-    out[i + 3] = s3();
+  constexpr std::size_t kLanes = WideWord::kWords;  // 8 on every backend
+  static_assert(kLanes == 8);
+  alignas(64) std::uint64_t seed_lane[4][kLanes];
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    // fork(l)'s mix followed by Rng(splitmix64(mix))'s reseed chain,
+    // inlined to reach the raw state words.
+    std::uint64_t sm = rng() ^ (0x9E3779B97F4A7C15ull * (l + 1));
+    std::uint64_t seed = splitmix64(sm);
+    for (std::size_t k = 0; k < 4; ++k) {
+      seed_lane[k][l] = splitmix64(seed);
+    }
   }
-  for (; i < count; ++i) {
-    out[i] = s0();
+  WideWord s0 = WideWord::load(seed_lane[0]);
+  WideWord s1 = WideWord::load(seed_lane[1]);
+  WideWord s2 = WideWord::load(seed_lane[2]);
+  WideWord s3 = WideWord::load(seed_lane[3]);
+  const auto rot = [](WideWord x, int k) { return x.shl(k) | x.shr(64 - k); };
+  std::size_t i = 0;
+  for (; i + kLanes <= count; i += kLanes) {
+    const WideWord x = s1.shl(2) + s1;  // s1 * 5
+    const WideWord r = rot(x, 7);
+    (r.shl(3) + r).store(out + i);  // rotl(s1 * 5, 7) * 9
+    const WideWord t = s1.shl(17);
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = rot(s3, 45);
+  }
+  if (i < count) {
+    // Ragged tail: one more lockstep block into a bounce buffer.
+    alignas(64) std::uint64_t tail[kLanes];
+    const WideWord x = s1.shl(2) + s1;
+    const WideWord r = rot(x, 7);
+    (r.shl(3) + r).store(tail);
+    for (std::size_t l = 0; i < count; ++i, ++l) {
+      out[i] = tail[l];
+    }
   }
 }
 
 void fill_biased_words(Rng& rng, std::uint64_t* out, std::size_t count,
                        double p) {
-  if (count == 0) {
-    return;
-  }
-  if (p <= 0.0) {
-    std::memset(out, 0, count * sizeof(std::uint64_t));
-    return;
-  }
-  if (p >= 1.0) {
-    std::memset(out, 0xFF, count * sizeof(std::uint64_t));
-    return;
-  }
-  if (p == 0.5) {
-    fill_random_words(rng, out, count);
-    return;
-  }
-  // For p > 1/2, sample the complement (which is sparse) and invert.
-  const bool invert = p > 0.5;
-  const double q = invert ? 1.0 - p : p;
-
-  std::memset(out, 0, count * sizeof(std::uint64_t));
-  const std::size_t total_bits = count * kWordBits;
-  // Geometric skipping: successive gaps between set bits are
-  // Geometric(q)-distributed. Expected cost is q * total_bits draws, which
-  // is what makes sparse noise sampling cheap.
-  const double denom = std::log1p(-q);
-  std::size_t bit = 0;
-  while (true) {
-    const double u = 1.0 - rng.next_double();  // u in (0, 1]
-    const double skip = std::floor(std::log(u) / denom);
-    if (skip >= static_cast<double>(total_bits - bit)) {
-      break;
-    }
-    bit += static_cast<std::size_t>(skip);
-    set_bit(out, bit, true);
-    ++bit;
-    if (bit >= total_bits) {
-      break;
-    }
-  }
-  if (invert) {
-    for (std::size_t i = 0; i < count; ++i) {
-      out[i] = ~out[i];
-    }
-  }
+  // One-shot entry point: builds the strategy plan on the fly. Hot paths
+  // (the samplers) cache a BiasedBitPlan per instruction / symbol group
+  // instead, which also hoists the log1p / binary-expansion setup.
+  BiasedBitPlan(p).fill(rng, out, count);
 }
 
 }  // namespace symphase

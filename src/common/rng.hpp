@@ -120,8 +120,13 @@ class Rng {
 void fill_random_words(Rng& rng, std::uint64_t* out, std::size_t count);
 
 /// Fills `out[0..count)` with words whose bits are independent
-/// Bernoulli(p) draws. Exact (per-bit inversion sampling via geometric
-/// skips for small p, per-word refinement otherwise).
+/// Bernoulli(p) draws. Thin wrapper over the noise engine
+/// (common/noise.hpp): a per-p BiasedBitPlan picks batched geometric
+/// skips for sparse p and word-parallel binary-expansion refinement for
+/// mid-range p. Refinement is exact for the double p; the geometric path
+/// meets the law to ~1e-11 via a deterministic polynomial log. Streams
+/// differ from releases before the engine (same seed reproduces within a
+/// release); see docs/performance.md for the compatibility note.
 void fill_biased_words(Rng& rng, std::uint64_t* out, std::size_t count,
                        double p);
 

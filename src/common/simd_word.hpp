@@ -80,6 +80,13 @@ struct WideWord {
     return {_mm512_andnot_si512(a.v, b.v)};
   }
 
+  /// Lanewise 64-bit add / shifts (the vectorized-PRNG building blocks).
+  friend WideWord operator+(WideWord a, WideWord b) {
+    return {_mm512_add_epi64(a.v, b.v)};
+  }
+  WideWord shl(int k) const { return {_mm512_slli_epi64(v, k)}; }
+  WideWord shr(int k) const { return {_mm512_srli_epi64(v, k)}; }
+
   bool nonzero() const { return _mm512_test_epi64_mask(v, v) != 0; }
 
   std::uint64_t popcount() const {
@@ -155,6 +162,17 @@ struct WideWord {
   friend WideWord andnot(WideWord a, WideWord b) {
     return {{_mm256_andnot_si256(a.v[0], b.v[0]),
              _mm256_andnot_si256(a.v[1], b.v[1])}};
+  }
+
+  friend WideWord operator+(WideWord a, WideWord b) {
+    return {{_mm256_add_epi64(a.v[0], b.v[0]),
+             _mm256_add_epi64(a.v[1], b.v[1])}};
+  }
+  WideWord shl(int k) const {
+    return {{_mm256_slli_epi64(v[0], k), _mm256_slli_epi64(v[1], k)}};
+  }
+  WideWord shr(int k) const {
+    return {{_mm256_srli_epi64(v[0], k), _mm256_srli_epi64(v[1], k)}};
   }
 
   bool nonzero() const {
@@ -241,6 +259,28 @@ struct WideWord {
 
   friend WideWord andnot(WideWord a, WideWord b) { return ~a & b; }
 
+  friend WideWord operator+(WideWord a, WideWord b) {
+    WideWord r;
+    for (std::size_t i = 0; i < kWords; ++i) {
+      r.v[i] = a.v[i] + b.v[i];
+    }
+    return r;
+  }
+  WideWord shl(int k) const {
+    WideWord r;
+    for (std::size_t i = 0; i < kWords; ++i) {
+      r.v[i] = v[i] << k;
+    }
+    return r;
+  }
+  WideWord shr(int k) const {
+    WideWord r;
+    for (std::size_t i = 0; i < kWords; ++i) {
+      r.v[i] = v[i] >> k;
+    }
+    return r;
+  }
+
   bool nonzero() const {
     Word acc = 0;
     for (std::size_t i = 0; i < kWords; ++i) {
@@ -297,6 +337,30 @@ inline void and_words(Word* dst, const Word* src, std::size_t count) {
   }
   for (; i < count; ++i) {
     dst[i] &= src[i];
+  }
+}
+
+/// dst &= ~src (mask removal; one andnot per lane).
+inline void andnot_words(Word* dst, const Word* src, std::size_t count) {
+  std::size_t i = 0;
+  for (; i + WideWord::kWords <= count; i += WideWord::kWords) {
+    andnot(WideWord::load(src + i), WideWord::load(dst + i)).store(dst + i);
+  }
+  for (; i < count; ++i) {
+    dst[i] &= ~src[i];
+  }
+}
+
+/// dst ^= a & b (masked flip; the noise engine's pattern deposit).
+inline void xor_masked_words(Word* dst, const Word* a, const Word* b,
+                             std::size_t count) {
+  std::size_t i = 0;
+  for (; i + WideWord::kWords <= count; i += WideWord::kWords) {
+    (WideWord::load(dst + i) ^ (WideWord::load(a + i) & WideWord::load(b + i)))
+        .store(dst + i);
+  }
+  for (; i < count; ++i) {
+    dst[i] ^= a[i] & b[i];
   }
 }
 

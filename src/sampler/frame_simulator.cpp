@@ -25,6 +25,22 @@ FrameSimulator::FrameSimulator(const Circuit& circuit, std::uint64_t seed)
   const Circuit clean = circuit_without_noise(circuit);
   reference_sim.run_circuit(clean);
   reference_ = reference_sim.record();
+
+  // Compile one noise plan per instruction so every shard reuses the
+  // strategy choice and cached constants.
+  const auto& instructions = circuit_.instructions();
+  noise_plans_.resize(instructions.size());
+  for (std::size_t i = 0; i < instructions.size(); ++i) {
+    const Instruction& inst = instructions[i];
+    if (!is_noise(inst.type)) {
+      continue;
+    }
+    noise_plans_[i] = BiasedBitPlan(inst.probability);
+    const std::size_t units = inst.type == GateType::DEPOLARIZE2
+                                  ? inst.targets.size() / 2
+                                  : inst.targets.size();
+    max_noise_units_ = std::max(max_noise_units_, units);
+  }
 }
 
 void FrameSimulator::sample_shard(BitMatrix& out, std::size_t word0,
@@ -33,6 +49,12 @@ void FrameSimulator::sample_shard(BitMatrix& out, std::size_t word0,
   BitMatrix xf(n, words * kWordBits);
   BitMatrix zf(n, words * kWordBits);
   std::vector<Word> scratch(words);
+  // One batched event fill covers up to kNoiseUnitBatch targets (pairs
+  // for DEPOLARIZE2) of a noise instruction at a time: unit u of the
+  // chunk owns words [u*words, (u+1)*words). The cap keeps the scratch
+  // L2-resident no matter how wide a single instruction is.
+  std::vector<Word> noise_scratch(
+      std::min(max_noise_units_, kNoiseUnitBatch) * words);
 
   // Z-gauge initialization (as in Stim): each |0>-initialized qubit gets a
   // random Z frame. Z on |0> is a stabilizer, so this changes nothing
@@ -69,33 +91,34 @@ void FrameSimulator::sample_shard(BitMatrix& out, std::size_t word0,
     fill_random_words(rng, zf.row(q), words);
   };
 
-  const auto apply_depolarize = [&](double p,
-                                    std::span<const std::uint32_t> qubits) {
-    // Event bits per shot; on event, a uniform non-identity Pauli pattern
-    // over the involved qubits (matches SymbolValueSampler's channels).
-    fill_biased_words(rng, scratch.data(), words, p);
-    const std::uint32_t members = static_cast<std::uint32_t>(
-        2 * qubits.size());
-    const std::uint64_t pattern_count = (std::uint64_t{1} << members) - 1;
-    for (std::size_t w = 0; w < words; ++w) {
-      Word bits = scratch[w];
-      while (bits != 0) {
-        const auto k = static_cast<std::size_t>(std::countr_zero(bits));
-        bits &= bits - 1;
-        const std::uint64_t pattern = rng.next_below(pattern_count) + 1;
-        for (std::size_t qi = 0; qi < qubits.size(); ++qi) {
-          if (((pattern >> (2 * qi)) & 1) != 0) {
-            xf.row(qubits[qi])[w] ^= Word{1} << k;
-          }
-          if (((pattern >> (2 * qi + 1)) & 1) != 0) {
-            zf.row(qubits[qi])[w] ^= Word{1} << k;
-          }
+  // Batched Pauli error: one plan fill spans a whole chunk of targets
+  // (so sparse probabilities run a single geometric-skip pass across
+  // them), then each target's slice XORs into its frame rows.
+  const auto apply_pauli_errors = [&](const BiasedBitPlan& plan,
+                                      std::span<const std::uint32_t> qubits,
+                                      bool flip_x, bool flip_z) {
+    Word* events = noise_scratch.data();
+    for (std::size_t base = 0; base < qubits.size();
+         base += kNoiseUnitBatch) {
+      const std::size_t nt =
+          std::min(kNoiseUnitBatch, qubits.size() - base);
+      plan.fill(rng, events, nt * words);
+      for (std::size_t qi = 0; qi < nt; ++qi) {
+        Word* slice = events + qi * words;
+        if (flip_x) {
+          wide::xor_words(xf.row(qubits[base + qi]), slice, words);
+        }
+        if (flip_z) {
+          wide::xor_words(zf.row(qubits[base + qi]), slice, words);
         }
       }
     }
   };
 
-  for (const Instruction& inst : circuit_.instructions()) {
+  const auto& instructions = circuit_.instructions();
+  for (std::size_t inst_index = 0; inst_index < instructions.size();
+       ++inst_index) {
+    const Instruction& inst = instructions[inst_index];
     switch (inst.type) {
       case GateType::I:
       case GateType::TICK:
@@ -197,34 +220,58 @@ void FrameSimulator::sample_shard(BitMatrix& out, std::size_t word0,
         }
         break;
       case GateType::X_ERROR:
-        for (const std::uint32_t q : inst.targets) {
-          fill_biased_words(rng, scratch.data(), words, inst.probability);
-          wide::xor_words(xf.row(q), scratch.data(), words);
-        }
+        apply_pauli_errors(noise_plans_[inst_index], inst.targets, true,
+                           false);
         break;
       case GateType::Z_ERROR:
-        for (const std::uint32_t q : inst.targets) {
-          fill_biased_words(rng, scratch.data(), words, inst.probability);
-          wide::xor_words(zf.row(q), scratch.data(), words);
-        }
+        apply_pauli_errors(noise_plans_[inst_index], inst.targets, false,
+                           true);
         break;
       case GateType::Y_ERROR:
-        for (const std::uint32_t q : inst.targets) {
-          fill_biased_words(rng, scratch.data(), words, inst.probability);
-          wide::xor_words(xf.row(q), scratch.data(), words);
-          wide::xor_words(zf.row(q), scratch.data(), words);
-        }
+        apply_pauli_errors(noise_plans_[inst_index], inst.targets, true,
+                           true);
         break;
       case GateType::DEPOLARIZE1:
-        for (const std::uint32_t q : inst.targets) {
-          const std::uint32_t qs[1] = {q};
-          apply_depolarize(inst.probability, qs);
+        // Event bits per shot; on event, a uniform non-identity pattern
+        // over (X, Z) of the qubit (matches SymbolValueSampler's
+        // channels). Events for all targets come from one batched fill;
+        // the engine XORs the pattern masks straight into the frame rows
+        // (whole-word for dense blocks, per-event for sparse ones).
+        {
+          Word* events = noise_scratch.data();
+          for (std::size_t base = 0; base < inst.targets.size();
+               base += kNoiseUnitBatch) {
+            const std::size_t nt =
+                std::min(kNoiseUnitBatch, inst.targets.size() - base);
+            noise_plans_[inst_index].fill(rng, events, nt * words);
+            for (std::size_t qi = 0; qi < nt; ++qi) {
+              Word* masks[2] = {xf.row(inst.targets[base + qi]),
+                                zf.row(inst.targets[base + qi])};
+              fill_pauli_patterns(rng, events + qi * words, words, 2, masks,
+                                  inst.probability);
+            }
+          }
         }
         break;
       case GateType::DEPOLARIZE2:
-        for (std::size_t i = 0; i < inst.targets.size(); i += 2) {
-          const std::uint32_t qs[2] = {inst.targets[i], inst.targets[i + 1]};
-          apply_depolarize(inst.probability, qs);
+        // Same, with a uniform non-identity pattern over
+        // (X_a, Z_a, X_b, Z_b) per event.
+        {
+          Word* events = noise_scratch.data();
+          const std::size_t pairs = inst.targets.size() / 2;
+          for (std::size_t base = 0; base < pairs;
+               base += kNoiseUnitBatch) {
+            const std::size_t np = std::min(kNoiseUnitBatch, pairs - base);
+            noise_plans_[inst_index].fill(rng, events, np * words);
+            for (std::size_t pi = 0; pi < np; ++pi) {
+              const std::uint32_t qa = inst.targets[2 * (base + pi)];
+              const std::uint32_t qb = inst.targets[2 * (base + pi) + 1];
+              Word* masks[4] = {xf.row(qa), zf.row(qa), xf.row(qb),
+                                zf.row(qb)};
+              fill_pauli_patterns(rng, events + pi * words, words, 4, masks,
+                                  inst.probability);
+            }
+          }
         }
         break;
     }

@@ -30,6 +30,7 @@
 
 #include "bitvec/bit_matrix.hpp"
 #include "circuit/circuit.hpp"
+#include "common/noise.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 
@@ -87,6 +88,18 @@ class FrameSimulator {
 
   Circuit circuit_;  // owned copy: the sampler re-traverses it per batch
   std::vector<bool> reference_;
+  /// One compiled noise-generation plan per instruction (identity plan
+  /// for non-noise instructions), so the strategy choice and log1p /
+  /// binary-expansion setup happen once per circuit, not per shard call.
+  std::vector<BiasedBitPlan> noise_plans_;
+  /// Cap on fill units (error targets, or pairs for DEPOLARIZE2) per
+  /// batched plan call: enough to amortize the engine's batch setup,
+  /// small enough that the event scratch (64 x 128 words = 64 KiB)
+  /// stays cache-resident however wide one instruction is.
+  static constexpr std::size_t kNoiseUnitBatch = 64;
+  /// Max fill units of any single noise instruction; sizes the
+  /// per-shard noise scratch (capped at kNoiseUnitBatch).
+  std::size_t max_noise_units_ = 0;
 };
 
 }  // namespace symphase

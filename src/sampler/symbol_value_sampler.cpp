@@ -29,6 +29,17 @@ SymbolValueSampler::SymbolValueSampler(const SymbolTable& table,
       last_group = g;
     }
   }
+  // Compile the per-group noise plans once (strategy choice + cached
+  // constants); only active random groups ever consult theirs.
+  group_plans_.resize(table_.groups().size());
+  for (const std::uint32_t gi : active_groups_) {
+    const SymbolGroup& group = table_.groups()[gi];
+    if (group.kind == SymbolGroupKind::kBernoulli ||
+        group.kind == SymbolGroupKind::kDepolarize1 ||
+        group.kind == SymbolGroupKind::kDepolarize2) {
+      group_plans_[gi] = BiasedBitPlan(group.probability);
+    }
+  }
 }
 
 std::uint32_t SymbolValueSampler::row_of(std::uint32_t symbol) const {
@@ -38,6 +49,8 @@ std::uint32_t SymbolValueSampler::row_of(std::uint32_t symbol) const {
 
 void SymbolValueSampler::generate_shard(BitMatrix& b, std::size_t word0,
                                         std::size_t words, Rng rng) const {
+  // Event-bit scratch shared by the depolarizing groups of this shard.
+  std::vector<Word> events(words);
   // Row pointer for a group member (offset to this shard's word range),
   // or nullptr if that member is unused.
   const auto member_row = [&](std::uint32_t symbol) -> Word* {
@@ -65,36 +78,24 @@ void SymbolValueSampler::generate_shard(BitMatrix& b, std::size_t word0,
       case SymbolGroupKind::kBernoulli: {
         Word* row = member_row(group.first_symbol);
         SYMPHASE_ASSERT(row != nullptr);
-        fill_biased_words(rng, row, words, group.probability);
+        group_plans_[gi].fill(rng, row, words);
         break;
       }
       case SymbolGroupKind::kDepolarize1:
       case SymbolGroupKind::kDepolarize2: {
         // Joint sampling: an "event" Bernoulli(p) per shot; on event, a
-        // uniform non-identity pattern over the member bits. Event bits
-        // are typically sparse, so we walk only set bits.
+        // uniform non-identity pattern over the member bits. The engine
+        // deposits pattern bits straight into the (pre-zeroed) member
+        // rows; unused members still consume their pattern randomness
+        // but are not materialized.
         const std::uint32_t member_count = group.num_symbols;
-        const std::uint64_t pattern_count =
-            (std::uint64_t{1} << member_count) - 1;  // non-identity patterns
         Word* rows[4] = {nullptr, nullptr, nullptr, nullptr};
         for (std::uint32_t k = 0; k < member_count; ++k) {
           rows[k] = member_row(group.first_symbol + k);
         }
-        std::vector<Word> events(words);
-        fill_biased_words(rng, events.data(), words, group.probability);
-        for (std::size_t w = 0; w < words; ++w) {
-          Word bits = events[w];
-          while (bits != 0) {
-            const auto k = static_cast<std::size_t>(std::countr_zero(bits));
-            bits &= bits - 1;
-            const std::uint64_t pattern = rng.next_below(pattern_count) + 1;
-            for (std::uint32_t m = 0; m < member_count; ++m) {
-              if (((pattern >> m) & 1) != 0 && rows[m] != nullptr) {
-                rows[m][w] |= Word{1} << k;
-              }
-            }
-          }
-        }
+        group_plans_[gi].fill(rng, events.data(), words);
+        fill_pauli_patterns(rng, events.data(), words, member_count, rows,
+                            group.probability);
         break;
       }
     }
@@ -109,8 +110,9 @@ void SymbolValueSampler::generate_shard_block(std::size_t shard,
   SYMPHASE_CHECK(shard < num_sample_shards(num_samples));
   SYMPHASE_CHECK(block.rows() == num_rows());
   SYMPHASE_CHECK(block.words_per_row() >= e.words);
-  // generate() starts from a zero matrix and the depolarize path only ORs
-  // event bits in; a reused scratch block must be cleared to match.
+  // generate() starts from a zero matrix and the depolarize path only
+  // XORs fresh pattern bits in; a reused scratch block must be cleared
+  // to match.
   block.clear_all();
   generate_shard(block, 0, e.words, Rng(seed).stream(shard));
   if (e.shots % kWordBits != 0) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bitvec/bit_matrix.hpp"
+#include "common/noise.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "symbolic/symbol_table.hpp"
@@ -77,6 +78,10 @@ class SymbolValueSampler {
   std::vector<std::uint32_t> row_lookup_;
   // Group indices that contain at least one used symbol, ascending.
   std::vector<std::uint32_t> active_groups_;
+  // Noise-generation plan per group index (identity for non-random
+  // groups); compiled once so shard fills skip the per-call strategy and
+  // log1p setup.
+  std::vector<BiasedBitPlan> group_plans_;
 };
 
 }  // namespace symphase

@@ -117,6 +117,56 @@ TEST(FrameSimulator, DepolarizeRates) {
               5 * std::sqrt(0.2 * 0.8 / kShots));
 }
 
+/// DEPOLARIZE2 must draw uniformly over the 15 non-identity two-qubit
+/// Paulis. Two Bell pairs turn the error into four readable bits: for a
+/// Bell pair prepared by H a; CNOT a b, decoding with CNOT a b; H a
+/// makes both measurements deterministic, so the sampled outcome bits
+/// are exactly the error's (Z_a, X_a) / (Z_b, X_b) components — every
+/// pattern, including pure-Z ones that a plain Z-basis measurement
+/// cannot see, lands in a distinct outcome cell.
+void expect_depolarize2_uniform(double p, std::size_t shots,
+                                std::uint64_t seed) {
+  const Circuit c = parse_circuit(
+      "H 0\nCNOT 0 2\nH 1\nCNOT 1 3\n"
+      "DEPOLARIZE2(" +
+      std::to_string(p) +
+      ") 0 1\n"
+      "CNOT 0 2\nH 0\nCNOT 1 3\nH 1\n"
+      "M 0 2 1 3");
+  FrameSimulator sim(c, seed);
+  const BitMatrix samples = sim.sample(shots, seed + 1);
+  ASSERT_EQ(samples.rows(), 4u);
+  std::vector<std::size_t> freq(16, 0);
+  for (std::size_t s = 0; s < shots; ++s) {
+    unsigned pattern = 0;
+    for (std::size_t r = 0; r < 4; ++r) {
+      pattern |= static_cast<unsigned>(get_bit(samples.row(r), s)) << r;
+    }
+    ++freq[pattern];
+  }
+  // Identity: no event (1 - p). Each non-identity pattern: p / 15.
+  const double n = static_cast<double>(shots);
+  double chi = 0.0;
+  for (unsigned q = 0; q < 16; ++q) {
+    const double expected = q == 0 ? n * (1 - p) : n * p / 15.0;
+    ASSERT_GT(expected, 20.0);
+    const double d = static_cast<double>(freq[q]) - expected;
+    chi += d * d / expected;
+  }
+  // 15 dof; 0.9999 quantile is ~44.3. Fixed seeds keep this stable.
+  EXPECT_LT(chi, 50.0) << "p=" << p;
+}
+
+TEST(FrameSimulator, Depolarize2PatternsUniformDensePath) {
+  // p * 64 >= 1: the engine's word-parallel rejection path.
+  expect_depolarize2_uniform(0.9, 100000, 40);
+}
+
+TEST(FrameSimulator, Depolarize2PatternsUniformSparsePath) {
+  // p * 64 < 1: the batched per-event index path.
+  expect_depolarize2_uniform(0.008, 600000, 41);
+}
+
 TEST(FrameSimulator, TailColumnsMasked) {
   const Circuit c = parse_circuit("X 0\nM 0");
   FrameSimulator sim(c, 20);

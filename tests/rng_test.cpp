@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "common/noise.hpp"
 
 namespace symphase {
 namespace {
@@ -131,6 +132,253 @@ TEST(BiasedFill, Deterministic) {
   fill_biased_words(a, wa.data(), wa.size(), 0.05);
   fill_biased_words(b, wb.data(), wb.size(), 0.05);
   EXPECT_EQ(wa, wb);
+}
+
+TEST(BiasedBitPlan, StrategySelectionAndCrossovers) {
+  EXPECT_EQ(BiasedBitPlan(0.0).strategy(), BiasStrategy::kZero);
+  EXPECT_EQ(BiasedBitPlan(-1.0).strategy(), BiasStrategy::kZero);
+  EXPECT_EQ(BiasedBitPlan(1.0).strategy(), BiasStrategy::kOne);
+  EXPECT_EQ(BiasedBitPlan(2.0).strategy(), BiasStrategy::kOne);
+  EXPECT_EQ(BiasedBitPlan(0.5).strategy(), BiasStrategy::kCoin);
+  const double c = BiasedBitPlan::kSparseCrossover;
+  EXPECT_EQ(BiasedBitPlan(c / 2).strategy(), BiasStrategy::kGeometric);
+  EXPECT_EQ(BiasedBitPlan(std::nextafter(c, 0.0)).strategy(),
+            BiasStrategy::kGeometric);
+  EXPECT_EQ(BiasedBitPlan(c).strategy(), BiasStrategy::kRefine);
+  EXPECT_EQ(BiasedBitPlan(0.3).strategy(), BiasStrategy::kRefine);
+  EXPECT_EQ(BiasedBitPlan(1.0 - c).strategy(), BiasStrategy::kRefine);
+  EXPECT_EQ(BiasedBitPlan(std::nextafter(1.0 - c, 1.0)).strategy(),
+            BiasStrategy::kGeometricInverted);
+  EXPECT_EQ(BiasedBitPlan(0.999).strategy(),
+            BiasStrategy::kGeometricInverted);
+}
+
+/// Chi-square of the per-word popcount histogram against Binomial(64, p).
+/// Catches rate errors, within-word correlation, and clumping that a
+/// plain mean test misses.
+double popcount_chi_square(double p, std::uint64_t seed, std::size_t words,
+                           double* out_mean) {
+  BiasedBitPlan plan(p);
+  Rng rng(seed);
+  std::vector<std::uint64_t> buf(words);
+  plan.fill(rng, buf.data(), words);
+  std::vector<std::size_t> counts(65, 0);
+  std::size_t ones = 0;
+  for (const auto w : buf) {
+    const auto c = static_cast<std::size_t>(popcount(w));
+    ++counts[c];
+    ones += c;
+  }
+  *out_mean = static_cast<double>(ones) /
+              (static_cast<double>(words) * kWordBits);
+  // log Binomial(64, p) pmf via lgamma.
+  const double logp = std::log(p);
+  const double logq = std::log1p(-p);
+  std::vector<double> expected(65);
+  for (int k = 0; k <= 64; ++k) {
+    const double log_pmf = std::lgamma(65.0) - std::lgamma(k + 1.0) -
+                           std::lgamma(65.0 - k) + k * logp +
+                           (64.0 - k) * logq;
+    expected[k] = static_cast<double>(words) * std::exp(log_pmf);
+  }
+  // Merge cells with small expectation into running tails.
+  double chi = 0.0;
+  double acc_obs = 0.0;
+  double acc_exp = 0.0;
+  for (int k = 0; k <= 64; ++k) {
+    acc_obs += static_cast<double>(counts[k]);
+    acc_exp += expected[k];
+    if (acc_exp >= 8.0) {
+      const double d = acc_obs - acc_exp;
+      chi += d * d / acc_exp;
+      acc_obs = 0.0;
+      acc_exp = 0.0;
+    }
+  }
+  if (acc_exp > 0.0) {
+    const double d = acc_obs - acc_exp;
+    chi += d * d / acc_exp;
+  }
+  return chi;
+}
+
+class PlanDistributionParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlanDistributionParam, PopcountHistogramMatchesBinomial) {
+  const double p = GetParam();
+  constexpr std::size_t kWords = 60000;
+  double mean = 0.0;
+  const double chi = popcount_chi_square(
+      p, static_cast<std::uint64_t>(p * 1e9) + 17, kWords, &mean);
+  const double total = static_cast<double>(kWords) * kWordBits;
+  const double sigma = std::sqrt(p * (1 - p) / total);
+  EXPECT_NEAR(mean, p, 5 * sigma + 1e-7) << "p=" << p;
+  // The merged histogram has at most ~65 cells; 160 is far beyond any
+  // plausible 5-sigma band for that dof, while real clumping (e.g. a
+  // broken skip distribution) blows past it immediately.
+  EXPECT_LT(chi, 160.0) << "p=" << p;
+}
+
+// Covers every strategy and both sides of each crossover:
+// geometric (1e-3, 0.02), the exact 1/32 boundary, refinement interior
+// (0.1, 0.3, 0.73), coin (0.5), inverted geometric (0.98, 0.999).
+INSTANTIATE_TEST_SUITE_P(Strategies, PlanDistributionParam,
+                         ::testing::Values(1e-3, 0.02, 1.0 / 32.0, 0.1, 0.3,
+                                           0.5, 0.73, 1.0 - 1.0 / 32.0, 0.98,
+                                           0.999));
+
+TEST(BiasedBitPlan, MatchesFillBiasedWords) {
+  // The generic entry point must be the plan, bit for bit.
+  for (const double p : {0.004, 0.2, 0.5, 0.97}) {
+    Rng a(123);
+    Rng b(123);
+    std::vector<std::uint64_t> wa(300);
+    std::vector<std::uint64_t> wb(300);
+    BiasedBitPlan(p).fill(a, wa.data(), wa.size());
+    fill_biased_words(b, wb.data(), wb.size(), p);
+    EXPECT_EQ(wa, wb) << "p=" << p;
+  }
+}
+
+TEST(BiasedBitPlan, DyadicProbabilitiesTerminateEarly) {
+  // p = 0.25 has a two-digit expansion; the refinement must still hit
+  // the exact rate (and not loop over 64 digits).
+  constexpr std::size_t kWords = 40000;
+  double mean = 0.0;
+  const double chi = popcount_chi_square(0.25, 99, kWords, &mean);
+  const double sigma =
+      std::sqrt(0.25 * 0.75 / (static_cast<double>(kWords) * kWordBits));
+  EXPECT_NEAR(mean, 0.25, 5 * sigma);
+  EXPECT_LT(chi, 160.0);
+}
+
+/// Golden stream pins: these values were produced by this release's
+/// engine and must be identical on every WideWord backend (the scalar
+/// and native CI builds both run this), every platform (the geometric
+/// path deliberately avoids libm), and every thread count. Regenerate
+/// only on an intentional, documented RNG algorithm change.
+TEST(BiasedBitPlan, GoldenStreamsStableAcrossBackends) {
+  const struct {
+    double p;
+    std::uint64_t first;
+    std::uint64_t last;
+    std::size_t ones;
+  } pins[] = {
+      {0.01, 0x0ull, 0x2000000ull, 170u},
+      {0.3, 0x80413c0190111025ull, 0xa228410544cc3105ull, 4879u},
+      {0.999, 0xffffffffffffffffull, 0xffffffffffffffffull, 16371u},
+  };
+  for (const auto& pin : pins) {
+    Rng rng(2024);
+    std::vector<std::uint64_t> buf(256);
+    BiasedBitPlan(pin.p).fill(rng, buf.data(), buf.size());
+    std::size_t ones = 0;
+    for (const auto w : buf) {
+      ones += static_cast<std::size_t>(popcount(w));
+    }
+    EXPECT_EQ(buf.front(), pin.first) << "p=" << pin.p;
+    EXPECT_EQ(buf.back(), pin.last) << "p=" << pin.p;
+    EXPECT_EQ(ones, pin.ones) << "p=" << pin.p;
+  }
+}
+
+/// fill_pauli_patterns invariants for both the dense (word-parallel
+/// rejection) and sparse (buffered index draw) paths: pattern bits land
+/// only on event positions, every event gets a non-identity pattern, and
+/// the 2^members - 1 patterns are uniform (chi-square).
+void check_pattern_path(double p, unsigned members, bool expect_uniform) {
+  constexpr std::size_t kWords = 8000;
+  Rng rng(static_cast<std::uint64_t>(members) * 1000 +
+          static_cast<std::uint64_t>(p * 1e6));
+  std::vector<Word> events(kWords);
+  BiasedBitPlan plan(p);
+  plan.fill(rng, events.data(), kWords);
+  std::vector<std::vector<Word>> mask_store(members,
+                                            std::vector<Word>(kWords, 0));
+  std::vector<Word*> masks(members);
+  for (unsigned j = 0; j < members; ++j) {
+    masks[j] = mask_store[j].data();
+  }
+  fill_pauli_patterns(rng, events.data(), kWords, members, masks.data(), p);
+
+  const std::uint64_t pattern_count = (std::uint64_t{1} << members) - 1;
+  std::vector<std::size_t> freq(pattern_count + 1, 0);
+  for (std::size_t w = 0; w < kWords; ++w) {
+    Word any_mask = 0;
+    for (unsigned j = 0; j < members; ++j) {
+      any_mask |= mask_store[j][w];
+    }
+    // Pattern bits only where events are.
+    ASSERT_EQ(any_mask & ~events[w], 0u) << "word " << w;
+    Word bits = events[w];
+    while (bits != 0) {
+      const auto k = static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      std::uint64_t pattern = 0;
+      for (unsigned j = 0; j < members; ++j) {
+        pattern |= ((mask_store[j][w] >> k) & 1) << j;
+      }
+      // Non-identity on every event.
+      ASSERT_NE(pattern, 0u) << "word " << w << " bit " << k;
+      ++freq[pattern];
+    }
+  }
+  if (!expect_uniform) {
+    return;
+  }
+  std::size_t total = 0;
+  for (std::uint64_t q = 1; q <= pattern_count; ++q) {
+    total += freq[q];
+  }
+  ASSERT_GT(total, 1000u);
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(pattern_count);
+  double chi = 0.0;
+  for (std::uint64_t q = 1; q <= pattern_count; ++q) {
+    const double d = static_cast<double>(freq[q]) - expected;
+    chi += d * d / expected;
+  }
+  // dof = pattern_count - 1 <= 14; 60 is far past the 0.9999 quantile.
+  EXPECT_LT(chi, 60.0) << "p=" << p << " members=" << members;
+}
+
+TEST(PauliPatterns, DensePathUniformNonIdentity) {
+  check_pattern_path(0.4, 2, true);
+  check_pattern_path(0.4, 4, true);
+}
+
+TEST(PauliPatterns, SparsePathUniformNonIdentity) {
+  check_pattern_path(0.008, 2, true);
+  check_pattern_path(0.008, 4, true);
+}
+
+TEST(PauliPatterns, NullMasksConsumeIdenticalRandomness) {
+  // Unused members must not change the other members' deposits.
+  constexpr std::size_t kWords = 512;
+  std::vector<Word> events(kWords);
+  Rng ev_rng(5);
+  BiasedBitPlan plan(0.2);
+  plan.fill(ev_rng, events.data(), kWords);
+
+  std::vector<Word> full[4];
+  std::vector<Word> partial[4];
+  for (auto& v : full) {
+    v.assign(kWords, 0);
+  }
+  for (auto& v : partial) {
+    v.assign(kWords, 0);
+  }
+  Word* full_masks[4] = {full[0].data(), full[1].data(), full[2].data(),
+                         full[3].data()};
+  Word* partial_masks[4] = {partial[0].data(), nullptr, partial[2].data(),
+                            nullptr};
+  Rng r1(77);
+  Rng r2(77);
+  fill_pauli_patterns(r1, events.data(), kWords, 4, full_masks, 0.2);
+  fill_pauli_patterns(r2, events.data(), kWords, 4, partial_masks, 0.2);
+  EXPECT_EQ(partial[0], full[0]);
+  EXPECT_EQ(partial[2], full[2]);
+  EXPECT_EQ(r1(), r2());  // identical generator consumption
 }
 
 TEST(Splitmix, KnownNonZeroAndMixing) {

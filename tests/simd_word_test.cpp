@@ -253,6 +253,54 @@ TEST(WideSpans, XorWordsMatchesScalar) {
   }
 }
 
+TEST(WideWord, AddShiftLanesMatchScalar) {
+  Rng rng(707);
+  alignas(64) Word a[WideWord::kWords];
+  alignas(64) Word b[WideWord::kWords];
+  alignas(64) Word got[WideWord::kWords];
+  for (std::size_t i = 0; i < WideWord::kWords; ++i) {
+    a[i] = rng.next_word();
+    b[i] = rng.next_word();
+  }
+  const WideWord va = WideWord::load(a);
+  const WideWord vb = WideWord::load(b);
+  (va + vb).store(got);
+  for (std::size_t i = 0; i < WideWord::kWords; ++i) {
+    EXPECT_EQ(got[i], a[i] + b[i]);
+  }
+  for (const int k : {1, 7, 17, 45, 63}) {
+    va.shl(k).store(got);
+    for (std::size_t i = 0; i < WideWord::kWords; ++i) {
+      EXPECT_EQ(got[i], a[i] << k);
+    }
+    va.shr(k).store(got);
+    for (std::size_t i = 0; i < WideWord::kWords; ++i) {
+      EXPECT_EQ(got[i], a[i] >> k);
+    }
+  }
+}
+
+TEST(WideSpans, AndnotAndMaskedXorMatchScalar) {
+  Rng rng(808);
+  for (const std::size_t count : {1ul, 8ul, 9ul, 33ul}) {
+    AlignedWordVec dst = random_words(rng, count);
+    const AlignedWordVec src = random_words(rng, count);
+    const AlignedWordVec mask = random_words(rng, count);
+    AlignedWordVec ref = dst;
+    for (std::size_t i = 0; i < count; ++i) {
+      ref[i] &= ~src[i];
+    }
+    wide::andnot_words(dst.data(), src.data(), count);
+    EXPECT_TRUE(wide::spans_equal(dst.data(), ref.data(), count));
+
+    for (std::size_t i = 0; i < count; ++i) {
+      ref[i] ^= src[i] & mask[i];
+    }
+    wide::xor_masked_words(dst.data(), src.data(), mask.data(), count);
+    EXPECT_TRUE(wide::spans_equal(dst.data(), ref.data(), count));
+  }
+}
+
 // The blocked layout's SIMD tile transpose against the generic
 // out-of-place 64x64-tiled transpose on a full 512x512 tile.
 TEST(Transpose, Tile512AgreesWithBitMatrixTranspose) {

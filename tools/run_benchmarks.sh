@@ -1,26 +1,45 @@
 #!/usr/bin/env bash
 # Builds the Release+native benchmark targets and records the perf
-# trajectory: runs bench_layouts / bench_matmul / bench_qec and merges
-# their outputs into bench/results/BENCH_<date>.json.
+# trajectory: runs bench_layouts / bench_matmul / bench_qec /
+# bench_noise and merges their outputs into
+# bench/results/BENCH_<date>.json.
 #
 # Usage: tools/run_benchmarks.sh [build-dir]
 #
-# bench_layouts and bench_matmul are google-benchmark binaries (JSON
-# native); bench_qec prints a throughput table, captured verbatim under
-# the "bench_qec" key. Pass SYMPHASE_BENCH_FAST=1 for the quick sizes.
+# bench_layouts, bench_matmul, and bench_noise are google-benchmark
+# binaries (JSON native); bench_qec prints a throughput table, captured
+# verbatim under the "bench_qec" key. Pass SYMPHASE_BENCH_FAST=1 for the
+# quick sizes.
+#
+# The build requests -DSYMPHASE_NATIVE=ON; if the WideWord layer still
+# lands on the scalar backend (e.g. the host lacks AVX2) the numbers are
+# not comparable to the checked-in trajectory, so the script fails
+# loudly. Set SYMPHASE_ALLOW_SCALAR_BENCH=1 to record a scalar machine's
+# numbers anyway.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-bench}"
 out_dir="$repo_root/bench/results"
-stamp="$(date +%Y-%m-%d)"
+stamp="${SYMPHASE_BENCH_STAMP:-$(date +%Y-%m-%d)}"
 out_file="$out_dir/BENCH_${stamp}.json"
 
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Release -DSYMPHASE_NATIVE=ON >/dev/null
 cmake --build "$build_dir" -j \
-  --target bench_layouts bench_matmul bench_qec >/dev/null
+  --target bench_layouts bench_matmul bench_qec bench_noise >/dev/null
+
+backend="$("$build_dir/bench_noise" --print-backend)"
+if [[ "$backend" == "scalar" &&
+      "${SYMPHASE_ALLOW_SCALAR_BENCH:-0}" != "1" ]]; then
+  echo "error: SYMPHASE_NATIVE=ON was requested but the build compiled" >&2
+  echo "       the scalar WideWord backend (no AVX2/AVX-512 on this" >&2
+  echo "       host?). Benchmark numbers would not be comparable to the" >&2
+  echo "       checked-in trajectory. Set SYMPHASE_ALLOW_SCALAR_BENCH=1" >&2
+  echo "       to record them anyway." >&2
+  exit 1
+fi
 
 mkdir -p "$out_dir"
 tmp_dir="$(mktemp -d)"
@@ -32,6 +51,9 @@ trap 'rm -rf "$tmp_dir"' EXIT
 "$build_dir/bench_matmul" \
   --benchmark_out="$tmp_dir/matmul.json" --benchmark_out_format=json \
   >/dev/null
+"$build_dir/bench_noise" \
+  --benchmark_out="$tmp_dir/noise.json" --benchmark_out_format=json \
+  >/dev/null
 
 qec_args=()
 if [[ "${SYMPHASE_BENCH_FAST:-0}" == "1" ]]; then
@@ -39,17 +61,26 @@ if [[ "${SYMPHASE_BENCH_FAST:-0}" == "1" ]]; then
 fi
 "$build_dir/bench_qec" "${qec_args[@]}" >"$tmp_dir/qec.txt"
 
-python3 - "$tmp_dir" "$out_file" "$stamp" <<'EOF'
+# bench/results/noise_baseline.json is a frozen snapshot of bench_noise
+# against the pre-engine scalar noise path; embedding it keeps the
+# before/after comparison inside the day's trajectory file.
+python3 - "$tmp_dir" "$out_file" "$stamp" "$out_dir" "$backend" <<'EOF'
 import json
+import os
 import sys
 
-tmp_dir, out_file, stamp = sys.argv[1:4]
+tmp_dir, out_file, stamp, out_dir, backend = sys.argv[1:6]
 merged = {
     "date": stamp,
+    "wideword_backend": backend,
     "bench_layouts": json.load(open(f"{tmp_dir}/layouts.json")),
     "bench_matmul": json.load(open(f"{tmp_dir}/matmul.json")),
+    "bench_noise": json.load(open(f"{tmp_dir}/noise.json")),
     "bench_qec": open(f"{tmp_dir}/qec.txt").read().splitlines(),
 }
+baseline = os.path.join(out_dir, "noise_baseline.json")
+if os.path.exists(baseline):
+    merged["bench_noise_baseline"] = json.load(open(baseline))
 with open(out_file, "w") as f:
     json.dump(merged, f, indent=1)
 print(out_file)
