@@ -72,8 +72,16 @@ void stream_sample_blocks(const StreamSpec& spec, const ShardBlockFn& fill,
     }
   }
 
+  const auto check_cancel = [&] {
+    if (spec.cancel != nullptr &&
+        spec.cancel->load(std::memory_order_relaxed)) {
+      throw TaskCancelled();
+    }
+  };
+
   sink.begin(info);
   for (std::size_t base = 0; base < num_shards; base += window) {
+    check_cancel();
     const std::size_t count = std::min(window, num_shards - base);
     parallel_for(count, threads, [&](std::size_t slot) {
       const std::size_t shard = base + slot;
@@ -84,6 +92,7 @@ void stream_sample_blocks(const StreamSpec& spec, const ShardBlockFn& fill,
       }
     });
     for (std::size_t slot = 0; slot < count; ++slot) {
+      check_cancel();
       const ShardExtent e = sample_shard_extent(base + slot, spec.num_shots);
       SampleChunk chunk;
       chunk.bits = selection.empty() ? &blocks[slot] : &filtered[slot];

@@ -19,15 +19,27 @@
 /// concatenated chunks are bit-identical to the materialized matrix for
 /// any thread count and any window schedule.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <stdexcept>
 
 #include "api/sample_sink.hpp"
 #include "bitvec/bit_matrix.hpp"
 
 namespace symphase {
+
+/// Thrown by stream_sample_blocks() when the run's cancel flag is
+/// observed set. The stream is abandoned mid-delivery: the sink's end()
+/// is never called, already-delivered chunks stay delivered, and the
+/// session's compiled artifacts are untouched — the session remains
+/// fully reusable for the next task (the service relies on this to keep
+/// a cancelled request's session cached).
+struct TaskCancelled : public std::runtime_error {
+  TaskCancelled() : std::runtime_error("request cancelled") {}
+};
 
 /// Geometry and scheduling of one streamed run.
 struct StreamSpec {
@@ -42,6 +54,12 @@ struct StreamSpec {
   std::size_t num_threads = 0;
   /// Optional sorted, duplicate-free row subset to deliver (empty = all).
   std::span<const std::size_t> bit_selection = {};
+  /// Optional cooperative cancellation flag, owned by the caller and
+  /// outliving the run. Checked at shard-chunk boundaries (before each
+  /// fill window and before each ordered chunk delivery), never inside
+  /// a shard's kernel — a set flag raises TaskCancelled within one
+  /// chunk's worth of work.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Fills `block` with the contents of global shard `shard`. Blocks are

@@ -64,11 +64,13 @@ std::size_t SimulatorSession::record_bits(const SampleTask& task) const {
   return num_detectors() + num_observables();
 }
 
-void SimulatorSession::run(const SampleTask& task, SampleSink& sink) const {
+void SimulatorSession::run(const SampleTask& task, SampleSink& sink,
+                           const std::atomic<bool>* cancel) const {
   StreamSpec spec;
   spec.num_shots = task.shots;
   spec.num_threads = task.num_threads;
   spec.bit_selection = task.bit_selection;
+  spec.cancel = cancel;
 
   if (task.target == SampleTarget::kMeasurements) {
     if (task.backend == SampleBackend::kSymPhase) {

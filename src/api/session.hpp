@@ -68,7 +68,14 @@ class SimulatorSession {
   /// Executes the task, streaming shard-sized chunks into `sink` in shot
   /// order. Validates the task (selection bounds, detection targets on
   /// circuits without annotations produce a zero-row stream).
-  void run(const SampleTask& task, SampleSink& sink) const;
+  ///
+  /// `cancel`, when non-null, must outlive the call; setting it makes
+  /// the stream raise TaskCancelled at the next shard-chunk boundary
+  /// (see sample_stream.hpp). The session itself stays valid and
+  /// reusable — cancellation abandons the one run, not the compiled
+  /// artifacts.
+  void run(const SampleTask& task, SampleSink& sink,
+           const std::atomic<bool>* cancel = nullptr) const;
 
   /// Convenience: run() into a BitMatrixSink and return the matrix
   /// (measurement-major, like CompiledSampler::sample).

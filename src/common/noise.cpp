@@ -2,8 +2,10 @@
 
 #include <bit>
 #include <cmath>
+#include <optional>
 
 #include "common/check.hpp"
+#include "common/rng_lanes.hpp"
 #include "common/simd_word.hpp"
 
 namespace symphase {
@@ -225,12 +227,32 @@ void BiasedBitPlan::fill_refine(Rng& rng, Word* out, std::size_t count) const {
     Word* o = out + off;
     wide::clear_words(o, n);
     wide::fill_words(undecided, ~Word{0}, n);
+    const bool lanes_pay = n >= 64;  // fill_random_words' serial cutoff
+    // One lane engine feeds every digit pass of the block: seeding (8
+    // serial parent draws + 32 splitmix steps) used to rerun inside
+    // each of the ~15 fill_random_words calls and dominated the pass
+    // cost; hoisting it is the fused-RNG item from PR 4. The coins
+    // still land in an L1-resident scratch block first — combining in
+    // registers instead measured neutral on AVX-512 and 1.4x *slower*
+    // on the scalar backend (interleaving the generator update with
+    // the combine defeats GCC's autovectorizer), and the scratch shape
+    // keeps the consumed word order identical on every backend.
+    std::optional<XoshiroLanes> lanes;
+    if (lanes_pay) {
+      lanes.emplace(rng);
+    }
     // Digit j of p decides undecided bits whose coin differs from it;
     // the loop ends when every bit is decided (expected after
     // ~log2(block bits) + 2 digits) or p's expansion is exhausted
     // (remaining undecided bits correctly resolve to 0: u > p).
     for (int j = 0; j < num_digits_; ++j) {
-      fill_random_words(rng, r, n);
+      if (lanes_pay) {
+        lanes->fill(r, n);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          r[i] = rng.next_word();
+        }
+      }
       const bool digit = ((digits_ >> (63 - j)) & 1) != 0;
       const bool alive = digit ? refine_digit_one(o, undecided, r, n)
                                : refine_digit_zero(undecided, r, n);

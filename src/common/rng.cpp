@@ -1,61 +1,33 @@
 #include "common/rng.hpp"
 
 #include "common/noise.hpp"
+#include "common/rng_lanes.hpp"
 #include "common/simd_word.hpp"
 
 namespace symphase {
 
 void fill_random_words(Rng& rng, std::uint64_t* out, std::size_t count) {
-  // xoshiro's output has a serial dependency chain; bulk fills run eight
-  // forked lanes in lockstep so the whole generator vectorizes (the lane
-  // loop is elementwise: shift/add/xor/rotate, so it compiles to two
-  // AVX2 or one AVX-512 vector op per step — the multiplies by 5 and 9
-  // are written as shift+add because 64-bit vector multiply is not
-  // universally available). The lane count is fixed, so the stream is
-  // bit-identical on every backend. Still fully deterministic in the
-  // parent generator's state.
+  // Bulk fills drain the 8-lane lockstep engine (rng_lanes.hpp) so the
+  // whole generator vectorizes; below 64 words the serial generator wins
+  // (lane seeding costs 8 draws + 32 splitmix steps). Both paths are
+  // fully deterministic in the parent generator's state and bit-identical
+  // on every WideWord backend.
   if (count < 64) {
     for (std::size_t i = 0; i < count; ++i) {
       out[i] = rng.next_word();
     }
     return;
   }
-  constexpr std::size_t kLanes = WideWord::kWords;  // 8 on every backend
-  static_assert(kLanes == 8);
-  alignas(64) std::uint64_t seed_lane[4][kLanes];
-  for (std::size_t l = 0; l < kLanes; ++l) {
-    // fork(l)'s mix followed by Rng(splitmix64(mix))'s reseed chain,
-    // inlined to reach the raw state words.
-    std::uint64_t sm = rng() ^ (0x9E3779B97F4A7C15ull * (l + 1));
-    std::uint64_t seed = splitmix64(sm);
-    for (std::size_t k = 0; k < 4; ++k) {
-      seed_lane[k][l] = splitmix64(seed);
-    }
-  }
-  WideWord s0 = WideWord::load(seed_lane[0]);
-  WideWord s1 = WideWord::load(seed_lane[1]);
-  WideWord s2 = WideWord::load(seed_lane[2]);
-  WideWord s3 = WideWord::load(seed_lane[3]);
-  const auto rot = [](WideWord x, int k) { return x.shl(k) | x.shr(64 - k); };
+  constexpr std::size_t kLanes = XoshiroLanes::kLanes;
+  XoshiroLanes lanes(rng);
   std::size_t i = 0;
   for (; i + kLanes <= count; i += kLanes) {
-    const WideWord x = s1.shl(2) + s1;  // s1 * 5
-    const WideWord r = rot(x, 7);
-    (r.shl(3) + r).store(out + i);  // rotl(s1 * 5, 7) * 9
-    const WideWord t = s1.shl(17);
-    s2 ^= s0;
-    s3 ^= s1;
-    s1 ^= s2;
-    s0 ^= s3;
-    s2 ^= t;
-    s3 = rot(s3, 45);
+    lanes.next().store(out + i);
   }
   if (i < count) {
     // Ragged tail: one more lockstep block into a bounce buffer.
     alignas(64) std::uint64_t tail[kLanes];
-    const WideWord x = s1.shl(2) + s1;
-    const WideWord r = rot(x, 7);
-    (r.shl(3) + r).store(tail);
+    lanes.next().store(tail);
     for (std::size_t l = 0; i < count; ++i, ++l) {
       out[i] = tail[l];
     }

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file rng_lanes.hpp
+/// The 8-lane lockstep xoshiro engine behind every bulk coin fill.
+///
+/// xoshiro's output has a serial dependency chain, so bulk generation
+/// runs eight forked lanes in lockstep across one WideWord: every step
+/// is elementwise shift/add/xor/rotate and compiles to two AVX2 or one
+/// AVX-512 vector op (the multiplies by 5 and 9 are shift+add because
+/// 64-bit vector multiply is not universally available). The lane count
+/// is fixed at 8 on every backend, so the stream is bit-identical on
+/// scalar, AVX2, and AVX-512 builds — rng_test's golden pins depend on
+/// that, as does the seeding chain below, which must stay exactly
+/// fill_random_words' historical one.
+///
+/// fill_random_words (rng.cpp) drains the engine into a buffer; the
+/// noise engine's kRefine digit passes (noise.cpp) consume next() words
+/// in registers and fuse them straight into the AND/OR combine instead
+/// of round-tripping through scratch. Both orderings draw the same
+/// words, so they are interchangeable without moving any stream.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/simd_word.hpp"
+
+namespace symphase {
+
+class XoshiroLanes {
+ public:
+  static constexpr std::size_t kLanes = WideWord::kWords;
+  static_assert(kLanes == 8);
+
+  /// Seeds lane l from fork(l)'s mix followed by Rng(splitmix64(mix))'s
+  /// reseed chain, inlined to reach the raw state words (the reseed
+  /// zero-guard cannot trigger on splitmix64 output). Consumes exactly
+  /// kLanes draws from `rng`; the parent stays deterministic.
+  explicit XoshiroLanes(Rng& rng) {
+    alignas(64) std::uint64_t seed_lane[4][kLanes];
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      std::uint64_t sm = rng() ^ (0x9E3779B97F4A7C15ull * (l + 1));
+      std::uint64_t seed = splitmix64(sm);
+      for (std::size_t k = 0; k < 4; ++k) {
+        seed_lane[k][l] = splitmix64(seed);
+      }
+    }
+    s0_ = WideWord::load(seed_lane[0]);
+    s1_ = WideWord::load(seed_lane[1]);
+    s2_ = WideWord::load(seed_lane[2]);
+    s3_ = WideWord::load(seed_lane[3]);
+  }
+
+  /// Drains the next `n` coin words into `out` (lane-major blocks, with
+  /// a bounce-buffer tail when n is not a lane multiple) — the bulk-fill
+  /// loop shared by fill_random_words and the refine digit passes.
+  void fill(Word* out, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+      next().store(out + i);
+    }
+    if (i < n) {
+      alignas(64) Word tail[kLanes];
+      next().store(tail);
+      for (std::size_t l = 0; i < n; ++i, ++l) {
+        out[i] = tail[l];
+      }
+    }
+  }
+
+  /// The next kLanes coin words, one per lane, as a single WideWord.
+  WideWord next() {
+    const WideWord x = s1_.shl(2) + s1_;  // s1 * 5
+    const WideWord r = rot(x, 7);
+    const WideWord out = r.shl(3) + r;  // rotl(s1 * 5, 7) * 9
+    const WideWord t = s1_.shl(17);
+    s2_ ^= s0_;
+    s3_ ^= s1_;
+    s1_ ^= s2_;
+    s0_ ^= s3_;
+    s2_ ^= t;
+    s3_ = rot(s3_, 45);
+    return out;
+  }
+
+ private:
+  static WideWord rot(WideWord x, int k) { return x.shl(k) | x.shr(64 - k); }
+
+  WideWord s0_;
+  WideWord s1_;
+  WideWord s2_;
+  WideWord s3_;
+};
+
+}  // namespace symphase

@@ -1,0 +1,163 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace symphase {
+
+namespace {
+
+/// Request messages are split at this payload size — far below the
+/// server's inbound cap, while still exercising multi-frame assembly
+/// for big inline circuits.
+constexpr std::size_t kRequestFramePayload = 1u << 20;
+
+}  // namespace
+
+ServiceClient::ServiceClient(const std::string& address,
+                             std::size_t max_frame_payload)
+    : socket_(tcp_connect(parse_host_port(address))),
+      decoder_(max_frame_payload) {}
+
+void ServiceClient::send_message(std::uint64_t request_id,
+                                 std::string_view payload) {
+  std::uint32_t chunk = 0;
+  std::size_t offset = 0;
+  do {
+    const std::string_view slice =
+        payload.substr(offset, kRequestFramePayload);
+    offset += slice.size();
+    FrameHeader header;
+    header.request_id = request_id;
+    header.chunk_index = chunk++;
+    if (offset >= payload.size()) {
+      header.flags = kFrameLast;
+    }
+    send_all(socket_.fd(), encode_frame(header, slice));
+  } while (offset < payload.size());
+}
+
+void ServiceClient::submit(std::uint64_t request_id,
+                           const SampleRequest& request) {
+  SYMPHASE_CHECK_MSG(request_id != 0 && request_id < (std::uint64_t{1} << 32),
+                     "client request ids must be in [1, 2^32)");
+  send_message(request_id, encode_request_payload(request));
+}
+
+bool ServiceClient::next_chunk(Frame& out) {
+  for (;;) {
+    if (decoder_.next(out)) {
+      return true;
+    }
+    if (decoder_.failed()) {
+      throw std::runtime_error("protocol error from server: " +
+                               decoder_.error());
+    }
+    if (eof_) {
+      if (!decoder_.finish()) {
+        throw std::runtime_error("connection ended mid-frame: " +
+                                 decoder_.error());
+      }
+      return false;
+    }
+    char buffer[1 << 16];
+    const ssize_t got = ::recv(socket_.fd(), buffer, sizeof buffer, 0);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+    }
+    if (got == 0) {
+      eof_ = true;
+      continue;
+    }
+    decoder_.feed({buffer, static_cast<std::size_t>(got)});
+  }
+}
+
+MessageAssembler::Message ServiceClient::await(std::uint64_t request_id) {
+  const auto ready = completed_.find(request_id);
+  if (ready != completed_.end()) {
+    MessageAssembler::Message message = std::move(ready->second);
+    completed_.erase(ready);
+    return message;
+  }
+  Frame frame;
+  while (next_chunk(frame)) {
+    auto message = assembler_.accept(frame);
+    if (assembler_.failed()) {
+      throw std::runtime_error("protocol error from server: " +
+                               assembler_.error());
+    }
+    if (!message) {
+      continue;
+    }
+    if (message->request_id == request_id) {
+      return std::move(*message);
+    }
+    completed_[message->request_id] = std::move(*message);
+  }
+  throw std::runtime_error("connection closed before request " +
+                           std::to_string(request_id) + " completed");
+}
+
+MessageAssembler::Message ServiceClient::transact(
+    const SampleRequest& request) {
+  const std::uint64_t id = next_internal_id_++;
+  send_message(id, encode_request_payload(request));
+  return await(id);
+}
+
+std::string ServiceClient::register_circuit(std::string_view circuit_text) {
+  SampleRequest request;
+  request.verb = RequestVerb::kRegister;
+  request.circuit_text = std::string(circuit_text);
+  MessageAssembler::Message reply = transact(request);
+  if (reply.error) {
+    throw std::runtime_error("register failed: " + reply.error_text);
+  }
+  // Reply is "digest=<hex>\n".
+  const std::string_view payload = reply.payload;
+  constexpr std::string_view kPrefix = "digest=";
+  if (payload.substr(0, kPrefix.size()) != kPrefix) {
+    throw std::runtime_error("malformed register reply: " + reply.payload);
+  }
+  std::string digest(payload.substr(kPrefix.size()));
+  if (!digest.empty() && digest.back() == '\n') {
+    digest.pop_back();
+  }
+  return digest;
+}
+
+std::string ServiceClient::stats() {
+  SampleRequest request;
+  request.verb = RequestVerb::kStats;
+  MessageAssembler::Message reply = transact(request);
+  if (reply.error) {
+    throw std::runtime_error("stats failed: " + reply.error_text);
+  }
+  return reply.payload;
+}
+
+bool ServiceClient::cancel(std::uint64_t request_id) {
+  SampleRequest request;
+  request.verb = RequestVerb::kCancel;
+  request.cancel_id = request_id;
+  return !transact(request).error;
+}
+
+void ServiceClient::finish_writes() {
+  if (socket_.valid()) {
+    (void)::shutdown(socket_.fd(), SHUT_WR);
+  }
+}
+
+}  // namespace symphase

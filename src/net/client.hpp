@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file client.hpp
+/// Small C++ client for the sampling service's TCP transport.
+///
+/// One ServiceClient owns one connection and speaks the wire protocol
+/// of service/wire.hpp: requests out as framed messages, responses back
+/// as interleaved chunk streams demultiplexed by request id. It is the
+/// library under `symphase sample --connect`, the socket differential
+/// tests, and tools/bench_service.sh — and the reference for writing
+/// clients in other languages (the protocol is 17-byte headers plus
+/// payload; see docs/service.md).
+///
+/// Two consumption styles:
+///  - next_chunk(): the raw frame stream, for incremental processing
+///    (the CLI pipes data payloads straight to stdout). The caller
+///    demultiplexes by header.request_id when several requests are in
+///    flight.
+///  - await(id): reads until request `id`'s message completes,
+///    assembling every other in-flight response on the side (fetch
+///    those later with await too). The request/reply helpers
+///    (register_circuit / stats / cancel) are await-based, so do not
+///    mix them with a concurrent next_chunk() loop — chunks consumed
+///    inside await() are not replayed to next_chunk().
+///
+/// Caller-chosen request ids must be nonzero and below 2^32; ids at
+/// 2^32 and above are reserved for the helpers' internal messages.
+/// Not thread-safe: one thread per client (open several clients for
+/// concurrent connections — they are cheap).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "net/socket.hpp"
+#include "service/request.hpp"
+#include "service/wire.hpp"
+
+namespace symphase {
+
+class ServiceClient {
+ public:
+  /// Connects to "host:port". Throws std::runtime_error on failure.
+  ///
+  /// `max_frame_payload` bounds accepted response frames. The default
+  /// is the wire protocol's u32 length bound rather than the decoder's
+  /// hostile-input default: a client talks to a server it chose, and
+  /// that server's frame size follows its --max-frame option (up to
+  /// 4 GiB - 1), which the client has no way to discover. Pass a
+  /// smaller cap to bound memory against an untrusted server.
+  explicit ServiceClient(const std::string& address,
+                         std::size_t max_frame_payload = 0xffffffffu);
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Registers a circuit, returning its digest handle. Throws
+  /// std::runtime_error when the server answers with an error frame.
+  std::string register_circuit(std::string_view circuit_text);
+
+  /// The service stats line (the socket server snapshots; see
+  /// docs/service.md).
+  std::string stats();
+
+  /// Sends a sample/detect request under `request_id` (nonzero, below
+  /// 2^32, not currently in flight on this connection). Returns
+  /// immediately; consume the response with next_chunk()/await().
+  void submit(std::uint64_t request_id, const SampleRequest& request);
+
+  /// Asks the server to cancel in-flight request `request_id`. Returns
+  /// true when the server claimed the cancellation. Cancellation is
+  /// cooperative: the request still ends with its own final frame —
+  /// usually a `cancelled` error frame, but a request already past its
+  /// last boundary check completes normally. Treat that final frame as
+  /// the source of truth.
+  bool cancel(std::uint64_t request_id);
+
+  /// Blocking: the next response frame from the server, any request.
+  /// Returns false on clean end-of-stream; throws on protocol errors.
+  bool next_chunk(Frame& out);
+
+  /// Blocking: reads until request `request_id`'s response completes
+  /// and returns the assembled message (check .error / .error_text).
+  /// Throws on protocol errors or connection loss before completion.
+  MessageAssembler::Message await(std::uint64_t request_id);
+
+  /// Half-closes the write side: the server sees EOF, finishes
+  /// streaming what was submitted, and closes when done.
+  void finish_writes();
+
+ private:
+  void send_message(std::uint64_t request_id, std::string_view payload);
+  MessageAssembler::Message transact(const SampleRequest& request);
+
+  Socket socket_;
+  FrameDecoder decoder_;
+  MessageAssembler assembler_;
+  /// Messages completed inside await() for ids not yet asked about.
+  std::map<std::uint64_t, MessageAssembler::Message> completed_;
+  std::uint64_t next_internal_id_ = std::uint64_t{1} << 32;
+  bool eof_ = false;
+};
+
+}  // namespace symphase

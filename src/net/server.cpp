@@ -1,0 +1,553 @@
+#include "net/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "service/request.hpp"
+
+namespace symphase {
+
+/// Per-client state. The poll thread owns socket/decoder/assembler and
+/// the lifecycle; everything under `mutex` is shared with the service
+/// workers that emit this connection's response frames.
+struct SocketServer::Connection {
+  Socket socket;
+  FrameDecoder decoder;
+  MessageAssembler assembler;
+
+  std::mutex mutex;
+  /// Workers wait here when the outbound buffer is full (slow reader).
+  std::condition_variable space;
+  std::string outbound;
+  std::size_t offset = 0;  ///< Prefix of outbound already written.
+  /// Response streams still open on this connection: request id ->
+  /// scheduler ticket (0 while submit() is still returning).
+  std::map<std::uint64_t, std::uint64_t> inflight;
+  bool open = true;       ///< False once closed: emits become drops.
+  /// EOF or protocol error: no more reads; the connection retires once
+  /// its in-flight responses finished and the outbound buffer flushed.
+  bool read_done = false;
+
+  explicit Connection(Socket s, std::size_t max_inbound)
+      : socket(std::move(s)), decoder(max_inbound) {}
+
+  std::size_t pending_out_locked() const { return outbound.size() - offset; }
+};
+
+struct SocketServer::Impl {
+  explicit Impl(SocketServerOptions opts)
+      : options(std::move(opts)),
+        listen_at(parse_host_port(options.listen)),
+        listener(tcp_listen(listen_at)),
+        bound_port(local_port(listener)),
+        // Inbound frames follow the stdio loop's allowance: at least
+        // the decoder default, so big inline circuits always fit.
+        max_inbound(std::max(options.service.max_frame_payload,
+                             kDefaultMaxFramePayload)),
+        service(options.service) {
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+    }
+    wake_read = pipe_fds[0];
+    wake_write = pipe_fds[1];
+    set_nonblocking(wake_read, true);
+    set_nonblocking(wake_write, true);
+    set_nonblocking(listener.fd(), true);
+  }
+
+  ~Impl() {
+    // Workers may still be finishing (and poking wake_write) until the
+    // service member — declared last — destructs; only then close the
+    // pipe.
+    service.stop();
+    if (wake_read >= 0) {
+      ::close(wake_read);
+    }
+    if (wake_write >= 0) {
+      ::close(wake_write);
+    }
+  }
+
+  void wake() const {
+    const char byte = 0;
+    // Full pipe means a wakeup is already pending — exactly as good.
+    (void)::write(wake_write, &byte, 1);
+  }
+
+  SocketServerOptions options;
+  HostPort listen_at;
+  Socket listener;
+  std::uint16_t bound_port;
+  std::size_t max_inbound;
+  int wake_read = -1;
+  int wake_write = -1;
+  std::atomic<bool> stop_requested{false};
+  bool loop_failed = false;  ///< poll() died; run() reports failure.
+  /// The thread running run(); set before any connection exists.
+  std::atomic<std::thread::id> loop_thread{};
+  /// Poll-thread-only.
+  std::vector<std::shared_ptr<Connection>> connections;
+  /// Last member: destroyed first, joining workers while the wake pipe
+  /// and options (which their emit lambdas touch) are still alive.
+  SamplingService service;
+};
+
+namespace {
+
+using Connection = SocketServer::Connection;
+
+}  // namespace
+
+SocketServer::SocketServer(SocketServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+SocketServer::~SocketServer() { shutdown(); }
+
+std::uint16_t SocketServer::port() const { return impl_->bound_port; }
+
+SamplingService& SocketServer::service() { return impl_->service; }
+
+void SocketServer::shutdown() {
+  impl_->stop_requested.store(true, std::memory_order_release);
+  impl_->wake();
+}
+
+namespace {
+
+/// Appends one encoded frame to the connection's outbound buffer,
+/// blocking while the buffer is over the cap. Runs on service worker
+/// threads (and, for queued-cancel error frames, the poll thread —
+/// which never holds conn->mutex when it can reach here).
+void enqueue_frame(SocketServer::Impl* impl,
+                   const std::shared_ptr<Connection>& conn,
+                   const FrameHeader& header, std::string_view payload) {
+  bool wake = false;
+  {
+    std::unique_lock<std::mutex> lock(conn->mutex);
+    // The poll thread is the only drainer, so it must never wait for
+    // space it would itself create (its own frames — verb replies and
+    // queued-cancel errors — are small and bypass the cap). Worker
+    // threads do wait: that is the slow-reader backpressure.
+    const bool is_loop_thread =
+        std::this_thread::get_id() ==
+        impl->loop_thread.load(std::memory_order_relaxed);
+    if (!is_loop_thread) {
+      conn->space.wait(lock, [&] {
+        return !conn->open ||
+               conn->pending_out_locked() < impl->options.max_outbound_buffer;
+      });
+    }
+    if (conn->open) {
+      conn->outbound += encode_frame(header, payload);
+      wake = true;
+    }
+    if ((header.flags & kFrameLast) != 0) {
+      conn->inflight.erase(header.request_id);
+    }
+  }
+  if (wake) {
+    impl->wake();
+  }
+}
+
+void enqueue_error(SocketServer::Impl* impl,
+                   const std::shared_ptr<Connection>& conn,
+                   std::uint64_t request_id, std::string_view text) {
+  FrameHeader header;
+  header.request_id = request_id;
+  header.flags = kFrameLast | kFrameError;
+  header.payload_bytes = static_cast<std::uint32_t>(text.size());
+  enqueue_frame(impl, conn, header, text);
+}
+
+/// Marks the connection closed and cancels every outstanding request it
+/// owns. Poll thread only; must NOT hold conn->mutex on entry (cancel
+/// emits error frames through enqueue_frame).
+void close_connection(SocketServer::Impl* impl,
+                      const std::shared_ptr<Connection>& conn) {
+  std::vector<std::uint64_t> tickets;
+  {
+    const std::lock_guard<std::mutex> lock(conn->mutex);
+    if (!conn->open) {
+      return;
+    }
+    conn->open = false;
+    conn->read_done = true;
+    for (const auto& [id, ticket] : conn->inflight) {
+      if (ticket != 0) {
+        tickets.push_back(ticket);
+      }
+    }
+    conn->socket.close_fd();
+  }
+  conn->space.notify_all();
+  // Abandoned by its client: queued requests leave the scheduler now,
+  // in-flight ones stop at the next shard-chunk boundary. Their final
+  // frames fall into the closed connection and are dropped.
+  for (const std::uint64_t ticket : tickets) {
+    impl->service.cancel(ticket);
+  }
+}
+
+/// One complete request message from this connection. Mirrors the
+/// --stdio loop's verb handling; divergences are documented in
+/// server.hpp. Returns false on a session-fatal protocol error.
+bool handle_message(SocketServer::Impl* impl,
+                    const std::shared_ptr<Connection>& conn,
+                    MessageAssembler::Message message) {
+  if (message.request_id == 0) {
+    enqueue_error(impl, conn, 0,
+                  "request_id 0 is reserved for session-level errors");
+    return true;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(conn->mutex);
+    if (!conn->inflight.emplace(message.request_id, 0).second) {
+      return false;  // concurrent id reuse: protocol error
+    }
+  }
+  if (message.error) {
+    enqueue_error(impl, conn, message.request_id,
+                  "client sent an error frame");
+    return true;
+  }
+  try {
+    SampleRequest request = parse_request_payload(message.payload);
+    switch (request.verb) {
+      case RequestVerb::kRegister: {
+        // Parses on the loop thread — a deliberate tradeoff: register
+        // is a rare control verb and its reply must come from the
+        // registration, while the hot path (inline sample/detect
+        // circuits) parses on worker threads. A multi-MB register does
+        // stall other clients for the parse; route registrations
+        // through sample-by-inline-text if that ever matters.
+        const std::string digest =
+            impl->service.register_circuit(request.circuit_text);
+        FrameHeader header;
+        header.request_id = message.request_id;
+        header.flags = kFrameLast;
+        const std::string reply = "digest=" + digest + "\n";
+        header.payload_bytes = static_cast<std::uint32_t>(reply.size());
+        enqueue_frame(impl, conn, header, reply);
+        break;
+      }
+      case RequestVerb::kStats: {
+        // Snapshot, not drain: draining would park the shared event
+        // loop behind every other client's queue.
+        FrameHeader header;
+        header.request_id = message.request_id;
+        header.flags = kFrameLast;
+        const std::string reply = impl->service.stats().to_line();
+        header.payload_bytes = static_cast<std::uint32_t>(reply.size());
+        enqueue_frame(impl, conn, header, reply);
+        break;
+      }
+      case RequestVerb::kCancel: {
+        std::uint64_t ticket = 0;
+        {
+          const std::lock_guard<std::mutex> lock(conn->mutex);
+          const auto it = conn->inflight.find(request.cancel_id);
+          ticket = it == conn->inflight.end() ? 0 : it->second;
+        }
+        if (ticket != 0 && impl->service.cancel(ticket)) {
+          FrameHeader header;
+          header.request_id = message.request_id;
+          header.flags = kFrameLast;
+          enqueue_frame(impl, conn, header, "cancelled\n");
+        } else {
+          std::ostringstream oss;
+          oss << "request " << request.cancel_id
+              << " is not in flight on this connection";
+          enqueue_error(impl, conn, message.request_id, oss.str());
+        }
+        break;
+      }
+      case RequestVerb::kSample:
+      case RequestVerb::kDetect: {
+        const std::uint64_t id = message.request_id;
+        const FrameFn emit = [impl, conn](const FrameHeader& header,
+                                          std::string_view payload) {
+          enqueue_frame(impl, conn, header, payload);
+        };
+        // try_submit, not submit: the loop thread must never park on
+        // queue space — workers free that space only after draining
+        // response bytes through sockets only this thread flushes, so
+        // blocking here could deadlock the whole transport. A full
+        // queue sheds load with an error frame instead.
+        const std::uint64_t ticket =
+            impl->service.try_submit(id, std::move(request), emit);
+        if (ticket == 0) {
+          enqueue_error(impl, conn, id,
+                        "server request queue is full; retry later");
+          break;
+        }
+        const std::lock_guard<std::mutex> lock(conn->mutex);
+        const auto it = conn->inflight.find(id);
+        if (it != conn->inflight.end()) {
+          // Still streaming (the final frame can race try_submit()'s
+          // return; if it won, the entry is already gone).
+          it->second = ticket;
+        }
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    enqueue_error(impl, conn, message.request_id, e.what());
+  }
+  return true;
+}
+
+/// Drains readable bytes into the decoder and dispatches complete
+/// messages. Poll thread only.
+void handle_readable(SocketServer::Impl* impl,
+                     const std::shared_ptr<Connection>& conn) {
+  char buffer[1 << 16];
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(conn->mutex);
+      if (!conn->open || conn->read_done) {
+        return;
+      }
+    }
+    const ssize_t got =
+        ::recv(conn->socket.fd(), buffer, sizeof buffer, 0);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      close_connection(impl, conn);
+      return;
+    }
+    if (got == 0) {
+      // Clean half-close: the client is done sending. Responses keep
+      // flowing; the connection retires once the last one flushed.
+      std::string eof_error;
+      {
+        const std::lock_guard<std::mutex> lock(conn->mutex);
+        conn->read_done = true;
+      }
+      if (!conn->decoder.finish()) {
+        eof_error = "protocol error: " + conn->decoder.error();
+      } else if (conn->assembler.open_messages() > 0) {
+        std::ostringstream oss;
+        oss << "protocol error: stream ended with "
+            << conn->assembler.open_messages() << " incomplete request(s)";
+        eof_error = oss.str();
+      }
+      if (!eof_error.empty()) {
+        enqueue_error(impl, conn, 0, eof_error);
+      }
+      return;
+    }
+    conn->decoder.feed({buffer, static_cast<std::size_t>(got)});
+    Frame frame;
+    bool session_ok = true;
+    while (session_ok && conn->decoder.next(frame)) {
+      if (auto message = conn->assembler.accept(frame)) {
+        const std::uint64_t id = message->request_id;
+        session_ok = handle_message(impl, conn, std::move(*message));
+        if (!session_ok) {
+          std::ostringstream oss;
+          oss << "protocol error: request id " << id
+              << " reused while still in flight";
+          enqueue_error(impl, conn, 0, oss.str());
+        }
+      }
+    }
+    if (conn->decoder.failed() || conn->assembler.failed()) {
+      const std::string reason = conn->decoder.failed()
+                                     ? conn->decoder.error()
+                                     : conn->assembler.error();
+      enqueue_error(impl, conn, 0, "protocol error: " + reason);
+      session_ok = false;
+    }
+    if (!session_ok) {
+      const std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->read_done = true;
+      return;
+    }
+  }
+}
+
+/// Flushes as much outbound as the socket accepts. Poll thread only.
+void handle_writable(SocketServer::Impl* impl,
+                     const std::shared_ptr<Connection>& conn) {
+  bool notify = false;
+  bool broken = false;
+  {
+    const std::lock_guard<std::mutex> lock(conn->mutex);
+    if (!conn->open) {
+      return;
+    }
+    while (conn->offset < conn->outbound.size()) {
+      const ssize_t n =
+          ::send(conn->socket.fd(), conn->outbound.data() + conn->offset,
+                 conn->outbound.size() - conn->offset, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          break;
+        }
+        broken = true;
+        break;
+      }
+      conn->offset += static_cast<std::size_t>(n);
+      notify = true;
+    }
+    if (conn->offset == conn->outbound.size()) {
+      conn->outbound.clear();
+      conn->offset = 0;
+    } else if (conn->offset > (1u << 20)) {
+      // Reclaim the flushed prefix without quadratic churn.
+      conn->outbound.erase(0, conn->offset);
+      conn->offset = 0;
+    }
+  }
+  if (broken) {
+    close_connection(impl, conn);
+  } else if (notify) {
+    conn->space.notify_all();
+  }
+}
+
+}  // namespace
+
+bool SocketServer::run() {
+  Impl* impl = impl_.get();
+  impl->loop_thread.store(std::this_thread::get_id(),
+                          std::memory_order_relaxed);
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Connection>> polled;
+  while (!impl->stop_requested.load(std::memory_order_acquire)) {
+    fds.clear();
+    polled.clear();
+    fds.push_back({impl->wake_read, POLLIN, 0});
+    const bool accepting =
+        impl->connections.size() < impl->options.max_connections;
+    fds.push_back({accepting ? impl->listener.fd() : -1, POLLIN, 0});
+    for (const auto& conn : impl->connections) {
+      short events = 0;
+      {
+        const std::lock_guard<std::mutex> lock(conn->mutex);
+        if (conn->open) {
+          if (!conn->read_done) {
+            events |= POLLIN;
+          }
+          if (conn->pending_out_locked() > 0) {
+            events |= POLLOUT;
+          }
+        }
+      }
+      fds.push_back({events != 0 ? conn->socket.fd() : -1, events, 0});
+      polled.push_back(conn);
+    }
+
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      // A dead event loop must not masquerade as a clean shutdown —
+      // run() reports failure so the CLI exits nonzero.
+      std::fprintf(stderr, "error: poll: %s\n", std::strerror(errno));
+      impl->loop_failed = true;
+      break;
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[256];
+      while (::read(impl->wake_read, drain, sizeof drain) > 0) {
+      }
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        errno = 0;
+        Socket accepted = tcp_accept(impl->listener);
+        if (!accepted.valid()) {
+          if (errno != 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+              errno != ECONNABORTED && errno != EINTR) {
+            // Persistent accept failure (EMFILE, ENFILE, ENOMEM...):
+            // the pending connection stays in the backlog, so the
+            // listener polls readable forever. Back off instead of
+            // spinning a core; fds freed by retiring connections let
+            // the next round succeed.
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+          break;
+        }
+        if (impl->connections.size() >= impl->options.max_connections) {
+          continue;  // accepted and dropped: over capacity
+        }
+        set_nonblocking(accepted.fd(), true);
+        impl->connections.push_back(std::make_shared<Connection>(
+            std::move(accepted), impl->max_inbound));
+      }
+    }
+
+    for (std::size_t c = 0; c < polled.size(); ++c) {
+      const auto& conn = polled[c];
+      const short revents = fds[c + 2].revents;
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        close_connection(impl, conn);
+        continue;
+      }
+      if ((revents & POLLOUT) != 0) {
+        handle_writable(impl, conn);
+      }
+      if ((revents & (POLLIN | POLLHUP)) != 0) {
+        handle_readable(impl, conn);
+      }
+    }
+
+    // Retire connections that are finished (or were closed above):
+    // reading done, no response stream open, nothing left to flush.
+    std::vector<std::shared_ptr<Connection>> alive;
+    for (const auto& conn : impl->connections) {
+      bool keep = true;
+      {
+        const std::lock_guard<std::mutex> lock(conn->mutex);
+        if (!conn->open) {
+          keep = false;
+        } else if (conn->read_done && conn->inflight.empty() &&
+                   conn->pending_out_locked() == 0) {
+          keep = false;
+        }
+      }
+      if (!keep) {
+        close_connection(impl, conn);
+      } else {
+        alive.push_back(conn);
+      }
+    }
+    impl->connections.swap(alive);
+  }
+
+  for (const auto& conn : impl->connections) {
+    close_connection(impl, conn);
+  }
+  impl->connections.clear();
+  return !impl->loop_failed;
+}
+
+}  // namespace symphase

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file server.hpp
+/// The TCP transport of the sampling service: `symphase serve --listen`.
+///
+/// One poll(2)-driven event-loop thread owns every socket; the
+/// SamplingService's worker pool does all compilation and sampling.
+/// Frames a worker emits are appended to the owning connection's
+/// outbound buffer (bounded — a slow reader backpressures its own
+/// requests, never the loop or other clients) and flushed by the loop
+/// when the socket is writable; a self-pipe wakes poll() when a worker
+/// enqueues. The wire protocol is service/wire.hpp *verbatim* — a
+/// socket client and a `--stdio` client exchange byte-identical frame
+/// streams (pinned by tests/socket_test.cpp over the corpus), so the
+/// DAC-style chunked codeword framing stays the single contract across
+/// transports.
+///
+/// Per connection, the server enforces the same session rules as the
+/// stdio loop: request ids are scoped to the connection (the service
+/// demultiplexes internally by ticket), id 0 is reserved, and reusing
+/// an id whose response is still streaming is a protocol error that
+/// ends that connection only. Disconnects cancel the connection's
+/// queued and in-flight requests — abandoned work stops at the next
+/// shard-chunk boundary instead of sampling into a void.
+///
+/// Verb differences from --stdio (documented in docs/service.md):
+/// `stats` replies with a live snapshot instead of draining — a drain
+/// would block the shared loop on every other client's work.
+///
+///   SocketServer server({.listen = "127.0.0.1:0"});
+///   std::thread loop([&] { server.run(); });
+///   ServiceClient client("127.0.0.1:" + std::to_string(server.port()));
+///   ...
+///   server.shutdown();
+///   loop.join();
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/service.hpp"
+
+namespace symphase {
+
+struct SocketServerOptions {
+  /// host:port to bind; port 0 picks an ephemeral port (see port()).
+  std::string listen = "127.0.0.1:0";
+  ServiceOptions service;
+  /// Connections beyond this are accepted and immediately closed.
+  std::size_t max_connections = 64;
+  /// Per-connection cap on buffered unsent response bytes; a worker
+  /// emitting past it blocks until the client drains (per-request
+  /// backpressure against slow readers).
+  std::size_t max_outbound_buffer = 64u << 20;
+};
+
+class SocketServer {
+ public:
+  /// Binds the listen socket (throws on failure); the loop starts with
+  /// run().
+  explicit SocketServer(SocketServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// The bound port — the ephemeral one when the spec said port 0.
+  std::uint16_t port() const;
+
+  /// The event loop. Blocks the calling thread until shutdown();
+  /// close/error on individual connections never ends it. Returns
+  /// false when the loop died on an internal error (poll failure)
+  /// instead of a requested shutdown.
+  bool run();
+
+  /// Thread-safe: wakes the loop, closes every connection (cancelling
+  /// their outstanding requests), and makes run() return. Idempotent.
+  void shutdown();
+
+  /// The underlying service (stats, in-process submissions in tests).
+  SamplingService& service();
+
+  // Implementation details, defined in server.cpp (public so the
+  // file-local helper functions there can name them).
+  struct Connection;
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace symphase

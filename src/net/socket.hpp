@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file socket.hpp
+/// Thin POSIX TCP wrappers under the network transport (src/net/).
+///
+/// Everything here is deliberately minimal: an RAII fd owner, address
+/// parsing, and the three operations the server/client need (listen,
+/// accept, connect) plus blocking-write/nonblocking helpers. All
+/// failures surface as std::runtime_error with errno text — no error
+/// codes leak upward. The wire protocol itself lives one layer up
+/// (service/wire.hpp) and is transport-agnostic; these sockets just
+/// move its bytes.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace symphase {
+
+/// Move-only owner of a POSIX file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close_fd(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close_fd();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close_fd();
+
+ private:
+  int fd_ = -1;
+};
+
+struct HostPort {
+  std::string host;  ///< Empty = all interfaces (listen only).
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" ("127.0.0.1:7777", ":0", "[::1]:7777"). Throws
+/// std::invalid_argument on malformed specs.
+HostPort parse_host_port(std::string_view spec);
+
+/// Binds and listens on `at` (port 0 = ephemeral; read the bound port
+/// back with local_port). SO_REUSEADDR is set.
+Socket tcp_listen(const HostPort& at);
+
+/// The locally bound port of a listening socket.
+std::uint16_t local_port(const Socket& socket);
+
+/// Accepts one pending connection (TCP_NODELAY set — the protocol
+/// writes latency-sensitive small status frames). Returns an invalid
+/// Socket on transient failures (EAGAIN, aborted handshake).
+Socket tcp_accept(const Socket& listener);
+
+/// Connects to `to` (blocking, TCP_NODELAY set).
+Socket tcp_connect(const HostPort& to);
+
+/// Toggles O_NONBLOCK.
+void set_nonblocking(int fd, bool enable);
+
+/// Blocking loop until all of `bytes` is written (retries EINTR).
+void send_all(int fd, std::string_view bytes);
+
+}  // namespace symphase

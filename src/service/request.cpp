@@ -113,10 +113,12 @@ SampleRequest parse_request_payload(std::string_view payload) {
     request.verb = RequestVerb::kRegister;
   } else if (verb == "stats") {
     request.verb = RequestVerb::kStats;
+  } else if (verb == "cancel") {
+    request.verb = RequestVerb::kCancel;
   } else {
-    SYMPHASE_CHECK_MSG(
-        false, "unknown request verb '" << verb
-                                        << "' (sample|detect|register|stats)");
+    SYMPHASE_CHECK_MSG(false,
+                       "unknown request verb '"
+                           << verb << "' (sample|detect|register|stats|cancel)");
   }
   request.task.shots = 1024;
 
@@ -127,6 +129,11 @@ SampleRequest parse_request_payload(std::string_view payload) {
                        "malformed option '" << option << "' (expected key=value)");
     const std::string key = option.substr(0, eq);
     const std::string value = option.substr(eq + 1);
+    if (request.verb == RequestVerb::kCancel) {
+      SYMPHASE_CHECK_MSG(key == "id", "unknown cancel option '" << key << "'");
+      request.cancel_id = parse_u64(key, value);
+      continue;
+    }
     const bool sampling = request.verb == RequestVerb::kSample ||
                           request.verb == RequestVerb::kDetect;
     SYMPHASE_CHECK_MSG(sampling, "option '" << key << "' not valid for '"
@@ -143,6 +150,10 @@ SampleRequest parse_request_payload(std::string_view payload) {
       request.task.backend = parse_backend(value);
     } else if (key == "rows") {
       request.task.bit_selection = parse_rows(value);
+    } else if (key == "priority") {
+      request.priority = priority_from_name(value);
+    } else if (key == "deadline_ms") {
+      request.deadline_ms = parse_u64(key, value);
     } else if (key == "digest") {
       SYMPHASE_CHECK_MSG(is_digest_string(value),
                          "malformed digest '" << value
@@ -177,7 +188,11 @@ SampleRequest parse_request_payload(std::string_view payload) {
   } else {
     SYMPHASE_CHECK_MSG(
         rest.find_first_not_of(" \t\r\n") == std::string_view::npos,
-        "stats request carries unexpected trailing text");
+        verb << " request carries unexpected trailing text");
+    if (request.verb == RequestVerb::kCancel) {
+      SYMPHASE_CHECK_MSG(request.cancel_id != 0,
+                         "cancel request needs id=<nonzero request id>");
+    }
   }
   if (request.verb == RequestVerb::kSample) {
     SYMPHASE_CHECK_MSG(request.format != SampleFormat::kDets,
@@ -201,6 +216,9 @@ std::string encode_request_payload(const SampleRequest& request) {
     case RequestVerb::kStats:
       oss << "stats";
       break;
+    case RequestVerb::kCancel:
+      oss << "cancel id=" << request.cancel_id;
+      break;
   }
   if (request.verb == RequestVerb::kSample ||
       request.verb == RequestVerb::kDetect) {
@@ -209,6 +227,12 @@ std::string encode_request_payload(const SampleRequest& request) {
         << " backend=" << backend_name(request.task.backend);
     if (request.task.num_threads != 0) {
       oss << " threads=" << request.task.num_threads;
+    }
+    if (request.priority != RequestPriority::kNormal) {
+      oss << " priority=" << priority_name(request.priority);
+    }
+    if (request.deadline_ms != 0) {
+      oss << " deadline_ms=" << request.deadline_ms;
     }
     if (!request.task.bit_selection.empty()) {
       oss << " rows=";

@@ -15,14 +15,22 @@
 ///   sample   stream measurement shots back           (circuit or digest=)
 ///   detect   stream detection events back            (circuit or digest=)
 ///   register parse + register the circuit, reply "digest=<hex>\n"
-///   stats    reply one line of service counters (drains first, so the
-///            counters reflect every previously submitted request)
+///   stats    reply one line of service counters (the stdio loop drains
+///            first so the counters reflect every previously submitted
+///            request; the socket server snapshots — see docs/service.md)
+///   cancel   id=N: cancel the in-flight/queued request N on this
+///            transport session; reply "cancelled\n", or an error frame
+///            when N is unknown or already finished
 ///
 /// Options (all optional): shots=N seed=N threads=N
 ///   format=01|hex|b8|ptb64|dets   backend=symphase|frames
 ///   rows=i,j,k   sorted record-row subset (SampleTask::bit_selection)
 ///   digest=<32 hex>   reference a previously registered circuit
 ///     instead of carrying its text inline.
+///   priority=high|normal|low   scheduler class (default normal)
+///   deadline_ms=N   relative deadline budget: if the request has not
+///     *started* sampling N ms after the service accepted it, it is
+///     rejected with an error frame instead of executed (0 = none).
 ///
 /// The response to sample/detect is the chosen format's byte stream,
 /// chunked across data frames — reassembled, it is bit-identical to
@@ -30,15 +38,17 @@
 /// (tests/service_differential_test.cpp pins this per circuit, backend,
 /// format, and thread count).
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "api/sample_task.hpp"
 #include "sampler/sample_writer.hpp"
+#include "service/scheduler.hpp"
 
 namespace symphase {
 
-enum class RequestVerb { kSample, kDetect, kRegister, kStats };
+enum class RequestVerb { kSample, kDetect, kRegister, kStats, kCancel };
 
 /// One parsed request payload. `task.shots` defaults to 1024 like the
 /// CLI; `format` defaults to 01 for sample and dets for detect.
@@ -51,6 +61,13 @@ struct SampleRequest {
   std::string digest;
   SampleTask task;
   SampleFormat format = SampleFormat::k01;
+  /// Scheduler class (sample/detect only).
+  RequestPriority priority = RequestPriority::kNormal;
+  /// Relative deadline budget in milliseconds from service acceptance;
+  /// 0 = no deadline. See the verb table above for the semantics.
+  std::uint64_t deadline_ms = 0;
+  /// kCancel only: the transport-session request id to cancel.
+  std::uint64_t cancel_id = 0;
 
   static SampleRequest sample(std::string circuit, std::size_t shots);
   static SampleRequest detect(std::string circuit, std::size_t shots);

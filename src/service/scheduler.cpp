@@ -1,0 +1,32 @@
+#include "service/scheduler.hpp"
+
+namespace symphase {
+
+std::string_view priority_name(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kHigh:
+      return "high";
+    case RequestPriority::kNormal:
+      return "normal";
+    case RequestPriority::kLow:
+      return "low";
+  }
+  return "normal";
+}
+
+RequestPriority priority_from_name(std::string_view name) {
+  if (name == "high") {
+    return RequestPriority::kHigh;
+  }
+  if (name == "normal") {
+    return RequestPriority::kNormal;
+  }
+  if (name == "low") {
+    return RequestPriority::kLow;
+  }
+  SYMPHASE_CHECK_MSG(false,
+                     "unknown priority '" << name << "' (high|normal|low)");
+  return RequestPriority::kNormal;
+}
+
+}  // namespace symphase

@@ -1,8 +1,10 @@
 #include "service/service.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
+#include "api/sample_stream.hpp"
 #include "circuit/parser.hpp"
 #include "common/check.hpp"
 #include "service/digest.hpp"
@@ -74,7 +76,15 @@ std::string ServiceStats::to_line() const {
   std::ostringstream oss;
   oss << "hits=" << hits << " misses=" << misses << " evictions=" << evictions
       << " compiles=" << compiles << " frame_builds=" << frame_builds
-      << " completed=" << completed << " failed=" << failed << '\n';
+      << " completed=" << completed << " failed=" << failed
+      << " queue_depth=" << queue_depth << " queue_peak=" << queue_peak
+      << " rejected_expired=" << rejected_expired
+      << " cancelled=" << cancelled;
+  for (std::size_t i = 0; i < kNumPriorities; ++i) {
+    oss << " served_" << priority_name(static_cast<RequestPriority>(i)) << '='
+        << served[i];
+  }
+  oss << '\n';
   return oss.str();
 }
 
@@ -121,19 +131,88 @@ void SamplingService::register_locked(const std::string& digest,
   }
 }
 
-void SamplingService::submit(std::uint64_t request_id, SampleRequest request,
-                             FrameFn emit) {
+std::uint64_t SamplingService::submit(std::uint64_t request_id,
+                                      SampleRequest request, FrameFn emit) {
+  return submit_impl(request_id, std::move(request), std::move(emit),
+                     /*blocking=*/true);
+}
+
+std::uint64_t SamplingService::try_submit(std::uint64_t request_id,
+                                          SampleRequest request,
+                                          FrameFn emit) {
+  return submit_impl(request_id, std::move(request), std::move(emit),
+                     /*blocking=*/false);
+}
+
+std::uint64_t SamplingService::submit_impl(std::uint64_t request_id,
+                                           SampleRequest request, FrameFn emit,
+                                           bool blocking) {
   SYMPHASE_CHECK_MSG(request.verb == RequestVerb::kSample ||
                          request.verb == RequestVerb::kDetect,
                      "submit() only takes sample/detect requests");
   SYMPHASE_CHECK(emit != nullptr);
+  Job job;
+  job.request_id = request_id;
+  // The deadline budget starts at acceptance, before any queue wait —
+  // time spent blocked on a full queue counts against it.
+  if (request.deadline_ms != 0) {
+    job.deadline = SchedulerClock::now() +
+                   std::chrono::milliseconds(request.deadline_ms);
+  }
+  job.cancel_flag = std::make_shared<std::atomic<bool>>(false);
+  job.request = std::move(request);
+  job.emit = std::move(emit);
+
   std::unique_lock<std::mutex> lock(queue_mutex_);
-  queue_space_.wait(lock, [this] {
-    return stopping_ || queue_.size() < options_.queue_capacity;
-  });
+  if (blocking) {
+    queue_space_.wait(lock, [this] {
+      return stopping_ || queue_.size() < options_.queue_capacity;
+    });
+  } else if (queue_.size() >= options_.queue_capacity && !stopping_) {
+    return 0;
+  }
   SYMPHASE_CHECK_MSG(!stopping_, "service is stopped");
-  queue_.push_back(Job{request_id, std::move(request), std::move(emit)});
+  const std::uint64_t ticket = next_ticket_++;
+  job.ticket = ticket;
+  cancel_flags_.emplace(ticket, job.cancel_flag);
+  DeadlineQueue<Job>::Item item;
+  item.ticket = ticket;
+  item.priority = job.request.priority;
+  item.deadline = job.deadline;
+  item.payload = std::move(job);
+  queue_.push(std::move(item));
+  queue_peak_ = std::max<std::uint64_t>(queue_peak_, queue_.size());
   queue_work_.notify_one();
+  return ticket;
+}
+
+bool SamplingService::cancel(std::uint64_t ticket) {
+  DeadlineQueue<Job>::Item item;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    const auto flag = cancel_flags_.find(ticket);
+    if (flag == cancel_flags_.end()) {
+      return false;
+    }
+    if (!queue_.remove(ticket, &item)) {
+      // In flight: flip the flag, the worker finishes the bookkeeping.
+      // A second cancel of the same ticket reports false — the first
+      // one already claimed it.
+      return !flag->second->exchange(true);
+    }
+    cancel_flags_.erase(flag);
+    queue_space_.notify_one();
+    if (queue_.empty() && active_jobs_ == 0) {
+      // Removing the last queued job is a quiescence transition too —
+      // a drain() sleeping on it would otherwise miss its wakeup.
+      queue_idle_.notify_all();
+    }
+  }
+  // Dequeued before it ever ran: answer it here, from the canceller's
+  // thread (FrameFn implementations are thread-safe by contract).
+  finish_without_running(item.payload, Outcome::kCancelled,
+                         "request cancelled");
+  return true;
 }
 
 void SamplingService::drain() {
@@ -169,20 +248,32 @@ void SamplingService::clear_sessions() {
 }
 
 ServiceStats SamplingService::stats() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
   ServiceStats s;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.evictions = evictions_;
-  s.compiles = retired_compiles_;
-  s.frame_builds = retired_frame_builds_;
-  for (const auto& [digest, entry] : cache_) {
-    const SessionArtifacts artifacts = entry.session->artifacts();
-    s.compiles += artifacts.compiled;
-    s.frame_builds += artifacts.frames;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.compiles = retired_compiles_;
+    s.frame_builds = retired_frame_builds_;
+    for (const auto& [digest, entry] : cache_) {
+      const SessionArtifacts artifacts = entry.session->artifacts();
+      s.compiles += artifacts.compiled;
+      s.frame_builds += artifacts.frames;
+    }
+    s.completed = completed_;
+    s.failed = failed_;
+    s.rejected_expired = rejected_expired_;
+    s.cancelled = cancelled_;
+    for (std::size_t i = 0; i < kNumPriorities; ++i) {
+      s.served[i] = served_[i];
+    }
   }
-  s.completed = completed_;
-  s.failed = failed_;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    s.queue_depth = queue_.size();
+    s.queue_peak = queue_peak_;
+  }
   return s;
 }
 
@@ -238,14 +329,14 @@ void SamplingService::worker_loop() {
       if (queue_.empty()) {
         return;  // stopping_ and drained
       }
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      job = std::move(queue_.pop().payload);
       ++active_jobs_;
       queue_space_.notify_one();
     }
     process(job);
     {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
+      cancel_flags_.erase(job.ticket);
       --active_jobs_;
       if (queue_.empty() && active_jobs_ == 0) {
         queue_idle_.notify_all();
@@ -254,34 +345,81 @@ void SamplingService::worker_loop() {
   }
 }
 
+void SamplingService::account(Outcome outcome, RequestPriority priority) {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  switch (outcome) {
+    case Outcome::kCompleted:
+      ++completed_;
+      ++served_[static_cast<std::size_t>(priority)];
+      break;
+    case Outcome::kFailed:
+      ++failed_;
+      break;
+    case Outcome::kExpired:
+      ++rejected_expired_;
+      break;
+    case Outcome::kCancelled:
+      ++cancelled_;
+      break;
+  }
+}
+
+void SamplingService::emit_error_frame(const Job& job,
+                                       std::uint32_t chunk_index,
+                                       std::string_view text) {
+  try {
+    FrameHeader header;
+    header.request_id = job.request_id;
+    header.chunk_index = chunk_index;
+    header.flags = kFrameLast | kFrameError;
+    header.payload_bytes = static_cast<std::uint32_t>(text.size());
+    job.emit(header, text);
+  } catch (...) {
+    // The emitter itself failed (e.g. a closed client stream); the
+    // request is still accounted, there is nobody left to tell.
+  }
+}
+
+void SamplingService::finish_without_running(Job& job, Outcome outcome,
+                                             std::string_view text) {
+  emit_error_frame(job, /*chunk_index=*/0, text);
+  account(outcome, job.request.priority);
+}
+
 void SamplingService::process(Job& job) {
+  // Admission gate: the deadline is checked when a worker takes the
+  // request — whether it expired while queued or in the instant after
+  // the pop, it is rejected before any compilation or sampling.
+  if (job.deadline != kNoDeadline && SchedulerClock::now() > job.deadline) {
+    finish_without_running(job, Outcome::kExpired,
+                           "deadline expired before sampling started");
+    return;
+  }
+  if (job.cancel_flag->load(std::memory_order_relaxed)) {
+    finish_without_running(job, Outcome::kCancelled, "request cancelled");
+    return;
+  }
   FrameSink sink(job.request_id, job.request.format,
                  options_.max_frame_payload, job.emit);
+  Outcome outcome = Outcome::kCompleted;
   try {
     std::string digest = job.request.digest;
     if (digest.empty()) {
       digest = register_circuit(job.request.circuit_text);
     }
     const std::shared_ptr<SimulatorSession> session = session_for(digest);
-    session->run(job.request.task, sink);
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
-    ++completed_;
+    session->run(job.request.task, sink, job.cancel_flag.get());
+  } catch (const TaskCancelled& e) {
+    // The abandoned stream's session stays cached and reusable; only
+    // this request's frames stop (with the error flag, like any other
+    // non-success).
+    outcome = Outcome::kCancelled;
+    emit_error_frame(job, sink.next_chunk_index(), e.what());
   } catch (const std::exception& e) {
-    try {
-      FrameHeader header;
-      header.request_id = job.request_id;
-      header.chunk_index = sink.next_chunk_index();
-      header.flags = kFrameLast | kFrameError;
-      const std::string_view what = e.what();
-      header.payload_bytes = static_cast<std::uint32_t>(what.size());
-      job.emit(header, what);
-    } catch (...) {
-      // The emitter itself failed (e.g. a closed client stream); the
-      // request is still accounted below, there is nobody left to tell.
-    }
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
-    ++failed_;
+    outcome = Outcome::kFailed;
+    emit_error_frame(job, sink.next_chunk_index(), e.what());
   }
+  account(outcome, job.request.priority);
 }
 
 }  // namespace symphase

@@ -26,19 +26,30 @@
 /// writer format, then one final status frame (kFrameLast, plus
 /// kFrameError with error text when the request failed).
 ///
-/// The in-process API is below; `symphase serve --stdio` wraps it in a
-/// framed stdin/stdout loop (see docs/service.md).
+/// The queue is not FIFO: requests carry a priority class and an
+/// optional deadline, and workers always take the most urgent pending
+/// request (scheduler.hpp). A request whose deadline passed before a
+/// worker reached it is rejected with an error frame instead of
+/// executed; an accepted request can be cancelled cooperatively — from
+/// the queue (never runs) or mid-stream (the engine stops at the next
+/// shard-chunk boundary) — via the ticket submit() returns.
+///
+/// The in-process API is below; `symphase serve --stdio` (framed
+/// stdin/stdout) and `symphase serve --listen` (the TCP server in
+/// src/net/) wrap it — same frames, byte-compatible streams (see
+/// docs/service.md).
 ///
 ///   SamplingService service;
 ///   const std::string digest = service.register_circuit(circuit_text);
 ///   SampleRequest request = SampleRequest::sample("", 100000);
 ///   request.digest = digest;
-///   service.submit(7, request, emit_frame);
+///   const std::uint64_t ticket = service.submit(7, request, emit_frame);
+///   // ... service.cancel(ticket) to abandon it ...
 ///   service.drain();
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <list>
 #include <memory>
@@ -51,6 +62,7 @@
 
 #include "api/session.hpp"
 #include "service/request.hpp"
+#include "service/scheduler.hpp"
 #include "service/wire.hpp"
 
 namespace symphase {
@@ -89,7 +101,17 @@ struct ServiceStats {
   std::uint64_t compiles = 0;    ///< CompiledSampler builds (kSymPhase).
   std::uint64_t frame_builds = 0;  ///< FrameSimulator builds (kFrameSimulator).
   std::uint64_t completed = 0;   ///< Requests finished successfully.
-  std::uint64_t failed = 0;      ///< Requests that ended in an error frame.
+  std::uint64_t failed = 0;      ///< Requests that ended in an error frame
+                                 ///< (excluding expired/cancelled below).
+  // Scheduler counters (the queue-metrics contract of
+  // tests/scheduler_test.cpp):
+  std::uint64_t queue_depth = 0;  ///< Requests waiting right now.
+  std::uint64_t queue_peak = 0;   ///< Highest queue_depth ever observed.
+  std::uint64_t rejected_expired = 0;  ///< Deadline passed before start.
+  std::uint64_t cancelled = 0;         ///< Cancelled (queued or mid-stream).
+  /// Successfully completed requests by priority class, indexed by
+  /// RequestPriority (high, normal, low).
+  std::uint64_t served[kNumPriorities] = {0, 0, 0};
 
   /// One-line "hits=... misses=..." rendering (the stats verb's reply).
   std::string to_line() const;
@@ -117,12 +139,41 @@ class SamplingService {
   /// idempotent and survives session eviction. Throws on parse errors.
   std::string register_circuit(std::string_view circuit_text);
 
-  /// Enqueues a sample/detect request. Blocks while the queue is full
-  /// (backpressure); throws std::invalid_argument for non-sampling
-  /// verbs or a stopped service. All outcomes after acceptance —
-  /// including unknown digests and circuit parse errors — are reported
-  /// through `emit` as wire frames, never thrown.
-  void submit(std::uint64_t request_id, SampleRequest request, FrameFn emit);
+  /// Enqueues a sample/detect request (scheduled by its priority/
+  /// deadline_ms fields). Blocks while the queue is full (backpressure);
+  /// throws std::invalid_argument for non-sampling verbs or a stopped
+  /// service. All outcomes after acceptance — including unknown
+  /// digests, circuit parse errors, expired deadlines, and cancellation
+  /// — are reported through `emit` as wire frames, never thrown.
+  ///
+  /// Returns the request's scheduler ticket, valid until the final
+  /// status frame is emitted — pass it to cancel(). Tickets are unique
+  /// across the service's lifetime (request_id is only stamped into
+  /// frames, so transports can scope ids per client).
+  std::uint64_t submit(std::uint64_t request_id, SampleRequest request,
+                       FrameFn emit);
+
+  /// Non-blocking submit: returns 0 (never a valid ticket) when the
+  /// queue is full instead of waiting for space. For callers that must
+  /// never park on queue capacity — the socket server's event-loop
+  /// thread drains the very client sockets the workers may be blocked
+  /// on, so blocking it on queue space could deadlock the transport.
+  std::uint64_t try_submit(std::uint64_t request_id, SampleRequest request,
+                           FrameFn emit);
+
+  /// Cancels the request behind `ticket`. A still-queued request is
+  /// removed and answered with an error frame immediately (it never
+  /// compiles or samples); an in-flight one stops at the next
+  /// shard-chunk boundary and ends with an error frame. Returns false
+  /// when the ticket is unknown or the request already finished —
+  /// including when its cancellation was already requested.
+  ///
+  /// Cancellation is cooperative, so `true` means the cancellation was
+  /// *claimed*, not that work was necessarily prevented: a request past
+  /// its last boundary check completes normally (success frames, served
+  /// counters) despite the claim. Treat the request's own final frame
+  /// as the source of truth for how it ended.
+  bool cancel(std::uint64_t ticket);
 
   /// Blocks until every submitted request has finished (its final
   /// status frame emitted).
@@ -142,9 +193,18 @@ class SamplingService {
  private:
   struct Job {
     std::uint64_t request_id = 0;
+    std::uint64_t ticket = 0;
     SampleRequest request;
     FrameFn emit;
+    SchedulerClock::time_point deadline = kNoDeadline;
+    /// Set by cancel(); polled by the streaming engine at shard-chunk
+    /// boundaries. Shared so cancel() can reach a job a worker owns.
+    std::shared_ptr<std::atomic<bool>> cancel_flag;
   };
+
+  /// How a processed request ended (drives which counter it lands in
+  /// and the final frame's error text).
+  enum class Outcome { kCompleted, kFailed, kExpired, kCancelled };
 
   struct CacheEntry {
     std::shared_ptr<SimulatorSession> session;
@@ -160,7 +220,19 @@ class SamplingService {
   void register_locked(const std::string& digest, Circuit circuit);
 
   void worker_loop();
+  /// Shared submit path; `blocking` selects wait-for-space vs reject.
+  std::uint64_t submit_impl(std::uint64_t request_id, SampleRequest request,
+                            FrameFn emit, bool blocking);
   void process(Job& job);
+  /// Folds one finished request into the stats counters.
+  void account(Outcome outcome, RequestPriority priority);
+  /// Ships the final error-flagged frame; swallows emitter failures.
+  void emit_error_frame(const Job& job, std::uint32_t chunk_index,
+                        std::string_view text);
+  /// Error frame + accounting for a request that never started
+  /// (deadline-expired or cancelled while queued).
+  void finish_without_running(Job& job, Outcome outcome,
+                              std::string_view text);
   /// Cache lookup/insert; `digest` must already be registered.
   std::shared_ptr<SimulatorSession> session_for(const std::string& digest);
   /// Folds a leaving session's built artifacts into the retired tally
@@ -173,7 +245,13 @@ class SamplingService {
   std::condition_variable queue_space_;  // submit() waits for room
   std::condition_variable queue_work_;   // workers wait for jobs
   std::condition_variable queue_idle_;   // drain() waits for quiescence
-  std::deque<Job> queue_;
+  DeadlineQueue<Job> queue_;
+  /// Cancel flags of accepted-but-unfinished requests, keyed by ticket.
+  /// An entry exists from submit() until the final status frame.
+  std::unordered_map<std::uint64_t, std::shared_ptr<std::atomic<bool>>>
+      cancel_flags_;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t queue_peak_ = 0;
   std::size_t active_jobs_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
@@ -191,6 +269,9 @@ class SamplingService {
   std::uint64_t retired_frame_builds_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t rejected_expired_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t served_[kNumPriorities] = {0, 0, 0};
 };
 
 }  // namespace symphase

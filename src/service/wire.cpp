@@ -43,8 +43,10 @@ std::string encode_frame(FrameHeader header, std::string_view payload) {
   header.payload_bytes = static_cast<std::uint32_t>(payload.size());
   std::string frame(kFrameHeaderBytes + payload.size(), '\0');
   encode_frame_header(header, frame.data());
-  std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(),
-              payload.size());
+  if (!payload.empty()) {  // empty status frames carry a null data()
+    std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  }
   return frame;
 }
 

@@ -1,0 +1,536 @@
+// The TCP transport (src/net/): serve-over-TCP must be byte-compatible
+// with `serve --stdio` and bit-identical to direct SimulatorSession
+// sampling over the data/ corpus; multi-client concurrency shares one
+// compiled session per digest; per-connection protocol rules (reserved
+// id 0, in-flight id reuse) match the stdio loop; disconnects cancel
+// abandoned work; and the CLI glue (`serve --listen`, `sample
+// --connect`, SIGTERM shutdown) works end to end.
+//
+// The binary path and data dir are injected by CMake (SYMPHASE_CLI_PATH,
+// SYMPHASE_DATA_DIR).
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.hpp"
+#include "circuit/parser.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "sampler/sample_writer.hpp"
+#include "service/request.hpp"
+#include "service/wire.hpp"
+
+namespace symphase {
+namespace {
+
+const std::vector<std::string>& corpus_files() {
+  static const std::vector<std::string> files = {
+      "fig1.stim",          "teleport.stim",
+      "repetition_d5_r3.stim", "steane_r2.stim",
+      "surface_d3_r3.stim", "surface_d3_r3_noisy.stim"};
+  return files;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+std::string direct_output(const Circuit& circuit, const SampleTask& task,
+                          SampleFormat format) {
+  const SimulatorSession session(circuit);
+  std::ostringstream oss;
+  WriterSink sink(oss, format);
+  session.run(task, sink);
+  return oss.str();
+}
+
+/// In-process server on an ephemeral loopback port, event loop on its
+/// own thread.
+class ServerHarness {
+ public:
+  explicit ServerHarness(SocketServerOptions options = {})
+      : server_(std::move(options)), loop_([this] { server_.run(); }) {}
+  ~ServerHarness() {
+    server_.shutdown();
+    loop_.join();
+  }
+  std::string address() const {
+    return "127.0.0.1:" + std::to_string(server_.port());
+  }
+  SocketServer& server() { return server_; }
+
+ private:
+  SocketServer server_;
+  std::thread loop_;
+};
+
+std::string one_frame_request(std::uint64_t request_id,
+                              const std::string& payload) {
+  FrameHeader header;
+  header.request_id = request_id;
+  header.flags = kFrameLast;
+  return encode_frame(header, payload);
+}
+
+/// Runs `symphase serve --stdio` on `input`, returning per-request
+/// messages (same harness as service_differential_test).
+std::map<std::uint64_t, MessageAssembler::Message> run_stdio(
+    const std::string& input) {
+  static int counter = 0;
+  const std::string base =
+      ::testing::TempDir() + "/socket_stdio_" + std::to_string(counter++);
+  {
+    std::ofstream out(base + ".in", std::ios::binary);
+    out.write(input.data(), static_cast<std::streamsize>(input.size()));
+  }
+  const std::string command = std::string(SYMPHASE_CLI_PATH) +
+                              " serve --stdio --workers 2 < " + base +
+                              ".in > " + base + ".out 2>/dev/null";
+  const int status = std::system(command.c_str());
+  EXPECT_EQ(WEXITSTATUS(status), 0) << command;
+  FrameDecoder decoder;
+  MessageAssembler assembler;
+  std::map<std::uint64_t, MessageAssembler::Message> messages;
+  decoder.feed(read_file(base + ".out"));
+  Frame frame;
+  while (decoder.next(frame)) {
+    if (auto message = assembler.accept(frame)) {
+      messages[message->request_id] = std::move(*message);
+    }
+  }
+  EXPECT_TRUE(decoder.finish()) << decoder.error();
+  EXPECT_FALSE(assembler.failed()) << assembler.error();
+  return messages;
+}
+
+class SocketDifferentialTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SocketDifferentialTest, TcpBitIdenticalToStdioAndDirect) {
+  const std::string path = std::string(SYMPHASE_DATA_DIR) + "/" + GetParam();
+  const std::string circuit_text = read_file(path);
+  const Circuit circuit = parse_circuit(circuit_text);
+  const bool has_detectors =
+      circuit.num_detectors() + circuit.num_observables() > 0;
+
+  // Multiple shards with a ragged, odd tail (packed-format padding).
+  const std::size_t shots = 8192 + 99;
+  const std::vector<SampleFormat> sample_formats = {
+      SampleFormat::k01, SampleFormat::kB8, SampleFormat::kHex,
+      SampleFormat::kPtb64};
+  const std::vector<SampleFormat> detect_formats = {
+      SampleFormat::kDets, SampleFormat::kB8, SampleFormat::k01,
+      SampleFormat::kPtb64};
+
+  std::vector<SampleRequest> requests;
+  std::size_t rotation = 0;
+  for (const SampleBackend backend :
+       {SampleBackend::kSymPhase, SampleBackend::kFrameSimulator}) {
+    for (const std::size_t threads : {1ul, 8ul}) {
+      SampleRequest sample;
+      sample.verb = RequestVerb::kSample;
+      sample.circuit_text = circuit_text;
+      sample.task.shots = shots;
+      sample.task.seed = 9000 + rotation;
+      sample.task.backend = backend;
+      sample.task.num_threads = threads;
+      sample.format = sample_formats[rotation % sample_formats.size()];
+      requests.push_back(sample);
+      if (has_detectors) {
+        SampleRequest detect = sample;
+        detect.verb = RequestVerb::kDetect;
+        detect.task.target = SampleTarget::kDetectionEvents;
+        detect.format = detect_formats[rotation % detect_formats.size()];
+        requests.push_back(detect);
+      }
+      ++rotation;
+    }
+  }
+
+  ServerHarness harness;
+  ServiceClient client(harness.address());
+  // Pipeline every request onto the one connection before reading
+  // anything back — responses interleave and await() demultiplexes.
+  std::string stdio_input;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    client.submit(i + 1, requests[i]);
+    stdio_input +=
+        one_frame_request(i + 1, encode_request_payload(requests[i]));
+  }
+  const auto stdio_messages = run_stdio(stdio_input);
+  ASSERT_EQ(stdio_messages.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const MessageAssembler::Message tcp = client.await(i + 1);
+    EXPECT_FALSE(tcp.error) << "request " << i + 1 << ": " << tcp.error_text;
+    const std::string expected =
+        direct_output(circuit, requests[i].task, requests[i].format);
+    EXPECT_EQ(tcp.payload, expected) << GetParam() << " request " << i + 1;
+    const auto stdio = stdio_messages.find(i + 1);
+    ASSERT_NE(stdio, stdio_messages.end());
+    EXPECT_EQ(tcp.payload, stdio->second.payload)
+        << GetParam() << " request " << i + 1 << ": TCP diverged from stdio";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SocketDifferentialTest,
+                         ::testing::ValuesIn(corpus_files()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '.' || c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(SocketServerTest, MultipleClientsShareOneCompiledSession) {
+  const std::string circuit_text = "H 0\nCNOT 0 1\nX_ERROR(0.05) 0 1\nM 0 1\n";
+  const Circuit circuit = parse_circuit(circuit_text);
+  SocketServerOptions options;
+  options.service.num_workers = 3;
+  ServerHarness harness(std::move(options));
+
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 3;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        ServiceClient client(harness.address());
+        for (int r = 0; r < kRequestsPerClient; ++r) {
+          SampleRequest request;
+          request.verb = RequestVerb::kSample;
+          request.circuit_text = circuit_text;
+          request.task.shots = 4000 + c;
+          request.task.seed = 100 * c + r;
+          request.format = SampleFormat::kB8;
+          // Ids restart at 1 on every connection: id scoping is
+          // per-client, the service demultiplexes by ticket.
+          client.submit(r + 1, request);
+        }
+        for (int r = 0; r < kRequestsPerClient; ++r) {
+          const MessageAssembler::Message reply = client.await(r + 1);
+          if (reply.error) {
+            failures[c] = reply.error_text;
+            return;
+          }
+          const std::string expected = direct_output(
+              circuit,
+              SampleTask::measurements(4000 + c).with_seed(100 * c + r),
+              SampleFormat::kB8);
+          if (reply.payload != expected) {
+            failures[c] = "payload mismatch";
+            return;
+          }
+        }
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+      }
+    });
+  }
+  for (auto& thread : clients) {
+    thread.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+  harness.server().service().drain();  // settle worker-side accounting
+  const ServiceStats stats = harness.server().service().stats();
+  EXPECT_EQ(stats.compiles, 1u) << stats.to_line();  // one shared session
+  EXPECT_EQ(stats.completed,
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient))
+      << stats.to_line();
+}
+
+/// Parks a service's (single) worker on an in-process blocker request
+/// whose first emitted frame waits until release() — the service behind
+/// the TCP transport is the same object, so TCP requests submitted
+/// while parked are provably queued, not racing an idle worker. Call
+/// release() before destruction.
+class WorkerPark {
+ public:
+  explicit WorkerPark(SamplingService& service) {
+    auto first = std::make_shared<std::atomic<bool>>(true);
+    service.submit(1000, SampleRequest::sample("X 0\nM 0\n", 100),
+                   [this, first](const FrameHeader&, std::string_view) {
+                     if (first->exchange(false)) {
+                       std::unique_lock<std::mutex> lock(mutex_);
+                       blocked_ = true;
+                       cv_.notify_all();
+                       cv_.wait(lock, [this] { return released_; });
+                     }
+                   });
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return blocked_; });
+  }
+  void release() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool blocked_ = false;
+  bool released_ = false;
+};
+
+TEST(SocketServerTest, CancelAndDeadlineAndStatsOverTcp) {
+  SocketServerOptions options;
+  options.service.num_workers = 1;
+  ServerHarness harness(std::move(options));
+  SamplingService& service = harness.server().service();
+  WorkerPark park(service);
+
+  ServiceClient client(harness.address());
+  SampleRequest doomed;
+  doomed.verb = RequestVerb::kSample;
+  doomed.circuit_text = "X 0\nM 0 1\n";
+  doomed.task.shots = 1000;
+  doomed.deadline_ms = 1;
+  client.submit(2, doomed);
+
+  SampleRequest queued = doomed;
+  queued.deadline_ms = 0;
+  queued.priority = RequestPriority::kLow;
+  client.submit(3, queued);
+  EXPECT_TRUE(client.cancel(3));
+  EXPECT_FALSE(client.cancel(77));  // unknown id
+
+  const MessageAssembler::Message cancelled = client.await(3);
+  EXPECT_TRUE(cancelled.error);
+  EXPECT_NE(cancelled.error_text.find("cancelled"), std::string::npos);
+
+  // Let the doomed request's 1ms budget lapse in the queue, then free
+  // the worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  park.release();
+
+  const MessageAssembler::Message expired = client.await(2);
+  EXPECT_TRUE(expired.error);
+  EXPECT_NE(expired.error_text.find("deadline expired"), std::string::npos)
+      << expired.error_text;
+
+  // Quiesce the worker-side accounting (final frames can outrun the
+  // counter updates), then the snapshot must carry the queue metrics.
+  service.drain();
+  const std::string stats = client.stats();
+  for (const char* key :
+       {"queue_depth=0", "queue_peak=2", "rejected_expired=1", "cancelled=1",
+        "served_normal=1"}) {
+    EXPECT_NE(stats.find(key), std::string::npos) << stats;
+  }
+}
+
+TEST(SocketServerTest, FullQueueShedsLoadWithErrorFrame) {
+  // The event loop must never block on queue space (it is the only
+  // thread draining the sockets busy workers are waiting on), so a
+  // full queue answers with an error frame instead — and the already
+  // queued request is unaffected.
+  SocketServerOptions options;
+  options.service.num_workers = 1;
+  options.service.queue_capacity = 1;
+  ServerHarness harness(std::move(options));
+  WorkerPark park(harness.server().service());
+
+  ServiceClient client(harness.address());
+  SampleRequest small;
+  small.verb = RequestVerb::kSample;
+  small.circuit_text = "X 0\nM 0 1\n";
+  small.task.shots = 64;
+  client.submit(2, small);  // fills the capacity-1 queue
+  client.submit(3, small);  // shed
+
+  const MessageAssembler::Message shed = client.await(3);
+  EXPECT_TRUE(shed.error);
+  EXPECT_NE(shed.error_text.find("queue is full"), std::string::npos)
+      << shed.error_text;
+
+  park.release();
+  const MessageAssembler::Message queued = client.await(2);
+  EXPECT_FALSE(queued.error) << queued.error_text;
+
+  // The shed id is free for reuse once its error frame arrived.
+  client.submit(3, small);
+  EXPECT_FALSE(client.await(3).error);
+}
+
+TEST(SocketServerTest, ReservedIdAndInFlightReuseMatchStdioRules) {
+  ServerHarness harness;
+  Socket raw = tcp_connect(parse_host_port(harness.address()));
+  const std::string request = encode_request_payload(
+      SampleRequest::sample("X 0\nM 0\n", 3));
+
+  // id 0: per-request error on id 0, connection survives.
+  send_all(raw.fd(), one_frame_request(0, request));
+  // Immediate id reuse while request 5's response may still be in
+  // flight cannot be engineered reliably here (responses are fast), so
+  // reuse is exercised the deterministic way: two submissions in one
+  // burst against a server whose only worker is parked by an earlier
+  // huge request.
+  SampleRequest big = SampleRequest::sample("X 0\nM 0\n", 4'000'000);
+  big.format = SampleFormat::kB8;
+  send_all(raw.fd(), one_frame_request(5, encode_request_payload(big)));
+  send_all(raw.fd(), one_frame_request(5, encode_request_payload(big)));
+
+  FrameDecoder decoder;
+  MessageAssembler assembler;
+  std::map<std::uint64_t, MessageAssembler::Message> messages;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(raw.fd(), buffer, sizeof buffer);
+    if (got <= 0) {
+      break;  // server closed after the protocol error
+    }
+    decoder.feed({buffer, static_cast<std::size_t>(got)});
+    Frame frame;
+    while (decoder.next(frame)) {
+      if (auto message = assembler.accept(frame)) {
+        messages[message->request_id] = std::move(*message);
+      }
+    }
+  }
+  EXPECT_TRUE(decoder.finish()) << decoder.error();
+  // The id-0 misuse answered on id 0 first, then the reuse burst turned
+  // into a session-level protocol error (also on id 0) — the map keeps
+  // the last one; both are error frames mentioning their cause.
+  ASSERT_TRUE(messages.contains(0));
+  EXPECT_TRUE(messages.at(0).error);
+  EXPECT_NE(messages.at(0).error_text.find("reused while still in flight"),
+            std::string::npos)
+      << messages.at(0).error_text;
+}
+
+TEST(SocketServerTest, DisconnectCancelsAbandonedWork) {
+  SocketServerOptions options;
+  options.service.num_workers = 1;
+  // Tiny outbound cap: the worker parks on the unread response fast.
+  options.max_outbound_buffer = 1u << 16;
+  ServerHarness harness(std::move(options));
+  {
+    ServiceClient client(harness.address());
+    SampleRequest huge;
+    huge.verb = RequestVerb::kSample;
+    huge.circuit_text = "X 0\nM 0 1\n";
+    huge.task.shots = 50'000'000;  // 50 MB of b8 nobody will read
+    huge.format = SampleFormat::kB8;
+    client.submit(1, huge);
+    // Wait until the worker demonstrably started it (the session miss
+    // is counted at execution start), then vanish.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (harness.server().service().stats().misses == 0) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }  // ~ServiceClient: connection drops with the response mid-stream
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    const ServiceStats stats = harness.server().service().stats();
+    if (stats.cancelled == 1) {
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << stats.to_line();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+TEST(SocketCli, ServeListenSampleConnectEndToEnd) {
+  // The real binary: spawn `serve --listen 127.0.0.1:0`, read the
+  // announced port, sample over TCP, compare to the direct session,
+  // then shut down with SIGTERM and expect a clean exit.
+  const std::string base = ::testing::TempDir() + "/socket_cli";
+  const std::string log_path = base + ".log";
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    const int log_fd =
+        ::open(log_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (log_fd >= 0) {
+      dup2(log_fd, STDERR_FILENO);
+    }
+    execl(SYMPHASE_CLI_PATH, "symphase", "serve", "--listen", "127.0.0.1:0",
+          "--workers", "2", static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  // Parse "listening on 127.0.0.1:PORT" from the log.
+  std::string port;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (port.empty()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "no announce";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const std::string log = read_file(log_path);
+    const std::size_t colon = log.rfind(':');
+    if (log.find("listening on ") != std::string::npos &&
+        colon != std::string::npos && log.find('\n', colon) != std::string::npos) {
+      port = log.substr(colon + 1, log.find('\n', colon) - colon - 1);
+    }
+  }
+
+  const std::string circuit_path =
+      std::string(SYMPHASE_DATA_DIR) + "/surface_d3_r3_noisy.stim";
+  const Circuit circuit = parse_circuit(read_file(circuit_path));
+  const std::string out_path = base + ".out";
+  const std::string command = std::string(SYMPHASE_CLI_PATH) + " sample " +
+                              circuit_path +
+                              " --shots 20000 --seed 11 --format b8"
+                              " --threads 2 --connect 127.0.0.1:" +
+                              port + " > " + out_path;
+  ASSERT_EQ(WEXITSTATUS(std::system(command.c_str())), 0) << command;
+  EXPECT_EQ(read_file(out_path),
+            direct_output(circuit,
+                          SampleTask::measurements(20000)
+                              .with_seed(11)
+                              .with_threads(2),
+                          SampleFormat::kB8));
+
+  // Bench mode rides the same path: latency lines, no data.
+  const std::string bench_command =
+      std::string(SYMPHASE_CLI_PATH) + " sample " + circuit_path +
+      " --shots 1000 --connect 127.0.0.1:" + port + " --repeat 3 > " +
+      out_path;
+  ASSERT_EQ(WEXITSTATUS(std::system(bench_command.c_str())), 0)
+      << bench_command;
+  const std::string bench_out = read_file(out_path);
+  EXPECT_EQ(std::count(bench_out.begin(), bench_out.end(), '\n'), 3);
+  EXPECT_NE(bench_out.find("req_ms="), std::string::npos) << bench_out;
+
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace symphase

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Serving-path benchmark: requests/sec and p50/p99 latency over a
+# loopback TCP connection, for a small-shot mix (queue/framing overhead
+# dominated) and a large-shot mix (sampling throughput dominated).
+#
+# Usage: tools/bench_service.sh [build-dir]
+#
+# Starts `symphase serve --listen 127.0.0.1:0`, drives it with
+# `symphase sample --connect ... --repeat N` (one connection per mix,
+# per-request wall times measured client-side around the full
+# submit->last-frame round trip), and writes
+# bench/results/BENCH_<stamp>-service.json. Honors SYMPHASE_BENCH_STAMP
+# and the scalar-backend guard convention of run_benchmarks.sh
+# (SYMPHASE_ALLOW_SCALAR_BENCH=1 to record scalar numbers anyway).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-bench}"
+out_dir="$repo_root/bench/results"
+stamp="${SYMPHASE_BENCH_STAMP:-$(date +%Y-%m-%d)}"
+out_file="$out_dir/BENCH_${stamp}-service.json"
+circuit="$repo_root/data/surface_d3_r3_noisy.stim"
+
+small_shots=1000
+small_requests=200
+large_shots=2000000
+large_requests=5
+workers=2
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Release -DSYMPHASE_NATIVE=ON >/dev/null
+cmake --build "$build_dir" -j --target symphase_cli bench_noise >/dev/null
+
+backend="$("$build_dir/bench_noise" --print-backend)"
+if [[ "$backend" == "scalar" &&
+      "${SYMPHASE_ALLOW_SCALAR_BENCH:-0}" != "1" ]]; then
+  echo "error: native build landed on the scalar WideWord backend;" >&2
+  echo "       numbers would not be comparable (set" >&2
+  echo "       SYMPHASE_ALLOW_SCALAR_BENCH=1 to record anyway)." >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+tmp_dir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  if [[ -n "$server_pid" ]]; then
+    kill -TERM "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$tmp_dir"
+}
+trap cleanup EXIT
+
+"$build_dir/symphase" serve --listen 127.0.0.1:0 --workers "$workers" \
+  2>"$tmp_dir/serve.log" &
+server_pid=$!
+for _ in $(seq 100); do
+  grep -q 'listening on' "$tmp_dir/serve.log" 2>/dev/null && break
+  sleep 0.1
+done
+port="$(grep -oP 'listening on [0-9.]+:\K[0-9]+' "$tmp_dir/serve.log")"
+[[ -n "$port" ]] || { echo "error: server never announced a port" >&2; exit 1; }
+
+run_mix() {  # name shots requests
+  local name=$1 shots=$2 requests=$3
+  echo "mix '$name': $requests requests x $shots shots ..." >&2
+  "$build_dir/symphase" sample "$circuit" --shots "$shots" --format b8 \
+    --connect 127.0.0.1:"$port" --repeat "$requests" \
+    > "$tmp_dir/$name.lat"
+}
+
+run_mix small "$small_shots" "$small_requests"
+run_mix large "$large_shots" "$large_requests"
+
+python3 - "$tmp_dir" "$out_file" "$stamp" "$backend" \
+  "$small_shots" "$large_shots" "$workers" <<'EOF'
+import json
+import re
+import sys
+
+tmp_dir, out_file, stamp, backend, small_shots, large_shots, workers = \
+    sys.argv[1:8]
+
+def load(name, shots):
+    ms = [float(m.group(1))
+          for line in open(f"{tmp_dir}/{name}.lat")
+          if (m := re.match(r"req_ms=([0-9.]+)", line))]
+    ms.sort()
+    q = lambda p: ms[min(len(ms) - 1, int(p * len(ms)))]
+    total_s = sum(ms) / 1000.0
+    return {
+        "shots_per_request": int(shots),
+        "requests": len(ms),
+        "requests_per_sec": len(ms) / total_s if total_s else None,
+        "p50_ms": q(0.50),
+        "p90_ms": q(0.90),
+        "p99_ms": q(0.99),
+        "max_ms": ms[-1],
+    }
+
+result = {
+    "date": stamp,
+    "bench": "bench_service",
+    "transport": "tcp-loopback",
+    "wideword_backend": backend,
+    "server_workers": int(workers),
+    "circuit": "surface_d3_r3_noisy.stim",
+    "note": ("client-measured full round trip (submit -> final frame) "
+             "over one connection per mix; sequential requests, so "
+             "requests_per_sec is single-stream serving throughput"),
+    "mixes": {
+        "small": load("small", small_shots),
+        "large": load("large", large_shots),
+    },
+}
+with open(out_file, "w") as f:
+    json.dump(result, f, indent=1)
+print(out_file)
+EOF

@@ -19,11 +19,15 @@
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error.
 
+#include <csignal>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <mutex>
@@ -35,6 +39,8 @@
 #include "api/session.hpp"
 #include "circuit/surface_code.hpp"
 #include "core/symphase.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "sampler/sample_writer.hpp"
 #include "service/request.hpp"
 #include "service/service.hpp"
@@ -52,14 +58,22 @@ using namespace symphase;
       "usage:\n"
       "  symphase sample  CIRCUIT [--shots N] [--seed S] [--threads N]\n"
       "                   [--format 01|hex|b8|ptb64] [--backend symphase|frames]\n"
+      "                   [--connect HOST:PORT [--priority high|normal|low]\n"
+      "                   [--deadline-ms N] [--repeat N]]\n"
       "  symphase detect  CIRCUIT [--shots N] [--seed S] [--threads N]\n"
       "                   [--format 01|hex|b8|ptb64|dets] [--backend symphase|frames]\n"
+      "                   [--connect HOST:PORT [--priority high|normal|low]\n"
+      "                   [--deadline-ms N] [--repeat N]]\n"
       "  symphase analyze CIRCUIT [--max-expr K]\n"
       "  symphase dem     CIRCUIT\n"
       "  symphase gen     surface|repetition|steane|layered [options]\n"
       "  symphase serve   --stdio [--workers N] [--queue N] [--cache N]\n"
       "                   [--max-frame BYTES]   (framed requests on stdin,\n"
-      "                   framed responses on stdout; see docs/service.md)\n";
+      "                   framed responses on stdout; see docs/service.md)\n"
+      "  symphase serve   --listen HOST:PORT [--workers N] [--queue N]\n"
+      "                   [--cache N] [--max-frame BYTES] [--max-clients N]\n"
+      "                   (multi-client TCP server on the same frames;\n"
+      "                   port 0 picks a free port, announced on stderr)\n";
   std::exit(2);
 }
 
@@ -121,6 +135,10 @@ class Options {
     return it == values_.end() ? std::move(fallback) : it->second;
   }
 
+  /// Presence check without consuming — for flags that are only valid
+  /// in combination with another flag.
+  bool has(const std::string& key) const { return values_.contains(key); }
+
   double get_double(const std::string& key, double fallback) {
     consumed_.insert(key);
     const auto it = values_.find(key);
@@ -155,6 +173,21 @@ Circuit load_circuit(const std::string& path) {
   return parse_circuit_file(path);
 }
 
+/// Raw circuit text for remote submission (the server parses it).
+std::string load_circuit_text(const std::string& path) {
+  std::ostringstream oss;
+  if (path == "-") {
+    oss << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      throw std::runtime_error("cannot read circuit file '" + path + "'");
+    }
+    oss << in.rdbuf();
+  }
+  return oss.str();
+}
+
 SampleBackend backend_from_name(const std::string& name) {
   if (name == "symphase") {
     return SampleBackend::kSymPhase;
@@ -177,6 +210,77 @@ SampleTask task_from_options(SampleTarget target, Options& opt) {
   return task;
 }
 
+/// Flags that only mean something with --connect must fail *before*
+/// the local sampling run, not via the post-run finish() sweep — a
+/// forgotten --connect would otherwise sample for minutes and then
+/// exit 2.
+void reject_remote_only_flags(const Options& opt) {
+  for (const char* flag : {"priority", "deadline-ms", "repeat"}) {
+    if (opt.has(flag)) {
+      usage(std::string("--") + flag + " requires --connect HOST:PORT");
+    }
+  }
+}
+
+/// `sample`/`detect` over the TCP transport: ship the request, stream
+/// the response chunks to stdout as they arrive. With --repeat > 1 the
+/// circuit is registered once, the request repeats over the single
+/// connection by digest, data is discarded, and one per-request
+/// latency line prints instead — the measurement mode behind
+/// tools/bench_service.sh.
+int run_remote(const std::string& address, const std::string& path,
+               RequestVerb verb, const SampleTask& task, SampleFormat format,
+               Options& opt) {
+  SampleRequest request;
+  request.verb = verb;
+  request.task = task;
+  request.format = format;
+  request.priority = priority_from_name(opt.get_string("priority", "normal"));
+  request.deadline_ms = opt.get_u64("deadline-ms", 0);
+  const std::uint64_t repeat =
+      std::max<std::uint64_t>(1, opt.get_u64("repeat", 1));
+  const std::string circuit_text = load_circuit_text(path);
+
+  ServiceClient client(address);
+  if (repeat > 1) {
+    request.digest = client.register_circuit(circuit_text);
+    for (std::uint64_t i = 1; i <= repeat; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      client.submit(i, request);
+      const MessageAssembler::Message reply = client.await(i);
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      if (reply.error) {
+        std::cerr << "error: " << reply.error_text << '\n';
+        return 1;
+      }
+      std::printf(
+          "req_ms=%.3f bytes=%zu\n",
+          std::chrono::duration<double, std::milli>(elapsed).count(),
+          reply.payload.size());
+    }
+    return 0;
+  }
+
+  request.circuit_text = circuit_text;
+  client.submit(1, request);
+  client.finish_writes();
+  Frame frame;
+  while (client.next_chunk(frame)) {
+    if ((frame.header.flags & kFrameError) != 0) {
+      std::cerr << "error: " << frame.payload << '\n';
+      return 1;
+    }
+    std::cout.write(frame.payload.data(),
+                    static_cast<std::streamsize>(frame.payload.size()));
+    if ((frame.header.flags & kFrameLast) != 0) {
+      std::cout.flush();
+      return 0;
+    }
+  }
+  std::cerr << "error: connection closed before the response completed\n";
+  return 1;
+}
+
 int cmd_sample(const std::string& path, Options& opt) {
   const SampleTask task =
       task_from_options(SampleTarget::kMeasurements, opt);
@@ -185,6 +289,11 @@ int cmd_sample(const std::string& path, Options& opt) {
   if (format == SampleFormat::kDets) {
     usage("dets format is for `symphase detect`");
   }
+  const std::string connect = opt.get_string("connect", "");
+  if (!connect.empty()) {
+    return run_remote(connect, path, RequestVerb::kSample, task, format, opt);
+  }
+  reject_remote_only_flags(opt);
   const SimulatorSession session(load_circuit(path));
   WriterSink sink(std::cout, format);
   session.run(task, sink);
@@ -196,6 +305,11 @@ int cmd_detect(const std::string& path, Options& opt) {
       task_from_options(SampleTarget::kDetectionEvents, opt);
   const SampleFormat format =
       sample_format_from_name(opt.get_string("format", "dets"));
+  const std::string connect = opt.get_string("connect", "");
+  if (!connect.empty()) {
+    return run_remote(connect, path, RequestVerb::kDetect, task, format, opt);
+  }
+  reject_remote_only_flags(opt);
   const SimulatorSession session(load_circuit(path));
   if (session.num_detectors() == 0 && session.num_observables() == 0) {
     std::cerr << "error: circuit declares no detectors or observables; "
@@ -266,12 +380,14 @@ int cmd_serve(Options& opt) {
 
   SamplingService service(service_options);
   std::mutex out_mutex;
-  // request_ids with a response stream still open. A request may reuse
-  // an id its previous message completed with, but concurrent reuse
-  // would interleave two chunk sequences under one id and poison the
-  // client's assembler — it is rejected as a protocol error below.
+  // request_ids with a response stream still open, mapped to their
+  // scheduler tickets (0 until submit() hands one back) so `cancel
+  // id=N` can reach them. A request may reuse an id its previous
+  // message completed with, but concurrent reuse would interleave two
+  // chunk sequences under one id and poison the client's assembler —
+  // it is rejected as a protocol error below.
   std::mutex inflight_mutex;
-  std::set<std::uint64_t> inflight;
+  std::map<std::uint64_t, std::uint64_t> inflight;
   const FrameFn emit = [&](const FrameHeader& header,
                            std::string_view payload) {
     {
@@ -294,7 +410,21 @@ int cmd_serve(Options& opt) {
   // Claims `id` for a response stream; false = already streaming.
   const auto claim = [&](std::uint64_t id) {
     const std::lock_guard<std::mutex> lock(inflight_mutex);
-    return inflight.insert(id).second;
+    return inflight.emplace(id, 0).second;
+  };
+  // Records id's ticket — unless the request already finished (its
+  // final frame may race submit()'s return and erase the entry first).
+  const auto record_ticket = [&](std::uint64_t id, std::uint64_t ticket) {
+    const std::lock_guard<std::mutex> lock(inflight_mutex);
+    const auto it = inflight.find(id);
+    if (it != inflight.end()) {
+      it->second = ticket;
+    }
+  };
+  const auto ticket_of = [&](std::uint64_t id) -> std::uint64_t {
+    const std::lock_guard<std::mutex> lock(inflight_mutex);
+    const auto it = inflight.find(id);
+    return it == inflight.end() ? 0 : it->second;
   };
 
   // Raising --max-frame also raises the inbound allowance (it never
@@ -364,10 +494,29 @@ int cmd_serve(Options& opt) {
             emit(header, service.stats().to_line());
             break;
           }
-          case RequestVerb::kSample:
-          case RequestVerb::kDetect:
-            service.submit(message->request_id, std::move(request), emit);
+          case RequestVerb::kCancel: {
+            // The cancel message has its own id (claimed above); the
+            // target is request.cancel_id within this session.
+            const std::uint64_t ticket = ticket_of(request.cancel_id);
+            if (ticket != 0 && service.cancel(ticket)) {
+              FrameHeader header;
+              header.request_id = message->request_id;
+              header.flags = kFrameLast;
+              emit(header, "cancelled\n");
+            } else {
+              std::ostringstream oss;
+              oss << "request " << request.cancel_id
+                  << " is not in flight on this session";
+              emit_error(message->request_id, oss.str());
+            }
             break;
+          }
+          case RequestVerb::kSample:
+          case RequestVerb::kDetect: {
+            const std::uint64_t id = message->request_id;
+            record_ticket(id, service.submit(id, std::move(request), emit));
+            break;
+          }
         }
       } catch (const std::exception& e) {
         emit_error(message->request_id, e.what());
@@ -401,6 +550,49 @@ int cmd_serve(Options& opt) {
     return 1;
   }
   return 0;
+}
+
+/// Signal target for `serve --listen`: SIGINT/SIGTERM request a clean
+/// shutdown (SocketServer::shutdown is an atomic store plus a pipe
+/// write — both async-signal-safe).
+SocketServer* g_listen_server = nullptr;
+
+extern "C" void handle_shutdown_signal(int) {
+  if (g_listen_server != nullptr) {
+    g_listen_server->shutdown();
+  }
+}
+
+/// The TCP transport: same service, same frames, many clients. Blocks
+/// in the event loop until SIGINT/SIGTERM.
+int cmd_serve_listen(const std::string& address, Options& opt) {
+  SocketServerOptions options;
+  options.listen = address;
+  options.service.num_workers =
+      std::max<std::uint64_t>(1, opt.get_u64("workers", 2));
+  options.service.queue_capacity =
+      std::max<std::uint64_t>(1, opt.get_u64("queue", 64));
+  options.service.session_cache_capacity =
+      std::max<std::uint64_t>(1, opt.get_u64("cache", 8));
+  options.service.max_frame_payload = std::clamp<std::uint64_t>(
+      opt.get_u64("max-frame", 1u << 20), 1, 0xffffffffu);
+  options.max_connections =
+      std::max<std::uint64_t>(1, opt.get_u64("max-clients", 64));
+  opt.finish();
+
+  SocketServer server(std::move(options));
+  g_listen_server = &server;
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+
+  // Announce the bound address — with port 0 this is where the chosen
+  // port becomes known (tests and scripts parse this line).
+  const HostPort at = parse_host_port(address);
+  std::cerr << "listening on " << (at.host.empty() ? "0.0.0.0" : at.host)
+            << ":" << server.port() << std::endl;
+  const bool clean = server.run();
+  g_listen_server = nullptr;
+  return clean ? 0 : 1;
 }
 
 int cmd_gen(const std::string& family, Options& opt) {
@@ -454,6 +646,24 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const std::string target = argv[2];
   try {
+    if (command == "serve") {
+      int code = 2;
+      if (target == "--stdio") {
+        Options opt(argc, argv, 3);
+        code = cmd_serve(opt);
+        opt.finish();
+      } else if (target == "--listen") {
+        if (argc < 4) {
+          usage("serve --listen needs HOST:PORT");
+        }
+        Options opt(argc, argv, 4);
+        code = cmd_serve_listen(argv[3], opt);
+        opt.finish();
+      } else {
+        usage("serve requires --stdio or --listen HOST:PORT");
+      }
+      return code;
+    }
     Options opt(argc, argv, 3);
     int code = 2;
     if (command == "sample") {
@@ -466,11 +676,6 @@ int main(int argc, char** argv) {
       code = cmd_dem(target, opt);
     } else if (command == "gen") {
       code = cmd_gen(target, opt);
-    } else if (command == "serve") {
-      if (target != "--stdio") {
-        usage("serve requires --stdio (the only transport so far)");
-      }
-      code = cmd_serve(opt);
     } else {
       usage("unknown command '" + command + "'");
     }
