@@ -1,11 +1,14 @@
 #include "net/client.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/check.hpp"
@@ -51,6 +54,14 @@ void ServiceClient::submit(std::uint64_t request_id,
   send_message(request_id, encode_request_payload(request));
 }
 
+void ServiceClient::set_receive_deadline(std::uint64_t ms_from_now) {
+  has_deadline_ = ms_from_now != 0;
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(ms_from_now);
+  }
+}
+
 bool ServiceClient::next_chunk(Frame& out) {
   for (;;) {
     if (decoder_.next(out)) {
@@ -66,6 +77,29 @@ bool ServiceClient::next_chunk(Frame& out) {
                                  decoder_.error());
       }
       return false;
+    }
+    if (has_deadline_) {
+      // Bounded wait for readability so a stalled server cannot park
+      // us in recv() past the deadline.
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline_ - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        throw ClientTimeout("receive deadline expired");
+      }
+      pollfd pfd{socket_.fd(), POLLIN, 0};
+      const int ready =
+          ::poll(&pfd, 1, static_cast<int>(std::min<long long>(
+                              remaining.count(), 1000 * 60 * 60)));
+      if (ready < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        throw std::runtime_error(std::string("poll: ") +
+                                 std::strerror(errno));
+      }
+      if (ready == 0) {
+        continue;  // re-check the deadline, then wait again
+      }
     }
     char buffer[1 << 16];
     const ssize_t got = ::recv(socket_.fd(), buffer, sizeof buffer, 0);
@@ -147,6 +181,16 @@ std::string ServiceClient::stats() {
   return reply.payload;
 }
 
+std::string ServiceClient::health() {
+  SampleRequest request;
+  request.verb = RequestVerb::kHealth;
+  MessageAssembler::Message reply = transact(request);
+  if (reply.error) {
+    throw std::runtime_error("health failed: " + reply.error_text);
+  }
+  return reply.payload;
+}
+
 bool ServiceClient::cancel(std::uint64_t request_id) {
   SampleRequest request;
   request.verb = RequestVerb::kCancel;
@@ -157,6 +201,140 @@ bool ServiceClient::cancel(std::uint64_t request_id) {
 void ServiceClient::finish_writes() {
   if (socket_.valid()) {
     (void)::shutdown(socket_.fd(), SHUT_WR);
+  }
+}
+
+void ServiceClient::abort_connection() {
+  if (!socket_.valid()) {
+    return;
+  }
+  // SO_LINGER{on, 0} turns close() into an RST: the server sees
+  // ECONNRESET now instead of an EOF that asks it to finish the work.
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  (void)::setsockopt(socket_.fd(), SOL_SOCKET, SO_LINGER, &hard, sizeof hard);
+  socket_.close_fd();
+}
+
+ResilientClient::ResilientClient(std::string address, RetryPolicy policy)
+    : address_(std::move(address)),
+      policy_(policy),
+      // Jitter decorrelates retry storms across clients; it need not be
+      // reproducible (response bytes are pinned by the request's seed,
+      // not by when we retried).
+      jitter_(std::random_device{}()) {}
+
+void ResilientClient::backoff(std::size_t attempt, std::uint64_t hint_ms) {
+  std::uint64_t base = policy_.initial_backoff_ms;
+  for (std::size_t i = 0; i < attempt && base < policy_.max_backoff_ms; ++i) {
+    base *= 2;
+  }
+  base = std::min(std::max<std::uint64_t>(base, 1), policy_.max_backoff_ms);
+  // Full jitter over the top half of the window, floored at the
+  // server's own hint — it knows when capacity frees up.
+  std::uniform_int_distribution<std::uint64_t> dist(base / 2, base);
+  const std::uint64_t sleep_ms = std::max(dist(jitter_), hint_ms);
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+}
+
+ResilientClient::Result ResilientClient::run(
+    const SampleRequest& request,
+    const std::function<void(std::string_view)>& on_data) {
+  SYMPHASE_CHECK_MSG(request.verb == RequestVerb::kSample ||
+                         request.verb == RequestVerb::kDetect,
+                     "ResilientClient::run takes sample/detect requests");
+  Result result;
+  // Payload bytes already handed to on_data across all attempts; a
+  // replayed (bit-identical) stream skips this prefix.
+  std::size_t delivered = 0;
+  for (std::size_t attempt = 0;; ++attempt) {
+    result.attempts = attempt + 1;
+    const bool attempts_left = attempt < policy_.max_retries;
+    bool retry_rejection = false;  // retryable error frame, retries left
+    std::uint64_t hint_ms = 0;
+    try {
+      if (client_ == nullptr) {
+        try {
+          client_ = std::make_unique<ServiceClient>(address_);
+        } catch (const std::exception& e) {
+          result.failure = FailureKind::kConnect;
+          result.detail = e.what();
+          if (!attempts_left) {
+            return result;
+          }
+          backoff(attempt, 0);
+          continue;
+        }
+      }
+      client_->set_receive_deadline(policy_.request_timeout_ms);
+      client_->submit(1, request);
+      std::size_t replayed = 0;  // response bytes seen this attempt
+      Frame frame;
+      bool stream_open = true;
+      while (stream_open && client_->next_chunk(frame)) {
+        if (frame.header.request_id != 1) {
+          continue;
+        }
+        if ((frame.header.flags & kFrameError) != 0) {
+          result.error = parse_error_payload(frame.payload);
+          result.failure = FailureKind::kRejected;
+          result.detail = result.error.message;
+          if (!result.error.retryable || !attempts_left) {
+            return result;
+          }
+          // The connection itself is healthy — the request id is free
+          // again after its final (error) frame, so resubmit on it.
+          retry_rejection = true;
+          hint_ms = result.error.retry_after_ms;
+          stream_open = false;
+          continue;
+        }
+        if (!frame.payload.empty()) {
+          std::string_view payload = frame.payload;
+          if (replayed < delivered) {
+            const std::size_t skip =
+                std::min(payload.size(), delivered - replayed);
+            replayed += skip;
+            payload.remove_prefix(skip);
+          }
+          replayed += payload.size();
+          if (!payload.empty()) {
+            on_data(payload);
+            delivered += payload.size();
+          }
+        }
+        if ((frame.header.flags & kFrameLast) != 0) {
+          client_->set_receive_deadline(0);
+          result.ok = true;
+          result.failure = FailureKind::kNone;
+          return result;
+        }
+      }
+      if (!retry_rejection) {
+        throw std::runtime_error(
+            "connection closed before the response completed");
+      }
+    } catch (const ClientTimeout&) {
+      result.failure = FailureKind::kTimeout;
+      result.detail = "request timed out after " +
+                      std::to_string(policy_.request_timeout_ms) + " ms";
+      // Abort (RST), don't close (FIN): a clean close asks the server
+      // to finish the submitted work, an abort cancels it.
+      client_->abort_connection();
+      client_.reset();
+      if (!attempts_left) {
+        return result;
+      }
+    } catch (const std::exception& e) {
+      result.failure = FailureKind::kTransport;
+      result.detail = e.what();
+      client_.reset();
+      if (!attempts_left) {
+        return result;
+      }
+    }
+    backoff(attempt, hint_ms);
   }
 }
 

@@ -28,16 +28,29 @@
 /// Not thread-safe: one thread per client (open several clients for
 /// concurrent connections — they are cheap).
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
+#include <random>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 #include "net/socket.hpp"
+#include "service/errors.hpp"
 #include "service/request.hpp"
 #include "service/wire.hpp"
 
 namespace symphase {
+
+/// Thrown by ServiceClient reads when the receive deadline passes
+/// before the server produced the next frame. Distinct from generic
+/// transport errors so callers can map it to its own exit code.
+struct ClientTimeout : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 class ServiceClient {
  public:
@@ -62,6 +75,10 @@ class ServiceClient {
   /// The service stats line (the socket server snapshots; see
   /// docs/service.md).
   std::string stats();
+
+  /// The service health line ("state=accepting|draining ..."). Never
+  /// blocks behind queued work server-side.
+  std::string health();
 
   /// Sends a sample/detect request under `request_id` (nonzero, below
   /// 2^32, not currently in flight on this connection). Returns
@@ -89,6 +106,20 @@ class ServiceClient {
   /// streaming what was submitted, and closes when done.
   void finish_writes();
 
+  /// Abandons the connection with an RST instead of a clean FIN. A
+  /// clean close means "finish what I submitted" (see finish_writes);
+  /// an abort means the opposite — the server cancels this
+  /// connection's in-flight and queued requests at the next boundary.
+  /// The ResilientClient timeout path uses this so a stalled server
+  /// does not keep computing for a client that gave up.
+  void abort_connection();
+
+  /// Arms a wall-clock receive deadline `ms_from_now` milliseconds out:
+  /// any read (next_chunk/await/helpers) still waiting for bytes once
+  /// it passes throws ClientTimeout. The deadline is absolute — it
+  /// spans a whole response, not each individual read. 0 disarms.
+  void set_receive_deadline(std::uint64_t ms_from_now);
+
  private:
   void send_message(std::uint64_t request_id, std::string_view payload);
   MessageAssembler::Message transact(const SampleRequest& request);
@@ -100,6 +131,75 @@ class ServiceClient {
   std::map<std::uint64_t, MessageAssembler::Message> completed_;
   std::uint64_t next_internal_id_ = std::uint64_t{1} << 32;
   bool eof_ = false;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// Retry/backoff policy for ResilientClient. The defaults retry
+/// nothing — resilience is opt-in per call site (the CLI wires
+/// --retries / --retry-backoff-ms / --timeout-ms here).
+struct RetryPolicy {
+  /// Additional attempts after the first (0 = fail fast).
+  std::size_t max_retries = 0;
+  /// First backoff; doubles per attempt (full jitter: the actual sleep
+  /// is uniform in [backoff/2, backoff], and at least the server's
+  /// retry_after_ms hint when one was given).
+  std::uint64_t initial_backoff_ms = 100;
+  std::uint64_t max_backoff_ms = 5000;
+  /// Per-attempt wall-clock budget for the whole response (0 = none).
+  std::uint64_t request_timeout_ms = 0;
+};
+
+/// One-request-at-a-time client that survives the failures ServiceClient
+/// surfaces: connection refused/lost (reconnects with exponential
+/// backoff + jitter), retryable structured rejections — queue_full,
+/// rate_limited, draining — (resubmits, honoring the server's
+/// retry_after_ms hint), and receive timeouts (drops the connection,
+/// which cancels the abandoned request server-side, and retries).
+///
+/// Resubmission is safe by construction: requests carry explicit seeds,
+/// so a replayed request streams bit-identical bytes. run() exploits
+/// that to deliver each payload byte exactly once across attempts — on
+/// a retry it skips the prefix already handed to `on_data` and resumes
+/// mid-stream.
+class ResilientClient {
+ public:
+  enum class FailureKind {
+    kNone,       ///< Success.
+    kConnect,    ///< Could not (re)connect.
+    kRejected,   ///< Server error frame; `error` holds the taxonomy.
+    kTimeout,    ///< request_timeout_ms elapsed.
+    kTransport,  ///< Connection lost / protocol error mid-response.
+  };
+
+  struct Result {
+    bool ok = false;
+    FailureKind failure = FailureKind::kNone;
+    /// The server's structured rejection (failure == kRejected).
+    ServiceError error;
+    /// Human-readable description of the final failure.
+    std::string detail;
+    /// Attempts consumed (1 = first try succeeded).
+    std::size_t attempts = 0;
+  };
+
+  ResilientClient(std::string address, RetryPolicy policy);
+
+  /// Runs one sample/detect request to completion, streaming response
+  /// payload bytes to `on_data` in order. Never throws on the failure
+  /// paths listed in FailureKind — inspect the Result.
+  Result run(const SampleRequest& request,
+             const std::function<void(std::string_view)>& on_data);
+
+ private:
+  /// Sleeps the backoff for `attempt` (0-based). `hint_ms` is the
+  /// server's retry_after_ms (0 = none).
+  void backoff(std::size_t attempt, std::uint64_t hint_ms);
+
+  std::string address_;
+  RetryPolicy policy_;
+  std::mt19937_64 jitter_;
+  std::unique_ptr<ServiceClient> client_;
 };
 
 }  // namespace symphase

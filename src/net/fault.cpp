@@ -1,0 +1,115 @@
+#include "net/fault.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace symphase {
+
+FaultSocket::FaultSocket(Socket socket, FaultPlan plan)
+    : socket_(std::move(socket)), plan_(std::move(plan)) {
+  std::sort(plan_.tear_offsets.begin(), plan_.tear_offsets.end());
+}
+
+bool FaultSocket::send(std::string_view bytes) {
+  while (!bytes.empty()) {
+    if (!socket_.valid()) {
+      return false;
+    }
+    if (sent_ == plan_.reset_after_bytes) {
+      reset_now();
+      return false;
+    }
+    if (sent_ == plan_.close_after_bytes) {
+      close_writes_now();
+      return false;
+    }
+    // The next slice ends at the nearest scripted event: a tear, the
+    // reset/close offset, or the short-write cap.
+    std::size_t limit = bytes.size();
+    const auto tear = std::upper_bound(plan_.tear_offsets.begin(),
+                                       plan_.tear_offsets.end(), sent_);
+    if (tear != plan_.tear_offsets.end()) {
+      limit = std::min(limit, *tear - sent_);
+    }
+    if (plan_.reset_after_bytes != FaultPlan::kNever &&
+        plan_.reset_after_bytes > sent_) {
+      limit = std::min(limit, plan_.reset_after_bytes - sent_);
+    }
+    if (plan_.close_after_bytes != FaultPlan::kNever &&
+        plan_.close_after_bytes > sent_) {
+      limit = std::min(limit, plan_.close_after_bytes - sent_);
+    }
+    limit = std::min(limit, plan_.max_write_chunk);
+
+    const std::string_view slice = bytes.substr(0, limit);
+    // MSG_NOSIGNAL: a peer that reset us must answer with EPIPE, not
+    // kill the test process.
+    const ssize_t n =
+        ::send(socket_.fd(), slice.data(), slice.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error(std::string("fault send: ") +
+                               std::strerror(errno));
+    }
+    sent_ += static_cast<std::size_t>(n);
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+    if (std::binary_search(plan_.tear_offsets.begin(),
+                           plan_.tear_offsets.end(), sent_) &&
+        plan_.stall.count() > 0) {
+      std::this_thread::sleep_for(plan_.stall);
+    }
+  }
+  // A plan event landing exactly on the end of the stream still fires.
+  if (sent_ == plan_.reset_after_bytes) {
+    reset_now();
+    return false;
+  }
+  if (sent_ == plan_.close_after_bytes) {
+    close_writes_now();
+    return false;
+  }
+  return true;
+}
+
+std::size_t FaultSocket::recv_some(char* buffer, std::size_t size) {
+  for (;;) {
+    const ssize_t got = ::recv(socket_.fd(), buffer, size, 0);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error(std::string("fault recv: ") +
+                               std::strerror(errno));
+    }
+    return static_cast<std::size_t>(got);
+  }
+}
+
+void FaultSocket::reset_now() {
+  if (!socket_.valid()) {
+    return;
+  }
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  (void)::setsockopt(socket_.fd(), SOL_SOCKET, SO_LINGER, &hard,
+                     sizeof hard);
+  socket_.close_fd();
+}
+
+void FaultSocket::close_writes_now() {
+  if (socket_.valid()) {
+    (void)::shutdown(socket_.fd(), SHUT_WR);
+  }
+}
+
+}  // namespace symphase

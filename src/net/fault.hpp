@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file fault.hpp
+/// FaultSocket: a test-only client-side socket wrapper that injects
+/// transport faults against a live server — the sharp end of
+/// tests/chaos_test.cpp.
+///
+/// A FaultPlan scripts how the byte stream misbehaves:
+///  - max_write_chunk slices writes into short sends, so the server's
+///    decoder sees frames arriving a few bytes at a time;
+///  - tear_offsets flush the stream and stall at exact byte positions
+///    (e.g. inside a 17-byte frame header), proving reassembly never
+///    depends on send() boundaries;
+///  - reset_after_bytes aborts the connection with an RST mid-stream
+///    (SO_LINGER zero-timeout close) — the client vanished;
+///  - close_after_bytes half-closes cleanly at an arbitrary position,
+///    e.g. mid-frame, which the server must call out as a protocol
+///    error rather than hang or crash.
+///
+/// It deliberately does NOT wrap the server side: the server's own
+/// socket handling is the system under test and stays untouched.
+/// Sends use MSG_NOSIGNAL, like every other socket write in src/net/ —
+/// a peer that already reset us must surface as an error return, not
+/// SIGPIPE.
+
+#include <chrono>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace symphase {
+
+struct FaultPlan {
+  static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+
+  /// Writes are sliced to at most this many bytes per send(2) call.
+  std::size_t max_write_chunk = kNever;
+  /// Absolute stream offsets (bytes sent so far) at which the write
+  /// pauses for `stall` before the next byte leaves. Unsorted is fine.
+  std::vector<std::size_t> tear_offsets;
+  std::chrono::milliseconds stall{0};
+  /// After exactly this many bytes were sent, abort with an RST.
+  std::size_t reset_after_bytes = kNever;
+  /// After exactly this many bytes were sent, half-close cleanly (FIN).
+  std::size_t close_after_bytes = kNever;
+};
+
+class FaultSocket {
+ public:
+  /// Wraps a connected socket (e.g. tcp_connect's result).
+  FaultSocket(Socket socket, FaultPlan plan);
+
+  /// Pushes `bytes` through the plan. Returns false once the plan
+  /// killed the connection (reset/close offset reached) — the
+  /// remainder of `bytes` is dropped, like the kernel would.
+  bool send(std::string_view bytes);
+
+  /// Plain recv(2) with EINTR retry. Returns 0 on EOF; throws
+  /// std::runtime_error on socket errors.
+  std::size_t recv_some(char* buffer, std::size_t size);
+
+  /// Aborts now: SO_LINGER{on, 0} + close makes the kernel send RST
+  /// instead of FIN, so the server sees ECONNRESET mid-stream.
+  void reset_now();
+
+  /// Half-closes the write side now (FIN); reads keep working.
+  void close_writes_now();
+
+  bool alive() const { return socket_.valid(); }
+  int fd() const { return socket_.fd(); }
+  std::size_t bytes_sent() const { return sent_; }
+
+ private:
+  Socket socket_;
+  FaultPlan plan_;
+  std::size_t sent_ = 0;
+};
+
+}  // namespace symphase

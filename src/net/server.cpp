@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/socket.hpp"
+#include "service/errors.hpp"
 #include "service/request.hpp"
 
 namespace symphase {
@@ -43,9 +44,11 @@ struct SocketServer::Connection {
   /// EOF or protocol error: no more reads; the connection retires once
   /// its in-flight responses finished and the outbound buffer flushed.
   bool read_done = false;
+  /// Stable id for the service's per-client admission buckets.
+  std::uint64_t client_id = 0;
 
-  explicit Connection(Socket s, std::size_t max_inbound)
-      : socket(std::move(s)), decoder(max_inbound) {}
+  Connection(Socket s, std::size_t max_inbound, std::uint64_t id)
+      : socket(std::move(s)), decoder(max_inbound), client_id(id) {}
 
   std::size_t pending_out_locked() const { return outbound.size() - offset; }
 };
@@ -99,6 +102,12 @@ struct SocketServer::Impl {
   int wake_read = -1;
   int wake_write = -1;
   std::atomic<bool> stop_requested{false};
+  std::atomic<bool> drain_requested{false};
+  bool draining = false;  ///< Loop-thread view of drain_requested.
+  /// Next Connection::client_id; ids are never reused, so a
+  /// reconnecting client starts a fresh rate bucket (the old one ages
+  /// out of the admission LRU).
+  std::uint64_t next_client_id = 1;
   bool loop_failed = false;  ///< poll() died; run() reports failure.
   /// The thread running run(); set before any connection exists.
   std::atomic<std::thread::id> loop_thread{};
@@ -126,6 +135,11 @@ SamplingService& SocketServer::service() { return impl_->service; }
 
 void SocketServer::shutdown() {
   impl_->stop_requested.store(true, std::memory_order_release);
+  impl_->wake();
+}
+
+void SocketServer::drain() {
+  impl_->drain_requested.store(true, std::memory_order_release);
   impl_->wake();
 }
 
@@ -169,12 +183,13 @@ void enqueue_frame(SocketServer::Impl* impl,
 
 void enqueue_error(SocketServer::Impl* impl,
                    const std::shared_ptr<Connection>& conn,
-                   std::uint64_t request_id, std::string_view text) {
+                   std::uint64_t request_id, const ServiceError& error) {
+  const std::string payload = encode_error_payload(error);
   FrameHeader header;
   header.request_id = request_id;
   header.flags = kFrameLast | kFrameError;
-  header.payload_bytes = static_cast<std::uint32_t>(text.size());
-  enqueue_frame(impl, conn, header, text);
+  header.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  enqueue_frame(impl, conn, header, payload);
 }
 
 /// Marks the connection closed and cancels every outstanding request it
@@ -214,7 +229,9 @@ bool handle_message(SocketServer::Impl* impl,
                     MessageAssembler::Message message) {
   if (message.request_id == 0) {
     enqueue_error(impl, conn, 0,
-                  "request_id 0 is reserved for session-level errors");
+                  make_error(ErrorCode::kBadCircuit,
+                             "request_id 0 is reserved for session-level "
+                             "errors"));
     return true;
   }
   {
@@ -225,7 +242,8 @@ bool handle_message(SocketServer::Impl* impl,
   }
   if (message.error) {
     enqueue_error(impl, conn, message.request_id,
-                  "client sent an error frame");
+                  make_error(ErrorCode::kBadCircuit,
+                             "client sent an error frame"));
     return true;
   }
   try {
@@ -259,6 +277,15 @@ bool handle_message(SocketServer::Impl* impl,
         enqueue_frame(impl, conn, header, reply);
         break;
       }
+      case RequestVerb::kHealth: {
+        FrameHeader header;
+        header.request_id = message.request_id;
+        header.flags = kFrameLast;
+        const std::string reply = impl->service.health().to_line();
+        header.payload_bytes = static_cast<std::uint32_t>(reply.size());
+        enqueue_frame(impl, conn, header, reply);
+        break;
+      }
       case RequestVerb::kCancel: {
         std::uint64_t ticket = 0;
         {
@@ -275,7 +302,8 @@ bool handle_message(SocketServer::Impl* impl,
           std::ostringstream oss;
           oss << "request " << request.cancel_id
               << " is not in flight on this connection";
-          enqueue_error(impl, conn, message.request_id, oss.str());
+          enqueue_error(impl, conn, message.request_id,
+                        make_error(ErrorCode::kBadCircuit, oss.str()));
         }
         break;
       }
@@ -289,13 +317,14 @@ bool handle_message(SocketServer::Impl* impl,
         // try_submit, not submit: the loop thread must never park on
         // queue space — workers free that space only after draining
         // response bytes through sockets only this thread flushes, so
-        // blocking here could deadlock the whole transport. A full
-        // queue sheds load with an error frame instead.
-        const std::uint64_t ticket =
-            impl->service.try_submit(id, std::move(request), emit);
+        // blocking here could deadlock the whole transport. Admission
+        // rejections (full/shed queue, rate limit, drain) turn into
+        // structured error frames with a retry hint.
+        ServiceError rejection;
+        const std::uint64_t ticket = impl->service.try_submit(
+            id, std::move(request), emit, conn->client_id, &rejection);
         if (ticket == 0) {
-          enqueue_error(impl, conn, id,
-                        "server request queue is full; retry later");
+          enqueue_error(impl, conn, id, rejection);
           break;
         }
         const std::lock_guard<std::mutex> lock(conn->mutex);
@@ -308,8 +337,13 @@ bool handle_message(SocketServer::Impl* impl,
         break;
       }
     }
+  } catch (const std::invalid_argument& e) {
+    // Parse/validation failures of the client's own payload.
+    enqueue_error(impl, conn, message.request_id,
+                  make_error(ErrorCode::kBadCircuit, e.what()));
   } catch (const std::exception& e) {
-    enqueue_error(impl, conn, message.request_id, e.what());
+    enqueue_error(impl, conn, message.request_id,
+                  make_error(ErrorCode::kInternal, e.what()));
   }
   return true;
 }
@@ -355,7 +389,8 @@ void handle_readable(SocketServer::Impl* impl,
         eof_error = oss.str();
       }
       if (!eof_error.empty()) {
-        enqueue_error(impl, conn, 0, eof_error);
+        enqueue_error(impl, conn, 0,
+                      make_error(ErrorCode::kBadCircuit, eof_error));
       }
       return;
     }
@@ -370,7 +405,8 @@ void handle_readable(SocketServer::Impl* impl,
           std::ostringstream oss;
           oss << "protocol error: request id " << id
               << " reused while still in flight";
-          enqueue_error(impl, conn, 0, oss.str());
+          enqueue_error(impl, conn, 0,
+                        make_error(ErrorCode::kBadCircuit, oss.str()));
         }
       }
     }
@@ -378,7 +414,9 @@ void handle_readable(SocketServer::Impl* impl,
       const std::string reason = conn->decoder.failed()
                                      ? conn->decoder.error()
                                      : conn->assembler.error();
-      enqueue_error(impl, conn, 0, "protocol error: " + reason);
+      enqueue_error(impl, conn, 0,
+                    make_error(ErrorCode::kBadCircuit,
+                               "protocol error: " + reason));
       session_ok = false;
     }
     if (!session_ok) {
@@ -441,10 +479,22 @@ bool SocketServer::run() {
   std::vector<pollfd> fds;
   std::vector<std::shared_ptr<Connection>> polled;
   while (!impl->stop_requested.load(std::memory_order_acquire)) {
+    if (!impl->draining &&
+        impl->drain_requested.load(std::memory_order_acquire)) {
+      // Graceful drain: close the listener so the OS refuses new
+      // connections (instead of parking them in the backlog of a
+      // server that will never serve them), and flip the service so
+      // new submissions on existing connections are rejected with a
+      // structured `draining` frame. Accepted work keeps streaming.
+      impl->draining = true;
+      impl->listener.close_fd();
+      impl->service.begin_drain();
+    }
     fds.clear();
     polled.clear();
     fds.push_back({impl->wake_read, POLLIN, 0});
     const bool accepting =
+        !impl->draining &&
         impl->connections.size() < impl->options.max_connections;
     fds.push_back({accepting ? impl->listener.fd() : -1, POLLIN, 0});
     for (const auto& conn : impl->connections) {
@@ -501,7 +551,8 @@ bool SocketServer::run() {
         }
         set_nonblocking(accepted.fd(), true);
         impl->connections.push_back(std::make_shared<Connection>(
-            std::move(accepted), impl->max_inbound));
+            std::move(accepted), impl->max_inbound,
+            impl->next_client_id++));
       }
     }
 
@@ -522,6 +573,9 @@ bool SocketServer::run() {
 
     // Retire connections that are finished (or were closed above):
     // reading done, no response stream open, nothing left to flush.
+    // During a drain, idle connections retire without waiting for the
+    // client's EOF — everything they could still send would only be
+    // rejected, and run() must eventually return.
     std::vector<std::shared_ptr<Connection>> alive;
     for (const auto& conn : impl->connections) {
       bool keep = true;
@@ -529,7 +583,8 @@ bool SocketServer::run() {
         const std::lock_guard<std::mutex> lock(conn->mutex);
         if (!conn->open) {
           keep = false;
-        } else if (conn->read_done && conn->inflight.empty() &&
+        } else if ((conn->read_done || impl->draining) &&
+                   conn->inflight.empty() &&
                    conn->pending_out_locked() == 0) {
           keep = false;
         }
@@ -541,6 +596,10 @@ bool SocketServer::run() {
       }
     }
     impl->connections.swap(alive);
+    if (impl->draining && impl->connections.empty()) {
+      // Drained dry: every in-flight response finished and flushed.
+      break;
+    }
   }
 
   for (const auto& conn : impl->connections) {

@@ -27,6 +27,14 @@
 /// `stats` replies with a live snapshot instead of draining — a drain
 /// would block the shared loop on every other client's work.
 ///
+/// Shutdown comes in two shapes. shutdown() is immediate: every
+/// connection closes, outstanding requests are cancelled. drain() is
+/// graceful (the CLI maps SIGTERM to it): the listener closes, new
+/// submissions are rejected with a structured `draining` error frame,
+/// in-flight responses finish and flush, idle connections retire, and
+/// run() returns true once the last connection is gone — the clean
+/// exit-0 path under orchestrators.
+///
 ///   SocketServer server({.listen = "127.0.0.1:0"});
 ///   std::thread loop([&] { server.run(); });
 ///   ServiceClient client("127.0.0.1:" + std::to_string(server.port()));
@@ -76,6 +84,14 @@ class SocketServer {
   /// Thread-safe: wakes the loop, closes every connection (cancelling
   /// their outstanding requests), and makes run() return. Idempotent.
   void shutdown();
+
+  /// Thread-safe and async-signal-safe (an atomic store plus a
+  /// self-pipe write): starts a graceful drain. The loop stops
+  /// accepting connections, the service rejects new requests with
+  /// `draining`, in-flight work finishes and flushes, and run()
+  /// returns once every connection retired. Idempotent; a subsequent
+  /// shutdown() escalates to an immediate stop.
+  void drain();
 
   /// The underlying service (stats, in-process submissions in tests).
   SamplingService& service();

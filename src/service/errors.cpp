@@ -1,0 +1,127 @@
+#include "service/errors.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace symphase {
+
+namespace {
+
+/// Parses a decimal run starting at `pos`; advances `pos` past it.
+/// Returns false when no digit is present.
+bool parse_decimal(std::string_view text, std::size_t& pos,
+                   std::uint64_t& out) {
+  const char* begin = text.data() + pos;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || ptr == begin) {
+    return false;
+  }
+  pos += static_cast<std::size_t>(ptr - begin);
+  return true;
+}
+
+/// Consumes `expected` at `pos`, advancing past it on match.
+bool consume(std::string_view text, std::size_t& pos,
+             std::string_view expected) {
+  if (text.substr(pos, expected.size()) != expected) {
+    return false;
+  }
+  pos += expected.size();
+  return true;
+}
+
+}  // namespace
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kQueueFull:
+      return "queue_full";
+    case ErrorCode::kRateLimited:
+      return "rate_limited";
+    case ErrorCode::kDraining:
+      return "draining";
+    case ErrorCode::kDeadlineExpired:
+      return "deadline_expired";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kBadCircuit:
+      return "bad_circuit";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+bool error_code_retryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kQueueFull:
+    case ErrorCode::kRateLimited:
+    case ErrorCode::kDraining:
+      return true;
+    case ErrorCode::kDeadlineExpired:
+    case ErrorCode::kCancelled:
+    case ErrorCode::kBadCircuit:
+    case ErrorCode::kInternal:
+      return false;
+  }
+  return false;
+}
+
+ServiceError make_error(ErrorCode code, std::string message,
+                        std::uint64_t retry_after_ms) {
+  ServiceError error;
+  error.code = code;
+  error.retryable = error_code_retryable(code);
+  error.retry_after_ms = retry_after_ms;
+  error.message = std::move(message);
+  return error;
+}
+
+std::string encode_error_payload(const ServiceError& error) {
+  std::ostringstream oss;
+  oss << 'E' << static_cast<std::uint32_t>(error.code) << ' '
+      << error_code_name(error.code)
+      << " retryable=" << (error.retryable ? 1 : 0)
+      << " retry_after_ms=" << error.retry_after_ms << ": " << error.message;
+  return oss.str();
+}
+
+ServiceError parse_error_payload(std::string_view payload) {
+  // Anything that fails to parse is an opaque legacy/foreign error.
+  ServiceError legacy;
+  legacy.code = ErrorCode::kInternal;
+  legacy.retryable = false;
+  legacy.message = std::string(payload);
+
+  std::size_t pos = 0;
+  std::uint64_t code = 0;
+  std::uint64_t retryable = 0;
+  std::uint64_t retry_after_ms = 0;
+  if (!consume(payload, pos, "E") || !parse_decimal(payload, pos, code) ||
+      !consume(payload, pos, " ")) {
+    return legacy;
+  }
+  // Skip the name: it is redundant with the code (carried for humans),
+  // and tolerating unknown names lets servers add codes first.
+  const std::size_t name_end = payload.find(' ', pos);
+  if (name_end == std::string_view::npos) {
+    return legacy;
+  }
+  pos = name_end;
+  if (!consume(payload, pos, " retryable=") ||
+      !parse_decimal(payload, pos, retryable) || retryable > 1 ||
+      !consume(payload, pos, " retry_after_ms=") ||
+      !parse_decimal(payload, pos, retry_after_ms) ||
+      !consume(payload, pos, ": ")) {
+    return legacy;
+  }
+  ServiceError error;
+  error.code = static_cast<ErrorCode>(code);
+  error.retryable = retryable != 0;
+  error.retry_after_ms = retry_after_ms;
+  error.message = std::string(payload.substr(pos));
+  return error;
+}
+
+}  // namespace symphase

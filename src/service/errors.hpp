@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file errors.hpp
+/// Structured error taxonomy for the sampling service's wire protocol.
+///
+/// Error frames (kFrameError) used to carry free-form text. Overload
+/// handling needs machine-readable failures: a client must distinguish
+/// a retryable rejection (queue full, rate limited, draining) from a
+/// permanent one (bad circuit) without matching strings. The error
+/// payload is therefore a structured prefix followed by the human
+/// message:
+///
+///   E<code> <name> retryable=<0|1> retry_after_ms=<N>: <message>
+///
+/// e.g.
+///
+///   E1 queue_full retryable=1 retry_after_ms=120: server request
+///   queue is full; retry later
+///
+/// The frame format itself is untouched — the taxonomy lives entirely
+/// in the error frame's payload bytes, so old clients still read a
+/// plain descriptive line and the stdio/TCP transports stay
+/// frame-compatible. parse_error_payload() accepts legacy plain-text
+/// payloads too (mapped to kInternal, non-retryable), so new clients
+/// interoperate with old servers.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace symphase {
+
+/// Numbered wire error codes. The values are part of the protocol:
+/// append new codes, never renumber existing ones.
+enum class ErrorCode : std::uint32_t {
+  kQueueFull = 1,        ///< Queue at capacity or priority class shed.
+  kRateLimited = 2,      ///< Client exceeded its shots/second budget.
+  kDraining = 3,         ///< Server is draining for shutdown.
+  kDeadlineExpired = 4,  ///< deadline_ms passed before sampling started.
+  kCancelled = 5,        ///< Cancelled by the client (or its disconnect).
+  kBadCircuit = 6,       ///< Invalid request/circuit; retrying cannot help.
+  kInternal = 7,         ///< Unexpected server-side failure.
+};
+
+/// The code's wire name ("queue_full", ...). Unknown values render as
+/// "internal".
+std::string_view error_code_name(ErrorCode code);
+
+/// Whether retrying the identical request later can succeed. True only
+/// for the transient overload conditions (queue_full, rate_limited,
+/// draining); per-request seeds make such replays bit-identical, so
+/// clients resubmit safely.
+bool error_code_retryable(ErrorCode code);
+
+/// One structured service error, as carried in an error frame payload.
+struct ServiceError {
+  ErrorCode code = ErrorCode::kInternal;
+  bool retryable = false;
+  /// Server backoff hint in milliseconds (0 = none): the earliest time
+  /// a retry has a realistic chance of being admitted.
+  std::uint64_t retry_after_ms = 0;
+  /// Human-readable detail; follows the structured prefix verbatim.
+  std::string message;
+};
+
+/// Builds a ServiceError carrying the code's default retryable bit.
+ServiceError make_error(ErrorCode code, std::string message,
+                        std::uint64_t retry_after_ms = 0);
+
+/// Renders the error-frame payload shown in the file comment.
+std::string encode_error_payload(const ServiceError& error);
+
+/// Parses an error-frame payload. Never throws: payloads without a
+/// well-formed "E<num> <name> retryable=<0|1> retry_after_ms=<N>: "
+/// prefix (legacy servers, foreign text) map to kInternal,
+/// non-retryable, with the whole payload as the message.
+ServiceError parse_error_payload(std::string_view payload);
+
+}  // namespace symphase

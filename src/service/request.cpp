@@ -115,10 +115,12 @@ SampleRequest parse_request_payload(std::string_view payload) {
     request.verb = RequestVerb::kStats;
   } else if (verb == "cancel") {
     request.verb = RequestVerb::kCancel;
+  } else if (verb == "health") {
+    request.verb = RequestVerb::kHealth;
   } else {
-    SYMPHASE_CHECK_MSG(false,
-                       "unknown request verb '"
-                           << verb << "' (sample|detect|register|stats|cancel)");
+    SYMPHASE_CHECK_MSG(
+        false, "unknown request verb '"
+                   << verb << "' (sample|detect|register|stats|cancel|health)");
   }
   request.task.shots = 1024;
 
@@ -218,6 +220,9 @@ std::string encode_request_payload(const SampleRequest& request) {
       break;
     case RequestVerb::kCancel:
       oss << "cancel id=" << request.cancel_id;
+      break;
+    case RequestVerb::kHealth:
+      oss << "health";
       break;
   }
   if (request.verb == RequestVerb::kSample ||

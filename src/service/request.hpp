@@ -21,6 +21,10 @@
 ///   cancel   id=N: cancel the in-flight/queued request N on this
 ///            transport session; reply "cancelled\n", or an error frame
 ///            when N is unknown or already finished
+///   health   reply one line of readiness state
+///            ("state=accepting|draining queue_depth=..."), never
+///            blocking on queued work — the probe verb for load
+///            balancers and drain tests
 ///
 /// Options (all optional): shots=N seed=N threads=N
 ///   format=01|hex|b8|ptb64|dets   backend=symphase|frames
@@ -48,7 +52,7 @@
 
 namespace symphase {
 
-enum class RequestVerb { kSample, kDetect, kRegister, kStats, kCancel };
+enum class RequestVerb { kSample, kDetect, kRegister, kStats, kCancel, kHealth };
 
 /// One parsed request payload. `task.shots` defaults to 1024 like the
 /// CLI; `format` defaults to 01 for sample and dets for detect.

@@ -79,7 +79,11 @@ std::string ServiceStats::to_line() const {
       << " completed=" << completed << " failed=" << failed
       << " queue_depth=" << queue_depth << " queue_peak=" << queue_peak
       << " rejected_expired=" << rejected_expired
-      << " cancelled=" << cancelled;
+      << " cancelled=" << cancelled
+      << " rejected_queue_full=" << rejected_queue_full
+      << " rejected_rate_limited=" << rejected_rate_limited
+      << " rejected_draining=" << rejected_draining
+      << " shots_in_flight=" << shots_in_flight;
   for (std::size_t i = 0; i < kNumPriorities; ++i) {
     oss << " served_" << priority_name(static_cast<RequestPriority>(i)) << '='
         << served[i];
@@ -88,8 +92,19 @@ std::string ServiceStats::to_line() const {
   return oss.str();
 }
 
+std::string ServiceHealth::to_line() const {
+  std::ostringstream oss;
+  oss << "state=" << (accepting ? "accepting" : "draining")
+      << " queue_depth=" << queue_depth
+      << " queue_capacity=" << queue_capacity
+      << " active_jobs=" << active_jobs
+      << " shots_in_flight=" << shots_in_flight
+      << " max_shots_in_flight=" << max_shots_in_flight << '\n';
+  return oss.str();
+}
+
 SamplingService::SamplingService(ServiceOptions options)
-    : options_(options) {
+    : options_(std::move(options)), admission_(options_.admission) {
   SYMPHASE_CHECK(options_.num_workers >= 1);
   SYMPHASE_CHECK(options_.queue_capacity >= 1);
   SYMPHASE_CHECK(options_.session_cache_capacity >= 1);
@@ -132,20 +147,25 @@ void SamplingService::register_locked(const std::string& digest,
 }
 
 std::uint64_t SamplingService::submit(std::uint64_t request_id,
-                                      SampleRequest request, FrameFn emit) {
+                                      SampleRequest request, FrameFn emit,
+                                      std::uint64_t client_id,
+                                      ServiceError* rejection) {
   return submit_impl(request_id, std::move(request), std::move(emit),
-                     /*blocking=*/true);
+                     client_id, rejection, /*blocking=*/true);
 }
 
 std::uint64_t SamplingService::try_submit(std::uint64_t request_id,
-                                          SampleRequest request,
-                                          FrameFn emit) {
+                                          SampleRequest request, FrameFn emit,
+                                          std::uint64_t client_id,
+                                          ServiceError* rejection) {
   return submit_impl(request_id, std::move(request), std::move(emit),
-                     /*blocking=*/false);
+                     client_id, rejection, /*blocking=*/false);
 }
 
 std::uint64_t SamplingService::submit_impl(std::uint64_t request_id,
                                            SampleRequest request, FrameFn emit,
+                                           std::uint64_t client_id,
+                                           ServiceError* rejection,
                                            bool blocking) {
   SYMPHASE_CHECK_MSG(request.verb == RequestVerb::kSample ||
                          request.verb == RequestVerb::kDetect,
@@ -160,18 +180,46 @@ std::uint64_t SamplingService::submit_impl(std::uint64_t request_id,
                    std::chrono::milliseconds(request.deadline_ms);
   }
   job.cancel_flag = std::make_shared<std::atomic<bool>>(false);
+  job.shots = request.task.shots;
   job.request = std::move(request);
   job.emit = std::move(emit);
 
   std::unique_lock<std::mutex> lock(queue_mutex_);
   if (blocking) {
-    queue_space_.wait(lock, [this] {
-      return stopping_ || queue_.size() < options_.queue_capacity;
+    // Queue capacity and the shots cap are backpressure for blocking
+    // submitters; draining wakes them so they learn they were turned
+    // away instead of waiting on a server that will never accept.
+    queue_space_.wait(lock, [this, &job] {
+      return stopping_ || draining_ ||
+             (queue_.size() < options_.queue_capacity &&
+              admission_.fits_in_flight(job.shots));
     });
-  } else if (queue_.size() >= options_.queue_capacity && !stopping_) {
-    return 0;
   }
   SYMPHASE_CHECK_MSG(!stopping_, "service is stopped");
+  ServiceError error;
+  bool rejected = false;
+  if (draining_) {
+    error = make_error(ErrorCode::kDraining,
+                       "service is draining; no new requests accepted");
+    rejected = true;
+  } else {
+    AdmissionDecision decision = admission_.admit(
+        client_id, job.shots, job.request.priority, queue_.size(),
+        options_.queue_capacity,
+        /*enforce_queue_limits=*/!blocking, SchedulerClock::now());
+    if (!decision.admitted) {
+      error = std::move(decision.error);
+      rejected = true;
+    }
+  }
+  if (rejected) {
+    lock.unlock();
+    account_rejection(error.code);
+    if (rejection != nullptr) {
+      *rejection = std::move(error);
+    }
+    return 0;
+  }
   const std::uint64_t ticket = next_ticket_++;
   job.ticket = ticket;
   cancel_flags_.emplace(ticket, job.cancel_flag);
@@ -201,7 +249,8 @@ bool SamplingService::cancel(std::uint64_t ticket) {
       return !flag->second->exchange(true);
     }
     cancel_flags_.erase(flag);
-    queue_space_.notify_one();
+    admission_.release(item.payload.shots);
+    queue_space_.notify_all();
     if (queue_.empty() && active_jobs_ == 0) {
       // Removing the last queued job is a quiescence transition too —
       // a drain() sleeping on it would otherwise miss its wakeup.
@@ -211,7 +260,7 @@ bool SamplingService::cancel(std::uint64_t ticket) {
   // Dequeued before it ever ran: answer it here, from the canceller's
   // thread (FrameFn implementations are thread-safe by contract).
   finish_without_running(item.payload, Outcome::kCancelled,
-                         "request cancelled");
+                         make_error(ErrorCode::kCancelled, "request cancelled"));
   return true;
 }
 
@@ -219,6 +268,31 @@ void SamplingService::drain() {
   std::unique_lock<std::mutex> lock(queue_mutex_);
   queue_idle_.wait(lock,
                    [this] { return queue_.empty() && active_jobs_ == 0; });
+}
+
+void SamplingService::begin_drain() {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  draining_ = true;
+  // Blocking submitters parked on backpressure must wake to learn the
+  // service stopped accepting — their space will never come.
+  queue_space_.notify_all();
+}
+
+bool SamplingService::draining() const {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  return draining_ || stopping_;
+}
+
+ServiceHealth SamplingService::health() const {
+  ServiceHealth h;
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  h.accepting = !draining_ && !stopping_;
+  h.queue_depth = queue_.size();
+  h.queue_capacity = options_.queue_capacity;
+  h.active_jobs = active_jobs_;
+  h.shots_in_flight = admission_.shots_in_flight();
+  h.max_shots_in_flight = options_.admission.max_shots_in_flight;
+  return h;
 }
 
 void SamplingService::stop() {
@@ -265,6 +339,9 @@ ServiceStats SamplingService::stats() const {
     s.failed = failed_;
     s.rejected_expired = rejected_expired_;
     s.cancelled = cancelled_;
+    s.rejected_queue_full = rejected_queue_full_;
+    s.rejected_rate_limited = rejected_rate_limited_;
+    s.rejected_draining = rejected_draining_;
     for (std::size_t i = 0; i < kNumPriorities; ++i) {
       s.served[i] = served_[i];
     }
@@ -273,6 +350,7 @@ ServiceStats SamplingService::stats() const {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     s.queue_depth = queue_.size();
     s.queue_peak = queue_peak_;
+    s.shots_in_flight = admission_.shots_in_flight();
   }
   return s;
 }
@@ -338,6 +416,10 @@ void SamplingService::worker_loop() {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
       cancel_flags_.erase(job.ticket);
       --active_jobs_;
+      admission_.release(job.shots);
+      // Finished work frees shot budget too, not just a queue slot —
+      // submitters may be waiting on either.
+      queue_space_.notify_all();
       if (queue_.empty() && active_jobs_ == 0) {
         queue_idle_.notify_all();
       }
@@ -364,16 +446,32 @@ void SamplingService::account(Outcome outcome, RequestPriority priority) {
   }
 }
 
+void SamplingService::account_rejection(ErrorCode code) {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  switch (code) {
+    case ErrorCode::kRateLimited:
+      ++rejected_rate_limited_;
+      break;
+    case ErrorCode::kDraining:
+      ++rejected_draining_;
+      break;
+    default:
+      ++rejected_queue_full_;
+      break;
+  }
+}
+
 void SamplingService::emit_error_frame(const Job& job,
                                        std::uint32_t chunk_index,
-                                       std::string_view text) {
+                                       const ServiceError& error) {
   try {
+    const std::string payload = encode_error_payload(error);
     FrameHeader header;
     header.request_id = job.request_id;
     header.chunk_index = chunk_index;
     header.flags = kFrameLast | kFrameError;
-    header.payload_bytes = static_cast<std::uint32_t>(text.size());
-    job.emit(header, text);
+    header.payload_bytes = static_cast<std::uint32_t>(payload.size());
+    job.emit(header, payload);
   } catch (...) {
     // The emitter itself failed (e.g. a closed client stream); the
     // request is still accounted, there is nobody left to tell.
@@ -381,8 +479,8 @@ void SamplingService::emit_error_frame(const Job& job,
 }
 
 void SamplingService::finish_without_running(Job& job, Outcome outcome,
-                                             std::string_view text) {
-  emit_error_frame(job, /*chunk_index=*/0, text);
+                                             const ServiceError& error) {
+  emit_error_frame(job, /*chunk_index=*/0, error);
   account(outcome, job.request.priority);
 }
 
@@ -391,18 +489,27 @@ void SamplingService::process(Job& job) {
   // request — whether it expired while queued or in the instant after
   // the pop, it is rejected before any compilation or sampling.
   if (job.deadline != kNoDeadline && SchedulerClock::now() > job.deadline) {
-    finish_without_running(job, Outcome::kExpired,
-                           "deadline expired before sampling started");
+    finish_without_running(
+        job, Outcome::kExpired,
+        make_error(ErrorCode::kDeadlineExpired,
+                   "deadline expired before sampling started"));
     return;
   }
   if (job.cancel_flag->load(std::memory_order_relaxed)) {
-    finish_without_running(job, Outcome::kCancelled, "request cancelled");
+    finish_without_running(job, Outcome::kCancelled,
+                           make_error(ErrorCode::kCancelled,
+                                      "request cancelled"));
     return;
   }
   FrameSink sink(job.request_id, job.request.format,
                  options_.max_frame_payload, job.emit);
   Outcome outcome = Outcome::kCompleted;
   try {
+    if (options_.fault_hook) {
+      options_.fault_hook(
+          fault_sequence_.fetch_add(1, std::memory_order_relaxed) + 1,
+          job.request);
+    }
     std::string digest = job.request.digest;
     if (digest.empty()) {
       digest = register_circuit(job.request.circuit_text);
@@ -414,10 +521,20 @@ void SamplingService::process(Job& job) {
     // this request's frames stop (with the error flag, like any other
     // non-success).
     outcome = Outcome::kCancelled;
-    emit_error_frame(job, sink.next_chunk_index(), e.what());
+    emit_error_frame(job, sink.next_chunk_index(),
+                     make_error(ErrorCode::kCancelled, e.what()));
+  } catch (const std::invalid_argument& e) {
+    // Caller-data failures (circuit parse errors, unknown digests,
+    // malformed tasks — everything SYMPHASE_CHECK rejects): the same
+    // request will fail the same way forever, so it must not read as
+    // a server-side problem to a retrying client.
+    outcome = Outcome::kFailed;
+    emit_error_frame(job, sink.next_chunk_index(),
+                     make_error(ErrorCode::kBadCircuit, e.what()));
   } catch (const std::exception& e) {
     outcome = Outcome::kFailed;
-    emit_error_frame(job, sink.next_chunk_index(), e.what());
+    emit_error_frame(job, sink.next_chunk_index(),
+                     make_error(ErrorCode::kInternal, e.what()));
   }
   account(outcome, job.request.priority);
 }

@@ -61,6 +61,8 @@
 #include <vector>
 
 #include "api/session.hpp"
+#include "service/admission.hpp"
+#include "service/errors.hpp"
 #include "service/request.hpp"
 #include "service/scheduler.hpp"
 #include "service/wire.hpp"
@@ -88,6 +90,21 @@ struct ServiceOptions {
   /// or send the circuit inline — inline requests re-register
   /// automatically).
   std::size_t registry_capacity = 256;
+  /// Admission control: per-client rate limits, shots-in-flight cap,
+  /// and priority shedding thresholds (admission.hpp). Rate limiting
+  /// is off by default; the shedding thresholds always apply to
+  /// try_submit() callers.
+  AdmissionOptions admission;
+  /// Test-only fault injection. When set, called on the worker thread
+  /// immediately before a request executes, with the 1-based execution
+  /// sequence number (the order workers picked requests up) and the
+  /// request. Throwing fails exactly that request with an error frame,
+  /// the same way a real compile/worker exception would
+  /// (std::invalid_argument maps to bad_circuit, anything else to
+  /// internal); other requests and the session cache are unaffected —
+  /// which is precisely what tests/chaos_test.cpp pins.
+  std::function<void(std::uint64_t sequence, const SampleRequest& request)>
+      fault_hook;
 };
 
 /// Monotonic service counters. Cache counters pin the batching contract
@@ -109,11 +126,32 @@ struct ServiceStats {
   std::uint64_t queue_peak = 0;   ///< Highest queue_depth ever observed.
   std::uint64_t rejected_expired = 0;  ///< Deadline passed before start.
   std::uint64_t cancelled = 0;         ///< Cancelled (queued or mid-stream).
+  // Admission counters (requests turned away before entering the
+  // queue, by structured error code):
+  std::uint64_t rejected_queue_full = 0;     ///< Full or priority-shed.
+  std::uint64_t rejected_rate_limited = 0;   ///< Client over budget.
+  std::uint64_t rejected_draining = 0;       ///< Arrived during drain.
+  std::uint64_t shots_in_flight = 0;  ///< Gauge: shots queued + running.
   /// Successfully completed requests by priority class, indexed by
   /// RequestPriority (high, normal, low).
   std::uint64_t served[kNumPriorities] = {0, 0, 0};
 
   /// One-line "hits=... misses=..." rendering (the stats verb's reply).
+  std::string to_line() const;
+};
+
+/// Snapshot of the service's readiness, for the `health` verb: load
+/// balancers poll it to stop routing to a draining instance, and the
+/// drain tests observe state transitions through it.
+struct ServiceHealth {
+  bool accepting = true;  ///< False once draining or stopped.
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t active_jobs = 0;  ///< Requests currently executing.
+  std::uint64_t shots_in_flight = 0;
+  std::uint64_t max_shots_in_flight = 0;  ///< 0 = uncapped.
+
+  /// One-line "state=accepting|draining queue_depth=..." rendering.
   std::string to_line() const;
 };
 
@@ -140,8 +178,9 @@ class SamplingService {
   std::string register_circuit(std::string_view circuit_text);
 
   /// Enqueues a sample/detect request (scheduled by its priority/
-  /// deadline_ms fields). Blocks while the queue is full (backpressure);
-  /// throws std::invalid_argument for non-sampling verbs or a stopped
+  /// deadline_ms fields). Blocks while the queue is full or the
+  /// shots-in-flight cap is reached (backpressure); throws
+  /// std::invalid_argument for non-sampling verbs or a stopped
   /// service. All outcomes after acceptance — including unknown
   /// digests, circuit parse errors, expired deadlines, and cancellation
   /// — are reported through `emit` as wire frames, never thrown.
@@ -150,16 +189,32 @@ class SamplingService {
   /// status frame is emitted — pass it to cancel(). Tickets are unique
   /// across the service's lifetime (request_id is only stamped into
   /// frames, so transports can scope ids per client).
+  ///
+  /// Admission control can still turn a blocking submit away without
+  /// queueing it (the service is draining, or `client_id`'s rate
+  /// budget is exhausted): submit returns 0, no frame is emitted, and
+  /// `*rejection` (when non-null) carries the structured error for the
+  /// transport to ship. `client_id` scopes the per-client rate bucket;
+  /// transports pass a stable id per connection (0 = one shared
+  /// bucket).
   std::uint64_t submit(std::uint64_t request_id, SampleRequest request,
-                       FrameFn emit);
+                       FrameFn emit, std::uint64_t client_id = 0,
+                       ServiceError* rejection = nullptr);
 
-  /// Non-blocking submit: returns 0 (never a valid ticket) when the
-  /// queue is full instead of waiting for space. For callers that must
-  /// never park on queue capacity — the socket server's event-loop
-  /// thread drains the very client sockets the workers may be blocked
-  /// on, so blocking it on queue space could deadlock the transport.
+  /// Non-blocking submit: where submit() would wait, try_submit
+  /// rejects. For callers that must never park on queue capacity — the
+  /// socket server's event-loop thread drains the very client sockets
+  /// the workers may be blocked on, so blocking it on queue space
+  /// could deadlock the transport.
+  ///
+  /// Returns 0 (never a valid ticket) when admission turns the request
+  /// away: queue full, priority class shed under pressure, shot
+  /// capacity saturated, client rate-limited, or draining. `*rejection`
+  /// (when non-null) carries the structured error — including the
+  /// retryable bit and a retry_after_ms backoff hint.
   std::uint64_t try_submit(std::uint64_t request_id, SampleRequest request,
-                           FrameFn emit);
+                           FrameFn emit, std::uint64_t client_id = 0,
+                           ServiceError* rejection = nullptr);
 
   /// Cancels the request behind `ticket`. A still-queued request is
   /// removed and answered with an error frame immediately (it never
@@ -179,6 +234,22 @@ class SamplingService {
   /// status frame emitted).
   void drain();
 
+  /// Flips the service to draining: every subsequent submit/try_submit
+  /// is rejected with a `draining` error while already-accepted work
+  /// keeps running to completion. Does not block (pair with drain() to
+  /// wait) and does not stop workers — the graceful-shutdown sequence
+  /// is begin_drain(); drain(); stop(). Idempotent, thread-safe, and
+  /// safe from signal-handling contexts that already defer to a normal
+  /// thread (the CLI forwards SIGTERM through the socket server's
+  /// self-pipe, which calls this from the event loop).
+  void begin_drain();
+
+  /// Whether begin_drain() was called (or the service stopped).
+  bool draining() const;
+
+  /// Readiness snapshot for the `health` verb. Never blocks on work.
+  ServiceHealth health() const;
+
   /// drain() + reject future submissions + join workers. Idempotent.
   void stop();
 
@@ -197,6 +268,9 @@ class SamplingService {
     SampleRequest request;
     FrameFn emit;
     SchedulerClock::time_point deadline = kNoDeadline;
+    /// Shots charged against admission at acceptance; released exactly
+    /// once when the job leaves (finished or cancelled out of queue).
+    std::uint64_t shots = 0;
     /// Set by cancel(); polled by the streaming engine at shard-chunk
     /// boundaries. Shared so cancel() can reach a job a worker owns.
     std::shared_ptr<std::atomic<bool>> cancel_flag;
@@ -222,17 +296,21 @@ class SamplingService {
   void worker_loop();
   /// Shared submit path; `blocking` selects wait-for-space vs reject.
   std::uint64_t submit_impl(std::uint64_t request_id, SampleRequest request,
-                            FrameFn emit, bool blocking);
+                            FrameFn emit, std::uint64_t client_id,
+                            ServiceError* rejection, bool blocking);
   void process(Job& job);
   /// Folds one finished request into the stats counters.
   void account(Outcome outcome, RequestPriority priority);
-  /// Ships the final error-flagged frame; swallows emitter failures.
+  /// Counts one admission rejection under its error code.
+  void account_rejection(ErrorCode code);
+  /// Ships the final error-flagged frame (structured payload,
+  /// errors.hpp); swallows emitter failures.
   void emit_error_frame(const Job& job, std::uint32_t chunk_index,
-                        std::string_view text);
+                        const ServiceError& error);
   /// Error frame + accounting for a request that never started
   /// (deadline-expired or cancelled while queued).
   void finish_without_running(Job& job, Outcome outcome,
-                              std::string_view text);
+                              const ServiceError& error);
   /// Cache lookup/insert; `digest` must already be registered.
   std::shared_ptr<SimulatorSession> session_for(const std::string& digest);
   /// Folds a leaving session's built artifacts into the retired tally
@@ -254,6 +332,12 @@ class SamplingService {
   std::uint64_t queue_peak_ = 0;
   std::size_t active_jobs_ = 0;
   bool stopping_ = false;
+  bool draining_ = false;
+  /// Admission state (buckets, shots in flight); queue_mutex_ guards it
+  /// so queue depth and admission decisions move atomically together.
+  AdmissionController admission_;
+  /// 1-based counter behind ServiceOptions::fault_hook sequences.
+  std::atomic<std::uint64_t> fault_sequence_{0};
   std::vector<std::thread> workers_;
 
   mutable std::mutex cache_mutex_;
@@ -271,6 +355,9 @@ class SamplingService {
   std::uint64_t failed_ = 0;
   std::uint64_t rejected_expired_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t rejected_queue_full_ = 0;
+  std::uint64_t rejected_rate_limited_ = 0;
+  std::uint64_t rejected_draining_ = 0;
   std::uint64_t served_[kNumPriorities] = {0, 0, 0};
 };
 

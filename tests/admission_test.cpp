@@ -1,0 +1,332 @@
+// Admission control (src/service/admission.*) and the structured
+// rejection contract of SamplingService::submit/try_submit: token
+// bucket math, per-client fairness, the shots-in-flight cap,
+// priority-aware shedding order, draining rejections, and the `health`
+// snapshot. Everything here is deterministic — bucket time is a fixed
+// SchedulerClock::time_point, never the wall clock.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/admission.hpp"
+#include "service/errors.hpp"
+#include "service/service.hpp"
+
+namespace symphase {
+namespace {
+
+constexpr const char* kCircuit = "X 0\nM 0 1\n";
+
+SchedulerClock::time_point at_ms(std::uint64_t ms) {
+  return SchedulerClock::time_point{} + std::chrono::milliseconds(ms);
+}
+
+TEST(TokenBucket, StartsFullAndRefillsAtRate) {
+  TokenBucket bucket(100.0, 50.0, at_ms(0));  // 100 shots/s, burst 50
+  EXPECT_DOUBLE_EQ(bucket.tokens(at_ms(0)), 50.0);
+
+  EXPECT_TRUE(bucket.try_take(50.0, at_ms(0)));
+  EXPECT_DOUBLE_EQ(bucket.tokens(at_ms(0)), 0.0);
+  EXPECT_FALSE(bucket.try_take(10.0, at_ms(0)));
+
+  // 100/s refill: 10 tokens after 100ms, and never beyond capacity.
+  EXPECT_TRUE(bucket.try_take(10.0, at_ms(100)));
+  EXPECT_DOUBLE_EQ(bucket.tokens(at_ms(10'000'000)), 50.0);
+}
+
+TEST(TokenBucket, RetryAfterPredictsAffordability) {
+  TokenBucket bucket(100.0, 50.0, at_ms(0));
+  ASSERT_TRUE(bucket.try_take(50.0, at_ms(0)));
+
+  EXPECT_EQ(bucket.retry_after_ms(50.0, at_ms(0)), 500u);  // full refill
+  EXPECT_EQ(bucket.retry_after_ms(10.0, at_ms(0)), 100u);
+  EXPECT_EQ(bucket.retry_after_ms(10.0, at_ms(100)), 0u);
+  // The hint is honest: waiting exactly that long makes the take pass.
+  EXPECT_TRUE(bucket.try_take(10.0, at_ms(100)));
+}
+
+TEST(TokenBucket, CostAboveCapacityIsClampedNotUnpayable) {
+  TokenBucket bucket(10.0, 20.0, at_ms(0));
+  // A 1M-shot request against a burst of 20 charges the whole bucket —
+  // otherwise it could never be admitted at any time.
+  EXPECT_TRUE(bucket.try_take(1'000'000.0, at_ms(0)));
+  EXPECT_DOUBLE_EQ(bucket.tokens(at_ms(0)), 0.0);
+  EXPECT_EQ(bucket.retry_after_ms(1'000'000.0, at_ms(0)), 2000u);
+}
+
+TEST(AdmissionController, RateLimitsPerClientIndependently) {
+  AdmissionOptions options;
+  options.client_shots_per_second = 100;
+  options.client_burst_shots = 100;
+  AdmissionController admission(options);
+
+  const auto admit = [&](std::uint64_t client, std::uint64_t shots,
+                         std::uint64_t ms) {
+    return admission.admit(client, shots, RequestPriority::kNormal,
+                           /*queue_depth=*/0, /*queue_capacity=*/64,
+                           /*enforce_queue_limits=*/true, at_ms(ms));
+  };
+
+  EXPECT_TRUE(admit(1, 100, 0).admitted);
+  const AdmissionDecision rejected = admit(1, 100, 0);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_EQ(rejected.error.code, ErrorCode::kRateLimited);
+  EXPECT_TRUE(rejected.error.retryable);
+  EXPECT_EQ(rejected.error.retry_after_ms, 1000u);
+
+  // Client 2 has its own bucket; client 1 recovers after the hint.
+  EXPECT_TRUE(admit(2, 100, 0).admitted);
+  EXPECT_TRUE(admit(1, 100, 1000).admitted);
+}
+
+TEST(AdmissionController, RejectedRequestsAreNotCharged) {
+  AdmissionOptions options;
+  options.client_shots_per_second = 100;
+  options.client_burst_shots = 100;
+  options.max_shots_in_flight = 10;  // gate 2 rejects before the bucket
+  AdmissionController admission(options);
+
+  ASSERT_TRUE(admission
+                  .admit(1, 10, RequestPriority::kNormal, 0, 64, true,
+                         at_ms(0))
+                  .admitted);
+  // In-flight is saturated: this rejection must not burn client 1's
+  // bucket (double-charging would turn one overload into a rate-limit
+  // lockout).
+  const AdmissionDecision full =
+      admission.admit(1, 50, RequestPriority::kNormal, 0, 64, true, at_ms(0));
+  ASSERT_FALSE(full.admitted);
+  EXPECT_EQ(full.error.code, ErrorCode::kQueueFull);
+
+  admission.release(10);
+  EXPECT_TRUE(admission
+                  .admit(1, 90, RequestPriority::kNormal, 0, 64, true,
+                         at_ms(0))
+                  .admitted);
+}
+
+TEST(AdmissionController, ShotsInFlightCapAndOversizedException) {
+  AdmissionOptions options;
+  options.max_shots_in_flight = 1000;
+  AdmissionController admission(options);
+
+  const auto admit = [&](std::uint64_t shots) {
+    return admission.admit(7, shots, RequestPriority::kNormal, 0, 64, true,
+                           at_ms(0));
+  };
+
+  // A request larger than the cap is admitted only on an idle server.
+  EXPECT_TRUE(admit(5000).admitted);
+  EXPECT_FALSE(admit(5000).admitted);
+  EXPECT_FALSE(admit(1).admitted);
+  admission.release(5000);
+  EXPECT_EQ(admission.shots_in_flight(), 0u);
+
+  EXPECT_TRUE(admit(600).admitted);
+  EXPECT_FALSE(admit(600).admitted);  // 1200 > 1000
+  EXPECT_TRUE(admit(400).admitted);
+  EXPECT_FALSE(admit(5000).admitted);  // oversized needs idle
+}
+
+TEST(AdmissionController, ShedsByPriorityClassUnderQueuePressure) {
+  AdmissionController admission({});  // default thresholds 0.50 / 0.75
+
+  const auto admit = [&](RequestPriority priority, std::size_t depth) {
+    return admission.admit(1, 64, priority, depth, /*queue_capacity=*/100,
+                           /*enforce_queue_limits=*/true, at_ms(0));
+  };
+
+  // Low sheds first, normal later, high only when genuinely full.
+  EXPECT_TRUE(admit(RequestPriority::kLow, 49).admitted);
+  EXPECT_FALSE(admit(RequestPriority::kLow, 50).admitted);
+  EXPECT_TRUE(admit(RequestPriority::kNormal, 74).admitted);
+  EXPECT_FALSE(admit(RequestPriority::kNormal, 75).admitted);
+  EXPECT_TRUE(admit(RequestPriority::kHigh, 99).admitted);
+  const AdmissionDecision full = admit(RequestPriority::kHigh, 100);
+  EXPECT_FALSE(full.admitted);
+  EXPECT_EQ(full.error.code, ErrorCode::kQueueFull);
+  EXPECT_TRUE(full.error.retryable);
+  EXPECT_GT(full.error.retry_after_ms, 0u);
+
+  // Blocking submitters skip gate 3 entirely — they wait instead.
+  EXPECT_TRUE(admission
+                  .admit(1, 64, RequestPriority::kLow, 100, 100,
+                         /*enforce_queue_limits=*/false, at_ms(0))
+                  .admitted);
+}
+
+TEST(AdmissionController, DepthLimitsFloorAtOne) {
+  AdmissionController admission({});
+  // A capacity-1 queue must still accept one request of every class —
+  // this floor is what keeps the legacy "reject only when full"
+  // behavior for small queues (pinned again by scheduler_test's
+  // TrySubmitRejectsOnlyWhenFull).
+  EXPECT_EQ(admission.depth_limit(RequestPriority::kLow, 1), 1u);
+  EXPECT_EQ(admission.depth_limit(RequestPriority::kNormal, 1), 1u);
+  EXPECT_EQ(admission.depth_limit(RequestPriority::kHigh, 1), 1u);
+  EXPECT_EQ(admission.depth_limit(RequestPriority::kLow, 100), 50u);
+  EXPECT_EQ(admission.depth_limit(RequestPriority::kNormal, 100), 75u);
+  EXPECT_EQ(admission.depth_limit(RequestPriority::kHigh, 100), 100u);
+}
+
+TEST(ServiceAdmission, TrySubmitRejectsRateLimitedWithStructuredError) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.admission.client_shots_per_second = 100;
+  options.admission.client_burst_shots = 100;
+  SamplingService service(options);
+
+  const FrameFn devnull = [](const FrameHeader&, std::string_view) {};
+  ServiceError rejection;
+  EXPECT_NE(service.try_submit(1, SampleRequest::sample(kCircuit, 100),
+                               devnull, /*client_id=*/42, &rejection),
+            0u);
+  EXPECT_EQ(service.try_submit(2, SampleRequest::sample(kCircuit, 100),
+                               devnull, /*client_id=*/42, &rejection),
+            0u);
+  EXPECT_EQ(rejection.code, ErrorCode::kRateLimited);
+  EXPECT_TRUE(rejection.retryable);
+  EXPECT_GT(rejection.retry_after_ms, 0u);
+
+  // A different client id is not affected by 42's exhausted bucket.
+  EXPECT_NE(service.try_submit(3, SampleRequest::sample(kCircuit, 100),
+                               devnull, /*client_id=*/43, &rejection),
+            0u);
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected_rate_limited, 1u) << stats.to_line();
+  EXPECT_EQ(stats.completed, 2u) << stats.to_line();
+}
+
+TEST(ServiceAdmission, DrainingRejectsNewWorkButFinishesAccepted) {
+  SamplingService service({.num_workers = 1});
+  std::string payload;
+  std::mutex payload_mutex;
+  const std::uint64_t ticket = service.submit(
+      1, SampleRequest::sample(kCircuit, 500),
+      [&](const FrameHeader& header, std::string_view bytes) {
+        const std::lock_guard<std::mutex> lock(payload_mutex);
+        if ((header.flags & kFrameLast) == 0) {
+          payload += std::string(bytes);
+        }
+      });
+  ASSERT_NE(ticket, 0u);
+
+  service.begin_drain();
+  EXPECT_TRUE(service.draining());
+
+  ServiceError rejection;
+  EXPECT_EQ(service.try_submit(2, SampleRequest::sample(kCircuit, 10),
+                               [](const FrameHeader&, std::string_view) {},
+                               0, &rejection),
+            0u);
+  EXPECT_EQ(rejection.code, ErrorCode::kDraining);
+  EXPECT_TRUE(rejection.retryable);
+  // Blocking submit must not hang on a draining service either.
+  EXPECT_EQ(service.submit(3, SampleRequest::sample(kCircuit, 10),
+                           [](const FrameHeader&, std::string_view) {}, 0,
+                           &rejection),
+            0u);
+  EXPECT_EQ(rejection.code, ErrorCode::kDraining);
+
+  service.drain();
+  {
+    const std::lock_guard<std::mutex> lock(payload_mutex);
+    EXPECT_EQ(payload.size(), 500u * 3u);  // "01\n" per shot, 2 measurements
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 1u) << stats.to_line();
+  EXPECT_EQ(stats.rejected_draining, 2u) << stats.to_line();
+}
+
+TEST(ServiceAdmission, HealthLineReflectsDrainState) {
+  SamplingService service({.num_workers = 1});
+  const ServiceHealth before = service.health();
+  EXPECT_TRUE(before.accepting);
+  const std::string accepting_line = before.to_line();
+  EXPECT_NE(accepting_line.find("state=accepting"), std::string::npos)
+      << accepting_line;
+  for (const char* key : {"queue_depth=", "queue_capacity=", "active_jobs=",
+                          "shots_in_flight=", "max_shots_in_flight="}) {
+    EXPECT_NE(accepting_line.find(key), std::string::npos) << accepting_line;
+  }
+
+  service.begin_drain();
+  const ServiceHealth after = service.health();
+  EXPECT_FALSE(after.accepting);
+  EXPECT_NE(after.to_line().find("state=draining"), std::string::npos)
+      << after.to_line();
+}
+
+TEST(ServiceAdmission, BlockingSubmitWaitsForShotCapacityInsteadOfShedding) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.admission.max_shots_in_flight = 1000;
+  SamplingService service(options);
+
+  // Park the worker inside request 1 so its 800 shots stay in flight.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool blocked = false;
+  bool released = false;
+  auto first = std::make_shared<std::atomic<bool>>(true);
+  service.submit(1, SampleRequest::sample(kCircuit, 800),
+                 [&, first](const FrameHeader&, std::string_view) {
+                   if (first->exchange(false)) {
+                     std::unique_lock<std::mutex> lock(mutex);
+                     blocked = true;
+                     cv.notify_all();
+                     cv.wait(lock, [&] { return released; });
+                   }
+                 });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return blocked; });
+  }
+
+  ServiceError rejection;
+  EXPECT_EQ(service.try_submit(2, SampleRequest::sample(kCircuit, 800),
+                               [](const FrameHeader&, std::string_view) {}, 0,
+                               &rejection),
+            0u);
+  EXPECT_EQ(rejection.code, ErrorCode::kQueueFull);
+  EXPECT_TRUE(rejection.retryable);
+  EXPECT_EQ(service.stats().shots_in_flight, 800u);
+
+  // The blocking path parks until release() frees the shots.
+  auto submitted = std::async(std::launch::async, [&] {
+    return service.submit(3, SampleRequest::sample(kCircuit, 800),
+                          [](const FrameHeader&, std::string_view) {});
+  });
+  EXPECT_EQ(submitted.wait_for(std::chrono::milliseconds(100)),
+            std::future_status::timeout);
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    released = true;
+  }
+  cv.notify_all();
+  EXPECT_NE(submitted.get(), 0u);
+  service.drain();
+  EXPECT_EQ(service.stats().completed, 2u);
+  EXPECT_EQ(service.stats().shots_in_flight, 0u);
+}
+
+TEST(ServiceAdmission, StatsLineCarriesAdmissionCounters) {
+  SamplingService service({.num_workers = 1});
+  const std::string line = service.stats().to_line();
+  for (const char* key :
+       {"rejected_queue_full=", "rejected_rate_limited=",
+        "rejected_draining=", "shots_in_flight="}) {
+    EXPECT_NE(line.find(key), std::string::npos) << line;
+  }
+}
+
+}  // namespace
+}  // namespace symphase

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -33,6 +34,7 @@
 #include "api/session.hpp"
 #include "circuit/parser.hpp"
 #include "net/client.hpp"
+#include "net/fault.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "sampler/sample_writer.hpp"
@@ -428,6 +430,62 @@ TEST(SocketServerTest, ReservedIdAndInFlightReuseMatchStdioRules) {
       << messages.at(0).error_text;
 }
 
+TEST(SocketServerTest, TornWritesReassembleAtEveryHeaderBoundary) {
+  // The decoder must never depend on send() boundaries: one connection
+  // per split point k tears the request frame's 17-byte header into
+  // [0,k) + [k,...) with a stall in between, and the response must be
+  // byte-identical to the direct run every time. k = 0 additionally
+  // slices the whole stream one byte per send(2).
+  const std::string circuit_text = "X 0\nM 0 1\n";
+  const Circuit circuit = parse_circuit(circuit_text);
+  SampleRequest request;
+  request.verb = RequestVerb::kSample;
+  request.circuit_text = circuit_text;
+  request.task.shots = 500;
+  request.task.seed = 5;
+  const std::string wire = one_frame_request(1, encode_request_payload(request));
+  const std::string expected =
+      direct_output(circuit, request.task, request.format);
+
+  ServerHarness harness;
+  for (std::size_t k = 0; k <= kFrameHeaderBytes; ++k) {
+    FaultPlan plan;
+    if (k == 0) {
+      plan.max_write_chunk = 1;
+    } else {
+      plan.tear_offsets = {k};
+      plan.stall = std::chrono::milliseconds(5);
+    }
+    FaultSocket socket(tcp_connect(parse_host_port(harness.address())),
+                       plan);
+    ASSERT_TRUE(socket.send(wire)) << "split at " << k;
+    socket.close_writes_now();
+
+    FrameDecoder decoder;
+    MessageAssembler assembler;
+    MessageAssembler::Message response;
+    bool complete = false;
+    char buffer[1 << 16];
+    while (!complete) {
+      const std::size_t got = socket.recv_some(buffer, sizeof buffer);
+      ASSERT_NE(got, 0u) << "server closed early (split at " << k << ")";
+      decoder.feed({buffer, got});
+      Frame frame;
+      while (decoder.next(frame)) {
+        if (auto message = assembler.accept(frame)) {
+          response = std::move(*message);
+          complete = true;
+        }
+      }
+      ASSERT_FALSE(decoder.failed()) << decoder.error();
+      ASSERT_FALSE(assembler.failed()) << assembler.error();
+    }
+    EXPECT_FALSE(response.error) << "split at " << k << ": "
+                                 << response.error_text;
+    EXPECT_EQ(response.payload, expected) << "split at " << k;
+  }
+}
+
 TEST(SocketServerTest, DisconnectCancelsAbandonedWork) {
   SocketServerOptions options;
   options.service.num_workers = 1;
@@ -465,11 +523,14 @@ TEST(SocketServerTest, DisconnectCancelsAbandonedWork) {
 }
 
 TEST(SocketCli, ServeListenSampleConnectEndToEnd) {
-  // The real binary: spawn `serve --listen 127.0.0.1:0`, read the
-  // announced port, sample over TCP, compare to the direct session,
-  // then shut down with SIGTERM and expect a clean exit.
+  // The real binary: spawn `serve --listen 127.0.0.1:0 --port-file`,
+  // read the bound port from the file (the machine-readable channel —
+  // no stderr scraping), sample over TCP, compare to the direct
+  // session, then shut down with SIGTERM and expect a clean exit.
   const std::string base = ::testing::TempDir() + "/socket_cli";
   const std::string log_path = base + ".log";
+  const std::string port_path = base + ".port";
+  std::remove(port_path.c_str());
   const pid_t pid = fork();
   ASSERT_GE(pid, 0);
   if (pid == 0) {
@@ -479,23 +540,25 @@ TEST(SocketCli, ServeListenSampleConnectEndToEnd) {
       dup2(log_fd, STDERR_FILENO);
     }
     execl(SYMPHASE_CLI_PATH, "symphase", "serve", "--listen", "127.0.0.1:0",
-          "--workers", "2", static_cast<char*>(nullptr));
+          "--workers", "2", "--port-file", port_path.c_str(),
+          static_cast<char*>(nullptr));
     _exit(127);
   }
-  // Parse "listening on 127.0.0.1:PORT" from the log.
+  // The port file appears (with a full line) once the bind succeeded.
   std::string port;
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(10);
   while (port.empty()) {
-    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "no announce";
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "no port file";
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    const std::string log = read_file(log_path);
-    const std::size_t colon = log.rfind(':');
-    if (log.find("listening on ") != std::string::npos &&
-        colon != std::string::npos && log.find('\n', colon) != std::string::npos) {
-      port = log.substr(colon + 1, log.find('\n', colon) - colon - 1);
+    std::ifstream in(port_path);
+    std::string line;
+    if (in.good() && std::getline(in, line) && !line.empty()) {
+      port = line;
     }
   }
+  EXPECT_NE(read_file(log_path).find("listening on 127.0.0.1:" + port),
+            std::string::npos);
 
   const std::string circuit_path =
       std::string(SYMPHASE_DATA_DIR) + "/surface_d3_r3_noisy.stim";

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "service/errors.hpp"
 #include "service/wire.hpp"
 
 namespace symphase {
@@ -355,6 +356,80 @@ TEST(WireFuzz, DecoderBufferStaysBoundedOnLargeStreams) {
   }
   EXPECT_TRUE(decoder.finish());
   EXPECT_LT(max_buffered, 2 * 4096u);
+}
+
+TEST(ErrorPayload, RoundTripsEveryCode) {
+  for (const ErrorCode code :
+       {ErrorCode::kQueueFull, ErrorCode::kRateLimited, ErrorCode::kDraining,
+        ErrorCode::kDeadlineExpired, ErrorCode::kCancelled,
+        ErrorCode::kBadCircuit, ErrorCode::kInternal}) {
+    const ServiceError error =
+        make_error(code, "detail: with punctuation, retryable=weird", 1234);
+    const std::string payload = encode_error_payload(error);
+    const ServiceError parsed = parse_error_payload(payload);
+    EXPECT_EQ(parsed.code, error.code) << payload;
+    EXPECT_EQ(parsed.retryable, error.retryable) << payload;
+    EXPECT_EQ(parsed.retry_after_ms, 1234u) << payload;
+    EXPECT_EQ(parsed.message, error.message) << payload;
+    // The retryable bit defaults from the taxonomy, not the caller.
+    EXPECT_EQ(error.retryable, error_code_retryable(code));
+  }
+}
+
+TEST(ErrorPayload, EncodedFormMatchesTheDocumentedShape) {
+  const std::string payload = encode_error_payload(
+      make_error(ErrorCode::kQueueFull, "server request queue is full", 120));
+  EXPECT_EQ(payload,
+            "E1 queue_full retryable=1 retry_after_ms=120: "
+            "server request queue is full");
+}
+
+TEST(ErrorPayload, LegacyPlainTextMapsToOpaqueInternal) {
+  // Old servers sent free-form text; new clients must still read it.
+  const ServiceError legacy =
+      parse_error_payload("deadline expired before sampling began");
+  EXPECT_EQ(legacy.code, ErrorCode::kInternal);
+  EXPECT_FALSE(legacy.retryable);
+  EXPECT_EQ(legacy.retry_after_ms, 0u);
+  EXPECT_EQ(legacy.message, "deadline expired before sampling began");
+}
+
+TEST(ErrorPayload, UnknownCodesParseAndFutureNamesAreTolerated) {
+  // A newer server may send codes this client does not know; the
+  // structured fields still parse (forward compatibility).
+  const ServiceError future = parse_error_payload(
+      "E99 solar_flare retryable=1 retry_after_ms=7: too many sunspots");
+  EXPECT_EQ(static_cast<std::uint32_t>(future.code), 99u);
+  EXPECT_TRUE(future.retryable);
+  EXPECT_EQ(future.retry_after_ms, 7u);
+  EXPECT_EQ(future.message, "too many sunspots");
+}
+
+TEST(ErrorPayload, MalformedPrefixesNeverThrowAndFallBackWhole) {
+  std::mt19937_64 rng(0xE77);
+  std::vector<std::string> hostile = {
+      "",
+      "E",
+      "E1",
+      "E1 ",
+      "E1 queue_full",
+      "E1 queue_full retryable=",
+      "E1 queue_full retryable=2 retry_after_ms=0: nope",
+      "E1 queue_full retryable=1 retry_after_ms=: nope",
+      "E1 queue_full retryable=1 retry_after_ms=5 no-colon",
+      "EX queue_full retryable=1 retry_after_ms=5: x",
+      "e1 queue_full retryable=1 retry_after_ms=5: x",
+  };
+  for (int i = 0; i < 200; ++i) {
+    hostile.push_back(random_bytes(rng, static_cast<std::size_t>(i)));
+  }
+  for (const std::string& payload : hostile) {
+    const ServiceError parsed = parse_error_payload(payload);  // must not throw
+    if (parsed.code == ErrorCode::kInternal && !parsed.retryable &&
+        parsed.retry_after_ms == 0) {
+      EXPECT_EQ(parsed.message, payload);
+    }
+  }
 }
 
 }  // namespace

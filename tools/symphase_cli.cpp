@@ -17,12 +17,17 @@
 //   repetition --distance D --rounds R --p-data P --p-gate P --p-meas P
 //   layered    --qubits N --layers L --cnot-pairs C --p-depolarize P
 //
-// Exit codes: 0 success, 1 runtime error, 2 usage error.
+// Exit codes: 0 success, 1 runtime error, 2 usage error. Remote mode
+// (--connect) distinguishes its failures so scripts can react: 3 the
+// connection could not be established (even after --retries), 4 the
+// server rejected the request (error frame; non-retryable, or retries
+// exhausted), 5 the per-request --timeout-ms expired.
 
 #include <csignal>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -30,6 +35,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -42,6 +48,7 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "sampler/sample_writer.hpp"
+#include "service/errors.hpp"
 #include "service/request.hpp"
 #include "service/service.hpp"
 #include "service/wire.hpp"
@@ -59,21 +66,34 @@ using namespace symphase;
       "  symphase sample  CIRCUIT [--shots N] [--seed S] [--threads N]\n"
       "                   [--format 01|hex|b8|ptb64] [--backend symphase|frames]\n"
       "                   [--connect HOST:PORT [--priority high|normal|low]\n"
-      "                   [--deadline-ms N] [--repeat N]]\n"
+      "                   [--deadline-ms N] [--repeat N] [--retries N]\n"
+      "                   [--retry-backoff-ms N] [--timeout-ms N]]\n"
       "  symphase detect  CIRCUIT [--shots N] [--seed S] [--threads N]\n"
       "                   [--format 01|hex|b8|ptb64|dets] [--backend symphase|frames]\n"
       "                   [--connect HOST:PORT [--priority high|normal|low]\n"
-      "                   [--deadline-ms N] [--repeat N]]\n"
+      "                   [--deadline-ms N] [--repeat N] [--retries N]\n"
+      "                   [--retry-backoff-ms N] [--timeout-ms N]]\n"
       "  symphase analyze CIRCUIT [--max-expr K]\n"
       "  symphase dem     CIRCUIT\n"
       "  symphase gen     surface|repetition|steane|layered [options]\n"
+      "  symphase health  HOST:PORT   (one-line readiness probe of a\n"
+      "                   serving instance: state=accepting|draining plus\n"
+      "                   queue pressure; exit 3 when unreachable)\n"
       "  symphase serve   --stdio [--workers N] [--queue N] [--cache N]\n"
-      "                   [--max-frame BYTES]   (framed requests on stdin,\n"
+      "                   [--max-frame BYTES] [--rate-shots N] [--burst-shots N]\n"
+      "                   [--max-shots N]   (framed requests on stdin,\n"
       "                   framed responses on stdout; see docs/service.md)\n"
       "  symphase serve   --listen HOST:PORT [--workers N] [--queue N]\n"
       "                   [--cache N] [--max-frame BYTES] [--max-clients N]\n"
+      "                   [--rate-shots N] [--burst-shots N] [--max-shots N]\n"
+      "                   [--port-file PATH]\n"
       "                   (multi-client TCP server on the same frames;\n"
-      "                   port 0 picks a free port, announced on stderr)\n";
+      "                   port 0 picks a free port, announced on stderr and\n"
+      "                   written to --port-file; SIGTERM drains gracefully,\n"
+      "                   a second SIGTERM or SIGINT stops immediately)\n"
+      "\n"
+      "remote exit codes: 3 connection failed, 4 rejected by server,\n"
+      "5 timed out (see docs/service.md)\n";
   std::exit(2);
 }
 
@@ -215,19 +235,38 @@ SampleTask task_from_options(SampleTarget target, Options& opt) {
 /// forgotten --connect would otherwise sample for minutes and then
 /// exit 2.
 void reject_remote_only_flags(const Options& opt) {
-  for (const char* flag : {"priority", "deadline-ms", "repeat"}) {
+  for (const char* flag : {"priority", "deadline-ms", "repeat", "retries",
+                           "retry-backoff-ms", "timeout-ms"}) {
     if (opt.has(flag)) {
       usage(std::string("--") + flag + " requires --connect HOST:PORT");
     }
   }
 }
 
+/// Exit code for a failed remote run (documented in usage()).
+int remote_exit_code(ResilientClient::FailureKind failure) {
+  switch (failure) {
+    case ResilientClient::FailureKind::kConnect:
+      return 3;
+    case ResilientClient::FailureKind::kRejected:
+      return 4;
+    case ResilientClient::FailureKind::kTimeout:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
 /// `sample`/`detect` over the TCP transport: ship the request, stream
-/// the response chunks to stdout as they arrive. With --repeat > 1 the
-/// circuit is registered once, the request repeats over the single
-/// connection by digest, data is discarded, and one per-request
-/// latency line prints instead — the measurement mode behind
-/// tools/bench_service.sh.
+/// the response chunks to stdout as they arrive. The single-request
+/// path runs through ResilientClient, so --retries / --retry-backoff-ms
+/// / --timeout-ms survive connection loss, retryable rejections
+/// (queue_full, rate_limited, draining), and stalled servers. With
+/// --repeat > 1 the circuit is registered once, the request repeats
+/// over the single connection by digest, data is discarded, and one
+/// per-request latency line prints instead — the measurement mode
+/// behind tools/bench_service.sh (latency numbers must not hide
+/// retries, so the resilience flags are rejected there).
 int run_remote(const std::string& address, const std::string& path,
                RequestVerb verb, const SampleTask& task, SampleFormat format,
                Options& opt) {
@@ -239,19 +278,39 @@ int run_remote(const std::string& address, const std::string& path,
   request.deadline_ms = opt.get_u64("deadline-ms", 0);
   const std::uint64_t repeat =
       std::max<std::uint64_t>(1, opt.get_u64("repeat", 1));
+  RetryPolicy policy;
+  policy.max_retries = opt.get_u64("retries", 0);
+  policy.initial_backoff_ms =
+      std::max<std::uint64_t>(1, opt.get_u64("retry-backoff-ms", 100));
+  policy.max_backoff_ms =
+      std::max<std::uint64_t>(policy.initial_backoff_ms, 5000);
+  policy.request_timeout_ms = opt.get_u64("timeout-ms", 0);
   const std::string circuit_text = load_circuit_text(path);
 
-  ServiceClient client(address);
   if (repeat > 1) {
-    request.digest = client.register_circuit(circuit_text);
+    for (const char* flag : {"retries", "retry-backoff-ms", "timeout-ms"}) {
+      if (opt.has(flag)) {
+        usage(std::string("--") + flag +
+              " does not combine with --repeat (latency mode measures "
+              "single attempts)");
+      }
+    }
+    std::unique_ptr<ServiceClient> client;
+    try {
+      client = std::make_unique<ServiceClient>(address);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 3;
+    }
+    request.digest = client->register_circuit(circuit_text);
     for (std::uint64_t i = 1; i <= repeat; ++i) {
       const auto start = std::chrono::steady_clock::now();
-      client.submit(i, request);
-      const MessageAssembler::Message reply = client.await(i);
+      client->submit(i, request);
+      const MessageAssembler::Message reply = client->await(i);
       const auto elapsed = std::chrono::steady_clock::now() - start;
       if (reply.error) {
         std::cerr << "error: " << reply.error_text << '\n';
-        return 1;
+        return 4;
       }
       std::printf(
           "req_ms=%.3f bytes=%zu\n",
@@ -262,23 +321,22 @@ int run_remote(const std::string& address, const std::string& path,
   }
 
   request.circuit_text = circuit_text;
-  client.submit(1, request);
-  client.finish_writes();
-  Frame frame;
-  while (client.next_chunk(frame)) {
-    if ((frame.header.flags & kFrameError) != 0) {
-      std::cerr << "error: " << frame.payload << '\n';
-      return 1;
-    }
-    std::cout.write(frame.payload.data(),
-                    static_cast<std::streamsize>(frame.payload.size()));
-    if ((frame.header.flags & kFrameLast) != 0) {
-      std::cout.flush();
-      return 0;
-    }
+  ResilientClient client(address, policy);
+  const ResilientClient::Result result =
+      client.run(request, [](std::string_view bytes) {
+        std::cout.write(bytes.data(),
+                        static_cast<std::streamsize>(bytes.size()));
+      });
+  if (result.ok) {
+    std::cout.flush();
+    return 0;
   }
-  std::cerr << "error: connection closed before the response completed\n";
-  return 1;
+  std::cerr << "error: " << result.detail;
+  if (result.attempts > 1) {
+    std::cerr << " (after " << result.attempts << " attempts)";
+  }
+  std::cerr << '\n';
+  return remote_exit_code(result.failure);
 }
 
 int cmd_sample(const std::string& path, Options& opt) {
@@ -376,6 +434,10 @@ int cmd_serve(Options& opt) {
       std::max<std::uint64_t>(1, opt.get_u64("cache", 8));
   service_options.max_frame_payload = std::clamp<std::uint64_t>(
       opt.get_u64("max-frame", 1u << 20), 1, 0xffffffffu);
+  service_options.admission.client_shots_per_second =
+      opt.get_u64("rate-shots", 0);
+  service_options.admission.client_burst_shots = opt.get_u64("burst-shots", 0);
+  service_options.admission.max_shots_in_flight = opt.get_u64("max-shots", 0);
   opt.finish();
 
   SamplingService service(service_options);
@@ -401,11 +463,11 @@ int cmd_serve(Options& opt) {
     }
   };
   const auto emit_error = [&emit](std::uint64_t request_id,
-                                  std::string_view text) {
+                                  const ServiceError& error) {
     FrameHeader header;
     header.request_id = request_id;
     header.flags = kFrameLast | kFrameError;
-    emit(header, text);
+    emit(header, encode_error_payload(error));
   };
   // Claims `id` for a response stream; false = already streaming.
   const auto claim = [&](std::uint64_t id) {
@@ -458,7 +520,9 @@ int cmd_serve(Options& opt) {
       if (message->request_id == 0) {
         // 0 is reserved for session-level error frames, so a response
         // under it could collide with one; refuse it per-request.
-        emit_error(0, "request_id 0 is reserved for session-level errors");
+        emit_error(0, make_error(ErrorCode::kBadCircuit,
+                                 "request_id 0 is reserved for "
+                                 "session-level errors"));
         continue;
       }
       if (!claim(message->request_id)) {
@@ -469,7 +533,9 @@ int cmd_serve(Options& opt) {
         break;
       }
       if (message->error) {
-        emit_error(message->request_id, "client sent an error frame");
+        emit_error(message->request_id,
+                   make_error(ErrorCode::kBadCircuit,
+                              "client sent an error frame"));
         continue;
       }
       try {
@@ -494,6 +560,15 @@ int cmd_serve(Options& opt) {
             emit(header, service.stats().to_line());
             break;
           }
+          case RequestVerb::kHealth: {
+            // A point-in-time snapshot — deliberately no drain() here;
+            // health must answer while the queue is busy.
+            FrameHeader header;
+            header.request_id = message->request_id;
+            header.flags = kFrameLast;
+            emit(header, service.health().to_line());
+            break;
+          }
           case RequestVerb::kCancel: {
             // The cancel message has its own id (claimed above); the
             // target is request.cancel_id within this session.
@@ -507,19 +582,34 @@ int cmd_serve(Options& opt) {
               std::ostringstream oss;
               oss << "request " << request.cancel_id
                   << " is not in flight on this session";
-              emit_error(message->request_id, oss.str());
+              emit_error(message->request_id,
+                         make_error(ErrorCode::kBadCircuit, oss.str()));
             }
             break;
           }
           case RequestVerb::kSample:
           case RequestVerb::kDetect: {
             const std::uint64_t id = message->request_id;
-            record_ticket(id, service.submit(id, std::move(request), emit));
+            // All stdio requests share client id 0 for admission — one
+            // pipe, one client. A rejection returns ticket 0 and emits
+            // no frames, so ship the structured error here.
+            ServiceError rejection;
+            const std::uint64_t ticket =
+                service.submit(id, std::move(request), emit, 0, &rejection);
+            if (ticket == 0) {
+              emit_error(id, rejection);
+              break;
+            }
+            record_ticket(id, ticket);
             break;
           }
         }
+      } catch (const std::invalid_argument& e) {
+        emit_error(message->request_id,
+                   make_error(ErrorCode::kBadCircuit, e.what()));
       } catch (const std::exception& e) {
-        emit_error(message->request_id, e.what());
+        emit_error(message->request_id,
+                   make_error(ErrorCode::kInternal, e.what()));
       }
     }
     if (decoder.failed() || assembler.failed()) {
@@ -528,7 +618,8 @@ int cmd_serve(Options& opt) {
   }
   service.drain();
   if (!protocol_error.empty()) {
-    emit_error(0, "protocol error: " + protocol_error);
+    emit_error(0, make_error(ErrorCode::kBadCircuit,
+                             "protocol error: " + protocol_error));
     std::cerr << "error: protocol error: " << protocol_error << '\n';
     return 1;
   }
@@ -537,7 +628,8 @@ int cmd_serve(Options& opt) {
                                    ? decoder.error()
                                    : assembler.failed() ? assembler.error()
                                                         : decoder.error();
-    emit_error(0, "protocol error: " + reason);
+    emit_error(0, make_error(ErrorCode::kBadCircuit,
+                             "protocol error: " + reason));
     std::cerr << "error: protocol error: " << reason << '\n';
     return 1;
   }
@@ -545,26 +637,44 @@ int cmd_serve(Options& opt) {
     std::ostringstream oss;
     oss << "protocol error: stream ended with " << assembler.open_messages()
         << " incomplete request(s)";
-    emit_error(0, oss.str());
+    emit_error(0, make_error(ErrorCode::kBadCircuit, oss.str()));
     std::cerr << "error: " << oss.str() << '\n';
     return 1;
   }
   return 0;
 }
 
-/// Signal target for `serve --listen`: SIGINT/SIGTERM request a clean
-/// shutdown (SocketServer::shutdown is an atomic store plus a pipe
-/// write — both async-signal-safe).
+/// Signal targets for `serve --listen`. Everything the handlers touch
+/// is async-signal-safe: SocketServer::drain()/shutdown() are an atomic
+/// store plus a self-pipe write, and the escalation latch is a
+/// lock-free atomic flag.
+///
+/// SIGTERM asks for a graceful drain — stop accepting, reject new work
+/// with `draining`, finish and flush what is in flight, exit 0. A
+/// second SIGTERM (or SIGINT at any point) escalates to the immediate
+/// clean shutdown, for operators who cannot wait out long requests.
 SocketServer* g_listen_server = nullptr;
+std::atomic<bool> g_drain_requested{false};
 
-extern "C" void handle_shutdown_signal(int) {
+extern "C" void handle_term_signal(int) {
+  if (g_listen_server == nullptr) {
+    return;
+  }
+  if (g_drain_requested.exchange(true)) {
+    g_listen_server->shutdown();
+  } else {
+    g_listen_server->drain();
+  }
+}
+
+extern "C" void handle_int_signal(int) {
   if (g_listen_server != nullptr) {
     g_listen_server->shutdown();
   }
 }
 
 /// The TCP transport: same service, same frames, many clients. Blocks
-/// in the event loop until SIGINT/SIGTERM.
+/// in the event loop until SIGTERM (drain) or SIGINT (stop).
 int cmd_serve_listen(const std::string& address, Options& opt) {
   SocketServerOptions options;
   options.listen = address;
@@ -576,23 +686,58 @@ int cmd_serve_listen(const std::string& address, Options& opt) {
       std::max<std::uint64_t>(1, opt.get_u64("cache", 8));
   options.service.max_frame_payload = std::clamp<std::uint64_t>(
       opt.get_u64("max-frame", 1u << 20), 1, 0xffffffffu);
+  options.service.admission.client_shots_per_second =
+      opt.get_u64("rate-shots", 0);
+  options.service.admission.client_burst_shots = opt.get_u64("burst-shots", 0);
+  options.service.admission.max_shots_in_flight = opt.get_u64("max-shots", 0);
   options.max_connections =
       std::max<std::uint64_t>(1, opt.get_u64("max-clients", 64));
+  const std::string port_file = opt.get_string("port-file", "");
   opt.finish();
 
+  // A bind failure throws out of the constructor into main()'s handler:
+  // one clean "error: cannot listen on HOST:PORT: ..." line, exit 1,
+  // and no "listening" announcement or port file was produced.
   SocketServer server(std::move(options));
   g_listen_server = &server;
-  std::signal(SIGINT, handle_shutdown_signal);
-  std::signal(SIGTERM, handle_shutdown_signal);
+  g_drain_requested.store(false);
+  std::signal(SIGINT, handle_int_signal);
+  std::signal(SIGTERM, handle_term_signal);
 
   // Announce the bound address — with port 0 this is where the chosen
-  // port becomes known (tests and scripts parse this line).
+  // port becomes known. --port-file is the machine-readable version:
+  // written (then flushed) only after the bind succeeded, so a reader
+  // that sees the file can connect immediately.
   const HostPort at = parse_host_port(address);
   std::cerr << "listening on " << (at.host.empty() ? "0.0.0.0" : at.host)
             << ":" << server.port() << std::endl;
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << server.port() << '\n';
+    out.flush();
+    if (!out.good()) {
+      g_listen_server = nullptr;
+      throw std::runtime_error("cannot write port file '" + port_file + "'");
+    }
+  }
   const bool clean = server.run();
   g_listen_server = nullptr;
   return clean ? 0 : 1;
+}
+
+/// Readiness probe: prints the server's health line. Scripts and load
+/// balancers key off "state=accepting" / "state=draining"; an
+/// unreachable server exits 3 (same code as a failed --connect).
+int cmd_health(const std::string& address, Options& opt) {
+  opt.finish();
+  try {
+    ServiceClient client(address);
+    std::cout << client.health();
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 3;
+  }
 }
 
 int cmd_gen(const std::string& family, Options& opt) {
@@ -676,6 +821,8 @@ int main(int argc, char** argv) {
       code = cmd_dem(target, opt);
     } else if (command == "gen") {
       code = cmd_gen(target, opt);
+    } else if (command == "health") {
+      code = cmd_health(target, opt);
     } else {
       usage("unknown command '" + command + "'");
     }
