@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file gateway.hpp
+/// HTTP/1.1 front door of the sampling service.
+///
+/// The frame protocol (service/wire.hpp) is the fast path; browsers,
+/// load balancers, and fleet tooling speak HTTP. The gateway serves
+/// both from one poll loop: `symphase serve --listen ... --http
+/// HOST:PORT` opens a second listener whose connections are
+/// HttpConnection objects on the same net/connection.hpp base as the
+/// frame protocol — shared outbound buffering, worker backpressure,
+/// disconnect cancellation, and drain handling.
+///
+/// Endpoints (full reference: docs/gateway.md):
+///
+///   POST /v1/sample      JSON body -> sample request; raw sample
+///   POST /v1/detect      bytes stream back chunked, bit-identical to
+///                        the frame protocol and direct sessions
+///   GET  /v1/stats       ServiceStats as JSON
+///   GET  /healthz        readiness: 200 accepting / 503 draining
+///   GET  /metrics        Prometheus text exposition
+///   POST /v1/cancel/{t}  cancel by scheduler ticket (the
+///                        Symphase-Ticket response header)
+///
+/// Error mapping is total over service/errors.hpp: queue_full -> 503,
+/// rate_limited -> 429 + Retry-After, draining -> 503, deadline_expired
+/// -> 504, cancelled -> 499, bad_circuit -> 400, internal -> 500.
+/// Errors that arrive before any sample bytes become proper JSON error
+/// responses; a failure after the 200 header was sent terminates the
+/// chunked body without the final 0-chunk, so clients detect the
+/// truncation.
+///
+/// A request that streams (sample/detect) marks its connection busy:
+/// pipelined requests behind it wait in the kernel socket buffer
+/// (wants_read off), which keeps responses ordered and memory flat.
+/// Slow-loris protection: a connection mid-request-head longer than
+/// `header_timeout_ms` gets 408 and is closed. Drain: /healthz answers
+/// 503 + state JSON, /metrics still scrapes, everything else is
+/// rejected 503 with `Connection: close`; idle connections are closed
+/// after `drain_grace_ms` so the server's drain actually completes.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "http/metrics.hpp"
+#include "net/connection.hpp"
+
+namespace symphase {
+
+class SamplingService;
+
+struct HttpGatewayOptions {
+  /// HTTP parser limits (http_parser.hpp): request head and decoded
+  /// body caps. The body cap bounds inline circuit text.
+  std::size_t max_head_bytes = 16u << 10;
+  std::size_t max_body_bytes = 64u << 20;
+  /// A connection that sits mid-request (incomplete head or body)
+  /// longer than this is answered 408 and closed (slow-loris guard).
+  std::uint64_t header_timeout_ms = 10000;
+  /// During a graceful drain, idle HTTP connections (keep-alive, no
+  /// request in flight) are closed after this grace period so run()
+  /// returns; in-flight responses always finish first.
+  std::uint64_t drain_grace_ms = 1000;
+  /// Emit one JSON object per completed request (--log-json).
+  bool log_json = false;
+  /// Where request logs go; default writes lines to stderr. Tests
+  /// inject a sink to assert on log contents.
+  std::function<void(const std::string& line)> log_sink;
+};
+
+/// Shared per-server gateway state: options, the metrics registry (all
+/// HTTP connections and the service collector feed it), and the
+/// HttpConnection factory the socket server calls on accept. One
+/// instance per SocketServer, owned by it; outlives every connection.
+class HttpGateway {
+ public:
+  HttpGateway(SamplingService& service, HttpGatewayOptions options);
+  ~HttpGateway();
+
+  HttpGateway(const HttpGateway&) = delete;
+  HttpGateway& operator=(const HttpGateway&) = delete;
+
+  const HttpGatewayOptions& options() const { return options_; }
+
+  /// The registry behind GET /metrics. Exposed so embedders and tests
+  /// can scrape without an HTTP round trip.
+  MetricsRegistry& metrics() { return registry_; }
+
+  /// Creates an HTTP connection on `host`'s event loop (called by the
+  /// socket server's accept path).
+  std::shared_ptr<Connection> make_connection(ConnectionHost& host,
+                                              Socket socket,
+                                              std::uint64_t client_id);
+
+ private:
+  friend class HttpConnection;
+
+  /// Endpoint classes for metrics labels and logs.
+  enum class Endpoint { kSample, kDetect, kStats, kMetrics, kHealthz,
+                        kCancel, kOther };
+  static const char* endpoint_name(Endpoint endpoint);
+
+  /// Records a finished request: counter + latency histogram + bytes
+  /// + one structured log line (when enabled).
+  void finish_request(Endpoint endpoint, int status, std::uint64_t bytes,
+                      double seconds, std::uint64_t client_id,
+                      const std::string& method, const std::string& target,
+                      std::uint64_t ticket);
+
+  SamplingService& service_;
+  HttpGatewayOptions options_;
+  MetricsRegistry registry_;
+
+  // Pre-resolved hot-path instruments (see metrics.hpp: resolve once,
+  // increment lock-free).
+  Counter* connections_total_ = nullptr;
+  Gauge* connections_active_ = nullptr;
+  Counter* parse_errors_total_ = nullptr;
+  Counter* response_bytes_total_ = nullptr;
+  Histogram* latency_[7] = {};  ///< Indexed by Endpoint.
+};
+
+}  // namespace symphase

@@ -1,0 +1,408 @@
+#include "http/http_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <utility>
+
+namespace symphase {
+
+namespace {
+
+bool is_token_char(char c) {
+  // RFC 7230 tchar.
+  if (std::isalnum(static_cast<unsigned char>(c))) {
+    return true;
+  }
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'':
+    case '*': case '+': case '-': case '.': case '^': case '_':
+    case '`': case '|': case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string lowercase(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// Splits a comma-separated header value and reports whether any
+/// element equals `needle` case-insensitively (Connection, TE).
+bool header_list_contains(std::string_view value, std::string_view needle) {
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    std::size_t comma = value.find(',', start);
+    if (comma == std::string_view::npos) {
+      comma = value.size();
+    }
+    const std::string element =
+        lowercase(trim(value.substr(start, comma - start)));
+    if (element == needle) {
+      return true;
+    }
+    start = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+void HttpParser::feed(std::string_view bytes) {
+  if (failed_) {
+    return;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+void HttpParser::fail(int status, std::string message) {
+  failed_ = true;
+  error_status_ = status;
+  error_ = std::move(message);
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+bool HttpParser::next(HttpRequest& out) {
+  while (!failed_ && ready_.empty()) {
+    switch (state_) {
+      case State::kHead: {
+        // Find the blank line ending the head: \n optionally followed
+        // by \r, then \n. Scan from just before the unscanned tail so
+        // a terminator torn across feed() calls is still found.
+        std::size_t head_end = 0;  // One past the terminator.
+        for (std::size_t i = consumed_; i + 1 < buffer_.size(); ++i) {
+          if (buffer_[i] != '\n') {
+            continue;
+          }
+          if (buffer_[i + 1] == '\n') {
+            head_end = i + 2;
+            break;
+          }
+          if (buffer_[i + 1] == '\r' && i + 2 < buffer_.size() &&
+              buffer_[i + 2] == '\n') {
+            head_end = i + 3;
+            break;
+          }
+        }
+        if (head_end == 0) {
+          if (buffer_.size() - consumed_ > limits_.max_head_bytes) {
+            fail(431, "request head exceeds " +
+                          std::to_string(limits_.max_head_bytes) + " bytes");
+          }
+          return false;  // Need more bytes.
+        }
+        if (head_end - consumed_ > limits_.max_head_bytes) {
+          fail(431, "request head exceeds " +
+                        std::to_string(limits_.max_head_bytes) + " bytes");
+          return false;
+        }
+        parse_head(head_end);
+        break;
+      }
+      case State::kBodyFixed: {
+        const std::size_t available = buffer_.size() - consumed_;
+        const std::size_t take = std::min(available, body_remaining_);
+        pending_.body.append(buffer_, consumed_, take);
+        consumed_ += take;
+        body_remaining_ -= take;
+        if (body_remaining_ != 0) {
+          compact();
+          return false;
+        }
+        complete_request();
+        break;
+      }
+      case State::kChunkSize: {
+        const std::size_t eol = buffer_.find('\n', consumed_);
+        if (eol == std::string::npos) {
+          if (buffer_.size() - consumed_ > 1024) {
+            fail(400, "chunk-size line too long");
+          }
+          return false;
+        }
+        std::string_view line(buffer_.data() + consumed_, eol - consumed_);
+        if (!line.empty() && line.back() == '\r') {
+          line.remove_suffix(1);
+        }
+        // Chunk extensions (";ext=...") are ignored per RFC 7230.
+        const std::size_t semi = line.find(';');
+        if (semi != std::string_view::npos) {
+          line = line.substr(0, semi);
+        }
+        line = trim(line);
+        std::uint64_t size = 0;
+        const auto [ptr, ec] =
+            std::from_chars(line.data(), line.data() + line.size(), size, 16);
+        if (line.empty() || ec != std::errc() ||
+            ptr != line.data() + line.size()) {
+          fail(400, "malformed chunk size");
+          return false;
+        }
+        consumed_ = eol + 1;
+        if (pending_.body.size() + size > limits_.max_body_bytes) {
+          fail(413, "chunked body exceeds " +
+                        std::to_string(limits_.max_body_bytes) + " bytes");
+          return false;
+        }
+        if (size == 0) {
+          state_ = State::kTrailers;
+        } else {
+          body_remaining_ = static_cast<std::size_t>(size);
+          state_ = State::kChunkData;
+        }
+        break;
+      }
+      case State::kChunkData: {
+        const std::size_t available = buffer_.size() - consumed_;
+        const std::size_t take = std::min(available, body_remaining_);
+        pending_.body.append(buffer_, consumed_, take);
+        consumed_ += take;
+        body_remaining_ -= take;
+        if (body_remaining_ != 0) {
+          compact();
+          return false;
+        }
+        // Consume the CRLF (or LF) that terminates the chunk data.
+        if (consumed_ >= buffer_.size()) {
+          compact();
+          return false;
+        }
+        if (buffer_[consumed_] == '\r') {
+          if (consumed_ + 1 >= buffer_.size()) {
+            compact();
+            return false;
+          }
+          if (buffer_[consumed_ + 1] != '\n') {
+            fail(400, "missing CRLF after chunk data");
+            return false;
+          }
+          consumed_ += 2;
+        } else if (buffer_[consumed_] == '\n') {
+          consumed_ += 1;
+        } else {
+          fail(400, "missing CRLF after chunk data");
+          return false;
+        }
+        state_ = State::kChunkSize;
+        break;
+      }
+      case State::kTrailers: {
+        const std::size_t eol = buffer_.find('\n', consumed_);
+        if (eol == std::string::npos) {
+          if (buffer_.size() - consumed_ > limits_.max_head_bytes) {
+            fail(431, "trailer section too large");
+          }
+          return false;
+        }
+        std::string_view line(buffer_.data() + consumed_, eol - consumed_);
+        if (!line.empty() && line.back() == '\r') {
+          line.remove_suffix(1);
+        }
+        consumed_ = eol + 1;
+        if (line.empty()) {
+          // Blank line ends the trailer section; trailers themselves
+          // are discarded (nothing in the gateway consumes them).
+          complete_request();
+        }
+        break;
+      }
+    }
+  }
+  if (ready_.empty()) {
+    return false;
+  }
+  out = std::move(ready_.front());
+  ready_.erase(ready_.begin());
+  return true;
+}
+
+void HttpParser::parse_head(std::size_t head_end) {
+  std::string_view head(buffer_.data() + consumed_, head_end - consumed_);
+  consumed_ = head_end;
+  pending_ = HttpRequest{};
+
+  // --- Request line ---
+  std::size_t line_end = head.find('\n');
+  std::string_view request_line = head.substr(0, line_end);
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.remove_suffix(1);
+  }
+  std::size_t rest_pos = line_end + 1;
+
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    fail(400, "malformed request line");
+    return;
+  }
+  const std::string_view method = request_line.substr(0, sp1);
+  const std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (method.empty() || method.size() > 16 ||
+      !std::all_of(method.begin(), method.end(), is_token_char)) {
+    fail(400, "malformed method token");
+    return;
+  }
+  if (target.empty() || target.size() > 8192 || target[0] != '/') {
+    fail(400, "request target must be origin-form");
+    return;
+  }
+  for (const char c : target) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u <= 0x20 || u == 0x7F) {
+      fail(400, "control byte in request target");
+      return;
+    }
+  }
+  if (version == "HTTP/1.1") {
+    pending_.minor_version = 1;
+  } else if (version == "HTTP/1.0") {
+    pending_.minor_version = 0;
+  } else {
+    fail(505, "unsupported HTTP version");
+    return;
+  }
+  pending_.method.assign(method);
+  pending_.target.assign(target);
+
+  // --- Header fields ---
+  while (rest_pos < head.size()) {
+    line_end = head.find('\n', rest_pos);
+    std::string_view line = head.substr(rest_pos, line_end - rest_pos);
+    rest_pos = line_end + 1;
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) {
+      break;  // Blank line: end of headers.
+    }
+    if (line[0] == ' ' || line[0] == '\t') {
+      fail(400, "obs-fold header continuation rejected");
+      return;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      fail(400, "malformed header field");
+      return;
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (!std::all_of(name.begin(), name.end(), is_token_char)) {
+      fail(400, "malformed header name");
+      return;
+    }
+    const std::string_view value = trim(line.substr(colon + 1));
+    for (const char c : value) {
+      const unsigned char u = static_cast<unsigned char>(c);
+      if ((u < 0x20 && u != '\t') || u == 0x7F) {
+        fail(400, "control byte in header value");
+        return;
+      }
+    }
+    pending_.headers.emplace_back(lowercase(name), std::string(value));
+  }
+
+  // --- Connection semantics ---
+  pending_.keep_alive = pending_.minor_version >= 1;
+  if (const std::string* conn = pending_.header("connection")) {
+    if (header_list_contains(*conn, "close")) {
+      pending_.keep_alive = false;
+    } else if (header_list_contains(*conn, "keep-alive")) {
+      pending_.keep_alive = true;
+    }
+  }
+
+  // --- Body framing ---
+  const std::string* te = pending_.header("transfer-encoding");
+  const std::string* cl = pending_.header("content-length");
+  if (te != nullptr) {
+    if (cl != nullptr) {
+      // Request-smuggling vector; refuse outright.
+      fail(400, "both Transfer-Encoding and Content-Length present");
+      return;
+    }
+    if (lowercase(trim(*te)) != "chunked") {
+      fail(501, "unsupported Transfer-Encoding: " + *te);
+      return;
+    }
+    state_ = State::kChunkSize;
+    return;
+  }
+  if (cl != nullptr) {
+    // Reject duplicates with conflicting values.
+    for (const auto& [key, value] : pending_.headers) {
+      if (key == "content-length" && value != *cl) {
+        fail(400, "conflicting Content-Length headers");
+        return;
+      }
+    }
+    const std::string_view digits = *cl;
+    std::uint64_t length = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), length);
+    if (digits.empty() || ec != std::errc() ||
+        ptr != digits.data() + digits.size()) {
+      fail(400, "malformed Content-Length");
+      return;
+    }
+    if (length > limits_.max_body_bytes) {
+      fail(413, "body exceeds " + std::to_string(limits_.max_body_bytes) +
+                    " bytes");
+      return;
+    }
+    if (length == 0) {
+      complete_request();
+      return;
+    }
+    body_remaining_ = static_cast<std::size_t>(length);
+    pending_.body.reserve(body_remaining_);
+    state_ = State::kBodyFixed;
+    return;
+  }
+  complete_request();  // No body.
+}
+
+void HttpParser::complete_request() {
+  ready_.push_back(std::move(pending_));
+  pending_ = HttpRequest{};
+  body_remaining_ = 0;
+  state_ = State::kHead;
+  compact();
+}
+
+void HttpParser::compact() {
+  // Drop the decoded prefix so buffered bytes stay bounded by one
+  // in-progress head/chunk plus whatever pipelined requests follow.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+}  // namespace symphase

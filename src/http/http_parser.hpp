@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file http_parser.hpp
+/// Incremental HTTP/1.1 request parser for the gateway (src/http/).
+///
+/// Mirrors the two-layer hardening style of the frame protocol
+/// (service/wire.hpp): this layer turns hostile bytes into validated
+/// HttpRequest values and nothing else — no routing, no sockets. It is
+/// incremental (feed() arbitrary byte slices as they arrive from the
+/// poll loop), supports HTTP/1.1 pipelining (next() pops completed
+/// requests one at a time; bytes behind them stay buffered), and
+/// decodes both Content-Length and chunked request bodies.
+///
+/// A malformed stream poisons the parser (failed()/error()) and
+/// records the HTTP status the connection should answer with before
+/// closing:
+///
+///   400  malformed request line / headers / chunked framing
+///   413  body larger than Limits::max_body_bytes
+///   431  request line + headers larger than Limits::max_head_bytes
+///   501  Transfer-Encoding other than chunked
+///   505  HTTP version other than 1.0 / 1.1
+///
+/// The parser never throws on input bytes, never reads past its
+/// buffer, and holds no more than one head + one body beyond the
+/// largest single feed() slice — the properties the seeded fuzz tests
+/// (tests/http_parser_test.cpp) pin under ASan/UBSan: torn at every
+/// byte boundary, oversized heads, bad chunk framing, garbage.
+///
+/// Line endings: CRLF per RFC 7230, with bare LF tolerated the way
+/// mainstream servers do. obs-fold header continuations are rejected.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symphase {
+
+/// One complete, validated request. Header names are lowercased;
+/// values are trimmed of surrounding whitespace.
+struct HttpRequest {
+  std::string method;  ///< Uppercase token ("GET", "POST", ...).
+  std::string target;  ///< Origin-form ("/v1/sample?x=1") as received.
+  int minor_version = 1;  ///< 0 or 1 (HTTP/1.x).
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;  ///< Decoded (de-chunked) body bytes.
+  /// Connection semantics after this request: HTTP/1.1 defaults to
+  /// keep-alive, HTTP/1.0 to close, both overridable by the
+  /// Connection header.
+  bool keep_alive = true;
+
+  /// First header with `name` (lowercase); nullptr when absent.
+  const std::string* header(std::string_view name) const;
+};
+
+struct HttpParserLimits {
+  /// Request line + headers, terminator included.
+  std::size_t max_head_bytes = 16u << 10;
+  /// Decoded body bytes (Content-Length value or de-chunked total).
+  std::size_t max_body_bytes = 64u << 20;
+};
+
+class HttpParser {
+ public:
+  explicit HttpParser(HttpParserLimits limits = {}) : limits_(limits) {}
+
+  /// Appends raw connection bytes. No-op once failed().
+  void feed(std::string_view bytes);
+
+  /// Pops the next complete request into `out`. Returns false when no
+  /// complete request is buffered (or the parser is poisoned).
+  bool next(HttpRequest& out);
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+  /// Status code to answer with before closing (failed() only).
+  int error_status() const { return error_status_; }
+
+  /// True while bytes of an incomplete request are buffered — the
+  /// hook for the connection's slow-loris header/body deadline.
+  bool mid_request() const {
+    return !failed_ && (state_ != State::kHead || consumed_ < buffer_.size());
+  }
+
+ private:
+  enum class State {
+    kHead,        ///< Accumulating request line + headers.
+    kBodyFixed,   ///< Content-Length body.
+    kChunkSize,   ///< Chunk-size line.
+    kChunkData,   ///< Chunk payload + trailing CRLF.
+    kTrailers,    ///< After the 0-chunk, until the blank line.
+  };
+
+  void fail(int status, std::string message);
+  /// Parses the head in [consumed_, head_end) and transitions state.
+  void parse_head(std::size_t head_end);
+  void complete_request();
+  void compact();
+
+  HttpParserLimits limits_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< Prefix of buffer_ already decoded.
+  State state_ = State::kHead;
+  HttpRequest pending_;         ///< Request under construction.
+  std::size_t body_remaining_ = 0;  ///< kBodyFixed/kChunkData countdown.
+  std::vector<HttpRequest> ready_;  ///< Completed, not yet popped.
+  bool failed_ = false;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+}  // namespace symphase

@@ -1,0 +1,431 @@
+#include "http/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace symphase {
+
+namespace {
+
+[[noreturn]] void type_error(const char* expected, JsonValue::Kind actual) {
+  const char* names[] = {"null", "bool", "number", "string", "array",
+                         "object"};
+  throw std::invalid_argument(std::string("expected ") + expected +
+                              ", got " + names[static_cast<int>(actual)]);
+}
+
+/// One parse run over an immutable buffer. Position-carrying so every
+/// error can name its byte offset.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::ostringstream oss;
+    oss << "json parse error at byte " << pos_ << ": " << message;
+    throw std::invalid_argument(oss.str());
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return false;
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > kMaxJsonDepth) {
+      fail("nesting too deep");
+    }
+    skip_whitespace();
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return JsonValue::string(parse_string());
+      case 't':
+        if (consume_literal("true")) {
+          return JsonValue::boolean(true);
+        }
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) {
+          return JsonValue::boolean(false);
+        }
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) {
+          return JsonValue::null();
+        }
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    expect('{');
+    JsonObject members;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::object(std::move(members));
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue::object(std::move(members));
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    expect('[');
+    JsonArray values;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::array(std::move(values));
+    }
+    for (;;) {
+      values.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue::array(std::move(values));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      switch (peek()) {
+        case '"': out += '"'; ++pos_; break;
+        case '\\': out += '\\'; ++pos_; break;
+        case '/': out += '/'; ++pos_; break;
+        case 'b': out += '\b'; ++pos_; break;
+        case 'f': out += '\f'; ++pos_; break;
+        case 'n': out += '\n'; ++pos_; break;
+        case 'r': out += '\r'; ++pos_; break;
+        case 't': out += '\t'; ++pos_; break;
+        case 'u': {
+          ++pos_;
+          std::uint32_t code = parse_hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // Surrogate pair: require the low half immediately.
+            if (!consume_literal("\\u")) {
+              fail("high surrogate without low surrogate");
+            }
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+    }
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // no leading zeros
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("invalid number: digit required after '.'");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("invalid number: digit required in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    double value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size() ||
+        !std::isfinite(value)) {
+      fail("number out of range");
+    }
+    return JsonValue::number(value, token);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) {
+    type_error("bool", kind_);
+  }
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) {
+    type_error("number", kind_);
+  }
+  return number_;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (kind_ != Kind::kNumber) {
+    type_error("number", kind_);
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(
+      string_.data(), string_.data() + string_.size(), value);
+  if (ec != std::errc() || ptr != string_.data() + string_.size()) {
+    throw std::invalid_argument("expected a non-negative integer, got '" +
+                                string_ + "'");
+  }
+  return value;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) {
+    type_error("string", kind_);
+  }
+  return string_;
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) {
+    type_error("array", kind_);
+  }
+  return *array_;
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (kind_ != Kind::kObject) {
+    type_error("object", kind_);
+  }
+  return *object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : *object_) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::null() { return JsonValue(); }
+
+JsonValue JsonValue::boolean(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::number(double value, std::string token) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  v.string_ = std::move(token);
+  return v;
+}
+
+JsonValue JsonValue::string(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::array(JsonArray values) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::make_shared<JsonArray>(std::move(values));
+  return v;
+}
+
+JsonValue JsonValue::object(JsonObject members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::make_shared<JsonObject>(std::move(members));
+  return v;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", u);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace symphase

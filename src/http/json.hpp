@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON codec for the HTTP gateway (src/http/).
+///
+/// The gateway's request bodies and control-plane replies are JSON;
+/// pulling in a library for that would be the repo's first external
+/// dependency, so this is a small, hardened recursive-descent parser
+/// plus escaping helpers instead. Scope is deliberately narrow:
+///
+///  - parse_json(): full JSON (RFC 8259) into a JsonValue tree, with a
+///    nesting-depth cap and a single-document requirement (trailing
+///    non-whitespace is an error). Numbers are held as double plus the
+///    original token, so integer fields up to 2^53 round-trip exactly
+///    and u64 fields re-parse from the token. Malformed input throws
+///    std::invalid_argument with a byte offset — the gateway maps that
+///    straight to HTTP 400.
+///  - json_escape(): string-body escaping for handwritten replies (the
+///    gateway composes its small response objects by hand; a writer
+///    class would be more machinery than the output warrants).
+///
+/// Hostile input is the normal case here (the gateway is an open HTTP
+/// port), so the parser never recurses past kMaxDepth, never reads past
+/// its buffer, and has no global state. tests/http_parser_test.cpp
+/// fuzzes it alongside the HTTP parser under ASan/UBSan.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symphase {
+
+class JsonValue;
+
+/// Object members keep source order (std::map would be fine for the
+/// gateway, but ordered iteration makes error messages and tests
+/// deterministic without sorting).
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; each throws std::invalid_argument naming the
+  /// expected type when the value is something else (the gateway
+  /// surfaces that text verbatim in its 400 replies).
+  bool as_bool() const;
+  double as_number() const;
+  /// Re-parses the original number token as u64 — rejects negatives,
+  /// fractions, exponents, and overflow (doubles cannot carry a full
+  /// u64, seeds included).
+  std::uint64_t as_u64() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  // Construction (parser + tests).
+  static JsonValue null();
+  static JsonValue boolean(bool value);
+  static JsonValue number(double value, std::string token);
+  static JsonValue string(std::string value);
+  static JsonValue array(JsonArray values);
+  static JsonValue object(JsonObject members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;  ///< String value, or the raw number token.
+  /// Indirect so JsonValue stays movable/copyable without recursion
+  /// into incomplete types.
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+/// Parses exactly one JSON document. Throws std::invalid_argument
+/// ("json parse error at byte N: ...") on malformed input, depth past
+/// kMaxJsonDepth, or trailing garbage.
+inline constexpr std::size_t kMaxJsonDepth = 64;
+JsonValue parse_json(std::string_view text);
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes
+/// not included): ", \, control bytes -> \uXXXX.
+std::string json_escape(std::string_view text);
+
+}  // namespace symphase

@@ -1,0 +1,247 @@
+#include "http/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace symphase {
+
+namespace {
+
+/// Prometheus label values escape \, ", and newline.
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void append_label_block(std::string& out, const MetricLabels& labels) {
+  if (labels.empty()) {
+    return;
+  }
+  out += '{';
+  bool first = true;
+  for (const auto& [name, value] : labels) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += name;
+    out += "=\"";
+    out += escape_label_value(value);
+    out += '"';
+  }
+  out += '}';
+}
+
+std::string format_double(double value) {
+  if (std::isinf(value)) {
+    return value > 0 ? "+Inf" : "-Inf";
+  }
+  char buffer[64];
+  // %.17g round-trips doubles; trim to %g-style readability where exact.
+  std::snprintf(buffer, sizeof buffer, "%g", value);
+  double reparsed = 0;
+  std::sscanf(buffer, "%lf", &reparsed);
+  if (reparsed != value) {
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+void append_metric_line(std::string& out, std::string_view name,
+                        const MetricLabels& labels, double value) {
+  out += name;
+  append_label_block(out, labels);
+  out += ' ';
+  out += format_double(value);
+  out += '\n';
+}
+
+void append_metric_line(std::string& out, std::string_view name,
+                        const MetricLabels& labels, std::uint64_t value) {
+  out += name;
+  append_label_block(out, labels);
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::logic_error("histogram bounds must be sorted");
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double seconds) {
+  const std::size_t index = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), seconds) -
+      bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  if (seconds > 0) {
+    sum_nanos_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Histogram::total_count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<double> Histogram::default_latency_bounds() {
+  return {0.0005, 0.001, 0.0025, 0.005, 0.01,  0.025, 0.05,
+          0.1,    0.25,  0.5,    1.0,   2.5,   5.0,   10.0};
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_for(std::string_view name,
+                                                     std::string_view help,
+                                                     Kind kind) {
+  for (Family& family : families_) {
+    if (family.name == name) {
+      if (family.kind != kind) {
+        throw std::logic_error("metric family '" + family.name +
+                               "' re-registered with a different kind");
+      }
+      return family;
+    }
+  }
+  families_.push_back(
+      Family{std::string(name), std::string(help), kind, {}});
+  return families_.back();
+}
+
+MetricsRegistry::Series* MetricsRegistry::find_series(
+    Family& family, const MetricLabels& labels) {
+  for (Series& series : family.series) {
+    if (series.labels == labels) {
+      return &series;
+    }
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help, MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = family_for(name, help, Kind::kCounter);
+  if (Series* existing = find_series(family, labels)) {
+    return *existing->counter;
+  }
+  Series series;
+  series.labels = std::move(labels);
+  series.counter = std::make_unique<Counter>();
+  family.series.push_back(std::move(series));
+  return *family.series.back().counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = family_for(name, help, Kind::kGauge);
+  if (Series* existing = find_series(family, labels)) {
+    return *existing->gauge;
+  }
+  Series series;
+  series.labels = std::move(labels);
+  series.gauge = std::make_unique<Gauge>();
+  family.series.push_back(std::move(series));
+  return *family.series.back().gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help,
+                                      std::vector<double> bounds,
+                                      MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = family_for(name, help, Kind::kHistogram);
+  if (Series* existing = find_series(family, labels)) {
+    return *existing->histogram;
+  }
+  Series series;
+  series.labels = std::move(labels);
+  series.histogram = std::make_unique<Histogram>(std::move(bounds));
+  family.series.push_back(std::move(series));
+  return *family.series.back().histogram;
+}
+
+void MetricsRegistry::add_collector(
+    std::function<void(std::string&)> collector) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  collectors_.push_back(std::move(collector));
+}
+
+std::string MetricsRegistry::scrape() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+  for (const Family& family : families_) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " ";
+    switch (family.kind) {
+      case Kind::kCounter: out += "counter\n"; break;
+      case Kind::kGauge: out += "gauge\n"; break;
+      case Kind::kHistogram: out += "histogram\n"; break;
+    }
+    for (const Series& series : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          append_metric_line(out, family.name, series.labels,
+                             series.counter->value());
+          break;
+        case Kind::kGauge: {
+          const std::int64_t value = series.gauge->value();
+          out += family.name;
+          append_label_block(out, series.labels);
+          out += ' ';
+          out += std::to_string(value);
+          out += '\n';
+          break;
+        }
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+            cumulative += h.bucket_count(i);
+            MetricLabels labels = series.labels;
+            labels.emplace_back(
+                "le", i < h.bounds().size() ? format_double(h.bounds()[i])
+                                            : "+Inf");
+            append_metric_line(out, family.name + "_bucket", labels,
+                               cumulative);
+          }
+          append_metric_line(out, family.name + "_sum", series.labels,
+                             h.sum_seconds());
+          append_metric_line(out, family.name + "_count", series.labels,
+                             cumulative);
+          break;
+        }
+      }
+    }
+  }
+  for (const auto& collector : collectors_) {
+    collector(out);
+  }
+  return out;
+}
+
+}  // namespace symphase

@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Prometheus-style metrics registry for the gateway and service.
+///
+/// Three instrument kinds, all lock-free on the hot path:
+///
+///  - Counter: monotonically increasing u64 (relaxed fetch_add).
+///  - Gauge: signed i64 set/add (relaxed store/fetch_add).
+///  - Histogram: fixed bucket bounds chosen at registration; observe()
+///    does one relaxed fetch_add on the matching bucket plus one on the
+///    nanosecond sum — no floating-point atomics, no locks.
+///
+/// Registration (cold path: server startup, first use of a label set)
+/// takes a mutex; the returned references stay valid for the registry's
+/// lifetime, so hot paths hold a Counter*/Histogram* and never touch
+/// the registry again. scrape() renders Prometheus text exposition
+/// format 0.0.4 — one HELP/TYPE block per family, then each label
+/// set's series. Collectors registered via add_collector() are invoked
+/// at scrape time to pull point-in-time values out of subsystems that
+/// already track their own stats (ServiceStats, ServiceHealth) without
+/// double-instrumenting them.
+///
+/// Scrapes race benignly with increments: each atomic load is
+/// individually consistent, which is all Prometheus asks of a scrape.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symphase {
+
+/// Label set as (name, value) pairs, rendered in registration order.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram. Bounds are upper-inclusive bucket
+/// edges in seconds; a final +Inf bucket is implicit. Cumulative
+/// counts are computed at render time so observe() touches exactly one
+/// bucket counter.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double seconds);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i (non-cumulative); i == bounds().size() is +Inf.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_count() const;
+  double sum_seconds() const {
+    return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+  /// Default request-latency edges: 0.5 ms .. 10 s, roughly 1-2-5.
+  static std::vector<double> default_latency_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> sum_nanos_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Each getter returns the existing instrument when (name, labels)
+  /// was registered before, so callers can re-resolve idempotently.
+  /// `help` is recorded on first registration of the family. A family
+  /// never mixes instrument kinds (throws std::logic_error).
+  Counter& counter(std::string_view name, std::string_view help,
+                   MetricLabels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help,
+               MetricLabels labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::vector<double> bounds, MetricLabels labels = {});
+
+  /// Scrape-time callback appending exposition text for values owned
+  /// elsewhere (e.g. ServiceStats). The callback must emit complete
+  /// families (its own HELP/TYPE lines).
+  void add_collector(std::function<void(std::string&)> collector);
+
+  /// Full Prometheus text exposition (0.0.4): registered instruments
+  /// first, then collectors in registration order.
+  std::string scrape() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::vector<Series> series;
+  };
+
+  Family& family_for(std::string_view name, std::string_view help, Kind kind);
+  Series* find_series(Family& family, const MetricLabels& labels);
+
+  mutable std::mutex mutex_;
+  /// Deque-free stability: Family objects may move, but Series holds
+  /// instruments by unique_ptr so instrument addresses are stable.
+  std::vector<Family> families_;
+  std::vector<std::function<void(std::string&)>> collectors_;
+};
+
+/// Renders one exposition sample line: name{labels} value\n.
+/// Exposed for collectors composing families by hand.
+void append_metric_line(std::string& out, std::string_view name,
+                        const MetricLabels& labels, double value);
+void append_metric_line(std::string& out, std::string_view name,
+                        const MetricLabels& labels, std::uint64_t value);
+
+}  // namespace symphase

@@ -171,9 +171,10 @@ std::string ServiceClient::register_circuit(std::string_view circuit_text) {
   return digest;
 }
 
-std::string ServiceClient::stats() {
+std::string ServiceClient::stats(bool json) {
   SampleRequest request;
   request.verb = RequestVerb::kStats;
+  request.stats_json = json;
   MessageAssembler::Message reply = transact(request);
   if (reply.error) {
     throw std::runtime_error("stats failed: " + reply.error_text);
@@ -181,9 +182,10 @@ std::string ServiceClient::stats() {
   return reply.payload;
 }
 
-std::string ServiceClient::health() {
+std::string ServiceClient::health(bool json) {
   SampleRequest request;
   request.verb = RequestVerb::kHealth;
+  request.stats_json = json;
   MessageAssembler::Message reply = transact(request);
   if (reply.error) {
     throw std::runtime_error("health failed: " + reply.error_text);

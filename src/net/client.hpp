@@ -73,12 +73,12 @@ class ServiceClient {
   std::string register_circuit(std::string_view circuit_text);
 
   /// The service stats line (the socket server snapshots; see
-  /// docs/service.md).
-  std::string stats();
+  /// docs/service.md). `json` selects the JSON rendering (`json=1`).
+  std::string stats(bool json = false);
 
   /// The service health line ("state=accepting|draining ..."). Never
-  /// blocks behind queued work server-side.
-  std::string health();
+  /// blocks behind queued work server-side. `json` as in stats().
+  std::string health(bool json = false);
 
   /// Sends a sample/detect request under `request_id` (nonzero, below
   /// 2^32, not currently in flight on this connection). Returns

@@ -1,0 +1,164 @@
+#include "net/connection.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace symphase {
+
+Connection::Connection(ConnectionHost& host, Socket socket,
+                       std::uint64_t client_id)
+    : host_(host), socket_(std::move(socket)), client_id_(client_id) {}
+
+short Connection::poll_events() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) {
+    return 0;
+  }
+  short events = 0;
+  if (!read_done_ && wants_read_locked()) {
+    events |= POLLIN;
+  }
+  if (pending_out_locked() > 0) {
+    events |= POLLOUT;
+  }
+  return events;
+}
+
+void Connection::send_locked(const std::function<bool()>& fn) {
+  bool wake = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // The poll thread is the only drainer, so it must never wait for
+    // space it would itself create (its own responses — verb replies,
+    // error bodies — are small and bypass the cap). Worker threads do
+    // wait: that is the slow-reader backpressure.
+    if (!host_.host_on_loop_thread()) {
+      space_.wait(lock, [&] {
+        return !open_ || pending_out_locked() < host_.host_max_outbound();
+      });
+    }
+    wake = fn();
+  }
+  if (wake) {
+    host_.host_wake();
+  }
+}
+
+void Connection::close() {
+  std::vector<std::uint64_t> tickets;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!open_) {
+      return;
+    }
+    open_ = false;
+    read_done_ = true;
+    for (const auto& [key, ticket] : inflight_) {
+      if (ticket != 0) {
+        tickets.push_back(ticket);
+      }
+    }
+    socket_.close_fd();
+  }
+  space_.notify_all();
+  // Abandoned by its client: queued requests leave the scheduler now,
+  // in-flight ones stop at the next shard-chunk boundary. Their final
+  // frames fall into the closed connection and are dropped.
+  for (const std::uint64_t ticket : tickets) {
+    host_.host_service().cancel(ticket);
+  }
+}
+
+bool Connection::finished() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) {
+    return true;
+  }
+  return retire_when_idle_locked() && inflight_.empty() &&
+         pending_out_locked() == 0;
+}
+
+void Connection::handle_readable() {
+  char buffer[1 << 16];
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!open_ || read_done_) {
+        return;
+      }
+    }
+    const ssize_t got = ::recv(socket_.fd(), buffer, sizeof buffer, 0);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      close();
+      return;
+    }
+    if (got == 0) {
+      // Clean half-close: the client is done sending. Responses keep
+      // flowing; the connection retires once the last one flushed.
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        read_done_ = true;
+      }
+      on_read_end();
+      return;
+    }
+    if (!on_bytes({buffer, static_cast<std::size_t>(got)})) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      read_done_ = true;
+      return;
+    }
+  }
+}
+
+void Connection::handle_writable() {
+  bool notify = false;
+  bool broken = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!open_) {
+      return;
+    }
+    while (offset_ < outbound_.size()) {
+      const ssize_t n = ::send(socket_.fd(), outbound_.data() + offset_,
+                               outbound_.size() - offset_, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          break;
+        }
+        broken = true;
+        break;
+      }
+      offset_ += static_cast<std::size_t>(n);
+      notify = true;
+    }
+    if (offset_ == outbound_.size()) {
+      outbound_.clear();
+      offset_ = 0;
+    } else if (offset_ > (1u << 20)) {
+      // Reclaim the flushed prefix without quadratic churn.
+      outbound_.erase(0, offset_);
+      offset_ = 0;
+    }
+  }
+  if (broken) {
+    close();
+  } else if (notify) {
+    space_.notify_all();
+  }
+}
+
+}  // namespace symphase

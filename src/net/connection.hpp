@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file connection.hpp
+/// Transport-agnostic connection half of the poll(2) server.
+///
+/// `symphase serve --listen` serves two protocols from one event loop:
+/// the binary frame protocol (net/server.cpp) and the HTTP/1.1 gateway
+/// (http/gateway.cpp). Everything that is about *being a connection on
+/// that loop* — the socket, the outbound buffer and its slow-reader
+/// backpressure, the open/read_done lifecycle, the in-flight request →
+/// scheduler-ticket map that disconnect cancellation walks, retirement
+/// — lives here, so a protocol implementation is only the parsing and
+/// response-encoding layer on top.
+///
+/// Threading contract (inherited from the original frame server):
+/// exactly one poll thread drives handle_readable()/handle_writable()/
+/// close()/finished() and owns protocol parser state; service workers
+/// call into the connection only through send_locked() when emitting
+/// response bytes. send_locked() blocks workers while the outbound
+/// buffer is over the host's cap — per-request backpressure against a
+/// slow reader — but never blocks the poll thread itself (the only
+/// drainer must not wait for space it would itself create).
+///
+/// Protocol hooks marked `_locked` are called with the connection
+/// mutex held; subclasses guard their own cross-thread response state
+/// (anything an emit callback touches) with that same mutex.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "net/socket.hpp"
+
+namespace symphase {
+
+class SamplingService;
+
+/// What a connection needs from the event loop that owns it. The
+/// socket server's Impl is the one implementation; tests may stub it.
+class ConnectionHost {
+ public:
+  virtual ~ConnectionHost() = default;
+  virtual SamplingService& host_service() = 0;
+  /// Wakes poll() (self-pipe); safe from any thread.
+  virtual void host_wake() = 0;
+  /// Per-connection cap on buffered unsent response bytes.
+  virtual std::size_t host_max_outbound() const = 0;
+  /// Whether the calling thread is the poll thread.
+  virtual bool host_on_loop_thread() const = 0;
+  /// Loop-thread view of a graceful drain in progress.
+  virtual bool host_draining() const = 0;
+};
+
+class Connection {
+ public:
+  /// A deadline of kNoConnDeadline means "none".
+  using Clock = std::chrono::steady_clock;
+  static constexpr Clock::time_point kNoConnDeadline = Clock::time_point::max();
+
+  Connection(ConnectionHost& host, Socket socket, std::uint64_t client_id);
+  virtual ~Connection() = default;
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // --- Poll-thread driver API ------------------------------------
+
+  int fd() const { return socket_.fd(); }
+  std::uint64_t client_id() const { return client_id_; }
+
+  /// POLLIN/POLLOUT interest right now (0 when closed).
+  short poll_events();
+
+  /// Drains readable bytes into on_bytes(); handles EOF and errors.
+  void handle_readable();
+
+  /// Flushes outbound bytes; wakes workers waiting for buffer space.
+  void handle_writable();
+
+  /// Marks the connection closed and cancels every outstanding request
+  /// it owns (queued ones leave the scheduler, in-flight ones stop at
+  /// the next shard-chunk boundary). Idempotent. Must not be called
+  /// with the connection mutex held.
+  void close();
+
+  /// Whether the connection should retire: closed, or idle (no open
+  /// response stream, nothing left to flush) with no reason to stay.
+  bool finished();
+
+  /// Earliest protocol deadline (slow-loris header timers, drain
+  /// grace); the loop's poll timeout is the minimum over connections.
+  virtual Clock::time_point next_deadline() { return kNoConnDeadline; }
+
+  /// Called when next_deadline() passed.
+  virtual void on_deadline() {}
+
+  /// Called once per loop iteration after I/O dispatch — protocols
+  /// with internal queues (HTTP pipelining) resume work here.
+  virtual void on_loop_tick() {}
+
+ protected:
+  // --- Protocol hooks (poll thread) -------------------------------
+
+  /// Consumes freshly received bytes. Returning false is a
+  /// session-fatal protocol error: reading stops, buffered responses
+  /// still flush, then the connection retires.
+  virtual bool on_bytes(std::string_view bytes) = 0;
+
+  /// Clean EOF from the client (half-close). Responses keep flowing.
+  virtual void on_read_end() {}
+
+  /// Whether the protocol wants more inbound bytes right now. Called
+  /// with the connection mutex held. HTTP returns false while a
+  /// response streams (the kernel socket buffer then backpressures
+  /// pipelined requests); frames always read.
+  virtual bool wants_read_locked() const { return true; }
+
+  /// Whether an idle connection (inflight empty, outbound flushed)
+  /// should retire. Called with the connection mutex held. The frame
+  /// protocol retires on EOF or drain; HTTP keeps keep-alive
+  /// connections and bounds drain lingering with a grace deadline.
+  virtual bool retire_when_idle_locked() const {
+    return read_done_ || host_.host_draining();
+  }
+
+  // --- Shared machinery for subclasses -----------------------------
+
+  /// Runs `fn` under the connection mutex after waiting — on worker
+  /// threads only — for outbound space. `fn` appends response bytes to
+  /// `outbound_` (after checking `open_`; a closed connection drops
+  /// bytes) and updates protocol/inflight state; it runs even when
+  /// closed so request completion is never lost. Returns true from
+  /// `fn` to wake the poll loop.
+  void send_locked(const std::function<bool()>& fn);
+
+  std::size_t pending_out_locked() const { return outbound_.size() - offset_; }
+
+  ConnectionHost& host_;
+  Socket socket_;
+
+  std::mutex mutex_;
+  /// Workers wait here when the outbound buffer is full (slow reader).
+  std::condition_variable space_;
+  std::string outbound_;
+  std::size_t offset_ = 0;  ///< Prefix of outbound_ already written.
+  /// Response streams still open: protocol-scoped request key ->
+  /// scheduler ticket (0 while submit() is still returning). close()
+  /// cancels every nonzero ticket.
+  std::map<std::uint64_t, std::uint64_t> inflight_;
+  bool open_ = true;       ///< False once closed: emits become drops.
+  /// EOF or protocol error: no more reads; the connection retires once
+  /// its in-flight responses finished and the outbound buffer flushed.
+  bool read_done_ = false;
+
+ private:
+  std::uint64_t client_id_ = 0;
+};
+
+}  // namespace symphase

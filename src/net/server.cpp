@@ -1,16 +1,15 @@
 #include "net/server.hpp"
 
 #include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstring>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
@@ -18,42 +17,14 @@
 #include <utility>
 #include <vector>
 
+#include "net/connection.hpp"
 #include "net/socket.hpp"
 #include "service/errors.hpp"
 #include "service/request.hpp"
 
 namespace symphase {
 
-/// Per-client state. The poll thread owns socket/decoder/assembler and
-/// the lifecycle; everything under `mutex` is shared with the service
-/// workers that emit this connection's response frames.
-struct SocketServer::Connection {
-  Socket socket;
-  FrameDecoder decoder;
-  MessageAssembler assembler;
-
-  std::mutex mutex;
-  /// Workers wait here when the outbound buffer is full (slow reader).
-  std::condition_variable space;
-  std::string outbound;
-  std::size_t offset = 0;  ///< Prefix of outbound already written.
-  /// Response streams still open on this connection: request id ->
-  /// scheduler ticket (0 while submit() is still returning).
-  std::map<std::uint64_t, std::uint64_t> inflight;
-  bool open = true;       ///< False once closed: emits become drops.
-  /// EOF or protocol error: no more reads; the connection retires once
-  /// its in-flight responses finished and the outbound buffer flushed.
-  bool read_done = false;
-  /// Stable id for the service's per-client admission buckets.
-  std::uint64_t client_id = 0;
-
-  Connection(Socket s, std::size_t max_inbound, std::uint64_t id)
-      : socket(std::move(s)), decoder(max_inbound), client_id(id) {}
-
-  std::size_t pending_out_locked() const { return outbound.size() - offset; }
-};
-
-struct SocketServer::Impl {
+struct SocketServer::Impl : ConnectionHost {
   explicit Impl(SocketServerOptions opts)
       : options(std::move(opts)),
         listen_at(parse_host_port(options.listen)),
@@ -73,9 +44,15 @@ struct SocketServer::Impl {
     set_nonblocking(wake_read, true);
     set_nonblocking(wake_write, true);
     set_nonblocking(listener.fd(), true);
+    if (!options.http_listen.empty()) {
+      http_listener = tcp_listen(parse_host_port(options.http_listen));
+      http_bound_port = local_port(http_listener);
+      set_nonblocking(http_listener.fd(), true);
+      gateway = std::make_unique<HttpGateway>(service, options.http);
+    }
   }
 
-  ~Impl() {
+  ~Impl() override {
     // Workers may still be finishing (and poking wake_write) until the
     // service member — declared last — destructs; only then close the
     // pipe.
@@ -94,11 +71,29 @@ struct SocketServer::Impl {
     (void)::write(wake_write, &byte, 1);
   }
 
+  // --- ConnectionHost -----------------------------------------------
+  SamplingService& host_service() override { return service; }
+  void host_wake() override { wake(); }
+  std::size_t host_max_outbound() const override {
+    return options.max_outbound_buffer;
+  }
+  bool host_on_loop_thread() const override {
+    return std::this_thread::get_id() ==
+           loop_thread.load(std::memory_order_relaxed);
+  }
+  bool host_draining() const override { return draining; }
+
   SocketServerOptions options;
   HostPort listen_at;
   Socket listener;
   std::uint16_t bound_port;
   std::size_t max_inbound;
+  Socket http_listener;  ///< Invalid when HTTP is disabled.
+  std::uint16_t http_bound_port = 0;
+  /// HTTP connection factory + metrics. Declared before `service` so
+  /// it is destroyed after it (emit lambdas into HTTP connections run
+  /// until service.stop() joins the workers).
+  std::unique_ptr<HttpGateway> gateway;
   int wake_read = -1;
   int wake_write = -1;
   std::atomic<bool> stop_requested{false};
@@ -120,7 +115,213 @@ struct SocketServer::Impl {
 
 namespace {
 
-using Connection = SocketServer::Connection;
+/// The frame-protocol connection: service/wire.hpp frames over the
+/// shared net/connection.hpp machinery. The wire behavior is the one
+/// the stdio loop defines — byte-identical streams, pinned by
+/// tests/socket_test.cpp.
+class FrameConnection : public Connection,
+                        public std::enable_shared_from_this<FrameConnection> {
+ public:
+  FrameConnection(ConnectionHost& host, Socket socket,
+                  std::size_t max_inbound, std::uint64_t client_id)
+      : Connection(host, std::move(socket), client_id),
+        decoder_(max_inbound) {}
+
+ protected:
+  bool on_bytes(std::string_view bytes) override {
+    decoder_.feed(bytes);
+    Frame frame;
+    bool session_ok = true;
+    while (session_ok && decoder_.next(frame)) {
+      if (auto message = assembler_.accept(frame)) {
+        const std::uint64_t id = message->request_id;
+        session_ok = handle_message(std::move(*message));
+        if (!session_ok) {
+          std::ostringstream oss;
+          oss << "protocol error: request id " << id
+              << " reused while still in flight";
+          enqueue_error(0, make_error(ErrorCode::kBadCircuit, oss.str()));
+        }
+      }
+    }
+    if (decoder_.failed() || assembler_.failed()) {
+      const std::string reason =
+          decoder_.failed() ? decoder_.error() : assembler_.error();
+      enqueue_error(0, make_error(ErrorCode::kBadCircuit,
+                                  "protocol error: " + reason));
+      session_ok = false;
+    }
+    return session_ok;
+  }
+
+  void on_read_end() override {
+    std::string eof_error;
+    if (!decoder_.finish()) {
+      eof_error = "protocol error: " + decoder_.error();
+    } else if (assembler_.open_messages() > 0) {
+      std::ostringstream oss;
+      oss << "protocol error: stream ended with "
+          << assembler_.open_messages() << " incomplete request(s)";
+      eof_error = oss.str();
+    }
+    if (!eof_error.empty()) {
+      enqueue_error(0, make_error(ErrorCode::kBadCircuit, eof_error));
+    }
+  }
+
+ private:
+  /// Appends one encoded frame to the outbound buffer. Runs on service
+  /// worker threads (and, for queued-cancel error frames, the poll
+  /// thread); backpressure and the final-frame inflight erase live in
+  /// the shared send_locked().
+  void enqueue_frame(const FrameHeader& header, std::string_view payload) {
+    send_locked([&] {
+      bool wake = false;
+      if (open_) {
+        outbound_ += encode_frame(header, payload);
+        wake = true;
+      }
+      if ((header.flags & kFrameLast) != 0) {
+        inflight_.erase(header.request_id);
+      }
+      return wake;
+    });
+  }
+
+  void enqueue_error(std::uint64_t request_id, const ServiceError& error) {
+    const std::string payload = encode_error_payload(error);
+    FrameHeader header;
+    header.request_id = request_id;
+    header.flags = kFrameLast | kFrameError;
+    header.payload_bytes = static_cast<std::uint32_t>(payload.size());
+    enqueue_frame(header, payload);
+  }
+
+  void enqueue_reply(std::uint64_t request_id, std::string_view reply) {
+    FrameHeader header;
+    header.request_id = request_id;
+    header.flags = kFrameLast;
+    header.payload_bytes = static_cast<std::uint32_t>(reply.size());
+    enqueue_frame(header, reply);
+  }
+
+  /// One complete request message. Mirrors the --stdio loop's verb
+  /// handling; divergences are documented in server.hpp. Returns false
+  /// on a session-fatal protocol error.
+  bool handle_message(MessageAssembler::Message message) {
+    SamplingService& service = host_.host_service();
+    if (message.request_id == 0) {
+      enqueue_error(0, make_error(ErrorCode::kBadCircuit,
+                                  "request_id 0 is reserved for "
+                                  "session-level errors"));
+      return true;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!inflight_.emplace(message.request_id, 0).second) {
+        return false;  // concurrent id reuse: protocol error
+      }
+    }
+    if (message.error) {
+      enqueue_error(message.request_id,
+                    make_error(ErrorCode::kBadCircuit,
+                               "client sent an error frame"));
+      return true;
+    }
+    try {
+      SampleRequest request = parse_request_payload(message.payload);
+      switch (request.verb) {
+        case RequestVerb::kRegister: {
+          // Parses on the loop thread — a deliberate tradeoff: register
+          // is a rare control verb and its reply must come from the
+          // registration, while the hot path (inline sample/detect
+          // circuits) parses on worker threads. A multi-MB register
+          // does stall other clients for the parse; route registrations
+          // through sample-by-inline-text if that ever matters.
+          const std::string digest =
+              service.register_circuit(request.circuit_text);
+          enqueue_reply(message.request_id, "digest=" + digest + "\n");
+          break;
+        }
+        case RequestVerb::kStats: {
+          // Snapshot, not drain: draining would park the shared event
+          // loop behind every other client's queue.
+          const ServiceStats stats = service.stats();
+          enqueue_reply(message.request_id, request.stats_json
+                                                ? stats.to_json()
+                                                : stats.to_line());
+          break;
+        }
+        case RequestVerb::kHealth: {
+          const ServiceHealth health = service.health();
+          enqueue_reply(message.request_id, request.stats_json
+                                                ? health.to_json()
+                                                : health.to_line());
+          break;
+        }
+        case RequestVerb::kCancel: {
+          std::uint64_t ticket = 0;
+          {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = inflight_.find(request.cancel_id);
+            ticket = it == inflight_.end() ? 0 : it->second;
+          }
+          if (ticket != 0 && service.cancel(ticket)) {
+            enqueue_reply(message.request_id, "cancelled\n");
+          } else {
+            std::ostringstream oss;
+            oss << "request " << request.cancel_id
+                << " is not in flight on this connection";
+            enqueue_error(message.request_id,
+                          make_error(ErrorCode::kBadCircuit, oss.str()));
+          }
+          break;
+        }
+        case RequestVerb::kSample:
+        case RequestVerb::kDetect: {
+          const std::uint64_t id = message.request_id;
+          auto self = shared_from_this();
+          const FrameFn emit = [self](const FrameHeader& header,
+                                      std::string_view payload) {
+            self->enqueue_frame(header, payload);
+          };
+          // try_submit, not submit: the loop thread must never park on
+          // queue space — workers free that space only after draining
+          // response bytes through sockets only this thread flushes, so
+          // blocking here could deadlock the whole transport. Admission
+          // rejections (full/shed queue, rate limit, drain) turn into
+          // structured error frames with a retry hint.
+          ServiceError rejection;
+          const std::uint64_t ticket = service.try_submit(
+              id, std::move(request), emit, client_id(), &rejection);
+          if (ticket == 0) {
+            enqueue_error(id, rejection);
+            break;
+          }
+          const std::lock_guard<std::mutex> lock(mutex_);
+          const auto it = inflight_.find(id);
+          if (it != inflight_.end()) {
+            // Still streaming (the final frame can race try_submit()'s
+            // return; if it won, the entry is already gone).
+            it->second = ticket;
+          }
+          break;
+        }
+      }
+    } catch (const std::invalid_argument& e) {
+      // Parse/validation failures of the client's own payload.
+      enqueue_error(message.request_id,
+                    make_error(ErrorCode::kBadCircuit, e.what()));
+    } catch (const std::exception& e) {
+      enqueue_error(message.request_id,
+                    make_error(ErrorCode::kInternal, e.what()));
+    }
+    return true;
+  }
+
+  FrameDecoder decoder_;
+  MessageAssembler assembler_;
+};
 
 }  // namespace
 
@@ -130,6 +331,10 @@ SocketServer::SocketServer(SocketServerOptions options)
 SocketServer::~SocketServer() { shutdown(); }
 
 std::uint16_t SocketServer::port() const { return impl_->bound_port; }
+
+std::uint16_t SocketServer::http_port() const { return impl_->http_bound_port; }
+
+HttpGateway* SocketServer::gateway() { return impl_->gateway.get(); }
 
 SamplingService& SocketServer::service() { return impl_->service; }
 
@@ -143,349 +348,26 @@ void SocketServer::drain() {
   impl_->wake();
 }
 
-namespace {
-
-/// Appends one encoded frame to the connection's outbound buffer,
-/// blocking while the buffer is over the cap. Runs on service worker
-/// threads (and, for queued-cancel error frames, the poll thread —
-/// which never holds conn->mutex when it can reach here).
-void enqueue_frame(SocketServer::Impl* impl,
-                   const std::shared_ptr<Connection>& conn,
-                   const FrameHeader& header, std::string_view payload) {
-  bool wake = false;
-  {
-    std::unique_lock<std::mutex> lock(conn->mutex);
-    // The poll thread is the only drainer, so it must never wait for
-    // space it would itself create (its own frames — verb replies and
-    // queued-cancel errors — are small and bypass the cap). Worker
-    // threads do wait: that is the slow-reader backpressure.
-    const bool is_loop_thread =
-        std::this_thread::get_id() ==
-        impl->loop_thread.load(std::memory_order_relaxed);
-    if (!is_loop_thread) {
-      conn->space.wait(lock, [&] {
-        return !conn->open ||
-               conn->pending_out_locked() < impl->options.max_outbound_buffer;
-      });
-    }
-    if (conn->open) {
-      conn->outbound += encode_frame(header, payload);
-      wake = true;
-    }
-    if ((header.flags & kFrameLast) != 0) {
-      conn->inflight.erase(header.request_id);
-    }
-  }
-  if (wake) {
-    impl->wake();
-  }
-}
-
-void enqueue_error(SocketServer::Impl* impl,
-                   const std::shared_ptr<Connection>& conn,
-                   std::uint64_t request_id, const ServiceError& error) {
-  const std::string payload = encode_error_payload(error);
-  FrameHeader header;
-  header.request_id = request_id;
-  header.flags = kFrameLast | kFrameError;
-  header.payload_bytes = static_cast<std::uint32_t>(payload.size());
-  enqueue_frame(impl, conn, header, payload);
-}
-
-/// Marks the connection closed and cancels every outstanding request it
-/// owns. Poll thread only; must NOT hold conn->mutex on entry (cancel
-/// emits error frames through enqueue_frame).
-void close_connection(SocketServer::Impl* impl,
-                      const std::shared_ptr<Connection>& conn) {
-  std::vector<std::uint64_t> tickets;
-  {
-    const std::lock_guard<std::mutex> lock(conn->mutex);
-    if (!conn->open) {
-      return;
-    }
-    conn->open = false;
-    conn->read_done = true;
-    for (const auto& [id, ticket] : conn->inflight) {
-      if (ticket != 0) {
-        tickets.push_back(ticket);
-      }
-    }
-    conn->socket.close_fd();
-  }
-  conn->space.notify_all();
-  // Abandoned by its client: queued requests leave the scheduler now,
-  // in-flight ones stop at the next shard-chunk boundary. Their final
-  // frames fall into the closed connection and are dropped.
-  for (const std::uint64_t ticket : tickets) {
-    impl->service.cancel(ticket);
-  }
-}
-
-/// One complete request message from this connection. Mirrors the
-/// --stdio loop's verb handling; divergences are documented in
-/// server.hpp. Returns false on a session-fatal protocol error.
-bool handle_message(SocketServer::Impl* impl,
-                    const std::shared_ptr<Connection>& conn,
-                    MessageAssembler::Message message) {
-  if (message.request_id == 0) {
-    enqueue_error(impl, conn, 0,
-                  make_error(ErrorCode::kBadCircuit,
-                             "request_id 0 is reserved for session-level "
-                             "errors"));
-    return true;
-  }
-  {
-    const std::lock_guard<std::mutex> lock(conn->mutex);
-    if (!conn->inflight.emplace(message.request_id, 0).second) {
-      return false;  // concurrent id reuse: protocol error
-    }
-  }
-  if (message.error) {
-    enqueue_error(impl, conn, message.request_id,
-                  make_error(ErrorCode::kBadCircuit,
-                             "client sent an error frame"));
-    return true;
-  }
-  try {
-    SampleRequest request = parse_request_payload(message.payload);
-    switch (request.verb) {
-      case RequestVerb::kRegister: {
-        // Parses on the loop thread — a deliberate tradeoff: register
-        // is a rare control verb and its reply must come from the
-        // registration, while the hot path (inline sample/detect
-        // circuits) parses on worker threads. A multi-MB register does
-        // stall other clients for the parse; route registrations
-        // through sample-by-inline-text if that ever matters.
-        const std::string digest =
-            impl->service.register_circuit(request.circuit_text);
-        FrameHeader header;
-        header.request_id = message.request_id;
-        header.flags = kFrameLast;
-        const std::string reply = "digest=" + digest + "\n";
-        header.payload_bytes = static_cast<std::uint32_t>(reply.size());
-        enqueue_frame(impl, conn, header, reply);
-        break;
-      }
-      case RequestVerb::kStats: {
-        // Snapshot, not drain: draining would park the shared event
-        // loop behind every other client's queue.
-        FrameHeader header;
-        header.request_id = message.request_id;
-        header.flags = kFrameLast;
-        const std::string reply = impl->service.stats().to_line();
-        header.payload_bytes = static_cast<std::uint32_t>(reply.size());
-        enqueue_frame(impl, conn, header, reply);
-        break;
-      }
-      case RequestVerb::kHealth: {
-        FrameHeader header;
-        header.request_id = message.request_id;
-        header.flags = kFrameLast;
-        const std::string reply = impl->service.health().to_line();
-        header.payload_bytes = static_cast<std::uint32_t>(reply.size());
-        enqueue_frame(impl, conn, header, reply);
-        break;
-      }
-      case RequestVerb::kCancel: {
-        std::uint64_t ticket = 0;
-        {
-          const std::lock_guard<std::mutex> lock(conn->mutex);
-          const auto it = conn->inflight.find(request.cancel_id);
-          ticket = it == conn->inflight.end() ? 0 : it->second;
-        }
-        if (ticket != 0 && impl->service.cancel(ticket)) {
-          FrameHeader header;
-          header.request_id = message.request_id;
-          header.flags = kFrameLast;
-          enqueue_frame(impl, conn, header, "cancelled\n");
-        } else {
-          std::ostringstream oss;
-          oss << "request " << request.cancel_id
-              << " is not in flight on this connection";
-          enqueue_error(impl, conn, message.request_id,
-                        make_error(ErrorCode::kBadCircuit, oss.str()));
-        }
-        break;
-      }
-      case RequestVerb::kSample:
-      case RequestVerb::kDetect: {
-        const std::uint64_t id = message.request_id;
-        const FrameFn emit = [impl, conn](const FrameHeader& header,
-                                          std::string_view payload) {
-          enqueue_frame(impl, conn, header, payload);
-        };
-        // try_submit, not submit: the loop thread must never park on
-        // queue space — workers free that space only after draining
-        // response bytes through sockets only this thread flushes, so
-        // blocking here could deadlock the whole transport. Admission
-        // rejections (full/shed queue, rate limit, drain) turn into
-        // structured error frames with a retry hint.
-        ServiceError rejection;
-        const std::uint64_t ticket = impl->service.try_submit(
-            id, std::move(request), emit, conn->client_id, &rejection);
-        if (ticket == 0) {
-          enqueue_error(impl, conn, id, rejection);
-          break;
-        }
-        const std::lock_guard<std::mutex> lock(conn->mutex);
-        const auto it = conn->inflight.find(id);
-        if (it != conn->inflight.end()) {
-          // Still streaming (the final frame can race try_submit()'s
-          // return; if it won, the entry is already gone).
-          it->second = ticket;
-        }
-        break;
-      }
-    }
-  } catch (const std::invalid_argument& e) {
-    // Parse/validation failures of the client's own payload.
-    enqueue_error(impl, conn, message.request_id,
-                  make_error(ErrorCode::kBadCircuit, e.what()));
-  } catch (const std::exception& e) {
-    enqueue_error(impl, conn, message.request_id,
-                  make_error(ErrorCode::kInternal, e.what()));
-  }
-  return true;
-}
-
-/// Drains readable bytes into the decoder and dispatches complete
-/// messages. Poll thread only.
-void handle_readable(SocketServer::Impl* impl,
-                     const std::shared_ptr<Connection>& conn) {
-  char buffer[1 << 16];
-  for (;;) {
-    {
-      const std::lock_guard<std::mutex> lock(conn->mutex);
-      if (!conn->open || conn->read_done) {
-        return;
-      }
-    }
-    const ssize_t got =
-        ::recv(conn->socket.fd(), buffer, sizeof buffer, 0);
-    if (got < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return;
-      }
-      close_connection(impl, conn);
-      return;
-    }
-    if (got == 0) {
-      // Clean half-close: the client is done sending. Responses keep
-      // flowing; the connection retires once the last one flushed.
-      std::string eof_error;
-      {
-        const std::lock_guard<std::mutex> lock(conn->mutex);
-        conn->read_done = true;
-      }
-      if (!conn->decoder.finish()) {
-        eof_error = "protocol error: " + conn->decoder.error();
-      } else if (conn->assembler.open_messages() > 0) {
-        std::ostringstream oss;
-        oss << "protocol error: stream ended with "
-            << conn->assembler.open_messages() << " incomplete request(s)";
-        eof_error = oss.str();
-      }
-      if (!eof_error.empty()) {
-        enqueue_error(impl, conn, 0,
-                      make_error(ErrorCode::kBadCircuit, eof_error));
-      }
-      return;
-    }
-    conn->decoder.feed({buffer, static_cast<std::size_t>(got)});
-    Frame frame;
-    bool session_ok = true;
-    while (session_ok && conn->decoder.next(frame)) {
-      if (auto message = conn->assembler.accept(frame)) {
-        const std::uint64_t id = message->request_id;
-        session_ok = handle_message(impl, conn, std::move(*message));
-        if (!session_ok) {
-          std::ostringstream oss;
-          oss << "protocol error: request id " << id
-              << " reused while still in flight";
-          enqueue_error(impl, conn, 0,
-                        make_error(ErrorCode::kBadCircuit, oss.str()));
-        }
-      }
-    }
-    if (conn->decoder.failed() || conn->assembler.failed()) {
-      const std::string reason = conn->decoder.failed()
-                                     ? conn->decoder.error()
-                                     : conn->assembler.error();
-      enqueue_error(impl, conn, 0,
-                    make_error(ErrorCode::kBadCircuit,
-                               "protocol error: " + reason));
-      session_ok = false;
-    }
-    if (!session_ok) {
-      const std::lock_guard<std::mutex> lock(conn->mutex);
-      conn->read_done = true;
-      return;
-    }
-  }
-}
-
-/// Flushes as much outbound as the socket accepts. Poll thread only.
-void handle_writable(SocketServer::Impl* impl,
-                     const std::shared_ptr<Connection>& conn) {
-  bool notify = false;
-  bool broken = false;
-  {
-    const std::lock_guard<std::mutex> lock(conn->mutex);
-    if (!conn->open) {
-      return;
-    }
-    while (conn->offset < conn->outbound.size()) {
-      const ssize_t n =
-          ::send(conn->socket.fd(), conn->outbound.data() + conn->offset,
-                 conn->outbound.size() - conn->offset, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-        if (errno == EAGAIN || errno == EWOULDBLOCK) {
-          break;
-        }
-        broken = true;
-        break;
-      }
-      conn->offset += static_cast<std::size_t>(n);
-      notify = true;
-    }
-    if (conn->offset == conn->outbound.size()) {
-      conn->outbound.clear();
-      conn->offset = 0;
-    } else if (conn->offset > (1u << 20)) {
-      // Reclaim the flushed prefix without quadratic churn.
-      conn->outbound.erase(0, conn->offset);
-      conn->offset = 0;
-    }
-  }
-  if (broken) {
-    close_connection(impl, conn);
-  } else if (notify) {
-    conn->space.notify_all();
-  }
-}
-
-}  // namespace
-
 bool SocketServer::run() {
   Impl* impl = impl_.get();
   impl->loop_thread.store(std::this_thread::get_id(),
                           std::memory_order_relaxed);
+  using Clock = Connection::Clock;
   std::vector<pollfd> fds;
   std::vector<std::shared_ptr<Connection>> polled;
   while (!impl->stop_requested.load(std::memory_order_acquire)) {
     if (!impl->draining &&
         impl->drain_requested.load(std::memory_order_acquire)) {
-      // Graceful drain: close the listener so the OS refuses new
+      // Graceful drain: close the frame listener so the OS refuses new
       // connections (instead of parking them in the backlog of a
       // server that will never serve them), and flip the service so
       // new submissions on existing connections are rejected with a
       // structured `draining` frame. Accepted work keeps streaming.
+      // The HTTP listener stays open: readiness probes must be able to
+      // read "draining" (503 from /healthz) rather than a refused
+      // connection; HTTP requests beyond the probe endpoints get 503 +
+      // Connection: close, and idle HTTP connections retire after the
+      // gateway's drain grace.
       impl->draining = true;
       impl->listener.close_fd();
       impl->service.begin_drain();
@@ -493,28 +375,30 @@ bool SocketServer::run() {
     fds.clear();
     polled.clear();
     fds.push_back({impl->wake_read, POLLIN, 0});
-    const bool accepting =
-        !impl->draining &&
+    const bool room =
         impl->connections.size() < impl->options.max_connections;
+    const bool accepting = !impl->draining && room;
     fds.push_back({accepting ? impl->listener.fd() : -1, POLLIN, 0});
+    fds.push_back({impl->http_listener.valid() && room
+                       ? impl->http_listener.fd()
+                       : -1,
+                   POLLIN, 0});
+    Clock::time_point next_deadline = Connection::kNoConnDeadline;
     for (const auto& conn : impl->connections) {
-      short events = 0;
-      {
-        const std::lock_guard<std::mutex> lock(conn->mutex);
-        if (conn->open) {
-          if (!conn->read_done) {
-            events |= POLLIN;
-          }
-          if (conn->pending_out_locked() > 0) {
-            events |= POLLOUT;
-          }
-        }
-      }
-      fds.push_back({events != 0 ? conn->socket.fd() : -1, events, 0});
+      const short events = conn->poll_events();
+      fds.push_back({events != 0 ? conn->fd() : -1, events, 0});
       polled.push_back(conn);
+      next_deadline = std::min(next_deadline, conn->next_deadline());
     }
 
-    if (::poll(fds.data(), fds.size(), -1) < 0) {
+    int timeout_ms = -1;
+    if (next_deadline != Connection::kNoConnDeadline) {
+      const auto until = std::chrono::ceil<std::chrono::milliseconds>(
+          next_deadline - Clock::now());
+      timeout_ms = static_cast<int>(
+          std::clamp<long long>(until.count(), 0, 60 * 1000));
+    }
+    if (::poll(fds.data(), fds.size(), timeout_ms) < 0) {
       if (errno == EINTR) {
         continue;
       }
@@ -530,10 +414,10 @@ bool SocketServer::run() {
       while (::read(impl->wake_read, drain, sizeof drain) > 0) {
       }
     }
-    if ((fds[1].revents & POLLIN) != 0) {
+    const auto accept_from = [&](Socket& listener, bool http) {
       for (;;) {
         errno = 0;
-        Socket accepted = tcp_accept(impl->listener);
+        Socket accepted = tcp_accept(listener);
         if (!accepted.valid()) {
           if (errno != 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
               errno != ECONNABORTED && errno != EINTR) {
@@ -550,47 +434,59 @@ bool SocketServer::run() {
           continue;  // accepted and dropped: over capacity
         }
         set_nonblocking(accepted.fd(), true);
-        impl->connections.push_back(std::make_shared<Connection>(
-            std::move(accepted), impl->max_inbound,
-            impl->next_client_id++));
+        const std::uint64_t client_id = impl->next_client_id++;
+        if (http) {
+          impl->connections.push_back(impl->gateway->make_connection(
+              *impl, std::move(accepted), client_id));
+        } else {
+          impl->connections.push_back(std::make_shared<FrameConnection>(
+              *impl, std::move(accepted), impl->max_inbound, client_id));
+        }
       }
+    };
+    if ((fds[1].revents & POLLIN) != 0) {
+      accept_from(impl->listener, false);
+    }
+    if ((fds[2].revents & POLLIN) != 0) {
+      accept_from(impl->http_listener, true);
     }
 
     for (std::size_t c = 0; c < polled.size(); ++c) {
       const auto& conn = polled[c];
-      const short revents = fds[c + 2].revents;
+      const short revents = fds[c + 3].revents;
       if ((revents & (POLLERR | POLLNVAL)) != 0) {
-        close_connection(impl, conn);
+        conn->close();
         continue;
       }
       if ((revents & POLLOUT) != 0) {
-        handle_writable(impl, conn);
+        conn->handle_writable();
       }
       if ((revents & (POLLIN | POLLHUP)) != 0) {
-        handle_readable(impl, conn);
+        conn->handle_readable();
       }
+    }
+
+    // Protocol timers (slow-loris, drain grace) and deferred work
+    // (HTTP pipelining resumes once a streaming response finished).
+    const Clock::time_point now = Clock::now();
+    for (const auto& conn : impl->connections) {
+      if (conn->next_deadline() <= now) {
+        conn->on_deadline();
+      }
+      conn->on_loop_tick();
     }
 
     // Retire connections that are finished (or were closed above):
     // reading done, no response stream open, nothing left to flush.
-    // During a drain, idle connections retire without waiting for the
-    // client's EOF — everything they could still send would only be
-    // rejected, and run() must eventually return.
+    // During a drain, idle frame connections retire without waiting
+    // for the client's EOF — everything they could still send would
+    // only be rejected, and run() must eventually return. (HTTP
+    // connections bound their drain lingering with a grace deadline
+    // instead, so probes still get one answer.)
     std::vector<std::shared_ptr<Connection>> alive;
     for (const auto& conn : impl->connections) {
-      bool keep = true;
-      {
-        const std::lock_guard<std::mutex> lock(conn->mutex);
-        if (!conn->open) {
-          keep = false;
-        } else if ((conn->read_done || impl->draining) &&
-                   conn->inflight.empty() &&
-                   conn->pending_out_locked() == 0) {
-          keep = false;
-        }
-      }
-      if (!keep) {
-        close_connection(impl, conn);
+      if (conn->finished()) {
+        conn->close();
       } else {
         alive.push_back(conn);
       }
@@ -603,7 +499,7 @@ bool SocketServer::run() {
   }
 
   for (const auto& conn : impl->connections) {
-    close_connection(impl, conn);
+    conn->close();
   }
   impl->connections.clear();
   return !impl->loop_failed;

@@ -5,6 +5,10 @@
 ///
 /// One poll(2)-driven event-loop thread owns every socket; the
 /// SamplingService's worker pool does all compilation and sampling.
+/// The same loop optionally serves the HTTP/JSON gateway on a second
+/// listener (SocketServerOptions::http_listen): both protocols are
+/// net/connection.hpp connections, sharing outbound buffering, worker
+/// backpressure, disconnect cancellation, and drain.
 /// Frames a worker emits are appended to the owning connection's
 /// outbound buffer (bounded — a slow reader backpressures its own
 /// requests, never the loop or other clients) and flushed by the loop
@@ -46,6 +50,7 @@
 #include <memory>
 #include <string>
 
+#include "http/gateway.hpp"
 #include "service/service.hpp"
 
 namespace symphase {
@@ -55,11 +60,17 @@ struct SocketServerOptions {
   std::string listen = "127.0.0.1:0";
   ServiceOptions service;
   /// Connections beyond this are accepted and immediately closed.
+  /// Shared across the frame and HTTP listeners.
   std::size_t max_connections = 64;
   /// Per-connection cap on buffered unsent response bytes; a worker
   /// emitting past it blocks until the client drains (per-request
   /// backpressure against slow readers).
   std::size_t max_outbound_buffer = 64u << 20;
+  /// host:port for the HTTP/JSON gateway (http/gateway.hpp), served
+  /// from the same event loop; empty disables HTTP. Port 0 picks an
+  /// ephemeral port (see http_port()).
+  std::string http_listen;
+  HttpGatewayOptions http;
 };
 
 class SocketServer {
@@ -74,6 +85,13 @@ class SocketServer {
 
   /// The bound port — the ephemeral one when the spec said port 0.
   std::uint16_t port() const;
+
+  /// The bound HTTP gateway port; 0 when HTTP is disabled.
+  std::uint16_t http_port() const;
+
+  /// The gateway behind the HTTP listener (metrics registry access);
+  /// nullptr when HTTP is disabled.
+  HttpGateway* gateway();
 
   /// The event loop. Blocks the calling thread until shutdown();
   /// close/error on individual connections never ends it. Returns
@@ -96,9 +114,9 @@ class SocketServer {
   /// The underlying service (stats, in-process submissions in tests).
   SamplingService& service();
 
-  // Implementation details, defined in server.cpp (public so the
-  // file-local helper functions there can name them).
-  struct Connection;
+  // Implementation detail, defined in server.cpp. (The per-connection
+  // state that used to live here is now the transport-agnostic
+  // net/connection.hpp, shared with the HTTP gateway.)
   struct Impl;
 
  private:

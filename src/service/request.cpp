@@ -136,6 +136,16 @@ SampleRequest parse_request_payload(std::string_view payload) {
       request.cancel_id = parse_u64(key, value);
       continue;
     }
+    if (request.verb == RequestVerb::kStats ||
+        request.verb == RequestVerb::kHealth) {
+      SYMPHASE_CHECK_MSG(key == "json",
+                         "option '" << key << "' not valid for '" << verb
+                                    << "' requests");
+      SYMPHASE_CHECK_MSG(value == "0" || value == "1",
+                         "json= takes 0 or 1, got '" << value << "'");
+      request.stats_json = value == "1";
+      continue;
+    }
     const bool sampling = request.verb == RequestVerb::kSample ||
                           request.verb == RequestVerb::kDetect;
     SYMPHASE_CHECK_MSG(sampling, "option '" << key << "' not valid for '"
@@ -224,6 +234,11 @@ std::string encode_request_payload(const SampleRequest& request) {
     case RequestVerb::kHealth:
       oss << "health";
       break;
+  }
+  if ((request.verb == RequestVerb::kStats ||
+       request.verb == RequestVerb::kHealth) &&
+      request.stats_json) {
+    oss << " json=1";
   }
   if (request.verb == RequestVerb::kSample ||
       request.verb == RequestVerb::kDetect) {

@@ -35,6 +35,8 @@
 ///   deadline_ms=N   relative deadline budget: if the request has not
 ///     *started* sampling N ms after the service accepted it, it is
 ///     rejected with an error frame instead of executed (0 = none).
+///   json=1   (stats/health only) reply with the JSON rendering
+///     instead of the key=value line — `symphase stats --json`.
 ///
 /// The response to sample/detect is the chosen format's byte stream,
 /// chunked across data frames — reassembled, it is bit-identical to
@@ -72,6 +74,9 @@ struct SampleRequest {
   std::uint64_t deadline_ms = 0;
   /// kCancel only: the transport-session request id to cancel.
   std::uint64_t cancel_id = 0;
+  /// kStats/kHealth only: reply with the JSON rendering (to_json())
+  /// instead of the key=value line. Wire option `json=1`.
+  bool stats_json = false;
 
   static SampleRequest sample(std::string circuit, std::size_t shots);
   static SampleRequest detect(std::string circuit, std::size_t shots);

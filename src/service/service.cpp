@@ -92,6 +92,28 @@ std::string ServiceStats::to_line() const {
   return oss.str();
 }
 
+std::string ServiceStats::to_json() const {
+  std::ostringstream oss;
+  oss << "{\"hits\":" << hits << ",\"misses\":" << misses
+      << ",\"evictions\":" << evictions << ",\"compiles\":" << compiles
+      << ",\"frame_builds\":" << frame_builds << ",\"completed\":" << completed
+      << ",\"failed\":" << failed << ",\"queue_depth\":" << queue_depth
+      << ",\"queue_peak\":" << queue_peak
+      << ",\"rejected_expired\":" << rejected_expired
+      << ",\"cancelled\":" << cancelled
+      << ",\"rejected_queue_full\":" << rejected_queue_full
+      << ",\"rejected_rate_limited\":" << rejected_rate_limited
+      << ",\"rejected_draining\":" << rejected_draining
+      << ",\"shots_in_flight\":" << shots_in_flight << ",\"served\":{";
+  for (std::size_t i = 0; i < kNumPriorities; ++i) {
+    oss << (i == 0 ? "\"" : ",\"")
+        << priority_name(static_cast<RequestPriority>(i)) << "\":"
+        << served[i];
+  }
+  oss << "}}\n";
+  return oss.str();
+}
+
 std::string ServiceHealth::to_line() const {
   std::ostringstream oss;
   oss << "state=" << (accepting ? "accepting" : "draining")
@@ -100,6 +122,18 @@ std::string ServiceHealth::to_line() const {
       << " active_jobs=" << active_jobs
       << " shots_in_flight=" << shots_in_flight
       << " max_shots_in_flight=" << max_shots_in_flight << '\n';
+  return oss.str();
+}
+
+std::string ServiceHealth::to_json() const {
+  std::ostringstream oss;
+  oss << "{\"state\":\"" << (accepting ? "accepting" : "draining")
+      << "\",\"accepting\":" << (accepting ? "true" : "false")
+      << ",\"queue_depth\":" << queue_depth
+      << ",\"queue_capacity\":" << queue_capacity
+      << ",\"active_jobs\":" << active_jobs
+      << ",\"shots_in_flight\":" << shots_in_flight
+      << ",\"max_shots_in_flight\":" << max_shots_in_flight << "}\n";
   return oss.str();
 }
 

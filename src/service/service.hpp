@@ -138,6 +138,11 @@ struct ServiceStats {
 
   /// One-line "hits=... misses=..." rendering (the stats verb's reply).
   std::string to_line() const;
+
+  /// Machine-readable one-object JSON rendering (the stats verb with
+  /// json=1, `symphase stats --json`, and GET /v1/stats). Same fields
+  /// as to_line(), plus served counts keyed by priority name.
+  std::string to_json() const;
 };
 
 /// Snapshot of the service's readiness, for the `health` verb: load
@@ -153,6 +158,9 @@ struct ServiceHealth {
 
   /// One-line "state=accepting|draining queue_depth=..." rendering.
   std::string to_line() const;
+
+  /// JSON rendering (health verb with json=1 and GET /healthz).
+  std::string to_json() const;
 };
 
 /// Emits one response frame. `header.payload_bytes` is already set to

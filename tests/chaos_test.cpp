@@ -43,6 +43,7 @@
 
 #include "api/session.hpp"
 #include "circuit/parser.hpp"
+#include "http_test_client.hpp"
 #include "net/client.hpp"
 #include "net/fault.hpp"
 #include "net/server.hpp"
@@ -583,6 +584,77 @@ TEST(Chaos, ResilientClientTimesOutOnAStalledServer) {
     released = true;
   }
   cv.notify_all();
+}
+
+TEST(Chaos, HttpSlowReaderResetCancelsWorkAndServerKeepsServing) {
+  // The HTTP twin of ResetMidDownloadCancelsWorkAndKeepsCacheClean,
+  // with a slow-reader phase first: a gateway client POSTs a
+  // multi-megabyte sample, reads a trickle (so the worker is provably
+  // blocked on the tiny outbound cap), then vanishes with an RST. The
+  // abandoned job must be cancelled at the next chunk boundary, a
+  // concurrent well-behaved HTTP client must stream byte-identical
+  // output throughout, and both transports must keep serving after.
+  SocketServerOptions options;
+  options.http_listen = "127.0.0.1:0";
+  options.service.num_workers = 2;
+  options.max_outbound_buffer = 1u << 16;
+  ChaosHarness harness(std::move(options));
+  SamplingService& service = harness.server().service();
+  const std::uint16_t http_port = harness.server().http_port();
+
+  SampleTask direct_task;
+  direct_task.shots = 1000;
+  direct_task.seed = 5;
+  const std::string small_expected =
+      direct_output(kCircuit, direct_task, SampleFormat::k01);
+  const std::string small_body =
+      std::string("{\"circuit\":\"") + http_testing::json_escape(kCircuit) +
+      "\",\"shots\":1000,\"seed\":5}";
+
+  {
+    http_testing::HttpClient slow(http_port);
+    slow.send_request("POST", "/v1/sample",
+                      std::string("{\"circuit\":\"") +
+                          http_testing::json_escape(kCircuit) +
+                          "\",\"shots\":50000000,\"format\":\"b8\"}");
+    // Pull a few KB off the socket so the stream is demonstrably live
+    // (and the worker is parked on the outbound cap), reading slowly.
+    std::size_t drained = 0;
+    char buffer[1 << 10];
+    while (drained < (1u << 14)) {
+      const ssize_t got = ::recv(slow.fd(), buffer, sizeof buffer, 0);
+      ASSERT_GT(got, 0);
+      drained += static_cast<std::size_t>(got);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    // A well-behaved client on the second worker is unaffected by the
+    // neighbor hogging its outbound buffer.
+    http_testing::HttpClient good(http_port);
+    good.send_request("POST", "/v1/sample", small_body);
+    const http_testing::HttpResponse ok = good.read_response();
+    ASSERT_EQ(ok.status, 200) << ok.body;
+    EXPECT_TRUE(ok.chunked_complete);
+    EXPECT_EQ(ok.body, small_expected);
+
+    // Vanish with an RST instead of a clean FIN.
+    const linger hard_reset{1, 0};
+    ASSERT_EQ(::setsockopt(slow.fd(), SOL_SOCKET, SO_LINGER, &hard_reset,
+                           sizeof hard_reset),
+              0);
+  }  // ~HttpClient closes the lingering socket -> RST
+
+  await_stats(service,
+              [](const ServiceStats& s) { return s.cancelled == 1; });
+
+  // Both transports still serve byte-identical output.
+  expect_still_serving(harness.address());
+  http_testing::HttpClient after(http_port);
+  after.send_request("POST", "/v1/sample", small_body);
+  const http_testing::HttpResponse response = after.read_response();
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_TRUE(response.chunked_complete);
+  EXPECT_EQ(response.body, small_expected);
 }
 
 TEST(ChaosCli, SigtermDrainsInFlightDownloadAndExitsZero) {

@@ -1,0 +1,385 @@
+// The HTTP/JSON gateway (src/http/): endpoints, error mapping, drain
+// behavior, metrics, and structured logs against an in-process
+// SocketServer running both listeners. The byte-identity of streamed
+// sample bodies with the frame protocol and direct sessions over the
+// full data/ corpus is pinned separately in
+// service_differential_test.cpp; here a small circuit checks the
+// plumbing end to end.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.hpp"
+#include "circuit/parser.hpp"
+#include "http/json.hpp"
+#include "http_test_client.hpp"
+#include "net/server.hpp"
+#include "sampler/sample_writer.hpp"
+
+namespace symphase {
+namespace {
+
+using http_testing::GatewayHarness;
+using http_testing::HttpClient;
+using http_testing::HttpResponse;
+
+std::string direct_output(const std::string& circuit_text,
+                          const SampleTask& task, SampleFormat format) {
+  const SimulatorSession session(parse_circuit(circuit_text));
+  std::ostringstream oss;
+  WriterSink sink(oss, format);
+  session.run(task, sink);
+  return oss.str();
+}
+
+constexpr const char* kBellCircuit = "H 0\nCNOT 0 1\nM 0 1\n";
+
+TEST(HttpGateway, HealthzAndStatsServeJson) {
+  GatewayHarness harness;
+  HttpClient client(harness.http_port());
+  client.send_request("GET", "/healthz");
+  const HttpResponse health = client.read_response();
+  EXPECT_EQ(health.status, 200);
+  ASSERT_NE(health.header("content-type"), nullptr);
+  EXPECT_EQ(*health.header("content-type"), "application/json");
+  const JsonValue parsed = parse_json(health.body);
+  EXPECT_EQ(parsed.find("state")->as_string(), "accepting");
+  EXPECT_EQ(parsed.find("queue_depth")->as_u64(), 0u);
+
+  // Keep-alive: the same connection serves the next request.
+  client.send_request("GET", "/v1/stats");
+  const HttpResponse stats = client.read_response();
+  EXPECT_EQ(stats.status, 200);
+  const JsonValue counters = parse_json(stats.body);
+  EXPECT_EQ(counters.find("completed")->as_u64(),
+            harness.server().service().stats().completed);
+  ASSERT_NE(counters.find("served"), nullptr);
+  EXPECT_NE(counters.find("served")->find("normal"), nullptr);
+}
+
+TEST(HttpGateway, SampleStreamsBytesIdenticalToDirectSession) {
+  GatewayHarness harness;
+  SampleTask task = SampleTask::measurements(64);
+  task.seed = 11;
+  task.num_threads = 2;
+  const std::string expected =
+      direct_output(kBellCircuit, task, SampleFormat::k01);
+
+  HttpClient client(harness.http_port());
+  client.send_request(
+      "POST", "/v1/sample",
+      R"({"circuit":"H 0\nCNOT 0 1\nM 0 1\n","shots":64,"seed":11,)"
+      R"("threads":2,"format":"01"})");
+  const HttpResponse response = client.read_response();
+  EXPECT_EQ(response.status, 200);
+  ASSERT_NE(response.header("transfer-encoding"), nullptr);
+  EXPECT_TRUE(response.chunked_complete);
+  ASSERT_NE(response.header("symphase-ticket"), nullptr);
+  EXPECT_NE(*response.header("symphase-ticket"), "0");
+  EXPECT_EQ(response.body, expected);
+
+  // Same connection, detect endpoint, dets format.
+  SampleTask detect_task = SampleTask::detection_events(16);
+  detect_task.seed = 3;
+  const std::string circuit =
+      "H 0\nCNOT 0 1\nM 0 1\nDETECTOR rec[-1] rec[-2]\n";
+  const std::string expected_dets =
+      direct_output(circuit, detect_task, SampleFormat::kDets);
+  client.send_request(
+      "POST", "/v1/detect",
+      R"({"circuit":"H 0\nCNOT 0 1\nM 0 1\nDETECTOR rec[-1] rec[-2]\n",)"
+      R"("shots":16,"seed":3})");
+  const HttpResponse dets = client.read_response();
+  EXPECT_EQ(dets.status, 200);
+  EXPECT_EQ(dets.body, expected_dets);
+}
+
+TEST(HttpGateway, ErrorMappingIsTotal) {
+  GatewayHarness harness;
+  {
+    // Unparseable circuit -> 400 bad_circuit with the structured body.
+    HttpClient client(harness.http_port());
+    client.send_request("POST", "/v1/sample",
+                        R"({"circuit":"NOT_A_GATE 0\nM 0\n","shots":4})");
+    const HttpResponse response = client.read_response();
+    EXPECT_EQ(response.status, 400);
+    const JsonValue body = parse_json(response.body);
+    EXPECT_EQ(body.find("error")->as_string(), "bad_circuit");
+    EXPECT_FALSE(body.find("retryable")->as_bool());
+
+    // Unknown JSON field -> 400 before touching the service.
+    client.send_request("POST", "/v1/sample", R"({"shotz":4})");
+    EXPECT_EQ(client.read_response().status, 400);
+
+    // Malformed JSON -> 400.
+    client.send_request("POST", "/v1/sample", "{nope");
+    EXPECT_EQ(client.read_response().status, 400);
+
+    // Unknown route -> 404; wrong method -> 405 with Allow.
+    client.send_request("GET", "/nope");
+    EXPECT_EQ(client.read_response().status, 404);
+    client.send_request("GET", "/v1/sample");
+    const HttpResponse wrong_method = client.read_response();
+    EXPECT_EQ(wrong_method.status, 405);
+    ASSERT_NE(wrong_method.header("allow"), nullptr);
+    EXPECT_EQ(*wrong_method.header("allow"), "POST");
+
+    // Cancel with a garbage ticket -> 400; unknown ticket -> 404.
+    client.send_request("POST", "/v1/cancel/abc");
+    EXPECT_EQ(client.read_response().status, 400);
+    client.send_request("POST", "/v1/cancel/999999");
+    const HttpResponse unknown = client.read_response();
+    EXPECT_EQ(unknown.status, 404);
+    EXPECT_EQ(parse_json(unknown.body).find("error")->as_string(),
+              "not_found");
+  }
+  {
+    // Rate limiting -> 429 with a Retry-After hint in whole seconds.
+    SocketServerOptions options = GatewayHarness::make_options();
+    options.service.admission.client_shots_per_second = 1;
+    options.service.admission.client_burst_shots = 64;
+    GatewayHarness limited(options);
+    HttpClient client(limited.http_port());
+    client.send_request(
+        "POST", "/v1/sample",
+        R"({"circuit":"H 0\nCNOT 0 1\nM 0 1\n","shots":64,"seed":1})");
+    EXPECT_EQ(client.read_response().status, 200);
+    client.send_request(
+        "POST", "/v1/sample",
+        R"({"circuit":"H 0\nCNOT 0 1\nM 0 1\n","shots":64,"seed":1})");
+    const HttpResponse limited_response = client.read_response();
+    EXPECT_EQ(limited_response.status, 429);
+    const JsonValue body = parse_json(limited_response.body);
+    EXPECT_EQ(body.find("error")->as_string(), "rate_limited");
+    EXPECT_TRUE(body.find("retryable")->as_bool());
+    ASSERT_NE(limited_response.header("retry-after"), nullptr);
+    EXPECT_GE(std::stoull(*limited_response.header("retry-after")), 1u);
+  }
+}
+
+TEST(HttpGateway, ParserFailureAnswersThenCloses) {
+  GatewayHarness harness;
+  HttpClient client(harness.http_port());
+  client.send("THIS IS NOT HTTP\r\n\r\n");
+  const HttpResponse response = client.read_response();
+  EXPECT_EQ(response.status, 400);
+  ASSERT_NE(response.header("connection"), nullptr);
+  EXPECT_EQ(*response.header("connection"), "close");
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST(HttpGateway, PipelinedRequestsAnswerInOrder) {
+  GatewayHarness harness;
+  HttpClient client(harness.http_port());
+  client.send(
+      "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /v1/stats HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(client.read_response().status, 200);
+  const HttpResponse stats = client.read_response();
+  EXPECT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"completed\""), std::string::npos);
+  const HttpResponse last = client.read_response();
+  EXPECT_EQ(last.status, 200);
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST(HttpGateway, MetricsAgreeWithServiceStats) {
+  GatewayHarness harness;
+  HttpClient client(harness.http_port());
+  // Two requests for the same circuit: one miss+compile, one hit.
+  for (int i = 0; i < 2; ++i) {
+    client.send_request(
+        "POST", "/v1/sample",
+        R"({"circuit":"H 0\nCNOT 0 1\nM 0 1\n","shots":32,"seed":9})");
+    EXPECT_EQ(client.read_response().status, 200);
+  }
+  // The worker bumps `completed` after its last frame is handed off,
+  // so a fast client can get here first — wait for the counter.
+  ServiceStats stats = harness.server().service().stats();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (stats.completed < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << stats.to_line();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = harness.server().service().stats();
+  }
+  ASSERT_EQ(stats.completed, 2u);
+
+  client.send_request("GET", "/metrics");
+  const HttpResponse response = client.read_response();
+  EXPECT_EQ(response.status, 200);
+  ASSERT_NE(response.header("content-type"), nullptr);
+  EXPECT_NE(response.header("content-type")->find("text/plain"),
+            std::string::npos);
+  const std::string& text = response.body;
+
+  const auto metric_value = [&text](const std::string& name) {
+    const std::size_t pos = text.find("\n" + name + " ");
+    EXPECT_NE(pos, std::string::npos) << name << " missing:\n" << text;
+    if (pos == std::string::npos) {
+      return std::uint64_t{0};
+    }
+    const std::size_t start = pos + name.size() + 2;
+    return static_cast<std::uint64_t>(
+        std::stoull(text.substr(start, text.find('\n', start) - start)));
+  };
+  // The acceptance set: queue depth, shots in flight, cache hit/miss,
+  // per-priority served counts, request-latency histograms.
+  EXPECT_EQ(metric_value("symphase_queue_depth"), stats.queue_depth);
+  EXPECT_EQ(metric_value("symphase_shots_in_flight"), stats.shots_in_flight);
+  EXPECT_EQ(metric_value("symphase_cache_hits_total"), stats.hits);
+  EXPECT_EQ(metric_value("symphase_cache_misses_total"), stats.misses);
+  EXPECT_EQ(metric_value("symphase_requests_completed_total"),
+            stats.completed);
+  EXPECT_EQ(metric_value("symphase_served_total{priority=\"normal\"}"),
+            stats.served[static_cast<int>(RequestPriority::kNormal)]);
+  EXPECT_NE(text.find("symphase_served_total{priority=\"high\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("http_request_duration_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "http_request_duration_seconds_bucket{endpoint=\"/v1/sample\""),
+      std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("http_requests_total{endpoint=\"/v1/sample\","
+                      "code=\"200\"} 2"),
+            std::string::npos);
+
+  // The registry view and the HTTP view are the same text.
+  const std::string scraped = harness.server().gateway()->metrics().scrape();
+  EXPECT_NE(scraped.find("symphase_cache_hits_total"), std::string::npos);
+}
+
+TEST(HttpGateway, DrainRejectsNewWorkAndCompletes) {
+  SocketServerOptions options = GatewayHarness::make_options();
+  options.http.drain_grace_ms = 200;
+  GatewayHarness harness(options);
+
+  // An idle keep-alive connection from before the drain.
+  HttpClient idle(harness.http_port());
+  idle.send_request("GET", "/healthz");
+  EXPECT_EQ(idle.read_response().status, 200);
+
+  harness.server().drain();
+  // Wait for the drain to take effect (accepting flips on the loop).
+  for (int i = 0; i < 100 && harness.server().service().health().accepting;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Probes still answer: /healthz reports draining with 503, /metrics
+  // scrapes. New work is 503 `draining` with Connection: close.
+  HttpClient probe(harness.http_port());
+  probe.send_request("GET", "/healthz");
+  const HttpResponse health = probe.read_response();
+  EXPECT_EQ(health.status, 503);
+  EXPECT_EQ(parse_json(health.body).find("state")->as_string(), "draining");
+
+  HttpClient metrics(harness.http_port());
+  metrics.send_request("GET", "/metrics");
+  EXPECT_EQ(metrics.read_response().status, 200);
+
+  HttpClient work(harness.http_port());
+  work.send_request("POST", "/v1/sample",
+                    R"({"circuit":"M 0\n","shots":4})");
+  const HttpResponse rejected = work.read_response();
+  EXPECT_EQ(rejected.status, 503);
+  EXPECT_EQ(parse_json(rejected.body).find("error")->as_string(), "draining");
+  ASSERT_NE(rejected.header("connection"), nullptr);
+  EXPECT_EQ(*rejected.header("connection"), "close");
+  EXPECT_TRUE(work.at_eof());
+
+  // The idle connection is closed after the grace period and the loop
+  // exits on its own (GatewayHarness::~GatewayHarness joins).
+  EXPECT_TRUE(idle.at_eof());
+}
+
+TEST(HttpGateway, SlowLorisGets408) {
+  SocketServerOptions options = GatewayHarness::make_options();
+  options.http.header_timeout_ms = 100;
+  GatewayHarness harness(options);
+  HttpClient client(harness.http_port());
+  client.send("GET /healthz HTT");  // ... and never finishes the head.
+  const HttpResponse response = client.read_response();
+  EXPECT_EQ(response.status, 408);
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST(HttpGateway, StructuredLogsCaptureRequests) {
+  SocketServerOptions options = GatewayHarness::make_options();
+  std::mutex log_mutex;
+  std::vector<std::string> lines;
+  options.http.log_sink = [&](const std::string& line) {
+    const std::lock_guard<std::mutex> lock(log_mutex);
+    lines.push_back(line);
+  };
+  GatewayHarness harness(options);
+  HttpClient client(harness.http_port());
+  client.send_request("POST", "/v1/sample",
+                      R"({"circuit":"M 0\n","shots":4,"seed":1})");
+  EXPECT_EQ(client.read_response().status, 200);
+  client.send_request("GET", "/nope");
+  EXPECT_EQ(client.read_response().status, 404);
+
+  // Streamed responses log from worker threads after the response bytes
+  // are handed off, so the sample's line may land after the client has
+  // read both replies (and after the 404's line). Wait for both, and
+  // match by target instead of order.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(log_mutex);
+      if (lines.size() >= 2) break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "log sink never saw both request lines";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const std::lock_guard<std::mutex> lock(log_mutex);
+  ASSERT_EQ(lines.size(), 2u);
+  bool saw_sample = false;
+  bool saw_miss = false;
+  for (const std::string& line : lines) {
+    const JsonValue entry = parse_json(line);
+    if (entry.find("target")->as_string() == "/v1/sample") {
+      saw_sample = true;
+      EXPECT_EQ(entry.find("method")->as_string(), "POST");
+      EXPECT_EQ(entry.find("status")->as_u64(), 200u);
+      EXPECT_GE(entry.find("ticket")->as_u64(), 1u);
+      EXPECT_GE(entry.find("bytes")->as_u64(), 4u);
+    } else {
+      saw_miss = true;
+      EXPECT_EQ(entry.find("target")->as_string(), "/nope");
+      EXPECT_EQ(entry.find("status")->as_u64(), 404u);
+    }
+  }
+  EXPECT_TRUE(saw_sample);
+  EXPECT_TRUE(saw_miss);
+}
+
+TEST(HttpGateway, QueryStringsAndHttp10Handled) {
+  GatewayHarness harness;
+  HttpClient client(harness.http_port());
+  // Query strings are stripped for routing.
+  client.send_request("GET", "/healthz?verbose=1");
+  EXPECT_EQ(client.read_response().status, 200);
+  // HTTP/1.0 gets a response and a close.
+  client.send("GET /healthz HTTP/1.0\r\n\r\n");
+  const HttpResponse response = client.read_response();
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(client.at_eof());
+}
+
+}  // namespace
+}  // namespace symphase

@@ -1,0 +1,265 @@
+#pragma once
+
+// Shared test-side HTTP/1.1 plumbing for the gateway suites: an
+// in-process SocketServer harness with the HTTP listener enabled, and a
+// blocking client that understands chunked and Content-Length framing.
+// Used by http_gateway_test.cpp (endpoint behavior),
+// service_differential_test.cpp (corpus byte identity), and
+// chaos_test.cpp (slow readers and aborts). Header-only; gtest
+// assertions fail the including test on malformed responses.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/server.hpp"
+#include "net/socket.hpp"
+
+namespace symphase {
+namespace http_testing {
+
+/// SocketServer with an ephemeral HTTP listener, running its event loop
+/// on a background thread for the lifetime of the fixture.
+class GatewayHarness {
+ public:
+  explicit GatewayHarness(SocketServerOptions options = make_options())
+      : server_(std::move(options)), loop_([this] { server_.run(); }) {}
+  ~GatewayHarness() {
+    server_.shutdown();
+    loop_.join();
+  }
+
+  static SocketServerOptions make_options() {
+    SocketServerOptions options;
+    options.http_listen = "127.0.0.1:0";
+    return options;
+  }
+
+  std::uint16_t http_port() const { return server_.http_port(); }
+  SocketServer& server() { return server_; }
+
+ private:
+  SocketServer server_;
+  std::thread loop_;
+};
+
+struct HttpResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// True when the chunked body ended with the terminal 0-chunk (a
+  /// missing terminator is how the gateway signals mid-stream failure).
+  bool chunked_complete = true;
+
+  const std::string* header(const std::string& name) const {
+    for (const auto& [key, value] : headers) {
+      if (key == name) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+};
+
+/// Blocking test-side HTTP/1.1 client over one socket. Multiple
+/// read_response() calls consume pipelined/keep-alive responses in
+/// order.
+class HttpClient {
+ public:
+  explicit HttpClient(std::uint16_t port)
+      : socket_(tcp_connect({"127.0.0.1", port})) {
+    timeval timeout{10, 0};  // A hung gateway fails the test, not CI.
+    ::setsockopt(socket_.fd(), SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                 sizeof timeout);
+  }
+
+  void send(const std::string& bytes) { send_all(socket_.fd(), bytes); }
+
+  void send_request(const std::string& method, const std::string& target,
+                    const std::string& body = {},
+                    const std::string& extra_headers = {}) {
+    std::ostringstream oss;
+    oss << method << ' ' << target << " HTTP/1.1\r\nHost: t\r\n"
+        << extra_headers;
+    if (!body.empty() || method == "POST") {
+      oss << "Content-Length: " << body.size() << "\r\n";
+    }
+    oss << "\r\n" << body;
+    send(oss.str());
+  }
+
+  void shutdown_write() { ::shutdown(socket_.fd(), SHUT_WR); }
+
+  int fd() const { return socket_.fd(); }
+
+  /// Reads one full response. Fails the test on timeout or on a
+  /// response cut off before its framing said it was done — except for
+  /// chunked bodies, where truncation is reported via chunked_complete.
+  HttpResponse read_response() {
+    HttpResponse response;
+    const std::size_t head_end = read_until_head_end();
+    std::string head = buffer_.substr(0, head_end);
+    buffer_.erase(0, head_end);
+    std::istringstream lines(head);
+    std::string line;
+    std::getline(lines, line);
+    EXPECT_EQ(line.substr(0, 9), "HTTP/1.1 ") << line;
+    response.status = std::stoi(line.substr(9, 3));
+    while (std::getline(lines, line) && line != "\r" && !line.empty()) {
+      if (line.back() == '\r') {
+        line.pop_back();
+      }
+      const std::size_t colon = line.find(':');
+      EXPECT_NE(colon, std::string::npos) << line;
+      if (colon == std::string::npos) {
+        continue;
+      }
+      std::string name = line.substr(0, colon);
+      for (char& c : name) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      std::size_t value_start = colon + 1;
+      while (value_start < line.size() && line[value_start] == ' ') {
+        ++value_start;
+      }
+      response.headers.emplace_back(name, line.substr(value_start));
+    }
+    if (const std::string* te = response.header("transfer-encoding")) {
+      EXPECT_EQ(*te, "chunked");
+      read_chunked_body(response);
+    } else if (const std::string* cl = response.header("content-length")) {
+      const std::size_t length = std::stoull(*cl);
+      while (buffer_.size() < length && fill()) {
+      }
+      EXPECT_GE(buffer_.size(), length) << "body cut short";
+      response.body = buffer_.substr(0, std::min(buffer_.size(), length));
+      buffer_.erase(0, response.body.size());
+    } else {
+      while (fill()) {
+      }
+      response.body = std::move(buffer_);
+      buffer_.clear();
+    }
+    return response;
+  }
+
+  /// Whether the server closed the connection (EOF after the pending
+  /// buffered bytes).
+  bool at_eof() { return buffer_.empty() && !fill(); }
+
+ private:
+  std::size_t read_until_head_end() {
+    for (;;) {
+      const std::size_t lflf = buffer_.find("\n\n");
+      const std::size_t crlf = buffer_.find("\r\n\r\n");
+      if (crlf != std::string::npos &&
+          (lflf == std::string::npos || crlf < lflf)) {
+        return crlf + 4;
+      }
+      if (lflf != std::string::npos) {
+        return lflf + 2;
+      }
+      if (!fill()) {
+        ADD_FAILURE() << "connection closed before response head: "
+                      << buffer_;
+        return buffer_.size();
+      }
+    }
+  }
+
+  void read_chunked_body(HttpResponse& response) {
+    for (;;) {
+      std::size_t eol;
+      while ((eol = buffer_.find("\r\n")) == std::string::npos) {
+        if (!fill()) {
+          response.chunked_complete = false;  // Truncated mid-stream.
+          return;
+        }
+      }
+      const std::size_t size =
+          std::stoull(buffer_.substr(0, eol), nullptr, 16);
+      buffer_.erase(0, eol + 2);
+      if (size == 0) {
+        while (buffer_.size() < 2 && fill()) {
+        }
+        EXPECT_EQ(buffer_.substr(0, 2), "\r\n");
+        buffer_.erase(0, 2);
+        return;
+      }
+      while (buffer_.size() < size + 2) {
+        if (!fill()) {
+          response.chunked_complete = false;
+          response.body += buffer_;
+          buffer_.clear();
+          return;
+        }
+      }
+      response.body += buffer_.substr(0, size);
+      EXPECT_EQ(buffer_.substr(size, 2), "\r\n");
+      buffer_.erase(0, size + 2);
+    }
+  }
+
+  bool fill() {
+    char chunk[4096];
+    const ssize_t got = ::recv(socket_.fd(), chunk, sizeof chunk, 0);
+    if (got <= 0) {
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+    return true;
+  }
+
+  Socket socket_;
+  std::string buffer_;
+};
+
+/// JSON string escaping for building request bodies in tests.
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace http_testing
+}  // namespace symphase

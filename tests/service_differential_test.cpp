@@ -4,7 +4,10 @@
 // detect, across thread counts and both backends. This extends the
 // shard/RNG determinism contract (docs/performance.md) across the
 // process boundary: framing, chunking, queueing, and worker scheduling
-// may not change a single output byte.
+// may not change a single output byte. The HTTP gateway is pinned to
+// the same outputs below: JSON translation, chunked encoding, and the
+// shared-event-loop plumbing may not change a byte either, so all three
+// transports agree across the corpus.
 //
 // The binary path and data dir are injected by CMake (SYMPHASE_CLI_PATH,
 // SYMPHASE_DATA_DIR).
@@ -25,6 +28,7 @@
 
 #include "api/session.hpp"
 #include "circuit/parser.hpp"
+#include "http_test_client.hpp"
 #include "sampler/sample_writer.hpp"
 #include "service/digest.hpp"
 #include "service/request.hpp"
@@ -189,6 +193,119 @@ TEST_P(ServiceDifferentialTest, ServeStdioBitIdenticalToDirectSession) {
         << "request " << request_id << ": " << it->second.error_text;
     EXPECT_EQ(it->second.payload, expected_bytes)
         << GetParam() << " request " << request_id;
+  }
+}
+
+const char* format_name(SampleFormat format) {
+  switch (format) {
+    case SampleFormat::k01:
+      return "01";
+    case SampleFormat::kHex:
+      return "hex";
+    case SampleFormat::kB8:
+      return "b8";
+    case SampleFormat::kPtb64:
+      return "ptb64";
+    case SampleFormat::kDets:
+      return "dets";
+  }
+  return "01";
+}
+
+TEST_P(ServiceDifferentialTest, HttpGatewayBitIdenticalToFrameAndDirect) {
+  const std::string path = std::string(SYMPHASE_DATA_DIR) + "/" + GetParam();
+  const std::string circuit_text = read_file(path);
+  const Circuit circuit = parse_circuit(circuit_text);
+  const bool has_detectors =
+      circuit.num_detectors() + circuit.num_observables() > 0;
+
+  // Smaller than the stdio matrix (HTTP requests are serial on one
+  // keep-alive connection) but still multi-shard with a ragged tail.
+  const std::size_t shots = 8192 + 51;
+  struct HttpCombo {
+    RequestVerb verb;
+    SampleBackend backend;
+    std::size_t threads;
+    SampleFormat format;
+  };
+  std::vector<HttpCombo> matrix;
+  std::size_t rotation = 0;
+  for (const SampleBackend backend :
+       {SampleBackend::kSymPhase, SampleBackend::kFrameSimulator}) {
+    for (const std::size_t threads : {1ul, 8ul}) {
+      const std::vector<SampleFormat> sample_formats = {
+          SampleFormat::k01, SampleFormat::kB8, SampleFormat::kHex,
+          SampleFormat::kPtb64};
+      matrix.push_back({RequestVerb::kSample, backend, threads,
+                        sample_formats[rotation % sample_formats.size()]});
+      if (has_detectors) {
+        const std::vector<SampleFormat> detect_formats = {
+            SampleFormat::kDets, SampleFormat::k01, SampleFormat::kB8,
+            SampleFormat::kPtb64};
+        matrix.push_back({RequestVerb::kDetect, backend, threads,
+                          detect_formats[rotation % detect_formats.size()]});
+      }
+      ++rotation;
+    }
+  }
+
+  // Build the identical request set for the frame protocol subprocess
+  // and the expected bytes from direct sessions.
+  std::string frame_input;
+  std::vector<std::string> expected;
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    const HttpCombo& combo = matrix[i];
+    SampleRequest request;
+    request.verb = combo.verb;
+    request.circuit_text = circuit_text;
+    request.task.target = combo.verb == RequestVerb::kSample
+                              ? SampleTarget::kMeasurements
+                              : SampleTarget::kDetectionEvents;
+    request.task.backend = combo.backend;
+    request.task.shots = shots;
+    request.task.seed = 777 + i;
+    request.task.num_threads = combo.threads;
+    request.format = combo.format;
+    frame_input +=
+        one_frame_request(i + 1, encode_request_payload(request));
+    expected.push_back(direct_output(circuit, request.task, combo.format));
+  }
+  const auto frame_messages =
+      decode_responses(run_serve(frame_input, "--workers 3"));
+  ASSERT_EQ(frame_messages.size(), matrix.size());
+
+  // The HTTP side: same requests as JSON bodies against an in-process
+  // gateway, responses streamed back chunked.
+  http_testing::GatewayHarness harness;
+  http_testing::HttpClient client(harness.http_port());
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    const HttpCombo& combo = matrix[i];
+    std::ostringstream body;
+    body << "{\"circuit\":\"" << http_testing::json_escape(circuit_text)
+         << "\",\"shots\":" << shots << ",\"seed\":" << 777 + i
+         << ",\"threads\":" << combo.threads << ",\"format\":\""
+         << format_name(combo.format) << "\",\"backend\":\""
+         << (combo.backend == SampleBackend::kSymPhase ? "symphase"
+                                                       : "frames")
+         << "\"}";
+    client.send_request(
+        "POST",
+        combo.verb == RequestVerb::kSample ? "/v1/sample" : "/v1/detect",
+        body.str());
+    const http_testing::HttpResponse response = client.read_response();
+    ASSERT_EQ(response.status, 200) << GetParam() << " combo " << i << ": "
+                                    << response.body;
+    EXPECT_TRUE(response.chunked_complete) << GetParam() << " combo " << i;
+    EXPECT_NE(response.header("symphase-ticket"), nullptr);
+
+    const auto frame_it = frame_messages.find(i + 1);
+    ASSERT_NE(frame_it, frame_messages.end());
+    EXPECT_FALSE(frame_it->second.error) << frame_it->second.error_text;
+    // Three-way pin: HTTP == direct == frame protocol, byte for byte.
+    EXPECT_EQ(response.body, expected[i])
+        << GetParam() << " combo " << i << " (http vs direct)";
+    EXPECT_EQ(frame_it->second.payload, expected[i])
+        << GetParam() << " combo " << i << " (frame vs direct)";
   }
 }
 

@@ -3,7 +3,7 @@
 # loopback TCP connection, for a small-shot mix (queue/framing overhead
 # dominated) and a large-shot mix (sampling throughput dominated).
 #
-# Usage: tools/bench_service.sh [build-dir]
+# Usage: tools/bench_service.sh [--http] [build-dir]
 #
 # Starts `symphase serve --listen 127.0.0.1:0`, drives it with
 # `symphase sample --connect ... --repeat N` (one connection per mix,
@@ -12,14 +12,31 @@
 # bench/results/BENCH_<stamp>-service.json. Honors SYMPHASE_BENCH_STAMP
 # and the scalar-backend guard convention of run_benchmarks.sh
 # (SYMPHASE_ALLOW_SCALAR_BENCH=1 to record scalar numbers anyway).
+#
+# With --http, the server also opens the HTTP gateway and every mix
+# runs twice — frame protocol and `POST /v1/sample` over one keep-alive
+# connection (python3 stdlib http.client) — and the output becomes
+# bench/results/BENCH_<stamp>-gateway.json with per-mix overhead
+# ratios. Same server process for both transports, so the deltas are
+# pure transport cost.
 
 set -euo pipefail
+
+http_mode=0
+if [[ "${1:-}" == "--http" ]]; then
+  http_mode=1
+  shift
+fi
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-bench}"
 out_dir="$repo_root/bench/results"
 stamp="${SYMPHASE_BENCH_STAMP:-$(date +%Y-%m-%d)}"
-out_file="$out_dir/BENCH_${stamp}-service.json"
+if [[ "$http_mode" == 1 ]]; then
+  out_file="$out_dir/BENCH_${stamp}-gateway.json"
+else
+  out_file="$out_dir/BENCH_${stamp}-service.json"
+fi
 circuit="$repo_root/data/surface_d3_r3_noisy.stim"
 
 small_shots=1000
@@ -53,8 +70,11 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$build_dir/symphase" serve --listen 127.0.0.1:0 --workers "$workers" \
-  2>"$tmp_dir/serve.log" &
+serve_args=(--listen 127.0.0.1:0 --workers "$workers")
+if [[ "$http_mode" == 1 ]]; then
+  serve_args+=(--http 127.0.0.1:0 --http-port-file "$tmp_dir/http.port")
+fi
+"$build_dir/symphase" serve "${serve_args[@]}" 2>"$tmp_dir/serve.log" &
 server_pid=$!
 for _ in $(seq 100); do
   grep -q 'listening on' "$tmp_dir/serve.log" 2>/dev/null && break
@@ -62,6 +82,14 @@ for _ in $(seq 100); do
 done
 port="$(grep -oP 'listening on [0-9.]+:\K[0-9]+' "$tmp_dir/serve.log")"
 [[ -n "$port" ]] || { echo "error: server never announced a port" >&2; exit 1; }
+if [[ "$http_mode" == 1 ]]; then
+  for _ in $(seq 100); do
+    [[ -s "$tmp_dir/http.port" ]] && break
+    sleep 0.1
+  done
+  http_port="$(cat "$tmp_dir/http.port")"
+  [[ -n "$http_port" ]] || { echo "error: no HTTP port" >&2; exit 1; }
+fi
 
 run_mix() {  # name shots requests
   local name=$1 shots=$2 requests=$3
@@ -71,17 +99,52 @@ run_mix() {  # name shots requests
     > "$tmp_dir/$name.lat"
 }
 
+run_http_mix() {  # name shots requests
+  local name=$1 shots=$2 requests=$3
+  echo "mix '$name' (http): $requests requests x $shots shots ..." >&2
+  python3 - "$http_port" "$circuit" "$shots" "$requests" \
+    > "$tmp_dir/$name-http.lat" <<'EOF'
+import http.client
+import json
+import sys
+import time
+
+port, circuit_path, shots, requests = (
+    int(sys.argv[1]), sys.argv[2], int(sys.argv[3]), int(sys.argv[4]))
+circuit = open(circuit_path).read()
+conn = http.client.HTTPConnection("127.0.0.1", port)
+for i in range(requests):
+    body = json.dumps(
+        {"circuit": circuit, "shots": shots, "seed": i + 1, "format": "b8"})
+    start = time.perf_counter()
+    conn.request("POST", "/v1/sample", body,
+                 {"Content-Type": "application/json"})
+    response = conn.getresponse()
+    payload = response.read()  # drains the chunked stream
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    assert response.status == 200, (response.status, payload[:200])
+    # b8 is ceil(bits/8) bytes per shot; just pin shape, not width.
+    assert payload and len(payload) % shots == 0, (len(payload), shots)
+    print(f"req_ms={elapsed_ms:.3f}")
+conn.close()
+EOF
+}
+
 run_mix small "$small_shots" "$small_requests"
 run_mix large "$large_shots" "$large_requests"
+if [[ "$http_mode" == 1 ]]; then
+  run_http_mix small "$small_shots" "$small_requests"
+  run_http_mix large "$large_shots" "$large_requests"
+fi
 
 python3 - "$tmp_dir" "$out_file" "$stamp" "$backend" \
-  "$small_shots" "$large_shots" "$workers" <<'EOF'
+  "$small_shots" "$large_shots" "$workers" "$http_mode" <<'EOF'
 import json
 import re
 import sys
 
-tmp_dir, out_file, stamp, backend, small_shots, large_shots, workers = \
-    sys.argv[1:8]
+(tmp_dir, out_file, stamp, backend, small_shots, large_shots, workers,
+ http_mode) = sys.argv[1:9]
 
 def load(name, shots):
     ms = [float(m.group(1))
@@ -100,21 +163,49 @@ def load(name, shots):
         "max_ms": ms[-1],
     }
 
-result = {
-    "date": stamp,
-    "bench": "bench_service",
-    "transport": "tcp-loopback",
-    "wideword_backend": backend,
-    "server_workers": int(workers),
-    "circuit": "surface_d3_r3_noisy.stim",
-    "note": ("client-measured full round trip (submit -> final frame) "
-             "over one connection per mix; sequential requests, so "
-             "requests_per_sec is single-stream serving throughput"),
-    "mixes": {
-        "small": load("small", small_shots),
-        "large": load("large", large_shots),
-    },
-}
+if http_mode == "1":
+    mixes = {}
+    for name, shots in (("small", small_shots), ("large", large_shots)):
+        frame = load(name, shots)
+        http = load(f"{name}-http", shots)
+        mixes[name] = {
+            "frame": frame,
+            "http": http,
+            "http_overhead_p50": round(http["p50_ms"] / frame["p50_ms"], 3),
+            "http_overhead_ms_p50": round(
+                http["p50_ms"] - frame["p50_ms"], 3),
+        }
+    result = {
+        "date": stamp,
+        "bench": "bench_service --http",
+        "transport": "tcp-loopback (frame protocol vs HTTP/1.1 gateway)",
+        "wideword_backend": backend,
+        "server_workers": int(workers),
+        "circuit": "surface_d3_r3_noisy.stim",
+        "note": ("same server process, sequential requests on one "
+                 "connection per transport per mix; http is POST "
+                 "/v1/sample with inline circuit JSON, chunked b8 "
+                 "response drained fully. Overhead = JSON translation + "
+                 "HTTP framing; the large mix shows it amortizing to "
+                 "noise against sampling time"),
+        "mixes": mixes,
+    }
+else:
+    result = {
+        "date": stamp,
+        "bench": "bench_service",
+        "transport": "tcp-loopback",
+        "wideword_backend": backend,
+        "server_workers": int(workers),
+        "circuit": "surface_d3_r3_noisy.stim",
+        "note": ("client-measured full round trip (submit -> final frame) "
+                 "over one connection per mix; sequential requests, so "
+                 "requests_per_sec is single-stream serving throughput"),
+        "mixes": {
+            "small": load("small", small_shots),
+            "large": load("large", large_shots),
+        },
+    }
 with open(out_file, "w") as f:
     json.dump(result, f, indent=1)
 print(out_file)

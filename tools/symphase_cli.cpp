@@ -6,6 +6,9 @@
 //   symphase dem     CIRCUIT                           detector error model
 //   symphase gen     FAMILY [options]                  emit a circuit (text format)
 //   symphase serve   --stdio [--workers N]             framed sampling service loop
+//   symphase serve   --listen H:P [--http H:P]         TCP server (+ HTTP gateway)
+//   symphase stats   HOST:PORT [--json]                service counters snapshot
+//   symphase health  HOST:PORT [--json]                readiness probe (exit 1 draining)
 //
 // CIRCUIT is a file in the Stim-style text format, or "-" for stdin.
 // Samples print shot-major: one line of 0/1 per shot. `sample`/`detect`
@@ -76,9 +79,12 @@ using namespace symphase;
       "  symphase analyze CIRCUIT [--max-expr K]\n"
       "  symphase dem     CIRCUIT\n"
       "  symphase gen     surface|repetition|steane|layered [options]\n"
-      "  symphase health  HOST:PORT   (one-line readiness probe of a\n"
+      "  symphase health  HOST:PORT [--json]   (readiness probe of a\n"
       "                   serving instance: state=accepting|draining plus\n"
-      "                   queue pressure; exit 3 when unreachable)\n"
+      "                   queue pressure; exit 1 when draining — a k8s\n"
+      "                   readiness probe — and 3 when unreachable)\n"
+      "  symphase stats   HOST:PORT [--json]   (service counters snapshot;\n"
+      "                   --json prints one JSON object for tooling)\n"
       "  symphase serve   --stdio [--workers N] [--queue N] [--cache N]\n"
       "                   [--max-frame BYTES] [--rate-shots N] [--burst-shots N]\n"
       "                   [--max-shots N]   (framed requests on stdin,\n"
@@ -87,30 +93,45 @@ using namespace symphase;
       "                   [--cache N] [--max-frame BYTES] [--max-clients N]\n"
       "                   [--rate-shots N] [--burst-shots N] [--max-shots N]\n"
       "                   [--port-file PATH]\n"
+      "                   [--http HOST:PORT [--http-port-file PATH] [--log-json]]\n"
       "                   (multi-client TCP server on the same frames;\n"
       "                   port 0 picks a free port, announced on stderr and\n"
       "                   written to --port-file; SIGTERM drains gracefully,\n"
-      "                   a second SIGTERM or SIGINT stops immediately)\n"
+      "                   a second SIGTERM or SIGINT stops immediately;\n"
+      "                   --http adds the HTTP/JSON gateway with /metrics —\n"
+      "                   see docs/gateway.md)\n"
       "\n"
       "remote exit codes: 3 connection failed, 4 rejected by server,\n"
       "5 timed out (see docs/service.md)\n";
   std::exit(2);
 }
 
-/// Trivial --key value option parser.
+/// Trivial --key value option parser. Keys listed in `flags` are
+/// value-less booleans (--json, --log-json): present = "1".
 class Options {
  public:
-  Options(int argc, char** argv, int first) {
+  Options(int argc, char** argv, int first,
+          const std::set<std::string>& flags = {}) {
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
         usage("unexpected argument '" + key + "'");
+      }
+      if (flags.contains(key.substr(2))) {
+        values_[key.substr(2)] = "1";
+        continue;
       }
       if (i + 1 >= argc) {
         usage("missing value for " + key);
       }
       values_[key.substr(2)] = argv[++i];
     }
+  }
+
+  /// True when a boolean flag (see the constructor) was given.
+  bool get_flag(const std::string& key) {
+    consumed_.insert(key);
+    return values_.contains(key);
   }
 
   /// Called after the command consumed its options; rejects leftovers.
@@ -557,7 +578,8 @@ int cmd_serve(Options& opt) {
             FrameHeader header;
             header.request_id = message->request_id;
             header.flags = kFrameLast;
-            emit(header, service.stats().to_line());
+            const ServiceStats stats = service.stats();
+            emit(header, request.stats_json ? stats.to_json() : stats.to_line());
             break;
           }
           case RequestVerb::kHealth: {
@@ -566,7 +588,9 @@ int cmd_serve(Options& opt) {
             FrameHeader header;
             header.request_id = message->request_id;
             header.flags = kFrameLast;
-            emit(header, service.health().to_line());
+            const ServiceHealth health = service.health();
+            emit(header,
+                 request.stats_json ? health.to_json() : health.to_line());
             break;
           }
           case RequestVerb::kCancel: {
@@ -693,11 +717,19 @@ int cmd_serve_listen(const std::string& address, Options& opt) {
   options.max_connections =
       std::max<std::uint64_t>(1, opt.get_u64("max-clients", 64));
   const std::string port_file = opt.get_string("port-file", "");
+  options.http_listen = opt.get_string("http", "");
+  options.http.log_json = opt.get_flag("log-json");
+  const std::string http_port_file = opt.get_string("http-port-file", "");
+  if (options.http_listen.empty() &&
+      (!http_port_file.empty() || options.http.log_json)) {
+    usage("--http-port-file/--log-json require --http HOST:PORT");
+  }
   opt.finish();
 
   // A bind failure throws out of the constructor into main()'s handler:
   // one clean "error: cannot listen on HOST:PORT: ..." line, exit 1,
   // and no "listening" announcement or port file was produced.
+  const std::string http_listen = options.http_listen;
   SocketServer server(std::move(options));
   g_listen_server = &server;
   g_drain_requested.store(false);
@@ -711,28 +743,63 @@ int cmd_serve_listen(const std::string& address, Options& opt) {
   const HostPort at = parse_host_port(address);
   std::cerr << "listening on " << (at.host.empty() ? "0.0.0.0" : at.host)
             << ":" << server.port() << std::endl;
-  if (!port_file.empty()) {
-    std::ofstream out(port_file, std::ios::trunc);
-    out << server.port() << '\n';
+  if (server.http_port() != 0) {
+    const HostPort http_at = parse_host_port(http_listen);
+    std::cerr << "http on " << (http_at.host.empty() ? "0.0.0.0" : http_at.host)
+              << ":" << server.http_port() << std::endl;
+  }
+  const auto write_port_file = [&](const std::string& path,
+                                   std::uint16_t port) {
+    if (path.empty()) {
+      return;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    out << port << '\n';
     out.flush();
     if (!out.good()) {
       g_listen_server = nullptr;
-      throw std::runtime_error("cannot write port file '" + port_file + "'");
+      throw std::runtime_error("cannot write port file '" + path + "'");
     }
-  }
+  };
+  write_port_file(port_file, server.port());
+  write_port_file(http_port_file, server.http_port());
   const bool clean = server.run();
   g_listen_server = nullptr;
   return clean ? 0 : 1;
 }
 
-/// Readiness probe: prints the server's health line. Scripts and load
-/// balancers key off "state=accepting" / "state=draining"; an
+/// Readiness probe: prints the server's health line (or JSON object
+/// with --json) and exits 0 only when the server is accepting. A
+/// reachable-but-draining server exits 1 — `symphase health` is
+/// directly usable as a k8s readiness probe, which must fail during a
+/// graceful drain so traffic stops routing before the pod dies. An
 /// unreachable server exits 3 (same code as a failed --connect).
 int cmd_health(const std::string& address, Options& opt) {
+  const bool json = opt.get_flag("json");
   opt.finish();
   try {
     ServiceClient client(address);
-    std::cout << client.health();
+    const std::string reply = client.health(json);
+    std::cout << reply;
+    const bool draining = json ? reply.find("\"state\":\"draining\"") !=
+                                     std::string::npos
+                               : reply.find("state=draining") !=
+                                     std::string::npos;
+    return draining ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 3;
+  }
+}
+
+/// Service counters snapshot; --json prints the machine-readable
+/// rendering (one JSON object) for dashboards and scripts.
+int cmd_stats(const std::string& address, Options& opt) {
+  const bool json = opt.get_flag("json");
+  opt.finish();
+  try {
+    ServiceClient client(address);
+    std::cout << client.stats(json);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
@@ -801,7 +868,7 @@ int main(int argc, char** argv) {
         if (argc < 4) {
           usage("serve --listen needs HOST:PORT");
         }
-        Options opt(argc, argv, 4);
+        Options opt(argc, argv, 4, {"log-json"});
         code = cmd_serve_listen(argv[3], opt);
         opt.finish();
       } else {
@@ -809,7 +876,10 @@ int main(int argc, char** argv) {
       }
       return code;
     }
-    Options opt(argc, argv, 3);
+    Options opt(argc, argv, 3,
+                command == "health" || command == "stats"
+                    ? std::set<std::string>{"json"}
+                    : std::set<std::string>{});
     int code = 2;
     if (command == "sample") {
       code = cmd_sample(target, opt);
@@ -823,6 +893,8 @@ int main(int argc, char** argv) {
       code = cmd_gen(target, opt);
     } else if (command == "health") {
       code = cmd_health(target, opt);
+    } else if (command == "stats") {
+      code = cmd_stats(target, opt);
     } else {
       usage("unknown command '" + command + "'");
     }
