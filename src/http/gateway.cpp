@@ -229,7 +229,13 @@ class HttpConnection : public Connection,
     if (drain_deadline_ != kNoConnDeadline && now >= drain_deadline_) {
       drain_deadline_ = kNoConnDeadline;
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (!busy_) {
+      if (busy_) {
+        // Grace expired mid-stream: the in-flight response always
+        // finishes, but the connection must not return to keep-alive
+        // afterwards — on_frame's last-frame path sees the cleared
+        // flag and retires it, so the server's drain completes.
+        resp_keep_alive_ = false;
+      } else {
         read_done_ = true;  // Idle during drain past the grace: retire.
       }
     }
@@ -500,6 +506,7 @@ class HttpConnection : public Connection,
                                  body.size(), resp_keep_alive_,
                                  err.retry_after_ms, nullptr);
             outbound_ += body;
+            headers_sent_ = true;
             resp_bytes_ += body.size();
           } else {
             // The 200 header is already on the wire: terminate the
@@ -636,6 +643,12 @@ HttpGateway::HttpGateway(SamplingService& service, HttpGatewayOptions options)
         "HTTP request latency from parse to final response byte enqueued",
         Histogram::default_latency_bounds(),
         {{"endpoint", endpoint_name(static_cast<Endpoint>(i))}});
+    for (std::size_t s = 0; s < kNumStatusCodes; ++s) {
+      requests_[i][s] = &registry_.counter(
+          "http_requests_total", "HTTP requests by endpoint and status code",
+          {{"endpoint", endpoint_name(static_cast<Endpoint>(i))},
+           {"code", std::to_string(kKnownStatusCodes[s])}});
+    }
   }
   // The service keeps its own counters (ServiceStats/ServiceHealth);
   // expose them at scrape time instead of double-instrumenting the
@@ -726,18 +739,34 @@ std::shared_ptr<Connection> HttpGateway::make_connection(
                                           client_id);
 }
 
+int HttpGateway::status_slot(int status) {
+  for (std::size_t i = 0; i < kNumStatusCodes; ++i) {
+    if (kKnownStatusCodes[i] == status) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
 void HttpGateway::finish_request(Endpoint endpoint, int status,
                                  std::uint64_t bytes, double seconds,
                                  std::uint64_t client_id,
                                  const std::string& method,
                                  const std::string& target,
                                  std::uint64_t ticket) {
-  registry_
-      .counter("http_requests_total",
-               "HTTP requests by endpoint and status code",
-               {{"endpoint", endpoint_name(endpoint)},
-                {"code", std::to_string(status)}})
-      .inc();
+  const int slot = status_slot(status);
+  if (slot >= 0) {
+    requests_[static_cast<int>(endpoint)][slot]->inc();
+  } else {
+    // A status outside kKnownStatusCodes is unreachable today; keep the
+    // counter total anyway via the cold registry path.
+    registry_
+        .counter("http_requests_total",
+                 "HTTP requests by endpoint and status code",
+                 {{"endpoint", endpoint_name(endpoint)},
+                  {"code", std::to_string(status)}})
+        .inc();
+  }
   latency_[static_cast<int>(endpoint)]->observe(seconds);
   response_bytes_total_->inc(bytes);
   if (!options_.log_json && !options_.log_sink) {

@@ -37,7 +37,10 @@
 /// `header_timeout_ms` gets 408 and is closed. Drain: /healthz answers
 /// 503 + state JSON, /metrics still scrapes, everything else is
 /// rejected 503 with `Connection: close`; idle connections are closed
-/// after `drain_grace_ms` so the server's drain actually completes.
+/// after `drain_grace_ms`, and a connection still mid-stream when the
+/// grace expires closes as soon as its in-flight response finishes
+/// (instead of returning to keep-alive), so the server's drain
+/// actually completes.
 
 #include <cstdint>
 #include <functional>
@@ -113,6 +116,19 @@ class HttpGateway {
   HttpGatewayOptions options_;
   MetricsRegistry registry_;
 
+  /// Every status code the gateway can emit (the domain of its status
+  /// maps). The (endpoint, code) series of http_requests_total are
+  /// pre-registered over this set so finish_request() increments a
+  /// resolved Counter* instead of taking the registry mutex on the
+  /// worker-thread response path.
+  static constexpr int kKnownStatusCodes[] = {200, 400, 404, 405, 408,
+                                              413, 429, 431, 499, 500,
+                                              501, 503, 504, 505};
+  static constexpr std::size_t kNumStatusCodes =
+      sizeof(kKnownStatusCodes) / sizeof(kKnownStatusCodes[0]);
+  /// Index of `status` in kKnownStatusCodes, or -1 when unknown.
+  static int status_slot(int status);
+
   // Pre-resolved hot-path instruments (see metrics.hpp: resolve once,
   // increment lock-free).
   Counter* connections_total_ = nullptr;
@@ -120,6 +136,7 @@ class HttpGateway {
   Counter* parse_errors_total_ = nullptr;
   Counter* response_bytes_total_ = nullptr;
   Histogram* latency_[7] = {};  ///< Indexed by Endpoint.
+  Counter* requests_[7][kNumStatusCodes] = {};  ///< [Endpoint][status slot].
 };
 
 }  // namespace symphase

@@ -164,7 +164,11 @@ bool HttpParser::next(HttpRequest& out) {
           return false;
         }
         consumed_ = eol + 1;
-        if (pending_.body.size() + size > limits_.max_body_bytes) {
+        // Overflow-safe form of `body.size() + size > max_body_bytes`:
+        // `size` is attacker-controlled up to 2^64-1, so the sum can
+        // wrap past zero and slip under the cap.
+        if (size > limits_.max_body_bytes ||
+            pending_.body.size() > limits_.max_body_bytes - size) {
           fail(413, "chunked body exceeds " +
                         std::to_string(limits_.max_body_bytes) + " bytes");
           return false;

@@ -303,6 +303,49 @@ TEST(HttpGateway, DrainRejectsNewWorkAndCompletes) {
   EXPECT_TRUE(idle.at_eof());
 }
 
+TEST(HttpGateway, DrainGraceExpiringMidStreamClosesAfterResponse) {
+  SocketServerOptions options = GatewayHarness::make_options();
+  options.http.drain_grace_ms = 50;
+  // Tiny outbound cap: the worker backpressures against the unread
+  // response, keeping the connection busy while the grace expires.
+  options.max_outbound_buffer = 4096;
+  GatewayHarness harness(options);
+
+  HttpClient client(harness.http_port());
+  // ~32 MB of '0'/'1' rows — far more than the outbound cap plus both
+  // kernel socket buffers, so the stream stays mid-flight for as long
+  // as this test refuses to read.
+  client.send_request("POST", "/v1/sample",
+                      R"({"circuit":"M 0\n","shots":16000000,"seed":7,)"
+                      R"("format":"01"})");
+
+  // Wait until the request is executing, then drain and let the grace
+  // expire while the connection is still streaming.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (harness.server().service().health().active_jobs == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "request never started executing";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  harness.server().drain();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // The in-flight response finishes, complete and intact...
+  const HttpResponse response = client.read_response();
+  EXPECT_EQ(response.status, 200);
+  EXPECT_TRUE(response.chunked_complete);
+  EXPECT_EQ(response.body.size(), 2u * 16000000u);
+  // ...and then the connection closes. Before the busy-aware grace
+  // handling, the connection returned to keep-alive and lingered until
+  // the client went away, hanging the server's drain; at_eof() would
+  // sit in recv() until the 10 s client timeout.
+  const auto close_start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(client.at_eof());
+  EXPECT_LT(std::chrono::steady_clock::now() - close_start,
+            std::chrono::seconds(5));
+}
+
 TEST(HttpGateway, SlowLorisGets408) {
   SocketServerOptions options = GatewayHarness::make_options();
   options.http.header_timeout_ms = 100;

@@ -167,6 +167,33 @@ TEST(HttpParser, OversizedChunkedBodyFailsWith413) {
   EXPECT_EQ(parser.error_status(), 413);
 }
 
+TEST(HttpParser, ChunkSizeNearUint64MaxFailsWith413) {
+  // A chunk size close to 2^64 must not wrap the cumulative cap check:
+  // after a small first chunk, body.size() + 0xfffffffffffffff0
+  // overflows to a tiny sum that would pass `sum > max` and let the
+  // client stream unbounded data. Default limits (64 MiB cap).
+  const char* cases[] = {
+      // Wraps exactly past zero given the 16-byte first chunk.
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "10\r\n0123456789abcdef\r\n"
+      "fffffffffffffff0\r\n",
+      // Maximum representable size as the first chunk.
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "ffffffffffffffff\r\n",
+  };
+  for (const char* bytes : cases) {
+    HttpParser parser;
+    parser.feed(bytes);
+    HttpRequest request;
+    EXPECT_FALSE(parser.next(request)) << bytes;
+    ASSERT_TRUE(parser.failed()) << bytes;
+    EXPECT_EQ(parser.error_status(), 413) << bytes;
+    // Poisoned: further chunk bytes must not accumulate anywhere.
+    parser.feed(std::string(4096, 'x'));
+    EXPECT_FALSE(parser.next(request)) << bytes;
+  }
+}
+
 TEST(HttpParser, UnknownTransferEncodingFailsWith501) {
   HttpParser parser;
   parser.feed("POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n");
