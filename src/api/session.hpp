@@ -22,8 +22,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
+#include <span>
+#include <vector>
 
 #include "api/sample_sink.hpp"
 #include "api/sample_task.hpp"
@@ -39,6 +42,15 @@ struct SessionArtifacts {
   bool compiled = false;  ///< CompiledSampler (symbolic compilation) built.
   bool frames = false;    ///< FrameSimulator baseline built.
   bool layout = false;    ///< Detector/observable layout resolved.
+};
+
+/// One member of a fused run (SimulatorSession::run_fused): its task,
+/// its sink, and its own cancel flag. All pointers are borrowed and must
+/// outlive the call.
+struct SessionRunMember {
+  const SampleTask* task = nullptr;
+  SampleSink* sink = nullptr;
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 class SimulatorSession {
@@ -76,6 +88,22 @@ class SimulatorSession {
   /// artifacts.
   void run(const SampleTask& task, SampleSink& sink,
            const std::atomic<bool>* cancel = nullptr) const;
+
+  /// Executes N tasks against this session's compiled artifacts in one
+  /// shared engine pass (cross-request shot fusion). Every member must
+  /// target the same (target, backend) pair; shots, seed, thread cap,
+  /// bit selection, and cancel flag are per member. Each member's
+  /// delivered bytes are bit-identical to calling run() with its task
+  /// alone — fusion only shares the fill workers and scratch, never the
+  /// RNG streams.
+  ///
+  /// Per-member failures (cancellation, sink errors) are isolated: entry
+  /// i of the result is null on success or the member's exception
+  /// (TaskCancelled, ...) — groupmates keep streaming. Only artifact
+  /// construction failures and precondition violations (mismatched
+  /// target/backend, null pointers) throw, before any sink is touched.
+  std::vector<std::exception_ptr> run_fused(
+      std::span<const SessionRunMember> members) const;
 
   /// Convenience: run() into a BitMatrixSink and return the matrix
   /// (measurement-major, like CompiledSampler::sample).

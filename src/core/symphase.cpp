@@ -145,7 +145,7 @@ CompiledSampler::DetectionEvents CompiledSampler::sample_detection_events(
   BitMatrixSink sink;
   stream_sample_blocks(
       spec,
-      [&](std::size_t shard, BitMatrix& block) {
+      [&](std::size_t, std::size_t shard, BitMatrix& block) {
         sample_detection_shard_block(shard, num_samples, seed, block);
       },
       sink);
@@ -203,7 +203,7 @@ BitMatrix CompiledSampler::sample(std::size_t num_samples, std::uint64_t seed,
   BitMatrixSink sink;
   stream_sample_blocks(
       spec,
-      [&](std::size_t shard, BitMatrix& block) {
+      [&](std::size_t, std::size_t shard, BitMatrix& block) {
         sample_shard_block(shard, num_samples, seed, block);
       },
       sink);

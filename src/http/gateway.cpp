@@ -694,6 +694,13 @@ HttpGateway::HttpGateway(SamplingService& service, HttpGatewayOptions options)
             "Requests that ended in an error frame", s.failed);
     counter("symphase_requests_cancelled_total",
             "Requests cancelled while queued or mid-stream", s.cancelled);
+    counter("symphase_fused_requests_total",
+            "Requests executed as members of a fused engine pass",
+            s.fused_requests);
+    counter("symphase_fusion_groups_total",
+            "Fused engine passes (groups of two or more same-circuit "
+            "requests)",
+            s.fusion_groups);
     out += "# HELP symphase_requests_rejected_total Requests turned away "
            "before execution, by reason\n"
            "# TYPE symphase_requests_rejected_total counter\n";

@@ -19,6 +19,19 @@ std::uint64_t queue_retry_hint(std::size_t queue_depth,
   return 10 + (static_cast<std::uint64_t>(queue_depth) * 100) / capacity;
 }
 
+/// Backoff hint for shot-capacity rejections. Queue depth is the wrong
+/// signal here: one 2M-shot job saturates the cap with an empty queue,
+/// and the depth-based hint would tell clients to retry in 10 ms —
+/// hammering a server that will stay saturated for seconds. Scale by
+/// how oversubscribed the shot budget is instead (100 ms per fully
+/// consumed cap, plus the pending request's own share).
+std::uint64_t shots_retry_hint(std::uint64_t shots_in_flight,
+                               std::uint64_t requested_shots,
+                               std::uint64_t max_shots_in_flight) {
+  const std::uint64_t cap = std::max<std::uint64_t>(max_shots_in_flight, 1);
+  return 10 + ((shots_in_flight + requested_shots) * 100) / cap;
+}
+
 }  // namespace
 
 TokenBucket::TokenBucket(double rate_per_second, double capacity,
@@ -151,7 +164,8 @@ AdmissionDecision AdmissionController::admit(
     decision.admitted = false;
     decision.error =
         make_error(ErrorCode::kQueueFull, oss.str(),
-                   queue_retry_hint(queue_depth, queue_capacity));
+                   shots_retry_hint(shots_in_flight_, shots,
+                                    options_.max_shots_in_flight));
     return decision;
   }
   if (enforce_queue_limits) {

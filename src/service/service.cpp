@@ -83,7 +83,9 @@ std::string ServiceStats::to_line() const {
       << " rejected_queue_full=" << rejected_queue_full
       << " rejected_rate_limited=" << rejected_rate_limited
       << " rejected_draining=" << rejected_draining
-      << " shots_in_flight=" << shots_in_flight;
+      << " shots_in_flight=" << shots_in_flight
+      << " fused_requests=" << fused_requests
+      << " fusion_groups=" << fusion_groups;
   for (std::size_t i = 0; i < kNumPriorities; ++i) {
     oss << " served_" << priority_name(static_cast<RequestPriority>(i)) << '='
         << served[i];
@@ -104,7 +106,9 @@ std::string ServiceStats::to_json() const {
       << ",\"rejected_queue_full\":" << rejected_queue_full
       << ",\"rejected_rate_limited\":" << rejected_rate_limited
       << ",\"rejected_draining\":" << rejected_draining
-      << ",\"shots_in_flight\":" << shots_in_flight << ",\"served\":{";
+      << ",\"shots_in_flight\":" << shots_in_flight
+      << ",\"fused_requests\":" << fused_requests
+      << ",\"fusion_groups\":" << fusion_groups << ",\"served\":{";
   for (std::size_t i = 0; i < kNumPriorities; ++i) {
     oss << (i == 0 ? "\"" : ",\"")
         << priority_name(static_cast<RequestPriority>(i)) << "\":"
@@ -217,6 +221,24 @@ std::uint64_t SamplingService::submit_impl(std::uint64_t request_id,
   job.shots = request.task.shots;
   job.request = std::move(request);
   job.emit = std::move(emit);
+  if (options_.fusion_cap > 1) {
+    // Circuit identity for fusion: the canonical digest when the client
+    // sent one, otherwise a hash of the raw inline text (two inline
+    // requests fuse only when their text is byte-identical — a
+    // reformatted copy of the same circuit still shares the session,
+    // just not the engine pass). Backend and target must match too:
+    // fused members share one set of compiled artifacts and one record
+    // layout.
+    std::ostringstream key;
+    if (!job.request.digest.empty()) {
+      key << "d:" << job.request.digest;
+    } else {
+      key << "t:" << fnv128_hex(job.request.circuit_text);
+    }
+    key << '|' << static_cast<int>(job.request.task.backend) << '|'
+        << static_cast<int>(job.request.task.target);
+    job.fuse_key = key.str();
+  }
 
   std::unique_lock<std::mutex> lock(queue_mutex_);
   if (blocking) {
@@ -261,6 +283,7 @@ std::uint64_t SamplingService::submit_impl(std::uint64_t request_id,
   item.ticket = ticket;
   item.priority = job.request.priority;
   item.deadline = job.deadline;
+  item.group = job.fuse_key;
   item.payload = std::move(job);
   queue_.push(std::move(item));
   queue_peak_ = std::max<std::uint64_t>(queue_peak_, queue_.size());
@@ -284,17 +307,25 @@ bool SamplingService::cancel(std::uint64_t ticket) {
     }
     cancel_flags_.erase(flag);
     admission_.release(item.payload.shots);
+    // The request leaves the queue but stays *active* until its error
+    // frame has shipped: signaling quiescence from inside the lock and
+    // emitting afterwards let a concurrent begin_drain(); drain();
+    // stop() sequence tear the transport down mid-emit. drain() only
+    // observes idle after the frame is out.
+    ++active_jobs_;
     queue_space_.notify_all();
-    if (queue_.empty() && active_jobs_ == 0) {
-      // Removing the last queued job is a quiescence transition too —
-      // a drain() sleeping on it would otherwise miss its wakeup.
-      queue_idle_.notify_all();
-    }
   }
   // Dequeued before it ever ran: answer it here, from the canceller's
   // thread (FrameFn implementations are thread-safe by contract).
   finish_without_running(item.payload, Outcome::kCancelled,
                          make_error(ErrorCode::kCancelled, "request cancelled"));
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    --active_jobs_;
+    if (queue_.empty() && active_jobs_ == 0) {
+      queue_idle_.notify_all();
+    }
+  }
   return true;
 }
 
@@ -385,6 +416,8 @@ ServiceStats SamplingService::stats() const {
     s.queue_depth = queue_.size();
     s.queue_peak = queue_peak_;
     s.shots_in_flight = admission_.shots_in_flight();
+    s.fused_requests = fused_requests_;
+    s.fusion_groups = fusion_groups_;
   }
   return s;
 }
@@ -433,24 +466,46 @@ std::shared_ptr<SimulatorSession> SamplingService::session_for(
 }
 
 void SamplingService::worker_loop() {
+  std::vector<Job> group;
+  std::vector<DeadlineQueue<Job>::Item> mates;
   for (;;) {
-    Job job;
+    group.clear();
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // stopping_ and drained
       }
-      job = std::move(queue_.pop().payload);
-      ++active_jobs_;
-      queue_space_.notify_one();
+      group.push_back(std::move(queue_.pop().payload));
+      // Cross-request shot fusion: the most urgent request leads; every
+      // queued request with the same circuit/backend/target rides along
+      // (up to the cap), claimed in scheduler-urgency order so the
+      // group's observable completion order matches what the scheduler
+      // would have produced running them back to back.
+      if (options_.fusion_cap > 1 && !group.front().fuse_key.empty()) {
+        mates.clear();
+        queue_.claim_group(group.front().fuse_key, options_.fusion_cap - 1,
+                           mates);
+        for (DeadlineQueue<Job>::Item& mate : mates) {
+          group.push_back(std::move(mate.payload));
+        }
+        if (group.size() > 1) {
+          ++fusion_groups_;
+          fused_requests_ += group.size();
+        }
+      }
+      active_jobs_ += group.size();
+      // A fused claim can free several queue slots at once.
+      queue_space_.notify_all();
     }
-    process(job);
+    process_group(group);
     {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
-      cancel_flags_.erase(job.ticket);
-      --active_jobs_;
-      admission_.release(job.shots);
+      for (const Job& job : group) {
+        cancel_flags_.erase(job.ticket);
+        admission_.release(job.shots);
+      }
+      active_jobs_ -= group.size();
       // Finished work frees shot budget too, not just a queue slot —
       // submitters may be waiting on either.
       queue_space_.notify_all();
@@ -518,59 +573,117 @@ void SamplingService::finish_without_running(Job& job, Outcome outcome,
   account(outcome, job.request.priority);
 }
 
-void SamplingService::process(Job& job) {
-  // Admission gate: the deadline is checked when a worker takes the
-  // request — whether it expired while queued or in the instant after
-  // the pop, it is rejected before any compilation or sampling.
-  if (job.deadline != kNoDeadline && SchedulerClock::now() > job.deadline) {
-    finish_without_running(
-        job, Outcome::kExpired,
-        make_error(ErrorCode::kDeadlineExpired,
-                   "deadline expired before sampling started"));
+void SamplingService::process_group(std::vector<Job>& jobs) {
+  // Per-member admission gates, in claim (urgency) order. The deadline
+  // is checked when a worker takes the request — whether it expired
+  // while queued or in the instant after the pop, it is rejected before
+  // any compilation or sampling. A member that falls out here never
+  // affects its groupmates.
+  std::vector<std::size_t> live;
+  std::vector<std::unique_ptr<FrameSink>> sinks(jobs.size());
+  std::string digest;
+  live.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    Job& job = jobs[i];
+    if (job.deadline != kNoDeadline && SchedulerClock::now() > job.deadline) {
+      finish_without_running(
+          job, Outcome::kExpired,
+          make_error(ErrorCode::kDeadlineExpired,
+                     "deadline expired before sampling started"));
+      continue;
+    }
+    if (job.cancel_flag->load(std::memory_order_relaxed)) {
+      finish_without_running(job, Outcome::kCancelled,
+                             make_error(ErrorCode::kCancelled,
+                                        "request cancelled"));
+      continue;
+    }
+    sinks[i] = std::make_unique<FrameSink>(job.request_id, job.request.format,
+                                           options_.max_frame_payload,
+                                           job.emit);
+    try {
+      if (options_.fault_hook) {
+        options_.fault_hook(
+            fault_sequence_.fetch_add(1, std::memory_order_relaxed) + 1,
+            job.request);
+      }
+      std::string member_digest = job.request.digest;
+      if (member_digest.empty()) {
+        member_digest = register_circuit(job.request.circuit_text);
+      }
+      // Groupmates share a fuse key, so every member resolves to the
+      // same digest; keep the last one for the group's session lookup.
+      digest = std::move(member_digest);
+      live.push_back(i);
+    } catch (const std::invalid_argument& e) {
+      // Caller-data failures (circuit parse errors, unknown digests,
+      // malformed tasks — everything SYMPHASE_CHECK rejects): the same
+      // request will fail the same way forever, so it must not read as
+      // a server-side problem to a retrying client.
+      emit_error_frame(job, sinks[i]->next_chunk_index(),
+                       make_error(ErrorCode::kBadCircuit, e.what()));
+      account(Outcome::kFailed, job.request.priority);
+    } catch (const std::exception& e) {
+      emit_error_frame(job, sinks[i]->next_chunk_index(),
+                       make_error(ErrorCode::kInternal, e.what()));
+      account(Outcome::kFailed, job.request.priority);
+    }
+  }
+  if (live.empty()) {
     return;
   }
-  if (job.cancel_flag->load(std::memory_order_relaxed)) {
-    finish_without_running(job, Outcome::kCancelled,
-                           make_error(ErrorCode::kCancelled,
-                                      "request cancelled"));
-    return;
-  }
-  FrameSink sink(job.request_id, job.request.format,
-                 options_.max_frame_payload, job.emit);
-  Outcome outcome = Outcome::kCompleted;
+
+  std::vector<std::exception_ptr> errors(live.size());
   try {
-    if (options_.fault_hook) {
-      options_.fault_hook(
-          fault_sequence_.fetch_add(1, std::memory_order_relaxed) + 1,
-          job.request);
-    }
-    std::string digest = job.request.digest;
-    if (digest.empty()) {
-      digest = register_circuit(job.request.circuit_text);
-    }
     const std::shared_ptr<SimulatorSession> session = session_for(digest);
-    session->run(job.request.task, sink, job.cancel_flag.get());
-  } catch (const TaskCancelled& e) {
-    // The abandoned stream's session stays cached and reusable; only
-    // this request's frames stop (with the error flag, like any other
-    // non-success).
-    outcome = Outcome::kCancelled;
-    emit_error_frame(job, sink.next_chunk_index(),
-                     make_error(ErrorCode::kCancelled, e.what()));
-  } catch (const std::invalid_argument& e) {
-    // Caller-data failures (circuit parse errors, unknown digests,
-    // malformed tasks — everything SYMPHASE_CHECK rejects): the same
-    // request will fail the same way forever, so it must not read as
-    // a server-side problem to a retrying client.
-    outcome = Outcome::kFailed;
-    emit_error_frame(job, sink.next_chunk_index(),
-                     make_error(ErrorCode::kBadCircuit, e.what()));
-  } catch (const std::exception& e) {
-    outcome = Outcome::kFailed;
-    emit_error_frame(job, sink.next_chunk_index(),
-                     make_error(ErrorCode::kInternal, e.what()));
+    if (live.size() > 1) {
+      // One cache lookup serves the whole group; solo execution would
+      // have scored one hit per extra member (the leader's lookup
+      // either missed or hit, every follower would have hit the session
+      // it left behind). Keep the counters batching-invariant.
+      const std::lock_guard<std::mutex> lock(cache_mutex_);
+      hits_ += live.size() - 1;
+    }
+    std::vector<SessionRunMember> members(live.size());
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      const Job& job = jobs[live[k]];
+      members[k].task = &job.request.task;
+      members[k].sink = sinks[live[k]].get();
+      members[k].cancel = job.cancel_flag.get();
+    }
+    errors = session->run_fused(members);
+  } catch (...) {
+    // Failures before any member streamed — session lookup, artifact
+    // compilation, fused-run preconditions — hit every member alike.
+    errors.assign(live.size(), std::current_exception());
   }
-  account(outcome, job.request.priority);
+
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    Job& job = jobs[live[k]];
+    FrameSink& sink = *sinks[live[k]];
+    Outcome outcome = Outcome::kCompleted;
+    if (errors[k]) {
+      try {
+        std::rethrow_exception(errors[k]);
+      } catch (const TaskCancelled& e) {
+        // The abandoned stream's session stays cached and reusable; only
+        // this request's frames stop (with the error flag, like any
+        // other non-success).
+        outcome = Outcome::kCancelled;
+        emit_error_frame(job, sink.next_chunk_index(),
+                         make_error(ErrorCode::kCancelled, e.what()));
+      } catch (const std::invalid_argument& e) {
+        outcome = Outcome::kFailed;
+        emit_error_frame(job, sink.next_chunk_index(),
+                         make_error(ErrorCode::kBadCircuit, e.what()));
+      } catch (const std::exception& e) {
+        outcome = Outcome::kFailed;
+        emit_error_frame(job, sink.next_chunk_index(),
+                         make_error(ErrorCode::kInternal, e.what()));
+      }
+    }
+    account(outcome, job.request.priority);
+  }
 }
 
 }  // namespace symphase

@@ -90,6 +90,16 @@ struct ServiceOptions {
   /// or send the circuit inline — inline requests re-register
   /// automatically).
   std::size_t registry_capacity = 256;
+  /// Cross-request shot fusion: when a worker takes a sample/detect
+  /// request, it also claims up to `fusion_cap - 1` queued requests
+  /// sharing the same circuit (digest or identical inline text), backend,
+  /// and target, and runs the whole group through one engine pass
+  /// (SimulatorSession::run_fused). Per-request output is bit-identical
+  /// to solo execution — each member keeps its own seed and RNG streams —
+  /// and per-request deadline/cancel/priority semantics are preserved
+  /// (members are claimed and finished in scheduler-urgency order).
+  /// <= 1 disables fusion.
+  std::size_t fusion_cap = 16;
   /// Admission control: per-client rate limits, shots-in-flight cap,
   /// and priority shedding thresholds (admission.hpp). Rate limiting
   /// is off by default; the shedding thresholds always apply to
@@ -132,6 +142,10 @@ struct ServiceStats {
   std::uint64_t rejected_rate_limited = 0;   ///< Client over budget.
   std::uint64_t rejected_draining = 0;       ///< Arrived during drain.
   std::uint64_t shots_in_flight = 0;  ///< Gauge: shots queued + running.
+  // Cross-request shot fusion counters (groups of >= 2 only — solo
+  // executions never count):
+  std::uint64_t fused_requests = 0;  ///< Requests run as fusion-group members.
+  std::uint64_t fusion_groups = 0;   ///< Fused engine passes executed.
   /// Successfully completed requests by priority class, indexed by
   /// RequestPriority (high, normal, low).
   std::uint64_t served[kNumPriorities] = {0, 0, 0};
@@ -282,6 +296,9 @@ class SamplingService {
     /// Set by cancel(); polled by the streaming engine at shard-chunk
     /// boundaries. Shared so cancel() can reach a job a worker owns.
     std::shared_ptr<std::atomic<bool>> cancel_flag;
+    /// Fusion-group tag: circuit identity (digest, or a hash of the raw
+    /// inline text) + backend + target. Empty when fusion is disabled.
+    std::string fuse_key;
   };
 
   /// How a processed request ended (drives which counter it lands in
@@ -306,7 +323,12 @@ class SamplingService {
   std::uint64_t submit_impl(std::uint64_t request_id, SampleRequest request,
                             FrameFn emit, std::uint64_t client_id,
                             ServiceError* rejection, bool blocking);
-  void process(Job& job);
+  /// Executes one claimed group (size 1 = the classic solo path) on the
+  /// calling worker thread: per-member deadline/cancel gates and fault
+  /// hooks, one session lookup for the group, one fused engine pass,
+  /// per-member outcome accounting. Members must already be in
+  /// scheduler-urgency order (worker_loop claims them that way).
+  void process_group(std::vector<Job>& jobs);
   /// Folds one finished request into the stats counters.
   void account(Outcome outcome, RequestPriority priority);
   /// Counts one admission rejection under its error code.
@@ -338,6 +360,9 @@ class SamplingService {
       cancel_flags_;
   std::uint64_t next_ticket_ = 1;
   std::uint64_t queue_peak_ = 0;
+  /// Fusion counters (queue_mutex_ — bumped at claim time).
+  std::uint64_t fused_requests_ = 0;
+  std::uint64_t fusion_groups_ = 0;
   std::size_t active_jobs_ = 0;
   bool stopping_ = false;
   bool draining_ = false;

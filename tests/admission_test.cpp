@@ -135,6 +135,41 @@ TEST(AdmissionController, ShotsInFlightCapAndOversizedException) {
   EXPECT_FALSE(admit(5000).admitted);  // oversized needs idle
 }
 
+TEST(AdmissionController, ShotCapRejectionHintScalesWithShotsNotQueueDepth) {
+  // PR 8 regression: a single 2M-shot job saturates the shot cap while
+  // the queue sits empty. The old depth-based hint told clients "retry
+  // in 10 ms" — pure hammering. The hint must scale with how
+  // oversubscribed the shot budget is instead.
+  AdmissionOptions options;
+  options.max_shots_in_flight = 1000;
+  AdmissionController admission(options);
+
+  ASSERT_TRUE(admission
+                  .admit(7, 900, RequestPriority::kNormal, 0, 64, true,
+                         at_ms(0))
+                  .admitted);
+  // Queue depth 0, but 900 + 200 shots against a 1000 cap: the hint is
+  // 10 + 1100*100/1000 = 120 ms, not the 10 ms an empty queue implies.
+  const AdmissionDecision shed =
+      admission.admit(7, 200, RequestPriority::kNormal, 0, 64, true,
+                      at_ms(0));
+  ASSERT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.error.code, ErrorCode::kQueueFull);
+  EXPECT_EQ(shed.error.retry_after_ms, 120u);
+
+  // A much larger stuck job pushes the hint further out.
+  admission.release(900);
+  ASSERT_TRUE(admission
+                  .admit(7, 5000, RequestPriority::kNormal, 0, 64, true,
+                         at_ms(0))
+                  .admitted);  // oversized, idle server
+  const AdmissionDecision stuck =
+      admission.admit(7, 100, RequestPriority::kNormal, 0, 64, true,
+                      at_ms(0));
+  ASSERT_FALSE(stuck.admitted);
+  EXPECT_EQ(stuck.error.retry_after_ms, 10u + (5100u * 100u) / 1000u);
+}
+
 TEST(AdmissionController, ShedsByPriorityClassUnderQueuePressure) {
   AdmissionController admission({});  // default thresholds 0.50 / 0.75
 

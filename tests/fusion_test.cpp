@@ -1,0 +1,494 @@
+// Cross-request shot fusion (service worker + fused engine pass):
+// members of a fused group must produce byte-identical output to solo
+// runs (per-member seed/format/threads/selection respected), the fusion
+// cap must split oversized groups, different fuse keys must never fuse,
+// cancelling one member must leave its groupmates intact, and drain()
+// must not return before a queue-cancelled request's error frame has
+// been emitted (the PR 8 drain-race regression).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.hpp"
+#include "circuit/parser.hpp"
+#include "sampler/sample_writer.hpp"
+#include "service/request.hpp"
+#include "service/scheduler.hpp"
+#include "service/service.hpp"
+#include "service/wire.hpp"
+
+namespace symphase {
+namespace {
+
+constexpr const char* kCircuitA = "H 0\nCNOT 0 1\nX_ERROR(0.1) 0 1\nM 0 1\n";
+constexpr const char* kCircuitB = "X 0\nM 0 1 2\n";
+constexpr const char* kDetCircuit =
+    "X_ERROR(0.1) 0 1\n"
+    "CNOT 0 1\n"
+    "M 0 1\n"
+    "DETECTOR rec[-1]\n"
+    "DETECTOR rec[-2]\n"
+    "OBSERVABLE_INCLUDE(0) rec[-2]\n";
+
+std::string direct_output(const std::string& circuit_text,
+                          const SampleTask& task, SampleFormat format) {
+  const SimulatorSession session(parse_circuit(circuit_text));
+  std::ostringstream oss;
+  WriterSink sink(oss, format);
+  session.run(task, sink);
+  return oss.str();
+}
+
+/// Collects frames across requests; thread-safe.
+class FrameCollector {
+ public:
+  FrameFn fn() {
+    return [this](const FrameHeader& header, std::string_view payload) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      frames_.push_back(Frame{header, std::string(payload)});
+    };
+  }
+
+  std::vector<Frame> frames() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return frames_;
+  }
+
+  MessageAssembler::Message message_for(std::uint64_t request_id) const {
+    MessageAssembler assembler;
+    std::optional<MessageAssembler::Message> result;
+    for (const Frame& frame : frames()) {
+      if (frame.header.request_id != request_id) {
+        continue;
+      }
+      EXPECT_FALSE(result.has_value()) << "frames after last";
+      if (auto message = assembler.accept(frame)) {
+        result = std::move(message);
+      }
+      EXPECT_FALSE(assembler.failed()) << assembler.error();
+    }
+    EXPECT_TRUE(result.has_value())
+        << "request " << request_id << " never completed";
+    return result.value_or(MessageAssembler::Message{});
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Frame> frames_;
+};
+
+class Latch {
+ public:
+  void release() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return released_; });
+  }
+  void wait_for_waiter() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return waiting_; });
+  }
+  void mark_waiting() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      waiting_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool released_ = false;
+  bool waiting_ = false;
+};
+
+/// Parks a 1-worker service inside a kCircuitB request until
+/// latch.release(), so everything submitted afterwards queues up and
+/// is eligible for fusion when the worker comes back.
+std::uint64_t submit_blocker(SamplingService& service, Latch& latch,
+                             FrameCollector& collector) {
+  SampleRequest blocker = SampleRequest::sample(kCircuitB, 100);
+  auto first = std::make_shared<std::atomic<bool>>(true);
+  const FrameFn record = collector.fn();
+  const std::uint64_t ticket = service.submit(
+      1, blocker,
+      [&latch, first, record](const FrameHeader& header,
+                              std::string_view payload) {
+        if (first->exchange(false)) {
+          latch.mark_waiting();
+          latch.wait();
+        }
+        record(header, payload);
+      });
+  latch.wait_for_waiter();
+  return ticket;
+}
+
+// ---------------------------------------------------------------------------
+// DeadlineQueue group claiming.
+
+TEST(DeadlineQueue, ClaimGroupTakesMostUrgentFirstUpToCap) {
+  DeadlineQueue<int> queue;
+  using Item = DeadlineQueue<int>::Item;
+  const auto now = SchedulerClock::now();
+  // Five members of "g" with scrambled urgency, one bystander in "h".
+  queue.push(Item{1, RequestPriority::kLow, kNoDeadline, 10, "g"});
+  queue.push(Item{2, RequestPriority::kNormal, kNoDeadline, 20, "g"});
+  queue.push(
+      Item{3, RequestPriority::kNormal, now + std::chrono::milliseconds(100),
+           30, "g"});
+  queue.push(Item{4, RequestPriority::kHigh, kNoDeadline, 40, "g"});
+  queue.push(Item{5, RequestPriority::kNormal, kNoDeadline, 50, "g"});
+  queue.push(Item{6, RequestPriority::kHigh, kNoDeadline, 60, "h"});
+
+  std::vector<Item> claimed;
+  EXPECT_EQ(queue.claim_group("g", 3, claimed), 3u);
+  ASSERT_EQ(claimed.size(), 3u);
+  // Urgency order, not arrival order: high, then earliest deadline,
+  // then FIFO among no-deadline normals.
+  EXPECT_EQ(claimed[0].ticket, 4u);
+  EXPECT_EQ(claimed[1].ticket, 3u);
+  EXPECT_EQ(claimed[2].ticket, 2u);
+  EXPECT_EQ(queue.size(), 3u);
+
+  // The claimed tickets are really gone; the rest still pop correctly.
+  EXPECT_FALSE(queue.remove(4));
+  std::vector<std::uint64_t> order;
+  while (!queue.empty()) {
+    order.push_back(queue.pop().ticket);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{6, 5, 1}));
+
+  // Unknown and empty tags claim nothing.
+  EXPECT_EQ(queue.claim_group("g", 8, claimed), 0u);
+  EXPECT_EQ(queue.claim_group("", 8, claimed), 0u);
+}
+
+TEST(DeadlineQueue, RemoveRootTailAndSoleElementKeepHeapConsistent) {
+  using Item = DeadlineQueue<int>::Item;
+  {
+    // Removing the root (most urgent) must re-heapify, not just swap.
+    DeadlineQueue<int> queue;
+    queue.push(Item{1, RequestPriority::kHigh, kNoDeadline, 0});
+    queue.push(Item{2, RequestPriority::kLow, kNoDeadline, 0});
+    queue.push(Item{3, RequestPriority::kNormal, kNoDeadline, 0});
+    queue.push(Item{4, RequestPriority::kHigh, kNoDeadline, 0});
+    EXPECT_TRUE(queue.remove(1));
+    std::vector<std::uint64_t> order;
+    while (!queue.empty()) {
+      order.push_back(queue.pop().ticket);
+    }
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{4, 3, 2}));
+  }
+  {
+    // Removing the physical tail slot must not sift a stale index.
+    DeadlineQueue<int> queue;
+    queue.push(Item{1, RequestPriority::kHigh, kNoDeadline, 0});
+    queue.push(Item{2, RequestPriority::kNormal, kNoDeadline, 0});
+    queue.push(Item{3, RequestPriority::kLow, kNoDeadline, 0});
+    EXPECT_TRUE(queue.remove(3));
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.pop().ticket, 1u);
+    EXPECT_EQ(queue.pop().ticket, 2u);
+  }
+  {
+    // Removing the only element leaves a reusable empty queue.
+    DeadlineQueue<int> queue;
+    queue.push(Item{7, RequestPriority::kNormal, kNoDeadline, 0});
+    EXPECT_TRUE(queue.remove(7));
+    EXPECT_TRUE(queue.empty());
+    queue.push(Item{8, RequestPriority::kNormal, kNoDeadline, 0});
+    EXPECT_EQ(queue.pop().ticket, 8u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused execution: bit-identical to solo, per member.
+
+TEST(FusionService, FusedMembersAreBitIdenticalToSolo) {
+  SamplingService service({.num_workers = 1});
+  Latch latch;
+  FrameCollector collector;
+  submit_blocker(service, latch, collector);
+
+  // Five same-circuit requests that differ in every per-member knob:
+  // seed, shot count (including multi-shard and partial-shard tails),
+  // format, thread count, and one row subset.
+  struct Member {
+    std::uint64_t id;
+    std::size_t shots;
+    std::uint64_t seed;
+    SampleFormat format;
+    std::size_t threads;
+    std::vector<std::size_t> rows;
+  };
+  const std::vector<Member> members = {
+      {2, 100, 11, SampleFormat::k01, 1, {}},
+      {3, 16'483, 22, SampleFormat::kB8, 2, {}},  // 3 shards, ragged tail
+      {4, 1, 33, SampleFormat::kHex, 1, {}},
+      {5, 8'192, 44, SampleFormat::kPtb64, 2, {}},  // exactly one shard
+      {6, 5'000, 55, SampleFormat::k01, 1, {0}},    // row subset
+  };
+  std::vector<SampleRequest> requests;
+  for (const Member& m : members) {
+    SampleRequest request = SampleRequest::sample(kCircuitA, m.shots);
+    request.task.seed = m.seed;
+    request.task.num_threads = m.threads;
+    request.task.bit_selection = m.rows;
+    request.format = m.format;
+    requests.push_back(request);
+    service.submit(m.id, requests.back(), collector.fn());
+  }
+
+  latch.release();
+  service.drain();
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const std::string expected =
+        direct_output(kCircuitA, requests[i].task, requests[i].format);
+    EXPECT_EQ(collector.message_for(members[i].id).payload, expected)
+        << "request " << members[i].id;
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.fused_requests, 5u) << stats.to_line();
+  EXPECT_EQ(stats.fusion_groups, 1u) << stats.to_line();
+  EXPECT_EQ(stats.completed, 6u) << stats.to_line();
+  // One compile per distinct circuit — fusion must preserve the
+  // compile-once contract (blocker's kCircuitB + kCircuitA).
+  EXPECT_EQ(stats.compiles, 2u) << stats.to_line();
+  EXPECT_EQ(stats.misses, 2u) << stats.to_line();
+  EXPECT_EQ(stats.hits, 4u) << stats.to_line();
+}
+
+TEST(FusionService, DetectAndFrameBackendGroupsFuseSeparately) {
+  SamplingService service({.num_workers = 1});
+  Latch latch;
+  FrameCollector collector;
+  submit_blocker(service, latch, collector);
+
+  // Two distinct fuse keys queued together: detect on the reference
+  // backend and sample on the frame backend. Each fuses internally;
+  // they must never fuse with each other.
+  std::vector<SampleRequest> requests;
+  for (std::uint64_t id = 2; id <= 4; ++id) {
+    SampleRequest request = SampleRequest::detect(kDetCircuit, 9'000);
+    request.task.seed = id * 7;
+    requests.push_back(request);
+    service.submit(id, requests.back(), collector.fn());
+  }
+  for (std::uint64_t id = 5; id <= 7; ++id) {
+    SampleRequest request = SampleRequest::sample(kDetCircuit, 12'000);
+    request.task.seed = id * 7;
+    request.task.backend = SampleBackend::kFrameSimulator;
+    request.format = SampleFormat::kB8;
+    requests.push_back(request);
+    service.submit(id, requests.back(), collector.fn());
+  }
+
+  latch.release();
+  service.drain();
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::uint64_t id = 2 + i;
+    const std::string expected =
+        direct_output(kDetCircuit, requests[i].task, requests[i].format);
+    EXPECT_EQ(collector.message_for(id).payload, expected) << "request " << id;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.fused_requests, 6u) << stats.to_line();
+  EXPECT_EQ(stats.fusion_groups, 2u) << stats.to_line();
+}
+
+TEST(FusionService, CapSplitsGroupsAndDistinctKeysNeverFuse) {
+  SamplingService service({.num_workers = 1, .fusion_cap = 4});
+  Latch latch;
+  FrameCollector collector;
+  submit_blocker(service, latch, collector);
+
+  // Six same-key requests against a cap of 4: one group of four, one
+  // of two. A seventh request with different circuit text must stay
+  // solo (no group of one is ever counted).
+  std::vector<SampleRequest> requests;
+  for (std::uint64_t id = 2; id <= 7; ++id) {
+    SampleRequest request = SampleRequest::sample(kCircuitA, 2'000);
+    request.task.seed = 100 + id;
+    requests.push_back(request);
+    service.submit(id, requests.back(), collector.fn());
+  }
+  SampleRequest lone = SampleRequest::sample(kCircuitB, 2'000);
+  lone.task.seed = 999;
+  service.submit(8, lone, collector.fn());
+
+  latch.release();
+  service.drain();
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::uint64_t id = 2 + i;
+    const std::string expected =
+        direct_output(kCircuitA, requests[i].task, requests[i].format);
+    EXPECT_EQ(collector.message_for(id).payload, expected) << "request " << id;
+  }
+  EXPECT_EQ(collector.message_for(8).payload,
+            direct_output(kCircuitB, lone.task, lone.format));
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.fused_requests, 6u) << stats.to_line();
+  EXPECT_EQ(stats.fusion_groups, 2u) << stats.to_line();
+  EXPECT_EQ(stats.completed, 8u) << stats.to_line();
+}
+
+TEST(FusionService, FusionCapOneDisablesFusion) {
+  SamplingService service({.num_workers = 1, .fusion_cap = 1});
+  Latch latch;
+  FrameCollector collector;
+  submit_blocker(service, latch, collector);
+
+  std::vector<SampleRequest> requests;
+  for (std::uint64_t id = 2; id <= 4; ++id) {
+    SampleRequest request = SampleRequest::sample(kCircuitA, 1'000);
+    request.task.seed = id;
+    requests.push_back(request);
+    service.submit(id, requests.back(), collector.fn());
+  }
+  latch.release();
+  service.drain();
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::uint64_t id = 2 + i;
+    EXPECT_EQ(collector.message_for(id).payload,
+              direct_output(kCircuitA, requests[i].task, requests[i].format))
+        << "request " << id;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.fused_requests, 0u) << stats.to_line();
+  EXPECT_EQ(stats.fusion_groups, 0u) << stats.to_line();
+}
+
+TEST(FusionService, CancelOneMemberLeavesGroupmatesBitIdentical) {
+  // Small frames give the middle member plenty of chunk boundaries to
+  // cancel itself at; its groupmates' streams must not notice.
+  SamplingService service({.num_workers = 1, .max_frame_payload = 256});
+  Latch latch;
+  FrameCollector collector;
+  submit_blocker(service, latch, collector);
+
+  SampleRequest request = SampleRequest::sample(kCircuitA, 200'000);
+  request.format = SampleFormat::kB8;
+
+  SampleRequest first = request;
+  first.task.seed = 1001;
+  service.submit(2, first, collector.fn());
+
+  SampleRequest doomed = request;
+  doomed.task.seed = 1002;
+  std::uint64_t doomed_ticket = 0;
+  std::mutex ticket_mutex;
+  std::atomic<bool> cancel_result{false};
+  std::string doomed_error;
+  std::mutex error_mutex;
+  const FrameFn record = collector.fn();
+  const FrameFn cancelling_emit = [&](const FrameHeader& header,
+                                      std::string_view payload) {
+    record(header, payload);
+    if ((header.flags & kFrameError) != 0) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      doomed_error = std::string(payload);
+      return;
+    }
+    std::uint64_t ticket = 0;
+    {
+      const std::lock_guard<std::mutex> lock(ticket_mutex);
+      ticket = doomed_ticket;
+    }
+    if (ticket != 0 && service.cancel(ticket)) {
+      cancel_result = true;
+    }
+  };
+  {
+    const std::lock_guard<std::mutex> lock(ticket_mutex);
+    doomed_ticket = service.submit(3, doomed, cancelling_emit);
+  }
+
+  SampleRequest last = request;
+  last.task.seed = 1003;
+  service.submit(4, last, collector.fn());
+
+  latch.release();
+  service.drain();
+
+  // Groupmates stream to completion, byte-identical to solo runs.
+  EXPECT_EQ(collector.message_for(2).payload,
+            direct_output(kCircuitA, first.task, first.format));
+  EXPECT_EQ(collector.message_for(4).payload,
+            direct_output(kCircuitA, last.task, last.format));
+  EXPECT_TRUE(cancel_result.load());
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex);
+    EXPECT_NE(doomed_error.find("cancelled"), std::string::npos)
+        << doomed_error;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cancelled, 1u) << stats.to_line();
+  EXPECT_EQ(stats.completed, 3u) << stats.to_line();  // blocker + 2 mates
+  EXPECT_EQ(stats.fused_requests, 3u) << stats.to_line();
+  EXPECT_EQ(stats.fusion_groups, 1u) << stats.to_line();
+}
+
+// ---------------------------------------------------------------------------
+// PR 8 regression: drain() must wait for a queue-cancelled request's
+// error frame. Before the fix, cancel() notified the drain waiter while
+// still holding the queue lock and emitted the frame after unlocking,
+// so a concurrent drain() could observe "queue empty, nothing active"
+// and return while the error frame was still being written.
+
+TEST(FusionService, DrainWaitsForCancelledQueuedRequestErrorFrame) {
+  SamplingService service({.num_workers = 1});
+  Latch latch;
+  FrameCollector collector;
+  submit_blocker(service, latch, collector);
+
+  std::atomic<bool> emitted{false};
+  SampleRequest queued = SampleRequest::sample(kCircuitA, 100);
+  const std::uint64_t ticket =
+      service.submit(2, queued, [&](const FrameHeader&, std::string_view) {
+        // A deliberately slow transport write: the frame is "on the
+        // wire" only once this returns.
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        emitted = true;
+      });
+
+  std::thread canceller([&] { EXPECT_TRUE(service.cancel(ticket)); });
+  // Let the canceller get into the emit before the blocker finishes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  latch.release();
+  service.drain();
+  // The whole point: at drain() return, every accepted request's final
+  // frame has been fully emitted — including the cancelled one's.
+  EXPECT_TRUE(emitted.load());
+  canceller.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cancelled, 1u) << stats.to_line();
+  EXPECT_EQ(stats.completed, 1u) << stats.to_line();
+}
+
+}  // namespace
+}  // namespace symphase

@@ -69,13 +69,13 @@ using namespace symphase;
       "  symphase sample  CIRCUIT [--shots N] [--seed S] [--threads N]\n"
       "                   [--format 01|hex|b8|ptb64] [--backend symphase|frames]\n"
       "                   [--connect HOST:PORT [--priority high|normal|low]\n"
-      "                   [--deadline-ms N] [--repeat N] [--retries N]\n"
-      "                   [--retry-backoff-ms N] [--timeout-ms N]]\n"
+      "                   [--deadline-ms N] [--repeat N] [--pipeline W]\n"
+      "                   [--retries N] [--retry-backoff-ms N] [--timeout-ms N]]\n"
       "  symphase detect  CIRCUIT [--shots N] [--seed S] [--threads N]\n"
       "                   [--format 01|hex|b8|ptb64|dets] [--backend symphase|frames]\n"
       "                   [--connect HOST:PORT [--priority high|normal|low]\n"
-      "                   [--deadline-ms N] [--repeat N] [--retries N]\n"
-      "                   [--retry-backoff-ms N] [--timeout-ms N]]\n"
+      "                   [--deadline-ms N] [--repeat N] [--pipeline W]\n"
+      "                   [--retries N] [--retry-backoff-ms N] [--timeout-ms N]]\n"
       "  symphase analyze CIRCUIT [--max-expr K]\n"
       "  symphase dem     CIRCUIT\n"
       "  symphase gen     surface|repetition|steane|layered [options]\n"
@@ -86,11 +86,13 @@ using namespace symphase;
       "  symphase stats   HOST:PORT [--json]   (service counters snapshot;\n"
       "                   --json prints one JSON object for tooling)\n"
       "  symphase serve   --stdio [--workers N] [--queue N] [--cache N]\n"
-      "                   [--max-frame BYTES] [--rate-shots N] [--burst-shots N]\n"
-      "                   [--max-shots N]   (framed requests on stdin,\n"
-      "                   framed responses on stdout; see docs/service.md)\n"
+      "                   [--max-frame BYTES] [--fusion N] [--rate-shots N]\n"
+      "                   [--burst-shots N] [--max-shots N]   (framed requests\n"
+      "                   on stdin, framed responses on stdout; see\n"
+      "                   docs/service.md)\n"
       "  symphase serve   --listen HOST:PORT [--workers N] [--queue N]\n"
-      "                   [--cache N] [--max-frame BYTES] [--max-clients N]\n"
+      "                   [--cache N] [--max-frame BYTES] [--fusion N]\n"
+      "                   [--max-clients N]\n"
       "                   [--rate-shots N] [--burst-shots N] [--max-shots N]\n"
       "                   [--port-file PATH]\n"
       "                   [--http HOST:PORT [--http-port-file PATH] [--log-json]]\n"
@@ -256,8 +258,8 @@ SampleTask task_from_options(SampleTarget target, Options& opt) {
 /// forgotten --connect would otherwise sample for minutes and then
 /// exit 2.
 void reject_remote_only_flags(const Options& opt) {
-  for (const char* flag : {"priority", "deadline-ms", "repeat", "retries",
-                           "retry-backoff-ms", "timeout-ms"}) {
+  for (const char* flag : {"priority", "deadline-ms", "repeat", "pipeline",
+                           "retries", "retry-backoff-ms", "timeout-ms"}) {
     if (opt.has(flag)) {
       usage(std::string("--") + flag + " requires --connect HOST:PORT");
     }
@@ -299,6 +301,10 @@ int run_remote(const std::string& address, const std::string& path,
   request.deadline_ms = opt.get_u64("deadline-ms", 0);
   const std::uint64_t repeat =
       std::max<std::uint64_t>(1, opt.get_u64("repeat", 1));
+  const std::uint64_t pipeline = opt.get_u64("pipeline", 0);
+  if (pipeline > 0 && repeat <= 1) {
+    usage("--pipeline W requires --repeat N");
+  }
   RetryPolicy policy;
   policy.max_retries = opt.get_u64("retries", 0);
   policy.initial_backoff_ms =
@@ -324,6 +330,50 @@ int run_remote(const std::string& address, const std::string& path,
       return 3;
     }
     request.digest = client->register_circuit(circuit_text);
+    if (pipeline > 0) {
+      // Pipelined latency mode: keep up to `pipeline` requests
+      // outstanding on the one connection (each with its own seed, like
+      // distinct clients would send), awaiting completions in submit
+      // order. This measures server-side throughput under concurrent
+      // same-circuit load — the scenario cross-request shot fusion
+      // accelerates — instead of single-stream round-trip latency.
+      const std::uint64_t window = std::min(pipeline, repeat);
+      std::vector<std::chrono::steady_clock::time_point> started(repeat + 1);
+      const auto wall_start = std::chrono::steady_clock::now();
+      std::uint64_t next_submit = 1;
+      const auto submit_next = [&] {
+        request.task.seed = task.seed + next_submit;
+        started[next_submit] = std::chrono::steady_clock::now();
+        client->submit(next_submit, request);
+        ++next_submit;
+      };
+      while (next_submit <= window) {
+        submit_next();
+      }
+      for (std::uint64_t i = 1; i <= repeat; ++i) {
+        const MessageAssembler::Message reply = client->await(i);
+        const auto elapsed = std::chrono::steady_clock::now() - started[i];
+        if (reply.error) {
+          std::cerr << "error: " << reply.error_text << '\n';
+          return 4;
+        }
+        std::printf(
+            "req_ms=%.3f bytes=%zu\n",
+            std::chrono::duration<double, std::milli>(elapsed).count(),
+            reply.payload.size());
+        if (next_submit <= repeat) {
+          submit_next();
+        }
+      }
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - wall_start)
+                                 .count();
+      std::printf("pipeline_requests=%llu wall_ms=%.3f rps=%.1f\n",
+                  static_cast<unsigned long long>(repeat), wall_ms,
+                  wall_ms > 0.0 ? 1000.0 * static_cast<double>(repeat) / wall_ms
+                                : 0.0);
+      return 0;
+    }
     for (std::uint64_t i = 1; i <= repeat; ++i) {
       const auto start = std::chrono::steady_clock::now();
       client->submit(i, request);
@@ -455,6 +505,7 @@ int cmd_serve(Options& opt) {
       std::max<std::uint64_t>(1, opt.get_u64("cache", 8));
   service_options.max_frame_payload = std::clamp<std::uint64_t>(
       opt.get_u64("max-frame", 1u << 20), 1, 0xffffffffu);
+  service_options.fusion_cap = opt.get_u64("fusion", 16);
   service_options.admission.client_shots_per_second =
       opt.get_u64("rate-shots", 0);
   service_options.admission.client_burst_shots = opt.get_u64("burst-shots", 0);
@@ -710,6 +761,7 @@ int cmd_serve_listen(const std::string& address, Options& opt) {
       std::max<std::uint64_t>(1, opt.get_u64("cache", 8));
   options.service.max_frame_payload = std::clamp<std::uint64_t>(
       opt.get_u64("max-frame", 1u << 20), 1, 0xffffffffu);
+  options.service.fusion_cap = opt.get_u64("fusion", 16);
   options.service.admission.client_shots_per_second =
       opt.get_u64("rate-shots", 0);
   options.service.admission.client_burst_shots = opt.get_u64("burst-shots", 0);
