@@ -50,6 +50,7 @@ int error_http_status(ErrorCode code) {
     case ErrorCode::kCancelled: return 499;  // nginx convention
     case ErrorCode::kBadCircuit: return 400;
     case ErrorCode::kInternal: return 500;
+    case ErrorCode::kTimeout: return 408;
   }
   return 500;
 }
@@ -701,6 +702,29 @@ HttpGateway::HttpGateway(SamplingService& service, HttpGatewayOptions options)
             "Fused engine passes (groups of two or more same-circuit "
             "requests)",
             s.fusion_groups);
+    counter("symphase_requests_expired_running_total",
+            "Requests cut mid-run by the watchdog (deadline or execution "
+            "cap); pre-run deadline rejections stay in "
+            "symphase_requests_rejected_total",
+            s.expired_running);
+    counter("symphase_exec_timeouts_total",
+            "Watchdog enforcements of the per-request execution "
+            "wall-clock cap",
+            s.exec_timeouts);
+    counter("symphase_stalled_requests",
+            "In-flight runs flagged for making no shard-chunk progress "
+            "for stall_warn_ms",
+            s.stalled);
+    counter("symphase_worker_restarts_total",
+            "Worker threads respawned after an escaped exception",
+            s.worker_restarts);
+    counter("symphase_error_emit_failures_total",
+            "Error frames the transport emitter failed to deliver",
+            s.error_emit_failures);
+    gauge("symphase_longest_running_ms",
+          "Age in milliseconds of the oldest in-flight run",
+          s.longest_running_ms);
+    gauge("symphase_workers_alive", "Live worker threads", s.workers_alive);
     out += "# HELP symphase_requests_rejected_total Requests turned away "
            "before execution, by reason\n"
            "# TYPE symphase_requests_rejected_total counter\n";

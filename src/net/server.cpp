@@ -123,12 +123,58 @@ class FrameConnection : public Connection,
                         public std::enable_shared_from_this<FrameConnection> {
  public:
   FrameConnection(ConnectionHost& host, Socket socket,
-                  std::size_t max_inbound, std::uint64_t client_id)
+                  std::size_t max_inbound, std::uint64_t client_id,
+                  std::uint64_t idle_timeout_ms)
       : Connection(host, std::move(socket), client_id),
+        idle_timeout_(std::chrono::milliseconds(idle_timeout_ms)),
+        idle_enabled_(idle_timeout_ms != 0),
+        last_activity_(Clock::now()),
         decoder_(max_inbound) {}
 
  protected:
+  /// Idle-read timeout (SocketServerOptions::idle_timeout_ms): armed
+  /// only while nothing is in flight — a slow *response* must never
+  /// trip it, so enqueue_frame() restamps the clock when a final frame
+  /// empties inflight_.
+  Clock::time_point next_deadline() override {
+    if (!idle_enabled_) {
+      return kNoConnDeadline;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (read_done_ || !inflight_.empty()) {
+      return kNoConnDeadline;
+    }
+    return last_activity_ + idle_timeout_;
+  }
+
+  void on_deadline() override {
+    // Re-check under the lock: a request may have landed since the
+    // poll loop sampled the deadline.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (read_done_ || !inflight_.empty() ||
+          Clock::now() < last_activity_ + idle_timeout_) {
+        return;
+      }
+    }
+    std::ostringstream oss;
+    oss << "idle timeout: no request in "
+        << std::chrono::duration_cast<std::chrono::milliseconds>(
+               idle_timeout_)
+               .count()
+        << " ms; closing connection";
+    enqueue_error(0, make_error(ErrorCode::kTimeout, oss.str()));
+    // Stop reading; the connection retires once the error frame flushed
+    // (retire_when_idle_locked() — read_done_ — plus empty inflight_).
+    const std::lock_guard<std::mutex> lock(mutex_);
+    read_done_ = true;
+  }
+
   bool on_bytes(std::string_view bytes) override {
+    if (idle_enabled_) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      last_activity_ = Clock::now();
+    }
     decoder_.feed(bytes);
     Frame frame;
     bool session_ok = true;
@@ -183,6 +229,9 @@ class FrameConnection : public Connection,
       }
       if ((header.flags & kFrameLast) != 0) {
         inflight_.erase(header.request_id);
+        // The idle clock starts when the connection actually goes idle,
+        // not when its last inbound byte arrived mid-stream.
+        last_activity_ = Clock::now();
       }
       return wake;
     });
@@ -319,6 +368,10 @@ class FrameConnection : public Connection,
     return true;
   }
 
+  const Clock::duration idle_timeout_;
+  const bool idle_enabled_;
+  /// Last inbound byte or response completion (mutex_).
+  Clock::time_point last_activity_;
   FrameDecoder decoder_;
   MessageAssembler assembler_;
 };
@@ -440,7 +493,8 @@ bool SocketServer::run() {
               *impl, std::move(accepted), client_id));
         } else {
           impl->connections.push_back(std::make_shared<FrameConnection>(
-              *impl, std::move(accepted), impl->max_inbound, client_id));
+              *impl, std::move(accepted), impl->max_inbound, client_id,
+              impl->options.idle_timeout_ms));
         }
       }
     };

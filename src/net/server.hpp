@@ -66,6 +66,13 @@ struct SocketServerOptions {
   /// emitting past it blocks until the client drains (per-request
   /// backpressure against slow readers).
   std::size_t max_outbound_buffer = 64u << 20;
+  /// Idle-read timeout for frame connections in milliseconds (0 = off):
+  /// a connection with no request in flight and no inbound bytes for
+  /// this long is answered with a `timeout` error frame (request id 0)
+  /// and closed — the frame-protocol counterpart of the HTTP gateway's
+  /// slow-loris 408. A client mid-request never idles out: in-flight
+  /// responses reset the clock when they finish.
+  std::uint64_t idle_timeout_ms = 0;
   /// host:port for the HTTP/JSON gateway (http/gateway.hpp), served
   /// from the same event loop; empty disables HTTP. Port 0 picks an
   /// ephemeral port (see http_port()).

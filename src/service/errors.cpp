@@ -49,6 +49,8 @@ std::string_view error_code_name(ErrorCode code) {
       return "bad_circuit";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kTimeout:
+      return "timeout";
   }
   return "internal";
 }
@@ -58,6 +60,9 @@ bool error_code_retryable(ErrorCode code) {
     case ErrorCode::kQueueFull:
     case ErrorCode::kRateLimited:
     case ErrorCode::kDraining:
+    // An idle-timeout close says nothing about the request itself — a
+    // reconnecting client starts clean.
+    case ErrorCode::kTimeout:
       return true;
     case ErrorCode::kDeadlineExpired:
     case ErrorCode::kCancelled:

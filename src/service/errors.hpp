@@ -40,6 +40,8 @@ enum class ErrorCode : std::uint32_t {
   kCancelled = 5,        ///< Cancelled by the client (or its disconnect).
   kBadCircuit = 6,       ///< Invalid request/circuit; retrying cannot help.
   kInternal = 7,         ///< Unexpected server-side failure.
+  kTimeout = 8,          ///< Transport idle timeout: the server closed a
+                         ///< connection that sent nothing for too long.
 };
 
 /// The code's wire name ("queue_full", ...). Unknown values render as

@@ -20,10 +20,10 @@
 /// Deadlines are scheduling hints AND admission gates: the queue itself
 /// never drops anything, but the service checks `deadline` when a
 /// worker takes the item and rejects expired requests with an error
-/// frame before any compilation or sampling starts. (In-flight requests
-/// past their deadline are NOT aborted — deadlines gate admission;
-/// cooperative cancellation is the mid-run mechanism, see
-/// api/sample_stream.hpp.)
+/// frame before any compilation or sampling starts. In-flight requests
+/// past their deadline are cut too, by the service's watchdog thread
+/// riding the cooperative-cancel path (api/sample_stream.hpp) — the
+/// queue plays no part in that; see service.hpp.
 ///
 /// Not thread-safe: the owner (SamplingService) holds its queue mutex
 /// around every call, exactly like the deque it replaces.

@@ -1,6 +1,8 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 
@@ -20,10 +22,12 @@ namespace {
 class FrameSink final : public SampleSink {
  public:
   FrameSink(std::uint64_t request_id, SampleFormat format,
-            std::size_t max_payload, const FrameFn& emit)
+            std::size_t max_payload, const FrameFn& emit,
+            std::atomic<std::uint64_t>* progress)
       : request_id_(request_id),
         max_payload_(max_payload),
         emit_(emit),
+        progress_(progress),
         writer_(buffer_, format) {}
 
   void begin(const SampleStreamInfo& info) override { writer_.begin(info); }
@@ -31,6 +35,12 @@ class FrameSink final : public SampleSink {
   void consume(const SampleChunk& chunk) override {
     writer_.consume(chunk);
     ship_buffer();
+    // The heartbeat the watchdog's stall detector reads: one tick per
+    // shard chunk delivered, bumped after the bytes shipped (a sink
+    // blocked on a slow reader is a stall too).
+    if (progress_ != nullptr) {
+      progress_->fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   void end() override {
@@ -65,10 +75,21 @@ class FrameSink final : public SampleSink {
   std::uint64_t request_id_;
   std::size_t max_payload_;
   const FrameFn& emit_;
+  std::atomic<std::uint64_t>* progress_;
   std::ostringstream buffer_;
   WriterSink writer_;
   std::uint32_t next_chunk_ = 0;
 };
+
+std::uint64_t ms_between(SchedulerClock::time_point from,
+                         SchedulerClock::time_point to) {
+  if (to <= from) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(to - from)
+          .count());
+}
 
 }  // namespace
 
@@ -85,7 +106,13 @@ std::string ServiceStats::to_line() const {
       << " rejected_draining=" << rejected_draining
       << " shots_in_flight=" << shots_in_flight
       << " fused_requests=" << fused_requests
-      << " fusion_groups=" << fusion_groups;
+      << " fusion_groups=" << fusion_groups
+      << " expired_running=" << expired_running
+      << " exec_timeouts=" << exec_timeouts << " stalled=" << stalled
+      << " worker_restarts=" << worker_restarts
+      << " error_emit_failures=" << error_emit_failures
+      << " longest_running_ms=" << longest_running_ms
+      << " workers_alive=" << workers_alive;
   for (std::size_t i = 0; i < kNumPriorities; ++i) {
     oss << " served_" << priority_name(static_cast<RequestPriority>(i)) << '='
         << served[i];
@@ -108,7 +135,13 @@ std::string ServiceStats::to_json() const {
       << ",\"rejected_draining\":" << rejected_draining
       << ",\"shots_in_flight\":" << shots_in_flight
       << ",\"fused_requests\":" << fused_requests
-      << ",\"fusion_groups\":" << fusion_groups << ",\"served\":{";
+      << ",\"fusion_groups\":" << fusion_groups
+      << ",\"expired_running\":" << expired_running
+      << ",\"exec_timeouts\":" << exec_timeouts << ",\"stalled\":" << stalled
+      << ",\"worker_restarts\":" << worker_restarts
+      << ",\"error_emit_failures\":" << error_emit_failures
+      << ",\"longest_running_ms\":" << longest_running_ms
+      << ",\"workers_alive\":" << workers_alive << ",\"served\":{";
   for (std::size_t i = 0; i < kNumPriorities; ++i) {
     oss << (i == 0 ? "\"" : ",\"")
         << priority_name(static_cast<RequestPriority>(i)) << "\":"
@@ -125,7 +158,9 @@ std::string ServiceHealth::to_line() const {
       << " queue_capacity=" << queue_capacity
       << " active_jobs=" << active_jobs
       << " shots_in_flight=" << shots_in_flight
-      << " max_shots_in_flight=" << max_shots_in_flight << '\n';
+      << " max_shots_in_flight=" << max_shots_in_flight
+      << " longest_running_ms=" << longest_running_ms
+      << " workers_alive=" << workers_alive << '\n';
   return oss.str();
 }
 
@@ -137,7 +172,9 @@ std::string ServiceHealth::to_json() const {
       << ",\"queue_capacity\":" << queue_capacity
       << ",\"active_jobs\":" << active_jobs
       << ",\"shots_in_flight\":" << shots_in_flight
-      << ",\"max_shots_in_flight\":" << max_shots_in_flight << "}\n";
+      << ",\"max_shots_in_flight\":" << max_shots_in_flight
+      << ",\"longest_running_ms\":" << longest_running_ms
+      << ",\"workers_alive\":" << workers_alive << "}\n";
   return oss.str();
 }
 
@@ -151,9 +188,10 @@ SamplingService::SamplingService(ServiceOptions options)
   // ship_buffer() cut slices encode_frame() cannot represent.
   SYMPHASE_CHECK(options_.max_frame_payload <= 0xffffffffu);
   SYMPHASE_CHECK(options_.registry_capacity >= 1);
+  watchdog_ = std::thread([this] { watchdog_loop(); });
   workers_.reserve(options_.num_workers);
   for (std::size_t i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -218,6 +256,8 @@ std::uint64_t SamplingService::submit_impl(std::uint64_t request_id,
                    std::chrono::milliseconds(request.deadline_ms);
   }
   job.cancel_flag = std::make_shared<std::atomic<bool>>(false);
+  job.abort_reason = std::make_shared<std::atomic<std::uint32_t>>(kAbortNone);
+  job.progress = std::make_shared<std::atomic<std::uint64_t>>(0);
   job.shots = request.task.shots;
   job.request = std::move(request);
   job.emit = std::move(emit);
@@ -350,13 +390,17 @@ bool SamplingService::draining() const {
 
 ServiceHealth SamplingService::health() const {
   ServiceHealth h;
-  const std::lock_guard<std::mutex> lock(queue_mutex_);
-  h.accepting = !draining_ && !stopping_;
-  h.queue_depth = queue_.size();
-  h.queue_capacity = options_.queue_capacity;
-  h.active_jobs = active_jobs_;
-  h.shots_in_flight = admission_.shots_in_flight();
-  h.max_shots_in_flight = options_.admission.max_shots_in_flight;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    h.accepting = !draining_ && !stopping_;
+    h.queue_depth = queue_.size();
+    h.queue_capacity = options_.queue_capacity;
+    h.active_jobs = active_jobs_;
+    h.shots_in_flight = admission_.shots_in_flight();
+    h.max_shots_in_flight = options_.admission.max_shots_in_flight;
+  }
+  h.longest_running_ms = longest_running_ms();
+  h.workers_alive = workers_alive_.load(std::memory_order_relaxed);
   return h;
 }
 
@@ -370,10 +414,34 @@ void SamplingService::stop() {
     queue_work_.notify_all();
     queue_space_.notify_all();
   }
-  for (std::thread& worker : workers_) {
-    worker.join();
+  // Join in batches under the lock: a crashed worker may still be
+  // swapping its replacement into workers_ while we drain the vector.
+  // stopping_ stops further respawns, so this converges.
+  std::vector<std::thread> to_join;
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (workers_.empty()) {
+        break;
+      }
+      to_join.swap(workers_);
+    }
+    for (std::thread& worker : to_join) {
+      if (worker.joinable()) {
+        worker.join();
+      }
+    }
+    to_join.clear();
   }
-  workers_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(watch_mutex_);
+    watch_stop_ = true;
+    ++watch_epoch_;
+  }
+  watch_cv_.notify_all();
+  if (watchdog_.joinable()) {
+    watchdog_.join();
+  }
 }
 
 void SamplingService::clear_sessions() {
@@ -404,6 +472,7 @@ ServiceStats SamplingService::stats() const {
     s.failed = failed_;
     s.rejected_expired = rejected_expired_;
     s.cancelled = cancelled_;
+    s.expired_running = expired_running_;
     s.rejected_queue_full = rejected_queue_full_;
     s.rejected_rate_limited = rejected_rate_limited_;
     s.rejected_draining = rejected_draining_;
@@ -419,6 +488,13 @@ ServiceStats SamplingService::stats() const {
     s.fused_requests = fused_requests_;
     s.fusion_groups = fusion_groups_;
   }
+  s.exec_timeouts = exec_timeouts_.load(std::memory_order_relaxed);
+  s.stalled = stalled_.load(std::memory_order_relaxed);
+  s.worker_restarts = worker_restarts_.load(std::memory_order_relaxed);
+  s.error_emit_failures =
+      error_emit_failures_.load(std::memory_order_relaxed);
+  s.longest_running_ms = longest_running_ms();
+  s.workers_alive = workers_alive_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -465,7 +541,8 @@ std::shared_ptr<SimulatorSession> SamplingService::session_for(
   return session;
 }
 
-void SamplingService::worker_loop() {
+void SamplingService::worker_loop(std::size_t worker_index) {
+  workers_alive_.fetch_add(1, std::memory_order_relaxed);
   std::vector<Job> group;
   std::vector<DeadlineQueue<Job>::Item> mates;
   for (;;) {
@@ -474,6 +551,7 @@ void SamplingService::worker_loop() {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) {
+        workers_alive_.fetch_sub(1, std::memory_order_relaxed);
         return;  // stopping_ and drained
       }
       group.push_back(std::move(queue_.pop().payload));
@@ -498,7 +576,35 @@ void SamplingService::worker_loop() {
       // A fused claim can free several queue slots at once.
       queue_space_.notify_all();
     }
-    process_group(group);
+    register_running(group, worker_index);
+    // Supervision: process_group() handles every per-job failure, so an
+    // exception reaching this frame means the worker itself broke (in
+    // practice: the injected worker_fault_hook). Fail the whole claimed
+    // group with `internal` — no member has streamed yet when the hook
+    // throws — then fall through to the normal cleanup and respawn.
+    bool crashed = false;
+    std::string crash_reason;
+    try {
+      if (options_.worker_fault_hook) {
+        options_.worker_fault_hook(worker_index);
+      }
+      process_group(group);
+    } catch (const std::exception& e) {
+      crashed = true;
+      crash_reason = e.what();
+    } catch (...) {
+      crashed = true;
+      crash_reason = "unknown exception";
+    }
+    if (crashed) {
+      for (Job& job : group) {
+        emit_error_frame(job, /*chunk_index=*/0,
+                         make_error(ErrorCode::kInternal,
+                                    "worker crashed: " + crash_reason));
+        account(Outcome::kFailed, job.request.priority);
+      }
+    }
+    unregister_running(group);
     {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
       for (const Job& job : group) {
@@ -512,6 +618,187 @@ void SamplingService::worker_loop() {
       if (queue_.empty() && active_jobs_ == 0) {
         queue_idle_.notify_all();
       }
+    }
+    if (crashed) {
+      worker_restarts_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::ostringstream oss;
+        oss << "{\"event\":\"worker_restart\",\"worker\":" << worker_index
+            << ",\"reason\":\"" << crash_reason << "\"}";
+        watchdog_emit(oss.str());
+      }
+      // Respawn: swap this thread's own handle in workers_ for the
+      // replacement (detaching self — this frame returns immediately),
+      // so stop() joins exactly the live threads and the vector never
+      // grows. Under stopping_ the pool is winding down anyway.
+      {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (!stopping_) {
+          const std::thread::id self = std::this_thread::get_id();
+          for (std::thread& worker : workers_) {
+            if (worker.get_id() == self) {
+              worker.detach();
+              try {
+                worker = std::thread(
+                    [this, worker_index] { worker_loop(worker_index); });
+              } catch (...) {
+                // Thread creation failed; the pool runs one short.
+              }
+              break;
+            }
+          }
+        }
+      }
+      workers_alive_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void SamplingService::register_running(const std::vector<Job>& group,
+                                       std::size_t worker_index) {
+  const SchedulerClock::time_point now = SchedulerClock::now();
+  SchedulerClock::time_point exec_deadline = kNoDeadline;
+  if (options_.exec_timeout_ms != 0) {
+    exec_deadline = now + std::chrono::milliseconds(options_.exec_timeout_ms);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(watch_mutex_);
+    for (const Job& job : group) {
+      RunWatch watch;
+      watch.request_id = job.request_id;
+      watch.worker = worker_index;
+      watch.start = now;
+      watch.deadline = job.deadline;
+      watch.exec_deadline = exec_deadline;
+      watch.cancel_flag = job.cancel_flag;
+      watch.abort_reason = job.abort_reason;
+      watch.progress = job.progress;
+      watch.progress_time = now;
+      running_.emplace(job.ticket, std::move(watch));
+    }
+    ++watch_epoch_;
+  }
+  watch_cv_.notify_all();
+}
+
+void SamplingService::unregister_running(const std::vector<Job>& group) {
+  const std::lock_guard<std::mutex> lock(watch_mutex_);
+  for (const Job& job : group) {
+    running_.erase(job.ticket);
+  }
+  ++watch_epoch_;
+}
+
+std::uint64_t SamplingService::longest_running_ms() const {
+  const SchedulerClock::time_point now = SchedulerClock::now();
+  const std::lock_guard<std::mutex> lock(watch_mutex_);
+  std::uint64_t longest = 0;
+  for (const auto& [ticket, watch] : running_) {
+    longest = std::max(longest, ms_between(watch.start, now));
+  }
+  return longest;
+}
+
+void SamplingService::watchdog_emit(const std::string& line) const {
+  if (options_.watchdog_log) {
+    options_.watchdog_log(line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+void SamplingService::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(watch_mutex_);
+  while (!watch_stop_) {
+    const SchedulerClock::time_point now = SchedulerClock::now();
+    SchedulerClock::time_point next_event = kNoDeadline;
+    std::vector<std::string> events;
+    for (auto& [ticket, watch] : running_) {
+      // Observe the heartbeat first: a chunk that landed since the last
+      // sweep resets the stall clock (and clears a standing flag, so a
+      // run that stalls repeatedly is counted each time).
+      const std::uint64_t chunks =
+          watch.progress->load(std::memory_order_relaxed);
+      if (chunks != watch.seen_progress) {
+        watch.seen_progress = chunks;
+        watch.progress_time = now;
+        watch.stall_flagged = false;
+      }
+      if (!watch.aborted) {
+        // Enforcement: the earlier of the request's own deadline and
+        // the service-wide exec cap. The reason is stored before the
+        // cancel flag flips, so the worker that unwinds on the flag
+        // reads why. If a client cancel claimed the flag first, the
+        // reason still wins the outcome — the deadline genuinely
+        // passed, and both are terminal error frames.
+        SchedulerClock::time_point cut = watch.deadline;
+        std::uint32_t reason = kAbortDeadline;
+        if (watch.exec_deadline < cut) {
+          cut = watch.exec_deadline;
+          reason = kAbortExecTimeout;
+        }
+        if (cut != kNoDeadline) {
+          if (cut <= now) {
+            watch.abort_reason->store(reason, std::memory_order_release);
+            watch.cancel_flag->exchange(true);
+            watch.aborted = true;
+            if (reason == kAbortExecTimeout) {
+              exec_timeouts_.fetch_add(1, std::memory_order_relaxed);
+            }
+            std::ostringstream oss;
+            oss << "{\"event\":\""
+                << (reason == kAbortExecTimeout ? "exec_timeout"
+                                                : "deadline_expired")
+                << "\",\"request_id\":" << watch.request_id
+                << ",\"ticket\":" << ticket << ",\"worker\":" << watch.worker
+                << ",\"running_ms\":" << ms_between(watch.start, now) << "}";
+            events.push_back(oss.str());
+          } else {
+            next_event = std::min(next_event, cut);
+          }
+        }
+      }
+      if (options_.stall_warn_ms != 0 && !watch.aborted &&
+          !watch.stall_flagged) {
+        const SchedulerClock::time_point stall_at =
+            watch.progress_time +
+            std::chrono::milliseconds(options_.stall_warn_ms);
+        if (stall_at <= now) {
+          watch.stall_flagged = true;
+          stalled_.fetch_add(1, std::memory_order_relaxed);
+          std::ostringstream oss;
+          oss << "{\"event\":\"stall\",\"request_id\":" << watch.request_id
+              << ",\"ticket\":" << ticket << ",\"worker\":" << watch.worker
+              << ",\"running_ms\":" << ms_between(watch.start, now)
+              << ",\"no_progress_ms\":" << ms_between(watch.progress_time, now)
+              << ",\"chunks\":" << chunks << "}";
+          events.push_back(oss.str());
+        } else {
+          next_event = std::min(next_event, stall_at);
+        }
+      }
+    }
+    if (!events.empty()) {
+      // Log sinks run unlocked (they may call back into stats()).
+      lock.unlock();
+      for (const std::string& line : events) {
+        watchdog_emit(line);
+      }
+      lock.lock();
+      continue;  // running_ may have changed while unlocked
+    }
+    // Sleep until the next enforcement moment, or until the registry
+    // changes — the epoch predicate makes a notify between scan and
+    // wait impossible to miss.
+    const std::uint64_t epoch = watch_epoch_;
+    const auto changed = [this, epoch] {
+      return watch_stop_ || watch_epoch_ != epoch;
+    };
+    if (next_event == kNoDeadline) {
+      watch_cv_.wait(lock, changed);
+    } else {
+      watch_cv_.wait_until(lock, next_event, changed);
     }
   }
 }
@@ -531,6 +818,9 @@ void SamplingService::account(Outcome outcome, RequestPriority priority) {
       break;
     case Outcome::kCancelled:
       ++cancelled_;
+      break;
+    case Outcome::kExpiredRunning:
+      ++expired_running_;
       break;
   }
 }
@@ -563,7 +853,9 @@ void SamplingService::emit_error_frame(const Job& job,
     job.emit(header, payload);
   } catch (...) {
     // The emitter itself failed (e.g. a closed client stream); the
-    // request is still accounted, there is nobody left to tell.
+    // request is still accounted, there is nobody left to tell — but
+    // the drop is observable (stats + Prometheus) instead of silent.
+    error_emit_failures_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -593,14 +885,28 @@ void SamplingService::process_group(std::vector<Job>& jobs) {
       continue;
     }
     if (job.cancel_flag->load(std::memory_order_relaxed)) {
-      finish_without_running(job, Outcome::kCancelled,
-                             make_error(ErrorCode::kCancelled,
-                                        "request cancelled"));
+      // The flag is usually a client cancel, but the watchdog can have
+      // cut the run already (an exec cap shorter than the gate-to-run
+      // window); its stored reason, written before the flag, decides.
+      const std::uint32_t abort =
+          job.abort_reason->load(std::memory_order_acquire);
+      if (abort != kAbortNone) {
+        finish_without_running(
+            job, Outcome::kExpiredRunning,
+            make_error(ErrorCode::kDeadlineExpired,
+                       abort == kAbortExecTimeout
+                           ? "execution wall-clock cap exceeded"
+                           : "deadline expired during execution"));
+      } else {
+        finish_without_running(job, Outcome::kCancelled,
+                               make_error(ErrorCode::kCancelled,
+                                          "request cancelled"));
+      }
       continue;
     }
     sinks[i] = std::make_unique<FrameSink>(job.request_id, job.request.format,
                                            options_.max_frame_payload,
-                                           job.emit);
+                                           job.emit, job.progress.get());
     try {
       if (options_.fault_hook) {
         options_.fault_hook(
@@ -668,10 +974,23 @@ void SamplingService::process_group(std::vector<Job>& jobs) {
       } catch (const TaskCancelled& e) {
         // The abandoned stream's session stays cached and reusable; only
         // this request's frames stop (with the error flag, like any
-        // other non-success).
-        outcome = Outcome::kCancelled;
-        emit_error_frame(job, sink.next_chunk_index(),
-                         make_error(ErrorCode::kCancelled, e.what()));
+        // other non-success). When the watchdog flipped the flag — not
+        // a client — the request ends as a mid-run deadline_expired.
+        const std::uint32_t abort =
+            job.abort_reason->load(std::memory_order_acquire);
+        if (abort != kAbortNone) {
+          outcome = Outcome::kExpiredRunning;
+          emit_error_frame(
+              job, sink.next_chunk_index(),
+              make_error(ErrorCode::kDeadlineExpired,
+                         abort == kAbortExecTimeout
+                             ? "execution wall-clock cap exceeded mid-run"
+                             : "deadline expired mid-run"));
+        } else {
+          outcome = Outcome::kCancelled;
+          emit_error_frame(job, sink.next_chunk_index(),
+                           make_error(ErrorCode::kCancelled, e.what()));
+        }
       } catch (const std::invalid_argument& e) {
         outcome = Outcome::kFailed;
         emit_error_frame(job, sink.next_chunk_index(),

@@ -34,6 +34,14 @@
 /// the queue (never runs) or mid-stream (the engine stops at the next
 /// shard-chunk boundary) — via the ticket submit() returns.
 ///
+/// A watchdog thread supervises execution itself: deadlines and the
+/// optional per-request wall-clock cap (ServiceOptions::exec_timeout_ms)
+/// are enforced mid-run through the same cooperative-cancel path,
+/// no-progress runs are flagged after stall_warn_ms, and a worker
+/// thread that dies on an escaped exception fails only its in-flight
+/// requests and is respawned (see docs/service.md, "Watchdog &
+/// execution limits").
+///
 /// The in-process API is below; `symphase serve --stdio` (framed
 /// stdin/stdout) and `symphase serve --listen` (the TCP server in
 /// src/net/) wrap it — same frames, byte-compatible streams (see
@@ -105,6 +113,25 @@ struct ServiceOptions {
   /// is off by default; the shedding thresholds always apply to
   /// try_submit() callers.
   AdmissionOptions admission;
+  /// Per-request execution wall-clock cap in milliseconds (0 = off).
+  /// The budget starts when a worker picks the request up; the watchdog
+  /// thread cuts an over-budget run at the next shard-chunk boundary
+  /// via the cooperative-cancel path and the request ends with a
+  /// `deadline_expired` error frame (counted in `exec_timeouts` and
+  /// `expired_running`). In a fused group only the over-budget member
+  /// stops. Orthogonal to `deadline_ms`, which the watchdog now also
+  /// enforces mid-run (see docs/service.md, "Watchdog & execution
+  /// limits").
+  std::uint64_t exec_timeout_ms = 0;
+  /// Flag an in-flight request that made no shard-chunk progress for
+  /// this long (0 = off): a structured log line through `watchdog_log`
+  /// plus the `stalled` counter. Detection only — a stalled request is
+  /// not aborted unless a deadline or `exec_timeout_ms` fires.
+  std::uint64_t stall_warn_ms = 0;
+  /// Sink for the watchdog's structured one-line JSON events (stalls,
+  /// mid-run timeout cuts, worker restarts). Unset writes to stderr.
+  /// Called without service locks held; must be thread-safe.
+  std::function<void(std::string_view line)> watchdog_log;
   /// Test-only fault injection. When set, called on the worker thread
   /// immediately before a request executes, with the 1-based execution
   /// sequence number (the order workers picked requests up) and the
@@ -112,9 +139,19 @@ struct ServiceOptions {
   /// the same way a real compile/worker exception would
   /// (std::invalid_argument maps to bad_circuit, anything else to
   /// internal); other requests and the session cache are unaffected —
-  /// which is precisely what tests/chaos_test.cpp pins.
+  /// which is precisely what tests/chaos_test.cpp pins. A hook that
+  /// *blocks* wedges the worker mid-claim — the chaos suite drives
+  /// stall detection and timeout recovery that way.
   std::function<void(std::uint64_t sequence, const SampleRequest& request)>
       fault_hook;
+  /// Test-only worker-crash injection: called once per claimed group,
+  /// on the worker thread, *outside* the per-job exception handlers.
+  /// A throw escapes to the supervision wrapper, which fails the
+  /// in-flight group with `internal` error frames and respawns the
+  /// worker thread (`worker_restarts` counts it) — the
+  /// exception-escaped-the-handlers path that would otherwise call
+  /// std::terminate.
+  std::function<void(std::size_t worker_index)> worker_fault_hook;
 };
 
 /// Monotonic service counters. Cache counters pin the batching contract
@@ -136,6 +173,14 @@ struct ServiceStats {
   std::uint64_t queue_peak = 0;   ///< Highest queue_depth ever observed.
   std::uint64_t rejected_expired = 0;  ///< Deadline passed before start.
   std::uint64_t cancelled = 0;         ///< Cancelled (queued or mid-stream).
+  // Watchdog counters (mid-run enforcement — distinct from the pre-run
+  // rejected_expired above):
+  std::uint64_t expired_running = 0;  ///< Cut mid-run (deadline or exec cap).
+  std::uint64_t exec_timeouts = 0;    ///< exec_timeout_ms enforcements.
+  std::uint64_t stalled = 0;          ///< Stall warnings (no-progress runs).
+  std::uint64_t worker_restarts = 0;  ///< Workers respawned after a crash.
+  std::uint64_t error_emit_failures = 0;  ///< Error frames the emitter
+                                          ///< itself failed to deliver.
   // Admission counters (requests turned away before entering the
   // queue, by structured error code):
   std::uint64_t rejected_queue_full = 0;     ///< Full or priority-shed.
@@ -146,6 +191,10 @@ struct ServiceStats {
   // executions never count):
   std::uint64_t fused_requests = 0;  ///< Requests run as fusion-group members.
   std::uint64_t fusion_groups = 0;   ///< Fused engine passes executed.
+  /// Gauge: age in ms of the oldest in-flight run (0 when idle) — a
+  /// wedged worker shows up here long before any timeout fires.
+  std::uint64_t longest_running_ms = 0;
+  std::uint64_t workers_alive = 0;  ///< Gauge: live worker threads.
   /// Successfully completed requests by priority class, indexed by
   /// RequestPriority (high, normal, low).
   std::uint64_t served[kNumPriorities] = {0, 0, 0};
@@ -169,6 +218,10 @@ struct ServiceHealth {
   std::size_t active_jobs = 0;  ///< Requests currently executing.
   std::uint64_t shots_in_flight = 0;
   std::uint64_t max_shots_in_flight = 0;  ///< 0 = uncapped.
+  /// Age in ms of the oldest in-flight run (0 when idle): readiness
+  /// probes use it to spot a wedged-but-accepting server.
+  std::uint64_t longest_running_ms = 0;
+  std::uint64_t workers_alive = 0;  ///< Live worker threads.
 
   /// One-line "state=accepting|draining queue_depth=..." rendering.
   std::string to_line() const;
@@ -296,14 +349,36 @@ class SamplingService {
     /// Set by cancel(); polled by the streaming engine at shard-chunk
     /// boundaries. Shared so cancel() can reach a job a worker owns.
     std::shared_ptr<std::atomic<bool>> cancel_flag;
+    /// Why the watchdog flipped cancel_flag (kAbortNone when it did
+    /// not): lets the worker map the resulting TaskCancelled to
+    /// `deadline_expired` instead of `cancelled`. The watchdog stores
+    /// the reason *before* the flag, so a worker that observed the flag
+    /// sees the reason too.
+    std::shared_ptr<std::atomic<std::uint32_t>> abort_reason;
+    /// Shard-chunk heartbeat: bumped by the frame sink on every chunk
+    /// delivered, read by the watchdog for stall detection.
+    std::shared_ptr<std::atomic<std::uint64_t>> progress;
     /// Fusion-group tag: circuit identity (digest, or a hash of the raw
     /// inline text) + backend + target. Empty when fusion is disabled.
     std::string fuse_key;
   };
 
+  /// Job::abort_reason values.
+  static constexpr std::uint32_t kAbortNone = 0;
+  static constexpr std::uint32_t kAbortDeadline = 1;
+  static constexpr std::uint32_t kAbortExecTimeout = 2;
+
   /// How a processed request ended (drives which counter it lands in
-  /// and the final frame's error text).
-  enum class Outcome { kCompleted, kFailed, kExpired, kCancelled };
+  /// and the final frame's error text). kExpired is the pre-run
+  /// rejection (rejected_expired); kExpiredRunning is a mid-run
+  /// watchdog cut (expired_running).
+  enum class Outcome {
+    kCompleted,
+    kFailed,
+    kExpired,
+    kCancelled,
+    kExpiredRunning
+  };
 
   struct CacheEntry {
     std::shared_ptr<SimulatorSession> session;
@@ -315,10 +390,41 @@ class SamplingService {
     std::list<std::string>::iterator lru_position;
   };
 
+  /// One in-flight job as the watchdog sees it, keyed by ticket in
+  /// running_. Watchdog-side fields (seen_progress, progress_time,
+  /// aborted, stall_flagged) are only touched under watch_mutex_; the
+  /// shared_ptrs reach into the job a worker owns.
+  struct RunWatch {
+    std::uint64_t request_id = 0;
+    std::size_t worker = 0;
+    SchedulerClock::time_point start;
+    SchedulerClock::time_point deadline = kNoDeadline;
+    SchedulerClock::time_point exec_deadline = kNoDeadline;
+    std::shared_ptr<std::atomic<bool>> cancel_flag;
+    std::shared_ptr<std::atomic<std::uint32_t>> abort_reason;
+    std::shared_ptr<std::atomic<std::uint64_t>> progress;
+    std::uint64_t seen_progress = 0;
+    SchedulerClock::time_point progress_time;
+    bool aborted = false;
+    bool stall_flagged = false;
+  };
+
   /// Inserts/refreshes a registration (cache_mutex_ must be held).
   void register_locked(const std::string& digest, Circuit circuit);
 
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
+  /// The watchdog thread: sweeps running_, enforces deadlines and the
+  /// exec-timeout cap through the cooperative-cancel path, and flags
+  /// stalls. Sleeps until the next enforcement moment (no fixed tick).
+  void watchdog_loop();
+  /// Publishes/retracts a claimed group in the watchdog's registry.
+  void register_running(const std::vector<Job>& group,
+                        std::size_t worker_index);
+  void unregister_running(const std::vector<Job>& group);
+  /// Age in ms of the oldest registered run; 0 when idle.
+  std::uint64_t longest_running_ms() const;
+  /// Ships one structured event line to watchdog_log (or stderr).
+  void watchdog_emit(const std::string& line) const;
   /// Shared submit path; `blocking` selects wait-for-space vs reject.
   std::uint64_t submit_impl(std::uint64_t request_id, SampleRequest request,
                             FrameFn emit, std::uint64_t client_id,
@@ -371,7 +477,27 @@ class SamplingService {
   AdmissionController admission_;
   /// 1-based counter behind ServiceOptions::fault_hook sequences.
   std::atomic<std::uint64_t> fault_sequence_{0};
+  /// Worker thread handles (queue_mutex_: a crashed worker swaps its
+  /// own slot for its replacement while stop() may be joining).
   std::vector<std::thread> workers_;
+
+  // Watchdog state. watch_mutex_ is leaf-level: nothing is locked
+  // under it, and it is never held while calling out (log sinks run
+  // unlocked).
+  mutable std::mutex watch_mutex_;
+  std::condition_variable watch_cv_;
+  /// In-flight runs by ticket, published at claim time.
+  std::unordered_map<std::uint64_t, RunWatch> running_;
+  /// Bumped (under watch_mutex_) whenever running_ changes, so the
+  /// watchdog's wait predicate never misses a registration.
+  std::uint64_t watch_epoch_ = 0;
+  bool watch_stop_ = false;
+  std::thread watchdog_;
+  std::atomic<std::uint64_t> exec_timeouts_{0};
+  std::atomic<std::uint64_t> stalled_{0};
+  std::atomic<std::uint64_t> worker_restarts_{0};
+  std::atomic<std::uint64_t> error_emit_failures_{0};
+  std::atomic<std::uint64_t> workers_alive_{0};
 
   mutable std::mutex cache_mutex_;
   std::unordered_map<std::string, RegistryEntry> registry_;
@@ -388,6 +514,7 @@ class SamplingService {
   std::uint64_t failed_ = 0;
   std::uint64_t rejected_expired_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t expired_running_ = 0;
   std::uint64_t rejected_queue_full_ = 0;
   std::uint64_t rejected_rate_limited_ = 0;
   std::uint64_t rejected_draining_ = 0;

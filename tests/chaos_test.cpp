@@ -657,6 +657,367 @@ TEST(Chaos, HttpSlowReaderResetCancelsWorkAndServerKeepsServing) {
   EXPECT_EQ(response.body, small_expected);
 }
 
+// ---------------------------------------------------------------------------
+// Execution watchdog: wedged runs, stalls, worker crashes, idle
+// connections. The wedge vector is the fault hooks: a hook that blocks
+// holds the worker mid-claim, a worker_fault_hook that throws escapes
+// the per-job handlers — both scripted, both observed through the
+// watchdog's structured log, the new counters, and health.
+
+/// Appends watchdog events to a shared vector; the wedge hooks below
+/// poll it so they release only after the watchdog provably acted.
+struct WatchdogLog {
+  std::mutex mutex;
+  std::vector<std::string> lines;
+
+  std::function<void(std::string_view)> sink() {
+    return [this](std::string_view line) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      lines.emplace_back(line);
+    };
+  }
+
+  bool saw(std::string_view event) {
+    const std::string needle = "\"event\":\"" + std::string(event) + "\"";
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (const std::string& line : lines) {
+      if (line.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Blocks (bounded) until `event` was logged — the wedge hooks' exit
+  /// condition, so tests are deterministic instead of sleep-tuned.
+  void await(std::string_view event) {
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!saw(event)) {
+      if (std::chrono::steady_clock::now() > give_up) {
+        ADD_FAILURE() << "watchdog never logged " << event;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+};
+
+/// Thread-safe per-request reply collector for in-process submissions.
+struct ReplyMap {
+  struct Reply {
+    std::string payload;
+    bool error = false;
+    std::string error_text;
+  };
+  std::map<std::uint64_t, Reply> replies;
+  std::mutex mutex;
+
+  FrameFn fn() {
+    return [this](const FrameHeader& header, std::string_view payload) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      Reply& reply = replies[header.request_id];
+      if ((header.flags & kFrameError) != 0) {
+        reply.error = true;
+        reply.error_text = std::string(payload);
+      } else if ((header.flags & kFrameLast) == 0) {
+        reply.payload += std::string(payload);
+      }
+    };
+  }
+
+  Reply get(std::uint64_t id) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return replies[id];
+  }
+};
+
+TEST(Chaos, WedgedRequestIsCutByExecTimeoutAndServiceKeepsServing) {
+  // The acceptance wedge: the fault hook blocks the (only) worker
+  // mid-claim, past the execution cap. The watchdog must cut the stuck
+  // request — `deadline_expired` frame, `exec_timeouts` and
+  // `expired_running` counters, NOT the pre-run `rejected_expired` —
+  // and the next request must be served bit-exact.
+  WatchdogLog log;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.exec_timeout_ms = 100;
+  options.watchdog_log = log.sink();
+  options.fault_hook = [&log](std::uint64_t sequence, const SampleRequest&) {
+    if (sequence == 1) {
+      log.await("exec_timeout");  // wedge until the watchdog acted
+    }
+  };
+  SamplingService service(options);
+  ReplyMap replies;
+
+  SampleRequest request;
+  request.verb = RequestVerb::kSample;
+  request.circuit_text = kCircuit;
+  request.task.shots = 2000;
+  request.task.seed = 7;
+  ASSERT_NE(service.submit(1, request, replies.fn()), 0u);
+  await_stats(service,
+              [](const ServiceStats& s) { return s.expired_running == 1; });
+  // Submitted only after the cut so it cannot fuse with the wedged run
+  // (group members share the wedge, and the cap cuts every over-budget
+  // member alike).
+  ASSERT_NE(service.submit(2, request, replies.fn()), 0u);
+  service.drain();
+
+  const ReplyMap::Reply cut = replies.get(1);
+  ASSERT_TRUE(cut.error);
+  const ServiceError error = parse_error_payload(cut.error_text);
+  EXPECT_EQ(error.code, ErrorCode::kDeadlineExpired) << cut.error_text;
+  EXPECT_NE(error.message.find("wall-clock cap exceeded"),
+            std::string::npos)
+      << cut.error_text;
+  const ReplyMap::Reply served = replies.get(2);
+  EXPECT_FALSE(served.error) << served.error_text;
+  EXPECT_EQ(served.payload,
+            direct_output(kCircuit, request.task, request.format));
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.exec_timeouts, 1u) << stats.to_line();
+  EXPECT_EQ(stats.expired_running, 1u) << stats.to_line();
+  EXPECT_EQ(stats.rejected_expired, 0u) << stats.to_line();
+  EXPECT_EQ(stats.completed, 1u) << stats.to_line();
+  EXPECT_EQ(stats.workers_alive, 1u) << stats.to_line();
+}
+
+TEST(Chaos, StalledRequestIsFlaggedWithoutBeingAborted) {
+  // Stall detection is observation, not enforcement: a run that makes
+  // no shard-chunk progress for stall_warn_ms gets a structured log
+  // line and the `stalled` counter — and then finishes normally once
+  // it unwedges (no deadline, no exec cap).
+  WatchdogLog log;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.stall_warn_ms = 50;
+  options.watchdog_log = log.sink();
+  options.fault_hook = [&log](std::uint64_t sequence, const SampleRequest&) {
+    if (sequence == 1) {
+      log.await("stall");  // wedge until flagged, then recover
+    }
+  };
+  SamplingService service(options);
+  ReplyMap replies;
+
+  SampleRequest request;
+  request.verb = RequestVerb::kSample;
+  request.circuit_text = kCircuit;
+  request.task.shots = 2000;
+  request.task.seed = 11;
+  ASSERT_NE(service.submit(1, request, replies.fn()), 0u);
+  service.drain();
+
+  const ReplyMap::Reply reply = replies.get(1);
+  EXPECT_FALSE(reply.error) << reply.error_text;
+  EXPECT_EQ(reply.payload,
+            direct_output(kCircuit, request.task, request.format));
+  EXPECT_TRUE(log.saw("stall"));
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.stalled, 1u) << stats.to_line();
+  EXPECT_EQ(stats.completed, 1u) << stats.to_line();
+  EXPECT_EQ(stats.expired_running, 0u) << stats.to_line();
+  EXPECT_EQ(stats.exec_timeouts, 0u) << stats.to_line();
+}
+
+TEST(Chaos, CrashedWorkerIsRespawnedAndPoolReturnsToFullStrength) {
+  // The supervision pin: an exception escaping the per-job handlers
+  // (worker_fault_hook throws outside them) fails only the in-flight
+  // request with `internal`, the worker respawns (`worker_restarts`,
+  // `workers_alive` back to the configured pool size), and the next
+  // request is served bit-exact by the replacement.
+  WatchdogLog log;
+  std::atomic<int> crashes{0};
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.watchdog_log = log.sink();
+  options.worker_fault_hook = [&crashes](std::size_t) {
+    if (crashes.fetch_add(1) == 0) {
+      throw std::runtime_error("injected wedge crash");
+    }
+  };
+  SamplingService service(options);
+  ReplyMap replies;
+
+  SampleRequest request;
+  request.verb = RequestVerb::kSample;
+  request.circuit_text = kCircuit;
+  request.task.shots = 2000;
+  request.task.seed = 7;
+  ASSERT_NE(service.submit(1, request, replies.fn()), 0u);
+  await_stats(service, [](const ServiceStats& s) {
+    return s.worker_restarts == 1 && s.workers_alive == 1;
+  });
+  EXPECT_TRUE(log.saw("worker_restart"));
+  EXPECT_EQ(service.health().workers_alive, 1u);
+
+  ASSERT_NE(service.submit(2, request, replies.fn()), 0u);
+  service.drain();
+
+  const ReplyMap::Reply crashed = replies.get(1);
+  ASSERT_TRUE(crashed.error);
+  const ServiceError error = parse_error_payload(crashed.error_text);
+  EXPECT_EQ(error.code, ErrorCode::kInternal) << crashed.error_text;
+  EXPECT_NE(error.message.find("worker crashed"), std::string::npos)
+      << crashed.error_text;
+  EXPECT_NE(error.message.find("injected wedge crash"), std::string::npos)
+      << crashed.error_text;
+  const ReplyMap::Reply served = replies.get(2);
+  EXPECT_FALSE(served.error) << served.error_text;
+  EXPECT_EQ(served.payload,
+            direct_output(kCircuit, request.task, request.format));
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.failed, 1u) << stats.to_line();
+  EXPECT_EQ(stats.completed, 1u) << stats.to_line();
+  EXPECT_EQ(stats.worker_restarts, 1u) << stats.to_line();
+  EXPECT_EQ(stats.workers_alive, 1u) << stats.to_line();
+}
+
+TEST(Chaos, IdleFrameConnectionGetsTimeoutFrameThenClose) {
+  // The frame-transport slow-loris defense: a connection with nothing
+  // in flight and no inbound bytes for idle_timeout_ms is told why
+  // (one `timeout` error frame on the reserved request id 0) and
+  // closed. A client mid-request never idles out; after its response
+  // the clock restarts and the same farewell arrives.
+  SocketServerOptions options;
+  options.idle_timeout_ms = 100;
+  ChaosHarness harness(std::move(options));
+  {
+    // Connect and go mute.
+    FaultSocket socket(tcp_connect(parse_host_port(harness.address())),
+                       FaultPlan{});
+    FrameDecoder decoder;
+    std::vector<Frame> frames;
+    char buffer[1 << 12];
+    for (;;) {
+      const std::size_t got = socket.recv_some(buffer, sizeof buffer);
+      if (got == 0) {
+        break;  // the server closed after the farewell frame
+      }
+      decoder.feed({buffer, got});
+      Frame frame;
+      while (decoder.next(frame)) {
+        frames.push_back(frame);
+      }
+    }
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].header.request_id, 0u);
+    EXPECT_NE(frames[0].header.flags & kFrameError, 0u);
+    const ServiceError error = parse_error_payload(frames[0].payload);
+    EXPECT_EQ(error.code, ErrorCode::kTimeout) << frames[0].payload;
+    EXPECT_TRUE(error.retryable);
+    EXPECT_NE(error.message.find("idle timeout"), std::string::npos)
+        << frames[0].payload;
+  }
+  {
+    // A working client: full response first, farewell only afterwards.
+    SampleRequest request;
+    request.verb = RequestVerb::kSample;
+    request.circuit_text = kCircuit;
+    request.task.shots = 777;
+    request.task.seed = 13;
+    ServiceClient client(harness.address());
+    client.submit(1, request);
+    const MessageAssembler::Message reply = client.await(1);
+    ASSERT_FALSE(reply.error) << reply.error_text;
+    EXPECT_EQ(reply.payload,
+              direct_output(kCircuit, request.task, request.format));
+    Frame frame;
+    ASSERT_TRUE(client.next_chunk(frame));  // blocks ~idle_timeout_ms
+    EXPECT_EQ(frame.header.request_id, 0u);
+    EXPECT_NE(frame.header.flags & kFrameError, 0u);
+    EXPECT_FALSE(client.next_chunk(frame));  // clean close after it
+  }
+  expect_still_serving(harness.address());
+}
+
+TEST(Chaos, MidRunTimeoutCountersVisibleOnEveryTransport) {
+  // Satellite pin: a mid-run cut lands in `expired_running` (and
+  // `exec_timeouts`) on every surface — the frame `stats` verb in line
+  // and JSON form, `health`, HTTP /v1/stats, and Prometheus /metrics —
+  // while `rejected_expired` stays a pre-run-only counter.
+  WatchdogLog log;
+  SocketServerOptions options;
+  options.http_listen = "127.0.0.1:0";
+  options.service.num_workers = 1;
+  options.service.exec_timeout_ms = 100;
+  options.service.watchdog_log = log.sink();
+  options.service.fault_hook = [&log](std::uint64_t sequence,
+                                      const SampleRequest&) {
+    if (sequence == 1) {
+      log.await("exec_timeout");
+    }
+  };
+  ChaosHarness harness(std::move(options));
+  SamplingService& service = harness.server().service();
+
+  SampleRequest request;
+  request.verb = RequestVerb::kSample;
+  request.circuit_text = kCircuit;
+  request.task.shots = 2000;
+  request.task.seed = 7;
+  ServiceClient client(harness.address());
+  client.submit(1, request);
+  const MessageAssembler::Message reply = client.await(1);
+  ASSERT_TRUE(reply.error);
+  const ServiceError error = parse_error_payload(reply.error_text);
+  EXPECT_EQ(error.code, ErrorCode::kDeadlineExpired) << reply.error_text;
+  EXPECT_NE(error.message.find("wall-clock cap exceeded"),
+            std::string::npos)
+      << reply.error_text;
+  // The counter lands just after the error frame is emitted.
+  await_stats(service,
+              [](const ServiceStats& s) { return s.expired_running == 1; });
+
+  const std::string line = client.stats();
+  EXPECT_NE(line.find(" expired_running=1"), std::string::npos) << line;
+  EXPECT_NE(line.find(" exec_timeouts=1"), std::string::npos) << line;
+  EXPECT_NE(line.find(" rejected_expired=0"), std::string::npos) << line;
+  const std::string json = client.stats(/*json=*/true);
+  EXPECT_NE(json.find("\"expired_running\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exec_timeouts\":1"), std::string::npos) << json;
+  const std::string health_line = client.health();
+  EXPECT_NE(health_line.find("workers_alive=1"), std::string::npos)
+      << health_line;
+  EXPECT_NE(health_line.find("longest_running_ms="), std::string::npos)
+      << health_line;
+
+  http_testing::HttpClient http(harness.server().http_port());
+  http.send_request("GET", "/v1/stats");
+  const http_testing::HttpResponse stats_response = http.read_response();
+  ASSERT_EQ(stats_response.status, 200) << stats_response.body;
+  EXPECT_NE(stats_response.body.find("\"expired_running\":1"),
+            std::string::npos)
+      << stats_response.body;
+  EXPECT_NE(stats_response.body.find("\"exec_timeouts\":1"),
+            std::string::npos)
+      << stats_response.body;
+  http.send_request("GET", "/metrics");
+  const http_testing::HttpResponse metrics = http.read_response();
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("symphase_requests_expired_running_total 1"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("symphase_exec_timeouts_total 1"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("symphase_stalled_requests 0"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("symphase_worker_restarts_total 0"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("symphase_workers_alive 1"),
+            std::string::npos)
+      << metrics.body;
+
+  expect_still_serving(harness.address());
+}
+
 TEST(ChaosCli, SigtermDrainsInFlightDownloadAndExitsZero) {
   // The acceptance pin: the real binary, a response mid-stream, one
   // SIGTERM. The download must complete byte-identically, the process

@@ -452,6 +452,98 @@ TEST(FusionService, CancelOneMemberLeavesGroupmatesBitIdentical) {
   EXPECT_EQ(stats.fusion_groups, 1u) << stats.to_line();
 }
 
+TEST(FusionService, MidRunDeadlineExpiryCutsOnlyThatMemberOfAFusedGroup) {
+  // The watchdog twin of CancelOneMemberLeavesGroupmatesBitIdentical:
+  // one member of a fused group carries a deadline that expires while
+  // the group executes. Only that member may stop — with a mid-run
+  // `deadline_expired` frame and the `expired_running` counter — while
+  // its groupmates stream to completion byte-identical to solo runs.
+  std::mutex log_mutex;
+  std::vector<std::string> log_lines;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_frame_payload = 256;
+  options.watchdog_log = [&](std::string_view line) {
+    const std::lock_guard<std::mutex> lock(log_mutex);
+    log_lines.emplace_back(line);
+  };
+  // Wedge exactly the doomed member (matched by seed) on the worker
+  // thread until the watchdog has provably cut it: the hook returns
+  // only once the structured `deadline_expired` event was logged, so
+  // the fused pass starts with the doomed member's flag already set.
+  options.fault_hook = [&](std::uint64_t, const SampleRequest& request) {
+    if (request.task.seed != 1002) {
+      return;
+    }
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (;;) {
+      {
+        const std::lock_guard<std::mutex> lock(log_mutex);
+        bool cut = false;
+        for (const std::string& line : log_lines) {
+          if (line.find("\"event\":\"deadline_expired\"") !=
+              std::string::npos) {
+            cut = true;
+          }
+        }
+        if (cut) {
+          return;
+        }
+      }
+      if (std::chrono::steady_clock::now() > give_up) {
+        ADD_FAILURE() << "watchdog never cut the doomed member";
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  };
+  SamplingService service(options);
+  Latch latch;
+  FrameCollector collector;
+  submit_blocker(service, latch, collector);
+
+  SampleRequest request = SampleRequest::sample(kCircuitA, 200'000);
+  request.format = SampleFormat::kB8;
+
+  SampleRequest first = request;
+  first.task.seed = 1001;
+  service.submit(2, first, collector.fn());
+
+  SampleRequest doomed = request;
+  doomed.task.seed = 1002;
+  // Wide enough to always pass the pre-run admission gate (the claim
+  // follows the latch release within milliseconds); the fault hook
+  // then holds the member past it deterministically.
+  doomed.deadline_ms = 1000;
+  service.submit(3, doomed, collector.fn());
+
+  SampleRequest last = request;
+  last.task.seed = 1003;
+  service.submit(4, last, collector.fn());
+
+  latch.release();
+  service.drain();
+
+  // Groupmates stream to completion, byte-identical to solo runs.
+  EXPECT_EQ(collector.message_for(2).payload,
+            direct_output(kCircuitA, first.task, first.format));
+  EXPECT_EQ(collector.message_for(4).payload,
+            direct_output(kCircuitA, last.task, last.format));
+  const MessageAssembler::Message cut = collector.message_for(3);
+  ASSERT_TRUE(cut.error);
+  EXPECT_NE(cut.error_text.find("deadline expired"), std::string::npos)
+      << cut.error_text;
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.expired_running, 1u) << stats.to_line();
+  EXPECT_EQ(stats.rejected_expired, 0u) << stats.to_line();
+  EXPECT_EQ(stats.cancelled, 0u) << stats.to_line();
+  EXPECT_EQ(stats.exec_timeouts, 0u) << stats.to_line();
+  EXPECT_EQ(stats.completed, 3u) << stats.to_line();  // blocker + 2 mates
+  EXPECT_EQ(stats.fused_requests, 3u) << stats.to_line();
+  EXPECT_EQ(stats.fusion_groups, 1u) << stats.to_line();
+}
+
 // ---------------------------------------------------------------------------
 // PR 8 regression: drain() must wait for a queue-cancelled request's
 // error frame. Before the fix, cancel() notified the drain waiter while

@@ -201,11 +201,14 @@ TEST(HttpGateway, MetricsAgreeWithServiceStats) {
     EXPECT_EQ(client.read_response().status, 200);
   }
   // The worker bumps `completed` after its last frame is handed off,
-  // so a fast client can get here first — wait for the counter.
+  // so a fast client can get here first — wait for the counter. The
+  // shots-in-flight release lands separately (queue cleanup, after the
+  // per-job accounting and the watchdog deregistration), so wait for
+  // that gauge to settle too before snapshotting.
   ServiceStats stats = harness.server().service().stats();
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  while (stats.completed < 2) {
+  while (stats.completed < 2 || stats.shots_in_flight != 0) {
     ASSERT_LT(std::chrono::steady_clock::now(), deadline)
         << stats.to_line();
     std::this_thread::sleep_for(std::chrono::milliseconds(1));

@@ -311,11 +311,14 @@ TEST(SchedulerService, DeadlineExpiredInQueueIsRejectedWithoutCompiling) {
   EXPECT_EQ(stats.compiles, 1u) << stats.to_line();
 }
 
-TEST(SchedulerService, DeadlinePassedAfterDequeueDoesNotAbortARunningRequest) {
-  // Deadlines gate admission, never abort execution: a request that
-  // starts in time but finishes late must still complete. The emit
-  // callback stalls mid-stream until the deadline is long gone.
-  SamplingService service({.num_workers = 1});
+TEST(SchedulerService, DeadlinePastTheFinalChunkBoundaryStillCompletes) {
+  // Mid-run deadline enforcement is cooperative: the watchdog flips the
+  // request's cancel flag, and the engine acts on it at the next
+  // shard-chunk boundary. A single-chunk run stalled inside its *final*
+  // emit has no boundary left to stop at, so it completes — late, but
+  // bit-exact — instead of being killed mid-write.
+  SamplingService service(
+      {.num_workers = 1, .watchdog_log = [](std::string_view) {}});
   CompletionRecorder recorder;
   SampleRequest slow = SampleRequest::sample(kCircuitB, 100);
   slow.deadline_ms = 200;  // plenty to *start* on an idle worker
@@ -335,6 +338,143 @@ TEST(SchedulerService, DeadlinePassedAfterDequeueDoesNotAbortARunningRequest) {
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.completed, 1u) << stats.to_line();
   EXPECT_EQ(stats.rejected_expired, 0u) << stats.to_line();
+  EXPECT_EQ(stats.expired_running, 0u) << stats.to_line();
+}
+
+/// Parks a request's emit on its first data frame until `release()`,
+/// so a test can hold a run demonstrably in flight while the watchdog
+/// watches it age.
+FrameFn parking_emit(Latch& parked, FrameFn record) {
+  auto first = std::make_shared<std::atomic<bool>>(true);
+  return [&parked, first, record = std::move(record)](
+             const FrameHeader& header, std::string_view payload) {
+    if ((header.flags & (kFrameLast | kFrameError)) == 0 &&
+        first->exchange(false)) {
+      parked.mark_waiting();
+      parked.wait();
+    }
+    record(header, payload);
+  };
+}
+
+bool logged_event(std::mutex& mutex, const std::vector<std::string>& lines,
+                  std::string_view event) {
+  const std::string needle = "\"event\":\"" + std::string(event) + "\"";
+  const std::lock_guard<std::mutex> lock(mutex);
+  for (const std::string& line : lines) {
+    if (line.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(SchedulerService, WatchdogCutsADeadlineExpiredRunMidStream) {
+  // The tentpole pin: a multi-chunk run whose deadline passes while it
+  // executes is cut at the next chunk boundary with a mid-run
+  // `deadline_expired` frame, counted in `expired_running` (NOT in the
+  // pre-run `rejected_expired`), and the session cache stays usable.
+  std::mutex log_mutex;
+  std::vector<std::string> log_lines;
+  SamplingService service({.num_workers = 1,
+                           .max_frame_payload = 256,
+                           .watchdog_log =
+                               [&](std::string_view line) {
+                                 const std::lock_guard<std::mutex> lock(
+                                     log_mutex);
+                                 log_lines.emplace_back(line);
+                               }});
+  CompletionRecorder recorder;
+  Latch parked;
+  // 200k shots = 25 shards at 256-byte frames: boundaries galore.
+  SampleRequest slow = SampleRequest::sample(kCircuitB, 200'000);
+  slow.format = SampleFormat::kB8;
+  // Wide enough that the first chunk (and thus the park) always lands
+  // before expiry, even under sanitizers; the park then holds the run
+  // in flight for as long as the watchdog needs.
+  slow.deadline_ms = 500;
+  service.submit(1, slow, parking_emit(parked, recorder.fn(1)));
+  parked.wait_for_waiter();
+  // The run is parked inside its first emit; hold it there until the
+  // watchdog has provably cut it (the structured log event is the
+  // externally visible receipt of the cut).
+  const auto poll_deadline = Clock::now() + std::chrono::seconds(10);
+  while (!logged_event(log_mutex, log_lines, "deadline_expired")) {
+    ASSERT_LT(Clock::now(), poll_deadline) << service.stats().to_line();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  parked.release();
+
+  // The cut run must not poison the cached session for its neighbors.
+  SampleRequest after = SampleRequest::sample(kCircuitB, 100);
+  service.submit(2, after, recorder.fn(2));
+  service.drain();
+
+  const std::string error = recorder.error_for(1);
+  EXPECT_NE(error.find("deadline expired mid-run"), std::string::npos)
+      << error;
+  EXPECT_EQ(recorder.error_for(2), "");
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.expired_running, 1u) << stats.to_line();
+  EXPECT_EQ(stats.rejected_expired, 0u) << stats.to_line();
+  EXPECT_EQ(stats.cancelled, 0u) << stats.to_line();
+  EXPECT_EQ(stats.completed, 1u) << stats.to_line();
+  EXPECT_EQ(stats.exec_timeouts, 0u) << stats.to_line();  // deadline cut
+  EXPECT_EQ(stats.compiles, 1u) << stats.to_line();  // session survived
+  EXPECT_EQ(stats.hits, 1u) << stats.to_line();
+}
+
+TEST(SchedulerService, ExecTimeoutCapCutsARunawayRunWithoutADeadline) {
+  // `exec_timeout_ms` is the deadline-less backstop: the budget starts
+  // at claim time and the watchdog cuts the run the same cooperative
+  // way. While the run is wedged, health must show it aging
+  // (`longest_running_ms`) with the pool intact (`workers_alive`).
+  std::mutex log_mutex;
+  std::vector<std::string> log_lines;
+  SamplingService service({.num_workers = 1,
+                           .max_frame_payload = 256,
+                           .exec_timeout_ms = 500,
+                           .watchdog_log =
+                               [&](std::string_view line) {
+                                 const std::lock_guard<std::mutex> lock(
+                                     log_mutex);
+                                 log_lines.emplace_back(line);
+                               }});
+  CompletionRecorder recorder;
+  Latch parked;
+  SampleRequest runaway = SampleRequest::sample(kCircuitB, 200'000);
+  runaway.format = SampleFormat::kB8;  // no deadline_ms: only the cap cuts
+  service.submit(1, runaway, parking_emit(parked, recorder.fn(1)));
+  parked.wait_for_waiter();
+  const auto poll_deadline = Clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    const ServiceHealth health = service.health();
+    const ServiceStats stats = service.stats();
+    if (health.workers_alive == 1 && health.longest_running_ms >= 1 &&
+        stats.exec_timeouts == 1 &&
+        logged_event(log_mutex, log_lines, "exec_timeout")) {
+      break;
+    }
+    ASSERT_LT(Clock::now(), poll_deadline)
+        << stats.to_line() << " | " << health.to_line();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  parked.release();
+
+  SampleRequest after = SampleRequest::sample(kCircuitB, 100);
+  service.submit(2, after, recorder.fn(2));
+  service.drain();
+
+  const std::string error = recorder.error_for(1);
+  EXPECT_NE(error.find("wall-clock cap exceeded"), std::string::npos)
+      << error;
+  EXPECT_EQ(recorder.error_for(2), "");  // service keeps serving
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.exec_timeouts, 1u) << stats.to_line();
+  EXPECT_EQ(stats.expired_running, 1u) << stats.to_line();
+  EXPECT_EQ(stats.rejected_expired, 0u) << stats.to_line();
+  EXPECT_EQ(stats.completed, 1u) << stats.to_line();
+  EXPECT_EQ(stats.workers_alive, 1u) << stats.to_line();
 }
 
 TEST(SchedulerService, CancelQueuedRequestNeverRuns) {

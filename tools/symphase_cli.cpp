@@ -87,19 +87,26 @@ using namespace symphase;
       "                   --json prints one JSON object for tooling)\n"
       "  symphase serve   --stdio [--workers N] [--queue N] [--cache N]\n"
       "                   [--max-frame BYTES] [--fusion N] [--rate-shots N]\n"
-      "                   [--burst-shots N] [--max-shots N]   (framed requests\n"
+      "                   [--burst-shots N] [--max-shots N]\n"
+      "                   [--exec-timeout-ms N] [--stall-warn-ms N]\n"
+      "                   (framed requests\n"
       "                   on stdin, framed responses on stdout; see\n"
       "                   docs/service.md)\n"
       "  symphase serve   --listen HOST:PORT [--workers N] [--queue N]\n"
       "                   [--cache N] [--max-frame BYTES] [--fusion N]\n"
       "                   [--max-clients N]\n"
       "                   [--rate-shots N] [--burst-shots N] [--max-shots N]\n"
+      "                   [--exec-timeout-ms N] [--stall-warn-ms N]\n"
+      "                   [--idle-timeout-ms N]\n"
       "                   [--port-file PATH]\n"
       "                   [--http HOST:PORT [--http-port-file PATH] [--log-json]]\n"
       "                   (multi-client TCP server on the same frames;\n"
       "                   port 0 picks a free port, announced on stderr and\n"
       "                   written to --port-file; SIGTERM drains gracefully,\n"
       "                   a second SIGTERM or SIGINT stops immediately;\n"
+      "                   --exec-timeout-ms caps per-request execution\n"
+      "                   wall-clock, --stall-warn-ms logs no-progress runs,\n"
+      "                   --idle-timeout-ms closes idle frame connections;\n"
       "                   --http adds the HTTP/JSON gateway with /metrics —\n"
       "                   see docs/gateway.md)\n"
       "\n"
@@ -510,6 +517,8 @@ int cmd_serve(Options& opt) {
       opt.get_u64("rate-shots", 0);
   service_options.admission.client_burst_shots = opt.get_u64("burst-shots", 0);
   service_options.admission.max_shots_in_flight = opt.get_u64("max-shots", 0);
+  service_options.exec_timeout_ms = opt.get_u64("exec-timeout-ms", 0);
+  service_options.stall_warn_ms = opt.get_u64("stall-warn-ms", 0);
   opt.finish();
 
   SamplingService service(service_options);
@@ -766,6 +775,9 @@ int cmd_serve_listen(const std::string& address, Options& opt) {
       opt.get_u64("rate-shots", 0);
   options.service.admission.client_burst_shots = opt.get_u64("burst-shots", 0);
   options.service.admission.max_shots_in_flight = opt.get_u64("max-shots", 0);
+  options.service.exec_timeout_ms = opt.get_u64("exec-timeout-ms", 0);
+  options.service.stall_warn_ms = opt.get_u64("stall-warn-ms", 0);
+  options.idle_timeout_ms = opt.get_u64("idle-timeout-ms", 0);
   options.max_connections =
       std::max<std::uint64_t>(1, opt.get_u64("max-clients", 64));
   const std::string port_file = opt.get_string("port-file", "");
