@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/simd_word.hpp"
+#include "common/trace.hpp"
 
 namespace symphase {
 
@@ -236,6 +237,8 @@ std::vector<std::exception_ptr> stream_fused_sample_blocks(
         return;
       }
       try {
+        trace::Span fill_span("fill", fs.spec.trace_id, fs.spec.trace_ticket,
+                              fs.spec.trace_group, u.shard);
         fs.fill(slot, u.shard, blocks[slot]);
         if (!fs.spec.bit_selection.empty()) {
           const ShardExtent e =

@@ -71,6 +71,12 @@ struct StreamSpec {
   /// a shard's kernel — a set flag raises TaskCancelled within one
   /// chunk's worth of work.
   const std::atomic<bool>* cancel = nullptr;
+  /// Request identity stamped on this member's per-shard fill spans
+  /// (common/trace.hpp); all zero outside the serving stack. Costs one
+  /// relaxed load per shard when tracing is off.
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_ticket = 0;
+  std::uint64_t trace_group = 0;
 };
 
 /// Fills `block` with the contents of the producer's global shard

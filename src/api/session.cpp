@@ -5,6 +5,7 @@
 #include "api/sample_stream.hpp"
 #include "common/parallel.hpp"
 #include "common/simd_word.hpp"
+#include "common/trace.hpp"
 
 namespace symphase {
 
@@ -24,6 +25,7 @@ SimulatorSession::SimulatorSession(Circuit circuit, CompileOptions options)
 const CompiledSampler& SimulatorSession::compiled() const {
   const std::lock_guard<std::mutex> lock(build_mutex_);
   if (!compiled_) {
+    trace::Span build_span("build_compiled");
     compiled_ = std::make_unique<CompiledSampler>(
         CompiledSampler::compile(circuit_, options_));
     compiled_built_.store(true, std::memory_order_release);
@@ -34,6 +36,7 @@ const CompiledSampler& SimulatorSession::compiled() const {
 const FrameSimulator& SimulatorSession::frames() const {
   const std::lock_guard<std::mutex> lock(build_mutex_);
   if (!frames_) {
+    trace::Span build_span("build_frames");
     frames_ = std::make_unique<FrameSimulator>(circuit_, kFrameReferenceSeed);
     frames_built_.store(true, std::memory_order_release);
   }
@@ -43,10 +46,22 @@ const FrameSimulator& SimulatorSession::frames() const {
 const DetectorLayout& SimulatorSession::detector_layout() const {
   const std::lock_guard<std::mutex> lock(build_mutex_);
   if (!layout_) {
+    trace::Span build_span("build_layout");
     layout_ = std::make_unique<DetectorLayout>(resolve_detectors(circuit_));
     layout_built_.store(true, std::memory_order_release);
   }
   return *layout_;
+}
+
+void SimulatorSession::prepare(const SampleTask& task) const {
+  if (task.target != SampleTarget::kMeasurements) {
+    detector_layout();
+  }
+  if (task.backend == SampleBackend::kSymPhase) {
+    compiled();
+  } else {
+    frames();
+  }
 }
 
 std::size_t SimulatorSession::num_detectors() const {
@@ -98,6 +113,9 @@ std::vector<std::exception_ptr> SimulatorSession::run_fused(
     specs[i].num_threads = task.num_threads;
     specs[i].bit_selection = task.bit_selection;
     specs[i].cancel = members[i].cancel;
+    specs[i].trace_id = members[i].trace_id;
+    specs[i].trace_ticket = members[i].trace_ticket;
+    specs[i].trace_group = members[i].trace_group;
   }
 
   std::vector<FusedStream> streams(members.size());

@@ -51,6 +51,11 @@ struct SessionRunMember {
   const SampleTask* task = nullptr;
   SampleSink* sink = nullptr;
   const std::atomic<bool>* cancel = nullptr;
+  /// Request identity forwarded to the stream engine's trace spans
+  /// (StreamSpec::trace_*); zero outside the serving stack.
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_ticket = 0;
+  std::uint64_t trace_group = 0;
 };
 
 class SimulatorSession {
@@ -104,6 +109,13 @@ class SimulatorSession {
   /// target/backend, null pointers) throw, before any sink is touched.
   std::vector<std::exception_ptr> run_fused(
       std::span<const SessionRunMember> members) const;
+
+  /// Forces the artifacts `task` will need (compiled sampler, frame
+  /// baseline, detector layout) to exist — exactly the lazy builds
+  /// run() would trigger. Lets a caller bracket the compile stage
+  /// (trace spans, stage histograms) separately from execution; a
+  /// second call is a cheap mutex acquire + pointer checks.
+  void prepare(const SampleTask& task) const;
 
   /// Convenience: run() into a BitMatrixSink and return the matrix
   /// (measurement-major, like CompiledSampler::sample).

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/trace.hpp"
 #include "http/http_parser.hpp"
 #include "http/json.hpp"
 #include "service/errors.hpp"
@@ -104,12 +105,15 @@ void append_response_head(std::string& out, int status,
   out += "\r\n\r\n";
 }
 
-/// Head for a chunked streaming response (sample/detect bytes).
+/// Head for a chunked streaming response (sample/detect bytes). The
+/// stage breakdown is only known once the stream finishes, so it rides
+/// in a declared Server-Timing trailer instead of the head.
 void append_stream_head(std::string& out, bool keep_alive,
                         std::uint64_t ticket) {
   out += "HTTP/1.1 200 OK\r\n"
          "Content-Type: application/octet-stream\r\n"
-         "Transfer-Encoding: chunked\r\n";
+         "Transfer-Encoding: chunked\r\n"
+         "Trailer: Server-Timing\r\n";
   if (ticket != 0) {
     out += "Symphase-Ticket: ";
     out += std::to_string(ticket);
@@ -342,6 +346,21 @@ class HttpConnection : public Connection,
                   request.target);
       return;
     }
+    if (path == "/v1/trace") {
+      // Answers during drain like /metrics: the trace of a misbehaving
+      // shutdown is exactly what an operator wants to pull. Draining
+      // the ring consumes it — each GET returns only events recorded
+      // since the previous one.
+      if (request.method != "GET") {
+        send_method_not_allowed(Endpoint::kTrace, "GET", request, start,
+                                keep);
+        return;
+      }
+      send_simple(Endpoint::kTrace, 200, "application/json",
+                  trace::drain_json(), keep, start, request.method,
+                  request.target);
+      return;
+    }
     if (draining) {
       const ServiceError error = make_error(
           ErrorCode::kDraining,
@@ -422,6 +441,10 @@ class HttpConnection : public Connection,
                   http.method, http.target);
       return;
     }
+    // The gateway always asks for the stage summary: it arrives as the
+    // kFrameTiming final frame and becomes the Server-Timing trailer,
+    // never part of the decoded body.
+    request.want_timing = true;
     const std::uint64_t seq = next_seq_++;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -446,7 +469,8 @@ class HttpConnection : public Connection,
     };
     ServiceError rejection;
     const std::uint64_t ticket = gateway_.service_.try_submit(
-        seq, std::move(request), std::move(emit), client_id(), &rejection);
+        seq, std::move(request), std::move(emit), client_id(), &rejection,
+        /*transport=*/"http");
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       awaiting_ticket_ = false;
@@ -497,6 +521,7 @@ class HttpConnection : public Connection,
       }
       const bool last = (header.flags & kFrameLast) != 0;
       const bool error = (header.flags & kFrameError) != 0;
+      const bool timing = (header.flags & kFrameTiming) != 0;
       if (open_) {
         if (error) {
           const ServiceError err = parse_error_payload(payload);
@@ -520,12 +545,21 @@ class HttpConnection : public Connection,
             append_stream_head(outbound_, resp_keep_alive_, pending_ticket_);
             headers_sent_ = true;
           }
-          if (!payload.empty()) {
+          if (!timing && !payload.empty()) {
             append_chunk(outbound_, payload);
             resp_bytes_ += payload.size();
           }
           if (last) {
-            outbound_ += "0\r\n\r\n";
+            // The declared Server-Timing trailer: the timing frame's
+            // payload, verbatim. An empty trailer section is still a
+            // valid chunked terminator if the frame had none.
+            outbound_ += "0\r\n";
+            if (timing && !payload.empty()) {
+              outbound_ += "Server-Timing: ";
+              outbound_.append(payload.data(), payload.size());
+              outbound_ += "\r\n";
+            }
+            outbound_ += "\r\n";
           }
         }
         wake = true;
@@ -552,7 +586,7 @@ class HttpConnection : public Connection,
     }
     if (completed) {
       gateway_.finish_request(endpoint, status, bytes, seconds, client_id(),
-                              method, target, ticket);
+                              method, target, ticket, seq);
     }
   }
 
@@ -581,7 +615,7 @@ class HttpConnection : public Connection,
       gateway_.finish_request(
           endpoint, status, body.size(),
           std::chrono::duration<double>(Clock::now() - start).count(),
-          client_id(), method, target, 0);
+          client_id(), method, target, /*ticket=*/0, /*request_id=*/0);
     }
   }
 
@@ -598,6 +632,7 @@ class HttpConnection : public Connection,
     if (path == "/v1/sample") return Endpoint::kSample;
     if (path == "/v1/detect") return Endpoint::kDetect;
     if (path == "/v1/stats") return Endpoint::kStats;
+    if (path == "/v1/trace") return Endpoint::kTrace;
     if (path.rfind("/v1/cancel/", 0) == 0) return Endpoint::kCancel;
     return Endpoint::kOther;
   }
@@ -725,6 +760,13 @@ HttpGateway::HttpGateway(SamplingService& service, HttpGatewayOptions options)
           "Age in milliseconds of the oldest in-flight run",
           s.longest_running_ms);
     gauge("symphase_workers_alive", "Live worker threads", s.workers_alive);
+    gauge("symphase_trace_enabled",
+          "1 while request-lifecycle trace recording is on",
+          trace::enabled() ? 1 : 0);
+    counter("symphase_trace_dropped_events_total",
+            "Trace events overwritten in a ring buffer before a drain "
+            "collected them",
+            trace::dropped_events());
     out += "# HELP symphase_requests_rejected_total Requests turned away "
            "before execution, by reason\n"
            "# TYPE symphase_requests_rejected_total counter\n";
@@ -759,6 +801,7 @@ const char* HttpGateway::endpoint_name(Endpoint endpoint) {
     case Endpoint::kMetrics: return "/metrics";
     case Endpoint::kHealthz: return "/healthz";
     case Endpoint::kCancel: return "/v1/cancel";
+    case Endpoint::kTrace: return "/v1/trace";
     case Endpoint::kOther: return "other";
   }
   return "other";
@@ -784,7 +827,8 @@ void HttpGateway::finish_request(Endpoint endpoint, int status,
                                  std::uint64_t client_id,
                                  const std::string& method,
                                  const std::string& target,
-                                 std::uint64_t ticket) {
+                                 std::uint64_t ticket,
+                                 std::uint64_t request_id) {
   const int slot = status_slot(status);
   if (slot >= 0) {
     requests_[static_cast<int>(endpoint)][slot]->inc();
@@ -819,6 +863,12 @@ void HttpGateway::finish_request(Endpoint endpoint, int status,
   char duration[32];
   std::snprintf(duration, sizeof duration, "%.3f", seconds * 1e3);
   line += duration;
+  if (request_id != 0) {
+    // The submit-path correlation key: matches `"id"` on watchdog and
+    // slow_request events and the `id` arg of trace spans.
+    line += ",\"id\":";
+    line += std::to_string(request_id);
+  }
   if (ticket != 0) {
     line += ",\"ticket\":";
     line += std::to_string(ticket);

@@ -19,8 +19,16 @@
 ///   GET  /v1/stats       ServiceStats as JSON
 ///   GET  /healthz        readiness: 200 accepting / 503 draining
 ///   GET  /metrics        Prometheus text exposition
+///   GET  /v1/trace       drains the in-process trace ring as Chrome
+///                        trace-event JSON (Perfetto-loadable); empty
+///                        unless tracing is enabled (--trace)
 ///   POST /v1/cancel/{t}  cancel by scheduler ticket (the
 ///                        Symphase-Ticket response header)
+///
+/// Streaming responses declare `Trailer: Server-Timing` and finish the
+/// chunked body with a Server-Timing trailer carrying the request's
+/// stage breakdown (queue/compile/execute/emit/total, ms) — the HTTP
+/// rendering of the frame protocol's kFrameTiming final frame.
 ///
 /// Error mapping is total over service/errors.hpp: queue_full -> 503,
 /// rate_limited -> 429 + Retry-After, draining -> 503, deadline_expired
@@ -102,15 +110,18 @@ class HttpGateway {
 
   /// Endpoint classes for metrics labels and logs.
   enum class Endpoint { kSample, kDetect, kStats, kMetrics, kHealthz,
-                        kCancel, kOther };
+                        kCancel, kTrace, kOther };
   static const char* endpoint_name(Endpoint endpoint);
 
   /// Records a finished request: counter + latency histogram + bytes
-  /// + one structured log line (when enabled).
+  /// + one structured log line (when enabled). `request_id` is the
+  /// submit-path correlation id (`"id"` in logs, matching watchdog and
+  /// slow_request events); 0 for endpoints that never reach the
+  /// scheduler.
   void finish_request(Endpoint endpoint, int status, std::uint64_t bytes,
                       double seconds, std::uint64_t client_id,
                       const std::string& method, const std::string& target,
-                      std::uint64_t ticket);
+                      std::uint64_t ticket, std::uint64_t request_id);
 
   SamplingService& service_;
   HttpGatewayOptions options_;
@@ -135,8 +146,8 @@ class HttpGateway {
   Gauge* connections_active_ = nullptr;
   Counter* parse_errors_total_ = nullptr;
   Counter* response_bytes_total_ = nullptr;
-  Histogram* latency_[7] = {};  ///< Indexed by Endpoint.
-  Counter* requests_[7][kNumStatusCodes] = {};  ///< [Endpoint][status slot].
+  Histogram* latency_[8] = {};  ///< Indexed by Endpoint.
+  Counter* requests_[8][kNumStatusCodes] = {};  ///< [Endpoint][status slot].
 };
 
 }  // namespace symphase

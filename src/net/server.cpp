@@ -49,6 +49,47 @@ struct SocketServer::Impl : ConnectionHost {
       http_bound_port = local_port(http_listener);
       set_nonblocking(http_listener.fd(), true);
       gateway = std::make_unique<HttpGateway>(service, options.http);
+      // One shared instrument path for both transports: the service's
+      // timing observer feeds per-stage and per-transport histograms in
+      // the gateway's registry, so frame/TCP requests show up on
+      // /metrics exactly like HTTP ones. Wired before run() accepts
+      // anything, as set_timing_observer requires.
+      MetricsRegistry& reg = gateway->metrics();
+      const auto stage_hist = [&reg](const char* stage) {
+        return &reg.histogram(
+            "symphase_stage_duration_seconds",
+            "Per-request stage latency (queue|compile|execute|emit)",
+            Histogram::default_latency_bounds(), {{"stage", stage}});
+      };
+      const auto request_hist = [&reg](const char* transport) {
+        return &reg.histogram(
+            "symphase_request_duration_seconds",
+            "End-to-end request latency (acceptance to final frame) by "
+            "submitting transport",
+            Histogram::default_latency_bounds(), {{"transport", transport}});
+      };
+      Histogram* queue_h = stage_hist("queue");
+      Histogram* compile_h = stage_hist("compile");
+      Histogram* execute_h = stage_hist("execute");
+      Histogram* emit_h = stage_hist("emit");
+      Histogram* frame_h = request_hist("frame");
+      Histogram* http_h = request_hist("http");
+      Histogram* local_h = request_hist("local");
+      service.set_timing_observer(
+          [queue_h, compile_h, execute_h, emit_h, frame_h, http_h,
+           local_h](const RequestTiming& t) {
+            queue_h->observe(t.queue_s);
+            compile_h->observe(t.compile_s);
+            execute_h->observe(t.execute_s);
+            emit_h->observe(t.emit_s);
+            if (std::strcmp(t.transport, "http") == 0) {
+              http_h->observe(t.total_s);
+            } else if (std::strcmp(t.transport, "frame") == 0) {
+              frame_h->observe(t.total_s);
+            } else {
+              local_h->observe(t.total_s);
+            }
+          });
     }
   }
 
@@ -342,7 +383,8 @@ class FrameConnection : public Connection,
           // structured error frames with a retry hint.
           ServiceError rejection;
           const std::uint64_t ticket = service.try_submit(
-              id, std::move(request), emit, client_id(), &rejection);
+              id, std::move(request), emit, client_id(), &rejection,
+              /*transport=*/"frame");
           if (ticket == 0) {
             enqueue_error(id, rejection);
             break;

@@ -166,6 +166,10 @@ SampleRequest parse_request_payload(std::string_view payload) {
       request.priority = priority_from_name(value);
     } else if (key == "deadline_ms") {
       request.deadline_ms = parse_u64(key, value);
+    } else if (key == "timing") {
+      SYMPHASE_CHECK_MSG(value == "0" || value == "1",
+                         "timing= takes 0 or 1, got '" << value << "'");
+      request.want_timing = value == "1";
     } else if (key == "digest") {
       SYMPHASE_CHECK_MSG(is_digest_string(value),
                          "malformed digest '" << value
@@ -253,6 +257,9 @@ std::string encode_request_payload(const SampleRequest& request) {
     }
     if (request.deadline_ms != 0) {
       oss << " deadline_ms=" << request.deadline_ms;
+    }
+    if (request.want_timing) {
+      oss << " timing=1";
     }
     if (!request.task.bit_selection.empty()) {
       oss << " rows=";

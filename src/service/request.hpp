@@ -37,6 +37,10 @@
 ///     rejected with an error frame instead of executed (0 = none).
 ///   json=1   (stats/health only) reply with the JSON rendering
 ///     instead of the key=value line — `symphase stats --json`.
+///   timing=1   (sample/detect only) attach a stage-timing summary
+///     (Server-Timing syntax) to the final frame, marked with the
+///     kFrameTiming flag — see docs/observability.md. Off by default
+///     so the byte stream is unchanged for peers that never ask.
 ///
 /// The response to sample/detect is the chosen format's byte stream,
 /// chunked across data frames — reassembled, it is bit-identical to
@@ -77,6 +81,9 @@ struct SampleRequest {
   /// kStats/kHealth only: reply with the JSON rendering (to_json())
   /// instead of the key=value line. Wire option `json=1`.
   bool stats_json = false;
+  /// kSample/kDetect only: attach the stage-timing summary to the
+  /// final frame (kFrameTiming). Wire option `timing=1`.
+  bool want_timing = false;
 
   static SampleRequest sample(std::string circuit, std::size_t shots);
   static SampleRequest detect(std::string circuit, std::size_t shots);

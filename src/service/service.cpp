@@ -3,17 +3,87 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <iomanip>
 #include <sstream>
 #include <utility>
 
 #include "api/sample_stream.hpp"
 #include "circuit/parser.hpp"
 #include "common/check.hpp"
+#include "common/trace.hpp"
 #include "service/digest.hpp"
 
 namespace symphase {
 
 namespace {
+
+/// One request's stage partition, in steady-clock ns. queue + compile +
+/// execute + emit == total up to clamping (each stage is clamped at 0
+/// individually, so a degenerate clock never produces underflowed
+/// giants).
+struct StageBreakdown {
+  std::uint64_t queue_ns = 0;
+  std::uint64_t compile_ns = 0;
+  std::uint64_t execute_ns = 0;
+  std::uint64_t emit_ns = 0;
+  std::uint64_t total_ns = 0;
+};
+
+/// Derives the partition from the lifecycle marks. Marks a request
+/// never reached are zero and collapse their stage to zero: a request
+/// cancelled in the queue has only queue time, a cache-hit compile is
+/// near-zero, an errored run keeps whatever it accrued. `emit_ns` is
+/// the sink-accumulated serialize+ship time; execute is the rest of
+/// the post-compile window.
+StageBreakdown stage_breakdown(std::uint64_t accept_ns, std::uint64_t claim_ns,
+                               std::uint64_t compile_done_ns,
+                               std::uint64_t emit_ns, std::uint64_t end_ns) {
+  const auto delta = [](std::uint64_t from, std::uint64_t to) {
+    return to > from ? to - from : 0;
+  };
+  if (claim_ns == 0) {
+    claim_ns = end_ns;
+  }
+  if (compile_done_ns == 0) {
+    compile_done_ns = claim_ns;
+  }
+  StageBreakdown s;
+  s.queue_ns = delta(accept_ns, claim_ns);
+  s.compile_ns = delta(claim_ns, compile_done_ns);
+  s.emit_ns = emit_ns;
+  const std::uint64_t run_ns = delta(compile_done_ns, end_ns);
+  s.execute_ns = run_ns > emit_ns ? run_ns - emit_ns : 0;
+  s.total_ns = delta(accept_ns, end_ns);
+  return s;
+}
+
+/// Renders ns as fixed-point milliseconds with microsecond precision
+/// ("12.345") — locale-independent, no scientific notation.
+void append_ms(std::ostringstream& oss, std::uint64_t ns) {
+  const std::uint64_t us = ns / 1000;
+  oss << us / 1000 << '.' << std::setw(3) << std::setfill('0') << us % 1000
+      << std::setfill(' ');
+}
+
+/// The Server-Timing value (RFC draft syntax: `name;dur=ms, ...`) the
+/// gateway forwards verbatim as an HTTP trailer and the frame protocol
+/// carries in its kFrameTiming final frame.
+std::string render_server_timing(const StageBreakdown& s) {
+  std::ostringstream oss;
+  const auto stage = [&oss](const char* name, std::uint64_t ns, bool first) {
+    if (!first) {
+      oss << ", ";
+    }
+    oss << name << ";dur=";
+    append_ms(oss, ns);
+  };
+  stage("queue", s.queue_ns, true);
+  stage("compile", s.compile_ns, false);
+  stage("execute", s.execute_ns, false);
+  stage("emit", s.emit_ns, false);
+  stage("total", s.total_ns, false);
+  return oss.str();
+}
 
 /// SampleSink that serializes chunks through WriterSink (so format
 /// bytes, flushing discipline, and ptb64 alignment checks are exactly
@@ -23,18 +93,36 @@ class FrameSink final : public SampleSink {
  public:
   FrameSink(std::uint64_t request_id, SampleFormat format,
             std::size_t max_payload, const FrameFn& emit,
-            std::atomic<std::uint64_t>* progress)
+            std::atomic<std::uint64_t>* progress, std::uint64_t ticket,
+            std::uint64_t group, bool want_timing)
       : request_id_(request_id),
         max_payload_(max_payload),
         emit_(emit),
         progress_(progress),
+        ticket_(ticket),
+        group_(group),
+        want_timing_(want_timing),
         writer_(buffer_, format) {}
+
+  /// Installs the pre-execution clock marks the final timing frame
+  /// needs. Called once the compile stage has finished, before any
+  /// chunk flows; all marks are steady-clock ns (common/trace.hpp).
+  void set_timing_marks(std::uint64_t accept_ns, std::uint64_t claim_ns,
+                        std::uint64_t compile_done_ns) {
+    accept_ns_ = accept_ns;
+    claim_ns_ = claim_ns;
+    compile_done_ns_ = compile_done_ns;
+  }
 
   void begin(const SampleStreamInfo& info) override { writer_.begin(info); }
 
   void consume(const SampleChunk& chunk) override {
+    const std::uint64_t t0 = trace::now_ns();
     writer_.consume(chunk);
     ship_buffer();
+    const std::uint64_t t1 = trace::now_ns();
+    emit_ns_ += t1 - t0;
+    trace::span("emit", t0, t1, request_id_, ticket_, group_, next_chunk_);
     // The heartbeat the watchdog's stall detector reads: one tick per
     // shard chunk delivered, bumped after the bytes shipped (a sink
     // blocked on a slow reader is a stall too).
@@ -44,17 +132,38 @@ class FrameSink final : public SampleSink {
   }
 
   void end() override {
+    const std::uint64_t t0 = trace::now_ns();
     writer_.end();
     ship_buffer();
+    const std::uint64_t t1 = trace::now_ns();
+    emit_ns_ += t1 - t0;
+    end_ns_ = t1;
     FrameHeader header;
     header.request_id = request_id_;
     header.chunk_index = next_chunk_++;
     header.flags = kFrameLast;
-    emit_(header, {});
+    std::string payload;
+    if (want_timing_) {
+      // The client asked for the stage summary (`timing=1`): the final
+      // frame carries it as a kFrameTiming payload instead of the
+      // classic empty body. Clients that did not opt in never see the
+      // flag, so their byte streams are unchanged.
+      header.flags |= kFrameTiming;
+      payload = render_server_timing(stage_breakdown(
+          accept_ns_, claim_ns_, compile_done_ns_, emit_ns_, end_ns_));
+      header.payload_bytes = static_cast<std::uint32_t>(payload.size());
+    }
+    emit_(header, payload);
   }
 
   /// The chunk index an error frame should carry to stay contiguous.
   std::uint32_t next_chunk_index() const { return next_chunk_; }
+
+  /// Accumulated serialize+ship time across every chunk (ns).
+  std::uint64_t emit_ns() const { return emit_ns_; }
+  /// When the final frame shipped (steady ns); 0 if end() never ran
+  /// (errored/cancelled streams are abandoned without end()).
+  std::uint64_t end_ns() const { return end_ns_; }
 
  private:
   void ship_buffer() {
@@ -76,6 +185,14 @@ class FrameSink final : public SampleSink {
   std::size_t max_payload_;
   const FrameFn& emit_;
   std::atomic<std::uint64_t>* progress_;
+  std::uint64_t ticket_;
+  std::uint64_t group_;
+  bool want_timing_;
+  std::uint64_t accept_ns_ = 0;
+  std::uint64_t claim_ns_ = 0;
+  std::uint64_t compile_done_ns_ = 0;
+  std::uint64_t emit_ns_ = 0;
+  std::uint64_t end_ns_ = 0;
   std::ostringstream buffer_;
   WriterSink writer_;
   std::uint32_t next_chunk_ = 0;
@@ -225,23 +342,26 @@ void SamplingService::register_locked(const std::string& digest,
 std::uint64_t SamplingService::submit(std::uint64_t request_id,
                                       SampleRequest request, FrameFn emit,
                                       std::uint64_t client_id,
-                                      ServiceError* rejection) {
+                                      ServiceError* rejection,
+                                      const char* transport) {
   return submit_impl(request_id, std::move(request), std::move(emit),
-                     client_id, rejection, /*blocking=*/true);
+                     client_id, rejection, transport, /*blocking=*/true);
 }
 
 std::uint64_t SamplingService::try_submit(std::uint64_t request_id,
                                           SampleRequest request, FrameFn emit,
                                           std::uint64_t client_id,
-                                          ServiceError* rejection) {
+                                          ServiceError* rejection,
+                                          const char* transport) {
   return submit_impl(request_id, std::move(request), std::move(emit),
-                     client_id, rejection, /*blocking=*/false);
+                     client_id, rejection, transport, /*blocking=*/false);
 }
 
 std::uint64_t SamplingService::submit_impl(std::uint64_t request_id,
                                            SampleRequest request, FrameFn emit,
                                            std::uint64_t client_id,
                                            ServiceError* rejection,
+                                           const char* transport,
                                            bool blocking) {
   SYMPHASE_CHECK_MSG(request.verb == RequestVerb::kSample ||
                          request.verb == RequestVerb::kDetect,
@@ -259,6 +379,7 @@ std::uint64_t SamplingService::submit_impl(std::uint64_t request_id,
   job.abort_reason = std::make_shared<std::atomic<std::uint32_t>>(kAbortNone);
   job.progress = std::make_shared<std::atomic<std::uint64_t>>(0);
   job.shots = request.task.shots;
+  job.transport = transport;
   job.request = std::move(request);
   job.emit = std::move(emit);
   if (options_.fusion_cap > 1) {
@@ -318,6 +439,10 @@ std::uint64_t SamplingService::submit_impl(std::uint64_t request_id,
   }
   const std::uint64_t ticket = next_ticket_++;
   job.ticket = ticket;
+  // Acceptance mark: the queue stage (and the request's total) starts
+  // here, after admission said yes and a ticket exists to correlate on.
+  job.accept_ns = trace::now_ns();
+  trace::instant("accept", job.request_id, ticket);
   cancel_flags_.emplace(ticket, job.cancel_flag);
   DeadlineQueue<Job>::Item item;
   item.ticket = ticket;
@@ -576,6 +701,16 @@ void SamplingService::worker_loop(std::size_t worker_index) {
       // A fused claim can free several queue slots at once.
       queue_space_.notify_all();
     }
+    // Claim marks: the queue stage ends for every member now, group id
+    // (the leader's ticket) fixed for the rest of the lifecycle.
+    const std::uint64_t claim_ns = trace::now_ns();
+    const std::uint64_t group_id = group.front().ticket;
+    for (Job& job : group) {
+      job.claim_ns = claim_ns;
+      job.group = group_id;
+      trace::span("queue", job.accept_ns, claim_ns, job.request_id, job.ticket,
+                  group_id);
+    }
     register_running(group, worker_index);
     // Supervision: process_group() handles every per-job failure, so an
     // exception reaching this frame means the worker itself broke (in
@@ -602,6 +737,8 @@ void SamplingService::worker_loop(std::size_t worker_index) {
                          make_error(ErrorCode::kInternal,
                                     "worker crashed: " + crash_reason));
         account(Outcome::kFailed, job.request.priority);
+        finish_timing(job, /*compile_done_ns=*/0, /*emit_ns=*/0,
+                      /*end_ns=*/0, /*ok=*/false);
       }
     }
     unregister_running(group);
@@ -648,8 +785,11 @@ void SamplingService::worker_loop(std::size_t worker_index) {
             }
           }
         }
+        // Decremented under the lock: once detached, this thread must
+        // not touch members after unlocking — stop() serializes on the
+        // same mutex before the service is destroyed.
+        workers_alive_.fetch_sub(1, std::memory_order_relaxed);
       }
-      workers_alive_.fetch_sub(1, std::memory_order_relaxed);
       return;
     }
   }
@@ -746,11 +886,12 @@ void SamplingService::watchdog_loop() {
             if (reason == kAbortExecTimeout) {
               exec_timeouts_.fetch_add(1, std::memory_order_relaxed);
             }
+            const char* event = reason == kAbortExecTimeout
+                                    ? "exec_timeout"
+                                    : "deadline_expired";
+            trace::instant(event, watch.request_id, ticket);
             std::ostringstream oss;
-            oss << "{\"event\":\""
-                << (reason == kAbortExecTimeout ? "exec_timeout"
-                                                : "deadline_expired")
-                << "\",\"request_id\":" << watch.request_id
+            oss << "{\"event\":\"" << event << "\",\"id\":" << watch.request_id
                 << ",\"ticket\":" << ticket << ",\"worker\":" << watch.worker
                 << ",\"running_ms\":" << ms_between(watch.start, now) << "}";
             events.push_back(oss.str());
@@ -767,8 +908,10 @@ void SamplingService::watchdog_loop() {
         if (stall_at <= now) {
           watch.stall_flagged = true;
           stalled_.fetch_add(1, std::memory_order_relaxed);
+          trace::instant("stall", watch.request_id, ticket, /*group=*/0,
+                         /*aux=*/chunks);
           std::ostringstream oss;
-          oss << "{\"event\":\"stall\",\"request_id\":" << watch.request_id
+          oss << "{\"event\":\"stall\",\"id\":" << watch.request_id
               << ",\"ticket\":" << ticket << ",\"worker\":" << watch.worker
               << ",\"running_ms\":" << ms_between(watch.start, now)
               << ",\"no_progress_ms\":" << ms_between(watch.progress_time, now)
@@ -863,6 +1006,60 @@ void SamplingService::finish_without_running(Job& job, Outcome outcome,
                                              const ServiceError& error) {
   emit_error_frame(job, /*chunk_index=*/0, error);
   account(outcome, job.request.priority);
+  finish_timing(job, /*compile_done_ns=*/0, /*emit_ns=*/0, /*end_ns=*/0,
+                /*ok=*/false);
+}
+
+void SamplingService::finish_timing(const Job& job,
+                                    std::uint64_t compile_done_ns,
+                                    std::uint64_t emit_ns,
+                                    std::uint64_t end_ns, bool ok) const {
+  if (end_ns == 0) {
+    // The stream never shipped a final frame (pre-run rejection,
+    // error, cancellation): the request still ends now.
+    end_ns = trace::now_ns();
+  }
+  const StageBreakdown s = stage_breakdown(job.accept_ns, job.claim_ns,
+                                           compile_done_ns, emit_ns, end_ns);
+  if (compile_done_ns != 0) {
+    // The post-compile window as one span; per-chunk emit spans overlay
+    // it on the same thread track.
+    trace::span("execute", compile_done_ns, end_ns, job.request_id, job.ticket,
+                job.group);
+  }
+  trace::instant(ok ? "done" : "aborted", job.request_id, job.ticket,
+                 job.group);
+  if (options_.timing_observer) {
+    RequestTiming t;
+    t.request_id = job.request_id;
+    t.ticket = job.ticket;
+    t.transport = job.transport;
+    t.queue_s = static_cast<double>(s.queue_ns) * 1e-9;
+    t.compile_s = static_cast<double>(s.compile_ns) * 1e-9;
+    t.execute_s = static_cast<double>(s.execute_ns) * 1e-9;
+    t.emit_s = static_cast<double>(s.emit_ns) * 1e-9;
+    t.total_s = static_cast<double>(s.total_ns) * 1e-9;
+    t.ok = ok;
+    options_.timing_observer(t);
+  }
+  if (options_.slow_request_ms != 0 &&
+      s.total_ns >= options_.slow_request_ms * 1'000'000ull) {
+    std::ostringstream oss;
+    oss << "{\"event\":\"slow_request\",\"id\":" << job.request_id
+        << ",\"ticket\":" << job.ticket << ",\"transport\":\"" << job.transport
+        << "\",\"ok\":" << (ok ? "true" : "false") << ",\"queue_ms\":";
+    append_ms(oss, s.queue_ns);
+    oss << ",\"compile_ms\":";
+    append_ms(oss, s.compile_ns);
+    oss << ",\"execute_ms\":";
+    append_ms(oss, s.execute_ns);
+    oss << ",\"emit_ms\":";
+    append_ms(oss, s.emit_ns);
+    oss << ",\"total_ms\":";
+    append_ms(oss, s.total_ns);
+    oss << "}";
+    watchdog_emit(oss.str());
+  }
 }
 
 void SamplingService::process_group(std::vector<Job>& jobs) {
@@ -904,9 +1101,10 @@ void SamplingService::process_group(std::vector<Job>& jobs) {
       }
       continue;
     }
-    sinks[i] = std::make_unique<FrameSink>(job.request_id, job.request.format,
-                                           options_.max_frame_payload,
-                                           job.emit, job.progress.get());
+    sinks[i] = std::make_unique<FrameSink>(
+        job.request_id, job.request.format, options_.max_frame_payload,
+        job.emit, job.progress.get(), job.ticket, job.group,
+        job.request.want_timing);
     try {
       if (options_.fault_hook) {
         options_.fault_hook(
@@ -929,10 +1127,14 @@ void SamplingService::process_group(std::vector<Job>& jobs) {
       emit_error_frame(job, sinks[i]->next_chunk_index(),
                        make_error(ErrorCode::kBadCircuit, e.what()));
       account(Outcome::kFailed, job.request.priority);
+      finish_timing(job, /*compile_done_ns=*/0, /*emit_ns=*/0, /*end_ns=*/0,
+                    /*ok=*/false);
     } catch (const std::exception& e) {
       emit_error_frame(job, sinks[i]->next_chunk_index(),
                        make_error(ErrorCode::kInternal, e.what()));
       account(Outcome::kFailed, job.request.priority);
+      finish_timing(job, /*compile_done_ns=*/0, /*emit_ns=*/0, /*end_ns=*/0,
+                    /*ok=*/false);
     }
   }
   if (live.empty()) {
@@ -940,6 +1142,10 @@ void SamplingService::process_group(std::vector<Job>& jobs) {
   }
 
   std::vector<std::exception_ptr> errors(live.size());
+  // When the compile stage finished (steady ns); stays 0 when session
+  // lookup or artifact construction threw — the members' timing then
+  // reports zero compile/execute and the error path supplies end-now.
+  std::uint64_t compile_done_ns = 0;
   try {
     const std::shared_ptr<SimulatorSession> session = session_for(digest);
     if (live.size() > 1) {
@@ -950,12 +1156,30 @@ void SamplingService::process_group(std::vector<Job>& jobs) {
       const std::lock_guard<std::mutex> lock(cache_mutex_);
       hits_ += live.size() - 1;
     }
+    // Compile bracket: force the artifacts the group's task needs here,
+    // so the stage is measured apart from execution. A cache-hit
+    // session makes this a mutex acquire + pointer checks (the span's
+    // aux=1 marks it warm). One bracket covers the whole group — fused
+    // members share the artifacts, so each is billed the group's
+    // compile wait, which is also what each would have paid solo.
+    const std::uint64_t compile_t0 = trace::now_ns();
+    const SessionArtifacts pre = session->artifacts();
+    const bool warm = pre.compiled || pre.frames;
+    session->prepare(jobs[live.front()].request.task);
+    compile_done_ns = trace::now_ns();
     std::vector<SessionRunMember> members(live.size());
     for (std::size_t k = 0; k < live.size(); ++k) {
       const Job& job = jobs[live[k]];
+      trace::span("compile", compile_t0, compile_done_ns, job.request_id,
+                  job.ticket, job.group, /*aux=*/warm ? 1 : 0);
+      sinks[live[k]]->set_timing_marks(job.accept_ns, job.claim_ns,
+                                       compile_done_ns);
       members[k].task = &job.request.task;
       members[k].sink = sinks[live[k]].get();
       members[k].cancel = job.cancel_flag.get();
+      members[k].trace_id = job.request_id;
+      members[k].trace_ticket = job.ticket;
+      members[k].trace_group = job.group;
     }
     errors = session->run_fused(members);
   } catch (...) {
@@ -1002,6 +1226,8 @@ void SamplingService::process_group(std::vector<Job>& jobs) {
       }
     }
     account(outcome, job.request.priority);
+    finish_timing(job, compile_done_ns, sink.emit_ns(), sink.end_ns(),
+                  outcome == Outcome::kCompleted);
   }
 }
 

@@ -77,6 +77,31 @@
 
 namespace symphase {
 
+/// Per-request stage breakdown, delivered once per finished request
+/// (any terminal outcome) to ServiceOptions::timing_observer. Stages
+/// partition the request's wall-clock life: queue (acceptance to
+/// worker claim), compile (claim to artifacts ready — near zero on a
+/// session-cache hit), emit (serializing + shipping chunks), execute
+/// (everything else between artifacts-ready and the final frame).
+/// Stages that never ran (a request rejected at the gate) are zero.
+struct RequestTiming {
+  std::uint64_t request_id = 0;
+  std::uint64_t ticket = 0;
+  /// Transport tag the submitter passed ("frame", "http", "local").
+  const char* transport = "local";
+  double queue_s = 0;
+  double compile_s = 0;
+  double execute_s = 0;
+  double emit_s = 0;
+  double total_s = 0;  ///< Acceptance to final frame; == sum of stages.
+  bool ok = false;     ///< True when the request completed successfully.
+};
+
+/// Called on worker threads, once per finished request, with no
+/// service locks held. Must be thread-safe and cheap (it sits on the
+/// completion path of every request).
+using TimingObserver = std::function<void(const RequestTiming&)>;
+
 struct ServiceOptions {
   /// Worker threads executing requests (>= 1). Distinct requests run
   /// concurrently; each request additionally parallelizes its own shots
@@ -144,6 +169,15 @@ struct ServiceOptions {
   /// stall detection and timeout recovery that way.
   std::function<void(std::uint64_t sequence, const SampleRequest& request)>
       fault_hook;
+  /// Per-request stage breakdown sink — the shared instrument path
+  /// behind `symphase_stage_duration_seconds` and
+  /// `symphase_request_duration_seconds` on every transport (the
+  /// socket server wires it into the gateway's MetricsRegistry).
+  TimingObserver timing_observer;
+  /// Log one structured JSON line (`"event":"slow_request"`, full
+  /// stage breakdown) through `watchdog_log` for every request whose
+  /// end-to-end time exceeds this many milliseconds (0 = off).
+  std::uint64_t slow_request_ms = 0;
   /// Test-only worker-crash injection: called once per claimed group,
   /// on the worker thread, *outside* the per-job exception handlers.
   /// A throw escapes to the supervision wrapper, which fails the
@@ -272,9 +306,13 @@ class SamplingService {
   /// transport to ship. `client_id` scopes the per-client rate bucket;
   /// transports pass a stable id per connection (0 = one shared
   /// bucket).
+  /// `transport` tags the request's timing observations and slow-log
+  /// lines; pass a string literal ("frame", "http") — the pointer is
+  /// kept for the request's lifetime.
   std::uint64_t submit(std::uint64_t request_id, SampleRequest request,
                        FrameFn emit, std::uint64_t client_id = 0,
-                       ServiceError* rejection = nullptr);
+                       ServiceError* rejection = nullptr,
+                       const char* transport = "local");
 
   /// Non-blocking submit: where submit() would wait, try_submit
   /// rejects. For callers that must never park on queue capacity — the
@@ -289,7 +327,17 @@ class SamplingService {
   /// retryable bit and a retry_after_ms backoff hint.
   std::uint64_t try_submit(std::uint64_t request_id, SampleRequest request,
                            FrameFn emit, std::uint64_t client_id = 0,
-                           ServiceError* rejection = nullptr);
+                           ServiceError* rejection = nullptr,
+                           const char* transport = "local");
+
+  /// Installs/replaces the timing observer after construction. The
+  /// socket server uses this to wire the gateway's metrics registry in
+  /// (the gateway is built after the service). Not synchronized with
+  /// in-flight completions: call before the transport starts accepting
+  /// requests.
+  void set_timing_observer(TimingObserver observer) {
+    options_.timing_observer = std::move(observer);
+  }
 
   /// Cancels the request behind `ticket`. A still-queued request is
   /// removed and answered with an error frame immediately (it never
@@ -361,6 +409,16 @@ class SamplingService {
     /// Fusion-group tag: circuit identity (digest, or a hash of the raw
     /// inline text) + backend + target. Empty when fusion is disabled.
     std::string fuse_key;
+    /// Transport tag from submit() — a string literal ("frame", "http",
+    /// "local"), stamped on timing observations and slow-request logs.
+    const char* transport = "local";
+    /// Lifecycle clock marks (common/trace.hpp steady ns): acceptance
+    /// (ticket assignment) and worker claim. Zero until stamped.
+    std::uint64_t accept_ns = 0;
+    std::uint64_t claim_ns = 0;
+    /// Trace-span fusion-group id: the claimed group leader's ticket
+    /// (== ticket for a solo run). Zero until claimed.
+    std::uint64_t group = 0;
   };
 
   /// Job::abort_reason values.
@@ -428,7 +486,17 @@ class SamplingService {
   /// Shared submit path; `blocking` selects wait-for-space vs reject.
   std::uint64_t submit_impl(std::uint64_t request_id, SampleRequest request,
                             FrameFn emit, std::uint64_t client_id,
-                            ServiceError* rejection, bool blocking);
+                            ServiceError* rejection, const char* transport,
+                            bool blocking);
+  /// Terminal-path timing fan-out: derives the request's stage
+  /// breakdown (queue/compile/execute/emit) from the job's clock marks,
+  /// records the trace "execute" span, fires timing_observer, and logs
+  /// a slow_request line when the total crosses slow_request_ms.
+  /// Called exactly once per finished request, no service locks held;
+  /// stages that never ran arrive as zeros.
+  void finish_timing(const Job& job, std::uint64_t compile_done_ns,
+                     std::uint64_t emit_ns, std::uint64_t end_ns,
+                     bool ok) const;
   /// Executes one claimed group (size 1 = the classic solo path) on the
   /// calling worker thread: per-member deadline/cancel gates and fault
   /// hooks, one session lookup for the group, one fused engine pass,

@@ -25,7 +25,7 @@ std::uint64_t get_le(const char* in, std::size_t bytes) {
   return value;
 }
 
-constexpr std::uint8_t kKnownFlags = kFrameLast | kFrameError;
+constexpr std::uint8_t kKnownFlags = kFrameLast | kFrameError | kFrameTiming;
 
 }  // namespace
 
@@ -111,6 +111,12 @@ bool FrameDecoder::next(Frame& out) {
     fail("error frame without last flag");
     return false;
   }
+  if ((header.flags & kFrameTiming) != 0 &&
+      ((header.flags & kFrameLast) == 0 ||
+       (header.flags & kFrameError) != 0)) {
+    fail("timing frame must be last and cannot be an error");
+    return false;
+  }
   if (available < kFrameHeaderBytes + header.payload_bytes) {
     return false;
   }
@@ -168,7 +174,8 @@ std::optional<MessageAssembler::Message> MessageAssembler::accept(
   partial.next_chunk++;
 
   const bool is_error = (frame.header.flags & kFrameError) != 0;
-  if (!is_error) {
+  const bool is_timing = (frame.header.flags & kFrameTiming) != 0;
+  if (!is_error && !is_timing) {
     if (partial.payload.size() + frame.payload.size() > max_message_bytes_) {
       std::ostringstream oss;
       oss << "request " << frame.header.request_id << ": message exceeds "
@@ -189,6 +196,9 @@ std::optional<MessageAssembler::Message> MessageAssembler::accept(
     message.error_text = frame.payload;
   } else {
     message.payload = std::move(partial.payload);
+    if (is_timing) {
+      message.timing = frame.payload;
+    }
   }
   partial_.erase(frame.header.request_id);
   return message;

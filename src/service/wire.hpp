@@ -13,13 +13,18 @@
 ///                                for session-level error frames)
 ///        8     4  chunk_index    0,1,2,... contiguous per request
 ///       12     4  payload_bytes  length of the payload that follows
-///       16     1  flags          bit 0 kFrameLast, bit 1 kFrameError
+///       16     1  flags          bit 0 kFrameLast, bit 1 kFrameError,
+///                                bit 2 kFrameTiming
 ///
 /// A message is the concatenation of its frames' payloads up to and
 /// including the frame carrying kFrameLast. kFrameError (only valid
 /// together with kFrameLast) marks a failed message: the final payload
 /// is human-readable error text instead of data, and any data payloads
-/// that preceded it must be discarded.
+/// that preceded it must be discarded. kFrameTiming (only valid with
+/// kFrameLast, never with kFrameError) marks the final payload as a
+/// stage-timing summary in Server-Timing syntax rather than data; the
+/// service attaches it only when the request opted in with `timing=1`,
+/// so pre-timing peers never see the bit.
 ///
 /// Decoding is split into two layers so each can be hardened and fuzzed
 /// on its own:
@@ -50,6 +55,7 @@ inline constexpr std::size_t kFrameHeaderBytes = 17;
 enum FrameFlags : std::uint8_t {
   kFrameLast = 1u << 0,
   kFrameError = 1u << 1,
+  kFrameTiming = 1u << 2,
 };
 
 /// Per-frame cap enforced by FrameDecoder (and respected by every
@@ -144,6 +150,9 @@ class MessageAssembler {
     bool error = false;
     /// Error text from the final frame (failed messages only).
     std::string error_text;
+    /// Stage-timing summary from a kFrameTiming final frame (empty
+    /// unless the request opted in with `timing=1`).
+    std::string timing;
   };
 
   explicit MessageAssembler(

@@ -59,12 +59,24 @@ struct HttpResponse {
   int status = 0;
   std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
+  /// Trailer fields after the terminal 0-chunk (lowercased names), e.g.
+  /// the gateway's Server-Timing stage breakdown.
+  std::vector<std::pair<std::string, std::string>> trailers;
   /// True when the chunked body ended with the terminal 0-chunk (a
   /// missing terminator is how the gateway signals mid-stream failure).
   bool chunked_complete = true;
 
   const std::string* header(const std::string& name) const {
     for (const auto& [key, value] : headers) {
+      if (key == name) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+
+  const std::string* trailer(const std::string& name) const {
+    for (const auto& [key, value] : trailers) {
       if (key == name) {
         return &value;
       }
@@ -192,11 +204,36 @@ class HttpClient {
           std::stoull(buffer_.substr(0, eol), nullptr, 16);
       buffer_.erase(0, eol + 2);
       if (size == 0) {
-        while (buffer_.size() < 2 && fill()) {
+        // Trailer section: zero or more `Name: value` lines, then the
+        // final blank line.
+        for (;;) {
+          std::size_t trailer_eol;
+          while ((trailer_eol = buffer_.find("\r\n")) == std::string::npos) {
+            if (!fill()) {
+              response.chunked_complete = false;
+              return;
+            }
+          }
+          std::string line = buffer_.substr(0, trailer_eol);
+          buffer_.erase(0, trailer_eol + 2);
+          if (line.empty()) {
+            return;
+          }
+          const std::size_t colon = line.find(':');
+          EXPECT_NE(colon, std::string::npos) << "malformed trailer: " << line;
+          if (colon == std::string::npos) {
+            continue;
+          }
+          std::string name = line.substr(0, colon);
+          for (char& c : name) {
+            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+          }
+          std::size_t value_start = colon + 1;
+          while (value_start < line.size() && line[value_start] == ' ') {
+            ++value_start;
+          }
+          response.trailers.emplace_back(name, line.substr(value_start));
         }
-        EXPECT_EQ(buffer_.substr(0, 2), "\r\n");
-        buffer_.erase(0, 2);
-        return;
       }
       while (buffer_.size() < size + 2) {
         if (!fill()) {

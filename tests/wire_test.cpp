@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 #include <random>
 #include <sstream>
 #include <string>
@@ -206,7 +207,7 @@ TEST(WireFuzz, OversizedPayloadLengthRejectedBeforeBuffering) {
 }
 
 TEST(WireFuzz, UnknownFlagBitsRejected) {
-  for (int flags = 4; flags < 256; flags <<= 1) {
+  for (int flags = 8; flags < 256; flags <<= 1) {
     FrameDecoder decoder;
     FrameHeader header;
     header.flags = static_cast<std::uint8_t>(flags);
@@ -215,6 +216,56 @@ TEST(WireFuzz, UnknownFlagBitsRejected) {
     EXPECT_FALSE(decoder.next(frame)) << flags;
     EXPECT_TRUE(decoder.failed()) << flags;
   }
+}
+
+TEST(WireFuzz, TimingFinalFrameCarriesSummaryNotData) {
+  FrameDecoder decoder;
+  FrameHeader header;
+  header.request_id = 3;
+  header.payload_bytes = 4;
+  decoder.feed(encode_frame(header, "data"));
+  header.chunk_index = 1;
+  header.flags = kFrameLast | kFrameTiming;
+  const std::string timing = "queue;dur=0.120, total;dur=4.500";
+  header.payload_bytes = static_cast<std::uint32_t>(timing.size());
+  decoder.feed(encode_frame(header, timing));
+  MessageAssembler assembler;
+  Frame frame;
+  std::optional<MessageAssembler::Message> message;
+  while (decoder.next(frame)) {
+    if (auto done = assembler.accept(frame)) {
+      message = std::move(done);
+    }
+  }
+  EXPECT_TRUE(decoder.finish()) << decoder.error();
+  ASSERT_TRUE(message.has_value());
+  // The timing payload annotates the message; it is not data bytes.
+  EXPECT_EQ(message->payload, "data");
+  EXPECT_EQ(message->timing, timing);
+  EXPECT_FALSE(message->error);
+}
+
+TEST(WireFuzz, TimingWithoutLastRejected) {
+  FrameDecoder decoder;
+  FrameHeader header;
+  header.flags = kFrameTiming;
+  decoder.feed(encode_frame(header, ""));
+  Frame frame;
+  EXPECT_FALSE(decoder.next(frame));
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_NE(decoder.error().find("timing frame"), std::string::npos);
+}
+
+TEST(WireFuzz, TimingOnErrorFrameRejected) {
+  FrameDecoder decoder;
+  FrameHeader header;
+  header.flags = kFrameLast | kFrameError | kFrameTiming;
+  header.payload_bytes = 4;
+  decoder.feed(encode_frame(header, "boom"));
+  Frame frame;
+  EXPECT_FALSE(decoder.next(frame));
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_NE(decoder.error().find("timing frame"), std::string::npos);
 }
 
 TEST(WireFuzz, ErrorWithoutLastRejected) {

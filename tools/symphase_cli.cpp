@@ -47,6 +47,7 @@
 
 #include "api/session.hpp"
 #include "circuit/surface_code.hpp"
+#include "common/trace.hpp"
 #include "core/symphase.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
@@ -89,6 +90,7 @@ using namespace symphase;
       "                   [--max-frame BYTES] [--fusion N] [--rate-shots N]\n"
       "                   [--burst-shots N] [--max-shots N]\n"
       "                   [--exec-timeout-ms N] [--stall-warn-ms N]\n"
+      "                   [--slow-request-ms N] [--trace] [--trace-out PATH]\n"
       "                   (framed requests\n"
       "                   on stdin, framed responses on stdout; see\n"
       "                   docs/service.md)\n"
@@ -97,6 +99,7 @@ using namespace symphase;
       "                   [--max-clients N]\n"
       "                   [--rate-shots N] [--burst-shots N] [--max-shots N]\n"
       "                   [--exec-timeout-ms N] [--stall-warn-ms N]\n"
+      "                   [--slow-request-ms N] [--trace] [--trace-out PATH]\n"
       "                   [--idle-timeout-ms N]\n"
       "                   [--port-file PATH]\n"
       "                   [--http HOST:PORT [--http-port-file PATH] [--log-json]]\n"
@@ -106,9 +109,12 @@ using namespace symphase;
       "                   a second SIGTERM or SIGINT stops immediately;\n"
       "                   --exec-timeout-ms caps per-request execution\n"
       "                   wall-clock, --stall-warn-ms logs no-progress runs,\n"
+      "                   --slow-request-ms logs a per-stage breakdown of\n"
+      "                   slow requests, --trace records lifecycle spans\n"
+      "                   (GET /v1/trace), --trace-out dumps them at exit,\n"
       "                   --idle-timeout-ms closes idle frame connections;\n"
       "                   --http adds the HTTP/JSON gateway with /metrics —\n"
-      "                   see docs/gateway.md)\n"
+      "                   see docs/gateway.md and docs/observability.md)\n"
       "\n"
       "remote exit codes: 3 connection failed, 4 rejected by server,\n"
       "5 timed out (see docs/service.md)\n";
@@ -519,6 +525,11 @@ int cmd_serve(Options& opt) {
   service_options.admission.max_shots_in_flight = opt.get_u64("max-shots", 0);
   service_options.exec_timeout_ms = opt.get_u64("exec-timeout-ms", 0);
   service_options.stall_warn_ms = opt.get_u64("stall-warn-ms", 0);
+  service_options.slow_request_ms = opt.get_u64("slow-request-ms", 0);
+  const std::string trace_out = opt.get_string("trace-out", "");
+  if (opt.get_flag("trace") || !trace_out.empty()) {
+    trace::set_enabled(true);
+  }
   opt.finish();
 
   SamplingService service(service_options);
@@ -679,7 +690,8 @@ int cmd_serve(Options& opt) {
             // no frames, so ship the structured error here.
             ServiceError rejection;
             const std::uint64_t ticket =
-                service.submit(id, std::move(request), emit, 0, &rejection);
+                service.submit(id, std::move(request), emit, 0, &rejection,
+                               /*transport=*/"frame");
             if (ticket == 0) {
               emit_error(id, rejection);
               break;
@@ -701,6 +713,10 @@ int cmd_serve(Options& opt) {
     }
   }
   service.drain();
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::trunc);
+    out << trace::drain_json();
+  }
   if (!protocol_error.empty()) {
     emit_error(0, make_error(ErrorCode::kBadCircuit,
                              "protocol error: " + protocol_error));
@@ -777,6 +793,11 @@ int cmd_serve_listen(const std::string& address, Options& opt) {
   options.service.admission.max_shots_in_flight = opt.get_u64("max-shots", 0);
   options.service.exec_timeout_ms = opt.get_u64("exec-timeout-ms", 0);
   options.service.stall_warn_ms = opt.get_u64("stall-warn-ms", 0);
+  options.service.slow_request_ms = opt.get_u64("slow-request-ms", 0);
+  const std::string trace_out = opt.get_string("trace-out", "");
+  if (opt.get_flag("trace") || !trace_out.empty()) {
+    trace::set_enabled(true);
+  }
   options.idle_timeout_ms = opt.get_u64("idle-timeout-ms", 0);
   options.max_connections =
       std::max<std::uint64_t>(1, opt.get_u64("max-clients", 64));
@@ -829,6 +850,12 @@ int cmd_serve_listen(const std::string& address, Options& opt) {
   write_port_file(http_port_file, server.http_port());
   const bool clean = server.run();
   g_listen_server = nullptr;
+  if (!trace_out.empty()) {
+    // Whatever /v1/trace did not already drain, written at shutdown —
+    // the Perfetto-loadable record of the server's whole life.
+    std::ofstream out(trace_out, std::ios::trunc);
+    out << trace::drain_json();
+  }
   return clean ? 0 : 1;
 }
 
@@ -925,14 +952,14 @@ int main(int argc, char** argv) {
     if (command == "serve") {
       int code = 2;
       if (target == "--stdio") {
-        Options opt(argc, argv, 3);
+        Options opt(argc, argv, 3, {"trace"});
         code = cmd_serve(opt);
         opt.finish();
       } else if (target == "--listen") {
         if (argc < 4) {
           usage("serve --listen needs HOST:PORT");
         }
-        Options opt(argc, argv, 4, {"log-json"});
+        Options opt(argc, argv, 4, {"log-json", "trace"});
         code = cmd_serve_listen(argv[3], opt);
         opt.finish();
       } else {
